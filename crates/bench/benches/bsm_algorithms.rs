@@ -1,0 +1,70 @@
+//! Microbenchmarks: end-to-end BSM solvers (TSGreedy vs BSM-Saturate vs
+//! baselines) and the size-cap ablation of BSM-Saturate
+//! (budget `k` vs `k·ln(c/ε)`, DESIGN.md §6).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use fair_submod_core::algorithms::bsm_saturate::{bsm_saturate, BsmSaturateConfig, SizeCap};
+use fair_submod_core::algorithms::saturate::{saturate, SaturateConfig};
+use fair_submod_core::algorithms::smsc::{smsc, SmscConfig};
+use fair_submod_core::algorithms::tsgreedy::{bsm_tsgreedy, TsGreedyConfig};
+use fair_submod_datasets::{rand_mc, seeds};
+
+fn bench_bsm_solvers(c: &mut Criterion) {
+    let dataset = rand_mc(2, 500, seeds::RAND);
+    let oracle = dataset.coverage_oracle();
+    let k = 5;
+    let tau = 0.8;
+
+    let mut group = c.benchmark_group("bsm_solvers_mc_rand500");
+    group.bench_function("saturate", |b| {
+        let cfg = SaturateConfig::new(k).approximate_only();
+        b.iter(|| black_box(saturate(&oracle, &cfg)))
+    });
+    group.bench_function("smsc", |b| {
+        b.iter(|| black_box(smsc(&oracle, &SmscConfig::new(k))))
+    });
+    group.bench_function("tsgreedy", |b| {
+        b.iter(|| black_box(bsm_tsgreedy(&oracle, &TsGreedyConfig::new(k, tau))))
+    });
+    group.bench_function("bsm_saturate_cap_k", |b| {
+        b.iter(|| black_box(bsm_saturate(&oracle, &BsmSaturateConfig::new(k, tau))))
+    });
+    group.bench_function("bsm_saturate_cap_theory", |b| {
+        let mut cfg = BsmSaturateConfig::new(k, tau);
+        cfg.size_cap = SizeCap::Theory;
+        b.iter(|| black_box(bsm_saturate(&oracle, &cfg)))
+    });
+    group.finish();
+}
+
+/// Ablations: Saturate budget blow-up and MWU as an alternative robust
+/// solver (DESIGN.md §6).
+fn bench_robust_ablations(c: &mut Criterion) {
+    use fair_submod_core::algorithms::mwu::{mwu_robust, MwuConfig};
+    let dataset = rand_mc(4, 500, seeds::RAND + 1);
+    let oracle = dataset.coverage_oracle();
+    let k = 5;
+
+    let mut group = c.benchmark_group("robust_solvers_mc_rand500_c4");
+    group.bench_function("saturate_budget_1x", |b| {
+        let cfg = SaturateConfig::new(k).approximate_only();
+        b.iter(|| black_box(saturate(&oracle, &cfg)))
+    });
+    group.bench_function("saturate_budget_2x", |b| {
+        let mut cfg = SaturateConfig::new(k).approximate_only();
+        cfg.budget_factor = 2.0;
+        b.iter(|| black_box(saturate(&oracle, &cfg)))
+    });
+    group.bench_function("mwu_30_rounds", |b| {
+        b.iter(|| black_box(mwu_robust(&oracle, &MwuConfig::new(k))))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_bsm_solvers, bench_robust_ablations
+}
+criterion_main!(benches);

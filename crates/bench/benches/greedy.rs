@@ -1,0 +1,41 @@
+//! Microbenchmarks: naive vs lazy-forward vs stochastic greedy — the
+//! ablation behind the paper's "runtime only grows slightly with k"
+//! observation (lazy-forward, \[37\] in the paper).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use fair_submod_core::aggregate::MeanUtility;
+use fair_submod_core::algorithms::greedy::{greedy, GreedyConfig, GreedyVariant};
+use fair_submod_datasets::{rand_mc, seeds};
+
+fn bench_greedy_variants(c: &mut Criterion) {
+    let dataset = rand_mc(2, 500, seeds::RAND);
+    let oracle = dataset.coverage_oracle();
+    let f = MeanUtility::new(500);
+
+    let mut group = c.benchmark_group("greedy_variants_mc_rand500");
+    for k in [5usize, 10, 20] {
+        group.bench_with_input(BenchmarkId::new("naive", k), &k, |b, &k| {
+            b.iter(|| black_box(greedy(&oracle, &f, &GreedyConfig::naive(k))))
+        });
+        group.bench_with_input(BenchmarkId::new("lazy", k), &k, |b, &k| {
+            b.iter(|| black_box(greedy(&oracle, &f, &GreedyConfig::lazy(k))))
+        });
+        group.bench_with_input(BenchmarkId::new("stochastic", k), &k, |b, &k| {
+            let cfg = GreedyConfig {
+                variant: GreedyVariant::Stochastic { sample_size: 100 },
+                seed: 7,
+                ..GreedyConfig::lazy(k)
+            };
+            b.iter(|| black_box(greedy(&oracle, &f, &cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_greedy_variants
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Microbenchmarks: marginal-gain throughput of the three application
+//! oracles (coverage, RIS, facility location).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use fair_submod_core::system::SolutionState;
+use fair_submod_datasets::{rand_fl, rand_mc, seeds};
+use fair_submod_influence::DiffusionModel;
+
+fn bench_oracle_gains(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oracle_group_gains");
+
+    let mc = rand_mc(2, 500, seeds::RAND);
+    let cov = mc.coverage_oracle();
+    group.bench_function("coverage_rand500", |b| {
+        let mut st = SolutionState::new(&cov);
+        st.insert(0);
+        let mut out = vec![0.0; 2];
+        let mut v = 1u32;
+        b.iter(|| {
+            st.gains_into(v % 500, &mut out);
+            v = v.wrapping_add(1);
+            black_box(out[0])
+        })
+    });
+
+    let im = rand_mc(2, 100, seeds::RAND + 2);
+    let ris = im.ris_oracle(DiffusionModel::ic(0.1), 10_000, 3);
+    group.bench_function("ris_rand100_10k_rr", |b| {
+        let mut st = SolutionState::new(&ris);
+        st.insert(0);
+        let mut out = vec![0.0; 2];
+        let mut v = 1u32;
+        b.iter(|| {
+            st.gains_into(v % 100, &mut out);
+            v = v.wrapping_add(1);
+            black_box(out[0])
+        })
+    });
+
+    let fl = rand_fl(2, seeds::FL);
+    let fac = fl.oracle();
+    group.bench_function("facility_rand100", |b| {
+        let mut st = SolutionState::new(&fac);
+        st.insert(0);
+        let mut out = vec![0.0; 2];
+        let mut v = 1u32;
+        b.iter(|| {
+            st.gains_into(v % 100, &mut out);
+            v = v.wrapping_add(1);
+            black_box(out[0])
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_oracle_gains
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Microbenchmarks: RR-set sampling and Monte-Carlo simulation
+//! throughput — the two estimation costs that dominate IM experiments.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use fair_submod_datasets::{rand_mc, seeds};
+use fair_submod_influence::oracle::{RisConfig, RisOracle};
+use fair_submod_influence::{monte_carlo_evaluate, DiffusionModel};
+
+fn bench_ris(c: &mut Criterion) {
+    let dataset = rand_mc(2, 100, seeds::RAND + 2);
+    let model = DiffusionModel::ic(0.1);
+
+    let mut group = c.benchmark_group("ris_and_mc");
+    group.bench_function("generate_5k_rr_sets", |b| {
+        b.iter(|| {
+            black_box(RisOracle::generate(
+                &dataset.graph,
+                model,
+                &dataset.groups,
+                &RisConfig::new(5_000, 11),
+            ))
+        })
+    });
+    group.bench_function("monte_carlo_1k_runs_k5", |b| {
+        b.iter(|| {
+            black_box(monte_carlo_evaluate(
+                &dataset.graph,
+                model,
+                &dataset.groups,
+                &[0, 7, 21, 42, 77],
+                1_000,
+                13,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ris
+}
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Minimal `--key value` CLI parsing shared by the experiment binaries.
+
+/// Parsed common flags.
+#[derive(Clone, Debug)]
+pub struct ExpArgs {
+    /// Coarser sweeps / smaller datasets for smoke runs.
+    pub quick: bool,
+    /// CSV output directory.
+    pub out_dir: String,
+    /// Node count for the Pokec stand-in.
+    pub pokec_nodes: usize,
+    /// Monte-Carlo evaluation runs for IM experiments.
+    pub mc_runs: usize,
+    /// RR sets for the RIS oracle.
+    pub rr_sets: usize,
+}
+
+impl Default for ExpArgs {
+    fn default() -> Self {
+        Self {
+            quick: false,
+            out_dir: "experiments".into(),
+            pokec_nodes: 100_000,
+            mc_runs: 10_000,
+            rr_sets: 20_000,
+        }
+    }
+}
+
+impl ExpArgs {
+    /// Parses `std::env::args()`.
+    pub fn parse() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (testable).
+    pub fn from_iter(args: impl IntoIterator<Item = String>) -> Self {
+        let mut out = Self::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--quick" => {
+                    out.quick = true;
+                    out.pokec_nodes = out.pokec_nodes.min(20_000);
+                    out.mc_runs = out.mc_runs.min(1_000);
+                    out.rr_sets = out.rr_sets.min(5_000);
+                }
+                "--out" => out.out_dir = expect_value(&mut it, "--out"),
+                "--pokec-nodes" => {
+                    out.pokec_nodes = expect_value(&mut it, "--pokec-nodes")
+                        .parse()
+                        .expect("--pokec-nodes takes an integer")
+                }
+                "--mc-runs" => {
+                    out.mc_runs = expect_value(&mut it, "--mc-runs")
+                        .parse()
+                        .expect("--mc-runs takes an integer")
+                }
+                "--rr-sets" => {
+                    out.rr_sets = expect_value(&mut it, "--rr-sets")
+                        .parse()
+                        .expect("--rr-sets takes an integer")
+                }
+                other => panic!("unknown flag {other}"),
+            }
+        }
+        out
+    }
+}
+
+fn expect_value(it: &mut impl Iterator<Item = String>, flag: &str) -> String {
+    it.next().unwrap_or_else(|| panic!("{flag} needs a value"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_and_flags() {
+        let a = ExpArgs::from_iter(Vec::<String>::new());
+        assert!(!a.quick);
+        assert_eq!(a.pokec_nodes, 100_000);
+        let b = ExpArgs::from_iter(
+            ["--quick", "--out", "/tmp/x", "--mc-runs", "123"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert!(b.quick);
+        assert_eq!(b.out_dir, "/tmp/x");
+        assert_eq!(b.mc_runs, 123);
+        assert!(b.pokec_nodes <= 20_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn unknown_flag_panics() {
+        let _ = ExpArgs::from_iter(["--nope".to_string()]);
+    }
+}

@@ -1,0 +1,249 @@
+//! Algorithm suite runner: one call per `(dataset, k, τ)` grid point,
+//! timing every algorithm of the paper's comparison and evaluating
+//! solutions with a caller-provided evaluator (oracle-exact for MC/FL,
+//! Monte-Carlo for IM).
+
+use std::time::Instant;
+
+use fair_submod_core::items::ItemId;
+use fair_submod_core::metrics::Evaluation;
+use fair_submod_core::prelude::*;
+use fair_submod_core::system::UtilitySystem;
+
+/// The algorithms of the paper's comparison (Section 5) plus sanity
+/// baselines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Algo {
+    /// Classic greedy on `f` (fairness-unaware upper anchor for `f`).
+    Greedy,
+    /// Saturate on `g` (fairness-only anchor).
+    Saturate,
+    /// SMSC baseline (only valid when `c = 2`).
+    Smsc,
+    /// BSM-TSGreedy (Algorithm 1).
+    TsGreedy,
+    /// BSM-Saturate (Algorithm 2).
+    BsmSaturate,
+    /// Exact `BSM-Optimal` via submodular branch-and-bound.
+    BsmOptimal,
+    /// Uniform random subset.
+    Random,
+    /// Top-k singleton items by `f`-gain.
+    TopSingletons,
+}
+
+impl Algo {
+    /// Display name matching the paper's legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algo::Greedy => "Greedy",
+            Algo::Saturate => "Saturate",
+            Algo::Smsc => "SMSC",
+            Algo::TsGreedy => "BSM-TSGreedy",
+            Algo::BsmSaturate => "BSM-Saturate",
+            Algo::BsmOptimal => "BSM-Optimal",
+            Algo::Random => "Random",
+            Algo::TopSingletons => "TopSingletons",
+        }
+    }
+}
+
+/// Grid-point configuration for [`run_suite`].
+#[derive(Clone, Debug)]
+pub struct SuiteConfig {
+    /// Cardinality constraint `k`.
+    pub k: usize,
+    /// Balance factor `τ`.
+    pub tau: f64,
+    /// BSM-Saturate's `ε` (paper default 0.05).
+    pub epsilon: f64,
+    /// Algorithms to run.
+    pub algos: Vec<Algo>,
+    /// Node budget for `BSM-Optimal`.
+    pub exact_node_limit: u64,
+    /// Disable Saturate's exact tiny-instance path (to benchmark the
+    /// pure approximation).
+    pub approximate_saturate: bool,
+}
+
+impl SuiteConfig {
+    /// The paper's default comparison at a `(k, τ)` grid point.
+    pub fn paper(k: usize, tau: f64) -> Self {
+        Self {
+            k,
+            tau,
+            epsilon: 0.05,
+            algos: vec![
+                Algo::Greedy,
+                Algo::Saturate,
+                Algo::Smsc,
+                Algo::TsGreedy,
+                Algo::BsmSaturate,
+            ],
+            exact_node_limit: 3_000_000,
+            approximate_saturate: false,
+        }
+    }
+
+    /// Adds `BSM-Optimal` to the comparison.
+    pub fn with_optimal(mut self) -> Self {
+        self.algos.push(Algo::BsmOptimal);
+        self
+    }
+}
+
+/// One measured grid point for one algorithm.
+#[derive(Clone, Debug)]
+pub struct AlgoResult {
+    /// Algorithm display name.
+    pub algo: &'static str,
+    /// `k` of the grid point.
+    pub k: usize,
+    /// `τ` of the grid point.
+    pub tau: f64,
+    /// Utility `f(S)` per the experiment's evaluator.
+    pub f: f64,
+    /// Fairness `g(S)` per the experiment's evaluator.
+    pub g: f64,
+    /// The algorithm's internal `OPT'_g` estimate (0 when not computed).
+    pub opt_g_estimate: f64,
+    /// Whether the weak constraint `g(S) ≥ τ·OPT'_g` holds.
+    pub weakly_feasible: bool,
+    /// Wall-clock seconds for selection (not evaluation).
+    pub seconds: f64,
+    /// Solution size.
+    pub size: usize,
+    /// Whether the algorithm fell back to `S_g`.
+    pub fell_back: bool,
+    /// The chosen items.
+    pub items: Vec<ItemId>,
+}
+
+fn saturate_config(k: usize, approximate: bool) -> SaturateConfig {
+    let cfg = SaturateConfig::new(k);
+    if approximate {
+        cfg.approximate_only()
+    } else {
+        cfg
+    }
+}
+
+/// Runs the configured algorithms on `system`, evaluating each solution
+/// with `evaluator` (pass [`fair_submod_core::metrics::evaluate`] for
+/// oracle-exact applications; a Monte-Carlo closure for IM).
+pub fn run_suite<S: UtilitySystem>(
+    system: &S,
+    evaluator: &dyn Fn(&[ItemId]) -> Evaluation,
+    cfg: &SuiteConfig,
+) -> Vec<AlgoResult> {
+    let mut out = Vec::with_capacity(cfg.algos.len());
+    for &algo in &cfg.algos {
+        if algo == Algo::Smsc && system.num_groups() != 2 {
+            continue; // SMSC is undefined for c ≠ 2, as in the paper.
+        }
+        let start = Instant::now();
+        let (items, opt_g_estimate, fell_back) = match algo {
+            Algo::Greedy => {
+                let f = MeanUtility::new(system.num_users());
+                let run = greedy(system, &f, &GreedyConfig::lazy(cfg.k));
+                (run.items, 0.0, false)
+            }
+            Algo::Saturate => {
+                let run = saturate(system, &saturate_config(cfg.k, cfg.approximate_saturate));
+                (run.items, run.opt_g_estimate, false)
+            }
+            Algo::Smsc => {
+                let run = smsc(system, &SmscConfig::new(cfg.k));
+                (run.items, run.opt_g_estimate, run.fell_back)
+            }
+            Algo::TsGreedy => {
+                let mut tcfg = TsGreedyConfig::new(cfg.k, cfg.tau);
+                tcfg.saturate = saturate_config(cfg.k, cfg.approximate_saturate);
+                let run = bsm_tsgreedy(system, &tcfg);
+                (run.items, run.opt_g_estimate, run.fell_back)
+            }
+            Algo::BsmSaturate => {
+                let mut bcfg =
+                    BsmSaturateConfig::new(cfg.k, cfg.tau).with_epsilon(cfg.epsilon);
+                bcfg.saturate = saturate_config(cfg.k, cfg.approximate_saturate);
+                let run = bsm_saturate(system, &bcfg);
+                (run.items, run.opt_g_estimate, run.fell_back)
+            }
+            Algo::BsmOptimal => {
+                let mut ecfg = ExactConfig::new(cfg.k, cfg.tau);
+                ecfg.node_limit = cfg.exact_node_limit;
+                let run = branch_and_bound_bsm(system, &ecfg);
+                (run.items, run.opt_g, !run.complete)
+            }
+            Algo::Random => {
+                let (items, _) = random_subset(system, cfg.k, 42);
+                (items, 0.0, false)
+            }
+            Algo::TopSingletons => {
+                let f = MeanUtility::new(system.num_users());
+                let (items, _) = top_singletons(system, &f, cfg.k);
+                (items, 0.0, false)
+            }
+        };
+        let seconds = start.elapsed().as_secs_f64();
+        let eval = evaluator(&items);
+        out.push(AlgoResult {
+            algo: algo.name(),
+            k: cfg.k,
+            tau: cfg.tau,
+            f: eval.f,
+            g: eval.g,
+            opt_g_estimate,
+            weakly_feasible: eval.g + 1e-9 >= cfg.tau * opt_g_estimate,
+            seconds,
+            size: eval.size,
+            fell_back,
+            items,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fair_submod_core::metrics::evaluate;
+    use fair_submod_core::toy;
+
+    #[test]
+    fn suite_runs_all_paper_algorithms_on_figure1() {
+        let sys = toy::figure1();
+        let cfg = SuiteConfig::paper(2, 0.5).with_optimal();
+        let results = run_suite(&sys, &|items| evaluate(&sys, items), &cfg);
+        let names: Vec<&str> = results.iter().map(|r| r.algo).collect();
+        assert_eq!(
+            names,
+            vec![
+                "Greedy",
+                "Saturate",
+                "SMSC",
+                "BSM-TSGreedy",
+                "BSM-Saturate",
+                "BSM-Optimal"
+            ]
+        );
+        for r in &results {
+            assert!(r.size <= 2);
+            assert!(r.f >= 0.0 && r.f <= 1.0);
+            assert!(r.seconds >= 0.0);
+        }
+        // Greedy maximizes f among the suite.
+        let greedy_f = results[0].f;
+        for r in &results {
+            assert!(r.f <= greedy_f + 1e-9, "{} beat Greedy on f", r.algo);
+        }
+    }
+
+    #[test]
+    fn smsc_skipped_when_c_not_two() {
+        let sys = toy::random_coverage(10, 30, 3, 0.2, 1);
+        let cfg = SuiteConfig::paper(3, 0.5);
+        let results = run_suite(&sys, &|items| evaluate(&sys, items), &cfg);
+        assert!(results.iter().all(|r| r.algo != "SMSC"));
+    }
+}

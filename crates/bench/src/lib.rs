@@ -1,0 +1,26 @@
+//! # fair-submod-bench
+//!
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (Section 5 and Appendix B). One binary per experiment:
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `table1`, `table2` | dataset statistics |
+//! | `fig3` | MC, vary τ (RAND c=2/c=4, DBLP) incl. `BSM-Optimal` |
+//! | `fig4` | MC, vary k + runtime (Facebook, Pokec) |
+//! | `fig5` | IM, vary τ (RAND c=2/c=4, DBLP) |
+//! | `fig6` | IM, vary k + runtime (Facebook, Pokec) |
+//! | `fig7` | FL, vary τ (RAND c=2/c=3, Adult-Small) incl. `BSM-Optimal` |
+//! | `fig8` | FL, vary k + runtime (Adult, FourSquare) |
+//! | `fig9` | BSM-Saturate, vary ε (Appendix B) |
+//! | `fig10` | MC+IM, vary τ on Facebook (Appendix B) |
+//! | `fig11` | MC+IM, vary k on DBLP (Appendix B) |
+//!
+//! Run with `cargo run -p fair-submod-bench --release --bin fig3`.
+//! Common flags: `--quick` (coarser sweeps), `--out <dir>` (CSV output
+//! directory, default `experiments/`), `--pokec-nodes <n>`,
+//! `--mc-runs <n>` (Monte-Carlo evaluation runs).
+
+pub mod args;
+pub mod harness;
+pub mod report;

@@ -1,0 +1,158 @@
+//! Aligned-table stdout reporting and CSV export.
+
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+use crate::harness::AlgoResult;
+
+/// A simple column-aligned text table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a title and headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row/header mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+        println!();
+    }
+
+    /// Writes CSV into `dir/name.csv` (directory created as needed).
+    pub fn write_csv(&self, dir: &str, name: &str) -> std::io::Result<()> {
+        fs::create_dir_all(dir)?;
+        let path = Path::new(dir).join(format!("{name}.csv"));
+        let mut file = fs::File::create(path)?;
+        writeln!(file, "{}", self.headers.join(","))?;
+        for row in &self.rows {
+            let escaped: Vec<String> = row
+                .iter()
+                .map(|c| {
+                    if c.contains(',') || c.contains('"') {
+                        format!("\"{}\"", c.replace('"', "\"\""))
+                    } else {
+                        c.clone()
+                    }
+                })
+                .collect();
+            writeln!(file, "{}", escaped.join(","))?;
+        }
+        Ok(())
+    }
+}
+
+/// Standard headers for algorithm-comparison tables.
+pub const RESULT_HEADERS: &[&str] = &[
+    "dataset", "algo", "k", "tau", "f(S)", "g(S)", "tau*OPT'_g", "weak_ok", "size", "time_s",
+];
+
+/// Appends suite results to a table with [`RESULT_HEADERS`].
+pub fn push_results(table: &mut Table, dataset: &str, results: &[AlgoResult]) {
+    for r in results {
+        table.push(vec![
+            dataset.to_string(),
+            r.algo.to_string(),
+            r.k.to_string(),
+            format!("{:.2}", r.tau),
+            format!("{:.6}", r.f),
+            format!("{:.6}", r.g),
+            format!("{:.6}", r.tau * r.opt_g_estimate),
+            if r.weakly_feasible { "yes" } else { "NO" }.to_string(),
+            r.size.to_string(),
+            format!("{:.3}", r.seconds),
+        ]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_render_aligns_columns() {
+        let mut t = Table::new("demo", &["a", "bbbb"]);
+        t.push(vec!["1".into(), "2".into()]);
+        t.push(vec!["100".into(), "x".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("a  bbbb"));
+        assert!(s.contains("100     x"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let mut t = Table::new("demo", &["x", "y"]);
+        t.push(vec!["1,5".into(), "ok".into()]);
+        let dir = std::env::temp_dir().join("fair-submod-test-csv");
+        let dir = dir.to_str().unwrap();
+        t.write_csv(dir, "demo").unwrap();
+        let content = std::fs::read_to_string(format!("{dir}/demo.csv")).unwrap();
+        assert!(content.starts_with("x,y\n"));
+        assert!(content.contains("\"1,5\",ok"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row/header mismatch")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("demo", &["a"]);
+        t.push(vec!["1".into(), "2".into()]);
+    }
+}

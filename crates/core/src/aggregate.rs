@@ -1,0 +1,357 @@
+//! Composite objectives over per-group utility sums.
+//!
+//! All objectives of the paper are *aggregates*: pure functions of the
+//! per-group utility sums `σ_i = Σ_{u∈U_i} f_u(S)` maintained by
+//! [`crate::system::SolutionState`]. This file implements:
+//!
+//! | Aggregate | Paper object | Submodular? |
+//! |---|---|---|
+//! | [`MeanUtility`] | `f(S) = (1/m) Σ_u f_u(S)` (Eq. 1) | yes |
+//! | [`GroupMeanUtility`] | `f_i(S) = (1/m_i) Σ_{u∈U_i} f_u(S)` | yes |
+//! | [`MinGroupUtility`] | `g(S) = min_i f_i(S)` (Eq. 2) | **no** (evaluation only) |
+//! | [`TruncatedMean`] | Saturate's `ḡ_t`, TSGreedy's `g'_τ`, SMSC's panel | yes |
+//! | [`BsmObjective`] | BSM-Saturate's `F'_α` (Lemma 4.4) | yes |
+//!
+//! Submodularity of the greedy-optimized aggregates follows because each is
+//! a non-negative linear combination of truncations `min{t, h(S)}` of
+//! monotone submodular functions (Krause & Golovin, 2014); the property
+//! tests in this crate and in the application crates verify it empirically.
+
+/// A scalar objective computed from per-group utility sums.
+///
+/// `sums[i]` is `Σ_{u∈U_i} f_u(S)`; `gains[i]` is the per-group marginal
+/// sum gain of a candidate item. Implementations must be consistent:
+/// `gain(sums, gains) == value(sums ⊕ gains) − value(sums)` up to floating
+/// point error, where `⊕` is element-wise addition.
+pub trait Aggregate {
+    /// Objective value at the solution with per-group sums `sums`.
+    fn value(&self, sums: &[f64]) -> f64;
+
+    /// Marginal objective gain when per-group sums increase by `gains`.
+    fn gain(&self, sums: &[f64], gains: &[f64]) -> f64;
+
+    /// The value at which the objective saturates (cannot increase
+    /// further), if any. Greedy uses this for early termination — e.g.
+    /// `1.0` for [`TruncatedMean`], `2.0` for [`BsmObjective`].
+    fn saturation_value(&self) -> Option<f64> {
+        None
+    }
+}
+
+/// The utility objective `f(S) = (1/m) Σ_{u} f_u(S)` (Eq. 1 of the paper).
+#[derive(Clone, Debug)]
+pub struct MeanUtility {
+    inv_m: f64,
+}
+
+impl MeanUtility {
+    /// Mean utility over `m` users.
+    pub fn new(m: usize) -> Self {
+        assert!(m > 0, "at least one user required");
+        Self {
+            inv_m: 1.0 / m as f64,
+        }
+    }
+}
+
+impl Aggregate for MeanUtility {
+    fn value(&self, sums: &[f64]) -> f64 {
+        sums.iter().sum::<f64>() * self.inv_m
+    }
+
+    fn gain(&self, _sums: &[f64], gains: &[f64]) -> f64 {
+        gains.iter().sum::<f64>() * self.inv_m
+    }
+}
+
+/// A single group's mean utility `f_i(S) = (1/m_i) Σ_{u∈U_i} f_u(S)`.
+///
+/// Used by the SMSC baseline (which maximizes the two group utilities
+/// simultaneously) and by per-group reporting.
+#[derive(Clone, Debug)]
+pub struct GroupMeanUtility {
+    group: usize,
+    inv_mi: f64,
+}
+
+impl GroupMeanUtility {
+    /// Mean utility of group `group` with `m_i = size` users.
+    pub fn new(group: usize, size: usize) -> Self {
+        assert!(size > 0, "group {group} is empty");
+        Self {
+            group,
+            inv_mi: 1.0 / size as f64,
+        }
+    }
+}
+
+impl Aggregate for GroupMeanUtility {
+    fn value(&self, sums: &[f64]) -> f64 {
+        sums[self.group] * self.inv_mi
+    }
+
+    fn gain(&self, _sums: &[f64], gains: &[f64]) -> f64 {
+        gains[self.group] * self.inv_mi
+    }
+}
+
+/// The fairness objective `g(S) = min_i f_i(S)` (Eq. 2 of the paper).
+///
+/// **Not submodular** — this is the entire difficulty of BSM. It is used
+/// for evaluation, for exact solvers, and as the bisection target inside
+/// Saturate, never as a greedy surrogate.
+#[derive(Clone, Debug)]
+pub struct MinGroupUtility {
+    inv_sizes: Vec<f64>,
+}
+
+impl MinGroupUtility {
+    /// Maximin objective over groups with the given sizes.
+    pub fn new(sizes: &[usize]) -> Self {
+        assert!(!sizes.is_empty());
+        Self {
+            inv_sizes: sizes
+                .iter()
+                .map(|&s| {
+                    assert!(s > 0, "empty group");
+                    1.0 / s as f64
+                })
+                .collect(),
+        }
+    }
+}
+
+impl Aggregate for MinGroupUtility {
+    fn value(&self, sums: &[f64]) -> f64 {
+        sums.iter()
+            .zip(&self.inv_sizes)
+            .map(|(&s, &w)| s * w)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    fn gain(&self, sums: &[f64], gains: &[f64]) -> f64 {
+        let after = sums
+            .iter()
+            .zip(gains)
+            .zip(&self.inv_sizes)
+            .map(|((&s, &g), &w)| (s + g) * w)
+            .fold(f64::INFINITY, f64::min);
+        after - self.value(sums)
+    }
+}
+
+/// Truncated mean-utility panel
+/// `(1/c) Σ_i min{1, f_i(S) / t_i}` with per-group thresholds `t_i > 0`.
+///
+/// Three roles in the paper:
+/// * Saturate's inner objective `ḡ_t` (uniform threshold `t`);
+/// * BSM-TSGreedy's `g'_τ` (uniform threshold `τ·OPT'_g`, Alg. 1 line 4);
+/// * the SMSC baseline's simultaneous-maximization panel (per-group
+///   thresholds `β·OPT'_i`).
+///
+/// A non-positive threshold makes that group's term identically `1`
+/// (the constraint is vacuous), matching the `τ → 0` limit of BSM.
+#[derive(Clone, Debug)]
+pub struct TruncatedMean {
+    /// Per-group `1/(m_i · t_i)` scaling, or `None` when the term is
+    /// saturated by definition (`t_i ≤ 0`).
+    scale: Vec<Option<f64>>,
+    inv_c: f64,
+}
+
+impl TruncatedMean {
+    /// Uniform threshold `t` across all groups of the given sizes.
+    pub fn uniform(sizes: &[usize], t: f64) -> Self {
+        Self::per_group(sizes, &vec![t; sizes.len()])
+    }
+
+    /// Per-group thresholds `t_i`.
+    pub fn per_group(sizes: &[usize], thresholds: &[f64]) -> Self {
+        assert_eq!(sizes.len(), thresholds.len());
+        assert!(!sizes.is_empty());
+        let scale = sizes
+            .iter()
+            .zip(thresholds)
+            .map(|(&m_i, &t)| {
+                assert!(m_i > 0, "empty group");
+                (t > 0.0).then(|| 1.0 / (m_i as f64 * t))
+            })
+            .collect();
+        Self {
+            scale,
+            inv_c: 1.0 / sizes.len() as f64,
+        }
+    }
+
+    #[inline]
+    fn term(scale: Option<f64>, sum: f64) -> f64 {
+        match scale {
+            Some(w) => (sum * w).min(1.0),
+            None => 1.0,
+        }
+    }
+}
+
+impl Aggregate for TruncatedMean {
+    fn value(&self, sums: &[f64]) -> f64 {
+        self.scale
+            .iter()
+            .zip(sums)
+            .map(|(&w, &s)| Self::term(w, s))
+            .sum::<f64>()
+            * self.inv_c
+    }
+
+    fn gain(&self, sums: &[f64], gains: &[f64]) -> f64 {
+        let mut delta = 0.0;
+        for ((&w, &s), &g) in self.scale.iter().zip(sums).zip(gains) {
+            delta += Self::term(w, s + g) - Self::term(w, s);
+        }
+        delta * self.inv_c
+    }
+
+    fn saturation_value(&self) -> Option<f64> {
+        Some(1.0)
+    }
+}
+
+/// BSM-Saturate's combined objective (Lemma 4.4 of the paper):
+///
+/// ```text
+/// F'_α(S) = min{1, f(S) / (α·OPT'_f)} + (1/c) Σ_i min{1, f_i(S) / (τ·OPT'_g)}
+/// ```
+///
+/// Monotone and submodular for any `α, τ, OPT'` as a sum of truncations;
+/// saturates at `2`.
+#[derive(Clone, Debug)]
+pub struct BsmObjective {
+    mean: MeanUtility,
+    /// `1/(α·OPT'_f)`, or `None` when the utility term is vacuous.
+    utility_scale: Option<f64>,
+    fairness: TruncatedMean,
+}
+
+impl BsmObjective {
+    /// Builds `F'_α` for `m` users with the given group sizes.
+    ///
+    /// `alpha_opt_f = α·OPT'_f` and `tau_opt_g = τ·OPT'_g` are passed
+    /// pre-multiplied; non-positive values make the corresponding term
+    /// vacuous (identically 1).
+    pub fn new(m: usize, sizes: &[usize], alpha_opt_f: f64, tau_opt_g: f64) -> Self {
+        Self {
+            mean: MeanUtility::new(m),
+            utility_scale: (alpha_opt_f > 0.0).then(|| 1.0 / alpha_opt_f),
+            fairness: TruncatedMean::uniform(sizes, tau_opt_g),
+        }
+    }
+
+    #[inline]
+    fn utility_term(&self, mean_value: f64) -> f64 {
+        match self.utility_scale {
+            Some(w) => (mean_value * w).min(1.0),
+            None => 1.0,
+        }
+    }
+}
+
+impl Aggregate for BsmObjective {
+    fn value(&self, sums: &[f64]) -> f64 {
+        self.utility_term(self.mean.value(sums)) + self.fairness.value(sums)
+    }
+
+    fn gain(&self, sums: &[f64], gains: &[f64]) -> f64 {
+        let before = self.utility_term(self.mean.value(sums));
+        let after = self.utility_term(self.mean.value(sums) + self.mean.gain(sums, gains));
+        (after - before) + self.fairness.gain(sums, gains)
+    }
+
+    fn saturation_value(&self) -> Option<f64> {
+        Some(2.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SUMS: [f64; 2] = [5.0, 2.0];
+    const GAINS: [f64; 2] = [1.0, 3.0];
+
+    fn check_gain_consistency(agg: &impl Aggregate, sums: &[f64], gains: &[f64]) {
+        let after: Vec<f64> = sums.iter().zip(gains).map(|(s, g)| s + g).collect();
+        let expected = agg.value(&after) - agg.value(sums);
+        let got = agg.gain(sums, gains);
+        assert!(
+            (expected - got).abs() < 1e-12,
+            "gain inconsistent: {got} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn mean_utility_values() {
+        let f = MeanUtility::new(10);
+        assert!((f.value(&SUMS) - 0.7).abs() < 1e-12);
+        check_gain_consistency(&f, &SUMS, &GAINS);
+    }
+
+    #[test]
+    fn group_mean_values() {
+        let f1 = GroupMeanUtility::new(0, 5);
+        assert!((f1.value(&SUMS) - 1.0).abs() < 1e-12);
+        let f2 = GroupMeanUtility::new(1, 4);
+        assert!((f2.value(&SUMS) - 0.5).abs() < 1e-12);
+        check_gain_consistency(&f1, &SUMS, &GAINS);
+    }
+
+    #[test]
+    fn min_group_values() {
+        let g = MinGroupUtility::new(&[5, 4]);
+        assert!((g.value(&SUMS) - 0.5).abs() < 1e-12);
+        check_gain_consistency(&g, &SUMS, &GAINS);
+    }
+
+    #[test]
+    fn truncated_mean_saturates() {
+        let t = TruncatedMean::uniform(&[5, 4], 0.6);
+        // group means: 1.0 and 0.5; terms: min(1, 1/0.6)=1, min(1, 0.5/0.6)=5/6
+        let expect = 0.5 * (1.0 + 0.5 / 0.6);
+        assert!((t.value(&SUMS) - expect).abs() < 1e-12);
+        assert_eq!(t.saturation_value(), Some(1.0));
+        check_gain_consistency(&t, &SUMS, &GAINS);
+    }
+
+    #[test]
+    fn truncated_mean_zero_threshold_is_vacuous() {
+        let t = TruncatedMean::uniform(&[5, 4], 0.0);
+        assert!((t.value(&[0.0, 0.0]) - 1.0).abs() < 1e-12);
+        assert!((t.gain(&[0.0, 0.0], &GAINS)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn truncated_mean_per_group_thresholds() {
+        let t = TruncatedMean::per_group(&[5, 4], &[2.0, 0.25]);
+        // terms: min(1, 1.0/2.0)=0.5, min(1, 0.5/0.25)=1
+        assert!((t.value(&SUMS) - 0.75).abs() < 1e-12);
+        check_gain_consistency(&t, &SUMS, &GAINS);
+    }
+
+    #[test]
+    fn bsm_objective_combines_terms() {
+        // m=9, f = 7/9; utility term min(1, (7/9)/0.5)=1.
+        let obj = BsmObjective::new(9, &[5, 4], 0.5, 0.6);
+        let fair = TruncatedMean::uniform(&[5, 4], 0.6);
+        assert!((obj.value(&SUMS) - (1.0 + fair.value(&SUMS))).abs() < 1e-12);
+        assert_eq!(obj.saturation_value(), Some(2.0));
+        check_gain_consistency(&obj, &SUMS, &GAINS);
+        // Unsaturated utility term.
+        let obj2 = BsmObjective::new(9, &[5, 4], 2.0, 0.6);
+        assert!((obj2.value(&SUMS) - ((7.0 / 9.0) / 2.0 + fair.value(&SUMS))).abs() < 1e-12);
+        check_gain_consistency(&obj2, &SUMS, &GAINS);
+    }
+
+    #[test]
+    fn bsm_objective_vacuous_terms() {
+        let obj = BsmObjective::new(9, &[5, 4], 0.0, 0.0);
+        assert!((obj.value(&[0.0, 0.0]) - 2.0).abs() < 1e-12);
+    }
+}

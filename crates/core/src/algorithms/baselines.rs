@@ -1,0 +1,79 @@
+//! Trivial baselines: uniform random selection and top-`k` singletons.
+//!
+//! Not part of the paper's comparison table, but standard sanity anchors
+//! for the benchmark harness and useful to demonstrate that the greedy
+//! family actually earns its keep.
+
+use rand::rngs::StdRng;
+use rand::seq::index::sample;
+use rand::SeedableRng;
+
+use crate::aggregate::Aggregate;
+use crate::items::ItemId;
+use crate::metrics::{evaluate, Evaluation};
+use crate::system::{SolutionState, UtilitySystem};
+
+/// Uniformly random size-`k` subset of the ground set.
+pub fn random_subset<S: UtilitySystem>(system: &S, k: usize, seed: u64) -> (Vec<ItemId>, Evaluation) {
+    let n = system.num_items();
+    let k = k.min(n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let items: Vec<ItemId> = sample(&mut rng, n, k).iter().map(|i| i as ItemId).collect();
+    let eval = evaluate(system, &items);
+    (items, eval)
+}
+
+/// The `k` items with the largest *singleton* aggregate values
+/// (ignores interactions — the classic "top individuals" heuristic).
+pub fn top_singletons<S: UtilitySystem, A: Aggregate>(
+    system: &S,
+    aggregate: &A,
+    k: usize,
+) -> (Vec<ItemId>, Evaluation) {
+    let n = system.num_items();
+    let mut state = SolutionState::new(system);
+    let mut scored: Vec<(f64, ItemId)> = (0..n as ItemId)
+        .map(|v| (state.gain(aggregate, v), v))
+        .collect();
+    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+    let items: Vec<ItemId> = scored.iter().take(k).map(|&(_, v)| v).collect();
+    let eval = evaluate(system, &items);
+    (items, eval)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::MeanUtility;
+    use crate::algorithms::greedy::{greedy, GreedyConfig};
+    use crate::toy;
+
+    #[test]
+    fn random_subset_is_deterministic_per_seed() {
+        let sys = toy::random_coverage(30, 60, 2, 0.1, 1);
+        let (a, _) = random_subset(&sys, 5, 42);
+        let (b, _) = random_subset(&sys, 5, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+    }
+
+    #[test]
+    fn greedy_beats_random_and_singletons() {
+        let sys = toy::random_coverage(40, 100, 2, 0.08, 3);
+        let f = MeanUtility::new(sys.num_users());
+        let g = greedy(&sys, &f, &GreedyConfig::lazy(6));
+        let (_, rand_eval) = random_subset(&sys, 6, 7);
+        let (_, top_eval) = top_singletons(&sys, &f, 6);
+        assert!(g.value + 1e-9 >= top_eval.f);
+        assert!(g.value + 1e-9 >= rand_eval.f);
+    }
+
+    #[test]
+    fn top_singletons_orders_by_marginal_value() {
+        let sys = toy::figure1();
+        let f = MeanUtility::new(sys.num_users());
+        let (items, _) = top_singletons(&sys, &f, 2);
+        // Singleton coverages: v1=5, v2=4, v3=3, v4=2.
+        assert_eq!(items, vec![0, 1]);
+    }
+}

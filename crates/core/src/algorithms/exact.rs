@@ -1,0 +1,498 @@
+//! Exact BSM solvers: brute-force enumeration and submodular
+//! branch-and-bound (**BSM-Optimal** in the experiments).
+//!
+//! The paper obtains optima on small MC/FL instances via ILP (Gurobi,
+//! Appendix A); we provide two self-contained exact routes:
+//!
+//! 1. [`brute_force_bsm`] — full `C(n,k)` enumeration, the ground truth
+//!    for everything else (tiny instances only).
+//! 2. [`branch_and_bound_bsm`] — DFS over include/exclude decisions with
+//!    submodular upper bounds: at a node with solution `S` and `r` slots
+//!    left, `f` is bounded by `f(S)` plus the top-`r` singleton marginal
+//!    gains (valid by submodularity and monotonicity), and `g`'s
+//!    reachability by the per-group analogue. A greedy warm start makes
+//!    the `f`-bound prune aggressively.
+//!
+//! The BSM pipeline solves two exact problems, mirroring Appendix A:
+//! first `OPT_g = max_{|S|=k} g(S)`, then `max f(S)` subject to
+//! `g(S) ≥ τ·OPT_g`. An independent ILP formulation (crate
+//! `fair-submod-lp`) is cross-validated against these in the integration
+//! tests.
+
+use crate::aggregate::{MeanUtility, MinGroupUtility};
+use crate::items::{for_each_subset, ItemId};
+use crate::metrics::{evaluate, Evaluation};
+use crate::system::{SolutionState, UtilitySystem};
+
+use super::greedy::{greedy, GreedyConfig};
+
+/// Configuration for the exact solvers.
+#[derive(Clone, Debug)]
+pub struct ExactConfig {
+    /// Cardinality constraint `k`.
+    pub k: usize,
+    /// Balance factor `τ`.
+    pub tau: f64,
+    /// Branch-and-bound node budget (an *include-node* is counted each
+    /// time an item is added along the DFS). Exceeding it aborts with
+    /// [`BsmOptimal::complete`] `= false`.
+    pub node_limit: u64,
+}
+
+impl ExactConfig {
+    /// Defaults: 5 million include-nodes.
+    pub fn new(k: usize, tau: f64) -> Self {
+        Self {
+            k,
+            tau,
+            node_limit: 5_000_000,
+        }
+    }
+}
+
+/// Result of an exact BSM solve.
+#[derive(Clone, Debug)]
+pub struct BsmOptimal {
+    /// Optimal (or best-found, if `!complete`) solution.
+    pub items: Vec<ItemId>,
+    /// Evaluation of `items`.
+    pub eval: Evaluation,
+    /// Exact `OPT_g` (optimal maximin value at cardinality `k`).
+    pub opt_g: f64,
+    /// Whether a feasible solution exists for the constraint
+    /// `g(S) ≥ τ·OPT_g` (always true when `OPT_g` is exact: its argmax
+    /// is feasible).
+    pub feasible: bool,
+    /// Whether the search ran to completion (false = node budget hit;
+    /// the result is then only a lower bound).
+    pub complete: bool,
+    /// Include-nodes explored across both phases.
+    pub nodes: u64,
+}
+
+/// Maximizes an aggregate exactly over all size-`k` subsets by brute
+/// force. Returns `(best_items, best_value)`.
+pub fn brute_force_max<S: UtilitySystem, A: crate::aggregate::Aggregate>(
+    system: &S,
+    aggregate: &A,
+    k: usize,
+) -> (Vec<ItemId>, f64) {
+    let n = system.num_items();
+    let k = k.min(n);
+    let mut best_items = Vec::new();
+    let mut best_value = f64::NEG_INFINITY;
+    for_each_subset(n, k, |subset| {
+        let mut st = SolutionState::new(system);
+        st.insert_all(subset);
+        let value = st.value(aggregate);
+        if value > best_value + 1e-15 {
+            best_value = value;
+            best_items = subset.to_vec();
+        }
+        true
+    });
+    (best_items, best_value)
+}
+
+/// Brute-force BSM: exact `OPT_g`, then exact constrained `f`-maximum.
+///
+/// Only for tiny instances (`C(n,k)` subsets are enumerated twice).
+pub fn brute_force_bsm<S: UtilitySystem>(system: &S, k: usize, tau: f64) -> BsmOptimal {
+    let g = MinGroupUtility::new(system.group_sizes());
+    let f = MeanUtility::new(system.num_users());
+    let (_, opt_g) = brute_force_max(system, &g, k);
+    let bound = tau * opt_g - 1e-9;
+
+    let n = system.num_items();
+    let mut best_items = Vec::new();
+    let mut best_f = f64::NEG_INFINITY;
+    for_each_subset(n, k.min(n), |subset| {
+        let mut st = SolutionState::new(system);
+        st.insert_all(subset);
+        if st.value(&g) >= bound {
+            let value = st.value(&f);
+            if value > best_f + 1e-15 {
+                best_f = value;
+                best_items = subset.to_vec();
+            }
+        }
+        true
+    });
+    let feasible = best_f > f64::NEG_INFINITY;
+    let eval = evaluate(system, &best_items);
+    BsmOptimal {
+        items: best_items,
+        eval,
+        opt_g,
+        feasible,
+        complete: true,
+        nodes: 0,
+    }
+}
+
+/// What the branch-and-bound is maximizing.
+enum Target {
+    /// `f(S)` subject to `g(S) ≥ g_floor`.
+    Utility { g_floor: f64 },
+    /// `g(S)` (maximin), unconstrained.
+    Fairness,
+}
+
+struct Search<'a, S: UtilitySystem> {
+    _marker: std::marker::PhantomData<&'a S>,
+    order: Vec<ItemId>,
+    k: usize,
+    inv_m: f64,
+    inv_sizes: Vec<f64>,
+    target: Target,
+    best_value: f64,
+    best_items: Vec<ItemId>,
+    nodes: u64,
+    node_limit: u64,
+    aborted: bool,
+}
+
+impl<'a, S: UtilitySystem> Search<'a, S> {
+    fn g_of(&self, sums: &[f64]) -> f64 {
+        sums.iter()
+            .zip(&self.inv_sizes)
+            .map(|(&s, &w)| s * w)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    fn f_of(&self, sums: &[f64]) -> f64 {
+        sums.iter().sum::<f64>() * self.inv_m
+    }
+
+    /// DFS from `start` over `self.order`, with `state` holding the
+    /// current partial solution and `gains[i]` the per-group gain vectors
+    /// of all candidates (refreshed after every include).
+    fn dfs(&mut self, state: &mut SolutionState<'a, S>, start: usize, gains: &[Vec<f64>]) {
+        if self.aborted {
+            return;
+        }
+        let r = self.k - state.len();
+        if r == 0 {
+            self.offer(state);
+            return;
+        }
+        let n_rem = self.order.len() - start;
+        if n_rem < r {
+            return; // cannot reach |S| = k
+        }
+
+        // Upper bounds from the current (valid, possibly stale) gains.
+        if !self.bounds_admit(state, start, r, gains) {
+            return;
+        }
+
+        for i in start..self.order.len() {
+            if self.order.len() - i < r {
+                break;
+            }
+            if self.aborted {
+                return;
+            }
+            let v = self.order[i];
+            // Include v.
+            self.nodes += 1;
+            if self.nodes > self.node_limit {
+                self.aborted = true;
+                return;
+            }
+            let mut child = state.clone();
+            child.insert(v);
+            // Refresh gains for the child's deeper candidates.
+            let child_gains: Vec<Vec<f64>> = self
+                .order
+                .iter()
+                .enumerate()
+                .map(|(j, &u)| {
+                    if j > i {
+                        let mut out = vec![0.0; child.group_sums().len()];
+                        child.gains_into(u, &mut out);
+                        out
+                    } else {
+                        Vec::new()
+                    }
+                })
+                .collect();
+            if self.k == child.len() {
+                self.offer(&child);
+            } else if self.bounds_admit(&child, i + 1, self.k - child.len(), &child_gains) {
+                self.dfs(&mut child, i + 1, &child_gains);
+            }
+            // Exclude v: continue the loop (same state, same gains).
+            // Re-check the bound without v in the pool.
+        }
+    }
+
+    /// Checks the submodular upper bounds at a node; returns false if the
+    /// node can be pruned.
+    fn bounds_admit(
+        &self,
+        state: &SolutionState<'a, S>,
+        start: usize,
+        r: usize,
+        gains: &[Vec<f64>],
+    ) -> bool {
+        let sums = state.group_sums();
+        let c = sums.len();
+
+        // Top-r total gains for the f bound.
+        let mut totals: Vec<f64> = (start..self.order.len())
+            .map(|j| gains[j].iter().sum::<f64>())
+            .collect();
+        totals.sort_unstable_by(|a, b| b.partial_cmp(a).unwrap());
+        let f_ub = self.f_of(sums) + totals.iter().take(r).sum::<f64>() * self.inv_m;
+
+        // Per-group top-r gains for the g bound.
+        let mut g_ub = f64::INFINITY;
+        let mut buf: Vec<f64> = Vec::with_capacity(self.order.len() - start);
+        for gi in 0..c {
+            buf.clear();
+            buf.extend((start..self.order.len()).map(|j| gains[j][gi]));
+            buf.sort_unstable_by(|a, b| b.partial_cmp(a).unwrap());
+            let reach = sums[gi] + buf.iter().take(r).sum::<f64>();
+            g_ub = g_ub.min(reach * self.inv_sizes[gi]);
+        }
+
+        match &self.target {
+            Target::Utility { g_floor } => {
+                if g_ub < *g_floor - 1e-9 {
+                    return false; // constraint unreachable
+                }
+                f_ub > self.best_value + 1e-12
+            }
+            Target::Fairness => g_ub > self.best_value + 1e-12,
+        }
+    }
+
+    fn offer(&mut self, state: &SolutionState<'a, S>) {
+        let sums = state.group_sums();
+        match &self.target {
+            Target::Utility { g_floor } => {
+                if self.g_of(sums) >= *g_floor - 1e-9 {
+                    let value = self.f_of(sums);
+                    if value > self.best_value + 1e-12 {
+                        self.best_value = value;
+                        self.best_items = state.items().to_vec();
+                    }
+                }
+            }
+            Target::Fairness => {
+                let value = self.g_of(sums);
+                if value > self.best_value + 1e-12 {
+                    self.best_value = value;
+                    self.best_items = state.items().to_vec();
+                }
+            }
+        }
+    }
+}
+
+fn run_search<S: UtilitySystem>(
+    system: &S,
+    k: usize,
+    target: Target,
+    warm_value: f64,
+    warm_items: Vec<ItemId>,
+    node_limit: u64,
+) -> (Vec<ItemId>, f64, u64, bool) {
+    // Order items by singleton total gain, descending — greedy-like order
+    // tightens the bounds early.
+    let c = system.num_groups();
+    let mut state = SolutionState::new(system);
+    let mut singles: Vec<(f64, ItemId)> = (0..system.num_items() as ItemId)
+        .map(|v| {
+            let mut out = vec![0.0; c];
+            state.gains_into(v, &mut out);
+            (out.iter().sum::<f64>(), v)
+        })
+        .collect();
+    singles.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+    let order: Vec<ItemId> = singles.into_iter().map(|(_, v)| v).collect();
+
+    let root_gains: Vec<Vec<f64>> = order
+        .iter()
+        .map(|&v| {
+            let mut out = vec![0.0; c];
+            state.gains_into(v, &mut out);
+            out
+        })
+        .collect();
+
+    let mut search = Search {
+        _marker: std::marker::PhantomData,
+        order,
+        k,
+        inv_m: 1.0 / system.num_users() as f64,
+        inv_sizes: system
+            .group_sizes()
+            .iter()
+            .map(|&s| 1.0 / s as f64)
+            .collect(),
+        target,
+        best_value: warm_value,
+        best_items: warm_items,
+        nodes: 0,
+        node_limit,
+        aborted: false,
+    };
+    let mut root = SolutionState::new(system);
+    search.dfs(&mut root, 0, &root_gains);
+    (
+        search.best_items,
+        search.best_value,
+        search.nodes,
+        !search.aborted,
+    )
+}
+
+/// Exact BSM via submodular branch-and-bound (`BSM-Optimal`).
+///
+/// Phase 1 computes `OPT_g` exactly; phase 2 maximizes `f` under
+/// `g ≥ τ·OPT_g`. Warm starts come from Saturate-like greedy runs so the
+/// bounds prune from the first node.
+pub fn branch_and_bound_bsm<S: UtilitySystem>(system: &S, cfg: &ExactConfig) -> BsmOptimal {
+    let k = cfg.k.min(system.num_items());
+    let f = MeanUtility::new(system.num_users());
+    let g = MinGroupUtility::new(system.group_sizes());
+
+    // Phase 1: OPT_g. Warm start from Saturate (approximate path, cheap).
+    let sat = super::saturate::saturate(
+        system,
+        &super::saturate::SaturateConfig::new(k).approximate_only(),
+    );
+    let sat_eval = evaluate(system, &sat.items);
+    let warm_g_items = if sat.items.len() == k {
+        sat.items.clone()
+    } else {
+        Vec::new()
+    };
+    let warm_g = if sat.items.len() == k {
+        sat_eval.g - 1e-12
+    } else {
+        f64::NEG_INFINITY
+    };
+    let (g_items, opt_g, nodes_g, complete_g) =
+        run_search(system, k, Target::Fairness, warm_g, warm_g_items, cfg.node_limit);
+    let opt_g = opt_g.max(0.0);
+
+    // Phase 2: max f subject to g ≥ τ·OPT_g.
+    let g_floor = cfg.tau * opt_g;
+    // Warm start: the greedy-for-f solution if feasible, else the OPT_g set.
+    let greedy_f = greedy(system, &f, &GreedyConfig::lazy(k));
+    let greedy_eval = evaluate(system, &greedy_f.items);
+    let (warm_items, warm_f) = if greedy_f.items.len() == k && greedy_eval.g >= g_floor - 1e-9 {
+        (greedy_f.items.clone(), greedy_eval.f - 1e-12)
+    } else if g_items.len() == k {
+        let e = evaluate(system, &g_items);
+        (g_items.clone(), e.f - 1e-12)
+    } else {
+        (Vec::new(), f64::NEG_INFINITY)
+    };
+    let (items, best_f, nodes_f, complete_f) = run_search(
+        system,
+        k,
+        Target::Utility { g_floor },
+        warm_f,
+        warm_items,
+        cfg.node_limit,
+    );
+    let feasible = best_f > f64::NEG_INFINITY && !items.is_empty();
+    let eval = evaluate(system, &items);
+    let _ = g;
+    BsmOptimal {
+        items,
+        eval,
+        opt_g,
+        feasible,
+        complete: complete_g && complete_f,
+        nodes: nodes_g + nodes_f,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy;
+
+    #[test]
+    fn figure1_bsm_optimal_matches_example() {
+        // Example 3.1: τ ∈ (0, 0.6] → S13 = {v1, v3}; τ ∈ (0.6, 1] → S14.
+        let sys = toy::figure1();
+        let low = branch_and_bound_bsm(&sys, &ExactConfig::new(2, 0.3));
+        assert_eq!(low.eval.size, 2);
+        let mut items = low.items.clone();
+        items.sort_unstable();
+        assert_eq!(items, vec![0, 2]);
+        assert!((low.opt_g - 5.0 / 9.0).abs() < 1e-9);
+
+        let high = branch_and_bound_bsm(&sys, &ExactConfig::new(2, 0.8));
+        let mut items = high.items.clone();
+        items.sort_unstable();
+        assert_eq!(items, vec![0, 3]);
+
+        let free = branch_and_bound_bsm(&sys, &ExactConfig::new(2, 0.0));
+        let mut items = free.items.clone();
+        items.sort_unstable();
+        assert_eq!(items, vec![0, 1]);
+        assert!((free.eval.f - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn branch_and_bound_agrees_with_brute_force() {
+        for seed in 1..6u64 {
+            let sys = toy::random_coverage(12, 40, 3, 0.15, seed);
+            for tau in [0.0, 0.4, 0.8, 1.0] {
+                let bf = brute_force_bsm(&sys, 4, tau);
+                let bb = branch_and_bound_bsm(&sys, &ExactConfig::new(4, tau));
+                assert!(bb.complete);
+                assert!(
+                    (bf.opt_g - bb.opt_g).abs() < 1e-9,
+                    "seed {seed} tau {tau}: OPT_g {} vs {}",
+                    bf.opt_g,
+                    bb.opt_g
+                );
+                assert!(
+                    (bf.eval.f - bb.eval.f).abs() < 1e-9,
+                    "seed {seed} tau {tau}: f {} vs {}",
+                    bf.eval.f,
+                    bb.eval.f
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn optimum_dominates_greedy_algorithms() {
+        use crate::algorithms::bsm_saturate::{bsm_saturate, BsmSaturateConfig};
+        use crate::algorithms::tsgreedy::{bsm_tsgreedy, TsGreedyConfig};
+        let sys = toy::random_coverage(14, 50, 2, 0.12, 9);
+        let tau = 0.6;
+        let opt = branch_and_bound_bsm(&sys, &ExactConfig::new(4, tau));
+        assert!(opt.complete && opt.feasible);
+        let ts = bsm_tsgreedy(&sys, &TsGreedyConfig::new(4, tau));
+        let sat = bsm_saturate(&sys, &BsmSaturateConfig::new(4, tau));
+        // Any approximate solution that satisfies the *true* constraint
+        // cannot beat the optimum.
+        if ts.eval.g >= tau * opt.opt_g - 1e-9 {
+            assert!(ts.eval.f <= opt.eval.f + 1e-9);
+        }
+        if sat.eval.g >= tau * opt.opt_g - 1e-9 {
+            assert!(sat.eval.f <= opt.eval.f + 1e-9);
+        }
+    }
+
+    #[test]
+    fn node_limit_aborts_gracefully() {
+        let sys = toy::random_coverage(20, 60, 2, 0.1, 4);
+        let mut cfg = ExactConfig::new(6, 0.5);
+        cfg.node_limit = 3;
+        let out = branch_and_bound_bsm(&sys, &cfg);
+        assert!(!out.complete);
+        // Warm starts guarantee a usable solution even on abort.
+        assert_eq!(out.items.len(), 6);
+    }
+}

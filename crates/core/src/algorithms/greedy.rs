@@ -1,0 +1,458 @@
+//! Greedy maximization of a monotone submodular aggregate under a
+//! cardinality constraint, with three evaluation strategies.
+//!
+//! * **Naive** — evaluates every candidate each round: `O(nk)` oracle
+//!   calls, the reference implementation.
+//! * **Lazy** (lazy-forward, Leskovec et al. 2007) — keeps stale upper
+//!   bounds in a max-heap and re-evaluates only the top candidate;
+//!   valid because marginal gains of a submodular function only shrink.
+//!   The paper uses this strategy for *all* algorithms in its experiments.
+//! * **Stochastic** (Mirzasoleiman et al. 2015) — each round evaluates a
+//!   random sample of `⌈(n/k)·ln(1/δ)⌉` candidates, giving
+//!   `(1 − 1/e − δ)` expected quality at `O(n log(1/δ))` total calls.
+//!
+//! The same routine doubles as greedy **submodular cover** (Wolsey 1982)
+//! through [`GreedyConfig::stop_at`]: stop as soon as the aggregate value
+//! reaches a target, or at the cardinality cap, whichever comes first.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::aggregate::Aggregate;
+use crate::items::ItemId;
+use crate::system::{SolutionState, UtilitySystem};
+
+/// Candidate evaluation strategy for [`greedy`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum GreedyVariant {
+    /// Evaluate every candidate every round.
+    Naive,
+    /// Lazy-forward: re-evaluate only the heap top (default everywhere,
+    /// as in the paper's experiments).
+    Lazy,
+    /// Evaluate a uniform random sample of `sample_size` candidates per
+    /// round (sampling without replacement, fresh each round).
+    Stochastic { sample_size: usize },
+}
+
+/// Configuration for [`greedy`].
+#[derive(Clone, Debug)]
+pub struct GreedyConfig {
+    /// Cardinality constraint `k` (maximum number of items to pick).
+    pub k: usize,
+    /// Evaluation strategy.
+    pub variant: GreedyVariant,
+    /// Optional cover-mode target: stop once the aggregate value is
+    /// `≥ stop_at − stop_slack`.
+    pub stop_at: Option<f64>,
+    /// Numerical slack for `stop_at` comparisons.
+    pub stop_slack: f64,
+    /// Seed for the stochastic variant.
+    pub seed: u64,
+}
+
+impl GreedyConfig {
+    /// Standard lazy greedy with cardinality `k`.
+    pub fn lazy(k: usize) -> Self {
+        Self {
+            k,
+            variant: GreedyVariant::Lazy,
+            stop_at: None,
+            stop_slack: 1e-9,
+            seed: 0,
+        }
+    }
+
+    /// Naive greedy with cardinality `k`.
+    pub fn naive(k: usize) -> Self {
+        Self {
+            variant: GreedyVariant::Naive,
+            ..Self::lazy(k)
+        }
+    }
+
+    /// Cover mode: grow until `value ≥ target` or `max_size` items.
+    pub fn cover(target: f64, max_size: usize) -> Self {
+        Self {
+            stop_at: Some(target),
+            ..Self::lazy(max_size)
+        }
+    }
+
+    /// Cover mode with an explicit greedy variant.
+    pub fn cover_with(target: f64, max_size: usize, variant: GreedyVariant) -> Self {
+        Self {
+            variant,
+            ..Self::cover(target, max_size)
+        }
+    }
+}
+
+/// Result of a greedy run.
+#[derive(Clone, Debug)]
+pub struct GreedyOutcome {
+    /// Chosen items in insertion order.
+    pub items: Vec<ItemId>,
+    /// Aggregate value after each insertion (`trajectory.len() == items.len()`).
+    pub trajectory: Vec<f64>,
+    /// Final aggregate value.
+    pub value: f64,
+    /// Whether a `stop_at` target (or the aggregate's saturation value)
+    /// was reached.
+    pub reached_target: bool,
+    /// Oracle (`group_gains`) evaluations performed.
+    pub oracle_calls: u64,
+}
+
+impl GreedyOutcome {
+    fn from_state<S: UtilitySystem>(
+        state: &SolutionState<'_, S>,
+        trajectory: Vec<f64>,
+        value: f64,
+        reached_target: bool,
+    ) -> Self {
+        Self {
+            items: state.items().to_vec(),
+            trajectory,
+            value,
+            reached_target,
+            oracle_calls: state.oracle_calls(),
+        }
+    }
+}
+
+/// Max-heap entry for lazy-forward: stale upper bound on an item's gain.
+struct HeapEntry {
+    bound: f64,
+    item: ItemId,
+    round: usize,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound && self.item == other.item
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap on bound; ties broken toward the smaller item id so the
+        // lazy variant matches the naive variant's deterministic argmax.
+        self.bound
+            .partial_cmp(&other.bound)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.item.cmp(&self.item))
+    }
+}
+
+/// Runs greedy maximization of `aggregate` over `system`.
+///
+/// Stops when `cfg.k` items are chosen, when no candidate has positive
+/// gain, or when a `stop_at`/saturation target is reached.
+///
+/// ```
+/// use fair_submod_core::prelude::*;
+/// use fair_submod_core::toy;
+///
+/// let system = toy::figure1();
+/// let f = MeanUtility::new(system.num_users());
+/// let run = greedy(&system, &f, &GreedyConfig::lazy(2));
+/// assert_eq!(run.items, vec![0, 1]); // {v1, v2}, f = 0.75
+/// assert!((run.value - 0.75).abs() < 1e-12);
+/// ```
+pub fn greedy<S: UtilitySystem, A: Aggregate>(
+    system: &S,
+    aggregate: &A,
+    cfg: &GreedyConfig,
+) -> GreedyOutcome {
+    let mut state = SolutionState::new(system);
+    
+    greedy_into(&mut state, aggregate, cfg)
+}
+
+/// Runs greedy starting from an existing (possibly non-empty) state —
+/// used by the two-stage algorithms. See [`greedy`].
+pub fn greedy_into<S: UtilitySystem, A: Aggregate>(
+    state: &mut SolutionState<'_, S>,
+    aggregate: &A,
+    cfg: &GreedyConfig,
+) -> GreedyOutcome {
+    let target = effective_target(aggregate, cfg);
+    match cfg.variant {
+        GreedyVariant::Naive => greedy_naive(state, aggregate, cfg, target),
+        GreedyVariant::Lazy => greedy_lazy(state, aggregate, cfg, target),
+        GreedyVariant::Stochastic { sample_size } => {
+            greedy_stochastic(state, aggregate, cfg, target, sample_size)
+        }
+    }
+}
+
+fn effective_target<A: Aggregate>(aggregate: &A, cfg: &GreedyConfig) -> Option<f64> {
+    match (cfg.stop_at, aggregate.saturation_value()) {
+        (Some(t), Some(s)) => Some(t.min(s)),
+        (Some(t), None) => Some(t),
+        (None, Some(s)) => Some(s),
+        (None, None) => None,
+    }
+}
+
+fn target_reached(value: f64, target: Option<f64>, slack: f64) -> bool {
+    matches!(target, Some(t) if value + slack >= t)
+}
+
+fn greedy_naive<S: UtilitySystem, A: Aggregate>(
+    state: &mut SolutionState<'_, S>,
+    aggregate: &A,
+    cfg: &GreedyConfig,
+    target: Option<f64>,
+) -> GreedyOutcome {
+    let n = state.system().num_items();
+    let mut trajectory = Vec::with_capacity(cfg.k);
+    let mut value = state.value(aggregate);
+    let mut reached = target_reached(value, target, cfg.stop_slack);
+    while state.len() < cfg.k && !reached {
+        let mut best: Option<(f64, ItemId)> = None;
+        for v in 0..n as ItemId {
+            if state.contains(v) {
+                continue;
+            }
+            let gain = state.gain(aggregate, v);
+            let better = match best {
+                None => true,
+                Some((bg, _)) => gain > bg + 1e-15,
+            };
+            if better {
+                best = Some((gain, v));
+            }
+        }
+        match best {
+            Some((gain, v)) if gain > 1e-15 => {
+                state.insert(v);
+                value = state.value(aggregate);
+                trajectory.push(value);
+                reached = target_reached(value, target, cfg.stop_slack);
+            }
+            _ => break,
+        }
+    }
+    GreedyOutcome::from_state(state, trajectory, value, reached)
+}
+
+fn greedy_lazy<S: UtilitySystem, A: Aggregate>(
+    state: &mut SolutionState<'_, S>,
+    aggregate: &A,
+    cfg: &GreedyConfig,
+    target: Option<f64>,
+) -> GreedyOutcome {
+    let n = state.system().num_items();
+    let mut trajectory = Vec::with_capacity(cfg.k);
+    let mut value = state.value(aggregate);
+    let mut reached = target_reached(value, target, cfg.stop_slack);
+    if reached || state.len() >= cfg.k {
+        return GreedyOutcome::from_state(state, trajectory, value, reached);
+    }
+
+    // Round 0: evaluate everything once to seed the heap.
+    let mut heap = BinaryHeap::with_capacity(n);
+    for v in 0..n as ItemId {
+        if !state.contains(v) {
+            let bound = state.gain(aggregate, v);
+            heap.push(HeapEntry {
+                bound,
+                item: v,
+                round: 0,
+            });
+        }
+    }
+
+    let mut round = 0usize;
+    while state.len() < cfg.k && !reached {
+        // Pop until the top entry is fresh for this round.
+        let chosen = loop {
+            match heap.pop() {
+                None => break None,
+                Some(entry) => {
+                    if entry.round == round {
+                        break Some(entry);
+                    }
+                    let bound = state.gain(aggregate, entry.item);
+                    heap.push(HeapEntry {
+                        bound,
+                        item: entry.item,
+                        round,
+                    });
+                }
+            }
+        };
+        match chosen {
+            Some(entry) if entry.bound > 1e-15 => {
+                state.insert(entry.item);
+                value = state.value(aggregate);
+                trajectory.push(value);
+                reached = target_reached(value, target, cfg.stop_slack);
+                round += 1;
+            }
+            _ => break,
+        }
+    }
+    GreedyOutcome::from_state(state, trajectory, value, reached)
+}
+
+fn greedy_stochastic<S: UtilitySystem, A: Aggregate>(
+    state: &mut SolutionState<'_, S>,
+    aggregate: &A,
+    cfg: &GreedyConfig,
+    target: Option<f64>,
+    sample_size: usize,
+) -> GreedyOutcome {
+    let n = state.system().num_items();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut trajectory = Vec::with_capacity(cfg.k);
+    let mut value = state.value(aggregate);
+    let mut reached = target_reached(value, target, cfg.stop_slack);
+    let mut pool: Vec<ItemId> = (0..n as ItemId).filter(|&v| !state.contains(v)).collect();
+
+    while state.len() < cfg.k && !reached && !pool.is_empty() {
+        let s = sample_size.max(1).min(pool.len());
+        // Partial Fisher–Yates: the first `s` entries become the sample.
+        for i in 0..s {
+            let j = i + (rand::Rng::gen_range(&mut rng, 0..pool.len() - i));
+            pool.swap(i, j);
+        }
+        let mut best: Option<(f64, ItemId)> = None;
+        for &v in &pool[..s] {
+            let gain = state.gain(aggregate, v);
+            let better = match best {
+                None => true,
+                Some((bg, _)) => gain > bg + 1e-15,
+            };
+            if better {
+                best = Some((gain, v));
+            }
+        }
+        match best {
+            Some((gain, v)) if gain > 1e-15 => {
+                state.insert(v);
+                pool.retain(|&x| x != v);
+                value = state.value(aggregate);
+                trajectory.push(value);
+                reached = target_reached(value, target, cfg.stop_slack);
+            }
+            _ => {
+                // The sample had no improving candidate; with monotone
+                // aggregates this can only be sampling bad luck or true
+                // exhaustion — reshuffle once more and fall back to a
+                // full scan to decide.
+                pool.shuffle(&mut rng);
+                let mut any = None;
+                for &v in pool.iter() {
+                    let gain = state.gain(aggregate, v);
+                    if gain > 1e-15 {
+                        any = Some(v);
+                        break;
+                    }
+                }
+                match any {
+                    Some(v) => {
+                        state.insert(v);
+                        pool.retain(|&x| x != v);
+                        value = state.value(aggregate);
+                        trajectory.push(value);
+                        reached = target_reached(value, target, cfg.stop_slack);
+                    }
+                    None => break,
+                }
+            }
+        }
+    }
+    GreedyOutcome::from_state(state, trajectory, value, reached)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::{MeanUtility, TruncatedMean};
+    use crate::toy;
+
+    #[test]
+    fn figure1_greedy_picks_v1_v2() {
+        // Example 3.1: greedy on f returns S12 = {v1, v2} with f = 0.75.
+        let sys = toy::figure1();
+        let f = MeanUtility::new(sys.num_users());
+        for cfg in [GreedyConfig::naive(2), GreedyConfig::lazy(2)] {
+            let out = greedy(&sys, &f, &cfg);
+            assert_eq!(out.items, vec![0, 1]);
+            assert!((out.value - 0.75).abs() < 1e-12);
+            assert_eq!(out.trajectory.len(), 2);
+        }
+    }
+
+    #[test]
+    fn lazy_matches_naive_on_random_instances() {
+        for seed in 1..6u64 {
+            let sys = toy::random_coverage(24, 80, 4, 0.12, seed);
+            let f = MeanUtility::new(sys.num_users());
+            let naive = greedy(&sys, &f, &GreedyConfig::naive(6));
+            let lazy = greedy(&sys, &f, &GreedyConfig::lazy(6));
+            assert_eq!(naive.items, lazy.items, "seed {seed}");
+            assert!((naive.value - lazy.value).abs() < 1e-12);
+            // Lazy should never evaluate more than naive.
+            assert!(lazy.oracle_calls <= naive.oracle_calls);
+        }
+    }
+
+    #[test]
+    fn stochastic_greedy_is_reasonable() {
+        let sys = toy::random_coverage(40, 120, 3, 0.1, 11);
+        let f = MeanUtility::new(sys.num_users());
+        let exactish = greedy(&sys, &f, &GreedyConfig::naive(8));
+        let mut cfg = GreedyConfig::lazy(8);
+        cfg.variant = GreedyVariant::Stochastic { sample_size: 20 };
+        cfg.seed = 3;
+        let stoch = greedy(&sys, &f, &cfg);
+        assert_eq!(stoch.items.len(), 8);
+        assert!(stoch.value >= 0.7 * exactish.value);
+    }
+
+    #[test]
+    fn cover_mode_stops_at_target() {
+        let sys = toy::figure1();
+        let t = TruncatedMean::uniform(sys.group_sizes(), 0.3);
+        let cfg = GreedyConfig::cover(1.0, 4);
+        let out = greedy(&sys, &t, &cfg);
+        assert!(out.reached_target);
+        assert!(out.value + 1e-9 >= 1.0);
+        assert!(out.items.len() <= 4);
+    }
+
+    #[test]
+    fn greedy_stops_when_no_gain() {
+        let sys = toy::figure1();
+        let f = MeanUtility::new(sys.num_users());
+        // k=10 > n: greedy must stop once everything useful is chosen.
+        let out = greedy(&sys, &f, &GreedyConfig::lazy(10));
+        assert!(out.items.len() <= 4);
+        assert!((out.value - 1.0).abs() < 1e-12); // all 12 users covered by all 4 items
+    }
+
+    #[test]
+    fn greedy_into_respects_existing_items() {
+        let sys = toy::figure1();
+        let f = MeanUtility::new(sys.num_users());
+        let mut state = crate::system::SolutionState::new(&sys);
+        state.insert(3); // v4
+        let out = greedy_into(&mut state, &f, &GreedyConfig::lazy(2));
+        assert_eq!(out.items.len(), 2);
+        assert_eq!(out.items[0], 3);
+        assert_eq!(out.items[1], 0); // v1 is the best complement to v4
+    }
+}

@@ -1,0 +1,68 @@
+//! Approximation, baseline, and exact algorithms for (bicriteria)
+//! submodular maximization.
+//!
+//! * [`greedy`] — the classic greedy for monotone submodular maximization
+//!   (Nemhauser et al., 1978) with naive, lazy-forward (Leskovec et al.,
+//!   2007), and stochastic (Mirzasoleiman et al., 2015) evaluation modes.
+//! * [`cover`] — greedy submodular cover (Wolsey, 1982).
+//! * [`saturate`] — Saturate for robust submodular maximization
+//!   (Krause et al., 2008).
+//! * [`tsgreedy`] — **BSM-TSGreedy** (Algorithm 1 of the paper).
+//! * [`bsm_saturate`] — **BSM-Saturate** (Algorithm 2 of the paper).
+//! * [`smsc`] — the SMSC baseline (Ohsaka & Matsuoka, 2021;
+//!   two groups only), reconstructed as documented in DESIGN.md.
+//! * [`baselines`] — random and top-singleton baselines.
+//! * [`exact`] — brute force and submodular branch-and-bound
+//!   (`BSM-Optimal`).
+//!
+//! Extensions beyond the paper's core algorithms (related/future work):
+//!
+//! * [`streaming`] — Sieve-Streaming (Badanidiyuru et al., 2014).
+//! * [`mwu`] — multiplicative-weight updates for robust submodular
+//!   maximization (Udwani, 2018), an alternative to Saturate.
+//! * [`nonmonotone`] — Random Greedy (Buchbinder et al., 2014) and
+//!   utility-minus-cost penalized systems.
+//! * [`knapsack`] — cost-benefit greedy + best singleton under a budget.
+//! * [`distributed`] — two-round GreeDi (Mirzasoleiman et al., 2016).
+//! * [`pareto`] — τ-sweep Pareto frontier extraction with hypervolume.
+//! * [`local_search`] — pairwise-interchange refinement (optionally
+//!   fairness-constrained).
+
+pub mod baselines;
+pub mod bsm_saturate;
+pub mod cover;
+pub mod distributed;
+pub mod exact;
+pub mod greedy;
+pub mod knapsack;
+pub mod local_search;
+pub mod mwu;
+pub mod nonmonotone;
+pub mod pareto;
+pub mod saturate;
+pub mod smsc;
+pub mod streaming;
+pub mod tsgreedy;
+
+use crate::items::ItemId;
+use crate::metrics::Evaluation;
+
+/// Common result shape for BSM solvers (TSGreedy, BSM-Saturate, SMSC,
+/// exact solvers), rich enough for the experiment harness to report the
+/// paper's figures.
+#[derive(Clone, Debug)]
+pub struct BsmOutcome {
+    /// Chosen items in insertion order.
+    pub items: Vec<ItemId>,
+    /// Evaluation of the solution (`f`, `g`, per-group means).
+    pub eval: Evaluation,
+    /// Greedy estimate `OPT'_f` used internally (0 when not computed).
+    pub opt_f_estimate: f64,
+    /// Saturate estimate `OPT'_g` used internally (0 when not computed).
+    pub opt_g_estimate: f64,
+    /// Whether the algorithm fell back to the Saturate solution `S_g`
+    /// (Alg. 1 lines 8–9, and our documented BSM-Saturate fallback).
+    pub fell_back: bool,
+    /// Total oracle (`group_gains`) evaluations across all phases.
+    pub oracle_calls: u64,
+}

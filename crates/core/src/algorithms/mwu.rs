@@ -1,0 +1,242 @@
+//! Multiplicative-weight updates for robust submodular maximization
+//! (in the style of Udwani, NeurIPS 2018, and Fu et al., 2021 — the
+//! paper's references \[62\] and \[20\]).
+//!
+//! Saturate's alternative: maintain a weight per group, repeatedly run
+//! greedy on the *weighted average* objective
+//! `h_w(S) = Σ_i w_i · f_i(S)` (a non-negative combination of monotone
+//! submodular functions, hence greedy-friendly), then increase the
+//! weights of under-served groups multiplicatively. The returned
+//! solution is the per-round solution with the best true maximin value
+//! `g` (for `c = o(k/log³k)` the theory supports averaging the rounds
+//! into a distribution; for BSM we need a single set, so best-of-rounds
+//! is the standard practical choice).
+//!
+//! Exposed as a drop-in alternative `OPT'_g` estimator and compared
+//! against Saturate in the ablation benches.
+
+use crate::aggregate::{Aggregate, MinGroupUtility};
+use crate::items::ItemId;
+use crate::system::{SolutionState, UtilitySystem};
+
+use super::greedy::{greedy, GreedyConfig, GreedyVariant};
+
+/// Weighted group-mean aggregate `Σ_i w_i · f_i(S)`.
+#[derive(Clone, Debug)]
+pub struct WeightedGroups {
+    /// `w_i / m_i` per group.
+    scale: Vec<f64>,
+}
+
+impl WeightedGroups {
+    /// Builds from weights `w` and group sizes.
+    pub fn new(weights: &[f64], sizes: &[usize]) -> Self {
+        assert_eq!(weights.len(), sizes.len());
+        Self {
+            scale: weights
+                .iter()
+                .zip(sizes)
+                .map(|(&w, &m)| {
+                    assert!(w >= 0.0 && m > 0);
+                    w / m as f64
+                })
+                .collect(),
+        }
+    }
+}
+
+impl Aggregate for WeightedGroups {
+    fn value(&self, sums: &[f64]) -> f64 {
+        sums.iter().zip(&self.scale).map(|(&s, &w)| s * w).sum()
+    }
+
+    fn gain(&self, _sums: &[f64], gains: &[f64]) -> f64 {
+        gains.iter().zip(&self.scale).map(|(&g, &w)| g * w).sum()
+    }
+}
+
+/// Configuration for [`mwu_robust`].
+#[derive(Clone, Debug)]
+pub struct MwuConfig {
+    /// Cardinality constraint `k`.
+    pub k: usize,
+    /// Number of MWU rounds `T`.
+    pub rounds: usize,
+    /// Learning rate `η` (the classic default is `√(ln c / T)`).
+    pub eta: Option<f64>,
+    /// Greedy variant for the inner maximization.
+    pub variant: GreedyVariant,
+}
+
+impl MwuConfig {
+    /// Defaults: 30 rounds, `η = √(ln c / T)`, lazy greedy.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            rounds: 30,
+            eta: None,
+            variant: GreedyVariant::Lazy,
+        }
+    }
+}
+
+/// Result of [`mwu_robust`].
+#[derive(Clone, Debug)]
+pub struct MwuOutcome {
+    /// Best-of-rounds solution by true maximin value.
+    pub items: Vec<ItemId>,
+    /// Its `g` value (a witnessed `OPT'_g` lower bound).
+    pub opt_g_estimate: f64,
+    /// Final group weights (diagnostics: which groups were hard).
+    pub weights: Vec<f64>,
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Total oracle calls.
+    pub oracle_calls: u64,
+}
+
+/// MWU for `max_{|S|≤k} min_i f_i(S)`.
+pub fn mwu_robust<S: UtilitySystem>(system: &S, cfg: &MwuConfig) -> MwuOutcome {
+    let sizes = system.group_sizes().to_vec();
+    let c = sizes.len();
+    let g = MinGroupUtility::new(&sizes);
+    let t_rounds = cfg.rounds.max(1);
+    let eta = cfg
+        .eta
+        .unwrap_or(((c as f64).ln().max(1e-9) / t_rounds as f64).sqrt());
+
+    let mut weights = vec![1.0 / c as f64; c];
+    let mut best_items: Vec<ItemId> = Vec::new();
+    let mut best_g = f64::NEG_INFINITY;
+    let mut oracle_calls = 0u64;
+
+    // Scale for normalizing group means into [0,1]-ish for the update:
+    // use f_i(V) as the per-group ceiling.
+    let mut full = SolutionState::new(system);
+    for v in 0..system.num_items() as ItemId {
+        full.insert(v);
+    }
+    oracle_calls += full.oracle_calls();
+    let ceilings: Vec<f64> = full
+        .group_sums()
+        .iter()
+        .zip(&sizes)
+        .map(|(&s, &m)| (s / m as f64).max(1e-12))
+        .collect();
+
+    for _ in 0..t_rounds {
+        let objective = WeightedGroups::new(&weights, &sizes);
+        let run = greedy(
+            system,
+            &objective,
+            &GreedyConfig {
+                variant: cfg.variant.clone(),
+                ..GreedyConfig::lazy(cfg.k)
+            },
+        );
+        oracle_calls += run.oracle_calls;
+
+        let mut st = SolutionState::new(system);
+        st.insert_all(&run.items);
+        oracle_calls += st.oracle_calls();
+        let g_val = st.value(&g);
+        if g_val > best_g {
+            best_g = g_val;
+            best_items = run.items.clone();
+        }
+
+        // Multiplicative update: groups served *well* lose weight.
+        let means: Vec<f64> = st
+            .group_sums()
+            .iter()
+            .zip(&sizes)
+            .map(|(&s, &m)| s / m as f64)
+            .collect();
+        let mut norm = 0.0;
+        for i in 0..c {
+            let served = (means[i] / ceilings[i]).clamp(0.0, 1.0);
+            weights[i] *= (-eta * served).exp();
+            norm += weights[i];
+        }
+        for w in weights.iter_mut() {
+            *w /= norm;
+        }
+    }
+
+    MwuOutcome {
+        items: best_items,
+        opt_g_estimate: best_g.max(0.0),
+        weights,
+        rounds: t_rounds,
+        oracle_calls,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::saturate::{saturate, SaturateConfig};
+    use crate::metrics::evaluate;
+    use crate::toy;
+
+    #[test]
+    fn weighted_groups_aggregate_is_consistent() {
+        let agg = WeightedGroups::new(&[0.3, 0.7], &[10, 5]);
+        let sums = [4.0, 2.0];
+        let gains = [1.0, 1.0];
+        let direct = agg.value(&[5.0, 3.0]) - agg.value(&sums);
+        assert!((agg.gain(&sums, &gains) - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mwu_finds_fair_solution_on_figure1() {
+        let sys = toy::figure1();
+        let out = mwu_robust(&sys, &MwuConfig::new(2));
+        // The robust optimum is {v1, v4} with g = 5/9; MWU's best-of-
+        // rounds must serve both groups.
+        assert!(out.opt_g_estimate > 0.0);
+        let e = evaluate(&sys, &out.items);
+        assert!((e.g - out.opt_g_estimate).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mwu_is_competitive_with_saturate() {
+        for seed in 1..5u64 {
+            let sys = toy::random_coverage(30, 90, 3, 0.08, seed);
+            let k = 5;
+            let sat = saturate(&sys, &SaturateConfig::new(k).approximate_only());
+            let mwu = mwu_robust(&sys, &MwuConfig::new(k));
+            assert!(
+                mwu.opt_g_estimate + 1e-9 >= 0.6 * sat.opt_g_estimate,
+                "seed {seed}: mwu {} vs saturate {}",
+                mwu.opt_g_estimate,
+                sat.opt_g_estimate
+            );
+        }
+    }
+
+    #[test]
+    fn mwu_upweights_starved_groups() {
+        // Group 1 (users 4,5) is only covered by item 1, which plain
+        // weighted greedy ignores at first: MWU must raise its weight.
+        let sys = toy::MiniCoverage::new(
+            vec![vec![0, 1, 2, 3], vec![4, 5]],
+            vec![0, 0, 0, 0, 1, 1],
+        );
+        let mut cfg = MwuConfig::new(1);
+        cfg.rounds = 10;
+        let out = mwu_robust(&sys, &cfg);
+        // With k = 1, OPT_g = 0 (one item cannot serve both groups); MWU
+        // must report a weight shift toward the starved group.
+        assert!(out.weights[1] >= out.weights[0] - 1e-9);
+    }
+
+    #[test]
+    fn mwu_respects_cardinality_and_determinism() {
+        let sys = toy::random_coverage(20, 60, 2, 0.15, 7);
+        let a = mwu_robust(&sys, &MwuConfig::new(4));
+        let b = mwu_robust(&sys, &MwuConfig::new(4));
+        assert_eq!(a.items, b.items);
+        assert!(a.items.len() <= 4);
+    }
+}

@@ -1,0 +1,229 @@
+//! Utility–fairness Pareto frontier extraction.
+//!
+//! The BSM framework answers one `(k, τ)` query at a time; practitioners
+//! usually want the whole trade-off curve (the paper's Figures 3/5/7 are
+//! exactly that). This module sweeps τ over a grid with a chosen BSM
+//! solver, collects `(f, g)` outcomes, extracts the non-dominated
+//! frontier, and computes the dominated-area (hypervolume) indicator so
+//! that solvers can be compared by a single scalar.
+
+use crate::items::ItemId;
+use crate::system::UtilitySystem;
+
+use super::bsm_saturate::{bsm_saturate, BsmSaturateConfig};
+use super::tsgreedy::{bsm_tsgreedy, TsGreedyConfig};
+
+/// Which BSM solver drives the sweep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrontierSolver {
+    /// BSM-TSGreedy (Algorithm 1) — faster.
+    TsGreedy,
+    /// BSM-Saturate (Algorithm 2) — better trade-offs.
+    BsmSaturate,
+}
+
+/// Configuration for [`pareto_frontier`].
+#[derive(Clone, Debug)]
+pub struct FrontierConfig {
+    /// Cardinality constraint `k`.
+    pub k: usize,
+    /// τ grid (deduplicated, clamped to `\[0, 1\]`).
+    pub taus: Vec<f64>,
+    /// Solver choice.
+    pub solver: FrontierSolver,
+}
+
+impl FrontierConfig {
+    /// Default grid τ ∈ {0.0, 0.1, …, 1.0} with BSM-Saturate.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            taus: (0..=10).map(|i| i as f64 / 10.0).collect(),
+            solver: FrontierSolver::BsmSaturate,
+        }
+    }
+}
+
+/// One point of the sweep.
+#[derive(Clone, Debug)]
+pub struct FrontierPoint {
+    /// τ that produced this point.
+    pub tau: f64,
+    /// Utility value.
+    pub f: f64,
+    /// Fairness value.
+    pub g: f64,
+    /// The solution.
+    pub items: Vec<ItemId>,
+    /// Whether the point survives Pareto filtering.
+    pub on_frontier: bool,
+}
+
+/// Result of [`pareto_frontier`].
+#[derive(Clone, Debug)]
+pub struct Frontier {
+    /// All swept points, in τ order.
+    pub points: Vec<FrontierPoint>,
+    /// Dominated-area indicator (w.r.t. the origin reference point):
+    /// the area of `∪_{p on frontier} [0, f_p] × [0, g_p]`.
+    pub hypervolume: f64,
+}
+
+impl Frontier {
+    /// The non-dominated points, sorted by ascending `g`.
+    pub fn frontier_points(&self) -> Vec<&FrontierPoint> {
+        let mut pts: Vec<&FrontierPoint> =
+            self.points.iter().filter(|p| p.on_frontier).collect();
+        pts.sort_by(|a, b| a.g.partial_cmp(&b.g).unwrap());
+        pts
+    }
+}
+
+/// Sweeps τ and extracts the utility–fairness Pareto frontier.
+pub fn pareto_frontier<S: UtilitySystem>(system: &S, cfg: &FrontierConfig) -> Frontier {
+    let mut taus: Vec<f64> = cfg
+        .taus
+        .iter()
+        .map(|t| t.clamp(0.0, 1.0))
+        .collect();
+    taus.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    taus.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+
+    let mut points: Vec<FrontierPoint> = taus
+        .into_iter()
+        .map(|tau| {
+            let (items, f, g) = match cfg.solver {
+                FrontierSolver::TsGreedy => {
+                    let out = bsm_tsgreedy(system, &TsGreedyConfig::new(cfg.k, tau));
+                    (out.items, out.eval.f, out.eval.g)
+                }
+                FrontierSolver::BsmSaturate => {
+                    let out = bsm_saturate(system, &BsmSaturateConfig::new(cfg.k, tau));
+                    (out.items, out.eval.f, out.eval.g)
+                }
+            };
+            FrontierPoint {
+                tau,
+                f,
+                g,
+                items,
+                on_frontier: true,
+            }
+        })
+        .collect();
+
+    // Pareto filtering: point p is dominated if another point is ≥ in
+    // both coordinates and > in one.
+    for i in 0..points.len() {
+        let (fi, gi) = (points[i].f, points[i].g);
+        let dominated = points.iter().enumerate().any(|(j, q)| {
+            j != i
+                && q.f >= fi - 1e-12
+                && q.g >= gi - 1e-12
+                && (q.f > fi + 1e-12 || q.g > gi + 1e-12)
+        });
+        points[i].on_frontier = !dominated;
+    }
+
+    // Hypervolume via the staircase integral over the sorted frontier.
+    let mut frontier: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|p| p.on_frontier)
+        .map(|p| (p.g, p.f))
+        .collect();
+    frontier.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    let mut hypervolume = 0.0;
+    let mut prev_g = 0.0;
+    // Descending-f staircase from left (low g, high f) to right.
+    for &(g, f) in &frontier {
+        hypervolume += (g - prev_g).max(0.0) * f_at_or_right(&frontier, g);
+        let _ = f;
+        prev_g = g;
+    }
+    // Left-most block from g = 0 handled in the loop via prev_g = 0; add
+    // the block before the first point (covered when first g > 0 uses
+    // the max f, which is f_at_or_right(0)).
+    Frontier {
+        points,
+        hypervolume,
+    }
+}
+
+/// The best `f` among frontier points with `g ≥ g0` (staircase height).
+fn f_at_or_right(frontier: &[(f64, f64)], g0: f64) -> f64 {
+    frontier
+        .iter()
+        .filter(|&&(g, _)| g >= g0 - 1e-12)
+        .map(|&(_, f)| f)
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy;
+
+    #[test]
+    fn frontier_on_figure1_has_the_three_regimes() {
+        let sys = toy::figure1();
+        let cfg = FrontierConfig {
+            k: 2,
+            taus: vec![0.0, 0.3, 0.8],
+            solver: FrontierSolver::BsmSaturate,
+        };
+        let frontier = pareto_frontier(&sys, &cfg);
+        assert_eq!(frontier.points.len(), 3);
+        // Example 3.1's optimal regimes give three distinct trade-offs:
+        // (0.75, 0), (2/3, 1/3), (7/12, 5/9) — all non-dominated.
+        let on: Vec<_> = frontier.frontier_points();
+        assert!(on.len() >= 2, "frontier collapsed: {on:?}");
+        assert!(frontier.hypervolume > 0.0);
+    }
+
+    #[test]
+    fn dominated_points_are_filtered() {
+        let sys = toy::random_coverage(20, 60, 2, 0.15, 3);
+        let frontier = pareto_frontier(&sys, &FrontierConfig::new(4));
+        // Frontier must be an antichain: no point dominates another.
+        let pts = frontier.frontier_points();
+        for a in &pts {
+            for b in &pts {
+                let dominates = a.f > b.f + 1e-12 && a.g > b.g + 1e-12;
+                assert!(!dominates, "frontier contains dominated points");
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_f_decreases_as_g_increases() {
+        let sys = toy::random_coverage(25, 80, 2, 0.1, 5);
+        let frontier = pareto_frontier(&sys, &FrontierConfig::new(5));
+        let pts = frontier.frontier_points();
+        for w in pts.windows(2) {
+            assert!(w[0].g <= w[1].g + 1e-12);
+            assert!(w[0].f + 1e-9 >= w[1].f, "staircase must fall in f");
+        }
+    }
+
+    #[test]
+    fn hypervolume_bounded_by_anchor_product() {
+        let sys = toy::random_coverage(25, 80, 2, 0.1, 7);
+        let frontier = pareto_frontier(&sys, &FrontierConfig::new(5));
+        let max_f = frontier.points.iter().map(|p| p.f).fold(0.0, f64::max);
+        let max_g = frontier.points.iter().map(|p| p.g).fold(0.0, f64::max);
+        assert!(frontier.hypervolume <= max_f * max_g + 1e-9);
+        assert!(frontier.hypervolume >= 0.0);
+    }
+
+    #[test]
+    fn tsgreedy_solver_works_too() {
+        let sys = toy::figure1();
+        let cfg = FrontierConfig {
+            k: 2,
+            taus: vec![0.1, 0.9],
+            solver: FrontierSolver::TsGreedy,
+        };
+        let frontier = pareto_frontier(&sys, &cfg);
+        assert_eq!(frontier.points.len(), 2);
+    }
+}

@@ -1,0 +1,162 @@
+//! SMSC baseline — submodular maximization under submodular cover
+//! (Ohsaka & Matsuoka, UAI 2021), applicable to BSM only when `c = 2`.
+//!
+//! The paper compares against SMSC "by maximizing two submodular functions
+//! `f_1` and `f_2` simultaneously"; the reference implementation is not
+//! public, so this is a documented reconstruction (see DESIGN.md): a
+//! Saturate-style bisection over a common fraction `β` of the two groups'
+//! individually achievable optima. Level `β` is feasible when greedy
+//! reaches
+//!
+//! ```text
+//! (1/2) [ min{1, f_1(S)/(β·OPT'_1)} + min{1, f_2(S)/(β·OPT'_2)} ] = 1
+//! ```
+//!
+//! within `k` items, where `OPT'_i` is the greedy estimate of
+//! `max_{|S|=k} f_i(S)`. The output is the witness of the largest
+//! feasible `β` — a single, `τ`-independent solution that balances the
+//! two groups, exactly the flat reference curve of the paper's figures.
+
+use crate::aggregate::{GroupMeanUtility, TruncatedMean};
+use crate::metrics::evaluate;
+use crate::system::UtilitySystem;
+
+use super::greedy::{greedy, GreedyConfig, GreedyVariant};
+use super::BsmOutcome;
+
+/// Configuration for [`smsc`].
+#[derive(Clone, Debug)]
+pub struct SmscConfig {
+    /// Cardinality constraint `k`.
+    pub k: usize,
+    /// Relative bisection tolerance on `β`.
+    pub tolerance: f64,
+    /// Hard cap on bisection rounds.
+    pub max_rounds: usize,
+    /// Greedy evaluation strategy.
+    pub variant: GreedyVariant,
+}
+
+impl SmscConfig {
+    /// Defaults matching the experiment harness.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            tolerance: 1e-3,
+            max_rounds: 40,
+            variant: GreedyVariant::Lazy,
+        }
+    }
+}
+
+/// Runs the SMSC baseline.
+///
+/// # Panics
+/// Panics if the system does not have exactly two groups — the paper
+/// evaluates SMSC only for `c = 2` ("it does not provide any valid
+/// solution when `c > 2`").
+pub fn smsc<S: UtilitySystem>(system: &S, cfg: &SmscConfig) -> BsmOutcome {
+    let sizes = system.group_sizes().to_vec();
+    assert_eq!(
+        sizes.len(),
+        2,
+        "SMSC is defined for exactly two groups (got {})",
+        sizes.len()
+    );
+    let mut oracle_calls = 0u64;
+
+    // Per-group achievable optima OPT'_i by greedy on each f_i alone.
+    let mut opts = [0.0f64; 2];
+    for i in 0..2 {
+        let fi = GroupMeanUtility::new(i, sizes[i]);
+        let run = greedy(
+            system,
+            &fi,
+            &GreedyConfig {
+                variant: cfg.variant.clone(),
+                ..GreedyConfig::lazy(cfg.k)
+            },
+        );
+        oracle_calls += run.oracle_calls;
+        opts[i] = run.value;
+    }
+
+    let mut lo = 0.0f64;
+    let mut hi = 1.0f64;
+    let mut best: Option<Vec<_>> = None;
+    let mut rounds = 0usize;
+    while rounds < cfg.max_rounds && (hi - lo) > cfg.tolerance {
+        rounds += 1;
+        let beta = 0.5 * (lo + hi);
+        let thresholds = [beta * opts[0], beta * opts[1]];
+        let panel = TruncatedMean::per_group(&sizes, &thresholds);
+        let run = greedy(
+            system,
+            &panel,
+            &GreedyConfig::cover_with(1.0, cfg.k, cfg.variant.clone()),
+        );
+        oracle_calls += run.oracle_calls;
+        if run.reached_target {
+            lo = beta;
+            best = Some(run.items);
+        } else {
+            hi = beta;
+        }
+    }
+
+    let (items, fell_back) = match best {
+        Some(items) => (items, false),
+        None => (Vec::new(), true),
+    };
+    let eval = evaluate(system, &items);
+    BsmOutcome {
+        items,
+        eval,
+        opt_f_estimate: 0.0,
+        opt_g_estimate: 0.0,
+        fell_back,
+        oracle_calls,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy;
+
+    #[test]
+    fn smsc_balances_figure1_groups() {
+        let sys = toy::figure1();
+        let out = smsc(&sys, &SmscConfig::new(2));
+        assert!(out.items.len() <= 2);
+        // Both groups must be served at a positive level.
+        assert!(out.eval.g > 0.0);
+    }
+
+    #[test]
+    fn smsc_is_tau_independent_by_construction() {
+        // Trivially true (no τ in the API); assert determinism instead.
+        let sys = toy::random_coverage(20, 60, 2, 0.12, 4);
+        let a = smsc(&sys, &SmscConfig::new(4));
+        let b = smsc(&sys, &SmscConfig::new(4));
+        assert_eq!(a.items, b.items);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly two groups")]
+    fn smsc_rejects_more_than_two_groups() {
+        let sys = toy::random_coverage(10, 30, 3, 0.2, 1);
+        let _ = smsc(&sys, &SmscConfig::new(2));
+    }
+
+    #[test]
+    fn smsc_fairness_is_competitive_with_saturate() {
+        use crate::algorithms::saturate::{saturate, SaturateConfig};
+        let sys = toy::random_coverage(25, 80, 2, 0.1, 8);
+        let out = smsc(&sys, &SmscConfig::new(5));
+        let sat = saturate(&sys, &SaturateConfig::new(5).approximate_only());
+        // SMSC balances groups relative to their own optima, so its g is
+        // in the same ballpark as Saturate's (not necessarily equal).
+        assert!(out.eval.g >= 0.25 * sat.opt_g_estimate);
+    }
+}

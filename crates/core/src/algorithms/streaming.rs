@@ -1,0 +1,195 @@
+//! Sieve-Streaming for cardinality-constrained monotone submodular
+//! maximization (Badanidiyuru et al., KDD 2014) — the single-pass
+//! streaming setting the paper cites as related work \[3\].
+//!
+//! The algorithm guesses `OPT` on a geometric grid
+//! `{(1+ε)^j} ∩ [Δ, k·Δ]` (where `Δ` is the best singleton value seen so
+//! far), keeps one candidate solution per guess, and adds an arriving
+//! item to a candidate whenever its marginal gain is at least
+//! `(v/2 − value)/(k − |S|)`. Guarantee: `(1/2 − ε)·OPT` in one pass with
+//! `O((k/ε)·log k)` memory.
+//!
+//! Usefulness here: a low-memory drop-in for the greedy-for-`f`
+//! subroutine of the BSM schemes when items arrive as a stream, and an
+//! independently-implemented cross-check of the greedy engines.
+
+use crate::aggregate::Aggregate;
+use crate::items::ItemId;
+use crate::system::{SolutionState, UtilitySystem};
+
+/// Configuration for [`sieve_streaming`].
+#[derive(Clone, Debug)]
+pub struct SieveConfig {
+    /// Cardinality constraint `k`.
+    pub k: usize,
+    /// Grid resolution `ε ∈ (0, 1)`.
+    pub epsilon: f64,
+}
+
+impl SieveConfig {
+    /// Default `ε = 0.1`.
+    pub fn new(k: usize) -> Self {
+        Self { k, epsilon: 0.1 }
+    }
+}
+
+/// Result of a [`sieve_streaming`] pass.
+#[derive(Clone, Debug)]
+pub struct SieveOutcome {
+    /// Best candidate solution across all threshold guesses.
+    pub items: Vec<ItemId>,
+    /// Its aggregate value.
+    pub value: f64,
+    /// Number of threshold candidates materialized over the pass.
+    pub candidates: usize,
+    /// Total oracle calls.
+    pub oracle_calls: u64,
+}
+
+/// One pass of Sieve-Streaming over the items `0..n` in index order
+/// (callers with a real stream can pre-permute ids).
+pub fn sieve_streaming<S: UtilitySystem, A: Aggregate>(
+    system: &S,
+    aggregate: &A,
+    cfg: &SieveConfig,
+) -> SieveOutcome {
+    assert!(cfg.epsilon > 0.0 && cfg.epsilon < 1.0);
+    let n = system.num_items();
+    let k = cfg.k.max(1);
+    let base = 1.0 + cfg.epsilon;
+
+    // Candidate per grid exponent j: value (1+ε)^j.
+    struct Candidate<'a, S: UtilitySystem> {
+        exponent: i32,
+        state: SolutionState<'a, S>,
+        value: f64,
+    }
+    let mut candidates: Vec<Candidate<'_, S>> = Vec::new();
+    let mut delta = 0.0f64; // best singleton value so far
+    let mut probe = SolutionState::new(system);
+    let mut oracle_calls = 0u64;
+    let mut ever = 0usize;
+
+    for v in 0..n as ItemId {
+        // Track Δ = max singleton value.
+        let singleton = probe.gain(aggregate, v);
+        if singleton > delta {
+            delta = singleton;
+            // Re-derive the live grid: exponents j with
+            // Δ ≤ (1+ε)^j ≤ 2kΔ (the textbook window).
+            let lo = (delta.ln() / base.ln()).floor() as i32;
+            let hi = ((2.0 * k as f64 * delta).ln() / base.ln()).ceil() as i32;
+            candidates.retain(|c| c.exponent >= lo && c.exponent <= hi);
+            for j in lo..=hi {
+                if candidates.iter().all(|c| c.exponent != j) {
+                    candidates.push(Candidate {
+                        exponent: j,
+                        state: SolutionState::new(system),
+                        value: 0.0,
+                    });
+                    ever += 1;
+                }
+            }
+        }
+        // Offer v to every candidate.
+        for cand in candidates.iter_mut() {
+            if cand.state.len() >= k {
+                continue;
+            }
+            let guess = base.powi(cand.exponent);
+            let threshold = (guess / 2.0 - cand.value) / (k - cand.state.len()) as f64;
+            let gain = cand.state.gain(aggregate, v);
+            if gain >= threshold && gain > 1e-15 {
+                cand.state.insert(v);
+                cand.value = cand.state.value(aggregate);
+            }
+        }
+    }
+
+    oracle_calls += probe.oracle_calls();
+    let mut best_items = Vec::new();
+    let mut best_value = 0.0;
+    for cand in &candidates {
+        oracle_calls += cand.state.oracle_calls();
+        if cand.value > best_value {
+            best_value = cand.value;
+            best_items = cand.state.items().to_vec();
+        }
+    }
+    SieveOutcome {
+        items: best_items,
+        value: best_value,
+        candidates: ever,
+        oracle_calls,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::MeanUtility;
+    use crate::algorithms::greedy::{greedy, GreedyConfig};
+    use crate::toy;
+
+    #[test]
+    fn sieve_achieves_half_of_greedy() {
+        for seed in 1..6u64 {
+            let sys = toy::random_coverage(40, 120, 3, 0.1, seed);
+            let f = MeanUtility::new(sys.num_users());
+            let k = 6;
+            let gre = greedy(&sys, &f, &GreedyConfig::lazy(k));
+            let sieve = sieve_streaming(&sys, &f, &SieveConfig::new(k));
+            // (1/2 − ε)·OPT ≥ (1/2 − ε)·greedy; use 0.4·greedy as slack.
+            assert!(
+                sieve.value + 1e-9 >= 0.4 * gre.value,
+                "seed {seed}: sieve {} vs greedy {}",
+                sieve.value,
+                gre.value
+            );
+            assert!(sieve.items.len() <= k);
+        }
+    }
+
+    #[test]
+    fn sieve_on_figure1_is_sensible() {
+        let sys = toy::figure1();
+        let f = MeanUtility::new(sys.num_users());
+        let out = sieve_streaming(&sys, &f, &SieveConfig::new(2));
+        assert!(out.value >= 0.5); // greedy gets 0.75; half is guaranteed
+        assert!(out.candidates > 0);
+    }
+
+    #[test]
+    fn sieve_respects_cardinality() {
+        let sys = toy::random_coverage(30, 60, 2, 0.3, 9);
+        let f = MeanUtility::new(sys.num_users());
+        for k in [1usize, 3, 10] {
+            let out = sieve_streaming(&sys, &f, &SieveConfig::new(k));
+            assert!(out.items.len() <= k, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn tighter_epsilon_never_hurts_much() {
+        let sys = toy::random_coverage(50, 100, 2, 0.08, 4);
+        let f = MeanUtility::new(sys.num_users());
+        let loose = sieve_streaming(
+            &sys,
+            &f,
+            &SieveConfig {
+                k: 5,
+                epsilon: 0.5,
+            },
+        );
+        let tight = sieve_streaming(
+            &sys,
+            &f,
+            &SieveConfig {
+                k: 5,
+                epsilon: 0.05,
+            },
+        );
+        assert!(tight.value + 0.05 >= loose.value);
+        assert!(tight.candidates >= loose.candidates);
+    }
+}

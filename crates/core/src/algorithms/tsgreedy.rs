@@ -1,0 +1,252 @@
+//! **BSM-TSGreedy** — the two-stage greedy algorithm for BSM
+//! (Algorithm 1 of the paper).
+//!
+//! Stage 0 computes the ingredient estimates: `S_f, OPT'_f` by greedy on
+//! `f` and `S_g, OPT'_g` by Saturate on `g`. Stage 1 greedily covers
+//! `g'_τ(S) = (1/c) Σ_i min{1, f_i(S)/(τ·OPT'_g)}` up to value 1 (at most
+//! `k` items); if that fails at size `k`, the solution is replaced by
+//! `S_g` (which satisfies `g'_τ(S_g) = 1` by construction, lines 8–9).
+//! Stage 2 tops the solution up to size `k` with the greedy-for-`f`
+//! prefix, in greedy order (lines 10–15).
+//!
+//! Guarantee (Theorem 4.2): a
+//! `(1 − e^{−k'/k}, 1 − ε_g)`-approximate size-`k` solution, where `k'`
+//! is the number of stage-2 items.
+
+use crate::aggregate::TruncatedMean;
+use crate::metrics::evaluate_state;
+use crate::system::{SolutionState, UtilitySystem};
+
+use super::cover::submodular_cover_into;
+use super::greedy::{greedy, GreedyConfig, GreedyVariant};
+use super::saturate::{saturate, SaturateConfig};
+use super::BsmOutcome;
+
+/// Configuration for [`bsm_tsgreedy`].
+#[derive(Clone, Debug)]
+pub struct TsGreedyConfig {
+    /// Cardinality constraint `k`.
+    pub k: usize,
+    /// Balance factor `τ ∈ \[0, 1\]`.
+    pub tau: f64,
+    /// Greedy evaluation strategy (lazy-forward by default, as in the
+    /// paper's experiments).
+    pub variant: GreedyVariant,
+    /// Saturate configuration for estimating `OPT'_g` / computing `S_g`.
+    pub saturate: SaturateConfig,
+}
+
+impl TsGreedyConfig {
+    /// Paper defaults for a `(k, τ)` instance.
+    pub fn new(k: usize, tau: f64) -> Self {
+        assert!((0.0..=1.0).contains(&tau), "τ must lie in [0, 1]");
+        Self {
+            k,
+            tau,
+            variant: GreedyVariant::Lazy,
+            saturate: SaturateConfig::new(k),
+        }
+    }
+}
+
+/// Detailed result of a [`bsm_tsgreedy`] run.
+#[derive(Clone, Debug)]
+pub struct TsGreedyOutcome {
+    /// The BSM outcome (items, evaluation, estimates, fallback flag).
+    pub bsm: BsmOutcome,
+    /// Number of items chosen in stage 1 (cover on `g'_τ`); `k'` of
+    /// Theorem 4.2 equals `k − stage1_len` when no fallback occurred.
+    pub stage1_len: usize,
+}
+
+/// Runs BSM-TSGreedy (Algorithm 1 of the paper).
+///
+/// ```
+/// use fair_submod_core::prelude::*;
+/// use fair_submod_core::toy;
+///
+/// let system = toy::figure1();
+/// // τ = 0.2: stage 1 covers g'_τ with v3, stage 2 tops up with v1.
+/// let out = bsm_tsgreedy(&system, &TsGreedyConfig::new(2, 0.2));
+/// let mut items = out.items.clone();
+/// items.sort();
+/// assert_eq!(items, vec![0, 2]);
+/// assert!(out.eval.g >= 0.2 * out.opt_g_estimate);
+/// ```
+pub fn bsm_tsgreedy<S: UtilitySystem>(system: &S, cfg: &TsGreedyConfig) -> BsmOutcome {
+    bsm_tsgreedy_detailed(system, cfg).bsm
+}
+
+/// Runs BSM-TSGreedy and additionally reports stage sizes.
+pub fn bsm_tsgreedy_detailed<S: UtilitySystem>(
+    system: &S,
+    cfg: &TsGreedyConfig,
+) -> TsGreedyOutcome {
+    let sizes = system.group_sizes().to_vec();
+    let mut oracle_calls = 0u64;
+
+    // Line 1: greedy on f.
+    let f = crate::aggregate::MeanUtility::new(system.num_users());
+    let f_cfg = GreedyConfig {
+        variant: cfg.variant.clone(),
+        ..GreedyConfig::lazy(cfg.k)
+    };
+    let run_f = greedy(system, &f, &f_cfg);
+    oracle_calls += run_f.oracle_calls;
+    let opt_f_estimate = run_f.value;
+
+    // Line 2: Saturate on g.
+    let sat = saturate(system, &cfg.saturate);
+    oracle_calls += sat.oracle_calls;
+    let opt_g_estimate = sat.opt_g_estimate;
+
+    // Lines 3–7: greedy cover on g'_τ (threshold τ·OPT'_g); a vacuous
+    // threshold (τ = 0 or OPT'_g = 0) makes stage 1 a no-op.
+    let threshold = cfg.tau * opt_g_estimate;
+    let mut state = SolutionState::new(system);
+    let mut fell_back = false;
+    let mut stage1_len = 0usize;
+    if threshold > 0.0 {
+        let g_tau = TruncatedMean::uniform(&sizes, threshold);
+        let cover = submodular_cover_into(&mut state, &g_tau, 1.0, cfg.k, cfg.variant.clone());
+        stage1_len = state.len();
+        // Lines 8–9: fall back to S_g when the cover failed. (If greedy
+        // stalled below size k, submodularity implies no superset can
+        // reach g'_τ = 1 either, so the fallback is also correct then.)
+        if !cover.covered {
+            oracle_calls += state.oracle_calls();
+            state = SolutionState::new(system);
+            state.insert_all(&sat.items);
+            fell_back = true;
+            stage1_len = state.len();
+        }
+    }
+
+    // Lines 10–15: top up with the greedy-for-f prefix, in greedy order.
+    for &v in &run_f.items {
+        if state.len() >= cfg.k {
+            break;
+        }
+        state.insert(v);
+    }
+    // If S_f's items all overlapped (possible when stage 1 chose them
+    // already), fill with the best remaining items for f to honor |S'| = k.
+    if state.len() < cfg.k {
+        let fill_cfg = GreedyConfig {
+            variant: cfg.variant.clone(),
+            ..GreedyConfig::lazy(cfg.k)
+        };
+        let _ = super::greedy::greedy_into(&mut state, &f, &fill_cfg);
+    }
+    // Zero-gain padding: the paper's greedy runs exactly k argmax rounds,
+    // so |S'| = k always; padding with useless items changes neither f
+    // nor g (monotone utilities) but honors the size contract.
+    if state.len() < cfg.k {
+        for v in 0..system.num_items() as crate::items::ItemId {
+            if state.len() >= cfg.k {
+                break;
+            }
+            state.insert(v);
+        }
+    }
+
+    oracle_calls += state.oracle_calls();
+    let eval = evaluate_state(&state);
+    TsGreedyOutcome {
+        bsm: BsmOutcome {
+            items: state.items().to_vec(),
+            eval,
+            opt_f_estimate,
+            opt_g_estimate,
+            fell_back,
+            oracle_calls,
+        },
+        stage1_len,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::SystemExt;
+    use crate::toy;
+
+    /// Example 4.1 of the paper, τ = 0.2: stage 1 picks v3 (g'({v3}) = 1),
+    /// stage 2 adds v1 (first item of S_f); result {v1, v3}.
+    #[test]
+    fn figure1_tau_02_returns_v1_v3() {
+        let sys = toy::figure1();
+        let out = bsm_tsgreedy_detailed(&sys, &TsGreedyConfig::new(2, 0.2));
+        let mut items = out.bsm.items.clone();
+        items.sort_unstable();
+        assert_eq!(items, vec![0, 2]);
+        assert_eq!(out.stage1_len, 1);
+        assert!(!out.bsm.fell_back);
+        assert!((out.bsm.eval.f - 8.0 / 12.0).abs() < 1e-12);
+    }
+
+    /// Example 4.1, τ = 0.5: stage 1 picks v3 then v1 or v2; the solution
+    /// stays feasible for the weak constraint g ≥ τ·OPT'_g.
+    #[test]
+    fn figure1_tau_05_is_weakly_feasible() {
+        let sys = toy::figure1();
+        let out = bsm_tsgreedy(&sys, &TsGreedyConfig::new(2, 0.5));
+        assert_eq!(out.items.len(), 2);
+        assert!(out.eval.g + 1e-9 >= 0.5 * out.opt_g_estimate);
+    }
+
+    /// Example 4.1, τ = 0.8: no 2-set built by stage 1 covers g'_0.8, so
+    /// the algorithm falls back to S_g = {v1, v4}.
+    #[test]
+    fn figure1_tau_08_falls_back_to_sg() {
+        let sys = toy::figure1();
+        let out = bsm_tsgreedy(&sys, &TsGreedyConfig::new(2, 0.8));
+        let mut items = out.items.clone();
+        items.sort_unstable();
+        assert_eq!(items, vec![0, 3]);
+        assert!(out.fell_back);
+        assert!((out.eval.g - 5.0 / 9.0).abs() < 1e-9);
+    }
+
+    /// τ = 0 reduces BSM to plain submodular maximization: S12 = {v1, v2}.
+    #[test]
+    fn tau_zero_matches_plain_greedy() {
+        let sys = toy::figure1();
+        let out = bsm_tsgreedy(&sys, &TsGreedyConfig::new(2, 0.0));
+        assert_eq!(out.items, vec![0, 1]);
+        assert!((out.eval.f - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn always_returns_k_items_and_weak_feasibility() {
+        for seed in 1..6u64 {
+            let sys = toy::random_coverage(25, 75, 3, 0.1, seed);
+            for tau in [0.1, 0.4, 0.7, 0.9] {
+                let cfg = TsGreedyConfig::new(5, tau);
+                let out = bsm_tsgreedy(&sys, &cfg);
+                assert_eq!(out.items.len(), 5, "seed {seed} tau {tau}");
+                // Weak constraint g(S) ≥ τ·OPT'_g (exact oracle ⇒ always).
+                assert!(
+                    out.eval.g + 1e-9 >= tau * out.opt_g_estimate,
+                    "seed {seed} tau {tau}: g {} < τ·OPT'_g {}",
+                    out.eval.g,
+                    tau * out.opt_g_estimate
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn utility_never_exceeds_unconstrained_greedy_substantially() {
+        let sys = toy::random_coverage(20, 60, 2, 0.12, 9);
+        let unconstrained = {
+            let f = crate::aggregate::MeanUtility::new(sys.num_users());
+            greedy(&sys, &f, &GreedyConfig::lazy(4)).value
+        };
+        let out = bsm_tsgreedy(&sys, &TsGreedyConfig::new(4, 0.8));
+        // Not an approximation claim — sanity: f(S') is bounded by f(V).
+        assert!(out.eval.f <= sys.eval_f(&(0..20).collect::<Vec<_>>()) + 1e-12);
+        assert!(out.eval.f <= 1.0 + 1e-12);
+        let _ = unconstrained;
+    }
+}

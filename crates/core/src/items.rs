@@ -1,0 +1,230 @@
+//! Item identifiers and small solution-set containers.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of an item in the ground set `V`, indexed `0..n`.
+///
+/// `u32` keeps hot per-item bookkeeping compact; ground sets beyond
+/// 4 billion items are far outside the scope of this library.
+pub type ItemId = u32;
+
+/// A solution set `S ⊆ V` with `O(1)` membership tests and insertion order.
+///
+/// Greedy-style algorithms grow solutions one item at a time and need both
+/// the insertion order (BSM-TSGreedy replays the greedy-for-`f` prefix) and
+/// fast `contains` checks. `ItemSet` stores both: a dense membership bitmap
+/// over the ground set and the ordered list of chosen items.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ItemSet {
+    order: Vec<ItemId>,
+    member: Vec<bool>,
+}
+
+impl ItemSet {
+    /// Creates an empty set over a ground set of `n` items.
+    pub fn new(n: usize) -> Self {
+        Self {
+            order: Vec::new(),
+            member: vec![false; n],
+        }
+    }
+
+    /// Creates a set over `n` items pre-populated with `items` (in order).
+    ///
+    /// Duplicates are ignored after their first occurrence.
+    pub fn from_items(n: usize, items: &[ItemId]) -> Self {
+        let mut s = Self::new(n);
+        for &v in items {
+            s.insert(v);
+        }
+        s
+    }
+
+    /// Size of the ground set this set ranges over.
+    pub fn ground_size(&self) -> usize {
+        self.member.len()
+    }
+
+    /// Number of items in the set.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Whether `item` is in the set.
+    #[inline]
+    pub fn contains(&self, item: ItemId) -> bool {
+        self.member[item as usize]
+    }
+
+    /// Inserts `item`; returns `true` if it was newly added.
+    ///
+    /// # Panics
+    /// Panics if `item` is outside the ground set.
+    pub fn insert(&mut self, item: ItemId) -> bool {
+        let slot = &mut self.member[item as usize];
+        if *slot {
+            return false;
+        }
+        *slot = true;
+        self.order.push(item);
+        true
+    }
+
+    /// Items in insertion order.
+    pub fn items(&self) -> &[ItemId] {
+        &self.order
+    }
+
+    /// Items in ascending id order (useful for canonical comparisons).
+    pub fn sorted_items(&self) -> Vec<ItemId> {
+        let mut v = self.order.clone();
+        v.sort_unstable();
+        v
+    }
+
+    /// Iterates over the items in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = ItemId> + '_ {
+        self.order.iter().copied()
+    }
+}
+
+/// Enumerates all `C(n, k)` subsets of `0..n` of size `k`, calling `visit`
+/// with each subset (ascending order). Used by the brute-force solvers.
+///
+/// `visit` may return `false` to stop the enumeration early.
+pub fn for_each_subset(n: usize, k: usize, mut visit: impl FnMut(&[ItemId]) -> bool) {
+    if k > n {
+        return;
+    }
+    if k == 0 {
+        visit(&[]);
+        return;
+    }
+    let mut idx: Vec<ItemId> = (0..k as ItemId).collect();
+    loop {
+        if !visit(&idx) {
+            return;
+        }
+        // Advance to next combination in lexicographic order.
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return;
+            }
+            i -= 1;
+            if idx[i] < (n - k + i) as ItemId {
+                idx[i] += 1;
+                for j in i + 1..k {
+                    idx[j] = idx[j - 1] + 1;
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// Number of subsets `C(n, k)` as `f64` (saturating; used only for
+/// feasibility heuristics in the exact solvers).
+pub fn binomial(n: usize, k: usize) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut acc = 1.0f64;
+    for i in 0..k {
+        acc *= (n - i) as f64 / (i + 1) as f64;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn itemset_insert_and_contains() {
+        let mut s = ItemSet::new(5);
+        assert!(s.is_empty());
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.insert(0));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(3));
+        assert!(s.contains(0));
+        assert!(!s.contains(1));
+        assert_eq!(s.items(), &[3, 0]);
+        assert_eq!(s.sorted_items(), vec![0, 3]);
+    }
+
+    #[test]
+    fn itemset_from_items_dedups() {
+        let s = ItemSet::from_items(4, &[1, 2, 1, 3]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.items(), &[1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn itemset_out_of_range_panics() {
+        let mut s = ItemSet::new(2);
+        s.insert(2);
+    }
+
+    #[test]
+    fn subset_enumeration_counts() {
+        let mut count = 0usize;
+        for_each_subset(5, 2, |s| {
+            assert_eq!(s.len(), 2);
+            assert!(s[0] < s[1]);
+            count += 1;
+            true
+        });
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    fn subset_enumeration_edge_cases() {
+        let mut count = 0;
+        for_each_subset(3, 0, |_| {
+            count += 1;
+            true
+        });
+        assert_eq!(count, 1);
+        count = 0;
+        for_each_subset(3, 4, |_| {
+            count += 1;
+            true
+        });
+        assert_eq!(count, 0);
+        count = 0;
+        for_each_subset(4, 4, |s| {
+            assert_eq!(s, &[0, 1, 2, 3]);
+            count += 1;
+            true
+        });
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn subset_enumeration_early_stop() {
+        let mut count = 0;
+        for_each_subset(6, 3, |_| {
+            count += 1;
+            count < 5
+        });
+        assert_eq!(count, 5);
+    }
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial(5, 2), 10.0);
+        assert_eq!(binomial(10, 0), 1.0);
+        assert_eq!(binomial(4, 5), 0.0);
+        assert!((binomial(52, 5) - 2_598_960.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,77 @@
+//! # fair-submod-core
+//!
+//! Core library for **Bicriteria Submodular Maximization (BSM)** — the
+//! problem of selecting a size-`k` set of items that maximizes the average
+//! utility over a population of users (*utility*, `f`) while guaranteeing
+//! that the least well-off demographic group still receives at least a
+//! `τ`-fraction of the best achievable minimum group utility (*fairness*,
+//! `g`). This reproduces the algorithmic framework of
+//! *"Balancing Utility and Fairness in Submodular Maximization"*
+//! (Wang, Li, Bonchi, Wang; EDBT 2024, arXiv:2211.00980).
+//!
+//! ## Architecture
+//!
+//! * [`system::UtilitySystem`] — the oracle abstraction. An application
+//!   (maximum coverage, influence maximization, facility location, …)
+//!   implements incremental evaluation of the per-group utility sums
+//!   `Σ_{u∈U_i} f_u(S)`.
+//! * [`aggregate::Aggregate`] — maps per-group utility sums to a scalar
+//!   objective. All composite objectives of the paper (`f`, `f_i`, `g`,
+//!   the Saturate truncation `ḡ_t`, TSGreedy's `g'_τ` and BSM-Saturate's
+//!   `F'_α`) are aggregates.
+//! * [`algorithms`] — Greedy (naive / lazy-forward / stochastic), greedy
+//!   submodular cover, Saturate for robust submodular maximization,
+//!   **BSM-TSGreedy** (Algorithm 1), **BSM-Saturate** (Algorithm 2), the
+//!   SMSC baseline, random/degree baselines, and exact solvers
+//!   (brute force and submodular branch-and-bound).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fair_submod_core::prelude::*;
+//! use fair_submod_core::toy;
+//!
+//! // The running example of the paper (Figure 1): 4 items, 12 users in 2 groups.
+//! let system = toy::figure1();
+//! let cfg = TsGreedyConfig::new(2, 0.2);
+//! let out = bsm_tsgreedy(&system, &cfg);
+//! let eval = evaluate(&system, &out.items);
+//! assert!(eval.f > 0.0 && eval.g > 0.0);
+//! ```
+
+pub mod aggregate;
+pub mod algorithms;
+pub mod curvature;
+pub mod items;
+pub mod metrics;
+pub mod system;
+pub mod toy;
+pub mod validate;
+
+/// Convenient re-exports of the most commonly used types.
+pub mod prelude {
+    pub use crate::aggregate::{
+        Aggregate, BsmObjective, GroupMeanUtility, MeanUtility, MinGroupUtility, TruncatedMean,
+    };
+    pub use crate::algorithms::baselines::{random_subset, top_singletons};
+    pub use crate::algorithms::bsm_saturate::{bsm_saturate, BsmSaturateConfig};
+    pub use crate::algorithms::cover::{submodular_cover, CoverOutcome};
+    pub use crate::algorithms::exact::{
+        brute_force_bsm, brute_force_max, branch_and_bound_bsm, BsmOptimal, ExactConfig,
+    };
+    pub use crate::algorithms::distributed::{greedi, GreediConfig};
+    pub use crate::algorithms::greedy::{greedy, GreedyConfig, GreedyOutcome, GreedyVariant};
+    pub use crate::algorithms::knapsack::{knapsack_greedy, KnapsackConfig};
+    pub use crate::algorithms::local_search::{local_search_refine, LocalSearchConfig};
+    pub use crate::algorithms::pareto::{pareto_frontier, Frontier, FrontierConfig, FrontierSolver};
+    pub use crate::algorithms::mwu::{mwu_robust, MwuConfig};
+    pub use crate::algorithms::nonmonotone::{random_greedy, PenalizedSystem, RandomGreedyConfig};
+    pub use crate::algorithms::saturate::{saturate, SaturateConfig, SaturateOutcome};
+    pub use crate::algorithms::streaming::{sieve_streaming, SieveConfig};
+    pub use crate::algorithms::smsc::{smsc, SmscConfig};
+    pub use crate::algorithms::tsgreedy::{bsm_tsgreedy, TsGreedyConfig};
+    pub use crate::algorithms::BsmOutcome;
+    pub use crate::items::{ItemId, ItemSet};
+    pub use crate::metrics::{evaluate, Evaluation};
+    pub use crate::system::{SolutionState, SystemExt, UtilitySystem};
+}

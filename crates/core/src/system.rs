@@ -1,0 +1,249 @@
+//! The oracle abstraction: grouped multi-user submodular utility systems.
+//!
+//! Every application in the paper — maximum coverage, influence
+//! maximization, facility location — boils down to a family of per-user
+//! monotone submodular utilities `f_u` whose *per-group sums* can be
+//! evaluated incrementally as a solution set grows. [`UtilitySystem`]
+//! captures exactly that contract, and [`SolutionState`] provides the
+//! shared bookkeeping (group sums, membership, oracle-call accounting) so
+//! each application only implements the marginal-gain kernel.
+
+use crate::items::{ItemId, ItemSet};
+
+/// A grouped multi-user utility system with incremental evaluation.
+///
+/// Implementors model `m` users partitioned into `c` groups, each user `u`
+/// holding a normalized (`f_u(∅)=0`), monotone, submodular utility
+/// `f_u : 2^V → R≥0`. The system exposes, for a growing solution `S`:
+///
+/// * `group_gains(inner, v)` — the vector
+///   `Δ_i(v | S) = Σ_{u∈U_i} [f_u(S ∪ {v}) − f_u(S)]` for every group `i`;
+/// * `apply(inner, v)` — commit `v` into the incremental state.
+///
+/// All composite objectives of the paper are computed from per-group sums
+/// by an [`crate::aggregate::Aggregate`], so implementors never deal with
+/// `τ`, truncations, or fairness logic.
+///
+/// # Contract
+///
+/// * `group_gains` must be non-negative (monotonicity) and must not mutate
+///   observable state.
+/// * For any state `S ⊆ T` (as multisets of applied items) and item `v`,
+///   `Δ_i(v|S) ≥ Δ_i(v|T)` per group (submodularity). Property tests in the
+///   application crates check both.
+/// * Applying the same item twice must be a no-op in value (idempotence);
+///   algorithms in this crate never do so, but exact solvers rely on it
+///   being harmless.
+pub trait UtilitySystem {
+    /// Incremental evaluation state (e.g. per-user coverage flags or
+    /// per-user current-best benefits). Must be cheap-ish to clone: the
+    /// exact solvers and lazy evaluation clone states.
+    type Inner: Clone;
+
+    /// Number of items in the ground set `V`.
+    fn num_items(&self) -> usize;
+
+    /// Number of users `m`.
+    fn num_users(&self) -> usize;
+
+    /// Sizes `m_i` of the `c` user groups. The returned slice has length
+    /// `c ≥ 1` and sums to `num_users()`.
+    fn group_sizes(&self) -> &[usize];
+
+    /// Number of groups `c`.
+    fn num_groups(&self) -> usize {
+        self.group_sizes().len()
+    }
+
+    /// Fresh evaluation state for `S = ∅`.
+    fn init_inner(&self) -> Self::Inner;
+
+    /// Writes the per-group marginal sum gains of adding `item` to the
+    /// current state into `out` (length `num_groups()`, fully overwritten).
+    fn group_gains(&self, inner: &Self::Inner, item: ItemId, out: &mut [f64]);
+
+    /// Commits `item` into the state.
+    fn apply(&self, inner: &mut Self::Inner, item: ItemId);
+}
+
+/// Blanket convenience methods for utility systems.
+pub trait SystemExt: UtilitySystem + Sized {
+    /// Evaluates the utility objective `f(S) = (1/m) Σ_u f_u(S)`.
+    fn eval_f(&self, items: &[ItemId]) -> f64 {
+        crate::metrics::evaluate(self, items).f
+    }
+
+    /// Evaluates the fairness objective `g(S) = min_i f_i(S)`.
+    fn eval_g(&self, items: &[ItemId]) -> f64 {
+        crate::metrics::evaluate(self, items).g
+    }
+}
+
+impl<S: UtilitySystem + Sized> SystemExt for S {}
+
+/// Growing-solution bookkeeping shared by every algorithm.
+///
+/// Maintains the application's incremental state, the per-group utility
+/// sums `Σ_{u∈U_i} f_u(S)`, the chosen item set, and an oracle-call
+/// counter (one call = one `group_gains` evaluation, matching the
+/// function-evaluation accounting used in the paper's experiments).
+pub struct SolutionState<'a, S: UtilitySystem + ?Sized> {
+    system: &'a S,
+    inner: S::Inner,
+    group_sums: Vec<f64>,
+    set: ItemSet,
+    scratch: Vec<f64>,
+    oracle_calls: u64,
+}
+
+impl<'a, S: UtilitySystem> SolutionState<'a, S> {
+    /// Fresh empty solution over `system`.
+    pub fn new(system: &'a S) -> Self {
+        let c = system.num_groups();
+        Self {
+            system,
+            inner: system.init_inner(),
+            group_sums: vec![0.0; c],
+            set: ItemSet::new(system.num_items()),
+            scratch: vec![0.0; c],
+            oracle_calls: 0,
+        }
+    }
+
+    /// The underlying system.
+    pub fn system(&self) -> &'a S {
+        self.system
+    }
+
+    /// Current per-group utility sums `Σ_{u∈U_i} f_u(S)`.
+    pub fn group_sums(&self) -> &[f64] {
+        &self.group_sums
+    }
+
+    /// Chosen items in insertion order.
+    pub fn items(&self) -> &[ItemId] {
+        self.set.items()
+    }
+
+    /// Number of chosen items.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Whether the solution is empty.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// Whether `item` is already chosen.
+    pub fn contains(&self, item: ItemId) -> bool {
+        self.set.contains(item)
+    }
+
+    /// Total `group_gains` evaluations performed through this state.
+    pub fn oracle_calls(&self) -> u64 {
+        self.oracle_calls
+    }
+
+    /// Per-group marginal sum gains of adding `item`, written into `out`.
+    pub fn gains_into(&mut self, item: ItemId, out: &mut [f64]) {
+        self.oracle_calls += 1;
+        self.system.group_gains(&self.inner, item, out);
+    }
+
+    /// Marginal gain of `item` under `aggregate`.
+    pub fn gain(&mut self, aggregate: &impl crate::aggregate::Aggregate, item: ItemId) -> f64 {
+        self.oracle_calls += 1;
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.system.group_gains(&self.inner, item, &mut scratch);
+        let gain = aggregate.gain(&self.group_sums, &scratch);
+        self.scratch = scratch;
+        gain
+    }
+
+    /// Current objective value under `aggregate`.
+    pub fn value(&self, aggregate: &impl crate::aggregate::Aggregate) -> f64 {
+        aggregate.value(&self.group_sums)
+    }
+
+    /// Inserts `item`, updating the incremental state and group sums.
+    /// Returns `false` (and changes nothing) if already present.
+    pub fn insert(&mut self, item: ItemId) -> bool {
+        if self.set.contains(item) {
+            return false;
+        }
+        self.oracle_calls += 1;
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.system.group_gains(&self.inner, item, &mut scratch);
+        for (sum, gain) in self.group_sums.iter_mut().zip(scratch.iter()) {
+            *sum += *gain;
+        }
+        self.scratch = scratch;
+        self.system.apply(&mut self.inner, item);
+        self.set.insert(item);
+        true
+    }
+
+    /// Inserts every item of `items` (duplicates skipped).
+    pub fn insert_all(&mut self, items: &[ItemId]) {
+        for &v in items {
+            self.insert(v);
+        }
+    }
+}
+
+impl<'a, S: UtilitySystem> Clone for SolutionState<'a, S> {
+    fn clone(&self) -> Self {
+        Self {
+            system: self.system,
+            inner: self.inner.clone(),
+            group_sums: self.group_sums.clone(),
+            set: self.set.clone(),
+            scratch: self.scratch.clone(),
+            oracle_calls: self.oracle_calls,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::MeanUtility;
+    use crate::toy;
+
+    #[test]
+    fn state_tracks_group_sums() {
+        let sys = toy::figure1();
+        let mut st = SolutionState::new(&sys);
+        assert_eq!(st.group_sums(), &[0.0, 0.0]);
+        assert!(st.insert(0)); // v1 covers u11..u15: 5 users of group 1
+        assert_eq!(st.group_sums(), &[5.0, 0.0]);
+        assert!(st.insert(3)); // v4 covers u22,u23: 2 users of group 2
+        assert_eq!(st.group_sums(), &[5.0, 2.0]);
+        assert!(!st.insert(3));
+        assert_eq!(st.len(), 2);
+    }
+
+    #[test]
+    fn state_gain_matches_insert_delta() {
+        let sys = toy::figure1();
+        let f = MeanUtility::new(sys.num_users());
+        let mut st = SolutionState::new(&sys);
+        let before = st.value(&f);
+        let gain = st.gain(&f, 1);
+        st.insert(1);
+        let after = st.value(&f);
+        assert!((after - before - gain).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oracle_calls_are_counted() {
+        let sys = toy::figure1();
+        let f = MeanUtility::new(sys.num_users());
+        let mut st = SolutionState::new(&sys);
+        assert_eq!(st.oracle_calls(), 0);
+        let _ = st.gain(&f, 0);
+        st.insert(2);
+        assert_eq!(st.oracle_calls(), 2);
+    }
+}

@@ -1,0 +1,180 @@
+//! A minimal in-crate coverage oracle and the paper's running example.
+//!
+//! [`MiniCoverage`] is a reference implementation of
+//! [`UtilitySystem`] for plain (unweighted)
+//! coverage: user `u`'s utility is `1` if any chosen item covers `u`, else
+//! `0`. The production oracle lives in `fair-submod-coverage`; this one
+//! exists so that `fair-submod-core` is self-contained for tests, doctests,
+//! and property-based validation of the algorithms.
+//!
+//! [`figure1`] builds the exact instance of Figure 1 / Example 3.1 of the
+//! paper, which the test suite uses to assert every worked number.
+
+use crate::items::ItemId;
+use crate::system::UtilitySystem;
+
+/// Simple coverage utility system: `f_u(S) = 1` iff some item in `S`
+/// covers user `u`.
+#[derive(Clone, Debug)]
+pub struct MiniCoverage {
+    /// `covers[v]` = users covered by item `v`.
+    covers: Vec<Vec<u32>>,
+    /// `group_of[u]` = group index of user `u`.
+    group_of: Vec<u32>,
+    group_sizes: Vec<usize>,
+}
+
+impl MiniCoverage {
+    /// Builds a coverage system.
+    ///
+    /// * `covers[v]` lists the users covered by item `v` (indices `< m`);
+    /// * `group_of[u]` assigns each of the `m` users to a group `0..c`
+    ///   (every group must be non-empty).
+    pub fn new(covers: Vec<Vec<u32>>, group_of: Vec<u32>) -> Self {
+        let c = group_of.iter().map(|&g| g as usize + 1).max().unwrap_or(1);
+        let mut group_sizes = vec![0usize; c];
+        for &g in &group_of {
+            group_sizes[g as usize] += 1;
+        }
+        assert!(
+            group_sizes.iter().all(|&s| s > 0),
+            "every group must be non-empty"
+        );
+        for users in &covers {
+            for &u in users {
+                assert!(
+                    (u as usize) < group_of.len(),
+                    "covered user {u} out of range"
+                );
+            }
+        }
+        Self {
+            covers,
+            group_of,
+            group_sizes,
+        }
+    }
+
+    /// Users covered by `item`.
+    pub fn covered_by(&self, item: ItemId) -> &[u32] {
+        &self.covers[item as usize]
+    }
+}
+
+impl UtilitySystem for MiniCoverage {
+    /// Per-user coverage flags.
+    type Inner = Vec<bool>;
+
+    fn num_items(&self) -> usize {
+        self.covers.len()
+    }
+
+    fn num_users(&self) -> usize {
+        self.group_of.len()
+    }
+
+    fn group_sizes(&self) -> &[usize] {
+        &self.group_sizes
+    }
+
+    fn init_inner(&self) -> Self::Inner {
+        vec![false; self.group_of.len()]
+    }
+
+    fn group_gains(&self, inner: &Self::Inner, item: ItemId, out: &mut [f64]) {
+        out.fill(0.0);
+        for &u in &self.covers[item as usize] {
+            if !inner[u as usize] {
+                out[self.group_of[u as usize] as usize] += 1.0;
+            }
+        }
+    }
+
+    fn apply(&self, inner: &mut Self::Inner, item: ItemId) {
+        for &u in &self.covers[item as usize] {
+            inner[u as usize] = true;
+        }
+    }
+}
+
+/// The BSM running example of the paper (Figure 1).
+///
+/// Items `v1..v4` map to ids `0..4`; users `u11..u19` (group `U1`) to ids
+/// `0..9` and `u21..u23` (group `U2`) to ids `9..12`. Coverage:
+/// `S(v1) = {u11..u15}`, `S(v2) = {u16..u19}`, `S(v3) = {u16, u19, u21}`,
+/// `S(v4) = {u22, u23}`.
+pub fn figure1() -> MiniCoverage {
+    let covers = vec![
+        vec![0, 1, 2, 3, 4],  // v1
+        vec![5, 6, 7, 8],     // v2
+        vec![5, 8, 9],        // v3
+        vec![10, 11],         // v4
+    ];
+    let mut group_of = vec![0u32; 12];
+    for g in group_of.iter_mut().skip(9) {
+        *g = 1;
+    }
+    MiniCoverage::new(covers, group_of)
+}
+
+/// A deterministic pseudo-random coverage instance for tests and benches.
+///
+/// `n` items, `m` users in `c` groups (round-robin group assignment so all
+/// groups are non-empty when `m ≥ c`), each item covering a hash-derived
+/// subset of users with expected density `density`.
+pub fn random_coverage(n: usize, m: usize, c: usize, density: f64, seed: u64) -> MiniCoverage {
+    assert!(m >= c && c >= 1);
+    // Small xorshift-based hash keeps this dependency-free and stable.
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let covers = (0..n)
+        .map(|_| {
+            (0..m as u32)
+                .filter(|_| (next() >> 11) as f64 / ((1u64 << 53) as f64) < density)
+                .collect()
+        })
+        .collect();
+    let group_of = (0..m as u32).map(|u| u % c as u32).collect();
+    MiniCoverage::new(covers, group_of)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::SolutionState;
+
+    #[test]
+    fn figure1_shape() {
+        let sys = figure1();
+        assert_eq!(sys.num_items(), 4);
+        assert_eq!(sys.num_users(), 12);
+        assert_eq!(sys.group_sizes(), &[9, 3]);
+    }
+
+    #[test]
+    fn coverage_gains_respect_overlap() {
+        let sys = figure1();
+        let mut st = SolutionState::new(&sys);
+        let mut out = [0.0; 2];
+        st.gains_into(1, &mut out); // v2 covers 4 group-1 users
+        assert_eq!(out, [4.0, 0.0]);
+        st.insert(1);
+        st.gains_into(2, &mut out); // v3 covers u16,u19 (already) + u21 (new)
+        assert_eq!(out, [0.0, 1.0]);
+    }
+
+    #[test]
+    fn random_coverage_is_deterministic() {
+        let a = random_coverage(10, 30, 3, 0.2, 7);
+        let b = random_coverage(10, 30, 3, 0.2, 7);
+        for v in 0..10 {
+            assert_eq!(a.covered_by(v), b.covered_by(v));
+        }
+        assert_eq!(a.group_sizes(), &[10, 10, 10]);
+    }
+}

@@ -1,0 +1,299 @@
+//! Randomized oracle-contract validation for [`UtilitySystem`]
+//! implementors.
+//!
+//! Downstream applications plug into the BSM algorithm suite by
+//! implementing [`UtilitySystem`]; every guarantee in this crate rests on
+//! that implementation being normalized, monotone, submodular, and
+//! consistent between `group_gains` and `apply`. This module provides a
+//! randomized checker for exactly those properties — the same checks the
+//! internal property tests run, packaged as a public API so new oracles
+//! can be validated in their own test suites:
+//!
+//! ```
+//! use fair_submod_core::validate::{check_contract, ValidationConfig};
+//! let system = fair_submod_core::toy::figure1();
+//! check_contract(&system, &ValidationConfig::default()).unwrap();
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::items::ItemId;
+use crate::system::{SolutionState, UtilitySystem};
+
+/// Configuration for [`check_contract`].
+#[derive(Clone, Debug)]
+pub struct ValidationConfig {
+    /// Number of random insertion trajectories to test.
+    pub trials: usize,
+    /// Maximum trajectory length (capped at the ground-set size).
+    pub max_depth: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Numerical tolerance.
+    pub tolerance: f64,
+}
+
+impl Default for ValidationConfig {
+    fn default() -> Self {
+        Self {
+            trials: 16,
+            max_depth: 8,
+            seed: 0x5EED,
+            tolerance: 1e-9,
+        }
+    }
+}
+
+/// A detected contract violation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ContractViolation {
+    /// Structural inconsistency (sizes, empty groups, …).
+    Shape(String),
+    /// `group_gains` returned a negative entry (non-monotone utility).
+    NegativeGain {
+        /// The offending item.
+        item: ItemId,
+        /// The group with negative gain.
+        group: usize,
+        /// The gain value.
+        gain: f64,
+    },
+    /// A marginal gain grew after the solution was extended.
+    SubmodularityViolated {
+        /// The probed item.
+        item: ItemId,
+        /// The group whose gain grew.
+        group: usize,
+        /// Gain before the extension.
+        before: f64,
+        /// Gain after the extension.
+        after: f64,
+    },
+    /// `group_gains` disagreed with the sum delta produced by `apply`.
+    GainApplyMismatch {
+        /// The inserted item.
+        item: ItemId,
+        /// Predicted per-group gains.
+        predicted: Vec<f64>,
+        /// Observed per-group sum deltas.
+        observed: Vec<f64>,
+    },
+    /// Re-applying a chosen item changed the state's value.
+    NotIdempotent {
+        /// The re-applied item.
+        item: ItemId,
+    },
+}
+
+impl std::fmt::Display for ContractViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ContractViolation::Shape(msg) => write!(f, "shape violation: {msg}"),
+            ContractViolation::NegativeGain { item, group, gain } => {
+                write!(f, "negative gain {gain} for item {item}, group {group}")
+            }
+            ContractViolation::SubmodularityViolated {
+                item,
+                group,
+                before,
+                after,
+            } => write!(
+                f,
+                "submodularity violated for item {item}, group {group}: {before} → {after}"
+            ),
+            ContractViolation::GainApplyMismatch {
+                item,
+                predicted,
+                observed,
+            } => write!(
+                f,
+                "gain/apply mismatch for item {item}: predicted {predicted:?}, observed {observed:?}"
+            ),
+            ContractViolation::NotIdempotent { item } => {
+                write!(f, "re-applying item {item} changed the state")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ContractViolation {}
+
+/// Validates the [`UtilitySystem`] contract on random trajectories.
+///
+/// Checks: shape sanity, non-negative gains (monotonicity), shrinking
+/// gains (submodularity), `group_gains`/`apply` consistency, and apply
+/// idempotence. Returns the first violation found.
+///
+/// Note: this validates *monotone* systems; wrap non-monotone systems
+/// (e.g. [`crate::algorithms::nonmonotone::PenalizedSystem`]) are
+/// expected to fail the monotonicity check by design.
+pub fn check_contract<S: UtilitySystem>(
+    system: &S,
+    cfg: &ValidationConfig,
+) -> Result<(), ContractViolation> {
+    let n = system.num_items();
+    let c = system.num_groups();
+    if n == 0 {
+        return Err(ContractViolation::Shape("empty ground set".into()));
+    }
+    if system.group_sizes().iter().sum::<usize>() != system.num_users() {
+        return Err(ContractViolation::Shape(
+            "group sizes do not sum to the user count".into(),
+        ));
+    }
+    if system.group_sizes().contains(&0) {
+        return Err(ContractViolation::Shape("empty group".into()));
+    }
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let tol = cfg.tolerance;
+    for _ in 0..cfg.trials {
+        let mut state = SolutionState::new(system);
+        let depth = cfg.max_depth.min(n);
+        let mut gains_before: Vec<Vec<f64>> = Vec::with_capacity(n);
+        let mut buf = vec![0.0; c];
+        for v in 0..n as ItemId {
+            state.gains_into(v, &mut buf);
+            if let Some(g) = buf.iter().position(|&x| x < -tol) {
+                return Err(ContractViolation::NegativeGain {
+                    item: v,
+                    group: g,
+                    gain: buf[g],
+                });
+            }
+            gains_before.push(buf.clone());
+        }
+
+        for _ in 0..depth {
+            let v = rng.gen_range(0..n) as ItemId;
+            if state.contains(v) {
+                continue;
+            }
+            // Predicted gains vs observed sum delta.
+            let mut predicted = vec![0.0; c];
+            state.gains_into(v, &mut predicted);
+            let before_sums = state.group_sums().to_vec();
+            state.insert(v);
+            let observed: Vec<f64> = state
+                .group_sums()
+                .iter()
+                .zip(&before_sums)
+                .map(|(a, b)| a - b)
+                .collect();
+            let mismatch = predicted
+                .iter()
+                .zip(&observed)
+                .any(|(p, o)| (p - o).abs() > tol.max(1e-7 * p.abs()));
+            if mismatch {
+                return Err(ContractViolation::GainApplyMismatch {
+                    item: v,
+                    predicted,
+                    observed,
+                });
+            }
+
+            // Submodularity: all gains must have shrunk (weakly).
+            for u in 0..n as ItemId {
+                state.gains_into(u, &mut buf);
+                for g in 0..c {
+                    if buf[g] > gains_before[u as usize][g] + tol {
+                        return Err(ContractViolation::SubmodularityViolated {
+                            item: u,
+                            group: g,
+                            before: gains_before[u as usize][g],
+                            after: buf[g],
+                        });
+                    }
+                }
+                gains_before[u as usize].copy_from_slice(&buf);
+            }
+
+            // Idempotence of apply on an already-chosen item.
+            let sums_before = state.group_sums().to_vec();
+            let mut probe = vec![0.0; c];
+            state.gains_into(v, &mut probe);
+            if probe.iter().any(|&x| x.abs() > tol) {
+                return Err(ContractViolation::NotIdempotent { item: v });
+            }
+            debug_assert_eq!(sums_before, state.group_sums());
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy;
+
+    #[test]
+    fn figure1_passes() {
+        check_contract(&toy::figure1(), &ValidationConfig::default()).unwrap();
+    }
+
+    #[test]
+    fn random_coverage_passes() {
+        for seed in 1..4 {
+            let sys = toy::random_coverage(15, 40, 3, 0.2, seed);
+            check_contract(&sys, &ValidationConfig::default()).unwrap();
+        }
+    }
+
+    #[test]
+    fn penalized_system_fails_monotonicity() {
+        use crate::algorithms::nonmonotone::PenalizedSystem;
+        let sys = PenalizedSystem::new(toy::figure1(), vec![0.5; 4]);
+        let err = check_contract(&sys, &ValidationConfig::default()).unwrap_err();
+        assert!(matches!(err, ContractViolation::NegativeGain { .. }));
+    }
+
+    /// A deliberately broken oracle: `apply` forgets to commit, so
+    /// already-chosen items keep reporting positive gains.
+    #[derive(Clone)]
+    struct Broken(toy::MiniCoverage);
+
+    impl UtilitySystem for Broken {
+        type Inner = Vec<bool>;
+        fn num_items(&self) -> usize {
+            self.0.num_items()
+        }
+        fn num_users(&self) -> usize {
+            self.0.num_users()
+        }
+        fn group_sizes(&self) -> &[usize] {
+            self.0.group_sizes()
+        }
+        fn init_inner(&self) -> Self::Inner {
+            self.0.init_inner()
+        }
+        fn group_gains(&self, inner: &Self::Inner, item: ItemId, out: &mut [f64]) {
+            self.0.group_gains(inner, item, out);
+        }
+        fn apply(&self, _inner: &mut Self::Inner, _item: ItemId) {
+            // Forgotten commit: the classic incremental-oracle bug.
+        }
+    }
+
+    #[test]
+    fn inconsistent_oracle_is_caught() {
+        let sys = Broken(toy::figure1());
+        let err = check_contract(&sys, &ValidationConfig::default()).unwrap_err();
+        assert!(
+            matches!(err, ContractViolation::NotIdempotent { .. }),
+            "unexpected violation {err:?}"
+        );
+    }
+
+    #[test]
+    fn violation_messages_render() {
+        let v = ContractViolation::NegativeGain {
+            item: 3,
+            group: 1,
+            gain: -0.5,
+        };
+        assert!(v.to_string().contains("item 3"));
+        let v = ContractViolation::Shape("bad".into());
+        assert!(v.to_string().contains("bad"));
+    }
+}

@@ -1,0 +1,137 @@
+//! Additional [`SetSystem`] constructors: bipartite edge lists,
+//! inverted indices, and transaction-style data.
+//!
+//! Real coverage datasets arrive in many shapes — SNAP-style bipartite
+//! edge lists (`set element` pairs), element→sets inverted files, or
+//! "transactions" (one line of elements per set). These builders
+//! normalize all of them into the CSR [`SetSystem`], plus summary
+//! statistics used by dataset reports.
+
+use crate::set_system::SetSystem;
+
+/// Builds from `(set, element)` pairs; `n` sets over `m` elements.
+/// Pairs may repeat and arrive in any order.
+pub fn from_bipartite_edges(pairs: &[(u32, u32)], n: usize, m: usize) -> SetSystem {
+    let mut sets: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for &(s, e) in pairs {
+        assert!((s as usize) < n, "set id {s} out of range");
+        sets[s as usize].push(e);
+    }
+    SetSystem::new(sets, m)
+}
+
+/// Builds from an element→sets inverted index (`covering[e]` lists the
+/// sets containing element `e`).
+pub fn from_inverted_index(covering: &[Vec<u32>], n: usize) -> SetSystem {
+    let mut sets: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (e, in_sets) in covering.iter().enumerate() {
+        for &s in in_sets {
+            assert!((s as usize) < n, "set id {s} out of range");
+            sets[s as usize].push(e as u32);
+        }
+    }
+    SetSystem::new(sets, covering.len())
+}
+
+/// Parses transaction text: one set per non-empty line, elements
+/// whitespace-separated; `#` lines are comments. Element universe size
+/// is `1 + max element`.
+pub fn from_transactions(text: &str) -> std::io::Result<SetSystem> {
+    let mut sets: Vec<Vec<u32>> = Vec::new();
+    let mut max_elem: i64 = -1;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut set = Vec::new();
+        for tok in line.split_whitespace() {
+            let e: u32 = tok.parse().map_err(|_| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("bad element '{tok}' at line {}", lineno + 1),
+                )
+            })?;
+            max_elem = max_elem.max(e as i64);
+            set.push(e);
+        }
+        sets.push(set);
+    }
+    Ok(SetSystem::new(sets, (max_elem + 1).max(0) as usize))
+}
+
+/// Summary statistics of a set system (for dataset tables).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SetSystemStats {
+    /// Number of sets.
+    pub num_sets: usize,
+    /// Element universe size.
+    pub num_elements: usize,
+    /// Mean set size.
+    pub avg_set_size: f64,
+    /// Largest set size.
+    pub max_set_size: usize,
+    /// Fraction of the universe covered by at least one set.
+    pub coverable_fraction: f64,
+}
+
+/// Computes [`SetSystemStats`].
+pub fn stats(sets: &SetSystem) -> SetSystemStats {
+    let n = sets.num_sets();
+    let mut max_size = 0usize;
+    for i in 0..n {
+        max_size = max_size.max(sets.set(i).len());
+    }
+    SetSystemStats {
+        num_sets: n,
+        num_elements: sets.num_elements(),
+        avg_set_size: sets.total_size() as f64 / n.max(1) as f64,
+        max_set_size: max_size,
+        coverable_fraction: sets.coverable_elements() as f64 / sets.num_elements().max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bipartite_edges_roundtrip() {
+        let s = from_bipartite_edges(&[(0, 1), (0, 2), (1, 0), (0, 1)], 2, 3);
+        assert_eq!(s.set(0), &[1, 2]); // dedup
+        assert_eq!(s.set(1), &[0]);
+    }
+
+    #[test]
+    fn inverted_index_transposes() {
+        // Element 0 in sets {0,1}; element 1 in set {1}.
+        let s = from_inverted_index(&[vec![0, 1], vec![1]], 2);
+        assert_eq!(s.set(0), &[0]);
+        assert_eq!(s.set(1), &[0, 1]);
+        assert_eq!(s.num_elements(), 2);
+    }
+
+    #[test]
+    fn transactions_parse_and_skip_comments() {
+        let text = "# demo\n1 2 3\n\n0 3\n";
+        let s = from_transactions(text).unwrap();
+        assert_eq!(s.num_sets(), 2);
+        assert_eq!(s.num_elements(), 4);
+        assert_eq!(s.set(1), &[0, 3]);
+    }
+
+    #[test]
+    fn transactions_reject_garbage() {
+        assert!(from_transactions("1 x 3\n").is_err());
+    }
+
+    #[test]
+    fn stats_summarize() {
+        let s = from_bipartite_edges(&[(0, 0), (0, 1), (1, 2)], 3, 4);
+        let st = stats(&s);
+        assert_eq!(st.num_sets, 3);
+        assert_eq!(st.max_set_size, 2);
+        assert!((st.avg_set_size - 1.0).abs() < 1e-12);
+        assert!((st.coverable_fraction - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,51 @@
+//! The paper's dominating-set construction (Section 5.1).
+//!
+//! Given a graph, the element universe is the node set, and for each node
+//! `v` a set `S(v) = N_out(v) ∪ {v}` is created. Selecting `k` items then
+//! means selecting `k` nodes that dominate as many users as possible.
+
+use fair_submod_graphs::Graph;
+
+use crate::set_system::SetSystem;
+
+/// Builds the dominating-set system of `graph`.
+pub fn dominating_set_system(graph: &Graph) -> SetSystem {
+    let n = graph.num_nodes();
+    let sets = (0..n as u32)
+        .map(|v| {
+            let mut s: Vec<u32> = graph.out_neighbors(v).to_vec();
+            s.push(v);
+            s
+        })
+        .collect();
+    SetSystem::new(sets, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fair_submod_graphs::GraphBuilder;
+
+    #[test]
+    fn dominating_sets_include_self_and_out_neighbors() {
+        let mut b = GraphBuilder::new(4, true);
+        b.add_edge(0, 1).add_edge(0, 2).add_edge(3, 0);
+        let g = b.build();
+        let s = dominating_set_system(&g);
+        assert_eq!(s.num_sets(), 4);
+        assert_eq!(s.set(0), &[0, 1, 2]);
+        assert_eq!(s.set(1), &[1]);
+        assert_eq!(s.set(3), &[0, 3]);
+    }
+
+    #[test]
+    fn undirected_graph_gives_closed_neighborhoods() {
+        let mut b = GraphBuilder::new(3, false);
+        b.add_edge(0, 1);
+        let g = b.build();
+        let s = dominating_set_system(&g);
+        assert_eq!(s.set(0), &[0, 1]);
+        assert_eq!(s.set(1), &[0, 1]);
+        assert_eq!(s.set(2), &[2]);
+    }
+}

@@ -1,0 +1,23 @@
+//! # fair-submod-coverage
+//!
+//! Maximum-coverage (MC) substrate: weighted bipartite set systems, the
+//! dominating-set construction used by the paper (`S(v) = N_out(v) ∪ {v}`
+//! per node `v`), and [`CoverageOracle`] — the
+//! [`UtilitySystem`](fair_submod_core::system::UtilitySystem)
+//! implementation that drives all BSM algorithms on MC instances.
+//!
+//! In the paper's MC formulation, user `u`'s utility of a set `S` of
+//! items is `1` if `u` is covered by the union of the chosen sets and `0`
+//! otherwise, so `f(S)` is the average coverage and `g(S)` the minimum
+//! average group coverage (Section 5.1).
+
+pub mod builders;
+pub mod dominating;
+pub mod oracle;
+pub mod set_system;
+pub mod weighted;
+
+pub use dominating::dominating_set_system;
+pub use oracle::CoverageOracle;
+pub use set_system::SetSystem;
+pub use weighted::WeightedCoverageOracle;

@@ -1,0 +1,140 @@
+//! The maximum-coverage utility oracle.
+
+use fair_submod_core::items::ItemId;
+use fair_submod_core::system::UtilitySystem;
+use fair_submod_graphs::Groups;
+
+use crate::set_system::SetSystem;
+
+/// Coverage utility system: `f_u(S) = 1` iff user `u` is covered by the
+/// union of the chosen sets (Section 5.1 of the paper).
+///
+/// Incremental state is a per-user coverage bitmap, so a marginal-gain
+/// query for item `v` costs `O(|S(v)|)` and an insertion the same.
+#[derive(Clone, Debug)]
+pub struct CoverageOracle {
+    sets: SetSystem,
+    group_of: Vec<u32>,
+    group_sizes: Vec<usize>,
+}
+
+impl CoverageOracle {
+    /// Builds the oracle from a set system and a group partition of the
+    /// element universe.
+    ///
+    /// # Panics
+    /// Panics if the group partition's user count differs from the set
+    /// system's element universe.
+    pub fn new(sets: SetSystem, groups: &Groups) -> Self {
+        assert_eq!(
+            sets.num_elements(),
+            groups.num_users(),
+            "set system universe and group partition disagree"
+        );
+        Self {
+            sets,
+            group_of: groups.assignment().to_vec(),
+            group_sizes: groups.sizes().to_vec(),
+        }
+    }
+
+    /// The underlying set system.
+    pub fn sets(&self) -> &SetSystem {
+        &self.sets
+    }
+}
+
+impl UtilitySystem for CoverageOracle {
+    type Inner = Vec<bool>;
+
+    fn num_items(&self) -> usize {
+        self.sets.num_sets()
+    }
+
+    fn num_users(&self) -> usize {
+        self.sets.num_elements()
+    }
+
+    fn group_sizes(&self) -> &[usize] {
+        &self.group_sizes
+    }
+
+    fn init_inner(&self) -> Self::Inner {
+        vec![false; self.sets.num_elements()]
+    }
+
+    fn group_gains(&self, inner: &Self::Inner, item: ItemId, out: &mut [f64]) {
+        out.fill(0.0);
+        for &u in self.sets.set(item as usize) {
+            if !inner[u as usize] {
+                out[self.group_of[u as usize] as usize] += 1.0;
+            }
+        }
+    }
+
+    fn apply(&self, inner: &mut Self::Inner, item: ItemId) {
+        for &u in self.sets.set(item as usize) {
+            inner[u as usize] = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fair_submod_core::metrics::evaluate;
+    use fair_submod_core::system::{SolutionState, SystemExt};
+
+    fn figure1_oracle() -> CoverageOracle {
+        let sets = SetSystem::new(
+            vec![
+                vec![0, 1, 2, 3, 4],
+                vec![5, 6, 7, 8],
+                vec![5, 8, 9],
+                vec![10, 11],
+            ],
+            12,
+        );
+        let mut assignment = vec![0u32; 12];
+        for g in assignment.iter_mut().skip(9) {
+            *g = 1;
+        }
+        CoverageOracle::new(sets, &Groups::from_assignment(assignment))
+    }
+
+    #[test]
+    fn matches_paper_figure1_numbers() {
+        let oracle = figure1_oracle();
+        assert!((oracle.eval_f(&[0, 1]) - 0.75).abs() < 1e-12);
+        assert!((oracle.eval_g(&[0, 3]) - 5.0 / 9.0).abs() < 1e-12);
+        let e = evaluate(&oracle, &[0, 2]);
+        assert!((e.f - 8.0 / 12.0).abs() < 1e-12);
+        assert!((e.g - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gains_shrink_with_larger_solutions_submodularity() {
+        let oracle = figure1_oracle();
+        let mut small = SolutionState::new(&oracle);
+        let mut big = SolutionState::new(&oracle);
+        big.insert(1); // {v2} ⊂ every superset
+        let mut gs = [0.0; 2];
+        let mut gb = [0.0; 2];
+        for v in 0..4 {
+            small.gains_into(v, &mut gs);
+            big.gains_into(v, &mut gb);
+            for i in 0..2 {
+                assert!(gs[i] + 1e-12 >= gb[i], "item {v}, group {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn coverage_is_monotone_and_capped() {
+        let oracle = figure1_oracle();
+        let all: Vec<u32> = (0..4).collect();
+        let e = evaluate(&oracle, &all);
+        assert!((e.f - 1.0).abs() < 1e-12);
+        assert!((e.g - 1.0).abs() < 1e-12);
+    }
+}

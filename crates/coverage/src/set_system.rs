@@ -1,0 +1,97 @@
+//! Bipartite set systems: `n` sets (items) over `m` elements (users).
+
+use serde::{Deserialize, Serialize};
+
+/// A collection of sets over the element universe `0..m`, stored in CSR
+/// form for cache-friendly iteration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SetSystem {
+    offsets: Vec<usize>,
+    elements: Vec<u32>,
+    m: usize,
+}
+
+impl SetSystem {
+    /// Builds from per-set element lists. Duplicate elements within a set
+    /// are removed.
+    ///
+    /// # Panics
+    /// Panics if an element is `≥ m`.
+    pub fn new(sets: Vec<Vec<u32>>, m: usize) -> Self {
+        let mut offsets = Vec::with_capacity(sets.len() + 1);
+        let mut elements = Vec::new();
+        offsets.push(0);
+        for mut set in sets {
+            set.sort_unstable();
+            set.dedup();
+            for &e in &set {
+                assert!((e as usize) < m, "element {e} out of range (m = {m})");
+            }
+            elements.extend_from_slice(&set);
+            offsets.push(elements.len());
+        }
+        Self {
+            offsets,
+            elements,
+            m,
+        }
+    }
+
+    /// Number of sets (items).
+    pub fn num_sets(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Size of the element universe (users).
+    pub fn num_elements(&self) -> usize {
+        self.m
+    }
+
+    /// Elements of set `i` (sorted, deduplicated).
+    #[inline]
+    pub fn set(&self, i: usize) -> &[u32] {
+        &self.elements[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Total of all set sizes.
+    pub fn total_size(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Number of elements covered by at least one set.
+    pub fn coverable_elements(&self) -> usize {
+        let mut seen = vec![false; self.m];
+        for &e in &self.elements {
+            seen[e as usize] = true;
+        }
+        seen.iter().filter(|&&s| s).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_system_basics() {
+        let s = SetSystem::new(vec![vec![0, 1, 1], vec![2], vec![]], 3);
+        assert_eq!(s.num_sets(), 3);
+        assert_eq!(s.num_elements(), 3);
+        assert_eq!(s.set(0), &[0, 1]); // dedup
+        assert_eq!(s.set(2), &[] as &[u32]);
+        assert_eq!(s.total_size(), 3);
+        assert_eq!(s.coverable_elements(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_element_panics() {
+        let _ = SetSystem::new(vec![vec![5]], 3);
+    }
+
+    #[test]
+    fn coverable_elements_excludes_untouched() {
+        let s = SetSystem::new(vec![vec![0], vec![0]], 4);
+        assert_eq!(s.coverable_elements(), 1);
+    }
+}

@@ -1,0 +1,288 @@
+//! Point-set datasets for the facility-location experiments (Table 2 of
+//! the paper).
+
+use fair_submod_facility::generators::{gaussian_blobs, spread_centers, uniform_box, BlobSpec};
+use fair_submod_facility::{BenefitMatrix, FacilityOracle, PointSet};
+use fair_submod_graphs::Groups;
+
+/// How user–item benefits are computed.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum BenefitKind {
+    /// `b_uv = exp(−dist)` (Adult, RAND).
+    Rbf,
+    /// `b_uv = max{0, d̄ − dist}` (FourSquare).
+    KMedian {
+        /// Normalization distance `d̄`.
+        d_norm: f64,
+    },
+}
+
+/// A facility-location dataset: user points, item (facility) points, a
+/// group partition of the users, and the benefit construction.
+#[derive(Clone, Debug)]
+pub struct FlDataset {
+    /// Human-readable name used in tables and figures.
+    pub name: String,
+    /// User points.
+    pub users: PointSet,
+    /// Facility points.
+    pub items: PointSet,
+    /// Group partition of the users.
+    pub groups: Groups,
+    /// Benefit construction.
+    pub benefit: BenefitKind,
+}
+
+impl FlDataset {
+    /// Materializes the benefit matrix and oracle.
+    pub fn oracle(&self) -> FacilityOracle {
+        let benefits = match self.benefit {
+            BenefitKind::Rbf => BenefitMatrix::rbf(&self.users, &self.items),
+            BenefitKind::KMedian { d_norm } => {
+                BenefitMatrix::k_median(&self.users, &self.items, d_norm)
+            }
+        };
+        FacilityOracle::new(benefits, self.groups.assignment().to_vec())
+    }
+
+    /// Number of facilities `n`.
+    pub fn num_items(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Number of users `m`.
+    pub fn num_users(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Point dimensionality `d`.
+    pub fn dim(&self) -> usize {
+        self.users.dim()
+    }
+}
+
+/// The paper's random FL dataset: 100 points in `R^5`, each group an
+/// isotropic Gaussian blob, points serving as both users and facilities,
+/// RBF benefits. `c = 2` uses ratios 15/85, `c = 3` uses 5/20/75.
+pub fn rand_fl(c: usize, seed: u64) -> FlDataset {
+    let m = 100;
+    let ratios: Vec<(&str, f64)> = match c {
+        2 => vec![("U0", 0.15), ("U1", 0.85)],
+        3 => vec![("U0", 0.05), ("U1", 0.20), ("U2", 0.75)],
+        _ => panic!("RAND FL is defined for c ∈ {{2, 3}} (got {c})"),
+    };
+    let (points, groups) = blobs_for_ratios(m, &ratios, 5, 1.5, 0.6, seed);
+    FlDataset {
+        name: format!("RAND (FL, c={c})"),
+        users: points.clone(),
+        items: points,
+        groups,
+        benefit: BenefitKind::Rbf,
+    }
+}
+
+/// Adult dataset size variants.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdultSize {
+    /// 100 records, race groups 1/2/14/82/1 ("Adult-Small").
+    SmallRace,
+    /// 1,000 records, gender groups 34/66.
+    Gender,
+    /// 1,000 records, race groups 1/3/10/85/1.
+    Race,
+}
+
+/// Adult stand-in: a Gaussian mixture in `R^6` (the paper uses six
+/// numeric features) with Table 2's group percentages; records serve as
+/// both users and facilities, RBF benefits.
+pub fn adult_like(variant: AdultSize, seed: u64) -> FlDataset {
+    let (name, m, ratios): (&str, usize, Vec<(&str, f64)>) = match variant {
+        AdultSize::SmallRace => (
+            "Adult-Small-like (Race, c=5)",
+            100,
+            vec![
+                ("Amer-Indian-Eskimo", 0.01),
+                ("Asian-Pac-Islander", 0.02),
+                ("Black", 0.14),
+                ("White", 0.82),
+                ("Others", 0.01),
+            ],
+        ),
+        AdultSize::Gender => (
+            "Adult-like (Gender, c=2)",
+            1000,
+            vec![("Female", 0.34), ("Male", 0.66)],
+        ),
+        AdultSize::Race => (
+            "Adult-like (Race, c=5)",
+            1000,
+            vec![
+                ("Amer-Indian-Eskimo", 0.01),
+                ("Asian-Pac-Islander", 0.03),
+                ("Black", 0.10),
+                ("White", 0.85),
+                ("Others", 0.01),
+            ],
+        ),
+    };
+    // Socioeconomic features cluster weakly by group: blobs with large
+    // overlap (spread comparable to std-dev).
+    let (points, groups) = blobs_for_ratios(m, &ratios, 6, 1.0, 0.8, seed);
+    FlDataset {
+        name: name.into(),
+        users: points.clone(),
+        items: points,
+        groups,
+        benefit: BenefitKind::Rbf,
+    }
+}
+
+/// FourSquare city variants.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum City {
+    /// New York City: 882 facilities.
+    Nyc,
+    /// Tokyo: 1,132 facilities.
+    Tky,
+}
+
+/// FourSquare stand-in: 2-D city point clouds. `m = 1000` check-in users
+/// (each their own group, `c = 1000`), `n` medical-center facilities
+/// (882 NYC / 1,132 TKY), k-median benefits with `d̄` at the 30th
+/// distance percentile so that coverage is spatially selective, as with
+/// real venue data.
+pub fn foursquare_like(city: City, seed: u64) -> FlDataset {
+    let (name, n, box_hi): (&str, usize, f64) = match city {
+        City::Nyc => ("FourSquare-NYC-like (c=1000)", 882, 1.0),
+        City::Tky => ("FourSquare-TKY-like (c=1000)", 1132, 1.3),
+    };
+    let m = 1000;
+    // Users cluster around a handful of dense "neighborhoods"; facilities
+    // are more uniform (hospitals spread over the city).
+    let centers = spread_centers(8, 2, box_hi * 0.35, seed ^ 0xC1);
+    let specs: Vec<BlobSpec> = centers
+        .iter()
+        .map(|c| BlobSpec {
+            center: c.iter().map(|x| x + box_hi / 2.0).collect(),
+            std_dev: box_hi * 0.12,
+            count: m / 8,
+        })
+        .collect();
+    let (users, _) = gaussian_blobs(&specs, seed);
+    let items = uniform_box(n, 2, 0.0, box_hi, seed ^ 0xF5);
+    let d_norm = BenefitMatrix::distance_quantile(&users, &items, 0.30);
+    FlDataset {
+        name: name.into(),
+        users,
+        items,
+        groups: Groups::singletons(m),
+        benefit: BenefitKind::KMedian { d_norm },
+    }
+}
+
+/// Builds `m` points as one isotropic blob per ratio entry, returning the
+/// points and the induced group partition.
+fn blobs_for_ratios(
+    m: usize,
+    ratios: &[(&str, f64)],
+    dim: usize,
+    spread: f64,
+    std_dev: f64,
+    seed: u64,
+) -> (PointSet, Groups) {
+    let total: f64 = ratios.iter().map(|&(_, r)| r).sum();
+    let mut counts: Vec<usize> = ratios
+        .iter()
+        .map(|&(_, r)| ((r / total) * m as f64).round().max(1.0) as usize)
+        .collect();
+    let mut assigned: usize = counts.iter().sum();
+    while assigned > m {
+        let i = (0..counts.len()).max_by_key(|&i| counts[i]).unwrap();
+        counts[i] -= 1;
+        assigned -= 1;
+    }
+    while assigned < m {
+        let i = (0..counts.len()).max_by_key(|&i| counts[i]).unwrap();
+        counts[i] += 1;
+        assigned += 1;
+    }
+    let centers = spread_centers(ratios.len(), dim, spread, seed ^ 0xCE);
+    let specs: Vec<BlobSpec> = centers
+        .into_iter()
+        .zip(&counts)
+        .map(|(center, &count)| BlobSpec {
+            center,
+            std_dev,
+            count,
+        })
+        .collect();
+    let (points, blob_labels) = gaussian_blobs(&specs, seed);
+    let names: Vec<&str> = ratios.iter().map(|&(l, _)| l).collect();
+    (
+        points,
+        Groups::from_assignment_with_labels(blob_labels, &names),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fair_submod_core::system::UtilitySystem;
+
+    #[test]
+    fn rand_fl_matches_table2() {
+        let d = rand_fl(2, 1);
+        assert_eq!(d.num_users(), 100);
+        assert_eq!(d.num_items(), 100);
+        assert_eq!(d.dim(), 5);
+        assert_eq!(d.groups.sizes(), &[15, 85]);
+        let d3 = rand_fl(3, 1);
+        assert_eq!(d3.groups.sizes(), &[5, 20, 75]);
+    }
+
+    #[test]
+    fn adult_variants_match_table2() {
+        let s = adult_like(AdultSize::SmallRace, 2);
+        assert_eq!(s.num_users(), 100);
+        assert_eq!(s.groups.num_groups(), 5);
+        assert_eq!(s.dim(), 6);
+        let g = adult_like(AdultSize::Gender, 2);
+        assert_eq!(g.num_users(), 1000);
+        assert_eq!(g.groups.sizes(), &[340, 660]);
+        let r = adult_like(AdultSize::Race, 2);
+        assert_eq!(r.groups.num_groups(), 5);
+        // 1% groups of 1000 → ~10 users.
+        assert!(*r.groups.sizes().iter().min().unwrap() >= 5);
+    }
+
+    #[test]
+    fn foursquare_shapes() {
+        let nyc = foursquare_like(City::Nyc, 3);
+        assert_eq!(nyc.num_items(), 882);
+        assert_eq!(nyc.num_users(), 1000);
+        assert_eq!(nyc.groups.num_groups(), 1000);
+        let tky = foursquare_like(City::Tky, 3);
+        assert_eq!(tky.num_items(), 1132);
+    }
+
+    #[test]
+    fn oracles_materialize_and_have_positive_utility() {
+        use fair_submod_core::system::SystemExt;
+        let d = rand_fl(2, 4);
+        let oracle = d.oracle();
+        assert_eq!(oracle.num_items(), 100);
+        let f = oracle.eval_f(&[0, 1, 2]);
+        assert!(f > 0.0 && f <= 1.0 + 1e-9);
+        let fs = foursquare_like(City::Nyc, 4);
+        let fo = fs.oracle();
+        assert!(fo.eval_f(&[0, 5, 10]) > 0.0);
+    }
+
+    #[test]
+    fn datasets_are_deterministic() {
+        let a = adult_like(AdultSize::Gender, 9);
+        let b = adult_like(AdultSize::Gender, 9);
+        assert_eq!(a.users.point(17), b.users.point(17));
+        assert_eq!(a.groups.assignment(), b.groups.assignment());
+    }
+}

@@ -1,0 +1,37 @@
+//! # fair-submod-datasets
+//!
+//! Named, seed-deterministic dataset builders for every experiment in the
+//! paper:
+//!
+//! * the paper's own synthetic **RAND** datasets (SBM graphs and Gaussian
+//!   blobs), reproduced with the exact published parameters;
+//! * documented stand-ins for the real datasets — **Facebook**, **DBLP**,
+//!   **Pokec** (graphs) and **Adult**, **FourSquare** (point sets) — with
+//!   matched sizes, group percentages, and structural family (see
+//!   DESIGN.md §4 for the substitution rationale);
+//! * Table 1 / Table 2 statistics.
+//!
+//! Every builder takes an explicit seed; the canonical experiment seeds
+//! live in [`seeds`].
+
+pub mod fl;
+pub mod mc;
+pub mod tables;
+
+pub use fl::{adult_like, foursquare_like, rand_fl, AdultSize, City, FlDataset};
+pub use mc::{dblp_like, facebook_like, pokec_like, rand_mc, GraphDataset, PokecAttr};
+
+/// Canonical seeds used by the experiment harness (one per dataset, so
+/// every figure regenerates identically).
+pub mod seeds {
+    /// RAND graphs (MC/IM).
+    pub const RAND: u64 = 0xB5E0;
+    /// Facebook-like graph.
+    pub const FACEBOOK: u64 = 0xFACE;
+    /// DBLP-like graph.
+    pub const DBLP: u64 = 0xDB17;
+    /// Pokec-like graph.
+    pub const POKEC: u64 = 0x90CEC;
+    /// FL datasets.
+    pub const FL: u64 = 0xF1;
+}

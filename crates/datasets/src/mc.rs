@@ -1,0 +1,253 @@
+//! Graph datasets for the maximum-coverage and influence-maximization
+//! experiments (Table 1 of the paper).
+
+use fair_submod_coverage::{dominating_set_system, CoverageOracle};
+use fair_submod_graphs::generators::{chung_lu, community_graph, power_law_weights, sbm};
+use fair_submod_graphs::{Graph, Groups};
+use fair_submod_influence::oracle::{RisConfig, RisOracle};
+use fair_submod_influence::DiffusionModel;
+
+/// A graph plus a demographic partition of its nodes; the substrate for
+/// both MC (dominating sets) and IM (diffusion) experiments.
+#[derive(Clone, Debug)]
+pub struct GraphDataset {
+    /// Human-readable name used in tables and figures.
+    pub name: String,
+    /// The social graph.
+    pub graph: Graph,
+    /// Group partition of the nodes (= users).
+    pub groups: Groups,
+}
+
+impl GraphDataset {
+    /// Builds the paper's dominating-set coverage oracle (Section 5.1).
+    pub fn coverage_oracle(&self) -> CoverageOracle {
+        CoverageOracle::new(dominating_set_system(&self.graph), &self.groups)
+    }
+
+    /// Builds a group-stratified RIS oracle for IM experiments.
+    pub fn ris_oracle(&self, model: DiffusionModel, num_rr: usize, seed: u64) -> RisOracle {
+        RisOracle::generate(&self.graph, model, &self.groups, &RisConfig::new(num_rr, seed))
+    }
+
+    /// Number of nodes (= users `m` = items `n` in both MC and IM).
+    pub fn num_nodes(&self) -> usize {
+        self.graph.num_nodes()
+    }
+}
+
+/// The paper's RAND dataset: an SBM graph whose blocks *are* the groups.
+///
+/// `c = 2` uses ratios 20/80, `c = 4` uses 8/12/20/60 (Table 1);
+/// `p_in = 0.1`, `p_out = 0.02`. The paper uses `n = 500` for MC and
+/// `n = 100` for IM.
+pub fn rand_mc(c: usize, n: usize, seed: u64) -> GraphDataset {
+    let ratios: Vec<(&str, f64)> = match c {
+        2 => vec![("U0", 0.2), ("U1", 0.8)],
+        4 => vec![("U0", 0.08), ("U1", 0.12), ("U2", 0.2), ("U3", 0.6)],
+        _ => panic!("RAND is defined for c ∈ {{2, 4}} (got {c})"),
+    };
+    // Blocks follow the group ratios so the SBM community structure and
+    // the demographic partition coincide, as in the paper.
+    let sizes: Vec<usize> = apportion(n, &ratios);
+    let graph = sbm(&sizes, 0.1, 0.02, seed);
+    let mut assignment = Vec::with_capacity(n);
+    for (g, &s) in sizes.iter().enumerate() {
+        assignment.extend(std::iter::repeat_n(g as u32, s));
+    }
+    let labels: Vec<&str> = ratios.iter().map(|&(l, _)| l).collect();
+    GraphDataset {
+        name: format!("RAND (c={c}, n={n})"),
+        graph,
+        groups: Groups::from_assignment_with_labels(assignment, &labels),
+    }
+}
+
+/// Facebook stand-in: 1,216 nodes, ≈ 42,443 edges (average degree ≈ 70),
+/// heavy-tailed friendship counts; the `Age` attribute partitions users
+/// into 2 (8/92) or 4 (8/28/31/33) groups independent of structure.
+pub fn facebook_like(c: usize, seed: u64) -> GraphDataset {
+    let n = 1216;
+    let target_edges = 42_443.0;
+    let avg_deg = 2.0 * target_edges / n as f64;
+    let weights = power_law_weights(n, avg_deg, 3.0);
+    let graph = chung_lu(&weights, false, seed);
+    let ratios: Vec<(&str, f64)> = match c {
+        2 => vec![("<20", 0.08), (">=20", 0.92)],
+        4 => vec![("19", 0.08), ("20", 0.28), ("21", 0.31), ("22", 0.33)],
+        _ => panic!("Facebook is partitioned into 2 or 4 age groups (got {c})"),
+    };
+    GraphDataset {
+        name: format!("Facebook-like (Age, c={c})"),
+        graph,
+        groups: Groups::from_ratios(n, &ratios, seed ^ 0xA6E),
+    }
+}
+
+/// DBLP stand-in: 3,980 nodes, ≈ 6,966 edges of overlapping co-author
+/// cliques; 5 continent groups 21/23/52/3/1.
+pub fn dblp_like(seed: u64) -> GraphDataset {
+    let n = 3980;
+    let graph = community_graph(n, 6966, 5, 0.35, seed);
+    let ratios = vec![
+        ("Asia", 0.21),
+        ("Europe", 0.23),
+        ("North America", 0.52),
+        ("Oceania", 0.03),
+        ("South America", 0.01),
+    ];
+    GraphDataset {
+        name: "DBLP-like (Continent, c=5)".into(),
+        graph,
+        groups: Groups::from_ratios(n, &ratios, seed ^ 0xD8),
+    }
+}
+
+/// Pokec group attribute.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PokecAttr {
+    /// Two groups 51/49.
+    Gender,
+    /// Six age bands 17/45/29/6/2/1.
+    Age,
+}
+
+/// Pokec stand-in: a directed Chung–Lu power-law graph with the real
+/// graph's average degree (30.6M arcs / 1.63M nodes ≈ 18.75). The node
+/// count is a parameter — the paper's full size is 1,632,803; the
+/// harness default is 100,000 (documented scale-down, DESIGN.md §4).
+pub fn pokec_like(nodes: usize, attr: PokecAttr, seed: u64) -> GraphDataset {
+    let avg_deg = 18.75;
+    let weights = power_law_weights(nodes, avg_deg, 2.5);
+    let graph = chung_lu(&weights, true, seed);
+    let (label, ratios): (&str, Vec<(&str, f64)>) = match attr {
+        PokecAttr::Gender => ("Gender, c=2", vec![("Female", 0.51), ("Male", 0.49)]),
+        PokecAttr::Age => (
+            "Age, c=6",
+            vec![
+                ("0-20", 0.17),
+                ("21-30", 0.45),
+                ("31-40", 0.29),
+                ("41-50", 0.06),
+                ("51-60", 0.02),
+                ("60+", 0.01),
+            ],
+        ),
+    };
+    GraphDataset {
+        name: format!("Pokec-like ({label}, n={nodes})"),
+        graph,
+        groups: Groups::from_ratios(nodes, &ratios, seed ^ 0x90),
+    }
+}
+
+/// Largest-remainder apportionment of `n` into the given ratios with a
+/// floor of 1 (shared with `Groups::from_ratios`, but needed here for
+/// ordered block sizes).
+fn apportion(n: usize, ratios: &[(&str, f64)]) -> Vec<usize> {
+    let total: f64 = ratios.iter().map(|&(_, r)| r).sum();
+    let mut sizes: Vec<usize> = ratios
+        .iter()
+        .map(|&(_, r)| ((r / total) * n as f64).floor().max(1.0) as usize)
+        .collect();
+    let mut assigned: usize = sizes.iter().sum();
+    while assigned > n {
+        let i = (0..sizes.len()).max_by_key(|&i| sizes[i]).unwrap();
+        sizes[i] -= 1;
+        assigned -= 1;
+    }
+    let c = sizes.len();
+    let mut i = 0;
+    while assigned < n {
+        sizes[i % c] += 1;
+        assigned += 1;
+        i += 1;
+    }
+    sizes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fair_submod_graphs::stats::graph_stats;
+
+    #[test]
+    fn rand_mc_matches_paper_parameters() {
+        let d = rand_mc(2, 500, 1);
+        assert_eq!(d.num_nodes(), 500);
+        assert_eq!(d.groups.sizes(), &[100, 400]);
+        // Table 1 reports 8,946 edges for one draw; expectation is ~8.6k.
+        let m = d.graph.num_edges();
+        assert!((7_000..11_000).contains(&m), "edges {m}");
+        let d4 = rand_mc(4, 500, 1);
+        assert_eq!(d4.groups.num_groups(), 4);
+        assert_eq!(d4.groups.sizes(), &[40, 60, 100, 300]);
+    }
+
+    #[test]
+    fn rand_mc_small_variant_for_im() {
+        let d = rand_mc(2, 100, 2);
+        assert_eq!(d.num_nodes(), 100);
+        // Table 1: 360 edges for the 100-node RAND (c=2).
+        let m = d.graph.num_edges();
+        assert!((250..500).contains(&m), "edges {m}");
+    }
+
+    #[test]
+    fn facebook_like_matches_table1_shape() {
+        let d = facebook_like(2, 3);
+        assert_eq!(d.num_nodes(), 1216);
+        let m = d.graph.num_edges();
+        assert!(
+            (35_000..48_000).contains(&m),
+            "edges {m} (target ≈ 42,443)"
+        );
+        assert_eq!(d.groups.num_groups(), 2);
+        let p = d.groups.percentages();
+        assert!((p[0] - 8.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn dblp_like_is_sparse_with_five_groups() {
+        let d = dblp_like(5);
+        assert_eq!(d.num_nodes(), 3980);
+        let m = d.graph.num_edges();
+        assert!((5_000..9_000).contains(&m), "edges {m} (target ≈ 6,966)");
+        assert_eq!(d.groups.num_groups(), 5);
+        // South America ≈ 1%.
+        assert!(d.groups.sizes()[4] < 80);
+    }
+
+    #[test]
+    fn pokec_like_scales_and_is_heavy_tailed() {
+        let d = pokec_like(20_000, PokecAttr::Gender, 7);
+        assert_eq!(d.num_nodes(), 20_000);
+        let s = graph_stats(&d.graph);
+        assert!(
+            (10.0..25.0).contains(&s.avg_out_degree),
+            "avg degree {}",
+            s.avg_out_degree
+        );
+        assert!(s.max_out_degree > 50 * s.avg_out_degree as usize / 10);
+        let age = pokec_like(5_000, PokecAttr::Age, 7);
+        assert_eq!(age.groups.num_groups(), 6);
+    }
+
+    #[test]
+    fn coverage_oracle_has_graph_shape() {
+        use fair_submod_core::system::UtilitySystem;
+        let d = rand_mc(2, 100, 9);
+        let oracle = d.coverage_oracle();
+        assert_eq!(oracle.num_items(), 100);
+        assert_eq!(oracle.num_users(), 100);
+        assert_eq!(oracle.num_groups(), 2);
+    }
+
+    #[test]
+    fn datasets_are_deterministic() {
+        let a = dblp_like(11);
+        let b = dblp_like(11);
+        assert_eq!(a.graph.num_edges(), b.graph.num_edges());
+        assert_eq!(a.groups.assignment(), b.groups.assignment());
+    }
+}

@@ -1,0 +1,119 @@
+//! Table 1 / Table 2 statistics (dataset summaries of the paper).
+
+use fair_submod_graphs::stats::graph_stats;
+
+use crate::fl::FlDataset;
+use crate::mc::GraphDataset;
+
+/// One row of Table 1 (graph datasets for MC and IM).
+#[derive(Clone, Debug)]
+pub struct Table1Row {
+    /// Dataset name.
+    pub dataset: String,
+    /// `n` (= `m`): number of nodes/users.
+    pub n: usize,
+    /// `|E|`: number of edges.
+    pub edges: usize,
+    /// Group labels with percentage of users.
+    pub groups: Vec<(String, f64)>,
+}
+
+/// One row of Table 2 (FL datasets).
+#[derive(Clone, Debug)]
+pub struct Table2Row {
+    /// Dataset name.
+    pub dataset: String,
+    /// Number of facilities `n`.
+    pub n: usize,
+    /// Number of users `m`.
+    pub m: usize,
+    /// Feature dimension `d`.
+    pub d: usize,
+    /// Group labels with percentage of users (elided when `c` is large).
+    pub groups: Vec<(String, f64)>,
+}
+
+/// Builds a Table 1 row for a graph dataset.
+pub fn table1_row(dataset: &GraphDataset) -> Table1Row {
+    let stats = graph_stats(&dataset.graph);
+    let groups = dataset
+        .groups
+        .labels()
+        .iter()
+        .cloned()
+        .zip(dataset.groups.percentages())
+        .collect();
+    Table1Row {
+        dataset: dataset.name.clone(),
+        n: stats.nodes,
+        edges: stats.edges,
+        groups,
+    }
+}
+
+/// Builds a Table 2 row for an FL dataset.
+pub fn table2_row(dataset: &FlDataset) -> Table2Row {
+    let c = dataset.groups.num_groups();
+    let groups = if c <= 8 {
+        dataset
+            .groups
+            .labels()
+            .iter()
+            .cloned()
+            .zip(dataset.groups.percentages())
+            .collect()
+    } else {
+        vec![(format!("{c} singleton groups"), 100.0 / c as f64)]
+    };
+    Table2Row {
+        dataset: dataset.name.clone(),
+        n: dataset.num_items(),
+        m: dataset.num_users(),
+        d: dataset.dim(),
+        groups,
+    }
+}
+
+/// Formats a percentage list like the paper:
+/// `['U0': 20%, 'U1': 80%]`.
+pub fn format_groups(groups: &[(String, f64)]) -> String {
+    let inner: Vec<String> = groups
+        .iter()
+        .map(|(l, p)| format!("'{l}': {p:.0}%"))
+        .collect();
+    format!("[{}]", inner.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fl::rand_fl;
+    use crate::mc::rand_mc;
+
+    #[test]
+    fn table1_row_shape() {
+        let row = table1_row(&rand_mc(2, 500, 1));
+        assert_eq!(row.n, 500);
+        assert!(row.edges > 0);
+        assert_eq!(row.groups.len(), 2);
+        assert!((row.groups[0].1 - 20.0).abs() < 1e-9);
+        let s = format_groups(&row.groups);
+        assert!(s.contains("'U0': 20%"));
+    }
+
+    #[test]
+    fn table2_row_shape() {
+        let row = table2_row(&rand_fl(3, 1));
+        assert_eq!(row.n, 100);
+        assert_eq!(row.m, 100);
+        assert_eq!(row.d, 5);
+        assert_eq!(row.groups.len(), 3);
+    }
+
+    #[test]
+    fn large_c_is_elided() {
+        let row = table2_row(&crate::fl::foursquare_like(crate::fl::City::Nyc, 2));
+        assert_eq!(row.groups.len(), 1);
+        assert!(row.groups[0].0.contains("1000"));
+    }
+}

@@ -1,0 +1,143 @@
+//! Benefit matrices `B ∈ R^{m×n}` with the paper's two constructions.
+//!
+//! * **RBF kernel** (Lindgren et al., 2016): `b_uv = exp(−dist(p_u, p_v))`
+//!   — used for the Adult and random-blob datasets.
+//! * **k-median** (Badanidiyuru et al., 2014):
+//!   `b_uv = max{0, d̄ − dist(p_u, p_v)}` for a normalization distance
+//!   `d̄` — used for FourSquare.
+
+use serde::{Deserialize, Serialize};
+
+use crate::points::PointSet;
+
+/// Dense non-negative benefit matrix, row-major by user.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BenefitMatrix {
+    b: Vec<f64>,
+    m: usize,
+    n: usize,
+}
+
+impl BenefitMatrix {
+    /// Builds from an explicit row-major matrix.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch or negative entries.
+    pub fn new(b: Vec<f64>, m: usize, n: usize) -> Self {
+        assert_eq!(b.len(), m * n, "matrix shape mismatch");
+        assert!(b.iter().all(|&x| x >= 0.0), "benefits must be non-negative");
+        Self { b, m, n }
+    }
+
+    /// RBF-kernel benefits between `users` and `items`.
+    pub fn rbf(users: &PointSet, items: &PointSet) -> Self {
+        Self::from_distance(users, items, |d| (-d).exp())
+    }
+
+    /// k-median benefits `max{0, d_norm − dist}`.
+    pub fn k_median(users: &PointSet, items: &PointSet, d_norm: f64) -> Self {
+        assert!(d_norm > 0.0, "normalization distance must be positive");
+        Self::from_distance(users, items, |d| (d_norm - d).max(0.0))
+    }
+
+    /// Generic distance-to-benefit construction.
+    pub fn from_distance(
+        users: &PointSet,
+        items: &PointSet,
+        benefit: impl Fn(f64) -> f64,
+    ) -> Self {
+        let m = users.len();
+        let n = items.len();
+        let mut b = Vec::with_capacity(m * n);
+        for u in 0..m {
+            for v in 0..n {
+                let val = benefit(users.distance(u, items, v));
+                assert!(val >= 0.0, "benefit function produced a negative value");
+                b.push(val);
+            }
+        }
+        Self { b, m, n }
+    }
+
+    /// Number of users (rows).
+    pub fn num_users(&self) -> usize {
+        self.m
+    }
+
+    /// Number of items (columns).
+    pub fn num_items(&self) -> usize {
+        self.n
+    }
+
+    /// Benefit of item `v` for user `u`.
+    #[inline]
+    pub fn benefit(&self, u: usize, v: usize) -> f64 {
+        self.b[u * self.n + v]
+    }
+
+    /// Row of benefits for user `u`.
+    #[inline]
+    pub fn row(&self, u: usize) -> &[f64] {
+        &self.b[u * self.n..(u + 1) * self.n]
+    }
+
+    /// The 95th-percentile pairwise distance is a common choice for the
+    /// k-median normalization `d̄`; this helper computes a quantile of
+    /// the user–item distance distribution.
+    pub fn distance_quantile(users: &PointSet, items: &PointSet, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q));
+        let mut d: Vec<f64> = Vec::with_capacity(users.len() * items.len());
+        for u in 0..users.len() {
+            for v in 0..items.len() {
+                d.push(users.distance(u, items, v));
+            }
+        }
+        d.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        let idx = ((d.len() - 1) as f64 * q).round() as usize;
+        d[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_points() -> (PointSet, PointSet) {
+        let users = PointSet::new(vec![0.0, 0.0, 1.0, 0.0], 2);
+        let items = PointSet::new(vec![0.0, 0.0, 0.0, 2.0], 2);
+        (users, items)
+    }
+
+    #[test]
+    fn rbf_decreases_with_distance() {
+        let (u, i) = two_points();
+        let b = BenefitMatrix::rbf(&u, &i);
+        assert!((b.benefit(0, 0) - 1.0).abs() < 1e-12); // distance 0
+        assert!(b.benefit(0, 1) < b.benefit(0, 0));
+        assert!((b.benefit(0, 1) - (-2.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_median_clamps_at_zero() {
+        let (u, i) = two_points();
+        let b = BenefitMatrix::k_median(&u, &i, 1.5);
+        assert!((b.benefit(0, 0) - 1.5).abs() < 1e-12);
+        assert_eq!(b.benefit(0, 1), 0.0); // distance 2 > 1.5
+    }
+
+    #[test]
+    fn distance_quantile_brackets() {
+        let (u, i) = two_points();
+        let d0 = BenefitMatrix::distance_quantile(&u, &i, 0.0);
+        let d1 = BenefitMatrix::distance_quantile(&u, &i, 1.0);
+        assert!(d0 <= d1);
+        assert!((d0 - 0.0).abs() < 1e-12);
+        assert!((d1 - (1.0f64 + 4.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_benefits_rejected() {
+        let _ = BenefitMatrix::new(vec![1.0, -0.5], 1, 2);
+    }
+}

@@ -1,0 +1,123 @@
+//! Point-cloud generators for facility-location experiments.
+//!
+//! The paper's random FL datasets place each group in an isotropic
+//! Gaussian blob in `R^5`; the Adult stand-in uses a Gaussian mixture in
+//! `R^6`; FourSquare stand-ins use 2-D "city" clouds. All generators are
+//! seeded and deterministic.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Normal};
+
+use crate::points::PointSet;
+
+/// Specification of one isotropic Gaussian blob.
+#[derive(Clone, Debug)]
+pub struct BlobSpec {
+    /// Blob center (defines the dimension).
+    pub center: Vec<f64>,
+    /// Isotropic standard deviation.
+    pub std_dev: f64,
+    /// Number of points to draw.
+    pub count: usize,
+}
+
+/// Samples a union of Gaussian blobs; returns the points (blob by blob,
+/// in spec order) and the blob index of each point.
+pub fn gaussian_blobs(specs: &[BlobSpec], seed: u64) -> (PointSet, Vec<u32>) {
+    assert!(!specs.is_empty());
+    let dim = specs[0].center.len();
+    assert!(specs.iter().all(|s| s.center.len() == dim), "mixed dims");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coords = Vec::new();
+    let mut labels = Vec::new();
+    for (b, spec) in specs.iter().enumerate() {
+        assert!(spec.std_dev >= 0.0);
+        let normal = Normal::new(0.0, spec.std_dev.max(f64::MIN_POSITIVE)).unwrap();
+        for _ in 0..spec.count {
+            for d in 0..dim {
+                coords.push(spec.center[d] + normal.sample(&mut rng));
+            }
+            labels.push(b as u32);
+        }
+    }
+    (PointSet::new(coords, dim), labels)
+}
+
+/// Evenly spreads blob centers on the unit hypersphere scaled by
+/// `spread` — a convenient way to build `c` separated groups.
+pub fn spread_centers(c: usize, dim: usize, spread: f64, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..c)
+        .map(|_| {
+            let mut v: Vec<f64> = (0..dim).map(|_| rng.gen::<f64>() - 0.5).collect();
+            let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-12);
+            v.iter_mut().for_each(|x| *x *= spread / norm);
+            v
+        })
+        .collect()
+}
+
+/// Uniform points in an axis-aligned box `[lo, hi]^dim` — city-like 2-D
+/// clouds for the FourSquare stand-ins.
+pub fn uniform_box(count: usize, dim: usize, lo: f64, hi: f64, seed: u64) -> PointSet {
+    assert!(hi > lo);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let coords = (0..count * dim)
+        .map(|_| lo + (hi - lo) * rng.gen::<f64>())
+        .collect();
+    PointSet::new(coords, dim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blobs_have_requested_counts_and_labels() {
+        let specs = vec![
+            BlobSpec {
+                center: vec![0.0, 0.0],
+                std_dev: 0.1,
+                count: 10,
+            },
+            BlobSpec {
+                center: vec![5.0, 5.0],
+                std_dev: 0.1,
+                count: 20,
+            },
+        ];
+        let (points, labels) = gaussian_blobs(&specs, 1);
+        assert_eq!(points.len(), 30);
+        assert_eq!(labels.iter().filter(|&&l| l == 0).count(), 10);
+        // Blob 1 points are near (5,5).
+        let p = points.point(15);
+        assert!((p[0] - 5.0).abs() < 1.0 && (p[1] - 5.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn centers_have_requested_spread() {
+        let cs = spread_centers(4, 3, 2.0, 9);
+        for c in &cs {
+            let norm = c.iter().map(|x| x * x).sum::<f64>().sqrt();
+            assert!((norm - 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn uniform_box_stays_in_bounds() {
+        let p = uniform_box(50, 2, -1.0, 3.0, 4);
+        for i in 0..50 {
+            for &x in p.point(i) {
+                assert!((-1.0..=3.0).contains(&x));
+            }
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = uniform_box(10, 2, 0.0, 1.0, 5);
+        let b = uniform_box(10, 2, 0.0, 1.0, 5);
+        assert_eq!(a.point(3), b.point(3));
+    }
+}

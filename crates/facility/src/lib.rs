@@ -1,0 +1,21 @@
+//! # fair-submod-facility
+//!
+//! Facility-location (FL) substrate: point sets, benefit matrices (RBF
+//! kernel and k-median shifted distance, the two constructions of
+//! Section 5.3 of the paper), Gaussian-blob generators, and
+//! [`FacilityOracle`] — the
+//! [`UtilitySystem`](fair_submod_core::system::UtilitySystem)
+//! implementation for FL instances.
+//!
+//! In the paper's FL formulation, user `u`'s utility of an item set `S`
+//! is `max_{v∈S} b_uv` for a non-negative benefit matrix `B`, so `f` is
+//! the average best benefit and `g` the minimum average group benefit.
+
+pub mod benefit;
+pub mod generators;
+pub mod oracle;
+pub mod points;
+
+pub use benefit::BenefitMatrix;
+pub use oracle::FacilityOracle;
+pub use points::PointSet;

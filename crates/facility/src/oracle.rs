@@ -1,0 +1,150 @@
+//! The facility-location utility oracle.
+
+use fair_submod_core::items::ItemId;
+use fair_submod_core::system::UtilitySystem;
+
+use crate::benefit::BenefitMatrix;
+
+/// Facility-location utility system: `f_u(S) = max_{v∈S} b_uv`
+/// (Section 5.3 of the paper).
+///
+/// Incremental state is the per-user current best benefit, so a
+/// marginal-gain query costs `O(m)` (a scan over the item's benefit
+/// column) and an insertion the same.
+#[derive(Clone, Debug)]
+pub struct FacilityOracle {
+    benefits: BenefitMatrix,
+    group_of: Vec<u32>,
+    group_sizes: Vec<usize>,
+}
+
+impl FacilityOracle {
+    /// Builds the oracle from a benefit matrix and a group assignment of
+    /// its users.
+    ///
+    /// # Panics
+    /// Panics if the assignment length differs from the matrix's user
+    /// count or some group is empty.
+    pub fn new(benefits: BenefitMatrix, group_of: Vec<u32>) -> Self {
+        assert_eq!(
+            benefits.num_users(),
+            group_of.len(),
+            "group assignment and benefit matrix disagree"
+        );
+        let c = group_of.iter().map(|&g| g as usize + 1).max().unwrap_or(0);
+        assert!(c > 0, "no users");
+        let mut group_sizes = vec![0usize; c];
+        for &g in &group_of {
+            group_sizes[g as usize] += 1;
+        }
+        assert!(group_sizes.iter().all(|&s| s > 0), "empty group");
+        Self {
+            benefits,
+            group_of,
+            group_sizes,
+        }
+    }
+
+    /// The underlying benefit matrix.
+    pub fn benefits(&self) -> &BenefitMatrix {
+        &self.benefits
+    }
+}
+
+impl UtilitySystem for FacilityOracle {
+    /// Current best benefit per user.
+    type Inner = Vec<f64>;
+
+    fn num_items(&self) -> usize {
+        self.benefits.num_items()
+    }
+
+    fn num_users(&self) -> usize {
+        self.benefits.num_users()
+    }
+
+    fn group_sizes(&self) -> &[usize] {
+        &self.group_sizes
+    }
+
+    fn init_inner(&self) -> Self::Inner {
+        vec![0.0; self.benefits.num_users()]
+    }
+
+    fn group_gains(&self, inner: &Self::Inner, item: ItemId, out: &mut [f64]) {
+        out.fill(0.0);
+        let v = item as usize;
+        for (u, &cur) in inner.iter().enumerate() {
+            let b = self.benefits.benefit(u, v);
+            if b > cur {
+                out[self.group_of[u] as usize] += b - cur;
+            }
+        }
+    }
+
+    fn apply(&self, inner: &mut Self::Inner, item: ItemId) {
+        let v = item as usize;
+        for (u, cur) in inner.iter_mut().enumerate() {
+            let b = self.benefits.benefit(u, v);
+            if b > *cur {
+                *cur = b;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fair_submod_core::metrics::evaluate;
+    use fair_submod_core::system::SolutionState;
+
+    /// 3 users (groups \[0,0,1\]), 2 items.
+    fn small() -> FacilityOracle {
+        let b = BenefitMatrix::new(vec![1.0, 0.2, 0.5, 0.5, 0.0, 0.9], 3, 2);
+        FacilityOracle::new(b, vec![0, 0, 1])
+    }
+
+    #[test]
+    fn max_semantics() {
+        let o = small();
+        let e = evaluate(&o, &[0]);
+        // f_u: [1.0, 0.5, 0.0]; group means: [(1.0+0.5)/2, 0.0].
+        assert!((e.f - 1.5 / 3.0).abs() < 1e-12);
+        assert!((e.group_means[0] - 0.75).abs() < 1e-12);
+        assert_eq!(e.g, 0.0);
+        let e2 = evaluate(&o, &[0, 1]);
+        // f_u: [1.0, 0.5, 0.9]; group means: [0.75, 0.9] → g = 0.75.
+        assert!((e2.f - 2.4 / 3.0).abs() < 1e-12);
+        assert!((e2.g - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gains_are_improvements_only() {
+        let o = small();
+        let mut st = SolutionState::new(&o);
+        st.insert(0);
+        let mut out = [0.0; 2];
+        st.gains_into(1, &mut out);
+        // User 0: 0.2 < 1.0 → 0; user 1: 0.0 < 0.5 → 0; user 2: 0.9 > 0.
+        assert_eq!(out[0], 0.0);
+        assert!((out[1] - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn submodularity_of_max_benefit() {
+        let o = small();
+        let mut small_state = SolutionState::new(&o);
+        let mut big_state = SolutionState::new(&o);
+        big_state.insert(0);
+        let mut gs = [0.0; 2];
+        let mut gb = [0.0; 2];
+        for v in 0..2 {
+            small_state.gains_into(v, &mut gs);
+            big_state.gains_into(v, &mut gb);
+            for i in 0..2 {
+                assert!(gs[i] + 1e-12 >= gb[i]);
+            }
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Fixed-dimension point sets in row-major storage.
+
+use serde::{Deserialize, Serialize};
+
+/// `len` points in `R^dim`, row-major.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PointSet {
+    coords: Vec<f64>,
+    dim: usize,
+}
+
+impl PointSet {
+    /// Builds from row-major coordinates.
+    ///
+    /// # Panics
+    /// Panics if `coords.len()` is not a multiple of `dim`.
+    pub fn new(coords: Vec<f64>, dim: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert!(
+            coords.len().is_multiple_of(dim),
+            "coordinate count {} not a multiple of dim {}",
+            coords.len(),
+            dim
+        );
+        Self { coords, dim }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.coords.len() / self.dim
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.coords.is_empty()
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Coordinates of point `i`.
+    #[inline]
+    pub fn point(&self, i: usize) -> &[f64] {
+        &self.coords[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Euclidean distance between points `i` and `j` of possibly
+    /// different sets (must share dimensionality).
+    pub fn distance(&self, i: usize, other: &PointSet, j: usize) -> f64 {
+        assert_eq!(self.dim, other.dim, "dimension mismatch");
+        euclidean(self.point(i), other.point(j))
+    }
+
+    /// Selects a subset of points by index.
+    pub fn subset(&self, indices: &[usize]) -> PointSet {
+        let mut coords = Vec::with_capacity(indices.len() * self.dim);
+        for &i in indices {
+            coords.extend_from_slice(self.point(i));
+        }
+        PointSet::new(coords, self.dim)
+    }
+}
+
+/// Euclidean distance between coordinate slices.
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_access_and_distance() {
+        let p = PointSet::new(vec![0.0, 0.0, 3.0, 4.0], 2);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.point(1), &[3.0, 4.0]);
+        assert!((p.distance(0, &p, 1) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subset_extracts_rows() {
+        let p = PointSet::new(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2);
+        let s = p.subset(&[2, 0]);
+        assert_eq!(s.point(0), &[5.0, 6.0]);
+        assert_eq!(s.point(1), &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn ragged_coords_panic() {
+        let _ = PointSet::new(vec![1.0, 2.0, 3.0], 2);
+    }
+}

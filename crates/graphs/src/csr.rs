@@ -1,0 +1,242 @@
+//! Compressed-sparse-row digraph.
+//!
+//! Nodes are `0..n`. Both out- and in-adjacency are stored: coverage
+//! needs out-neighborhoods (dominating sets), reverse-reachable sampling
+//! for influence maximization needs in-neighborhoods. Undirected graphs
+//! are stored as symmetric digraphs (both arc directions).
+
+use serde::{Deserialize, Serialize};
+
+/// Node identifier.
+pub type NodeId = u32;
+
+/// Immutable CSR digraph.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Graph {
+    n: usize,
+    out_offsets: Vec<usize>,
+    out_targets: Vec<NodeId>,
+    in_offsets: Vec<usize>,
+    in_targets: Vec<NodeId>,
+    /// Number of stored arcs (for an undirected graph this is twice the
+    /// number of edges).
+    num_arcs: usize,
+    directed: bool,
+}
+
+impl Graph {
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of *edges* as conventionally reported: arcs for directed
+    /// graphs, arc-pairs for undirected ones.
+    pub fn num_edges(&self) -> usize {
+        if self.directed {
+            self.num_arcs
+        } else {
+            self.num_arcs / 2
+        }
+    }
+
+    /// Number of stored arcs.
+    pub fn num_arcs(&self) -> usize {
+        self.num_arcs
+    }
+
+    /// Whether the graph was built as directed.
+    pub fn is_directed(&self) -> bool {
+        self.directed
+    }
+
+    /// Out-neighbors of `v`.
+    #[inline]
+    pub fn out_neighbors(&self, v: NodeId) -> &[NodeId] {
+        let v = v as usize;
+        &self.out_targets[self.out_offsets[v]..self.out_offsets[v + 1]]
+    }
+
+    /// In-neighbors of `v`.
+    #[inline]
+    pub fn in_neighbors(&self, v: NodeId) -> &[NodeId] {
+        let v = v as usize;
+        &self.in_targets[self.in_offsets[v]..self.in_offsets[v + 1]]
+    }
+
+    /// Out-degree of `v`.
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        self.out_neighbors(v).len()
+    }
+
+    /// In-degree of `v`.
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        self.in_neighbors(v).len()
+    }
+
+    /// Iterates over all arcs `(src, dst)`.
+    pub fn arcs(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (0..self.n as NodeId)
+            .flat_map(move |v| self.out_neighbors(v).iter().map(move |&w| (v, w)))
+    }
+
+    /// Index of the arc `(src, dst)` in global arc order (position inside
+    /// the flattened out-target array). Used to address per-edge data
+    /// such as propagation probabilities.
+    pub fn arc_index(&self, src: NodeId, pos_in_src: usize) -> usize {
+        self.out_offsets[src as usize] + pos_in_src
+    }
+}
+
+/// Incremental builder deduplicating arcs and dropping self-loops.
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    n: usize,
+    directed: bool,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// A builder for a graph with `n` nodes.
+    pub fn new(n: usize, directed: bool) -> Self {
+        Self {
+            n,
+            directed,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Adds an edge (arc if directed). Self-loops are ignored.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of range.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> &mut Self {
+        assert!((u as usize) < self.n && (v as usize) < self.n, "edge out of range");
+        if u != v {
+            self.edges.push((u, v));
+        }
+        self
+    }
+
+    /// Adds every edge from an iterator.
+    pub fn extend(&mut self, edges: impl IntoIterator<Item = (NodeId, NodeId)>) -> &mut Self {
+        for (u, v) in edges {
+            self.add_edge(u, v);
+        }
+        self
+    }
+
+    /// Number of (pre-dedup) edges added so far.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether no edges were added.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Finalizes into a CSR [`Graph`], deduplicating parallel edges.
+    pub fn build(mut self) -> Graph {
+        if !self.directed {
+            // Symmetrize before dedup.
+            let sym: Vec<(NodeId, NodeId)> =
+                self.edges.iter().map(|&(u, v)| (v, u)).collect();
+            self.edges.extend(sym);
+        }
+        self.edges.sort_unstable();
+        self.edges.dedup();
+
+        let n = self.n;
+        let mut out_offsets = vec![0usize; n + 1];
+        for &(u, _) in &self.edges {
+            out_offsets[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            out_offsets[i + 1] += out_offsets[i];
+        }
+        let out_targets: Vec<NodeId> = self.edges.iter().map(|&(_, v)| v).collect();
+
+        // In-adjacency via counting sort on destination.
+        let mut in_offsets = vec![0usize; n + 1];
+        for &(_, v) in &self.edges {
+            in_offsets[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            in_offsets[i + 1] += in_offsets[i];
+        }
+        let mut cursor = in_offsets.clone();
+        let mut in_targets = vec![0 as NodeId; self.edges.len()];
+        for &(u, v) in &self.edges {
+            in_targets[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
+        }
+
+        let num_arcs = self.edges.len();
+        Graph {
+            n,
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_targets,
+            num_arcs,
+            directed: self.directed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        let mut b = GraphBuilder::new(3, false);
+        b.add_edge(0, 1).add_edge(1, 2).add_edge(2, 0);
+        b.build()
+    }
+
+    #[test]
+    fn undirected_graph_symmetrizes() {
+        let g = triangle();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.num_arcs(), 6);
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+        assert_eq!(g.in_neighbors(0), &[1, 2]);
+    }
+
+    #[test]
+    fn directed_graph_keeps_direction() {
+        let mut b = GraphBuilder::new(3, true);
+        b.add_edge(0, 1).add_edge(0, 2);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.in_degree(0), 0);
+        assert_eq!(g.in_neighbors(1), &[0]);
+    }
+
+    #[test]
+    fn builder_dedups_and_drops_loops() {
+        let mut b = GraphBuilder::new(4, true);
+        b.add_edge(0, 1).add_edge(0, 1).add_edge(2, 2).add_edge(1, 0);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.out_degree(2), 0);
+    }
+
+    #[test]
+    fn arcs_iterator_is_complete() {
+        let g = triangle();
+        let arcs: Vec<_> = g.arcs().collect();
+        assert_eq!(arcs.len(), 6);
+        assert!(arcs.contains(&(0, 1)) && arcs.contains(&(1, 0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let mut b = GraphBuilder::new(2, false);
+        b.add_edge(0, 5);
+    }
+}

@@ -1,0 +1,78 @@
+//! Barabási–Albert preferential attachment.
+//!
+//! An alternative heavy-tailed generator used by the ablation benches
+//! (growth + preferential attachment instead of Chung–Lu's configuration
+//! model). Undirected.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::csr::{Graph, GraphBuilder, NodeId};
+
+/// Samples a Barabási–Albert graph: starts from a clique of `m0 = m + 1`
+/// nodes, then each new node attaches to `m` existing nodes chosen
+/// proportionally to their current degree.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(m >= 1, "each node must attach at least one edge");
+    assert!(n > m, "need n > m");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new(n, false);
+
+    // Repeated-endpoint list: sampling a uniform element of `ends` is
+    // degree-proportional sampling.
+    let mut ends: Vec<NodeId> = Vec::with_capacity(2 * n * m);
+    let m0 = m + 1;
+    for u in 0..m0 {
+        for v in (u + 1)..m0 {
+            builder.add_edge(u as NodeId, v as NodeId);
+            ends.push(u as NodeId);
+            ends.push(v as NodeId);
+        }
+    }
+
+    for u in m0..n {
+        let mut chosen = Vec::with_capacity(m);
+        while chosen.len() < m {
+            let v = ends[rng.gen_range(0..ends.len())];
+            if v as usize != u && !chosen.contains(&v) {
+                chosen.push(v);
+            }
+        }
+        for &v in &chosen {
+            builder.add_edge(u as NodeId, v);
+            ends.push(u as NodeId);
+            ends.push(v);
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ba_has_expected_edge_count() {
+        let n = 500;
+        let m = 3;
+        let g = barabasi_albert(n, m, 1);
+        let m0 = m + 1;
+        let expected = m0 * (m0 - 1) / 2 + (n - m0) * m;
+        assert_eq!(g.num_edges(), expected);
+    }
+
+    #[test]
+    fn ba_produces_hubs() {
+        let g = barabasi_albert(1000, 2, 3);
+        let max_deg = (0..1000).map(|v| g.out_degree(v)).max().unwrap();
+        let avg = 2.0 * g.num_edges() as f64 / 1000.0;
+        assert!(max_deg as f64 > 5.0 * avg);
+    }
+
+    #[test]
+    fn ba_is_connected() {
+        let g = barabasi_albert(200, 1, 9);
+        let comp = crate::traversal::connected_components(&g);
+        assert_eq!(comp.num_components, 1);
+    }
+}

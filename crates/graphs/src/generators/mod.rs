@@ -1,0 +1,18 @@
+//! Deterministic random-graph generators.
+//!
+//! All generators are seeded and reproducible across runs and platforms
+//! (they use `StdRng`, a portable PRNG). The paper's synthetic RAND
+//! datasets come from [`sbm()`](sbm::sbm); the stand-ins for the real datasets use
+//! `chung_lu`/`power_law_weights` (Pokec-like), `sbm` with a density
+//! boost (Facebook-like) and `community_graph` (DBLP-like) — see the `datasets`
+//! crate for the concrete recipes.
+
+pub mod ba;
+pub mod chung_lu;
+pub mod community;
+pub mod sbm;
+
+pub use ba::barabasi_albert;
+pub use chung_lu::{chung_lu, power_law_weights};
+pub use community::community_graph;
+pub use sbm::{erdos_renyi, sbm};

@@ -1,0 +1,184 @@
+//! Stochastic block model (Holland et al., 1983) and Erdős–Rényi graphs.
+//!
+//! The paper's RAND datasets are undirected SBM graphs with intra-group
+//! probability 0.1 and inter-group probability 0.02 (Section 5.1).
+//!
+//! Sampling uses geometric skipping (Batagelj & Brandes, 2005): for a
+//! Bernoulli(p) sequence, the distance to the next success is geometric,
+//! so generation costs `O(n + m)` rather than `O(n²)`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::csr::{Graph, GraphBuilder, NodeId};
+
+/// Samples an undirected stochastic block model.
+///
+/// `block_sizes[i]` nodes belong to block `i` (nodes are numbered block
+/// by block); `p_in` is the within-block and `p_out` the between-block
+/// connection probability.
+pub fn sbm(block_sizes: &[usize], p_in: f64, p_out: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p_in) && (0.0..=1.0).contains(&p_out));
+    let n: usize = block_sizes.iter().sum();
+    let mut block_of = Vec::with_capacity(n);
+    for (b, &s) in block_sizes.iter().enumerate() {
+        block_of.extend(std::iter::repeat_n(b, s));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new(n, false);
+
+    // Enumerate candidate pairs (u < v) with geometric skipping per
+    // probability class. Simpler: one pass per class over the strictly
+    // upper-triangular pair index space.
+    sample_pairs(n, &mut rng, |u, v| {
+        if block_of[u] == block_of[v] {
+            p_in
+        } else {
+            p_out
+        }
+    })
+    .into_iter()
+    .for_each(|(u, v)| {
+        builder.add_edge(u as NodeId, v as NodeId);
+    });
+    builder.build()
+}
+
+/// Samples an undirected Erdős–Rényi graph `G(n, p)`.
+pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> Graph {
+    sbm(&[n], p, p, seed)
+}
+
+/// Bernoulli sampling over the upper-triangular pair space with a
+/// per-pair probability function. Uses geometric skipping at the maximum
+/// probability and thins to the pair's own probability, which is exact
+/// and `O(n + m/p_max)` in expectation.
+fn sample_pairs(
+    n: usize,
+    rng: &mut StdRng,
+    prob: impl Fn(usize, usize) -> f64,
+) -> Vec<(usize, usize)> {
+    let mut edges = Vec::new();
+    if n < 2 {
+        return edges;
+    }
+    // Determine the maximum probability for the skipping envelope.
+    // (Both class probabilities are known to the caller; probing the two
+    // canonical pairs is enough because `prob` only depends on the
+    // block-equality of its arguments.)
+    let mut p_max = 0.0f64;
+    for u in 0..n.min(64) {
+        for v in (u + 1)..n.min(64) {
+            p_max = p_max.max(prob(u, v));
+        }
+    }
+    p_max = p_max.max(1e-12);
+    if p_max >= 1.0 {
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if rng.gen::<f64>() < prob(u, v) {
+                    edges.push((u, v));
+                }
+            }
+        }
+        return edges;
+    }
+
+    let total_pairs = n * (n - 1) / 2;
+    let log_q = (1.0 - p_max).ln();
+    let mut idx: i64 = -1;
+    loop {
+        // Geometric skip to the next envelope success.
+        let r: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let skip = (r.ln() / log_q).floor() as i64 + 1;
+        idx += skip.max(1);
+        if idx as usize >= total_pairs {
+            break;
+        }
+        let (u, v) = unrank_pair(idx as usize, n);
+        let p = prob(u, v);
+        if p >= p_max || rng.gen::<f64>() < p / p_max {
+            edges.push((u, v));
+        }
+    }
+    edges
+}
+
+/// Maps a linear index to the `idx`-th pair `(u, v)` with `u < v` in
+/// row-major upper-triangular order.
+fn unrank_pair(idx: usize, n: usize) -> (usize, usize) {
+    // Row u starts at offset u*n - u*(u+1)/2 - u... solve incrementally.
+    let mut u = 0usize;
+    let mut remaining = idx;
+    loop {
+        let row_len = n - u - 1;
+        if remaining < row_len {
+            return (u, u + 1 + remaining);
+        }
+        remaining -= row_len;
+        u += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unrank_enumerates_all_pairs() {
+        let n = 7;
+        let mut seen = std::collections::HashSet::new();
+        for idx in 0..(n * (n - 1) / 2) {
+            let (u, v) = unrank_pair(idx, n);
+            assert!(u < v && v < n);
+            assert!(seen.insert((u, v)));
+        }
+        assert_eq!(seen.len(), 21);
+    }
+
+    #[test]
+    fn sbm_is_deterministic() {
+        let a = sbm(&[30, 70], 0.1, 0.02, 42);
+        let b = sbm(&[30, 70], 0.1, 0.02, 42);
+        assert_eq!(a.num_edges(), b.num_edges());
+        for v in 0..100 {
+            assert_eq!(a.out_neighbors(v), b.out_neighbors(v));
+        }
+    }
+
+    #[test]
+    fn sbm_edge_count_matches_expectation() {
+        // E[m] = p_in·Σ C(s_i,2) + p_out·Σ_{i<j} s_i·s_j.
+        let g = sbm(&[100, 400], 0.1, 0.02, 7);
+        let expected = 0.1 * (100.0 * 99.0 / 2.0 + 400.0 * 399.0 / 2.0)
+            + 0.02 * (100.0 * 400.0);
+        let m = g.num_edges() as f64;
+        assert!(
+            (m - expected).abs() < 0.15 * expected,
+            "m = {m}, expected ≈ {expected}"
+        );
+    }
+
+    #[test]
+    fn dense_blocks_are_denser() {
+        let g = sbm(&[50, 50], 0.3, 0.01, 5);
+        let mut intra = 0usize;
+        let mut inter = 0usize;
+        for (u, v) in g.arcs() {
+            if (u < 50) == (v < 50) {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        assert!(intra > inter * 3);
+    }
+
+    #[test]
+    fn erdos_renyi_extremes() {
+        let empty = erdos_renyi(20, 0.0, 1);
+        assert_eq!(empty.num_edges(), 0);
+        let full = erdos_renyi(10, 1.0, 1);
+        assert_eq!(full.num_edges(), 45);
+    }
+}

@@ -1,0 +1,217 @@
+//! Demographic group assignment for users/nodes.
+//!
+//! The paper partitions users by a sensitive attribute (gender, age,
+//! continent, …) into `c` disjoint groups; the experiments are
+//! parameterized by the group percentages of Tables 1–2. [`Groups`]
+//! stores the assignment plus human-readable labels and guarantees every
+//! group is non-empty.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// A partition of `m` users into `c` labelled, non-empty groups.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Groups {
+    assignment: Vec<u32>,
+    sizes: Vec<usize>,
+    labels: Vec<String>,
+}
+
+impl Groups {
+    /// Builds from an explicit assignment (labels default to `G0, G1, …`).
+    ///
+    /// # Panics
+    /// Panics if any group in `0..=max(assignment)` is empty.
+    pub fn from_assignment(assignment: Vec<u32>) -> Self {
+        let c = assignment.iter().map(|&g| g as usize + 1).max().unwrap_or(0);
+        assert!(c > 0, "empty assignment");
+        let mut sizes = vec![0usize; c];
+        for &g in &assignment {
+            sizes[g as usize] += 1;
+        }
+        assert!(sizes.iter().all(|&s| s > 0), "every group must be non-empty");
+        let labels = (0..c).map(|i| format!("G{i}")).collect();
+        Self {
+            assignment,
+            sizes,
+            labels,
+        }
+    }
+
+    /// Builds from an explicit assignment with custom labels.
+    ///
+    /// # Panics
+    /// Panics if the label count differs from the group count or any
+    /// group is empty.
+    pub fn from_assignment_with_labels(assignment: Vec<u32>, labels: &[&str]) -> Self {
+        let mut g = Self::from_assignment(assignment);
+        assert_eq!(g.sizes.len(), labels.len(), "label count mismatch");
+        g.labels = labels.iter().map(|l| l.to_string()).collect();
+        g
+    }
+
+    /// Assigns `m` users to groups with (approximately) the given
+    /// `ratios`, shuffled by `seed`. Ratios are normalized; rounding
+    /// remainders go to the largest groups first, and every group gets at
+    /// least one user.
+    ///
+    /// # Panics
+    /// Panics if `m < ratios.len()` or any ratio is non-positive.
+    pub fn from_ratios(m: usize, ratios: &[(&str, f64)], seed: u64) -> Self {
+        let c = ratios.len();
+        assert!(c >= 1 && m >= c, "need at least one user per group");
+        assert!(ratios.iter().all(|&(_, r)| r > 0.0), "ratios must be positive");
+        let total: f64 = ratios.iter().map(|&(_, r)| r).sum();
+
+        // Largest-remainder apportionment with a 1-user floor.
+        let mut sizes: Vec<usize> = ratios
+            .iter()
+            .map(|&(_, r)| ((r / total) * m as f64).floor().max(1.0) as usize)
+            .collect();
+        let mut assigned: usize = sizes.iter().sum();
+        // Trim overshoot from the largest groups.
+        while assigned > m {
+            let i = (0..c).max_by_key(|&i| sizes[i]).unwrap();
+            assert!(sizes[i] > 1, "cannot honor 1-user floors");
+            sizes[i] -= 1;
+            assigned -= 1;
+        }
+        // Distribute leftover by largest fractional remainder.
+        let mut order: Vec<usize> = (0..c).collect();
+        order.sort_by(|&a, &b| {
+            let fa = (ratios[a].1 / total) * m as f64 - sizes[a] as f64;
+            let fb = (ratios[b].1 / total) * m as f64 - sizes[b] as f64;
+            fb.partial_cmp(&fa).unwrap()
+        });
+        let mut i = 0;
+        while assigned < m {
+            sizes[order[i % c]] += 1;
+            assigned += 1;
+            i += 1;
+        }
+
+        let mut assignment = Vec::with_capacity(m);
+        for (g, &s) in sizes.iter().enumerate() {
+            assignment.extend(std::iter::repeat_n(g as u32, s));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        assignment.shuffle(&mut rng);
+
+        Self {
+            assignment,
+            sizes,
+            labels: ratios.iter().map(|&(l, _)| l.to_string()).collect(),
+        }
+    }
+
+    /// One group per user (`c = m`), as in the FourSquare experiments.
+    pub fn singletons(m: usize) -> Self {
+        Self {
+            assignment: (0..m as u32).collect(),
+            sizes: vec![1; m],
+            labels: (0..m).map(|i| format!("u{i}")).collect(),
+        }
+    }
+
+    /// Group index of user `u`.
+    #[inline]
+    pub fn group_of(&self, u: usize) -> u32 {
+        self.assignment[u]
+    }
+
+    /// The raw assignment vector.
+    pub fn assignment(&self) -> &[u32] {
+        &self.assignment
+    }
+
+    /// Group sizes `m_i`.
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Number of groups `c`.
+    pub fn num_groups(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Number of users `m`.
+    pub fn num_users(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Group labels.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Percentage of users in each group (for Table 1/2 style reports).
+    pub fn percentages(&self) -> Vec<f64> {
+        let m = self.num_users() as f64;
+        self.sizes.iter().map(|&s| 100.0 * s as f64 / m).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_produce_expected_sizes() {
+        let g = Groups::from_ratios(500, &[("U0", 0.2), ("U1", 0.8)], 1);
+        assert_eq!(g.sizes(), &[100, 400]);
+        assert_eq!(g.num_users(), 500);
+        assert_eq!(g.labels(), &["U0".to_string(), "U1".to_string()]);
+    }
+
+    #[test]
+    fn ratios_honor_one_user_floor() {
+        // 1% group of 100 users → exactly 1 user.
+        let g = Groups::from_ratios(100, &[("tiny", 0.01), ("big", 0.99)], 2);
+        assert_eq!(g.sizes()[0], 1);
+        assert_eq!(g.sizes()[1], 99);
+    }
+
+    #[test]
+    fn ratios_are_deterministic_and_shuffled() {
+        let a = Groups::from_ratios(50, &[("a", 0.5), ("b", 0.5)], 7);
+        let b = Groups::from_ratios(50, &[("a", 0.5), ("b", 0.5)], 7);
+        assert_eq!(a.assignment(), b.assignment());
+        let c = Groups::from_ratios(50, &[("a", 0.5), ("b", 0.5)], 8);
+        assert_ne!(a.assignment(), c.assignment());
+    }
+
+    #[test]
+    fn paper_table1_percentages() {
+        // RAND (c=4): 8/12/20/60.
+        let g = Groups::from_ratios(
+            500,
+            &[("U0", 0.08), ("U1", 0.12), ("U2", 0.2), ("U3", 0.6)],
+            3,
+        );
+        assert_eq!(g.sizes(), &[40, 60, 100, 300]);
+        let p = g.percentages();
+        assert!((p[3] - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn singletons_one_group_per_user() {
+        let g = Groups::singletons(5);
+        assert_eq!(g.num_groups(), 5);
+        assert_eq!(g.sizes(), &[1, 1, 1, 1, 1]);
+        assert_eq!(g.group_of(3), 3);
+    }
+
+    #[test]
+    fn from_assignment_counts_sizes() {
+        let g = Groups::from_assignment(vec![0, 1, 1, 0, 2]);
+        assert_eq!(g.sizes(), &[2, 2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn from_assignment_rejects_empty_group() {
+        let _ = Groups::from_assignment(vec![0, 2, 2]);
+    }
+}

@@ -1,0 +1,123 @@
+//! Edge-list and group-assignment I/O.
+//!
+//! Plain whitespace-separated text: one `src dst` pair per line for
+//! edges, one group index per line for assignments. Lines starting with
+//! `#` are comments. This is the format of the SNAP datasets the paper
+//! uses, so real data can be dropped in when available.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+use crate::csr::{Graph, GraphBuilder, NodeId};
+use crate::groups::Groups;
+
+/// Reads an edge list; node ids must be `< n`.
+pub fn read_edge_list<R: Read>(reader: R, n: usize, directed: bool) -> std::io::Result<Graph> {
+    let mut builder = GraphBuilder::new(n, directed);
+    let reader = BufReader::new(reader);
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let parse = |s: Option<&str>| -> std::io::Result<NodeId> {
+            s.and_then(|x| x.parse().ok()).ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("malformed edge at line {}", lineno + 1),
+                )
+            })
+        };
+        let u = parse(parts.next())?;
+        let v = parse(parts.next())?;
+        if (u as usize) >= n || (v as usize) >= n {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("node id out of range at line {}", lineno + 1),
+            ));
+        }
+        builder.add_edge(u, v);
+    }
+    Ok(builder.build())
+}
+
+/// Writes an edge list (arcs for directed graphs; each undirected edge
+/// once, with `src < dst`).
+pub fn write_edge_list<W: Write>(graph: &Graph, writer: W) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    for (u, v) in graph.arcs() {
+        if graph.is_directed() || u < v {
+            writeln!(w, "{u} {v}")?;
+        }
+    }
+    w.flush()
+}
+
+/// Reads a group assignment (one index per line).
+pub fn read_groups<R: Read>(reader: R) -> std::io::Result<Groups> {
+    let reader = BufReader::new(reader);
+    let mut assignment = Vec::new();
+    for line in reader.lines() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let g: u32 = line.parse().map_err(|_| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed group index")
+        })?;
+        assignment.push(g);
+    }
+    Ok(Groups::from_assignment(assignment))
+}
+
+/// Writes a group assignment.
+pub fn write_groups<W: Write>(groups: &Groups, writer: W) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    for &g in groups.assignment() {
+        writeln!(w, "{g}")?;
+    }
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let mut b = GraphBuilder::new(4, false);
+        b.add_edge(0, 1).add_edge(1, 2).add_edge(2, 3);
+        let g = b.build();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(&buf[..], 4, false).unwrap();
+        assert_eq!(g.num_edges(), g2.num_edges());
+        for v in 0..4 {
+            assert_eq!(g.out_neighbors(v), g2.out_neighbors(v));
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "# comment\n\n0 1\n1 2\n";
+        let g = read_edge_list(text.as_bytes(), 3, true).unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn malformed_edges_error() {
+        assert!(read_edge_list("0 x\n".as_bytes(), 3, true).is_err());
+        assert!(read_edge_list("0 9\n".as_bytes(), 3, true).is_err());
+    }
+
+    #[test]
+    fn groups_roundtrip() {
+        let g = Groups::from_assignment(vec![0, 1, 0, 2]);
+        let mut buf = Vec::new();
+        write_groups(&g, &mut buf).unwrap();
+        let g2 = read_groups(&buf[..]).unwrap();
+        assert_eq!(g.assignment(), g2.assignment());
+    }
+}

@@ -1,0 +1,23 @@
+//! # fair-submod-graphs
+//!
+//! Graph substrate for the fair-submod workspace: a compact CSR digraph,
+//! deterministic random-graph generators (stochastic block model,
+//! Erdős–Rényi, Chung–Lu power-law, Barabási–Albert, overlapping
+//! community/clique graphs), demographic group assignment, traversal
+//! helpers, simple statistics, and edge-list I/O.
+//!
+//! The maximum-coverage and influence-maximization experiments of the
+//! paper both run on graphs; this crate produces the paper's synthetic
+//! RAND datasets exactly (SBM, 500/100 nodes, `p_in = 0.1`,
+//! `p_out = 0.02`) and the documented stand-ins for Facebook, DBLP, and
+//! Pokec (see DESIGN.md §4).
+
+pub mod csr;
+pub mod generators;
+pub mod groups;
+pub mod io;
+pub mod stats;
+pub mod traversal;
+
+pub use csr::{Graph, GraphBuilder};
+pub use groups::Groups;

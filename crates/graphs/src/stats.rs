@@ -1,0 +1,70 @@
+//! Degree and size statistics for Table-1-style dataset reports.
+
+use crate::csr::Graph;
+
+/// Summary statistics of a graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of edges (conventional count: arcs if directed).
+    pub edges: usize,
+    /// Mean out-degree.
+    pub avg_out_degree: f64,
+    /// Maximum out-degree.
+    pub max_out_degree: usize,
+    /// Fraction of isolated nodes (no in- or out-arcs).
+    pub isolated_fraction: f64,
+}
+
+/// Computes [`GraphStats`].
+pub fn graph_stats(graph: &Graph) -> GraphStats {
+    let n = graph.num_nodes();
+    let mut max_out = 0usize;
+    let mut isolated = 0usize;
+    let mut total_out = 0usize;
+    for v in 0..n as u32 {
+        let d = graph.out_degree(v);
+        total_out += d;
+        max_out = max_out.max(d);
+        if d == 0 && graph.in_degree(v) == 0 {
+            isolated += 1;
+        }
+    }
+    GraphStats {
+        nodes: n,
+        edges: graph.num_edges(),
+        avg_out_degree: total_out as f64 / n.max(1) as f64,
+        max_out_degree: max_out,
+        isolated_fraction: isolated as f64 / n.max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::GraphBuilder;
+
+    #[test]
+    fn stats_on_star() {
+        let mut b = GraphBuilder::new(5, true);
+        for v in 1..5 {
+            b.add_edge(0, v);
+        }
+        let g = b.build();
+        let s = graph_stats(&g);
+        assert_eq!(s.nodes, 5);
+        assert_eq!(s.edges, 4);
+        assert_eq!(s.max_out_degree, 4);
+        assert!((s.avg_out_degree - 0.8).abs() < 1e-12);
+        assert_eq!(s.isolated_fraction, 0.0);
+    }
+
+    #[test]
+    fn isolated_nodes_are_counted() {
+        let b = GraphBuilder::new(3, false);
+        let g = b.build();
+        let s = graph_stats(&g);
+        assert_eq!(s.isolated_fraction, 1.0);
+    }
+}

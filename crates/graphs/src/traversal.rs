@@ -1,0 +1,97 @@
+//! BFS and connected components.
+
+use crate::csr::{Graph, NodeId};
+
+/// Result of a connected-components computation (undirected sense: both
+/// arc directions are followed).
+#[derive(Clone, Debug)]
+pub struct Components {
+    /// Component id per node.
+    pub component_of: Vec<u32>,
+    /// Number of components.
+    pub num_components: usize,
+    /// Size of the largest component.
+    pub largest: usize,
+}
+
+/// Breadth-first search from `source` following out-arcs; returns the
+/// visit order.
+pub fn bfs(graph: &Graph, source: NodeId) -> Vec<NodeId> {
+    let n = graph.num_nodes();
+    let mut seen = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    let mut order = Vec::new();
+    seen[source as usize] = true;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for &v in graph.out_neighbors(u) {
+            if !seen[v as usize] {
+                seen[v as usize] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    order
+}
+
+/// Weakly connected components (follows arcs in both directions).
+pub fn connected_components(graph: &Graph) -> Components {
+    let n = graph.num_nodes();
+    let mut component_of = vec![u32::MAX; n];
+    let mut num_components = 0usize;
+    let mut largest = 0usize;
+    let mut queue = std::collections::VecDeque::new();
+    for s in 0..n {
+        if component_of[s] != u32::MAX {
+            continue;
+        }
+        let id = num_components as u32;
+        num_components += 1;
+        let mut size = 0usize;
+        component_of[s] = id;
+        queue.push_back(s as NodeId);
+        while let Some(u) = queue.pop_front() {
+            size += 1;
+            for &v in graph.out_neighbors(u).iter().chain(graph.in_neighbors(u)) {
+                if component_of[v as usize] == u32::MAX {
+                    component_of[v as usize] = id;
+                    queue.push_back(v);
+                }
+            }
+        }
+        largest = largest.max(size);
+    }
+    Components {
+        component_of,
+        num_components,
+        largest,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::GraphBuilder;
+
+    #[test]
+    fn bfs_visits_reachable_nodes() {
+        let mut b = GraphBuilder::new(5, true);
+        b.add_edge(0, 1).add_edge(1, 2).add_edge(3, 4);
+        let g = b.build();
+        let order = bfs(&g, 0);
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn components_counts_islands() {
+        let mut b = GraphBuilder::new(6, true);
+        b.add_edge(0, 1).add_edge(2, 3);
+        let g = b.build();
+        let c = connected_components(&g);
+        assert_eq!(c.num_components, 4); // {0,1}, {2,3}, {4}, {5}
+        assert_eq!(c.largest, 2);
+        assert_eq!(c.component_of[0], c.component_of[1]);
+        assert_ne!(c.component_of[0], c.component_of[2]);
+    }
+}

@@ -1,0 +1,177 @@
+//! Reverse-reachable (RR) set sampling (Borgs et al., SODA 2014).
+//!
+//! An RR set for root `u` under the IC model is the random set of nodes
+//! `w` such that `u` is reachable from `w` in the "live-edge" graph where
+//! each arc `(w→x)` survives independently with probability `p(w→x)`.
+//! Sampling proceeds by reverse BFS from `u`, flipping each *incoming*
+//! arc's coin on first touch.
+//!
+//! Under the LT model, each node activates through at most one in-arc
+//! (chosen uniformly when in-weights are `1/in_degree`), so an RR set is
+//! a reverse random walk.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use fair_submod_graphs::csr::NodeId;
+use fair_submod_graphs::Graph;
+
+use crate::models::DiffusionModel;
+
+/// Samples one RR set for `root`; the result always contains `root`.
+///
+/// `visited`/`stamp` implement epoch-marking so repeated calls reuse the
+/// scratch without clearing (caller keeps them across calls).
+pub fn sample_rr(
+    graph: &Graph,
+    model: DiffusionModel,
+    root: NodeId,
+    rng: &mut StdRng,
+    visited: &mut Vec<u32>,
+    stamp: &mut u32,
+    queue: &mut Vec<NodeId>,
+) -> Vec<NodeId> {
+    let n = graph.num_nodes();
+    if visited.len() != n {
+        visited.clear();
+        visited.resize(n, 0);
+        *stamp = 0;
+    }
+    *stamp = stamp.wrapping_add(1);
+    if *stamp == 0 {
+        visited.fill(0);
+        *stamp = 1;
+    }
+    let mark = *stamp;
+
+    queue.clear();
+    let mut rr = Vec::with_capacity(8);
+    visited[root as usize] = mark;
+    queue.push(root);
+    rr.push(root);
+
+    match model {
+        DiffusionModel::IndependentCascade(weighting) => {
+            let mut head = 0usize;
+            while head < queue.len() {
+                let u = queue[head];
+                head += 1;
+                for &w in graph.in_neighbors(u) {
+                    if visited[w as usize] != mark
+                        && rng.gen::<f64>() < weighting.probability(graph, w, u)
+                    {
+                        visited[w as usize] = mark;
+                        queue.push(w);
+                        rr.push(w);
+                    }
+                }
+            }
+        }
+        DiffusionModel::LinearThreshold => {
+            // Reverse random walk: each node is influenced through exactly
+            // one (uniform) in-neighbor in the live-edge view.
+            let mut cur = root;
+            loop {
+                let ins = graph.in_neighbors(cur);
+                if ins.is_empty() {
+                    break;
+                }
+                let w = ins[rng.gen_range(0..ins.len())];
+                if visited[w as usize] == mark {
+                    break; // walked into the set: stop (cycle)
+                }
+                visited[w as usize] = mark;
+                rr.push(w);
+                cur = w;
+            }
+        }
+    }
+    rr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fair_submod_graphs::GraphBuilder;
+    use rand::SeedableRng;
+
+    fn scratch(n: usize) -> (Vec<u32>, u32, Vec<NodeId>) {
+        (vec![0; n], 0, Vec::new())
+    }
+
+    #[test]
+    fn rr_contains_root() {
+        let g = GraphBuilder::new(4, true).build();
+        let (mut vis, mut stamp, mut q) = scratch(4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let rr = sample_rr(&g, DiffusionModel::ic(0.5), 2, &mut rng, &mut vis, &mut stamp, &mut q);
+        assert_eq!(rr, vec![2]);
+    }
+
+    #[test]
+    fn rr_with_p1_is_full_reverse_reachability() {
+        // 0 → 1 → 2: RR(2) at p=1 must be {2, 1, 0}.
+        let mut b = GraphBuilder::new(3, true);
+        b.add_edge(0, 1).add_edge(1, 2);
+        let g = b.build();
+        let (mut vis, mut stamp, mut q) = scratch(3);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut rr = sample_rr(&g, DiffusionModel::ic(1.0), 2, &mut rng, &mut vis, &mut stamp, &mut q);
+        rr.sort_unstable();
+        assert_eq!(rr, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn rr_with_p0_is_just_the_root() {
+        let mut b = GraphBuilder::new(3, true);
+        b.add_edge(0, 1).add_edge(1, 2);
+        let g = b.build();
+        let (mut vis, mut stamp, mut q) = scratch(3);
+        let mut rng = StdRng::seed_from_u64(3);
+        let rr = sample_rr(&g, DiffusionModel::ic(0.0), 2, &mut rng, &mut vis, &mut stamp, &mut q);
+        assert_eq!(rr, vec![2]);
+    }
+
+    #[test]
+    fn rr_frequency_matches_edge_probability() {
+        // Single arc 0 → 1 with p = 0.3: RR(1) contains 0 w.p. 0.3.
+        let mut b = GraphBuilder::new(2, true);
+        b.add_edge(0, 1);
+        let g = b.build();
+        let (mut vis, mut stamp, mut q) = scratch(2);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut hits = 0usize;
+        let runs = 50_000;
+        for _ in 0..runs {
+            let rr = sample_rr(&g, DiffusionModel::ic(0.3), 1, &mut rng, &mut vis, &mut stamp, &mut q);
+            if rr.len() == 2 {
+                hits += 1;
+            }
+        }
+        let freq = hits as f64 / runs as f64;
+        assert!((freq - 0.3).abs() < 0.01, "freq {freq}");
+    }
+
+    #[test]
+    fn lt_rr_is_a_path() {
+        let g = fair_submod_graphs::generators::erdos_renyi(30, 0.2, 7);
+        let (mut vis, mut stamp, mut q) = scratch(30);
+        let mut rng = StdRng::seed_from_u64(9);
+        for root in 0..30u32 {
+            let rr = sample_rr(
+                &g,
+                DiffusionModel::LinearThreshold,
+                root,
+                &mut rng,
+                &mut vis,
+                &mut stamp,
+                &mut q,
+            );
+            // A reverse random walk has no duplicate nodes.
+            let mut sorted = rr.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), rr.len());
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! Best-first branch-and-bound for 0/1 integer programs.
+//!
+//! Solves `max c·x` over a [`LinearProgram`] where a designated subset of
+//! variables must be binary. Nodes are LP relaxations with added bound
+//! rows `x_v ≤ 0` / `x_v ≥ 1`; exploration is best-first on the LP bound
+//! (ties broken deeper-first so incumbents appear early). Branching picks
+//! the most fractional binary.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::model::{Cmp, LinearProgram};
+use crate::simplex::{solve_lp, LpResult};
+
+/// Branch-and-bound configuration.
+#[derive(Clone, Debug)]
+pub struct IlpConfig {
+    /// Integrality tolerance.
+    pub int_tol: f64,
+    /// Maximum LP relaxations to solve before giving up.
+    pub node_limit: usize,
+}
+
+impl Default for IlpConfig {
+    fn default() -> Self {
+        Self {
+            int_tol: 1e-6,
+            node_limit: 200_000,
+        }
+    }
+}
+
+/// Result of an ILP solve.
+#[derive(Clone, Debug)]
+pub enum IlpResult {
+    /// Proven-optimal integral solution.
+    Optimal {
+        /// Variable values (binaries are exactly 0.0/1.0 up to tolerance).
+        x: Vec<f64>,
+        /// Objective value.
+        value: f64,
+        /// LP relaxations solved.
+        nodes: usize,
+    },
+    /// The program has no integral feasible point.
+    Infeasible,
+    /// Node budget exhausted before proving optimality; the best
+    /// incumbent (if any) is returned.
+    Budget {
+        /// Best incumbent found, if any.
+        incumbent: Option<(Vec<f64>, f64)>,
+        /// LP relaxations solved.
+        nodes: usize,
+    },
+}
+
+struct Node {
+    bound: f64,
+    depth: usize,
+    /// `(var, fixed_to_one)` decisions along this branch.
+    fixes: Vec<(usize, bool)>,
+}
+
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound && self.depth == other.depth
+    }
+}
+impl Eq for Node {}
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.bound
+            .partial_cmp(&other.bound)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.depth.cmp(&other.depth))
+    }
+}
+
+/// Solves an ILP where every variable in `binaries` must be 0 or 1.
+///
+/// The caller is responsible for having added `x ≤ 1` rows for binaries
+/// (e.g. via [`LinearProgram::bound_upper`]); this routine only adds
+/// branching rows.
+pub fn solve_ilp(lp: &LinearProgram, binaries: &[usize], cfg: &IlpConfig) -> IlpResult {
+    let mut nodes = 0usize;
+    let mut incumbent: Option<(Vec<f64>, f64)> = None;
+    let mut heap = BinaryHeap::new();
+
+    let root = match relax(lp, &[]) {
+        Some((x, value)) => {
+            if let Some(sol) = integral(&x, binaries, cfg.int_tol) {
+                // Root already integral.
+                return IlpResult::Optimal {
+                    x: sol,
+                    value,
+                    nodes: 1,
+                };
+            }
+            nodes += 1;
+            Node {
+                bound: value,
+                depth: 0,
+                fixes: Vec::new(),
+            }
+        }
+        None => return IlpResult::Infeasible,
+    };
+    heap.push(root);
+
+    while let Some(node) = heap.pop() {
+        if let Some((_, best)) = &incumbent {
+            if node.bound <= *best + 1e-9 {
+                continue; // dominated
+            }
+        }
+        if nodes >= cfg.node_limit {
+            return IlpResult::Budget { incumbent, nodes };
+        }
+
+        // Re-solve this node to get the fractional point (bounds were
+        // computed when pushed; the x is recomputed here to branch).
+        let Some((x, _)) = relax(lp, &node.fixes) else {
+            continue;
+        };
+        let branch_var = most_fractional(&x, binaries, cfg.int_tol);
+        let Some(v) = branch_var else {
+            continue; // became integral: handled below when children solve
+        };
+
+        for &fix_one in &[true, false] {
+            let mut fixes = node.fixes.clone();
+            fixes.push((v, fix_one));
+            nodes += 1;
+            if let Some((cx, cval)) = relax(lp, &fixes) {
+                if let Some(sol) = integral(&cx, binaries, cfg.int_tol) {
+                    let better = incumbent.as_ref().is_none_or(|(_, b)| cval > *b + 1e-9);
+                    if better {
+                        incumbent = Some((sol, cval));
+                    }
+                } else {
+                    let worth = incumbent.as_ref().is_none_or(|(_, b)| cval > *b + 1e-9);
+                    if worth {
+                        heap.push(Node {
+                            bound: cval,
+                            depth: node.depth + 1,
+                            fixes,
+                        });
+                    }
+                }
+            }
+            if nodes >= cfg.node_limit {
+                return IlpResult::Budget { incumbent, nodes };
+            }
+        }
+    }
+
+    match incumbent {
+        Some((x, value)) => IlpResult::Optimal { x, value, nodes },
+        None => IlpResult::Infeasible,
+    }
+}
+
+/// Solves the LP relaxation with branching fixes applied.
+fn relax(lp: &LinearProgram, fixes: &[(usize, bool)]) -> Option<(Vec<f64>, f64)> {
+    let mut node_lp = lp.clone();
+    for &(v, one) in fixes {
+        if one {
+            node_lp.add_constraint(vec![(v, 1.0)], Cmp::Ge, 1.0);
+        } else {
+            node_lp.add_constraint(vec![(v, 1.0)], Cmp::Le, 0.0);
+        }
+    }
+    match solve_lp(&node_lp) {
+        LpResult::Optimal { x, value } => Some((x, value)),
+        LpResult::Infeasible => None,
+        LpResult::Unbounded => panic!("ILP relaxation unbounded: add variable bounds"),
+    }
+}
+
+/// Returns a rounded copy of `x` if all binaries are integral, else None.
+fn integral(x: &[f64], binaries: &[usize], tol: f64) -> Option<Vec<f64>> {
+    for &v in binaries {
+        let frac = (x[v] - x[v].round()).abs();
+        if frac > tol {
+            return None;
+        }
+    }
+    let mut out = x.to_vec();
+    for &v in binaries {
+        out[v] = out[v].round();
+    }
+    Some(out)
+}
+
+/// Most fractional binary variable, if any.
+fn most_fractional(x: &[f64], binaries: &[usize], tol: f64) -> Option<usize> {
+    let mut best: Option<(f64, usize)> = None;
+    for &v in binaries {
+        let frac = (x[v] - x[v].round()).abs();
+        if frac > tol {
+            let dist = (x[v].fract() - 0.5).abs();
+            if best.is_none_or(|(b, _)| dist < b) {
+                best = Some((dist, v));
+            }
+        }
+    }
+    best.map(|(_, v)| v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn expect_optimal(r: IlpResult) -> (Vec<f64>, f64) {
+        match r {
+            IlpResult::Optimal { x, value, .. } => (x, value),
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn knapsack_ilp() {
+        // max 10a + 6b + 4c s.t. a + b + c ≤ 2 (binary) → a + b = 16.
+        let mut lp = LinearProgram::new();
+        let a = lp.add_var(10.0);
+        let b = lp.add_var(6.0);
+        let c = lp.add_var(4.0);
+        lp.add_constraint(vec![(a, 1.0), (b, 1.0), (c, 1.0)], Cmp::Le, 2.0);
+        for v in [a, b, c] {
+            lp.bound_upper(v, 1.0);
+        }
+        let (x, val) = expect_optimal(solve_ilp(&lp, &[a, b, c], &IlpConfig::default()));
+        assert!((val - 16.0).abs() < 1e-6);
+        assert!((x[a] - 1.0).abs() < 1e-6 && (x[b] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fractional_lp_vs_integral_ilp() {
+        // max x + y s.t. 2x + 2y ≤ 3, binary: LP gives 1.5, ILP gives 1.
+        let mut lp = LinearProgram::new();
+        lp.add_var(1.0);
+        lp.add_var(1.0);
+        lp.add_constraint(vec![(0, 2.0), (1, 2.0)], Cmp::Le, 3.0);
+        lp.bound_upper(0, 1.0);
+        lp.bound_upper(1, 1.0);
+        let (_, val) = expect_optimal(solve_ilp(&lp, &[0, 1], &IlpConfig::default()));
+        assert!((val - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_ilp() {
+        let mut lp = LinearProgram::new();
+        lp.add_var(1.0);
+        lp.add_constraint(vec![(0, 1.0)], Cmp::Ge, 0.5);
+        lp.add_constraint(vec![(0, 1.0)], Cmp::Le, 0.6);
+        match solve_ilp(&lp, &[0], &IlpConfig::default()) {
+            IlpResult::Infeasible => {}
+            other => panic!("expected infeasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mixed_integer_keeps_continuous_vars() {
+        // max 2a + w s.t. w ≤ 1.5·a, w ≤ 1.2, a binary → a=1, w=1.2.
+        let mut lp = LinearProgram::new();
+        let a = lp.add_var(2.0);
+        let w = lp.add_var(1.0);
+        lp.add_constraint(vec![(w, 1.0), (a, -1.5)], Cmp::Le, 0.0);
+        lp.add_constraint(vec![(w, 1.0)], Cmp::Le, 1.2);
+        lp.bound_upper(a, 1.0);
+        let (x, val) = expect_optimal(solve_ilp(&lp, &[a], &IlpConfig::default()));
+        assert!((val - 3.2).abs() < 1e-6, "val {val}");
+        assert!((x[w] - 1.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn node_budget_reports_incumbent() {
+        let mut lp = LinearProgram::new();
+        for i in 0..12 {
+            lp.add_var(1.0 + (i as f64) * 0.01);
+            lp.bound_upper(i, 1.0);
+        }
+        let all: Vec<(usize, f64)> = (0..12).map(|i| (i, 2.0)).collect();
+        lp.add_constraint(all, Cmp::Le, 7.0); // 3.5 items → fractional
+        let bins: Vec<usize> = (0..12).collect();
+        let cfg = IlpConfig {
+            node_limit: 2,
+            ..Default::default()
+        };
+        match solve_ilp(&lp, &bins, &cfg) {
+            IlpResult::Budget { nodes, .. } => assert!(nodes >= 2),
+            IlpResult::Optimal { nodes, .. } => assert!(nodes <= 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,417 @@
+//! Appendix-A ILP formulations of BSM for maximum coverage and facility
+//! location, and the two-stage `BSM-Optimal` pipeline.
+//!
+//! * **Maximum coverage** (Eq. 5): binaries `x_l` (set chosen) and
+//!   relaxed `y_j ∈ \[0,1\]` (user covered), `Σ x ≤ k`,
+//!   `Σ_{l: u_j ∈ S_l} x_l ≥ y_j`; objective `Σ y_j / m`.
+//! * **Robust maximum coverage** (Eq. 6): adds `w` with
+//!   `Σ_{j∈U_i} y_j / m_i ≥ w` per group; objective `w`.
+//! * **BSM maximum coverage**: Eq. 5 plus per-group floors
+//!   `Σ_{j∈U_i} y_j / m_i ≥ τ·OPT_g`.
+//! * **Facility location** (Eq. 7) and its robust/BSM variants, with
+//!   relaxed assignment variables `y_jl`.
+//!
+//! Only the `x` variables need integrality: for any fixed `x`, the `y`
+//! polytopes have integral optima (coverage: `y_j = min(1, Σ x)`;
+//! assignment: put each user's unit on its best open facility), so the
+//! relaxations branch only over `n` binaries.
+
+use fair_submod_core::items::ItemId;
+use fair_submod_coverage::SetSystem;
+use fair_submod_facility::BenefitMatrix;
+
+use crate::branch_bound::{solve_ilp, IlpConfig, IlpResult};
+use crate::model::{Cmp, LinearProgram};
+
+/// Outcome of an exact ILP-based BSM solve.
+#[derive(Clone, Debug)]
+pub struct IlpBsmOutcome {
+    /// Chosen items (indices with `x_l = 1`).
+    pub items: Vec<ItemId>,
+    /// Exact optimal `OPT_g` from the robust stage.
+    pub opt_g: f64,
+    /// Objective value of the utility stage (`f(S)`).
+    pub f_value: f64,
+    /// Whether both stages solved to proven optimality.
+    pub complete: bool,
+    /// Total LP relaxations solved.
+    pub nodes: usize,
+}
+
+struct McModel {
+    lp: LinearProgram,
+    x0: usize,
+    y0: usize,
+    n: usize,
+}
+
+/// Shared Eq.-5 scaffolding: variables, cardinality, and linking rows.
+fn mc_base(sets: &SetSystem, k: usize, obj_y: f64) -> McModel {
+    let n = sets.num_sets();
+    let m = sets.num_elements();
+    let mut lp = LinearProgram::new();
+    let x0 = lp.add_vars(n, 0.0);
+    let y0 = lp.add_vars(m, obj_y);
+    // Σ x_l ≤ k.
+    lp.add_constraint((0..n).map(|l| (x0 + l, 1.0)).collect(), Cmp::Le, k as f64);
+    // Coverage linking: Σ_{l: j∈S_l} x_l − y_j ≥ 0.
+    let mut covering: Vec<Vec<(usize, f64)>> = vec![Vec::new(); m];
+    for l in 0..n {
+        for &j in sets.set(l) {
+            covering[j as usize].push((x0 + l, 1.0));
+        }
+    }
+    for (j, mut terms) in covering.into_iter().enumerate() {
+        terms.push((y0 + j, -1.0));
+        lp.add_constraint(terms, Cmp::Ge, 0.0);
+    }
+    for l in 0..n {
+        lp.bound_upper(x0 + l, 1.0);
+    }
+    for j in 0..m {
+        lp.bound_upper(y0 + j, 1.0);
+    }
+    let _ = m;
+    McModel { lp, x0, y0, n }
+}
+
+fn group_row(y0: usize, members: &[usize], mi: usize) -> Vec<(usize, f64)> {
+    members
+        .iter()
+        .map(|&j| (y0 + j, 1.0 / mi as f64))
+        .collect()
+}
+
+fn members_per_group(group_of: &[u32], c: usize) -> Vec<Vec<usize>> {
+    let mut members = vec![Vec::new(); c];
+    for (j, &g) in group_of.iter().enumerate() {
+        members[g as usize].push(j);
+    }
+    members
+}
+
+fn extract_items(x: &[f64], x0: usize, n: usize) -> Vec<ItemId> {
+    (0..n)
+        .filter(|&l| x[x0 + l] > 0.5)
+        .map(|l| l as ItemId)
+        .collect()
+}
+
+/// Solves the robust maximum-coverage ILP (Eq. 6): exact `OPT_g`.
+pub fn mc_robust_ilp(
+    sets: &SetSystem,
+    group_of: &[u32],
+    k: usize,
+    cfg: &IlpConfig,
+) -> (f64, Vec<ItemId>, usize, bool) {
+    let c = group_of.iter().map(|&g| g as usize + 1).max().unwrap_or(1);
+    let members = members_per_group(group_of, c);
+    let mut model = mc_base(sets, k, 0.0);
+    let w = model.lp.add_var(1.0);
+    for mem in &members {
+        let mut terms = group_row(model.y0, mem, mem.len());
+        terms.push((w, -1.0));
+        model.lp.add_constraint(terms, Cmp::Ge, 0.0);
+    }
+    model.lp.bound_upper(w, 1.0);
+    let binaries: Vec<usize> = (0..model.n).map(|l| model.x0 + l).collect();
+    match solve_ilp(&model.lp, &binaries, cfg) {
+        IlpResult::Optimal { x, value, nodes } => {
+            (value, extract_items(&x, model.x0, model.n), nodes, true)
+        }
+        IlpResult::Budget { incumbent, nodes } => match incumbent {
+            Some((x, value)) => (value, extract_items(&x, model.x0, model.n), nodes, false),
+            None => (0.0, Vec::new(), nodes, false),
+        },
+        IlpResult::Infeasible => unreachable!("robust MC is always feasible"),
+    }
+}
+
+/// Solves the BSM maximum-coverage ILP: `max f` s.t. per-group coverage
+/// ≥ `g_floor` (pass `τ·OPT_g`).
+pub fn mc_bsm_ilp(
+    sets: &SetSystem,
+    group_of: &[u32],
+    k: usize,
+    g_floor: f64,
+    cfg: &IlpConfig,
+) -> Option<(f64, Vec<ItemId>, usize, bool)> {
+    let c = group_of.iter().map(|&g| g as usize + 1).max().unwrap_or(1);
+    let members = members_per_group(group_of, c);
+    let mut model = mc_base(sets, k, 1.0 / sets.num_elements() as f64);
+    if g_floor > 0.0 {
+        for mem in &members {
+            let terms = group_row(model.y0, mem, mem.len());
+            // Tiny slack absorbs simplex tolerance at binding floors.
+            model.lp.add_constraint(terms, Cmp::Ge, g_floor - 1e-7);
+        }
+    }
+    let binaries: Vec<usize> = (0..model.n).map(|l| model.x0 + l).collect();
+    match solve_ilp(&model.lp, &binaries, cfg) {
+        IlpResult::Optimal { x, value, nodes } => {
+            Some((value, extract_items(&x, model.x0, model.n), nodes, true))
+        }
+        IlpResult::Budget { incumbent, nodes } => {
+            incumbent.map(|(x, value)| (value, extract_items(&x, model.x0, model.n), nodes, false))
+        }
+        IlpResult::Infeasible => None,
+    }
+}
+
+/// The full `BSM-Optimal` pipeline for maximum coverage: robust stage
+/// for `OPT_g`, then the constrained utility stage at `τ·OPT_g`.
+pub fn mc_bsm_optimal(
+    sets: &SetSystem,
+    group_of: &[u32],
+    k: usize,
+    tau: f64,
+    cfg: &IlpConfig,
+) -> IlpBsmOutcome {
+    let (opt_g, _, nodes_g, complete_g) = mc_robust_ilp(sets, group_of, k, cfg);
+    let floor = tau * opt_g;
+    match mc_bsm_ilp(sets, group_of, k, floor, cfg) {
+        Some((f_value, items, nodes_f, complete_f)) => IlpBsmOutcome {
+            items,
+            opt_g,
+            f_value,
+            complete: complete_g && complete_f,
+            nodes: nodes_g + nodes_f,
+        },
+        None => IlpBsmOutcome {
+            items: Vec::new(),
+            opt_g,
+            f_value: 0.0,
+            complete: false,
+            nodes: nodes_g,
+        },
+    }
+}
+
+struct FlModel {
+    lp: LinearProgram,
+    x0: usize,
+    y0: usize,
+    n: usize,
+}
+
+/// Shared Eq.-7 scaffolding for facility location.
+fn fl_base(benefits: &BenefitMatrix, k: usize, weight_objective: bool) -> FlModel {
+    let n = benefits.num_items();
+    let m = benefits.num_users();
+    let mut lp = LinearProgram::new();
+    let x0 = lp.add_vars(n, 0.0);
+    // y_{jl} laid out row-major by user; objective b_jl/m when requested.
+    let y0 = lp.add_vars(m * n, 0.0);
+    if weight_objective {
+        let lp_obj: Vec<f64> = (0..m * n)
+            .map(|i| benefits.benefit(i / n, i % n) / m as f64)
+            .collect();
+        // Rebuild with the objective set (add_vars gave zeros).
+        let mut lp2 = LinearProgram::new();
+        lp2.add_vars(n, 0.0);
+        for &o in &lp_obj {
+            lp2.add_var(o);
+        }
+        lp = lp2;
+    }
+    // Σ x_l ≤ k.
+    lp.add_constraint((0..n).map(|l| (x0 + l, 1.0)).collect(), Cmp::Le, k as f64);
+    // Σ_l y_jl ≤ 1 per user.
+    for j in 0..m {
+        lp.add_constraint(
+            (0..n).map(|l| (y0 + j * n + l, 1.0)).collect(),
+            Cmp::Le,
+            1.0,
+        );
+    }
+    // y_jl ≤ x_l.
+    for j in 0..m {
+        for l in 0..n {
+            lp.add_constraint(vec![(y0 + j * n + l, 1.0), (x0 + l, -1.0)], Cmp::Le, 0.0);
+        }
+    }
+    for l in 0..n {
+        lp.bound_upper(x0 + l, 1.0);
+    }
+    let _ = m;
+    FlModel { lp, x0, y0, n }
+}
+
+/// Per-group benefit row `Σ_{j∈U_i} Σ_l b_jl y_jl / m_i`.
+fn fl_group_row(
+    benefits: &BenefitMatrix,
+    y0: usize,
+    members: &[usize],
+    mi: usize,
+) -> Vec<(usize, f64)> {
+    let n = benefits.num_items();
+    let mut terms = Vec::with_capacity(members.len() * n);
+    for &j in members {
+        for l in 0..n {
+            let b = benefits.benefit(j, l);
+            if b > 0.0 {
+                terms.push((y0 + j * n + l, b / mi as f64));
+            }
+        }
+    }
+    terms
+}
+
+/// Solves the robust facility-location ILP: exact `OPT_g`.
+pub fn fl_robust_ilp(
+    benefits: &BenefitMatrix,
+    group_of: &[u32],
+    k: usize,
+    cfg: &IlpConfig,
+) -> (f64, Vec<ItemId>, usize, bool) {
+    let c = group_of.iter().map(|&g| g as usize + 1).max().unwrap_or(1);
+    let members = members_per_group(group_of, c);
+    let mut model = fl_base(benefits, k, false);
+    let w = model.lp.add_var(1.0);
+    for mem in &members {
+        let mut terms = fl_group_row(benefits, model.y0, mem, mem.len());
+        terms.push((w, -1.0));
+        model.lp.add_constraint(terms, Cmp::Ge, 0.0);
+    }
+    let binaries: Vec<usize> = (0..model.n).map(|l| model.x0 + l).collect();
+    match solve_ilp(&model.lp, &binaries, cfg) {
+        IlpResult::Optimal { x, value, nodes } => {
+            (value, extract_items(&x, model.x0, model.n), nodes, true)
+        }
+        IlpResult::Budget { incumbent, nodes } => match incumbent {
+            Some((x, value)) => (value, extract_items(&x, model.x0, model.n), nodes, false),
+            None => (0.0, Vec::new(), nodes, false),
+        },
+        IlpResult::Infeasible => unreachable!("robust FL is always feasible"),
+    }
+}
+
+/// The full `BSM-Optimal` pipeline for facility location.
+pub fn fl_bsm_optimal(
+    benefits: &BenefitMatrix,
+    group_of: &[u32],
+    k: usize,
+    tau: f64,
+    cfg: &IlpConfig,
+) -> IlpBsmOutcome {
+    let c = group_of.iter().map(|&g| g as usize + 1).max().unwrap_or(1);
+    let members = members_per_group(group_of, c);
+    let (opt_g, _, nodes_g, complete_g) = fl_robust_ilp(benefits, group_of, k, cfg);
+    let floor = tau * opt_g;
+
+    let mut model = fl_base(benefits, k, true);
+    if floor > 0.0 {
+        for mem in &members {
+            let terms = fl_group_row(benefits, model.y0, mem, mem.len());
+            model.lp.add_constraint(terms, Cmp::Ge, floor - 1e-7);
+        }
+    }
+    let binaries: Vec<usize> = (0..model.n).map(|l| model.x0 + l).collect();
+    match solve_ilp(&model.lp, &binaries, cfg) {
+        IlpResult::Optimal { x, value, nodes } => IlpBsmOutcome {
+            items: extract_items(&x, model.x0, model.n),
+            opt_g,
+            f_value: value,
+            complete: complete_g,
+            nodes: nodes_g + nodes,
+        },
+        IlpResult::Budget { incumbent, nodes } => match incumbent {
+            Some((x, value)) => IlpBsmOutcome {
+                items: extract_items(&x, model.x0, model.n),
+                opt_g,
+                f_value: value,
+                complete: false,
+                nodes: nodes_g + nodes,
+            },
+            None => IlpBsmOutcome {
+                items: Vec::new(),
+                opt_g,
+                f_value: 0.0,
+                complete: false,
+                nodes: nodes_g + nodes,
+            },
+        },
+        IlpResult::Infeasible => IlpBsmOutcome {
+            items: Vec::new(),
+            opt_g,
+            f_value: 0.0,
+            complete: false,
+            nodes: nodes_g,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure 1 of the paper as a set system.
+    fn figure1() -> (SetSystem, Vec<u32>) {
+        let sets = SetSystem::new(
+            vec![
+                vec![0, 1, 2, 3, 4],
+                vec![5, 6, 7, 8],
+                vec![5, 8, 9],
+                vec![10, 11],
+            ],
+            12,
+        );
+        let mut group_of = vec![0u32; 12];
+        for g in group_of.iter_mut().skip(9) {
+            *g = 1;
+        }
+        (sets, group_of)
+    }
+
+    #[test]
+    fn mc_robust_ilp_matches_example() {
+        let (sets, groups) = figure1();
+        let (opt_g, items, _, complete) = mc_robust_ilp(&sets, &groups, 2, &IlpConfig::default());
+        assert!(complete);
+        assert!((opt_g - 5.0 / 9.0).abs() < 1e-6, "opt_g {opt_g}");
+        let mut items = items;
+        items.sort_unstable();
+        assert_eq!(items, vec![0, 3]);
+    }
+
+    #[test]
+    fn mc_bsm_optimal_matches_example_31() {
+        let (sets, groups) = figure1();
+        // τ = 0.3 → {v1, v3}, f = 8/12.
+        let low = mc_bsm_optimal(&sets, &groups, 2, 0.3, &IlpConfig::default());
+        assert!(low.complete);
+        let mut items = low.items.clone();
+        items.sort_unstable();
+        assert_eq!(items, vec![0, 2]);
+        assert!((low.f_value - 8.0 / 12.0).abs() < 1e-6);
+        // τ = 0.8 → {v1, v4}.
+        let high = mc_bsm_optimal(&sets, &groups, 2, 0.8, &IlpConfig::default());
+        let mut items = high.items.clone();
+        items.sort_unstable();
+        assert_eq!(items, vec![0, 3]);
+        // τ = 0 → plain maximum coverage {v1, v2}, f = 0.75.
+        let free = mc_bsm_optimal(&sets, &groups, 2, 0.0, &IlpConfig::default());
+        assert!((free.f_value - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fl_bsm_optimal_tiny_instance() {
+        // 3 users (groups [0,0,1]), 2 facilities.
+        let b = BenefitMatrix::new(vec![1.0, 0.2, 0.5, 0.5, 0.0, 0.9], 3, 2);
+        let groups = vec![0u32, 0, 1];
+        // k=1: OPT_g = max over single items of min group benefit:
+        // item 0: groups (0.75, 0) → 0; item 1: (0.35, 0.9) → 0.35.
+        let (opt_g, items, _, complete) = fl_robust_ilp(&b, &groups, 1, &IlpConfig::default());
+        assert!(complete);
+        assert!((opt_g - 0.35).abs() < 1e-6, "opt_g {opt_g}");
+        assert_eq!(items, vec![1]);
+        // τ = 1: forced to pick item 1 → f = (0.2+0.5+0.9)/3.
+        let out = fl_bsm_optimal(&b, &groups, 1, 1.0, &IlpConfig::default());
+        assert_eq!(out.items, vec![1]);
+        assert!((out.f_value - 1.6 / 3.0).abs() < 1e-6);
+        // τ = 0: item 1 still wins on f: (0.2+0.5+0.9)/3 > (1.0+0.5+0)/3.
+        let out0 = fl_bsm_optimal(&b, &groups, 1, 0.0, &IlpConfig::default());
+        assert_eq!(out0.items, vec![1]);
+        assert!((out0.f_value - 1.6 / 3.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,23 @@
+//! # fair-submod-lp
+//!
+//! Exact ILP substrate replacing the paper's Gurobi dependency: a dense
+//! two-phase primal [simplex] solver, a best-first [branch-and-bound]
+//! 0/1 integer programming layer, and the Appendix-A BSM formulations
+//! for maximum coverage (Eq. 5–6) and facility location (Eq. 7) in
+//! [`bsm_ilp`].
+//!
+//! Only the facility-opening variables `x_l` need integrality in both
+//! formulations (the coverage/assignment variables relax integrally), so
+//! branch-and-bound branches over at most `n` binaries.
+//!
+//! [simplex]: simplex
+//! [branch-and-bound]: branch_bound
+
+pub mod branch_bound;
+pub mod bsm_ilp;
+pub mod model;
+pub mod simplex;
+
+pub use branch_bound::{solve_ilp, IlpConfig, IlpResult};
+pub use model::{Cmp, LinearProgram};
+pub use simplex::{solve_lp, LpResult};

@@ -1,0 +1,150 @@
+//! Linear-program model builder.
+//!
+//! Maximization over non-negative variables with sparse constraint rows.
+//! Upper bounds are expressed as ordinary `≤` constraints (instances in
+//! this workspace are small enough that bounded-variable pivoting is not
+//! worth its complexity).
+
+/// Constraint comparison operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Cmp {
+    /// `Σ a_i x_i ≤ b`
+    Le,
+    /// `Σ a_i x_i ≥ b`
+    Ge,
+    /// `Σ a_i x_i = b`
+    Eq,
+}
+
+/// One sparse constraint row.
+#[derive(Clone, Debug)]
+pub struct Constraint {
+    /// `(variable, coefficient)` pairs.
+    pub terms: Vec<(usize, f64)>,
+    /// Comparison operator.
+    pub cmp: Cmp,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// `maximize c·x  s.t.  constraints, x ≥ 0`.
+#[derive(Clone, Debug, Default)]
+pub struct LinearProgram {
+    objective: Vec<f64>,
+    constraints: Vec<Constraint>,
+}
+
+impl LinearProgram {
+    /// Empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a variable with the given objective coefficient; returns its
+    /// index.
+    pub fn add_var(&mut self, objective: f64) -> usize {
+        self.objective.push(objective);
+        self.objective.len() - 1
+    }
+
+    /// Adds `count` variables with a shared objective coefficient;
+    /// returns the index of the first.
+    pub fn add_vars(&mut self, count: usize, objective: f64) -> usize {
+        let first = self.objective.len();
+        self.objective.extend(std::iter::repeat_n(objective, count));
+        first
+    }
+
+    /// Adds a constraint.
+    ///
+    /// # Panics
+    /// Panics if a term references an unknown variable.
+    pub fn add_constraint(&mut self, terms: Vec<(usize, f64)>, cmp: Cmp, rhs: f64) {
+        for &(v, _) in &terms {
+            assert!(v < self.objective.len(), "unknown variable {v}");
+        }
+        self.constraints.push(Constraint { terms, cmp, rhs });
+    }
+
+    /// Convenience: `x_v ≤ ub`.
+    pub fn bound_upper(&mut self, v: usize, ub: f64) {
+        self.add_constraint(vec![(v, 1.0)], Cmp::Le, ub);
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Objective coefficients.
+    pub fn objective(&self) -> &[f64] {
+        &self.objective
+    }
+
+    /// Constraint rows.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Evaluates the objective at `x`.
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        self.objective.iter().zip(x).map(|(c, v)| c * v).sum()
+    }
+
+    /// Checks primal feasibility of `x` within tolerance `tol`.
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        if x.iter().any(|&v| v < -tol) {
+            return false;
+        }
+        self.constraints.iter().all(|c| {
+            let lhs: f64 = c.terms.iter().map(|&(v, a)| a * x[v]).sum();
+            match c.cmp {
+                Cmp::Le => lhs <= c.rhs + tol,
+                Cmp::Ge => lhs >= c.rhs - tol,
+                Cmp::Eq => (lhs - c.rhs).abs() <= tol,
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_tracks_shapes() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(3.0);
+        let y0 = lp.add_vars(2, 1.0);
+        assert_eq!(x, 0);
+        assert_eq!(y0, 1);
+        assert_eq!(lp.num_vars(), 3);
+        lp.add_constraint(vec![(0, 1.0), (2, 2.0)], Cmp::Le, 4.0);
+        lp.bound_upper(0, 1.0);
+        assert_eq!(lp.num_constraints(), 2);
+    }
+
+    #[test]
+    fn feasibility_checks() {
+        let mut lp = LinearProgram::new();
+        lp.add_vars(2, 1.0);
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], Cmp::Le, 1.0);
+        assert!(lp.is_feasible(&[0.5, 0.5], 1e-9));
+        assert!(!lp.is_feasible(&[0.9, 0.9], 1e-9));
+        assert!(!lp.is_feasible(&[-0.1, 0.0], 1e-9));
+        assert!((lp.objective_value(&[0.25, 0.5]) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown variable")]
+    fn unknown_variable_panics() {
+        let mut lp = LinearProgram::new();
+        lp.add_var(1.0);
+        lp.add_constraint(vec![(3, 1.0)], Cmp::Le, 1.0);
+    }
+}

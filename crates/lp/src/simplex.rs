@@ -1,0 +1,427 @@
+//! Dense two-phase primal simplex.
+//!
+//! Textbook tableau implementation sized for the workspace's small exact
+//! instances (hundreds of variables/constraints): phase 1 drives
+//! artificial variables out of the basis, phase 2 optimizes the real
+//! objective. Dantzig pricing with an automatic switch to Bland's rule
+//! after an iteration threshold guarantees termination on degenerate
+//! instances.
+
+use crate::model::{Cmp, LinearProgram};
+
+/// Result of an LP solve.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LpResult {
+    /// Optimal solution found.
+    Optimal {
+        /// Primal values of the original variables.
+        x: Vec<f64>,
+        /// Objective value.
+        value: f64,
+    },
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded above.
+    Unbounded,
+}
+
+const EPS: f64 = 1e-9;
+
+struct Tableau {
+    /// `rows × cols` coefficients; the last column is the RHS.
+    a: Vec<f64>,
+    rows: usize,
+    cols: usize,
+    basis: Vec<usize>,
+}
+
+impl Tableau {
+    #[inline]
+    fn at(&self, r: usize, c: usize) -> f64 {
+        self.a[r * self.cols + c]
+    }
+
+    #[inline]
+    fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.a[r * self.cols + c] = v;
+    }
+
+    fn pivot(&mut self, pr: usize, pc: usize) {
+        let cols = self.cols;
+        let piv = self.at(pr, pc);
+        debug_assert!(piv.abs() > EPS);
+        let inv = 1.0 / piv;
+        for c in 0..cols {
+            self.a[pr * cols + c] *= inv;
+        }
+        for r in 0..self.rows {
+            if r == pr {
+                continue;
+            }
+            let factor = self.at(r, pc);
+            if factor.abs() <= EPS {
+                continue;
+            }
+            for c in 0..cols {
+                let v = self.at(pr, c);
+                self.a[r * cols + c] -= factor * v;
+            }
+        }
+        self.basis[pr] = pc;
+    }
+}
+
+/// Solves `lp` (maximization). See [`LpResult`].
+pub fn solve_lp(lp: &LinearProgram) -> LpResult {
+    let n = lp.num_vars();
+    let m = lp.num_constraints();
+
+    // Normalize rows to b ≥ 0 and count slack/artificial columns.
+    // Column layout: [x (n)] [slack/surplus (one per Le/Ge)] [artificial]
+    // [rhs].
+    let mut slack_count = 0usize;
+    let mut artificial_count = 0usize;
+    for c in lp.constraints() {
+        let flip = c.rhs < 0.0;
+        let cmp = effective_cmp(c.cmp, flip);
+        match cmp {
+            Cmp::Le => slack_count += 1,
+            Cmp::Ge => {
+                slack_count += 1;
+                artificial_count += 1;
+            }
+            Cmp::Eq => artificial_count += 1,
+        }
+    }
+
+    let cols = n + slack_count + artificial_count + 1;
+    let rows = m;
+    let mut t = Tableau {
+        a: vec![0.0; rows * cols],
+        rows,
+        cols,
+        basis: vec![usize::MAX; rows],
+    };
+
+    let mut slack_cursor = n;
+    let mut art_cursor = n + slack_count;
+    let mut artificial_cols: Vec<usize> = Vec::with_capacity(artificial_count);
+    for (r, c) in lp.constraints().iter().enumerate() {
+        let flip = c.rhs < 0.0;
+        let sign = if flip { -1.0 } else { 1.0 };
+        for &(v, a) in &c.terms {
+            let cur = t.at(r, v);
+            t.set(r, v, cur + sign * a);
+        }
+        t.set(r, cols - 1, sign * c.rhs);
+        match effective_cmp(c.cmp, flip) {
+            Cmp::Le => {
+                t.set(r, slack_cursor, 1.0);
+                t.basis[r] = slack_cursor;
+                slack_cursor += 1;
+            }
+            Cmp::Ge => {
+                t.set(r, slack_cursor, -1.0);
+                slack_cursor += 1;
+                t.set(r, art_cursor, 1.0);
+                t.basis[r] = art_cursor;
+                artificial_cols.push(art_cursor);
+                art_cursor += 1;
+            }
+            Cmp::Eq => {
+                t.set(r, art_cursor, 1.0);
+                t.basis[r] = art_cursor;
+                artificial_cols.push(art_cursor);
+                art_cursor += 1;
+            }
+        }
+    }
+
+    // Phase 1: minimize the sum of artificials (as a maximization of the
+    // negated sum) if any artificial is present.
+    if artificial_count > 0 {
+        let mut phase1_obj = vec![0.0; cols - 1];
+        for &ac in &artificial_cols {
+            phase1_obj[ac] = -1.0;
+        }
+        match run_simplex(&mut t, &phase1_obj, usize::MAX) {
+            SimplexStatus::Optimal(value) => {
+                if value < -1e-7 {
+                    return LpResult::Infeasible;
+                }
+            }
+            SimplexStatus::Unbounded => unreachable!("phase 1 is bounded"),
+        }
+        // Drive any residual artificial out of the basis if possible.
+        for r in 0..rows {
+            if artificial_cols.contains(&t.basis[r]) {
+                let pivot_col = (0..n + slack_count).find(|&c| t.at(r, c).abs() > EPS);
+                if let Some(pc) = pivot_col {
+                    t.pivot(r, pc);
+                }
+                // Else the row is all-zero (redundant constraint): leave it.
+            }
+        }
+        // Zero-out artificial columns so they never re-enter.
+        for &ac in &artificial_cols {
+            for r in 0..rows {
+                t.set(r, ac, 0.0);
+            }
+        }
+    }
+
+    // Phase 2.
+    let mut phase2_obj = vec![0.0; cols - 1];
+    phase2_obj[..n].copy_from_slice(lp.objective());
+    for &ac in &artificial_cols {
+        phase2_obj[ac] = f64::NEG_INFINITY; // blocked
+    }
+    match run_simplex(&mut t, &phase2_obj, n + slack_count) {
+        SimplexStatus::Unbounded => LpResult::Unbounded,
+        SimplexStatus::Optimal(_) => {
+            let mut x = vec![0.0; n];
+            for r in 0..rows {
+                let b = t.basis[r];
+                if b < n {
+                    x[b] = t.at(r, cols - 1).max(0.0);
+                }
+            }
+            let value = lp.objective_value(&x);
+            LpResult::Optimal { x, value }
+        }
+    }
+}
+
+fn effective_cmp(cmp: Cmp, flip: bool) -> Cmp {
+    if !flip {
+        return cmp;
+    }
+    match cmp {
+        Cmp::Le => Cmp::Ge,
+        Cmp::Ge => Cmp::Le,
+        Cmp::Eq => Cmp::Eq,
+    }
+}
+
+enum SimplexStatus {
+    Optimal(f64),
+    Unbounded,
+}
+
+/// Runs the simplex loop on `t` for objective `obj` (maximization),
+/// considering only columns `< col_limit` for entering (artificials are
+/// also excluded via `-inf` coefficients). Returns the objective value of
+/// the final basic solution.
+fn run_simplex(t: &mut Tableau, obj: &[f64], col_limit: usize) -> SimplexStatus {
+    let cols = t.cols;
+    let rows = t.rows;
+    let limit = col_limit.min(cols - 1);
+
+    // Reduced costs maintained implicitly: z_j - c_j computed on demand
+    // from the current basis (small instances; clarity over speed).
+    let mut iter = 0usize;
+    let bland_after = 20_000usize;
+    loop {
+        iter += 1;
+        // Compute simplex multipliers via c_B; reduced cost of column j:
+        // r_j = c_j - Σ_r c_{B(r)} * a_{r,j}.
+        let cb: Vec<f64> = t
+            .basis
+            .iter()
+            .map(|&b| {
+                let c = if b < obj.len() { obj[b] } else { 0.0 };
+                if c == f64::NEG_INFINITY {
+                    0.0
+                } else {
+                    c
+                }
+            })
+            .collect();
+
+        let mut entering: Option<usize> = None;
+        let mut best_rc = EPS;
+        for j in 0..limit {
+            let cj = obj[j];
+            if cj == f64::NEG_INFINITY {
+                continue;
+            }
+            if t.basis.contains(&j) {
+                continue;
+            }
+            let mut zj = 0.0;
+            for r in 0..rows {
+                let a = t.at(r, j);
+                if a != 0.0 {
+                    zj += cb[r] * a;
+                }
+            }
+            let rc = cj - zj;
+            if rc > best_rc {
+                if iter > bland_after {
+                    // Bland: first improving column.
+                    entering = Some(j);
+                    break;
+                }
+                best_rc = rc;
+                entering = Some(j);
+            }
+        }
+
+        let Some(pc) = entering else {
+            // Optimal: objective of current basic solution.
+            let mut value = 0.0;
+            for r in 0..rows {
+                value += cb[r] * t.at(r, cols - 1);
+            }
+            return SimplexStatus::Optimal(value);
+        };
+
+        // Ratio test.
+        let mut pr: Option<usize> = None;
+        let mut best_ratio = f64::INFINITY;
+        for r in 0..rows {
+            let a = t.at(r, pc);
+            if a > EPS {
+                let ratio = t.at(r, cols - 1) / a;
+                let better = ratio < best_ratio - EPS
+                    || (ratio < best_ratio + EPS
+                        && pr.is_none_or(|p| t.basis[r] < t.basis[p]));
+                if better {
+                    best_ratio = ratio;
+                    pr = Some(r);
+                }
+            }
+        }
+        let Some(pr) = pr else {
+            return SimplexStatus::Unbounded;
+        };
+        t.pivot(pr, pc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Cmp, LinearProgram};
+
+    fn optimal(lp: &LinearProgram) -> (Vec<f64>, f64) {
+        match solve_lp(lp) {
+            LpResult::Optimal { x, value } => (x, value),
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_2d_lp() {
+        // max 3x + 2y s.t. x + y ≤ 4, x + 3y ≤ 6, x,y ≥ 0 → (4,0), 12.
+        let mut lp = LinearProgram::new();
+        lp.add_var(3.0);
+        lp.add_var(2.0);
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], Cmp::Le, 4.0);
+        lp.add_constraint(vec![(0, 1.0), (1, 3.0)], Cmp::Le, 6.0);
+        let (x, v) = optimal(&lp);
+        assert!((v - 12.0).abs() < 1e-7);
+        assert!((x[0] - 4.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn lp_with_ge_and_eq_constraints() {
+        // max x + y s.t. x + y ≤ 10, x ≥ 2, y = 3 → value 5... wait:
+        // x can grow to 7 (x+y ≤ 10, y = 3) → optimal (7, 3) value 10.
+        let mut lp = LinearProgram::new();
+        lp.add_var(1.0);
+        lp.add_var(1.0);
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], Cmp::Le, 10.0);
+        lp.add_constraint(vec![(0, 1.0)], Cmp::Ge, 2.0);
+        lp.add_constraint(vec![(1, 1.0)], Cmp::Eq, 3.0);
+        let (x, v) = optimal(&lp);
+        assert!((v - 10.0).abs() < 1e-7);
+        assert!((x[1] - 3.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn infeasible_lp() {
+        let mut lp = LinearProgram::new();
+        lp.add_var(1.0);
+        lp.add_constraint(vec![(0, 1.0)], Cmp::Ge, 5.0);
+        lp.add_constraint(vec![(0, 1.0)], Cmp::Le, 1.0);
+        assert_eq!(solve_lp(&lp), LpResult::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_lp() {
+        let mut lp = LinearProgram::new();
+        lp.add_var(1.0);
+        lp.add_constraint(vec![(0, -1.0)], Cmp::Le, 0.0); // -x ≤ 0, vacuous
+        assert_eq!(solve_lp(&lp), LpResult::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_is_normalized() {
+        // max x s.t. -x ≤ -2 (i.e. x ≥ 2), x ≤ 5.
+        let mut lp = LinearProgram::new();
+        lp.add_var(1.0);
+        lp.add_constraint(vec![(0, -1.0)], Cmp::Le, -2.0);
+        lp.add_constraint(vec![(0, 1.0)], Cmp::Le, 5.0);
+        let (x, v) = optimal(&lp);
+        assert!((v - 5.0).abs() < 1e-7);
+        assert!(x[0] >= 2.0 - 1e-7);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Multiple redundant constraints through the same vertex.
+        let mut lp = LinearProgram::new();
+        lp.add_var(1.0);
+        lp.add_var(1.0);
+        for _ in 0..5 {
+            lp.add_constraint(vec![(0, 1.0), (1, 1.0)], Cmp::Le, 1.0);
+        }
+        lp.add_constraint(vec![(0, 2.0), (1, 2.0)], Cmp::Le, 2.0);
+        let (_, v) = optimal(&lp);
+        assert!((v - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_small_lps() {
+        // Random 2-var LPs with box + one coupling constraint: compare
+        // against a fine grid search.
+        let mut state = 0x12345678u64;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _ in 0..30 {
+            let c0 = rnd() * 2.0;
+            let c1 = rnd() * 2.0;
+            let a0 = 0.2 + rnd();
+            let a1 = 0.2 + rnd();
+            let b = 1.0 + rnd() * 3.0;
+            let mut lp = LinearProgram::new();
+            lp.add_var(c0);
+            lp.add_var(c1);
+            lp.add_constraint(vec![(0, a0), (1, a1)], Cmp::Le, b);
+            lp.bound_upper(0, 2.0);
+            lp.bound_upper(1, 2.0);
+            let (_, v) = optimal(&lp);
+            // Grid search.
+            let mut best = 0.0f64;
+            let steps = 400;
+            for i in 0..=steps {
+                for j in 0..=steps {
+                    let x0 = 2.0 * i as f64 / steps as f64;
+                    let x1 = 2.0 * j as f64 / steps as f64;
+                    if a0 * x0 + a1 * x1 <= b + 1e-9 {
+                        best = best.max(c0 * x0 + c1 * x1);
+                    }
+                }
+            }
+            assert!(
+                v >= best - 1e-4 && v <= best + 0.05,
+                "simplex {v} vs grid {best}"
+            );
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Fair influence maximization: seed selection balancing information
+//! access across groups.
+//!
+//! The paper's IM motivation: a campaign picks `k` seed users in a
+//! social network; without a fairness constraint, minority groups can be
+//! left out of the spread ("information inequality"). This example
+//! selects seeds on a group-stratified RIS oracle and reports the final
+//! spread with independent Monte-Carlo simulation, comparing classic
+//! greedy IM against BSM at τ = 0.8.
+//!
+//! Run with: `cargo run --release --example fair_influence`
+
+use fair_submod::core::prelude::*;
+use fair_submod::datasets::{rand_mc, seeds};
+use fair_submod::influence::{monte_carlo_evaluate, DiffusionModel};
+
+fn main() {
+    let dataset = rand_mc(2, 100, seeds::RAND + 2);
+    let model = DiffusionModel::ic(0.1);
+    let k = 5;
+    println!(
+        "{} under IC(p=0.1): {} nodes, {} edges\n",
+        dataset.name,
+        dataset.graph.num_nodes(),
+        dataset.graph.num_edges()
+    );
+
+    // Selection happens on the RIS estimator…
+    let oracle = dataset.ris_oracle(model, 20_000, 7);
+    let f = MeanUtility::new(oracle.num_users());
+    let im_greedy = greedy(&oracle, &f, &GreedyConfig::lazy(k));
+    let fair = bsm_saturate(&oracle, &BsmSaturateConfig::new(k, 0.8));
+
+    // …but reported numbers come from 10,000 forward simulations, as in
+    // the paper.
+    let runs = 10_000;
+    let base = monte_carlo_evaluate(&dataset.graph, model, &dataset.groups, &im_greedy.items, runs, 99);
+    let ours = monte_carlo_evaluate(&dataset.graph, model, &dataset.groups, &fair.items, runs, 99);
+
+    println!("Classic IM greedy seeds {:?}", im_greedy.items);
+    println!(
+        "  spread f = {:.4}, worst-group g = {:.4}, per group {:?}",
+        base.f,
+        base.g,
+        round3(&base.group_means)
+    );
+    println!("BSM-Saturate (tau=0.8) seeds {:?}", fair.items);
+    println!(
+        "  spread f = {:.4}, worst-group g = {:.4}, per group {:?}",
+        ours.f,
+        ours.g,
+        round3(&ours.group_means)
+    );
+    println!(
+        "\nFairness gain: +{:.1}% worst-group spread at {:.1}% utility cost",
+        100.0 * (ours.g - base.g) / base.g.max(1e-9),
+        100.0 * (base.f - ours.f) / base.f.max(1e-9)
+    );
+}
+
+fn round3(xs: &[f64]) -> Vec<f64> {
+    xs.iter().map(|x| (x * 1000.0).round() / 1000.0).collect()
+}

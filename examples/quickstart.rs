@@ -1,0 +1,54 @@
+//! Quickstart: the paper's running example (Figure 1, Examples 3.1–4.6).
+//!
+//! Builds the 4-item / 12-user maximum-coverage instance, then walks the
+//! whole algorithm suite at several balance factors τ, printing how the
+//! utility–fairness trade-off moves.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use fair_submod::core::metrics::evaluate;
+use fair_submod::core::prelude::*;
+use fair_submod::core::toy;
+
+fn main() {
+    let system = toy::figure1();
+    println!("Figure 1 instance: 4 items, 12 users in 2 groups (9 + 3)\n");
+
+    // Fairness-unaware anchor: classic greedy on f.
+    let f = MeanUtility::new(system.num_users());
+    let greedy_run = greedy(&system, &f, &GreedyConfig::lazy(2));
+    let greedy_eval = evaluate(&system, &greedy_run.items);
+    println!(
+        "Greedy (utility only):    S = {:?}  f = {:.3}  g = {:.3}",
+        greedy_run.items, greedy_eval.f, greedy_eval.g
+    );
+
+    // Fairness-only anchor: Saturate on g.
+    let sat = saturate(&system, &SaturateConfig::new(2));
+    let sat_eval = evaluate(&system, &sat.items);
+    println!(
+        "Saturate (fairness only): S = {:?}  f = {:.3}  g = {:.3}  (OPT'_g = {:.3})\n",
+        sat.items, sat_eval.f, sat_eval.g, sat.opt_g_estimate
+    );
+
+    println!("BSM: maximize f subject to g >= tau * OPT_g");
+    println!("{:>5} | {:^24} | {:^24}", "tau", "BSM-TSGreedy", "BSM-Saturate");
+    for tau in [0.0, 0.2, 0.5, 0.8, 1.0] {
+        let ts = bsm_tsgreedy(&system, &TsGreedyConfig::new(2, tau));
+        let bs = bsm_saturate(&system, &BsmSaturateConfig::new(2, tau));
+        println!(
+            "{tau:>5.1} | S={:?} f={:.2} g={:.2} | S={:?} f={:.2} g={:.2}",
+            ts.items, ts.eval.f, ts.eval.g, bs.items, bs.eval.f, bs.eval.g
+        );
+    }
+
+    // The exact optimum for reference (tiny instance).
+    println!("\nExact BSM-Optimal for comparison:");
+    for tau in [0.2, 0.8] {
+        let opt = branch_and_bound_bsm(&system, &ExactConfig::new(2, tau));
+        println!(
+            "  tau={tau:.1}: S = {:?}  f = {:.3}  g = {:.3}  (OPT_g = {:.3})",
+            opt.items, opt.eval.f, opt.eval.g, opt.opt_g
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! The whole utility–fairness trade-off at a glance: sweep τ, extract
+//! the Pareto frontier, and compare the two BSM solvers by hypervolume.
+//!
+//! This is the decision-maker's view the paper's Figures 3/7 plot: every
+//! achievable (f, g) pair for a facility-location deployment, with the
+//! dominated τ settings filtered out.
+//!
+//! Run with: `cargo run --release --example tradeoff_frontier`
+
+use fair_submod::core::prelude::*;
+use fair_submod::datasets::{adult_like, seeds, AdultSize};
+
+fn main() {
+    let dataset = adult_like(AdultSize::SmallRace, seeds::FL + 2);
+    let oracle = dataset.oracle();
+    let k = 5;
+    println!(
+        "{}: {} users, {} facilities, {} race groups\n",
+        dataset.name,
+        dataset.num_users(),
+        dataset.num_items(),
+        dataset.groups.num_groups()
+    );
+
+    for solver in [FrontierSolver::TsGreedy, FrontierSolver::BsmSaturate] {
+        let cfg = FrontierConfig {
+            k,
+            taus: (0..=10).map(|i| i as f64 / 10.0).collect(),
+            solver,
+        };
+        let frontier = pareto_frontier(&oracle, &cfg);
+        println!("{solver:?}: hypervolume = {:.4}", frontier.hypervolume);
+        println!("{:>5}  {:>8}  {:>8}  frontier", "tau", "f(S)", "g(S)");
+        for p in &frontier.points {
+            println!(
+                "{:>5.2}  {:>8.4}  {:>8.4}  {}",
+                p.tau,
+                p.f,
+                p.g,
+                if p.on_frontier { "*" } else { "" }
+            );
+        }
+        println!();
+    }
+    println!("* = non-dominated point. A higher hypervolume means the");
+    println!("solver offers strictly better joint utility/fairness options.");
+}

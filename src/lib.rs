@@ -1,0 +1,54 @@
+//! # fair-submod
+//!
+//! **Balancing utility and fairness in submodular maximization** — a Rust
+//! implementation of the BSM framework of Wang, Li, Bonchi & Wang
+//! (EDBT 2024, arXiv:2211.00980), complete with the three application
+//! substrates of the paper's evaluation (maximum coverage, influence
+//! maximization, facility location), exact solvers, synthetic dataset
+//! generators, and an experiment harness regenerating every table and
+//! figure.
+//!
+//! This crate is a facade: it re-exports the workspace members under
+//! stable paths. Depend on the individual crates for narrower builds.
+//!
+//! ## The problem
+//!
+//! Given items `V`, users `U` split into demographic groups, and
+//! monotone submodular per-user utilities, **BSM** asks for a size-`k`
+//! set maximizing the average utility `f(S)` subject to the maximin
+//! group fairness constraint `g(S) ≥ τ·OPT_g`. BSM is inapproximable
+//! within any constant factor, so the library ships the paper's two
+//! instance-dependent schemes — [`bsm_tsgreedy`](core::prelude) and
+//! [`bsm_saturate`](core::prelude) — plus exact solvers for small
+//! instances.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fair_submod::core::prelude::*;
+//! use fair_submod::core::toy;
+//!
+//! let system = toy::figure1(); // the paper's running example
+//! let out = bsm_saturate(&system, &BsmSaturateConfig::new(2, 0.8));
+//! assert!(out.eval.g > 0.5); // the fairness constraint binds at τ=0.8
+//! ```
+//!
+//! See `examples/` for end-to-end coverage, influence, and facility
+//! location workflows.
+
+pub use fair_submod_core as core;
+pub use fair_submod_coverage as coverage;
+pub use fair_submod_datasets as datasets;
+pub use fair_submod_facility as facility;
+pub use fair_submod_graphs as graphs;
+pub use fair_submod_influence as influence;
+pub use fair_submod_lp as lp;
+
+/// Convenient prelude re-exporting the most common types across crates.
+pub mod prelude {
+    pub use fair_submod_core::prelude::*;
+    pub use fair_submod_coverage::{dominating_set_system, CoverageOracle, SetSystem};
+    pub use fair_submod_facility::{BenefitMatrix, FacilityOracle, PointSet};
+    pub use fair_submod_graphs::{Graph, GraphBuilder, Groups};
+    pub use fair_submod_influence::{monte_carlo_evaluate, DiffusionModel, RisOracle};
+}

@@ -1,0 +1,140 @@
+//! Cross-validation of the three exact solvers — brute force, submodular
+//! branch-and-bound, and the Appendix-A ILP — on random MC and FL
+//! instances. Any disagreement indicates a bug in one of them; they are
+//! implemented independently (combinatorial vs simplex-based).
+
+use fair_submod::coverage::{CoverageOracle, SetSystem};
+use fair_submod::core::prelude::*;
+use fair_submod::facility::{BenefitMatrix, FacilityOracle};
+use fair_submod::graphs::Groups;
+use fair_submod::lp::bsm_ilp::{fl_bsm_optimal, mc_bsm_optimal};
+use fair_submod::lp::IlpConfig;
+
+/// Small deterministic PRNG for instance generation.
+struct Xorshift(u64);
+
+impl Xorshift {
+    fn next_f64(&mut self) -> f64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        (self.0 >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn next_range(&mut self, hi: usize) -> usize {
+        (self.next_f64() * hi as f64) as usize % hi
+    }
+}
+
+fn random_mc_instance(seed: u64, n: usize, m: usize, c: usize) -> (SetSystem, Vec<u32>) {
+    let mut rng = Xorshift(seed | 1);
+    let sets: Vec<Vec<u32>> = (0..n)
+        .map(|_| {
+            let size = 1 + rng.next_range(m / 2);
+            (0..size).map(|_| rng.next_range(m) as u32).collect()
+        })
+        .collect();
+    let group_of: Vec<u32> = (0..m).map(|u| (u % c) as u32).collect();
+    (SetSystem::new(sets, m), group_of)
+}
+
+#[test]
+fn mc_ilp_agrees_with_branch_and_bound_and_brute_force() {
+    for seed in 1..6u64 {
+        let (sets, group_of) = random_mc_instance(seed, 9, 18, 2);
+        let oracle = CoverageOracle::new(sets.clone(), &Groups::from_assignment(group_of.clone()));
+        for tau in [0.0, 0.5, 1.0] {
+            let bf = brute_force_bsm(&oracle, 3, tau);
+            let bb = branch_and_bound_bsm(&oracle, &ExactConfig::new(3, tau));
+            let ilp = mc_bsm_optimal(&sets, &group_of, 3, tau, &IlpConfig::default());
+            assert!(bb.complete && ilp.complete, "seed {seed} tau {tau}");
+            assert!(
+                (bf.opt_g - bb.opt_g).abs() < 1e-6,
+                "seed {seed} tau {tau}: OPT_g bf {} vs bb {}",
+                bf.opt_g,
+                bb.opt_g
+            );
+            assert!(
+                (bf.opt_g - ilp.opt_g).abs() < 1e-6,
+                "seed {seed} tau {tau}: OPT_g bf {} vs ilp {}",
+                bf.opt_g,
+                ilp.opt_g
+            );
+            assert!(
+                (bf.eval.f - bb.eval.f).abs() < 1e-6,
+                "seed {seed} tau {tau}: f bf {} vs bb {}",
+                bf.eval.f,
+                bb.eval.f
+            );
+            assert!(
+                (bf.eval.f - ilp.f_value).abs() < 1e-5,
+                "seed {seed} tau {tau}: f bf {} vs ilp {}",
+                bf.eval.f,
+                ilp.f_value
+            );
+        }
+    }
+}
+
+#[test]
+fn fl_ilp_agrees_with_branch_and_bound_and_brute_force() {
+    for seed in 1..5u64 {
+        let mut rng = Xorshift(seed.wrapping_mul(77) | 1);
+        let m = 8;
+        let n = 6;
+        let b: Vec<f64> = (0..m * n).map(|_| rng.next_f64()).collect();
+        let benefits = BenefitMatrix::new(b, m, n);
+        let group_of: Vec<u32> = (0..m).map(|u| (u % 2) as u32).collect();
+        let oracle = FacilityOracle::new(benefits.clone(), group_of.clone());
+        for tau in [0.0, 0.6, 1.0] {
+            let bf = brute_force_bsm(&oracle, 2, tau);
+            let bb = branch_and_bound_bsm(&oracle, &ExactConfig::new(2, tau));
+            let ilp = fl_bsm_optimal(&benefits, &group_of, 2, tau, &IlpConfig::default());
+            assert!(
+                (bf.opt_g - bb.opt_g).abs() < 1e-6,
+                "seed {seed} tau {tau}: OPT_g {} vs {}",
+                bf.opt_g,
+                bb.opt_g
+            );
+            assert!(
+                (bf.opt_g - ilp.opt_g).abs() < 1e-5,
+                "seed {seed} tau {tau}: OPT_g {} vs ilp {}",
+                bf.opt_g,
+                ilp.opt_g
+            );
+            assert!(
+                (bf.eval.f - bb.eval.f).abs() < 1e-6,
+                "seed {seed} tau {tau}: f {} vs {}",
+                bf.eval.f,
+                bb.eval.f
+            );
+            assert!(
+                (bf.eval.f - ilp.f_value).abs() < 1e-5,
+                "seed {seed} tau {tau}: f {} vs ilp {}",
+                bf.eval.f,
+                ilp.f_value
+            );
+        }
+    }
+}
+
+#[test]
+fn approximate_algorithms_never_beat_the_feasible_optimum() {
+    for seed in 10..14u64 {
+        let (sets, group_of) = random_mc_instance(seed, 10, 20, 2);
+        let oracle = CoverageOracle::new(sets, &Groups::from_assignment(group_of));
+        let tau = 0.7;
+        let opt = brute_force_bsm(&oracle, 3, tau);
+        for out in [
+            bsm_tsgreedy(&oracle, &TsGreedyConfig::new(3, tau)),
+            bsm_saturate(&oracle, &BsmSaturateConfig::new(3, tau)),
+        ] {
+            if out.eval.g >= tau * opt.opt_g - 1e-9 {
+                assert!(
+                    out.eval.f <= opt.eval.f + 1e-9,
+                    "seed {seed}: feasible approx beat the optimum"
+                );
+            }
+        }
+    }
+}

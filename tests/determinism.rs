@@ -1,0 +1,75 @@
+//! Reproducibility: every dataset builder and every algorithm must be
+//! bit-deterministic for a fixed seed — the property that makes the
+//! experiment binaries regenerate identical CSVs run over run.
+
+use fair_submod::core::prelude::*;
+use fair_submod::datasets::{
+    adult_like, dblp_like, facebook_like, foursquare_like, rand_fl, rand_mc, AdultSize, City,
+};
+use fair_submod::influence::{monte_carlo_evaluate, DiffusionModel};
+
+#[test]
+fn graph_datasets_are_reproducible() {
+    for build in [
+        || rand_mc(2, 200, 7),
+        || facebook_like(2, 7),
+        || dblp_like(7),
+    ] {
+        let a = build();
+        let b = build();
+        assert_eq!(a.graph.num_edges(), b.graph.num_edges());
+        assert_eq!(a.groups.assignment(), b.groups.assignment());
+    }
+}
+
+#[test]
+fn fl_datasets_are_reproducible() {
+    let builds: Vec<Box<dyn Fn() -> fair_submod::datasets::FlDataset>> = vec![
+        Box::new(|| rand_fl(3, 9)),
+        Box::new(|| adult_like(AdultSize::SmallRace, 9)),
+        Box::new(|| foursquare_like(City::Tky, 9)),
+    ];
+    for build in builds {
+        let a = build();
+        let b = build();
+        assert_eq!(a.users.point(0), b.users.point(0));
+        assert_eq!(a.groups.assignment(), b.groups.assignment());
+    }
+}
+
+#[test]
+fn full_mc_pipeline_is_deterministic() {
+    let run = || {
+        let dataset = rand_mc(2, 200, 3);
+        let oracle = dataset.coverage_oracle();
+        let ts = bsm_tsgreedy(&oracle, &TsGreedyConfig::new(5, 0.8));
+        let bs = bsm_saturate(&oracle, &BsmSaturateConfig::new(5, 0.8));
+        (ts.items, bs.items)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn full_im_pipeline_is_deterministic() {
+    let run = || {
+        let dataset = rand_mc(2, 100, 4);
+        let model = DiffusionModel::ic(0.1);
+        let oracle = dataset.ris_oracle(model, 5_000, 21);
+        let out = bsm_saturate(&oracle, &BsmSaturateConfig::new(5, 0.8));
+        let eval =
+            monte_carlo_evaluate(&dataset.graph, model, &dataset.groups, &out.items, 2_000, 9);
+        (out.items, eval.f.to_bits(), eval.g.to_bits())
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn full_fl_pipeline_is_deterministic() {
+    let run = || {
+        let dataset = rand_fl(2, 5);
+        let oracle = dataset.oracle();
+        let out = bsm_saturate(&oracle, &BsmSaturateConfig::new(5, 0.8));
+        (out.items, out.eval.f.to_bits())
+    };
+    assert_eq!(run(), run());
+}

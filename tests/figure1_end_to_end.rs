@@ -1,0 +1,111 @@
+//! End-to-end integration test on the paper's running example
+//! (Figure 1), spanning the coverage substrate, every algorithm, and
+//! both exact solvers. Asserts the worked numbers of Examples 3.1, 4.1,
+//! and 4.6.
+
+use fair_submod::coverage::{CoverageOracle, SetSystem};
+use fair_submod::core::metrics::evaluate;
+use fair_submod::core::prelude::*;
+use fair_submod::graphs::Groups;
+use fair_submod::lp::bsm_ilp::{mc_bsm_optimal, mc_robust_ilp};
+use fair_submod::lp::IlpConfig;
+
+fn figure1() -> (CoverageOracle, SetSystem, Vec<u32>) {
+    let sets = SetSystem::new(
+        vec![
+            vec![0, 1, 2, 3, 4],
+            vec![5, 6, 7, 8],
+            vec![5, 8, 9],
+            vec![10, 11],
+        ],
+        12,
+    );
+    let mut group_of = vec![0u32; 12];
+    for g in group_of.iter_mut().skip(9) {
+        *g = 1;
+    }
+    let oracle = CoverageOracle::new(sets.clone(), &Groups::from_assignment(group_of.clone()));
+    (oracle, sets, group_of)
+}
+
+#[test]
+fn example_31_objective_values() {
+    let (oracle, _, _) = figure1();
+    let e12 = evaluate(&oracle, &[0, 1]);
+    assert!((e12.f - 0.75).abs() < 1e-12);
+    let e14 = evaluate(&oracle, &[0, 3]);
+    assert!((e14.g - 5.0 / 9.0).abs() < 1e-12);
+    let e13 = evaluate(&oracle, &[0, 2]);
+    assert!((e13.f - 2.0 / 3.0).abs() < 1e-12);
+    assert!((e13.g - 1.0 / 3.0).abs() < 1e-12);
+}
+
+#[test]
+fn example_31_optimal_solutions_by_tau() {
+    let (oracle, sets, group_of) = figure1();
+    // Exact expectations from Example 3.1: τ=0 → {v1,v2};
+    // 0 < τ ≤ 0.6 → {v1,v3}; 0.6 < τ ≤ 1 → {v1,v4}.
+    let cases = [
+        (0.0, vec![0, 1]),
+        (0.3, vec![0, 2]),
+        (0.6, vec![0, 2]),
+        (0.7, vec![0, 3]),
+        (1.0, vec![0, 3]),
+    ];
+    for (tau, expect) in cases {
+        // Submodular branch-and-bound.
+        let bb = branch_and_bound_bsm(&oracle, &ExactConfig::new(2, tau));
+        let mut got = bb.items.clone();
+        got.sort_unstable();
+        assert_eq!(got, expect, "B&B at tau={tau}");
+        // Independent ILP route.
+        let ilp = mc_bsm_optimal(&sets, &group_of, 2, tau, &IlpConfig::default());
+        let mut got = ilp.items.clone();
+        got.sort_unstable();
+        assert_eq!(got, expect, "ILP at tau={tau}");
+        // Brute force.
+        let bf = brute_force_bsm(&oracle, 2, tau);
+        let mut got = bf.items.clone();
+        got.sort_unstable();
+        assert_eq!(got, expect, "brute force at tau={tau}");
+    }
+}
+
+#[test]
+fn example_41_tsgreedy_behaviour() {
+    let (oracle, _, _) = figure1();
+    // τ = 0.2: {v1, v3} without fallback.
+    let out = bsm_tsgreedy(&oracle, &TsGreedyConfig::new(2, 0.2));
+    let mut items = out.items.clone();
+    items.sort_unstable();
+    assert_eq!(items, vec![0, 2]);
+    assert!(!out.fell_back);
+    // τ = 0.8: fallback to S_g = {v1, v4}.
+    let out = bsm_tsgreedy(&oracle, &TsGreedyConfig::new(2, 0.8));
+    let mut items = out.items.clone();
+    items.sort_unstable();
+    assert_eq!(items, vec![0, 3]);
+    assert!(out.fell_back);
+}
+
+#[test]
+fn example_46_bsm_saturate_behaviour() {
+    let (oracle, _, _) = figure1();
+    for (tau, expect) in [(0.2, vec![0, 2]), (0.5, vec![0, 2]), (0.8, vec![0, 3])] {
+        let cfg = BsmSaturateConfig::new(2, tau).with_epsilon(0.1);
+        let out = bsm_saturate(&oracle, &cfg);
+        let mut items = out.items.clone();
+        items.sort_unstable();
+        assert_eq!(items, expect, "tau = {tau}");
+    }
+}
+
+#[test]
+fn robust_ilp_matches_saturate_estimate() {
+    let (oracle, sets, group_of) = figure1();
+    let (ilp_opt_g, _, _, complete) = mc_robust_ilp(&sets, &group_of, 2, &IlpConfig::default());
+    assert!(complete);
+    let sat = saturate(&oracle, &SaturateConfig::new(2));
+    // Saturate's exact tiny-instance path equals the ILP optimum.
+    assert!((ilp_opt_g - sat.opt_g_estimate).abs() < 1e-6);
+}

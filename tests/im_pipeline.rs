@@ -1,0 +1,86 @@
+//! Integration of the IM pipeline: graph generation → RIS oracle →
+//! BSM selection → Monte-Carlo evaluation, spanning the graphs,
+//! influence, datasets, and core crates.
+
+use fair_submod::core::metrics::evaluate;
+use fair_submod::core::prelude::*;
+use fair_submod::datasets::{rand_mc, seeds};
+use fair_submod::influence::{monte_carlo_evaluate, DiffusionModel};
+
+#[test]
+fn ris_estimates_track_monte_carlo_on_rand() {
+    let dataset = rand_mc(2, 100, seeds::RAND + 2);
+    let model = DiffusionModel::ic(0.1);
+    let oracle = dataset.ris_oracle(model, 30_000, 11);
+    let f = MeanUtility::new(oracle.num_users());
+    let run = greedy(&oracle, &f, &GreedyConfig::lazy(5));
+    assert_eq!(run.items.len(), 5);
+    let ris_eval = evaluate(&oracle, &run.items);
+    let mc_eval = monte_carlo_evaluate(&dataset.graph, model, &dataset.groups, &run.items, 20_000, 5);
+    assert!(
+        (ris_eval.f - mc_eval.f).abs() < 0.03,
+        "RIS f {} vs MC f {}",
+        ris_eval.f,
+        mc_eval.f
+    );
+    assert!(
+        (ris_eval.g - mc_eval.g).abs() < 0.05,
+        "RIS g {} vs MC g {}",
+        ris_eval.g,
+        mc_eval.g
+    );
+}
+
+#[test]
+fn fair_seeds_improve_worst_group_spread() {
+    // On the 20/80 SBM with sparse inter-block edges, fairness-aware
+    // selection must serve the minority block better than classic IM
+    // greedy (or match it when greedy is already fair).
+    let dataset = rand_mc(2, 100, seeds::RAND + 2);
+    let model = DiffusionModel::ic(0.1);
+    let oracle = dataset.ris_oracle(model, 30_000, 13);
+    let f = MeanUtility::new(oracle.num_users());
+    let base = greedy(&oracle, &f, &GreedyConfig::lazy(5));
+    let fair = bsm_saturate(&oracle, &BsmSaturateConfig::new(5, 0.9));
+    let runs = 20_000;
+    let base_eval =
+        monte_carlo_evaluate(&dataset.graph, model, &dataset.groups, &base.items, runs, 7);
+    let fair_eval =
+        monte_carlo_evaluate(&dataset.graph, model, &dataset.groups, &fair.items, runs, 7);
+    assert!(
+        fair_eval.g + 0.02 >= base_eval.g,
+        "fair g {} << greedy g {}",
+        fair_eval.g,
+        base_eval.g
+    );
+}
+
+#[test]
+fn tsgreedy_on_ris_returns_k_seeds_for_all_taus() {
+    let dataset = rand_mc(4, 100, seeds::RAND + 3);
+    let model = DiffusionModel::ic(0.1);
+    let oracle = dataset.ris_oracle(model, 10_000, 17);
+    for tau in [0.1, 0.5, 0.9] {
+        let out = bsm_tsgreedy(&oracle, &TsGreedyConfig::new(5, tau));
+        assert_eq!(out.items.len(), 5, "tau {tau}");
+        // Estimated (oracle-side) weak feasibility must hold exactly.
+        let est = evaluate(&oracle, &out.items);
+        assert!(
+            est.g + 1e-9 >= tau * out.opt_g_estimate,
+            "tau {tau}: estimated g {} < {}",
+            est.g,
+            tau * out.opt_g_estimate
+        );
+    }
+}
+
+#[test]
+fn lt_model_pipeline_works_end_to_end() {
+    let dataset = rand_mc(2, 100, seeds::RAND + 2);
+    let model = DiffusionModel::LinearThreshold;
+    let oracle = dataset.ris_oracle(model, 10_000, 23);
+    let out = bsm_saturate(&oracle, &BsmSaturateConfig::new(5, 0.5));
+    assert!(!out.items.is_empty());
+    let eval = monte_carlo_evaluate(&dataset.graph, model, &dataset.groups, &out.items, 5_000, 3);
+    assert!(eval.f > 0.0);
+}

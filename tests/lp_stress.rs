@@ -1,0 +1,151 @@
+//! Stress tests for the LP/ILP substrate: random knapsack and covering
+//! integer programs solved by branch-and-bound and checked against
+//! exhaustive enumeration, plus LP duality-style sanity (relaxation
+//! bounds the integer optimum).
+
+use fair_submod::lp::{solve_ilp, solve_lp, Cmp, IlpConfig, IlpResult, LinearProgram, LpResult};
+
+struct Xorshift(u64);
+
+impl Xorshift {
+    fn next_f64(&mut self) -> f64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        (self.0 >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Enumerates all 0/1 assignments of `n ≤ 20` binaries and returns the
+/// best feasible objective.
+fn brute_force_binary(lp: &LinearProgram, n: usize) -> Option<f64> {
+    let mut best: Option<f64> = None;
+    for mask in 0u32..(1 << n) {
+        let x: Vec<f64> = (0..n)
+            .map(|i| if mask & (1 << i) != 0 { 1.0 } else { 0.0 })
+            .collect();
+        if lp.is_feasible(&x, 1e-9) {
+            let v = lp.objective_value(&x);
+            if best.is_none_or(|b| v > b) {
+                best = Some(v);
+            }
+        }
+    }
+    best
+}
+
+fn random_knapsack(seed: u64, n: usize) -> (LinearProgram, Vec<usize>) {
+    let mut rng = Xorshift(seed | 1);
+    let mut lp = LinearProgram::new();
+    let mut weights = Vec::with_capacity(n);
+    for _ in 0..n {
+        let v = lp.add_var(0.1 + rng.next_f64());
+        lp.bound_upper(v, 1.0);
+        weights.push(0.1 + rng.next_f64());
+    }
+    let cap: f64 = weights.iter().sum::<f64>() * (0.3 + 0.4 * rng.next_f64());
+    lp.add_constraint(
+        weights.iter().cloned().enumerate().collect(),
+        Cmp::Le,
+        cap,
+    );
+    (lp, (0..n).collect())
+}
+
+#[test]
+fn ilp_matches_brute_force_on_random_knapsacks() {
+    for seed in 1..16u64 {
+        let n = 10;
+        let (lp, bins) = random_knapsack(seed, n);
+        let expected = brute_force_binary(&lp, n).expect("x = 0 is always feasible");
+        match solve_ilp(&lp, &bins, &IlpConfig::default()) {
+            IlpResult::Optimal { value, .. } => {
+                assert!(
+                    (value - expected).abs() < 1e-6,
+                    "seed {seed}: ilp {value} vs brute {expected}"
+                );
+            }
+            other => panic!("seed {seed}: unexpected {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn lp_relaxation_upper_bounds_the_ilp() {
+    for seed in 20..30u64 {
+        let (lp, bins) = random_knapsack(seed, 8);
+        let relax = match solve_lp(&lp) {
+            LpResult::Optimal { value, .. } => value,
+            other => panic!("unexpected {other:?}"),
+        };
+        let integral = match solve_ilp(&lp, &bins, &IlpConfig::default()) {
+            IlpResult::Optimal { value, .. } => value,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert!(
+            relax + 1e-7 >= integral,
+            "seed {seed}: relaxation {relax} below ILP {integral}"
+        );
+    }
+}
+
+#[test]
+fn covering_ilp_with_equalities() {
+    // Random set-cover-ish programs: minimize (= maximize negative) cost
+    // subject to each of 6 elements covered; compare to brute force.
+    for seed in 40..46u64 {
+        let mut rng = Xorshift(seed | 1);
+        let n = 8;
+        let m = 6;
+        let mut lp = LinearProgram::new();
+        for _ in 0..n {
+            let v = lp.add_var(-(0.2 + rng.next_f64())); // maximize −cost
+            lp.bound_upper(v, 1.0);
+        }
+        // Membership matrix: each element covered by ~half the sets, and
+        // guaranteed by set `e % n`.
+        let mut rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); m];
+        for (e, row) in rows.iter_mut().enumerate() {
+            for s in 0..n {
+                if s == e % n || rng.next_f64() < 0.4 {
+                    row.push((s, 1.0));
+                }
+            }
+        }
+        for row in rows {
+            lp.add_constraint(row, Cmp::Ge, 1.0);
+        }
+        let bins: Vec<usize> = (0..n).collect();
+        let expected = brute_force_binary(&lp, n);
+        match (solve_ilp(&lp, &bins, &IlpConfig::default()), expected) {
+            (IlpResult::Optimal { value, .. }, Some(exp)) => {
+                assert!(
+                    (value - exp).abs() < 1e-6,
+                    "seed {seed}: {value} vs {exp}"
+                );
+            }
+            (IlpResult::Infeasible, None) => {}
+            (got, exp) => panic!("seed {seed}: {got:?} vs {exp:?}"),
+        }
+    }
+}
+
+#[test]
+fn degenerate_equality_chains_terminate() {
+    // x0 = x1 = … = x5, all ≤ 1, maximize Σx: optimum is 6 at all-ones.
+    let mut lp = LinearProgram::new();
+    for _ in 0..6 {
+        let v = lp.add_var(1.0);
+        lp.bound_upper(v, 1.0);
+    }
+    for i in 0..5 {
+        lp.add_constraint(vec![(i, 1.0), (i + 1, -1.0)], Cmp::Eq, 0.0);
+    }
+    match solve_lp(&lp) {
+        LpResult::Optimal { value, x } => {
+            assert!((value - 6.0).abs() < 1e-7);
+            assert!(x.iter().all(|&v| (v - 1.0).abs() < 1e-7));
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}

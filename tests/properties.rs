@@ -1,0 +1,179 @@
+//! Property-based tests (proptest) for the core invariants:
+//! monotonicity + submodularity of every oracle, consistency of the
+//! composite aggregates, lazy ≡ naive greedy, the `(1 − 1/e)` bound
+//! against brute force, and feasibility guarantees of the BSM schemes.
+
+use proptest::prelude::*;
+
+use fair_submod::coverage::{CoverageOracle, SetSystem};
+use fair_submod::core::aggregate::{
+    Aggregate, BsmObjective, MeanUtility, MinGroupUtility, TruncatedMean,
+};
+use fair_submod::core::metrics::evaluate;
+use fair_submod::core::prelude::*;
+use fair_submod::core::system::{SolutionState, UtilitySystem};
+use fair_submod::facility::{BenefitMatrix, FacilityOracle};
+use fair_submod::graphs::Groups;
+
+/// Strategy: a random coverage instance (sets over m users, c groups).
+fn coverage_instance() -> impl Strategy<Value = (CoverageOracle, usize)> {
+    (2usize..6, 6usize..16, 2usize..4, any::<u64>()).prop_map(|(n, m, c, seed)| {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let sets: Vec<Vec<u32>> = (0..n)
+            .map(|_| {
+                (0..m as u32)
+                    .filter(|_| next() % 100 < 35)
+                    .collect()
+            })
+            .collect();
+        let group_of: Vec<u32> = (0..m).map(|u| (u % c) as u32).collect();
+        let oracle = CoverageOracle::new(SetSystem::new(sets, m), &Groups::from_assignment(group_of));
+        (oracle, n)
+    })
+}
+
+/// Strategy: a random facility instance.
+fn facility_instance() -> impl Strategy<Value = (FacilityOracle, usize)> {
+    (2usize..6, 3usize..10, 2usize..4, any::<u64>()).prop_map(|(n, m, c, seed)| {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let b: Vec<f64> = (0..m * n).map(|_| next()).collect();
+        let group_of: Vec<u32> = (0..m).map(|u| (u % c) as u32).collect();
+        (
+            FacilityOracle::new(BenefitMatrix::new(b, m, n), group_of),
+            n,
+        )
+    })
+}
+
+/// Checks monotonicity and submodularity of `system` along a random
+/// insertion order: gains are non-negative and only shrink as the
+/// solution grows.
+fn check_monotone_submodular<S: UtilitySystem>(system: &S, order: &[u32]) {
+    let c = system.num_groups();
+    let n = system.num_items();
+    let mut state = SolutionState::new(system);
+    let mut prev_gains: Vec<Vec<f64>> = Vec::new();
+    let mut buf = vec![0.0; c];
+    for v in 0..n as u32 {
+        state.gains_into(v, &mut buf);
+        assert!(buf.iter().all(|&x| x >= -1e-12), "negative gain");
+        prev_gains.push(buf.clone());
+    }
+    for &v in order {
+        if state.contains(v) {
+            continue;
+        }
+        state.insert(v);
+        for u in 0..n as u32 {
+            state.gains_into(u, &mut buf);
+            for gi in 0..c {
+                assert!(
+                    buf[gi] <= prev_gains[u as usize][gi] + 1e-9,
+                    "gain grew after insertion: item {u}, group {gi}"
+                );
+            }
+            prev_gains[u as usize] = buf.clone();
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn coverage_oracle_is_monotone_submodular((oracle, n) in coverage_instance(), seed in any::<u64>()) {
+        let order: Vec<u32> = (0..n as u32).map(|i| (i.wrapping_add(seed as u32)) % n as u32).collect();
+        check_monotone_submodular(&oracle, &order);
+    }
+
+    #[test]
+    fn facility_oracle_is_monotone_submodular((oracle, n) in facility_instance(), seed in any::<u64>()) {
+        let order: Vec<u32> = (0..n as u32).map(|i| (i.wrapping_add(seed as u32)) % n as u32).collect();
+        check_monotone_submodular(&oracle, &order);
+    }
+
+    #[test]
+    fn aggregates_are_consistent((oracle, _) in coverage_instance(), items in proptest::collection::vec(0u32..5, 0..4)) {
+        let sizes = oracle.group_sizes().to_vec();
+        let m = oracle.num_users();
+        let mut state = SolutionState::new(&oracle);
+        for v in items {
+            if (v as usize) < oracle.num_items() {
+                state.insert(v);
+            }
+        }
+        let sums = state.group_sums().to_vec();
+        let aggregates: Vec<Box<dyn Aggregate>> = vec![
+            Box::new(MeanUtility::new(m)),
+            Box::new(MinGroupUtility::new(&sizes)),
+            Box::new(TruncatedMean::uniform(&sizes, 0.4)),
+            Box::new(BsmObjective::new(m, &sizes, 0.3, 0.4)),
+        ];
+        // gain(sums, gains) == value(sums + gains) − value(sums).
+        let gains: Vec<f64> = sums.iter().map(|&s| s * 0.5 + 0.25).collect();
+        let after: Vec<f64> = sums.iter().zip(&gains).map(|(s, g)| s + g).collect();
+        for agg in &aggregates {
+            let direct = agg.value(&after) - agg.value(&sums);
+            let via_gain = agg.gain(&sums, &gains);
+            prop_assert!((direct - via_gain).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn lazy_greedy_equals_naive_greedy((oracle, _) in coverage_instance(), k in 1usize..6) {
+        let f = MeanUtility::new(oracle.num_users());
+        let naive = greedy(&oracle, &f, &GreedyConfig::naive(k));
+        let lazy = greedy(&oracle, &f, &GreedyConfig::lazy(k));
+        prop_assert_eq!(naive.items, lazy.items);
+        prop_assert!((naive.value - lazy.value).abs() < 1e-12);
+    }
+
+    #[test]
+    fn greedy_achieves_one_minus_inv_e((oracle, n) in coverage_instance(), k in 1usize..4) {
+        prop_assume!(n >= k);
+        let f = MeanUtility::new(oracle.num_users());
+        let run = greedy(&oracle, &f, &GreedyConfig::lazy(k));
+        let (_, opt) = brute_force_max(&oracle, &f, k);
+        prop_assert!(run.value + 1e-9 >= (1.0 - (-1.0f64).exp()) * opt,
+            "greedy {} < (1-1/e)·{}", run.value, opt);
+    }
+
+    #[test]
+    fn tsgreedy_weakly_feasible_and_k_sized((oracle, n) in coverage_instance(), tau in 0.05f64..0.95) {
+        let k = 3usize.min(n);
+        let out = bsm_tsgreedy(&oracle, &TsGreedyConfig::new(k, tau));
+        prop_assert_eq!(out.items.len(), k);
+        // Exact oracle ⇒ the weak constraint always holds.
+        prop_assert!(out.eval.g + 1e-9 >= tau * out.opt_g_estimate,
+            "g {} < tau·OPT'_g {}", out.eval.g, tau * out.opt_g_estimate);
+    }
+
+    #[test]
+    fn bsm_saturate_respects_size_cap((oracle, n) in coverage_instance(), tau in 0.05f64..0.95) {
+        let k = 3usize.min(n);
+        let out = bsm_saturate(&oracle, &BsmSaturateConfig::new(k, tau));
+        prop_assert!(out.items.len() <= k);
+        let eval = evaluate(&oracle, &out.items);
+        prop_assert!((eval.f - out.eval.f).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturate_is_witnessed((oracle, n) in coverage_instance(), k in 1usize..5) {
+        prop_assume!(n >= k);
+        let sat = saturate(&oracle, &SaturateConfig::new(k).approximate_only());
+        let achieved = evaluate(&oracle, &sat.items).g;
+        prop_assert!((achieved - sat.opt_g_estimate).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,67 @@
+//! Integration: local-search refinement stacked on top of the BSM
+//! schemes — quantifying the optimality headroom the greedy schemes
+//! leave, under the true fairness constraint.
+
+use fair_submod::core::aggregate::{MeanUtility, MinGroupUtility};
+use fair_submod::core::metrics::evaluate;
+use fair_submod::core::prelude::*;
+use fair_submod::core::system::SolutionState;
+use fair_submod::datasets::{rand_fl, rand_mc, seeds};
+
+fn refine_under_fairness<S: fair_submod::core::system::UtilitySystem>(
+    system: &S,
+    start: &[u32],
+    floor: f64,
+) -> (Vec<u32>, f64, f64) {
+    let f = MeanUtility::new(system.num_users());
+    let g = MinGroupUtility::new(system.group_sizes());
+    let constraint = |items: &[u32]| {
+        let mut st = SolutionState::new(system);
+        st.insert_all(items);
+        st.value(&g) + 1e-9 >= floor
+    };
+    let out = local_search_refine(system, &f, start, &constraint, &Default::default());
+    (out.items, out.initial_value, out.value)
+}
+
+#[test]
+fn refinement_never_hurts_tsgreedy_on_mc() {
+    let dataset = rand_mc(2, 500, seeds::RAND);
+    let oracle = dataset.coverage_oracle();
+    for tau in [0.4, 0.8] {
+        let ts = bsm_tsgreedy(&oracle, &TsGreedyConfig::new(5, tau));
+        let floor = tau * ts.opt_g_estimate;
+        let (items, before, after) = refine_under_fairness(&oracle, &ts.items, floor);
+        assert!(after + 1e-12 >= before, "tau {tau}");
+        let eval = evaluate(&oracle, &items);
+        assert!(eval.g + 1e-9 >= floor, "tau {tau}: constraint broken");
+    }
+}
+
+#[test]
+fn refinement_closes_part_of_the_gap_to_optimal() {
+    // On the exact-solvable RAND-OPT size, refinement of TSGreedy must
+    // land between TSGreedy and BSM-Optimal.
+    let dataset = rand_mc(2, 150, seeds::RAND);
+    let oracle = dataset.coverage_oracle();
+    let tau = 0.8;
+    let opt = branch_and_bound_bsm(&oracle, &ExactConfig::new(5, tau));
+    assert!(opt.complete);
+    let ts = bsm_tsgreedy(&oracle, &TsGreedyConfig::new(5, tau));
+    let floor = tau * opt.opt_g;
+    let (_, _, refined) = refine_under_fairness(&oracle, &ts.items, floor);
+    assert!(refined <= opt.eval.f + 1e-9, "refinement beat the optimum");
+    assert!(refined + 1e-9 >= ts.eval.f, "refinement lost value");
+}
+
+#[test]
+fn refinement_on_fl_respects_constraint() {
+    let dataset = rand_fl(2, seeds::FL);
+    let oracle = dataset.oracle();
+    let bs = bsm_saturate(&oracle, &BsmSaturateConfig::new(5, 0.8));
+    let floor = 0.8 * bs.opt_g_estimate * (1.0 - 2.0 * 0.05); // Lemma 4.4 floor
+    let (items, _, after) = refine_under_fairness(&oracle, &bs.items, floor);
+    let eval = evaluate(&oracle, &items);
+    assert!(eval.g + 1e-9 >= floor);
+    assert!((eval.f - after).abs() < 1e-9);
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the substrates: graph generators, group
+//! apportionment, RIS estimator unbiasedness, and the RIS oracle's
+//! submodularity (the IM-side counterpart of `properties.rs`).
+
+use proptest::prelude::*;
+
+use fair_submod::core::system::{SolutionState, UtilitySystem};
+use fair_submod::graphs::generators::{erdos_renyi, power_law_weights, sbm};
+use fair_submod::graphs::{Groups, traversal};
+use fair_submod::influence::oracle::{RisConfig, RisOracle};
+use fair_submod::influence::DiffusionModel;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sbm_respects_block_sizes(a in 5usize..30, b in 5usize..30, seed in any::<u64>()) {
+        let g = sbm(&[a, b], 0.3, 0.05, seed);
+        prop_assert_eq!(g.num_nodes(), a + b);
+        // Undirected: every arc has its reverse.
+        for (u, v) in g.arcs() {
+            prop_assert!(g.out_neighbors(v).contains(&u));
+        }
+    }
+
+    #[test]
+    fn erdos_renyi_edge_bounds(n in 2usize..40, seed in any::<u64>()) {
+        let g = erdos_renyi(n, 0.5, seed);
+        prop_assert!(g.num_edges() <= n * (n - 1) / 2);
+        // No self loops.
+        for (u, v) in g.arcs() {
+            prop_assert_ne!(u, v);
+        }
+    }
+
+    #[test]
+    fn power_law_weights_are_positive_decreasing(n in 2usize..500, avg in 1.0f64..20.0) {
+        let w = power_law_weights(n, avg, 2.5);
+        prop_assert!(w.iter().all(|&x| x > 0.0));
+        prop_assert!(w.windows(2).all(|p| p[0] >= p[1]));
+        let mean = w.iter().sum::<f64>() / n as f64;
+        prop_assert!((mean - avg).abs() < 1e-6);
+    }
+
+    #[test]
+    fn group_ratios_partition_everyone(m in 4usize..200, r0 in 0.05f64..0.95, seed in any::<u64>()) {
+        let groups = Groups::from_ratios(m, &[("a", r0), ("b", 1.0 - r0)], seed);
+        prop_assert_eq!(groups.num_users(), m);
+        prop_assert_eq!(groups.sizes().iter().sum::<usize>(), m);
+        prop_assert!(groups.sizes().iter().all(|&s| s >= 1));
+        // Assignment counts match sizes.
+        let count0 = groups.assignment().iter().filter(|&&g| g == 0).count();
+        prop_assert_eq!(count0, groups.sizes()[0]);
+    }
+
+    #[test]
+    fn bfs_reaches_exactly_the_component(n in 3usize..30, p in 0.05f64..0.5, seed in any::<u64>()) {
+        let g = erdos_renyi(n, p, seed);
+        let comps = traversal::connected_components(&g);
+        let order = traversal::bfs(&g, 0);
+        let comp0 = comps.component_of[0];
+        let expected = comps.component_of.iter().filter(|&&c| c == comp0).count();
+        prop_assert_eq!(order.len(), expected);
+    }
+
+    #[test]
+    fn ris_oracle_is_monotone_submodular(seed in any::<u64>(), p in 0.05f64..0.4) {
+        let g = sbm(&[15, 15], 0.3, 0.1, seed);
+        let groups = Groups::from_ratios(30, &[("a", 0.5), ("b", 0.5)], seed);
+        let oracle = RisOracle::generate(
+            &g,
+            DiffusionModel::ic(p),
+            &groups,
+            &RisConfig::new(400, seed ^ 1),
+        );
+        let c = oracle.num_groups();
+        let mut small = SolutionState::new(&oracle);
+        let mut big = SolutionState::new(&oracle);
+        big.insert(3);
+        big.insert(7);
+        let mut gs = vec![0.0; c];
+        let mut gb = vec![0.0; c];
+        for v in 0..30u32 {
+            small.gains_into(v, &mut gs);
+            big.gains_into(v, &mut gb);
+            for i in 0..c {
+                prop_assert!(gs[i] >= -1e-12, "negative gain");
+                prop_assert!(gs[i] + 1e-9 >= gb[i], "submodularity violated");
+            }
+        }
+    }
+
+    #[test]
+    fn ris_group_estimates_are_bounded(seed in any::<u64>()) {
+        let g = sbm(&[10, 20], 0.3, 0.1, seed);
+        let groups = Groups::from_ratios(30, &[("a", 1.0/3.0), ("b", 2.0/3.0)], seed);
+        let oracle = RisOracle::generate(
+            &g,
+            DiffusionModel::ic(0.2),
+            &groups,
+            &RisConfig::new(300, seed ^ 2),
+        );
+        let all: Vec<u32> = (0..30).collect();
+        let eval = fair_submod::core::metrics::evaluate(&oracle, &all);
+        // Probabilities: f and every group mean in [0, 1].
+        prop_assert!(eval.f <= 1.0 + 1e-9 && eval.f >= 0.0);
+        for &gm in &eval.group_means {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&gm));
+        }
+        // Seeding everything covers every RR set: all means exactly 1.
+        prop_assert!((eval.g - 1.0).abs() < 1e-9);
+    }
+}
