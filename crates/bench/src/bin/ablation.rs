@@ -57,7 +57,9 @@ fn main() {
         ]);
     }
     engines.print();
-    engines.write_csv(&args.out_dir, "ablation_engines").unwrap();
+    engines
+        .write_csv(&args.out_dir, "ablation_engines")
+        .unwrap();
 
     // 2. Robust solvers.
     let mut robust = Table::new(
@@ -96,7 +98,10 @@ fn main() {
         "Ablation 3: BSM-Saturate size cap (tau = 0.8)",
         &["cap", "|S|", "f(S)", "g(S)", "alpha_min", "weak_ok"],
     );
-    for (name, cap) in [("k (paper)", SizeCap::Exact), ("k*ln(c/eps)", SizeCap::Theory)] {
+    for (name, cap) in [
+        ("k (paper)", SizeCap::Exact),
+        ("k*ln(c/eps)", SizeCap::Theory),
+    ] {
         let mut cfg = BsmSaturateConfig::new(k, tau);
         cfg.size_cap = cap;
         let out = bsm_saturate_detailed(&oracle, &cfg);

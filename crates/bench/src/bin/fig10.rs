@@ -16,7 +16,10 @@ fn main() {
     } else {
         (1..=9).map(|i| i as f64 / 10.0).collect()
     };
-    let mut table = Table::new("Figure 10: MC and IM on Facebook, varying tau (k = 5)", RESULT_HEADERS);
+    let mut table = Table::new(
+        "Figure 10: MC and IM on Facebook, varying tau (k = 5)",
+        RESULT_HEADERS,
+    );
 
     for c in [2usize, 4] {
         let dataset = facebook_like(c, seeds::FACEBOOK);

@@ -16,7 +16,10 @@ fn main() {
     let args = ExpArgs::parse();
     let tau = 0.8;
     let model = DiffusionModel::ic(0.01);
-    let mut table = Table::new("Figure 6: IM, varying k (tau = 0.8, IC p = 0.01)", RESULT_HEADERS);
+    let mut table = Table::new(
+        "Figure 6: IM, varying k (tau = 0.8, IC p = 0.01)",
+        RESULT_HEADERS,
+    );
 
     let fb_ks: Vec<usize> = if args.quick {
         vec![10, 30, 50]

@@ -163,8 +163,7 @@ pub fn run_suite<S: UtilitySystem>(
                 (run.items, run.opt_g_estimate, run.fell_back)
             }
             Algo::BsmSaturate => {
-                let mut bcfg =
-                    BsmSaturateConfig::new(cfg.k, cfg.tau).with_epsilon(cfg.epsilon);
+                let mut bcfg = BsmSaturateConfig::new(cfg.k, cfg.tau).with_epsilon(cfg.epsilon);
                 bcfg.saturate = saturate_config(cfg.k, cfg.approximate_saturate);
                 let run = bsm_saturate(system, &bcfg);
                 (run.items, run.opt_g_estimate, run.fell_back)

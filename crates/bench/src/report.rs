@@ -100,7 +100,16 @@ impl Table {
 
 /// Standard headers for algorithm-comparison tables.
 pub const RESULT_HEADERS: &[&str] = &[
-    "dataset", "algo", "k", "tau", "f(S)", "g(S)", "tau*OPT'_g", "weak_ok", "size", "time_s",
+    "dataset",
+    "algo",
+    "k",
+    "tau",
+    "f(S)",
+    "g(S)",
+    "tau*OPT'_g",
+    "weak_ok",
+    "size",
+    "time_s",
 ];
 
 /// Appends suite results to a table with [`RESULT_HEADERS`].

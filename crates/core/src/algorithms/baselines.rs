@@ -14,7 +14,11 @@ use crate::metrics::{evaluate, Evaluation};
 use crate::system::{SolutionState, UtilitySystem};
 
 /// Uniformly random size-`k` subset of the ground set.
-pub fn random_subset<S: UtilitySystem>(system: &S, k: usize, seed: u64) -> (Vec<ItemId>, Evaluation) {
+pub fn random_subset<S: UtilitySystem>(
+    system: &S,
+    k: usize,
+    seed: u64,
+) -> (Vec<ItemId>, Evaluation) {
     let n = system.num_items();
     let k = k.min(n);
     let mut rng = StdRng::seed_from_u64(seed);

@@ -375,8 +375,14 @@ pub fn branch_and_bound_bsm<S: UtilitySystem>(system: &S, cfg: &ExactConfig) -> 
     } else {
         f64::NEG_INFINITY
     };
-    let (g_items, opt_g, nodes_g, complete_g) =
-        run_search(system, k, Target::Fairness, warm_g, warm_g_items, cfg.node_limit);
+    let (g_items, opt_g, nodes_g, complete_g) = run_search(
+        system,
+        k,
+        Target::Fairness,
+        warm_g,
+        warm_g_items,
+        cfg.node_limit,
+    );
     let opt_g = opt_g.max(0.0);
 
     // Phase 2: max f subject to g ≥ τ·OPT_g.

@@ -175,7 +175,7 @@ pub fn greedy<S: UtilitySystem, A: Aggregate>(
     cfg: &GreedyConfig,
 ) -> GreedyOutcome {
     let mut state = SolutionState::new(system);
-    
+
     greedy_into(&mut state, aggregate, cfg)
 }
 

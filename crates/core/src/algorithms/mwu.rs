@@ -219,10 +219,8 @@ mod tests {
     fn mwu_upweights_starved_groups() {
         // Group 1 (users 4,5) is only covered by item 1, which plain
         // weighted greedy ignores at first: MWU must raise its weight.
-        let sys = toy::MiniCoverage::new(
-            vec![vec![0, 1, 2, 3], vec![4, 5]],
-            vec![0, 0, 0, 0, 1, 1],
-        );
+        let sys =
+            toy::MiniCoverage::new(vec![vec![0, 1, 2, 3], vec![4, 5]], vec![0, 0, 0, 0, 1, 1]);
         let mut cfg = MwuConfig::new(1);
         cfg.rounds = 10;
         let out = mwu_robust(&sys, &cfg);

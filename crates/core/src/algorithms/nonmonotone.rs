@@ -196,7 +196,10 @@ mod tests {
         let v_small = a.value(&f);
         a.insert(3);
         let v_big = a.value(&f);
-        assert!(v_big < v_small, "adding a costly item must hurt: {v_big} vs {v_small}");
+        assert!(
+            v_big < v_small,
+            "adding a costly item must hurt: {v_big} vs {v_small}"
+        );
     }
 
     #[test]

@@ -72,8 +72,7 @@ pub struct Frontier {
 impl Frontier {
     /// The non-dominated points, sorted by ascending `g`.
     pub fn frontier_points(&self) -> Vec<&FrontierPoint> {
-        let mut pts: Vec<&FrontierPoint> =
-            self.points.iter().filter(|p| p.on_frontier).collect();
+        let mut pts: Vec<&FrontierPoint> = self.points.iter().filter(|p| p.on_frontier).collect();
         pts.sort_by(|a, b| a.g.partial_cmp(&b.g).unwrap());
         pts
     }
@@ -81,11 +80,7 @@ impl Frontier {
 
 /// Sweeps τ and extracts the utility–fairness Pareto frontier.
 pub fn pareto_frontier<S: UtilitySystem>(system: &S, cfg: &FrontierConfig) -> Frontier {
-    let mut taus: Vec<f64> = cfg
-        .taus
-        .iter()
-        .map(|t| t.clamp(0.0, 1.0))
-        .collect();
+    let mut taus: Vec<f64> = cfg.taus.iter().map(|t| t.clamp(0.0, 1.0)).collect();
     taus.sort_by(|a, b| a.partial_cmp(b).unwrap());
     taus.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
 

@@ -173,14 +173,7 @@ mod tests {
     fn tighter_epsilon_never_hurts_much() {
         let sys = toy::random_coverage(50, 100, 2, 0.08, 4);
         let f = MeanUtility::new(sys.num_users());
-        let loose = sieve_streaming(
-            &sys,
-            &f,
-            &SieveConfig {
-                k: 5,
-                epsilon: 0.5,
-            },
-        );
+        let loose = sieve_streaming(&sys, &f, &SieveConfig { k: 5, epsilon: 0.5 });
         let tight = sieve_streaming(
             &sys,
             &f,

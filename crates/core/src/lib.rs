@@ -56,19 +56,21 @@ pub mod prelude {
     pub use crate::algorithms::baselines::{random_subset, top_singletons};
     pub use crate::algorithms::bsm_saturate::{bsm_saturate, BsmSaturateConfig};
     pub use crate::algorithms::cover::{submodular_cover, CoverOutcome};
-    pub use crate::algorithms::exact::{
-        brute_force_bsm, brute_force_max, branch_and_bound_bsm, BsmOptimal, ExactConfig,
-    };
     pub use crate::algorithms::distributed::{greedi, GreediConfig};
+    pub use crate::algorithms::exact::{
+        branch_and_bound_bsm, brute_force_bsm, brute_force_max, BsmOptimal, ExactConfig,
+    };
     pub use crate::algorithms::greedy::{greedy, GreedyConfig, GreedyOutcome, GreedyVariant};
     pub use crate::algorithms::knapsack::{knapsack_greedy, KnapsackConfig};
     pub use crate::algorithms::local_search::{local_search_refine, LocalSearchConfig};
-    pub use crate::algorithms::pareto::{pareto_frontier, Frontier, FrontierConfig, FrontierSolver};
     pub use crate::algorithms::mwu::{mwu_robust, MwuConfig};
     pub use crate::algorithms::nonmonotone::{random_greedy, PenalizedSystem, RandomGreedyConfig};
+    pub use crate::algorithms::pareto::{
+        pareto_frontier, Frontier, FrontierConfig, FrontierSolver,
+    };
     pub use crate::algorithms::saturate::{saturate, SaturateConfig, SaturateOutcome};
-    pub use crate::algorithms::streaming::{sieve_streaming, SieveConfig};
     pub use crate::algorithms::smsc::{smsc, SmscConfig};
+    pub use crate::algorithms::streaming::{sieve_streaming, SieveConfig};
     pub use crate::algorithms::tsgreedy::{bsm_tsgreedy, TsGreedyConfig};
     pub use crate::algorithms::BsmOutcome;
     pub use crate::items::{ItemId, ItemSet};

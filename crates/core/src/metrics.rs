@@ -19,7 +19,10 @@ pub struct Evaluation {
 impl Evaluation {
     /// Gap between the best- and worst-served group, `max_i f_i − min_i f_i`.
     pub fn group_gap(&self) -> f64 {
-        let max = self.group_means.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+        let max = self
+            .group_means
+            .iter()
+            .fold(f64::NEG_INFINITY, |a, &b| a.max(b));
         max - self.g
     }
 

@@ -105,10 +105,10 @@ impl UtilitySystem for MiniCoverage {
 /// `S(v4) = {u22, u23}`.
 pub fn figure1() -> MiniCoverage {
     let covers = vec![
-        vec![0, 1, 2, 3, 4],  // v1
-        vec![5, 6, 7, 8],     // v2
-        vec![5, 8, 9],        // v3
-        vec![10, 11],         // v4
+        vec![0, 1, 2, 3, 4], // v1
+        vec![5, 6, 7, 8],    // v2
+        vec![5, 8, 9],       // v3
+        vec![10, 11],        // v4
     ];
     let mut group_of = vec![0u32; 12];
     for g in group_of.iter_mut().skip(9) {

@@ -27,7 +27,12 @@ impl GraphDataset {
 
     /// Builds a group-stratified RIS oracle for IM experiments.
     pub fn ris_oracle(&self, model: DiffusionModel, num_rr: usize, seed: u64) -> RisOracle {
-        RisOracle::generate(&self.graph, model, &self.groups, &RisConfig::new(num_rr, seed))
+        RisOracle::generate(
+            &self.graph,
+            model,
+            &self.groups,
+            &RisConfig::new(num_rr, seed),
+        )
     }
 
     /// Number of nodes (= users `m` = items `n` in both MC and IM).
@@ -198,10 +203,7 @@ mod tests {
         let d = facebook_like(2, 3);
         assert_eq!(d.num_nodes(), 1216);
         let m = d.graph.num_edges();
-        assert!(
-            (35_000..48_000).contains(&m),
-            "edges {m} (target ≈ 42,443)"
-        );
+        assert!((35_000..48_000).contains(&m), "edges {m} (target ≈ 42,443)");
         assert_eq!(d.groups.num_groups(), 2);
         let p = d.groups.percentages();
         assert!((p[0] - 8.0).abs() < 1.0);

@@ -41,11 +41,7 @@ impl BenefitMatrix {
     }
 
     /// Generic distance-to-benefit construction.
-    pub fn from_distance(
-        users: &PointSet,
-        items: &PointSet,
-        benefit: impl Fn(f64) -> f64,
-    ) -> Self {
+    pub fn from_distance(users: &PointSet, items: &PointSet, benefit: impl Fn(f64) -> f64) -> Self {
         let m = users.len();
         let n = items.len();
         let mut b = Vec::with_capacity(m * n);

@@ -10,6 +10,34 @@
 //! In the paper's FL formulation, user `u`'s utility of an item set `S`
 //! is `max_{v∈S} b_uv` for a non-negative benefit matrix `B`, so `f` is
 //! the average best benefit and `g` the minimum average group benefit.
+//!
+//! ## Example
+//!
+//! Fair facility location on a hand-built benefit matrix — the flow of
+//! `examples/fair_facility.rs`, minus the Gaussian-blob generator.
+//! Facility 0 serves group 0 (users 0–1), facility 2 serves group 1
+//! (users 2–3); BSM-TSGreedy must cover both:
+//!
+//! ```
+//! use fair_submod_core::prelude::*;
+//! use fair_submod_facility::{BenefitMatrix, FacilityOracle};
+//!
+//! // 4 users (rows) × 3 candidate facilities (columns), two groups.
+//! let benefits = vec![
+//!     1.0, 0.2, 0.0, // user 0 (group 0)
+//!     0.9, 0.1, 0.0, // user 1 (group 0)
+//!     0.0, 0.3, 0.8, // user 2 (group 1)
+//!     0.1, 0.4, 0.7, // user 3 (group 1)
+//! ];
+//! let oracle = FacilityOracle::new(BenefitMatrix::new(benefits, 4, 3), vec![0, 0, 1, 1]);
+//!
+//! let out = bsm_tsgreedy(&oracle, &TsGreedyConfig::new(2, 0.5));
+//! let eval = evaluate(&oracle, &out.items);
+//!
+//! assert_eq!(out.items.len(), 2);
+//! // Both groups receive positive average benefit.
+//! assert!(eval.f > 0.0 && eval.g > 0.0);
+//! ```
 
 pub mod benefit;
 pub mod generators;

@@ -76,8 +76,7 @@ impl Graph {
 
     /// Iterates over all arcs `(src, dst)`.
     pub fn arcs(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        (0..self.n as NodeId)
-            .flat_map(move |v| self.out_neighbors(v).iter().map(move |&w| (v, w)))
+        (0..self.n as NodeId).flat_map(move |v| self.out_neighbors(v).iter().map(move |&w| (v, w)))
     }
 
     /// Index of the arc `(src, dst)` in global arc order (position inside
@@ -111,7 +110,10 @@ impl GraphBuilder {
     /// # Panics
     /// Panics if an endpoint is out of range.
     pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> &mut Self {
-        assert!((u as usize) < self.n && (v as usize) < self.n, "edge out of range");
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "edge out of range"
+        );
         if u != v {
             self.edges.push((u, v));
         }
@@ -140,8 +142,7 @@ impl GraphBuilder {
     pub fn build(mut self) -> Graph {
         if !self.directed {
             // Symmetrize before dedup.
-            let sym: Vec<(NodeId, NodeId)> =
-                self.edges.iter().map(|&(u, v)| (v, u)).collect();
+            let sym: Vec<(NodeId, NodeId)> = self.edges.iter().map(|&(u, v)| (v, u)).collect();
             self.edges.extend(sym);
         }
         self.edges.sort_unstable();
@@ -219,7 +220,10 @@ mod tests {
     #[test]
     fn builder_dedups_and_drops_loops() {
         let mut b = GraphBuilder::new(4, true);
-        b.add_edge(0, 1).add_edge(0, 1).add_edge(2, 2).add_edge(1, 0);
+        b.add_edge(0, 1)
+            .add_edge(0, 1)
+            .add_edge(2, 2)
+            .add_edge(1, 0);
         let g = b.build();
         assert_eq!(g.num_edges(), 2);
         assert_eq!(g.out_degree(2), 0);

@@ -103,7 +103,10 @@ mod tests {
         w[0] = 200.0; // one hub
         let g = chung_lu(&w, true, 4);
         let hub_deg = g.out_degree(0) + g.in_degree(0);
-        let typical: usize = (1..100).map(|v| g.out_degree(v) + g.in_degree(v)).sum::<usize>() / 99;
+        let typical: usize = (1..100)
+            .map(|v| g.out_degree(v) + g.in_degree(v))
+            .sum::<usize>()
+            / 99;
         assert!(hub_deg > 10 * typical.max(1));
     }
 

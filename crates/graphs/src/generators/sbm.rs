@@ -150,8 +150,7 @@ mod tests {
     fn sbm_edge_count_matches_expectation() {
         // E[m] = p_in·Σ C(s_i,2) + p_out·Σ_{i<j} s_i·s_j.
         let g = sbm(&[100, 400], 0.1, 0.02, 7);
-        let expected = 0.1 * (100.0 * 99.0 / 2.0 + 400.0 * 399.0 / 2.0)
-            + 0.02 * (100.0 * 400.0);
+        let expected = 0.1 * (100.0 * 99.0 / 2.0 + 400.0 * 399.0 / 2.0) + 0.02 * (100.0 * 400.0);
         let m = g.num_edges() as f64;
         assert!(
             (m - expected).abs() < 0.15 * expected,

@@ -25,13 +25,20 @@ impl Groups {
     /// # Panics
     /// Panics if any group in `0..=max(assignment)` is empty.
     pub fn from_assignment(assignment: Vec<u32>) -> Self {
-        let c = assignment.iter().map(|&g| g as usize + 1).max().unwrap_or(0);
+        let c = assignment
+            .iter()
+            .map(|&g| g as usize + 1)
+            .max()
+            .unwrap_or(0);
         assert!(c > 0, "empty assignment");
         let mut sizes = vec![0usize; c];
         for &g in &assignment {
             sizes[g as usize] += 1;
         }
-        assert!(sizes.iter().all(|&s| s > 0), "every group must be non-empty");
+        assert!(
+            sizes.iter().all(|&s| s > 0),
+            "every group must be non-empty"
+        );
         let labels = (0..c).map(|i| format!("G{i}")).collect();
         Self {
             assignment,
@@ -62,7 +69,10 @@ impl Groups {
     pub fn from_ratios(m: usize, ratios: &[(&str, f64)], seed: u64) -> Self {
         let c = ratios.len();
         assert!(c >= 1 && m >= c, "need at least one user per group");
-        assert!(ratios.iter().all(|&(_, r)| r > 0.0), "ratios must be positive");
+        assert!(
+            ratios.iter().all(|&(_, r)| r > 0.0),
+            "ratios must be positive"
+        );
         let total: f64 = ratios.iter().map(|&(_, r)| r).sum();
 
         // Largest-remainder apportionment with a 1-user floor.

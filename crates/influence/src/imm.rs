@@ -88,10 +88,9 @@ pub fn imm_theta(graph: &Graph, model: DiffusionModel, cfg: &ImmConfig) -> (usiz
 
     // Phase 1: lower-bound OPT.
     let eps_prime = (2.0f64).sqrt() * eps;
-    let lambda_prime = (2.0 + 2.0 * eps_prime / 3.0)
-        * (ln_nk + ell * nf.ln() + (nf.log2().max(1.0)).ln())
-        * nf
-        / (eps_prime * eps_prime);
+    let lambda_prime =
+        (2.0 + 2.0 * eps_prime / 3.0) * (ln_nk + ell * nf.ln() + (nf.log2().max(1.0)).ln()) * nf
+            / (eps_prime * eps_prime);
 
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut visited: Vec<u32> = Vec::new();

@@ -20,6 +20,35 @@
 //! problem over RR sets, and the entire BSM machinery applies unchanged.
 //! Final reported values always come from independent forward Monte-Carlo
 //! simulation, as in the paper.
+//!
+//! ## Example
+//!
+//! Fair influence maximization on a tiny two-community graph — the flow
+//! of `examples/fair_influence.rs`: select seeds on the stratified RIS
+//! estimator, then report spread with independent forward simulation:
+//!
+//! ```
+//! use fair_submod_core::prelude::*;
+//! use fair_submod_graphs::{GraphBuilder, Groups};
+//! use fair_submod_influence::oracle::RisConfig;
+//! use fair_submod_influence::{monte_carlo_evaluate, DiffusionModel, RisOracle};
+//!
+//! // Two triangles bridged by a single edge; one group per community.
+//! let mut builder = GraphBuilder::new(6, false);
+//! builder.extend([(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]);
+//! let graph = builder.build();
+//! let groups = Groups::from_assignment(vec![0, 0, 0, 1, 1, 1]);
+//! let model = DiffusionModel::ic(0.3);
+//!
+//! // Seed selection happens on the group-stratified RIS oracle…
+//! let oracle = RisOracle::generate(&graph, model, &groups, &RisConfig::new(500, 7));
+//! let fair = bsm_saturate(&oracle, &BsmSaturateConfig::new(2, 0.8));
+//! assert_eq!(fair.items.len(), 2);
+//!
+//! // …while reported numbers come from forward Monte-Carlo runs.
+//! let eval = monte_carlo_evaluate(&graph, model, &groups, &fair.items, 200, 99);
+//! assert!(eval.f > 0.0 && eval.g > 0.0);
+//! ```
 
 pub mod imm;
 pub mod models;

@@ -100,7 +100,15 @@ impl RisOracle {
         for (gi, &count) in alloc.iter().enumerate() {
             for _ in 0..count {
                 let root = members[gi][rng.gen_range(0..members[gi].len())];
-                let rr = sample_rr(graph, model, root, &mut rng, &mut visited, &mut stamp, &mut queue);
+                let rr = sample_rr(
+                    graph,
+                    model,
+                    root,
+                    &mut rng,
+                    &mut visited,
+                    &mut stamp,
+                    &mut queue,
+                );
                 for &node in &rr {
                     pairs.push((node, rr_id));
                 }

@@ -104,7 +104,15 @@ mod tests {
         let g = GraphBuilder::new(4, true).build();
         let (mut vis, mut stamp, mut q) = scratch(4);
         let mut rng = StdRng::seed_from_u64(1);
-        let rr = sample_rr(&g, DiffusionModel::ic(0.5), 2, &mut rng, &mut vis, &mut stamp, &mut q);
+        let rr = sample_rr(
+            &g,
+            DiffusionModel::ic(0.5),
+            2,
+            &mut rng,
+            &mut vis,
+            &mut stamp,
+            &mut q,
+        );
         assert_eq!(rr, vec![2]);
     }
 
@@ -116,7 +124,15 @@ mod tests {
         let g = b.build();
         let (mut vis, mut stamp, mut q) = scratch(3);
         let mut rng = StdRng::seed_from_u64(3);
-        let mut rr = sample_rr(&g, DiffusionModel::ic(1.0), 2, &mut rng, &mut vis, &mut stamp, &mut q);
+        let mut rr = sample_rr(
+            &g,
+            DiffusionModel::ic(1.0),
+            2,
+            &mut rng,
+            &mut vis,
+            &mut stamp,
+            &mut q,
+        );
         rr.sort_unstable();
         assert_eq!(rr, vec![0, 1, 2]);
     }
@@ -128,7 +144,15 @@ mod tests {
         let g = b.build();
         let (mut vis, mut stamp, mut q) = scratch(3);
         let mut rng = StdRng::seed_from_u64(3);
-        let rr = sample_rr(&g, DiffusionModel::ic(0.0), 2, &mut rng, &mut vis, &mut stamp, &mut q);
+        let rr = sample_rr(
+            &g,
+            DiffusionModel::ic(0.0),
+            2,
+            &mut rng,
+            &mut vis,
+            &mut stamp,
+            &mut q,
+        );
         assert_eq!(rr, vec![2]);
     }
 
@@ -143,7 +167,15 @@ mod tests {
         let mut hits = 0usize;
         let runs = 50_000;
         for _ in 0..runs {
-            let rr = sample_rr(&g, DiffusionModel::ic(0.3), 1, &mut rng, &mut vis, &mut stamp, &mut q);
+            let rr = sample_rr(
+                &g,
+                DiffusionModel::ic(0.3),
+                1,
+                &mut rng,
+                &mut vis,
+                &mut stamp,
+                &mut q,
+            );
             if rr.len() == 2 {
                 hits += 1;
             }

@@ -147,8 +147,7 @@ pub fn monte_carlo_evaluate(
         .fold(
             || (vec![0.0f64; c], Scratch::new(graph.num_nodes())),
             |(mut acc, mut scratch), run| {
-                let mut rng =
-                    StdRng::seed_from_u64(seed ^ (run as u64).wrapping_mul(0x9E37_79B9));
+                let mut rng = StdRng::seed_from_u64(seed ^ (run as u64).wrapping_mul(0x9E37_79B9));
                 match model {
                     DiffusionModel::IndependentCascade(w) => {
                         simulate_ic(graph, w, &node_seeds, &mut rng, &mut scratch);
@@ -256,8 +255,14 @@ mod tests {
         b.add_edge(0, 2).add_edge(1, 2);
         let g = b.build();
         let groups = Groups::from_assignment(vec![0, 0, 1]);
-        let e =
-            monte_carlo_evaluate(&g, DiffusionModel::LinearThreshold, &groups, &[0, 1], 200, 5);
+        let e = monte_carlo_evaluate(
+            &g,
+            DiffusionModel::LinearThreshold,
+            &groups,
+            &[0, 1],
+            200,
+            5,
+        );
         assert!((e.g - 1.0).abs() < 1e-9, "g = {}", e.g);
     }
 

@@ -76,10 +76,7 @@ fn mc_base(sets: &SetSystem, k: usize, obj_y: f64) -> McModel {
 }
 
 fn group_row(y0: usize, members: &[usize], mi: usize) -> Vec<(usize, f64)> {
-    members
-        .iter()
-        .map(|&j| (y0 + j, 1.0 / mi as f64))
-        .collect()
+    members.iter().map(|&j| (y0 + j, 1.0 / mi as f64)).collect()
 }
 
 fn members_per_group(group_of: &[u32], c: usize) -> Vec<Vec<usize>> {

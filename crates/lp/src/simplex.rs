@@ -284,8 +284,7 @@ fn run_simplex(t: &mut Tableau, obj: &[f64], col_limit: usize) -> SimplexStatus 
             if a > EPS {
                 let ratio = t.at(r, cols - 1) / a;
                 let better = ratio < best_ratio - EPS
-                    || (ratio < best_ratio + EPS
-                        && pr.is_none_or(|p| t.basis[r] < t.basis[p]));
+                    || (ratio < best_ratio + EPS && pr.is_none_or(|p| t.basis[r] < t.basis[p]));
                 if better {
                     best_ratio = ratio;
                     pr = Some(r);

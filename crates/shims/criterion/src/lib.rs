@@ -1,0 +1,250 @@
+//! Offline API-compatible subset of
+//! [`criterion`](https://docs.rs/criterion): enough to compile and run
+//! the workspace's `benches/` with `harness = false`. Each benchmark
+//! runs a small fixed number of timed iterations and prints the mean
+//! time; there is no statistical analysis, HTML report, or baseline
+//! comparison. Point the workspace `criterion` dependency back at
+//! crates.io for real measurements.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting
+/// benchmarked work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark driver; collects configuration and runs benchmark
+/// closures.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs harness=false benches with `--test`; run a
+        // single iteration there so the suite stays fast.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 10,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    fn effective_samples(&self) -> usize {
+        if self.test_mode {
+            1
+        } else {
+            self.sample_size
+        }
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, self.effective_samples(), |b| f(b));
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing a group prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark within the group.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label());
+        run_one(&label, self.criterion.effective_samples(), |b| f(b));
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, In, F>(&mut self, id: I, input: &In, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        In: ?Sized,
+        F: FnMut(&mut Bencher, &In),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label());
+        run_one(&label, self.criterion.effective_samples(), |b| f(b, input));
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark, optionally parameterized.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// A benchmark id `name/parameter`.
+    pub fn new<N: Into<String>, P: Display>(name: N, parameter: P) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// A benchmark id carrying only a parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            name: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn label(&self) -> String {
+        match (&self.name[..], &self.parameter) {
+            ("", Some(p)) => p.clone(),
+            (n, Some(p)) => format!("{n}/{p}"),
+            (n, None) => n.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            name: name.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            name,
+            parameter: None,
+        }
+    }
+}
+
+/// Passed to each benchmark closure; [`Bencher::iter`] times the
+/// routine.
+pub struct Bencher {
+    samples: usize,
+    elapsed: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, running it once per sample.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        // One untimed warm-up pass.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.elapsed = Some(start.elapsed());
+    }
+}
+
+fn run_one<F: FnOnce(&mut Bencher)>(label: &str, samples: usize, f: F) {
+    let mut b = Bencher {
+        samples,
+        elapsed: None,
+    };
+    f(&mut b);
+    match b.elapsed {
+        Some(total) => {
+            let mean_ns = total.as_nanos() as f64 / samples as f64;
+            println!("bench: {label:<50} {mean_ns:>14.0} ns/iter (n={samples})");
+        }
+        None => println!("bench: {label:<50} (no iter() call)"),
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's
+/// macro of the same name. Both the `name =/config =/targets =` block
+/// form and the positional form are supported.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_the_closure() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0usize;
+        c.bench_function("noop", |b| b.iter(|| runs += 1));
+        // 3 timed + 1 warm-up (test_mode may clamp samples to 1 → 2 runs).
+        assert!(runs >= 2);
+    }
+
+    #[test]
+    fn group_benchmarks_run() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut group = c.benchmark_group("g");
+        let mut hits = 0usize;
+        group.bench_with_input(BenchmarkId::new("case", 7), &7usize, |b, &k| {
+            b.iter(|| hits += k)
+        });
+        group.finish();
+        assert!(hits > 0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Sequential, API-compatible subset of
+//! [`rayon`](https://docs.rs/rayon): `into_par_iter()` plus the
+//! `fold → map → reduce` combinator chain the workspace uses, executed
+//! on the calling thread.
+//!
+//! Results are identical to real rayon for the reductions used here
+//! (associative, commutative merges of per-run tallies); only
+//! wall-clock parallelism is lost. Swap the workspace `rayon`
+//! dependency back to crates.io to restore it.
+
+/// A "parallel" iterator: a thin wrapper over a sequential iterator
+/// exposing rayon's combinator names.
+pub struct ParIter<I> {
+    inner: I,
+}
+
+impl<I: Iterator> ParIter<I> {
+    /// Folds every item into per-split accumulators (a single split
+    /// here), yielding an iterator over the accumulators.
+    pub fn fold<T, Id, F>(self, identity: Id, fold_op: F) -> ParIter<std::iter::Once<T>>
+    where
+        Id: Fn() -> T,
+        F: FnMut(T, I::Item) -> T,
+    {
+        ParIter {
+            inner: std::iter::once(self.inner.fold(identity(), fold_op)),
+        }
+    }
+
+    /// Maps each item through `f`.
+    pub fn map<O, F>(self, f: F) -> ParIter<std::iter::Map<I, F>>
+    where
+        F: FnMut(I::Item) -> O,
+    {
+        ParIter {
+            inner: self.inner.map(f),
+        }
+    }
+
+    /// Reduces all items with `op`, starting from `identity()`.
+    pub fn reduce<Id, Op>(self, identity: Id, op: Op) -> I::Item
+    where
+        Id: Fn() -> I::Item,
+        Op: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        self.inner.fold(identity(), op)
+    }
+
+    /// Sums all items.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<I::Item>,
+    {
+        self.inner.sum()
+    }
+
+    /// Collects all items.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<I::Item>,
+    {
+        self.inner.collect()
+    }
+}
+
+/// Conversion into a [`ParIter`]; blanket-implemented for everything
+/// iterable, mirroring rayon's `IntoParallelIterator`.
+pub trait IntoParallelIterator: IntoIterator + Sized {
+    /// Wraps `self` in a [`ParIter`].
+    fn into_par_iter(self) -> ParIter<Self::IntoIter> {
+        ParIter {
+            inner: self.into_iter(),
+        }
+    }
+}
+
+impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+pub mod prelude {
+    //! Glob-importable traits, mirroring `rayon::prelude`.
+    pub use crate::IntoParallelIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn fold_map_reduce_matches_sequential() {
+        let total: Vec<i64> = (0..100)
+            .into_par_iter()
+            .fold(
+                || (vec![0i64; 2], 0usize),
+                |(mut acc, scratch), x: i64| {
+                    acc[(x % 2) as usize] += x;
+                    (acc, scratch)
+                },
+            )
+            .map(|(acc, _)| acc)
+            .reduce(
+                || vec![0; 2],
+                |mut a, b| {
+                    for (x, y) in a.iter_mut().zip(&b) {
+                        *x += y;
+                    }
+                    a
+                },
+            );
+        assert_eq!(total, vec![2450, 2500]);
+    }
+}

@@ -1,0 +1,8 @@
+//! Offline stand-in for [`serde`](https://docs.rs/serde): re-exports
+//! the no-op [`Serialize`] / [`Deserialize`] derive macros so the
+//! workspace's `#[derive(Serialize, Deserialize)]` annotations compile
+//! without network access. No serialization is performed anywhere in
+//! the workspace yet; when that changes, point the workspace `serde`
+//! dependency back at crates.io (see `crates/shims/README.md`).
+
+pub use serde_derive::{Deserialize, Serialize};

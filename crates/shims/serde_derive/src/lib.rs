@@ -1,0 +1,20 @@
+//! No-op `Serialize` / `Deserialize` derive macros.
+//!
+//! Nothing in this workspace serializes data yet; the derives exist so
+//! that `#[derive(Serialize, Deserialize)]` annotations — kept on the
+//! data types for the day a real serde is wired in — compile without
+//! pulling the real proc-macro stack into an offline build.
+
+use proc_macro::TokenStream;
+
+/// Accepts the annotated item and emits no code.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts the annotated item and emits no code.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

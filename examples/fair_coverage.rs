@@ -39,7 +39,10 @@ fn main() {
             .collect::<Vec<_>>()
     );
 
-    println!("\n{:>4}  {:>8}  {:>8}  {:>8}  {:>10}", "tau", "f(S)", "g(S)", "PoF", "fell_back");
+    println!(
+        "\n{:>4}  {:>8}  {:>8}  {:>8}  {:>10}",
+        "tau", "f(S)", "g(S)", "PoF", "fell_back"
+    );
     for tau in [0.2, 0.4, 0.6, 0.8, 0.95] {
         let out = bsm_saturate(&oracle, &BsmSaturateConfig::new(k, tau));
         println!(

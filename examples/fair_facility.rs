@@ -28,10 +28,7 @@ fn main() {
 
     let f = MeanUtility::new(oracle.num_users());
     let algos: Vec<(&str, Vec<ItemId>)> = vec![
-        (
-            "Greedy",
-            greedy(&oracle, &f, &GreedyConfig::lazy(k)).items,
-        ),
+        ("Greedy", greedy(&oracle, &f, &GreedyConfig::lazy(k)).items),
         ("Saturate", saturate(&oracle, &SaturateConfig::new(k)).items),
         ("SMSC", smsc(&oracle, &SmscConfig::new(k)).items),
         (
@@ -43,7 +40,10 @@ fn main() {
             bsm_saturate(&oracle, &BsmSaturateConfig::new(k, tau)).items,
         ),
     ];
-    println!("{:>14}  {:>8}  {:>8}  facilities", "algorithm", "f(S)", "g(S)");
+    println!(
+        "{:>14}  {:>8}  {:>8}  facilities",
+        "algorithm", "f(S)", "g(S)"
+    );
     for (name, items) in &algos {
         let e = evaluate(&oracle, items);
         println!("{name:>14}  {:>8.4}  {:>8.4}  {:?}", e.f, e.g, items);
@@ -57,7 +57,11 @@ fn main() {
             "{tau:>5.2}  {:>8.4}  {:>8.4}{}",
             opt.eval.f,
             opt.eval.g,
-            if opt.complete { "" } else { "  (node budget hit)" }
+            if opt.complete {
+                ""
+            } else {
+                "  (node budget hit)"
+            }
         );
     }
 }

@@ -34,8 +34,22 @@ fn main() {
     // …but reported numbers come from 10,000 forward simulations, as in
     // the paper.
     let runs = 10_000;
-    let base = monte_carlo_evaluate(&dataset.graph, model, &dataset.groups, &im_greedy.items, runs, 99);
-    let ours = monte_carlo_evaluate(&dataset.graph, model, &dataset.groups, &fair.items, runs, 99);
+    let base = monte_carlo_evaluate(
+        &dataset.graph,
+        model,
+        &dataset.groups,
+        &im_greedy.items,
+        runs,
+        99,
+    );
+    let ours = monte_carlo_evaluate(
+        &dataset.graph,
+        model,
+        &dataset.groups,
+        &fair.items,
+        runs,
+        99,
+    );
 
     println!("Classic IM greedy seeds {:?}", im_greedy.items);
     println!(

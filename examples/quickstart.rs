@@ -32,7 +32,10 @@ fn main() {
     );
 
     println!("BSM: maximize f subject to g >= tau * OPT_g");
-    println!("{:>5} | {:^24} | {:^24}", "tau", "BSM-TSGreedy", "BSM-Saturate");
+    println!(
+        "{:>5} | {:^24} | {:^24}",
+        "tau", "BSM-TSGreedy", "BSM-Saturate"
+    );
     for tau in [0.0, 0.2, 0.5, 0.8, 1.0] {
         let ts = bsm_tsgreedy(&system, &TsGreedyConfig::new(2, tau));
         let bs = bsm_saturate(&system, &BsmSaturateConfig::new(2, tau));

@@ -18,9 +18,10 @@
 //! set maximizing the average utility `f(S)` subject to the maximin
 //! group fairness constraint `g(S) ≥ τ·OPT_g`. BSM is inapproximable
 //! within any constant factor, so the library ships the paper's two
-//! instance-dependent schemes — [`bsm_tsgreedy`](core::prelude) and
-//! [`bsm_saturate`](core::prelude) — plus exact solvers for small
-//! instances.
+//! instance-dependent schemes —
+//! [`bsm_tsgreedy`](core::algorithms::tsgreedy::bsm_tsgreedy) and
+//! [`bsm_saturate`](core::algorithms::bsm_saturate::bsm_saturate) —
+//! plus exact solvers for small instances.
 //!
 //! ## Quickstart
 //!

@@ -3,8 +3,8 @@
 //! instances. Any disagreement indicates a bug in one of them; they are
 //! implemented independently (combinatorial vs simplex-based).
 
-use fair_submod::coverage::{CoverageOracle, SetSystem};
 use fair_submod::core::prelude::*;
+use fair_submod::coverage::{CoverageOracle, SetSystem};
 use fair_submod::facility::{BenefitMatrix, FacilityOracle};
 use fair_submod::graphs::Groups;
 use fair_submod::lp::bsm_ilp::{fl_bsm_optimal, mc_bsm_optimal};

@@ -3,9 +3,9 @@
 //! both exact solvers. Asserts the worked numbers of Examples 3.1, 4.1,
 //! and 4.6.
 
-use fair_submod::coverage::{CoverageOracle, SetSystem};
 use fair_submod::core::metrics::evaluate;
 use fair_submod::core::prelude::*;
+use fair_submod::coverage::{CoverageOracle, SetSystem};
 use fair_submod::graphs::Groups;
 use fair_submod::lp::bsm_ilp::{mc_bsm_optimal, mc_robust_ilp};
 use fair_submod::lp::IlpConfig;

@@ -16,7 +16,14 @@ fn ris_estimates_track_monte_carlo_on_rand() {
     let run = greedy(&oracle, &f, &GreedyConfig::lazy(5));
     assert_eq!(run.items.len(), 5);
     let ris_eval = evaluate(&oracle, &run.items);
-    let mc_eval = monte_carlo_evaluate(&dataset.graph, model, &dataset.groups, &run.items, 20_000, 5);
+    let mc_eval = monte_carlo_evaluate(
+        &dataset.graph,
+        model,
+        &dataset.groups,
+        &run.items,
+        20_000,
+        5,
+    );
     assert!(
         (ris_eval.f - mc_eval.f).abs() < 0.03,
         "RIS f {} vs MC f {}",

@@ -44,11 +44,7 @@ fn random_knapsack(seed: u64, n: usize) -> (LinearProgram, Vec<usize>) {
         weights.push(0.1 + rng.next_f64());
     }
     let cap: f64 = weights.iter().sum::<f64>() * (0.3 + 0.4 * rng.next_f64());
-    lp.add_constraint(
-        weights.iter().cloned().enumerate().collect(),
-        Cmp::Le,
-        cap,
-    );
+    lp.add_constraint(weights.iter().cloned().enumerate().collect(), Cmp::Le, cap);
     (lp, (0..n).collect())
 }
 
@@ -119,10 +115,7 @@ fn covering_ilp_with_equalities() {
         let expected = brute_force_binary(&lp, n);
         match (solve_ilp(&lp, &bins, &IlpConfig::default()), expected) {
             (IlpResult::Optimal { value, .. }, Some(exp)) => {
-                assert!(
-                    (value - exp).abs() < 1e-6,
-                    "seed {seed}: {value} vs {exp}"
-                );
+                assert!((value - exp).abs() < 1e-6, "seed {seed}: {value} vs {exp}");
             }
             (IlpResult::Infeasible, None) => {}
             (got, exp) => panic!("seed {seed}: {got:?} vs {exp:?}"),

@@ -5,13 +5,13 @@
 
 use proptest::prelude::*;
 
-use fair_submod::coverage::{CoverageOracle, SetSystem};
 use fair_submod::core::aggregate::{
     Aggregate, BsmObjective, MeanUtility, MinGroupUtility, TruncatedMean,
 };
 use fair_submod::core::metrics::evaluate;
 use fair_submod::core::prelude::*;
 use fair_submod::core::system::{SolutionState, UtilitySystem};
+use fair_submod::coverage::{CoverageOracle, SetSystem};
 use fair_submod::facility::{BenefitMatrix, FacilityOracle};
 use fair_submod::graphs::Groups;
 
@@ -26,14 +26,11 @@ fn coverage_instance() -> impl Strategy<Value = (CoverageOracle, usize)> {
             state
         };
         let sets: Vec<Vec<u32>> = (0..n)
-            .map(|_| {
-                (0..m as u32)
-                    .filter(|_| next() % 100 < 35)
-                    .collect()
-            })
+            .map(|_| (0..m as u32).filter(|_| next() % 100 < 35).collect())
             .collect();
         let group_of: Vec<u32> = (0..m).map(|u| (u % c) as u32).collect();
-        let oracle = CoverageOracle::new(SetSystem::new(sets, m), &Groups::from_assignment(group_of));
+        let oracle =
+            CoverageOracle::new(SetSystem::new(sets, m), &Groups::from_assignment(group_of));
         (oracle, n)
     })
 }

@@ -6,7 +6,7 @@ use proptest::prelude::*;
 
 use fair_submod::core::system::{SolutionState, UtilitySystem};
 use fair_submod::graphs::generators::{erdos_renyi, power_law_weights, sbm};
-use fair_submod::graphs::{Groups, traversal};
+use fair_submod::graphs::{traversal, Groups};
 use fair_submod::influence::oracle::{RisConfig, RisOracle};
 use fair_submod::influence::DiffusionModel;
 
