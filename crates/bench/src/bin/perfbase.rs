@@ -1,0 +1,283 @@
+//! Perf baseline runner: times the oracle hot paths before/after the
+//! parallel + packed-kernel optimizations and records the numbers as
+//! JSON, so speedups are measured rather than asserted and the baseline
+//! can never bit-rot (CI runs `perfbase --quick` on every push).
+//!
+//! Each scenario is timed twice in one process:
+//!
+//! * **before** — the sequential/seed configuration: worker count forced
+//!   to 1 via [`rayon::set_num_threads`], and for the coverage kernel
+//!   the retained `Vec<bool>` reference implementation
+//!   ([`UnpackedCoverageOracle`](fair_submod_coverage::UnpackedCoverageOracle));
+//! * **after** — the shipped configuration: default worker count and the
+//!   packed `u64` bitset kernel.
+//!
+//! Selections are asserted identical between the two runs (the
+//! parallel paths are deterministic by construction), so `perfbase`
+//! doubles as an end-to-end equivalence smoke test.
+//!
+//! Usage: `cargo run -p fair-submod-bench --release --bin perfbase --
+//! [--quick] [--out BENCH_baseline.json]`.
+
+use std::time::Instant;
+
+use fair_submod_bench::harness::{run_suite, SuiteConfig};
+use fair_submod_core::prelude::*;
+use fair_submod_datasets::{facebook_like, rand_fl, rand_mc, seeds};
+use fair_submod_facility::BenefitMatrix;
+use fair_submod_influence::oracle::{RisConfig, RisOracle};
+use fair_submod_influence::{monte_carlo_evaluate, DiffusionModel};
+
+struct Scenario {
+    name: &'static str,
+    before_label: &'static str,
+    after_label: &'static str,
+    before_seconds: f64,
+    after_seconds: f64,
+}
+
+/// Best-of-`reps` wall-clock seconds for `f`.
+fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Times `f` with the worker count forced to 1, then at the default.
+fn time_seq_vs_par<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, f64) {
+    rayon::set_num_threads(1);
+    let seq = time_best(reps, &mut f);
+    rayon::set_num_threads(0);
+    let par = time_best(reps, &mut f);
+    (seq, par)
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = String::from("BENCH_baseline.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => out_path = args.next().expect("--out needs a value"),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    let reps = if quick { 3 } else { 5 };
+    let mut scenarios: Vec<Scenario> = Vec::new();
+
+    // ── 1. Coverage gain kernel: packed u64 bitset vs Vec<bool>. ──────
+    eprintln!("[perfbase] coverage kernel ...");
+    {
+        let n = if quick { 400 } else { 1_000 };
+        let dataset = rand_mc(2, n, seeds::RAND);
+        let packed = dataset.coverage_oracle();
+        let unpacked = packed.unpacked_reference();
+        let sweeps = if quick { 40 } else { 100 };
+        // Identical workload on both kernels: scan all candidate gains
+        // from a partially grown solution.
+        fn kernel_workload<S: fair_submod_core::system::UtilitySystem>(
+            sys: &S,
+            sweeps: usize,
+        ) -> f64 {
+            let mut st = SolutionState::new(sys);
+            for v in 0..5 {
+                st.insert(v * 7);
+            }
+            let mut out = vec![0.0; sys.num_groups()];
+            let mut acc = 0.0;
+            for _ in 0..sweeps {
+                for v in 0..sys.num_items() as u32 {
+                    st.gains_into(v, &mut out);
+                    acc += out[0];
+                }
+            }
+            acc
+        }
+        let before_seconds = time_best(reps, || kernel_workload(&unpacked, sweeps));
+        let after_seconds = time_best(reps, || kernel_workload(&packed, sweeps));
+        assert_eq!(
+            kernel_workload(&unpacked, 1).to_bits(),
+            kernel_workload(&packed, 1).to_bits(),
+            "packed and unpacked coverage kernels disagree"
+        );
+        scenarios.push(Scenario {
+            name: "coverage_gain_kernel",
+            before_label: "vec_bool",
+            after_label: "u64_bitset",
+            before_seconds,
+            after_seconds,
+        });
+    }
+
+    // ── 2. Naive-greedy rounds: batched candidate scan, 1 thread vs default. ──
+    eprintln!("[perfbase] naive greedy rounds ...");
+    {
+        let n = if quick { 400 } else { 1_000 };
+        let dataset = rand_mc(2, n, seeds::RAND + 1);
+        let oracle = dataset.coverage_oracle();
+        let f = MeanUtility::new(oracle.num_users());
+        let k = if quick { 5 } else { 10 };
+        let (before_seconds, after_seconds) =
+            time_seq_vs_par(reps, || greedy(&oracle, &f, &GreedyConfig::naive(k)));
+        rayon::set_num_threads(1);
+        let seq_items = greedy(&oracle, &f, &GreedyConfig::naive(k)).items;
+        rayon::set_num_threads(0);
+        let par_items = greedy(&oracle, &f, &GreedyConfig::naive(k)).items;
+        assert_eq!(
+            seq_items, par_items,
+            "thread count changed greedy selection"
+        );
+        scenarios.push(Scenario {
+            name: "naive_greedy_round",
+            before_label: "1_thread",
+            after_label: "default_threads",
+            before_seconds,
+            after_seconds,
+        });
+    }
+
+    // ── 3. Batched RR-set sampling, 1 thread vs default. ──────────────
+    eprintln!("[perfbase] rr sampling ...");
+    {
+        let dataset = rand_mc(2, if quick { 200 } else { 500 }, seeds::RAND + 2);
+        let model = DiffusionModel::ic(0.1);
+        let rr = if quick { 5_000 } else { 20_000 };
+        let cfg = RisConfig::new(rr, 11);
+        let (before_seconds, after_seconds) = time_seq_vs_par(reps, || {
+            RisOracle::generate(&dataset.graph, model, &dataset.groups, &cfg)
+        });
+        let probe: Vec<u32> = vec![0, 3, 17];
+        rayon::set_num_threads(1);
+        let seq = RisOracle::generate(&dataset.graph, model, &dataset.groups, &cfg);
+        rayon::set_num_threads(0);
+        let par = RisOracle::generate(&dataset.graph, model, &dataset.groups, &cfg);
+        assert_eq!(
+            seq.estimated_spread(&probe).to_bits(),
+            par.estimated_spread(&probe).to_bits(),
+            "thread count changed RR sampling"
+        );
+        scenarios.push(Scenario {
+            name: "rr_sampling_batch",
+            before_label: "1_thread",
+            after_label: "default_threads",
+            before_seconds,
+            after_seconds,
+        });
+    }
+
+    // ── 4. Benefit-matrix construction (row-parallel RBF kernel). ─────
+    eprintln!("[perfbase] benefit matrix ...");
+    {
+        let dataset = rand_fl(2, seeds::FL);
+        let (before_seconds, after_seconds) =
+            time_seq_vs_par(reps, || BenefitMatrix::rbf(&dataset.users, &dataset.items));
+        rayon::set_num_threads(1);
+        let seq = BenefitMatrix::rbf(&dataset.users, &dataset.items);
+        rayon::set_num_threads(0);
+        let par = BenefitMatrix::rbf(&dataset.users, &dataset.items);
+        for u in 0..seq.num_users() {
+            assert!(
+                seq.row(u)
+                    .iter()
+                    .zip(par.row(u))
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "thread count changed benefit matrix row {u}"
+            );
+        }
+        scenarios.push(Scenario {
+            name: "benefit_matrix_rbf",
+            before_label: "1_thread",
+            after_label: "default_threads",
+            before_seconds,
+            after_seconds,
+        });
+    }
+
+    // ── 5. End-to-end fig6-style IM sweep (RIS + suite + MC eval). ────
+    eprintln!("[perfbase] fig6-style sweep ...");
+    {
+        let dataset = facebook_like(2, seeds::FACEBOOK);
+        let model = DiffusionModel::ic(0.01);
+        let rr = if quick { 2_000 } else { 5_000 };
+        let mc_runs = if quick { 200 } else { 500 };
+        let sweep = || {
+            let oracle = dataset.ris_oracle(model, rr, seeds::FACEBOOK ^ 0x11);
+            let evaluator = |items: &[u32]| {
+                monte_carlo_evaluate(
+                    &dataset.graph,
+                    model,
+                    &dataset.groups,
+                    items,
+                    mc_runs,
+                    seeds::FACEBOOK ^ 0x22,
+                )
+            };
+            let mut fs = Vec::new();
+            for k in [5usize, 10] {
+                let results = run_suite(&oracle, &evaluator, &SuiteConfig::paper(k, 0.8));
+                fs.extend(results.into_iter().map(|r| r.f));
+            }
+            fs
+        };
+        let (before_seconds, after_seconds) = time_seq_vs_par(1.max(reps / 2), sweep);
+        rayon::set_num_threads(1);
+        let seq_fs = sweep();
+        rayon::set_num_threads(0);
+        let par_fs = sweep();
+        assert!(
+            seq_fs.len() == par_fs.len()
+                && seq_fs
+                    .iter()
+                    .zip(&par_fs)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "thread count changed sweep results"
+        );
+        scenarios.push(Scenario {
+            name: "fig6_style_sweep",
+            before_label: "1_thread",
+            after_label: "default_threads",
+            before_seconds,
+            after_seconds,
+        });
+    }
+
+    // ── Report. ───────────────────────────────────────────────────────
+    let threads = rayon::current_num_threads();
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"generated_by\": \"perfbase\",\n");
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!("  \"threads_default\": {threads},\n"));
+    json.push_str(
+        "  \"note\": \"1_thread-vs-default scenarios only show speedup when threads_default > 1; \
+         on a single-core host they record ~1.0x by construction. The kernel scenario \
+         (vec_bool vs u64_bitset) is thread-independent.\",\n",
+    );
+    json.push_str("  \"scenarios\": [\n");
+    for (i, s) in scenarios.iter().enumerate() {
+        let speedup = s.before_seconds / s.after_seconds;
+        eprintln!(
+            "[perfbase] {:<24} {}: {:.4}s  {}: {:.4}s  speedup {:.2}x",
+            s.name, s.before_label, s.before_seconds, s.after_label, s.after_seconds, speedup
+        );
+        json.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"before_label\": \"{}\", \"before_seconds\": {:.6}, \
+             \"after_label\": \"{}\", \"after_seconds\": {:.6}, \"speedup\": {:.4} }}{}\n",
+            s.name,
+            s.before_label,
+            s.before_seconds,
+            s.after_label,
+            s.after_seconds,
+            speedup,
+            if i + 1 < scenarios.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write baseline json");
+    eprintln!("[perfbase] wrote {out_path}");
+}

@@ -2,8 +2,19 @@
 //! timing every algorithm of the paper's comparison and evaluating
 //! solutions with a caller-provided evaluator (oracle-exact for MC/FL,
 //! Monte-Carlo for IM).
+//!
+//! The algorithm cells of a grid point are independent, so
+//! [`run_suite`] runs them concurrently across worker threads; results
+//! come back in the configured algorithm order and every cell is
+//! deterministic (all solvers are), so concurrency affects wall-clock
+//! time only. Per-cell `seconds` are still measured per algorithm but
+//! on a shared machine concurrent cells can inflate one another's
+//! wall-clock; for publication-grade runtime plots, pin
+//! `RAYON_NUM_THREADS=1`.
 
 use std::time::Instant;
+
+use rayon::prelude::*;
 
 use fair_submod_core::items::ItemId;
 use fair_submod_core::metrics::Evaluation;
@@ -131,16 +142,35 @@ fn saturate_config(k: usize, approximate: bool) -> SaturateConfig {
 /// Runs the configured algorithms on `system`, evaluating each solution
 /// with `evaluator` (pass [`fair_submod_core::metrics::evaluate`] for
 /// oracle-exact applications; a Monte-Carlo closure for IM).
-pub fn run_suite<S: UtilitySystem>(
+///
+/// Cells run concurrently (see the module docs); the result order
+/// matches `cfg.algos`.
+pub fn run_suite<S: UtilitySystem + Sync>(
     system: &S,
-    evaluator: &dyn Fn(&[ItemId]) -> Evaluation,
+    evaluator: &(dyn Fn(&[ItemId]) -> Evaluation + Sync),
     cfg: &SuiteConfig,
 ) -> Vec<AlgoResult> {
-    let mut out = Vec::with_capacity(cfg.algos.len());
-    for &algo in &cfg.algos {
-        if algo == Algo::Smsc && system.num_groups() != 2 {
-            continue; // SMSC is undefined for c ≠ 2, as in the paper.
-        }
+    let algos: Vec<Algo> = cfg
+        .algos
+        .iter()
+        .copied()
+        // SMSC is undefined for c ≠ 2, as in the paper.
+        .filter(|&algo| !(algo == Algo::Smsc && system.num_groups() != 2))
+        .collect();
+    algos
+        .into_par_iter()
+        .map(|algo| run_cell(system, evaluator, cfg, algo))
+        .collect()
+}
+
+/// One `(algorithm, grid point)` cell: select, time, evaluate.
+fn run_cell<S: UtilitySystem>(
+    system: &S,
+    evaluator: &(dyn Fn(&[ItemId]) -> Evaluation + Sync),
+    cfg: &SuiteConfig,
+    algo: Algo,
+) -> AlgoResult {
+    {
         let start = Instant::now();
         let (items, opt_g_estimate, fell_back) = match algo {
             Algo::Greedy => {
@@ -186,7 +216,7 @@ pub fn run_suite<S: UtilitySystem>(
         };
         let seconds = start.elapsed().as_secs_f64();
         let eval = evaluator(&items);
-        out.push(AlgoResult {
+        AlgoResult {
             algo: algo.name(),
             k: cfg.k,
             tau: cfg.tau,
@@ -198,9 +228,8 @@ pub fn run_suite<S: UtilitySystem>(
             size: eval.size,
             fell_back,
             items,
-        });
+        }
     }
-    out
 }
 
 #[cfg(test)]

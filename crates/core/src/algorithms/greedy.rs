@@ -209,6 +209,38 @@ fn target_reached(value: f64, target: Option<f64>, slack: f64) -> bool {
     matches!(target, Some(t) if value + slack >= t)
 }
 
+/// Evaluates `candidates` through one [`SolutionState::gains_batch_into`]
+/// call and returns the argmax under `aggregate` — scanning rows in
+/// candidate order with the same strict `> best + 1e-15` improvement rule
+/// as the historical per-item loop, so the winner (and every tie-break)
+/// is identical to evaluating candidates one at a time.
+fn best_candidate<S: UtilitySystem, A: Aggregate>(
+    state: &mut SolutionState<'_, S>,
+    aggregate: &A,
+    candidates: &[ItemId],
+    gains: &mut Vec<f64>,
+) -> Option<(f64, ItemId)> {
+    if candidates.is_empty() {
+        return None;
+    }
+    let c = state.system().num_groups();
+    gains.clear();
+    gains.resize(candidates.len() * c, 0.0);
+    state.gains_batch_into(candidates, gains);
+    let mut best: Option<(f64, ItemId)> = None;
+    for (j, &v) in candidates.iter().enumerate() {
+        let gain = aggregate.gain(state.group_sums(), &gains[j * c..(j + 1) * c]);
+        let better = match best {
+            None => true,
+            Some((bg, _)) => gain > bg + 1e-15,
+        };
+        if better {
+            best = Some((gain, v));
+        }
+    }
+    best
+}
+
 fn greedy_naive<S: UtilitySystem, A: Aggregate>(
     state: &mut SolutionState<'_, S>,
     aggregate: &A,
@@ -219,21 +251,15 @@ fn greedy_naive<S: UtilitySystem, A: Aggregate>(
     let mut trajectory = Vec::with_capacity(cfg.k);
     let mut value = state.value(aggregate);
     let mut reached = target_reached(value, target, cfg.stop_slack);
+    let mut candidates: Vec<ItemId> = Vec::with_capacity(n);
+    let mut gains: Vec<f64> = Vec::new();
     while state.len() < cfg.k && !reached {
-        let mut best: Option<(f64, ItemId)> = None;
-        for v in 0..n as ItemId {
-            if state.contains(v) {
-                continue;
-            }
-            let gain = state.gain(aggregate, v);
-            let better = match best {
-                None => true,
-                Some((bg, _)) => gain > bg + 1e-15,
-            };
-            if better {
-                best = Some((gain, v));
-            }
-        }
+        // One batched oracle call per round: every remaining candidate in
+        // ascending id order, so the argmax tie-breaking matches the
+        // historical per-item scan exactly.
+        candidates.clear();
+        candidates.extend((0..n as ItemId).filter(|&v| !state.contains(v)));
+        let best = best_candidate(state, aggregate, &candidates, &mut gains);
         match best {
             Some((gain, v)) if gain > 1e-15 => {
                 state.insert(v);
@@ -261,17 +287,23 @@ fn greedy_lazy<S: UtilitySystem, A: Aggregate>(
         return GreedyOutcome::from_state(state, trajectory, value, reached);
     }
 
-    // Round 0: evaluate everything once to seed the heap.
+    // Round 0: evaluate everything once — through the batch seam, so the
+    // full scan that dominates lazy greedy's cost runs in parallel — to
+    // seed the heap. Heap contents (and thus all later pops) are
+    // identical to the per-item loop; `BinaryHeap` ordering depends only
+    // on the entries, and ties break on item id.
+    let candidates: Vec<ItemId> = (0..n as ItemId).filter(|&v| !state.contains(v)).collect();
+    let c = state.system().num_groups();
+    let mut gains = vec![0.0; candidates.len() * c];
+    state.gains_batch_into(&candidates, &mut gains);
     let mut heap = BinaryHeap::with_capacity(n);
-    for v in 0..n as ItemId {
-        if !state.contains(v) {
-            let bound = state.gain(aggregate, v);
-            heap.push(HeapEntry {
-                bound,
-                item: v,
-                round: 0,
-            });
-        }
+    for (j, &v) in candidates.iter().enumerate() {
+        let bound = aggregate.gain(state.group_sums(), &gains[j * c..(j + 1) * c]);
+        heap.push(HeapEntry {
+            bound,
+            item: v,
+            round: 0,
+        });
     }
 
     let mut round = 0usize;
@@ -320,25 +352,17 @@ fn greedy_stochastic<S: UtilitySystem, A: Aggregate>(
     let mut value = state.value(aggregate);
     let mut reached = target_reached(value, target, cfg.stop_slack);
     let mut pool: Vec<ItemId> = (0..n as ItemId).filter(|&v| !state.contains(v)).collect();
+    let mut gains: Vec<f64> = Vec::new();
 
     while state.len() < cfg.k && !reached && !pool.is_empty() {
         let s = sample_size.max(1).min(pool.len());
-        // Partial Fisher–Yates: the first `s` entries become the sample.
+        // Partial Fisher–Yates: the first `s` entries become the sample,
+        // then one batched oracle call evaluates the whole sample.
         for i in 0..s {
             let j = i + (rand::Rng::gen_range(&mut rng, 0..pool.len() - i));
             pool.swap(i, j);
         }
-        let mut best: Option<(f64, ItemId)> = None;
-        for &v in &pool[..s] {
-            let gain = state.gain(aggregate, v);
-            let better = match best {
-                None => true,
-                Some((bg, _)) => gain > bg + 1e-15,
-            };
-            if better {
-                best = Some((gain, v));
-            }
-        }
+        let best = best_candidate(state, aggregate, &pool[..s], &mut gains);
         match best {
             Some((gain, v)) if gain > 1e-15 => {
                 state.insert(v);
@@ -421,6 +445,25 @@ mod tests {
         let stoch = greedy(&sys, &f, &cfg);
         assert_eq!(stoch.items.len(), 8);
         assert!(stoch.value >= 0.7 * exactish.value);
+    }
+
+    #[test]
+    fn naive_oracle_calls_are_counted_exactly_once_per_candidate() {
+        // Batched rounds must account one call per evaluated candidate:
+        // round r scans (n − r) candidates, plus one call per insert.
+        let sys = toy::random_coverage(24, 80, 4, 0.12, 2);
+        let f = MeanUtility::new(sys.num_users());
+        let n = sys.num_items() as u64;
+        let k = 6u64;
+        let naive = greedy(&sys, &f, &GreedyConfig::naive(k as usize));
+        assert_eq!(naive.items.len() as u64, k, "instance saturated early");
+        let scans: u64 = (0..k).map(|r| n - r).sum();
+        assert_eq!(naive.oracle_calls, scans + k);
+        // Lazy evaluates the same round-0 scan but strictly fewer calls
+        // afterwards on any instance where stale bounds survive.
+        let lazy = greedy(&sys, &f, &GreedyConfig::lazy(k as usize));
+        assert!(lazy.oracle_calls >= n + k);
+        assert!(lazy.oracle_calls < naive.oracle_calls);
     }
 
     #[test]

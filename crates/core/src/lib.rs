@@ -41,6 +41,7 @@
 
 pub mod aggregate;
 pub mod algorithms;
+pub mod bitset;
 pub mod curvature;
 pub mod items;
 pub mod metrics;

@@ -62,8 +62,71 @@ pub trait UtilitySystem {
     /// current state into `out` (length `num_groups()`, fully overwritten).
     fn group_gains(&self, inner: &Self::Inner, item: ItemId, out: &mut [f64]);
 
+    /// Writes the per-group marginal gains of **many** candidate items at
+    /// once: row `j` of `out` (length `items.len() · num_groups()`,
+    /// row-major, fully overwritten) receives `group_gains(inner,
+    /// items[j])`.
+    ///
+    /// This is the batching seam the parallel algorithms drive: one call
+    /// per greedy round instead of one per candidate. The default is a
+    /// sequential loop; implementors may override it (e.g. with
+    /// [`parallel_group_gains`]) **provided the result is bit-identical**
+    /// to the default — each row must equal exactly what `group_gains`
+    /// writes for that item, so batching can never change selections.
+    ///
+    /// Each row counts as one oracle call; [`SolutionState`] accounts for
+    /// the whole batch in a single `items.len()` increment.
+    fn group_gains_batch(&self, inner: &Self::Inner, items: &[ItemId], out: &mut [f64]) {
+        let c = self.num_groups();
+        assert_eq!(out.len(), items.len() * c, "batch output shape mismatch");
+        for (row, &v) in out.chunks_mut(c).zip(items) {
+            self.group_gains(inner, v, row);
+        }
+    }
+
     /// Commits `item` into the state.
     fn apply(&self, inner: &mut Self::Inner, item: ItemId);
+}
+
+/// Row-parallel batch gain evaluation: the standard building block for
+/// [`UtilitySystem::group_gains_batch`] overrides.
+///
+/// Splits the output matrix into contiguous row blocks and evaluates
+/// each block's `group_gains` on a worker thread. Every row is an
+/// independent pure function of `(inner, item)` written to its own
+/// disjoint slice, so the result is bit-identical to the sequential
+/// default for **any** thread count — parallelism here can change
+/// wall-clock time only, never values or downstream selections.
+///
+/// Small batches (or a 1-thread configuration) take an inline
+/// sequential path to avoid spawn overhead on hot greedy rounds.
+pub fn parallel_group_gains<S>(system: &S, inner: &S::Inner, items: &[ItemId], out: &mut [f64])
+where
+    S: UtilitySystem + Sync,
+    S::Inner: Sync,
+{
+    use rayon::prelude::*;
+
+    let c = system.num_groups();
+    assert_eq!(out.len(), items.len() * c, "batch output shape mismatch");
+    const MIN_PARALLEL_ROWS: usize = 64;
+    if items.len() < MIN_PARALLEL_ROWS || rayon::current_num_threads() <= 1 {
+        for (row, &v) in out.chunks_mut(c).zip(items) {
+            system.group_gains(inner, v, row);
+        }
+        return;
+    }
+    // ~2 blocks per worker bounds imbalance without over-fragmenting.
+    let blocks = (2 * rayon::current_num_threads()).min(items.len());
+    let rows_per_block = items.len().div_ceil(blocks);
+    out.par_chunks_mut(rows_per_block * c)
+        .enumerate()
+        .for_each(|(b, block)| {
+            let start = b * rows_per_block;
+            for (j, row) in block.chunks_mut(c).enumerate() {
+                system.group_gains(inner, items[start + j], row);
+            }
+        });
 }
 
 /// Blanket convenience methods for utility systems.
@@ -149,6 +212,18 @@ impl<'a, S: UtilitySystem> SolutionState<'a, S> {
     pub fn gains_into(&mut self, item: ItemId, out: &mut [f64]) {
         self.oracle_calls += 1;
         self.system.group_gains(&self.inner, item, out);
+    }
+
+    /// Per-group marginal gains of every item of `items`, written
+    /// row-major into `out` (shape `items.len() × num_groups()`) via
+    /// [`UtilitySystem::group_gains_batch`].
+    ///
+    /// Counts exactly `items.len()` oracle calls — one per row — in a
+    /// single increment, so batched (possibly multi-threaded) evaluation
+    /// reports the same call totals as an item-by-item loop.
+    pub fn gains_batch_into(&mut self, items: &[ItemId], out: &mut [f64]) {
+        self.oracle_calls += items.len() as u64;
+        self.system.group_gains_batch(&self.inner, items, out);
     }
 
     /// Marginal gain of `item` under `aggregate`.
@@ -245,5 +320,47 @@ mod tests {
         let _ = st.gain(&f, 0);
         st.insert(2);
         assert_eq!(st.oracle_calls(), 2);
+    }
+
+    #[test]
+    fn batch_gains_match_per_item_and_count_once_each() {
+        let sys = toy::figure1();
+        let c = sys.num_groups();
+        let mut st = SolutionState::new(&sys);
+        st.insert(1);
+        let calls_before = st.oracle_calls();
+        let items: Vec<u32> = (0..4).collect();
+        let mut batch = vec![0.0; items.len() * c];
+        st.gains_batch_into(&items, &mut batch);
+        assert_eq!(st.oracle_calls(), calls_before + items.len() as u64);
+        let mut row = vec![0.0; c];
+        for (j, &v) in items.iter().enumerate() {
+            st.gains_into(v, &mut row);
+            assert_eq!(&batch[j * c..(j + 1) * c], &row[..], "item {v}");
+        }
+    }
+
+    #[test]
+    fn parallel_group_gains_matches_sequential_default() {
+        let sys = toy::random_coverage(200, 300, 3, 0.05, 9);
+        let c = sys.num_groups();
+        let mut inner = sys.init_inner();
+        sys.apply(&mut inner, 0);
+        sys.apply(&mut inner, 17);
+        let items: Vec<u32> = (0..200).collect();
+        let mut seq = vec![0.0; items.len() * c];
+        sys.group_gains_batch(&inner, &items, &mut seq);
+        for threads in [1usize, 5] {
+            rayon::set_num_threads(threads);
+            let mut par = vec![0.0; items.len() * c];
+            parallel_group_gains(&sys, &inner, &items, &mut par);
+            rayon::set_num_threads(0);
+            assert!(
+                seq.iter()
+                    .zip(&par)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "parallel batch diverged at {threads} threads"
+            );
+        }
     }
 }

@@ -46,6 +46,6 @@ pub mod set_system;
 pub mod weighted;
 
 pub use dominating::dominating_set_system;
-pub use oracle::CoverageOracle;
+pub use oracle::{CoverageOracle, UnpackedCoverageOracle};
 pub use set_system::SetSystem;
 pub use weighted::WeightedCoverageOracle;

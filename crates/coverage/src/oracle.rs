@@ -1,5 +1,7 @@
-//! The maximum-coverage utility oracle.
+//! The maximum-coverage utility oracle, with a packed word-parallel
+//! gain kernel.
 
+use fair_submod_core::bitset::{pack_sparse, FixedBitset};
 use fair_submod_core::items::ItemId;
 use fair_submod_core::system::UtilitySystem;
 use fair_submod_graphs::Groups;
@@ -9,13 +11,26 @@ use crate::set_system::SetSystem;
 /// Coverage utility system: `f_u(S) = 1` iff user `u` is covered by the
 /// union of the chosen sets (Section 5.1 of the paper).
 ///
-/// Incremental state is a per-user coverage bitmap, so a marginal-gain
-/// query for item `v` costs `O(|S(v)|)` and an insertion the same.
+/// Incremental state is a packed per-user coverage bitset
+/// ([`FixedBitset`]). Each item's element list is precomputed as sparse
+/// `(word, mask)` pairs and each group's membership as a dense word
+/// mask, so a marginal-gain query for item `v` ANDs the item's masks
+/// against the complement of the covered words and popcounts per group
+/// — `O(touched words)` instead of `O(|S(v)|)` byte loads, and exactly
+/// the same integer counts as the element-at-a-time kernel (kept as
+/// [`UnpackedCoverageOracle`] for equivalence tests and benchmarks).
 #[derive(Clone, Debug)]
 pub struct CoverageOracle {
     sets: SetSystem,
     group_of: Vec<u32>,
     group_sizes: Vec<usize>,
+    /// CSR over items into `item_words`.
+    item_offsets: Vec<usize>,
+    /// Sparse `(word, element mask)` pairs per item.
+    item_words: Vec<(u32, u64)>,
+    /// Dense per-group word masks over the element universe: bit `u` of
+    /// `group_masks[g]` is set iff user `u` belongs to group `g`.
+    group_masks: Vec<Vec<u64>>,
 }
 
 impl CoverageOracle {
@@ -31,10 +46,31 @@ impl CoverageOracle {
             groups.num_users(),
             "set system universe and group partition disagree"
         );
+        let m = sets.num_elements();
+        let c = groups.num_groups();
+        let group_of = groups.assignment().to_vec();
+
+        let mut item_offsets = Vec::with_capacity(sets.num_sets() + 1);
+        let mut item_words: Vec<(u32, u64)> = Vec::new();
+        item_offsets.push(0);
+        for v in 0..sets.num_sets() {
+            item_words.extend(pack_sparse(sets.set(v)));
+            item_offsets.push(item_words.len());
+        }
+
+        let num_words = FixedBitset::zeros(m).words().len();
+        let mut group_masks = vec![vec![0u64; num_words]; c];
+        for (u, &g) in group_of.iter().enumerate() {
+            group_masks[g as usize][u / 64] |= 1u64 << (u % 64);
+        }
+
         Self {
             sets,
-            group_of: groups.assignment().to_vec(),
+            group_of,
             group_sizes: groups.sizes().to_vec(),
+            item_offsets,
+            item_words,
+            group_masks,
         }
     }
 
@@ -42,9 +78,85 @@ impl CoverageOracle {
     pub fn sets(&self) -> &SetSystem {
         &self.sets
     }
+
+    /// The element-at-a-time `Vec<bool>` kernel over the same instance —
+    /// the pre-bitset implementation, kept as the equivalence and
+    /// benchmark reference.
+    pub fn unpacked_reference(&self) -> UnpackedCoverageOracle {
+        UnpackedCoverageOracle {
+            sets: self.sets.clone(),
+            group_of: self.group_of.clone(),
+            group_sizes: self.group_sizes.clone(),
+        }
+    }
+
+    #[inline]
+    fn words_of(&self, item: usize) -> &[(u32, u64)] {
+        &self.item_words[self.item_offsets[item]..self.item_offsets[item + 1]]
+    }
 }
 
 impl UtilitySystem for CoverageOracle {
+    /// Packed covered flag per user.
+    type Inner = FixedBitset;
+
+    fn num_items(&self) -> usize {
+        self.sets.num_sets()
+    }
+
+    fn num_users(&self) -> usize {
+        self.sets.num_elements()
+    }
+
+    fn group_sizes(&self) -> &[usize] {
+        &self.group_sizes
+    }
+
+    fn init_inner(&self) -> Self::Inner {
+        FixedBitset::zeros(self.sets.num_elements())
+    }
+
+    fn group_gains(&self, inner: &Self::Inner, item: ItemId, out: &mut [f64]) {
+        out.fill(0.0);
+        let covered = inner.words();
+        for &(w, mask) in self.words_of(item as usize) {
+            let free = mask & !covered[w as usize];
+            if free == 0 {
+                continue;
+            }
+            for (g, gm) in self.group_masks.iter().enumerate() {
+                let cnt = (free & gm[w as usize]).count_ones();
+                if cnt != 0 {
+                    out[g] += cnt as f64;
+                }
+            }
+        }
+    }
+
+    fn group_gains_batch(&self, inner: &Self::Inner, items: &[ItemId], out: &mut [f64]) {
+        fair_submod_core::system::parallel_group_gains(self, inner, items, out);
+    }
+
+    fn apply(&self, inner: &mut Self::Inner, item: ItemId) {
+        let covered = inner.words_mut();
+        for &(w, mask) in self.words_of(item as usize) {
+            covered[w as usize] |= mask;
+        }
+    }
+}
+
+/// The seed `Vec<bool>` coverage kernel: one byte per user, one branch
+/// per element. Semantically identical to [`CoverageOracle`] (both count
+/// newly covered users per group as exact integers); kept so equivalence
+/// tests and `perfbase` can pit the packed kernel against it.
+#[derive(Clone, Debug)]
+pub struct UnpackedCoverageOracle {
+    sets: SetSystem,
+    group_of: Vec<u32>,
+    group_sizes: Vec<usize>,
+}
+
+impl UtilitySystem for UnpackedCoverageOracle {
     type Inner = Vec<bool>;
 
     fn num_items(&self) -> usize {
@@ -136,5 +248,25 @@ mod tests {
         let e = evaluate(&oracle, &all);
         assert!((e.f - 1.0).abs() < 1e-12);
         assert!((e.g - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn packed_kernel_is_bit_identical_to_unpacked_reference() {
+        let oracle = figure1_oracle();
+        let reference = oracle.unpacked_reference();
+        let mut packed = SolutionState::new(&oracle);
+        let mut plain = SolutionState::new(&reference);
+        let mut gp = [0.0; 2];
+        let mut gq = [0.0; 2];
+        for &step in &[1u32, 3, 0, 2] {
+            for v in 0..4u32 {
+                packed.gains_into(v, &mut gp);
+                plain.gains_into(v, &mut gq);
+                assert_eq!(gp.map(f64::to_bits), gq.map(f64::to_bits), "item {v}");
+            }
+            packed.insert(step);
+            plain.insert(step);
+            assert_eq!(packed.group_sums(), plain.group_sums());
+        }
     }
 }

@@ -6,6 +6,7 @@
 //!   `b_uv = max{0, d̄ − dist(p_u, p_v)}` for a normalization distance
 //!   `d̄` — used for FourSquare.
 
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::points::PointSet;
@@ -41,16 +42,32 @@ impl BenefitMatrix {
     }
 
     /// Generic distance-to-benefit construction.
-    pub fn from_distance(users: &PointSet, items: &PointSet, benefit: impl Fn(f64) -> f64) -> Self {
+    ///
+    /// Rows are computed in parallel (each user's benefit row is an
+    /// independent pure function of the point sets) and concatenated in
+    /// user order, so the matrix is identical for any thread count.
+    pub fn from_distance(
+        users: &PointSet,
+        items: &PointSet,
+        benefit: impl Fn(f64) -> f64 + Sync,
+    ) -> Self {
         let m = users.len();
         let n = items.len();
-        let mut b = Vec::with_capacity(m * n);
-        for u in 0..m {
-            for v in 0..n {
-                let val = benefit(users.distance(u, items, v));
-                assert!(val >= 0.0, "benefit function produced a negative value");
-                b.push(val);
-            }
+        let mut b = vec![0.0; m * n];
+        if n > 0 {
+            let rows_per_block = m.div_ceil(64).max(1);
+            b.par_chunks_mut(rows_per_block * n)
+                .enumerate()
+                .for_each(|(blk, block)| {
+                    for (j, row) in block.chunks_mut(n).enumerate() {
+                        let u = blk * rows_per_block + j;
+                        for (v, slot) in row.iter_mut().enumerate() {
+                            let val = benefit(users.distance(u, items, v));
+                            assert!(val >= 0.0, "benefit function produced a negative value");
+                            *slot = val;
+                        }
+                    }
+                });
         }
         Self { b, m, n }
     }

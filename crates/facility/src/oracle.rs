@@ -82,6 +82,10 @@ impl UtilitySystem for FacilityOracle {
         }
     }
 
+    fn group_gains_batch(&self, inner: &Self::Inner, items: &[ItemId], out: &mut [f64]) {
+        fair_submod_core::system::parallel_group_gains(self, inner, items, out);
+    }
+
     fn apply(&self, inner: &mut Self::Inner, item: ItemId) {
         let v = item as usize;
         for (u, cur) in inner.iter_mut().enumerate() {

@@ -25,7 +25,7 @@ use fair_submod_graphs::csr::NodeId;
 use fair_submod_graphs::Graph;
 
 use crate::models::DiffusionModel;
-use crate::rr::sample_rr;
+use crate::rr::{sample_rr, RrScratch};
 
 /// IMM parameters.
 #[derive(Clone, Debug)]
@@ -93,9 +93,7 @@ pub fn imm_theta(graph: &Graph, model: DiffusionModel, cfg: &ImmConfig) -> (usiz
             / (eps_prime * eps_prime);
 
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut visited: Vec<u32> = Vec::new();
-    let mut stamp = 0u32;
-    let mut queue: Vec<NodeId> = Vec::new();
+    let mut scratch = RrScratch::new(n);
     let mut rr_sets: Vec<Vec<NodeId>> = Vec::new();
     let mut lb = 1.0f64;
 
@@ -110,15 +108,7 @@ pub fn imm_theta(graph: &Graph, model: DiffusionModel, cfg: &ImmConfig) -> (usiz
         };
         while rr_sets.len() < theta_i {
             let root = rng.gen_range(0..n) as NodeId;
-            rr_sets.push(sample_rr(
-                graph,
-                model,
-                root,
-                &mut rng,
-                &mut visited,
-                &mut stamp,
-                &mut queue,
-            ));
+            rr_sets.push(sample_rr(graph, model, root, &mut rng, &mut scratch));
         }
         let frac = greedy_coverage_fraction(&rr_sets, n, k);
         if nf * frac >= (1.0 + eps_prime) * x {

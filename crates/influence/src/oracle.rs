@@ -11,6 +11,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 
 use fair_submod_core::items::ItemId;
 use fair_submod_core::system::UtilitySystem;
@@ -18,7 +19,7 @@ use fair_submod_graphs::csr::NodeId;
 use fair_submod_graphs::{Graph, Groups};
 
 use crate::models::DiffusionModel;
-use crate::rr::sample_rr;
+use crate::rr::{sample_rr, RrScratch};
 
 /// RR-sampling configuration.
 #[derive(Clone, Debug)]
@@ -40,6 +41,16 @@ impl RisConfig {
             seed,
         }
     }
+}
+
+/// Per-RR-set RNG seed: a SplitMix64-style mix of the oracle seed and
+/// the RR index, so set `i` samples from its own stream regardless of
+/// which worker thread draws it.
+fn rr_stream_seed(seed: u64, i: usize) -> u64 {
+    let mut z = seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Weighted RR-set coverage oracle for group-fair influence maximization.
@@ -87,33 +98,44 @@ impl RisOracle {
             members[groups.group_of(u) as usize].push(u as NodeId);
         }
 
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let mut visited: Vec<u32> = Vec::new();
-        let mut stamp = 0u32;
-        let mut queue: Vec<NodeId> = Vec::new();
-
         let total_rr: usize = alloc.iter().sum();
-        let mut rr_group = Vec::with_capacity(total_rr);
+        let mut rr_group: Vec<u32> = Vec::with_capacity(total_rr);
+        for (gi, &count) in alloc.iter().enumerate() {
+            rr_group.extend(std::iter::repeat(gi as u32).take(count));
+        }
+
+        // Sample RR sets batched across worker threads. Each RR set `i`
+        // derives its own RNG from `(seed, i)` — never from a shared
+        // sequential stream — so the sample is identical for any thread
+        // count; chunk boundaries depend only on `total_rr`, and the
+        // ordered collect reassembles sets in RR-id order. One
+        // `RrScratch` (an `n`-sized visited buffer) lives per in-flight
+        // chunk — created and dropped inside the task — so peak scratch
+        // memory scales with the worker count, not the chunk count.
+        let ids: Vec<u32> = (0..total_rr as u32).collect();
+        let chunk_size = total_rr.div_ceil(64).max(1);
+        let sampled: Vec<Vec<Vec<NodeId>>> = ids
+            .par_chunks(chunk_size)
+            .map(|chunk| {
+                let mut scratch = RrScratch::new(n);
+                chunk
+                    .iter()
+                    .map(|&i| {
+                        let mut rng = StdRng::seed_from_u64(rr_stream_seed(cfg.seed, i as usize));
+                        let bucket = &members[rr_group[i as usize] as usize];
+                        let root = bucket[rng.gen_range(0..bucket.len())];
+                        sample_rr(graph, model, root, &mut rng, &mut scratch)
+                    })
+                    .collect()
+            })
+            .collect();
+        let rr_sets: Vec<Vec<NodeId>> = sampled.into_iter().flatten().collect();
+
         // Build the inverted index with counting sort over nodes.
         let mut pairs: Vec<(NodeId, u32)> = Vec::new();
-        let mut rr_id = 0u32;
-        for (gi, &count) in alloc.iter().enumerate() {
-            for _ in 0..count {
-                let root = members[gi][rng.gen_range(0..members[gi].len())];
-                let rr = sample_rr(
-                    graph,
-                    model,
-                    root,
-                    &mut rng,
-                    &mut visited,
-                    &mut stamp,
-                    &mut queue,
-                );
-                for &node in &rr {
-                    pairs.push((node, rr_id));
-                }
-                rr_group.push(gi as u32);
-                rr_id += 1;
+        for (rr_id, rr) in rr_sets.iter().enumerate() {
+            for &node in rr {
+                pairs.push((node, rr_id as u32));
             }
         }
 
@@ -197,6 +219,10 @@ impl UtilitySystem for RisOracle {
         }
     }
 
+    fn group_gains_batch(&self, inner: &Self::Inner, items: &[ItemId], out: &mut [f64]) {
+        fair_submod_core::system::parallel_group_gains(self, inner, items, out);
+    }
+
     fn apply(&self, inner: &mut Self::Inner, item: ItemId) {
         for &rr in self.rr_of(item as usize) {
             inner[rr as usize] = true;
@@ -259,6 +285,22 @@ mod tests {
         assert!((ris.f - mc.f).abs() < 0.02, "ris {} mc {}", ris.f, mc.f);
         assert!((ris.g - mc.g).abs() < 0.02, "ris {} mc {}", ris.g, mc.g);
         assert!((ris.g - 0.25).abs() < 0.02);
+    }
+
+    #[test]
+    fn generation_is_thread_count_invariant() {
+        let g = sbm(&[40, 40], 0.2, 0.05, 9);
+        let groups = Groups::from_ratios(80, &[("a", 0.5), ("b", 0.5)], 4);
+        let cfg = RisConfig::new(2_000, 23);
+        rayon::set_num_threads(1);
+        let seq = RisOracle::generate(&g, DiffusionModel::ic(0.15), &groups, &cfg);
+        rayon::set_num_threads(6);
+        let par = RisOracle::generate(&g, DiffusionModel::ic(0.15), &groups, &cfg);
+        rayon::set_num_threads(0);
+        assert_eq!(seq.rr_group, par.rr_group);
+        assert_eq!(seq.idx_offsets, par.idx_offsets);
+        assert_eq!(seq.idx_rr, par.idx_rr);
+        assert_eq!(seq.weight, par.weight);
     }
 
     #[test]

@@ -18,50 +18,78 @@ use fair_submod_graphs::Graph;
 
 use crate::models::DiffusionModel;
 
+/// Reusable per-worker sampling scratch: epoch-stamped visited marks and
+/// the BFS queue, bundled so batched parallel sampling holds exactly one
+/// scratch per worker thread instead of threading three loose `&mut`
+/// parameters through every call.
+#[derive(Clone, Debug, Default)]
+pub struct RrScratch {
+    /// Epoch stamp per node; `visited[v] == stamp` means "in this RR set".
+    visited: Vec<u32>,
+    stamp: u32,
+    /// BFS queue of the current sample.
+    queue: Vec<NodeId>,
+}
+
+impl RrScratch {
+    /// Scratch pre-sized for a graph of `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Self {
+            visited: vec![0; n],
+            stamp: 0,
+            queue: Vec::with_capacity(64),
+        }
+    }
+
+    /// Begins a new sample over `n` nodes, returning the fresh epoch
+    /// mark. Resizing and stamp wrap-around are handled here so repeated
+    /// calls never clear the `n`-sized buffer.
+    fn next_epoch(&mut self, n: usize) -> u32 {
+        if self.visited.len() != n {
+            self.visited.clear();
+            self.visited.resize(n, 0);
+            self.stamp = 0;
+        }
+        self.stamp = self.stamp.wrapping_add(1);
+        if self.stamp == 0 {
+            self.visited.fill(0);
+            self.stamp = 1;
+        }
+        self.queue.clear();
+        self.stamp
+    }
+}
+
 /// Samples one RR set for `root`; the result always contains `root`.
 ///
-/// `visited`/`stamp` implement epoch-marking so repeated calls reuse the
-/// scratch without clearing (caller keeps them across calls).
+/// `scratch` persists across calls (epoch marking avoids clearing).
 pub fn sample_rr(
     graph: &Graph,
     model: DiffusionModel,
     root: NodeId,
     rng: &mut StdRng,
-    visited: &mut Vec<u32>,
-    stamp: &mut u32,
-    queue: &mut Vec<NodeId>,
+    scratch: &mut RrScratch,
 ) -> Vec<NodeId> {
     let n = graph.num_nodes();
-    if visited.len() != n {
-        visited.clear();
-        visited.resize(n, 0);
-        *stamp = 0;
-    }
-    *stamp = stamp.wrapping_add(1);
-    if *stamp == 0 {
-        visited.fill(0);
-        *stamp = 1;
-    }
-    let mark = *stamp;
+    let mark = scratch.next_epoch(n);
 
-    queue.clear();
     let mut rr = Vec::with_capacity(8);
-    visited[root as usize] = mark;
-    queue.push(root);
+    scratch.visited[root as usize] = mark;
+    scratch.queue.push(root);
     rr.push(root);
 
     match model {
         DiffusionModel::IndependentCascade(weighting) => {
             let mut head = 0usize;
-            while head < queue.len() {
-                let u = queue[head];
+            while head < scratch.queue.len() {
+                let u = scratch.queue[head];
                 head += 1;
                 for &w in graph.in_neighbors(u) {
-                    if visited[w as usize] != mark
+                    if scratch.visited[w as usize] != mark
                         && rng.gen::<f64>() < weighting.probability(graph, w, u)
                     {
-                        visited[w as usize] = mark;
-                        queue.push(w);
+                        scratch.visited[w as usize] = mark;
+                        scratch.queue.push(w);
                         rr.push(w);
                     }
                 }
@@ -77,10 +105,10 @@ pub fn sample_rr(
                     break;
                 }
                 let w = ins[rng.gen_range(0..ins.len())];
-                if visited[w as usize] == mark {
+                if scratch.visited[w as usize] == mark {
                     break; // walked into the set: stop (cycle)
                 }
-                visited[w as usize] = mark;
+                scratch.visited[w as usize] = mark;
                 rr.push(w);
                 cur = w;
             }
@@ -95,24 +123,12 @@ mod tests {
     use fair_submod_graphs::GraphBuilder;
     use rand::SeedableRng;
 
-    fn scratch(n: usize) -> (Vec<u32>, u32, Vec<NodeId>) {
-        (vec![0; n], 0, Vec::new())
-    }
-
     #[test]
     fn rr_contains_root() {
         let g = GraphBuilder::new(4, true).build();
-        let (mut vis, mut stamp, mut q) = scratch(4);
+        let mut scratch = RrScratch::new(4);
         let mut rng = StdRng::seed_from_u64(1);
-        let rr = sample_rr(
-            &g,
-            DiffusionModel::ic(0.5),
-            2,
-            &mut rng,
-            &mut vis,
-            &mut stamp,
-            &mut q,
-        );
+        let rr = sample_rr(&g, DiffusionModel::ic(0.5), 2, &mut rng, &mut scratch);
         assert_eq!(rr, vec![2]);
     }
 
@@ -122,17 +138,9 @@ mod tests {
         let mut b = GraphBuilder::new(3, true);
         b.add_edge(0, 1).add_edge(1, 2);
         let g = b.build();
-        let (mut vis, mut stamp, mut q) = scratch(3);
+        let mut scratch = RrScratch::new(3);
         let mut rng = StdRng::seed_from_u64(3);
-        let mut rr = sample_rr(
-            &g,
-            DiffusionModel::ic(1.0),
-            2,
-            &mut rng,
-            &mut vis,
-            &mut stamp,
-            &mut q,
-        );
+        let mut rr = sample_rr(&g, DiffusionModel::ic(1.0), 2, &mut rng, &mut scratch);
         rr.sort_unstable();
         assert_eq!(rr, vec![0, 1, 2]);
     }
@@ -142,17 +150,9 @@ mod tests {
         let mut b = GraphBuilder::new(3, true);
         b.add_edge(0, 1).add_edge(1, 2);
         let g = b.build();
-        let (mut vis, mut stamp, mut q) = scratch(3);
+        let mut scratch = RrScratch::new(3);
         let mut rng = StdRng::seed_from_u64(3);
-        let rr = sample_rr(
-            &g,
-            DiffusionModel::ic(0.0),
-            2,
-            &mut rng,
-            &mut vis,
-            &mut stamp,
-            &mut q,
-        );
+        let rr = sample_rr(&g, DiffusionModel::ic(0.0), 2, &mut rng, &mut scratch);
         assert_eq!(rr, vec![2]);
     }
 
@@ -162,20 +162,12 @@ mod tests {
         let mut b = GraphBuilder::new(2, true);
         b.add_edge(0, 1);
         let g = b.build();
-        let (mut vis, mut stamp, mut q) = scratch(2);
+        let mut scratch = RrScratch::new(2);
         let mut rng = StdRng::seed_from_u64(5);
         let mut hits = 0usize;
         let runs = 50_000;
         for _ in 0..runs {
-            let rr = sample_rr(
-                &g,
-                DiffusionModel::ic(0.3),
-                1,
-                &mut rng,
-                &mut vis,
-                &mut stamp,
-                &mut q,
-            );
+            let rr = sample_rr(&g, DiffusionModel::ic(0.3), 1, &mut rng, &mut scratch);
             if rr.len() == 2 {
                 hits += 1;
             }
@@ -187,7 +179,7 @@ mod tests {
     #[test]
     fn lt_rr_is_a_path() {
         let g = fair_submod_graphs::generators::erdos_renyi(30, 0.2, 7);
-        let (mut vis, mut stamp, mut q) = scratch(30);
+        let mut scratch = RrScratch::new(30);
         let mut rng = StdRng::seed_from_u64(9);
         for root in 0..30u32 {
             let rr = sample_rr(
@@ -195,9 +187,7 @@ mod tests {
                 DiffusionModel::LinearThreshold,
                 root,
                 &mut rng,
-                &mut vis,
-                &mut stamp,
-                &mut q,
+                &mut scratch,
             );
             // A reverse random walk has no duplicate nodes.
             let mut sorted = rr.clone();
@@ -205,5 +195,17 @@ mod tests {
             sorted.dedup();
             assert_eq!(sorted.len(), rr.len());
         }
+    }
+
+    #[test]
+    fn default_scratch_resizes_on_first_use() {
+        let mut b = GraphBuilder::new(3, true);
+        b.add_edge(0, 1).add_edge(1, 2);
+        let g = b.build();
+        let mut scratch = RrScratch::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut rr = sample_rr(&g, DiffusionModel::ic(1.0), 2, &mut rng, &mut scratch);
+        rr.sort_unstable();
+        assert_eq!(rr, vec![0, 1, 2]);
     }
 }

@@ -1,89 +1,374 @@
-//! Sequential, API-compatible subset of
-//! [`rayon`](https://docs.rs/rayon): `into_par_iter()` plus the
-//! `fold → map → reduce` combinator chain the workspace uses, executed
-//! on the calling thread.
+//! Work-distributing, API-compatible subset of
+//! [`rayon`](https://docs.rs/rayon): `into_par_iter()` with the
+//! `map / fold / reduce / sum / collect` combinator chain, slice
+//! `par_chunks` / `par_chunks_mut`, and `join`, executed on real
+//! `std::thread` workers.
 //!
-//! Results are identical to real rayon for the reductions used here
-//! (associative, commutative merges of per-run tallies); only
-//! wall-clock parallelism is lost. Swap the workspace `rayon`
-//! dependency back to crates.io to restore it.
+//! # Execution model
+//!
+//! Every parallel operation splits its input into **chunks whose
+//! boundaries depend only on the input length** (never on the thread
+//! count), hands chunks to scoped worker threads through a shared
+//! atomic cursor (dynamic load balancing), and then merges per-chunk
+//! results **in ascending chunk order** on the calling thread. Because
+//! the chunking and the merge order are both thread-count independent,
+//! every reduction is bit-for-bit reproducible: running with
+//! `RAYON_NUM_THREADS=1` and with 64 threads produces identical
+//! results, even for non-associative floating-point merges.
+//!
+//! # Thread-count control
+//!
+//! The worker count is, in order of precedence:
+//!
+//! 1. [`set_num_threads`] (a shim-only runtime override, `0` = auto);
+//! 2. the `RAYON_NUM_THREADS` environment variable (read once);
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! Workers are spawned per parallel call via [`std::thread::scope`], so
+//! borrowed data flows into closures without `'static` bounds; a call
+//! whose input is small (or when one thread is configured) runs inline
+//! on the caller with zero spawn overhead.
 
-/// A "parallel" iterator: a thin wrapper over a sequential iterator
-/// exposing rayon's combinator names.
-pub struct ParIter<I> {
-    inner: I,
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Upper bound on the number of chunks a parallel call splits into.
+///
+/// Fixed (rather than derived from the worker count) so that chunk
+/// boundaries — and therefore floating-point merge order — never depend
+/// on how many threads happen to run. 64 chunks keeps the dynamic
+/// load-balancing granularity fine enough for skewed workloads while
+/// bounding per-call bookkeeping.
+const MAX_CHUNKS: usize = 64;
+
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+fn configured_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
 }
 
-impl<I: Iterator> ParIter<I> {
-    /// Folds every item into per-split accumulators (a single split
-    /// here), yielding an iterator over the accumulators.
-    pub fn fold<T, Id, F>(self, identity: Id, fold_op: F) -> ParIter<std::iter::Once<T>>
+/// Number of worker threads parallel calls currently use.
+pub fn current_num_threads() -> usize {
+    match THREAD_OVERRIDE.load(Ordering::Relaxed) {
+        0 => configured_threads(),
+        n => n,
+    }
+}
+
+/// Overrides the worker count at runtime (`0` restores the default).
+///
+/// Shim-only extension (real rayon sizes its pool once at startup),
+/// used by benchmarks to time sequential-vs-parallel runs in one
+/// process and by tests to prove thread-count invariance. Results never
+/// depend on this value — only wall-clock time does.
+pub fn set_num_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// Deterministic chunk boundaries for an input of `len` items: at most
+/// [`MAX_CHUNKS`] contiguous ranges, sizes differing by at most one.
+fn chunk_bounds(len: usize) -> Vec<(usize, usize)> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let chunks = len.min(MAX_CHUNKS);
+    let base = len / chunks;
+    let rem = len % chunks;
+    let mut bounds = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for i in 0..chunks {
+        let size = base + usize::from(i < rem);
+        bounds.push((start, start + size));
+        start += size;
+    }
+    bounds
+}
+
+/// Runs `work` over every task, distributing tasks to scoped worker
+/// threads via an atomic cursor. Returns results in task order.
+fn run_tasks<T, R, F>(tasks: Vec<T>, work: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = tasks.len();
+    let workers = current_num_threads().min(n).max(1);
+    if workers <= 1 || n <= 1 {
+        return tasks
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| work(i, t))
+            .collect();
+    }
+
+    let slots: Vec<Mutex<Option<T>>> = tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let cursor = AtomicUsize::new(0);
+    let run_some = || {
+        let mut done: Vec<(usize, R)> = Vec::new();
+        loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            let task = slots[i]
+                .lock()
+                .expect("task slot poisoned")
+                .take()
+                .expect("task taken twice");
+            done.push((i, work(i, task)));
+        }
+        done
+    };
+
+    let mut pairs: Vec<(usize, R)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (1..workers).map(|_| s.spawn(run_some)).collect();
+        let mut all = run_some();
+        for h in handles {
+            // Re-raise worker panics with their original payload so
+            // assertion messages from inside parallel closures survive.
+            all.extend(h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)));
+        }
+        all
+    });
+    pairs.sort_unstable_by_key(|&(i, _)| i);
+    pairs.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Splits `items` into the deterministic chunks of [`chunk_bounds`].
+fn split_chunks<T>(mut items: Vec<T>) -> Vec<Vec<T>> {
+    let bounds = chunk_bounds(items.len());
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(bounds.len());
+    // Split from the back so each split_off is O(chunk).
+    for &(start, _) in bounds.iter().rev() {
+        chunks.push(items.split_off(start));
+    }
+    chunks.reverse();
+    chunks
+}
+
+/// A parallel iterator over materialized items, mirroring rayon's
+/// combinator names. Combinators execute eagerly: `map` and `fold` do
+/// their work across the thread pool immediately; `reduce`, `sum`, and
+/// `collect` merge the (already ordered) results on the caller.
+pub struct ParIter<T> {
+    items: Vec<T>,
+    /// Set after `fold`: the items are at most [`MAX_CHUNKS`] per-chunk
+    /// accumulators whose remaining per-item work (the `.map(|(acc, _)|
+    /// acc)` projection of the canonical fold→map→reduce chain) is
+    /// trivial, so later combinators run inline instead of paying a
+    /// second round of thread spawns.
+    post_fold: bool,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Maps each item through `f` in parallel, preserving order.
+    pub fn map<O, F>(self, f: F) -> ParIter<O>
     where
-        Id: Fn() -> T,
-        F: FnMut(T, I::Item) -> T,
+        O: Send,
+        F: Fn(T) -> O + Sync,
     {
+        if self.post_fold {
+            return ParIter {
+                items: self.items.into_iter().map(f).collect(),
+                post_fold: true,
+            };
+        }
+        let mapped = run_tasks(split_chunks(self.items), |_, chunk: Vec<T>| {
+            chunk.into_iter().map(&f).collect::<Vec<O>>()
+        });
         ParIter {
-            inner: std::iter::once(self.inner.fold(identity(), fold_op)),
+            items: mapped.into_iter().flatten().collect(),
+            post_fold: false,
         }
     }
 
-    /// Maps each item through `f`.
-    pub fn map<O, F>(self, f: F) -> ParIter<std::iter::Map<I, F>>
+    /// Folds every item into per-chunk accumulators in parallel,
+    /// yielding one accumulator per chunk (in chunk order). Chunk
+    /// boundaries depend only on the input length, so the accumulator
+    /// sequence is identical for any thread count.
+    pub fn fold<A, Id, F>(self, identity: Id, fold_op: F) -> ParIter<A>
     where
-        F: FnMut(I::Item) -> O,
+        A: Send,
+        Id: Fn() -> A + Sync,
+        F: Fn(A, T) -> A + Sync,
     {
+        let accs = run_tasks(split_chunks(self.items), |_, chunk: Vec<T>| {
+            chunk.into_iter().fold(identity(), &fold_op)
+        });
         ParIter {
-            inner: self.inner.map(f),
+            items: accs,
+            post_fold: true,
         }
     }
 
-    /// Reduces all items with `op`, starting from `identity()`.
-    pub fn reduce<Id, Op>(self, identity: Id, op: Op) -> I::Item
+    /// Reduces all items with `op`, starting from `identity()`, merging
+    /// in ascending item order (deterministic).
+    pub fn reduce<Id, Op>(self, identity: Id, op: Op) -> T
     where
-        Id: Fn() -> I::Item,
-        Op: FnMut(I::Item, I::Item) -> I::Item,
+        Id: FnOnce() -> T,
+        Op: FnMut(T, T) -> T,
     {
-        self.inner.fold(identity(), op)
+        self.items.into_iter().fold(identity(), op)
     }
 
-    /// Sums all items.
+    /// Sums all items in ascending order.
     pub fn sum<S>(self) -> S
     where
-        S: std::iter::Sum<I::Item>,
+        S: std::iter::Sum<T>,
     {
-        self.inner.sum()
+        self.items.into_iter().sum()
     }
 
-    /// Collects all items.
+    /// Collects all items in order.
     pub fn collect<C>(self) -> C
     where
-        C: FromIterator<I::Item>,
+        C: FromIterator<T>,
     {
-        self.inner.collect()
+        self.items.into_iter().collect()
+    }
+
+    /// Runs `f` on every item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        run_tasks(split_chunks(self.items), |_, chunk: Vec<T>| {
+            for item in chunk {
+                f(item);
+            }
+        });
     }
 }
 
 /// Conversion into a [`ParIter`]; blanket-implemented for everything
 /// iterable, mirroring rayon's `IntoParallelIterator`.
-pub trait IntoParallelIterator: IntoIterator + Sized {
-    /// Wraps `self` in a [`ParIter`].
-    fn into_par_iter(self) -> ParIter<Self::IntoIter> {
+pub trait IntoParallelIterator: IntoIterator + Sized
+where
+    Self::Item: Send,
+{
+    /// Materializes `self` into a [`ParIter`].
+    fn into_par_iter(self) -> ParIter<Self::Item> {
         ParIter {
-            inner: self.into_iter(),
+            items: self.into_iter().collect(),
+            post_fold: false,
         }
     }
 }
 
-impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+impl<T: IntoIterator + Sized> IntoParallelIterator for T where T::Item: Send {}
+
+/// Immutable parallel chunk access for slices, mirroring
+/// `rayon::slice::ParallelSlice`.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over contiguous chunks of `chunk_size` items
+    /// (the last chunk may be shorter).
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        ParIter {
+            items: self.chunks(chunk_size).collect(),
+            post_fold: false,
+        }
+    }
+}
+
+/// Mutable parallel chunk access for slices, mirroring
+/// `rayon::slice::ParallelSliceMut`.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over non-overlapping mutable chunks of
+    /// `chunk_size` items (the last chunk may be shorter).
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        ParChunksMut {
+            chunks: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+/// Parallel iterator over disjoint mutable sub-slices.
+pub struct ParChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pairs each chunk with its index.
+    pub fn enumerate(self) -> EnumeratedParChunksMut<'a, T> {
+        EnumeratedParChunksMut {
+            chunks: self.chunks,
+        }
+    }
+
+    /// Runs `f` on every chunk in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        run_tasks(self.chunks, |_, chunk| f(chunk));
+    }
+}
+
+/// Enumerated variant of [`ParChunksMut`].
+pub struct EnumeratedParChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<T: Send> EnumeratedParChunksMut<'_, T> {
+    /// Runs `f` on every `(chunk_index, chunk)` pair in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        run_tasks(self.chunks, |i, chunk| f((i, chunk)));
+    }
+}
+
+/// Runs two closures, potentially in parallel, returning both results
+/// `(a(), b())`. Mirrors `rayon::join`.
+pub fn join<RA, RB, A, B>(a: A, b: B) -> (RA, RB)
+where
+    RA: Send,
+    RB: Send,
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("join closure panicked"))
+    })
+}
 
 pub mod prelude {
     //! Glob-importable traits, mirroring `rayon::prelude`.
-    pub use crate::IntoParallelIterator;
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
 
     #[test]
     fn fold_map_reduce_matches_sequential() {
@@ -107,5 +392,71 @@ mod tests {
                 },
             );
         assert_eq!(total, vec![2450, 2500]);
+    }
+
+    #[test]
+    fn map_preserves_order() {
+        let out: Vec<usize> = (0..1000usize).into_par_iter().map(|x| x * 2).collect();
+        let expect: Vec<usize> = (0..1000).map(|x| x * 2).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn results_are_thread_count_invariant() {
+        // A non-associative float reduction: bitwise equality across
+        // thread counts holds only because chunking is fixed.
+        let run = || -> f64 {
+            (0..10_000)
+                .into_par_iter()
+                .fold(|| 0.0f64, |acc, x: i64| acc + 1.0 / (1.0 + x as f64))
+                .reduce(|| 0.0, |a, b| a + b)
+        };
+        set_num_threads(1);
+        let seq = run();
+        set_num_threads(7);
+        let par = run();
+        set_num_threads(0);
+        assert_eq!(seq.to_bits(), par.to_bits());
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_every_chunk() {
+        let mut data = vec![0usize; 103];
+        data.par_chunks_mut(10)
+            .enumerate()
+            .for_each(|(i, chunk)| chunk.iter_mut().for_each(|x| *x = i));
+        for (j, &x) in data.iter().enumerate() {
+            assert_eq!(x, j / 10);
+        }
+    }
+
+    #[test]
+    fn par_chunks_reads_in_order() {
+        let data: Vec<u64> = (0..257).collect();
+        let sums: Vec<u64> = data.par_chunks(16).map(|c| c.iter().sum::<u64>()).collect();
+        let expect: Vec<u64> = data.chunks(16).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums, expect);
+    }
+
+    #[test]
+    fn join_returns_both_in_order() {
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn chunk_bounds_partition_exactly() {
+        for len in [0usize, 1, 5, 63, 64, 65, 1000] {
+            let bounds = chunk_bounds(len);
+            let mut covered = 0;
+            for (i, &(s, e)) in bounds.iter().enumerate() {
+                assert_eq!(s, covered, "len {len} chunk {i}");
+                assert!(e > s, "empty chunk at len {len}");
+                covered = e;
+            }
+            assert_eq!(covered, len);
+            assert!(bounds.len() <= MAX_CHUNKS);
+        }
     }
 }

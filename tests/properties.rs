@@ -86,6 +86,43 @@ fn check_monotone_submodular<S: UtilitySystem>(system: &S, order: &[u32]) {
     }
 }
 
+/// Checks monotonicity and submodularity through the **batch** path:
+/// all gains are read via `gains_batch_into` matrices, which must be
+/// non-negative, shrink as the solution grows, and agree bit-for-bit
+/// with the per-item `group_gains` calls.
+fn check_monotone_submodular_batch<S: UtilitySystem>(system: &S, order: &[u32]) {
+    let c = system.num_groups();
+    let n = system.num_items();
+    let items: Vec<u32> = (0..n as u32).collect();
+    let mut state = SolutionState::new(system);
+    let mut prev = vec![0.0; n * c];
+    let mut cur = vec![0.0; n * c];
+    let mut row = vec![0.0; c];
+    state.gains_batch_into(&items, &mut prev);
+    for (j, &v) in items.iter().enumerate() {
+        state.gains_into(v, &mut row);
+        for g in 0..c {
+            assert_eq!(
+                prev[j * c + g].to_bits(),
+                row[g].to_bits(),
+                "batch row != per-item gain: item {v}, group {g}"
+            );
+        }
+    }
+    assert!(prev.iter().all(|&x| x >= -1e-12), "negative batch gain");
+    for &v in order {
+        if state.contains(v) {
+            continue;
+        }
+        state.insert(v);
+        state.gains_batch_into(&items, &mut cur);
+        for (a, b) in cur.iter().zip(&prev) {
+            assert!(*a <= *b + 1e-9, "batch gain grew after insertion");
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -93,6 +130,18 @@ proptest! {
     fn coverage_oracle_is_monotone_submodular((oracle, n) in coverage_instance(), seed in any::<u64>()) {
         let order: Vec<u32> = (0..n as u32).map(|i| (i.wrapping_add(seed as u32)) % n as u32).collect();
         check_monotone_submodular(&oracle, &order);
+    }
+
+    #[test]
+    fn coverage_batch_path_is_monotone_submodular((oracle, n) in coverage_instance(), seed in any::<u64>()) {
+        let order: Vec<u32> = (0..n as u32).map(|i| (i.wrapping_add(seed as u32)) % n as u32).collect();
+        check_monotone_submodular_batch(&oracle, &order);
+    }
+
+    #[test]
+    fn facility_batch_path_is_monotone_submodular((oracle, n) in facility_instance(), seed in any::<u64>()) {
+        let order: Vec<u32> = (0..n as u32).map(|i| (i.wrapping_add(seed as u32)) % n as u32).collect();
+        check_monotone_submodular_batch(&oracle, &order);
     }
 
     #[test]
