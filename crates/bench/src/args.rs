@@ -13,6 +13,16 @@ pub struct ExpArgs {
     pub mc_runs: usize,
     /// RR sets for the RIS oracle.
     pub rr_sets: usize,
+    /// Scenario spec to run (built-in name or path to a JSON file);
+    /// used by the `scenarios` binary.
+    pub spec: Option<String>,
+    /// List the built-in specs and exit (`scenarios --list`).
+    pub list: bool,
+    /// Exit non-zero if any cell errored or returned an empty solution
+    /// (`scenarios --strict`, used by the CI smoke run).
+    pub strict: bool,
+    /// Path for the JSON run report (default `<out>/<spec>_report.json`).
+    pub report: Option<String>,
 }
 
 impl Default for ExpArgs {
@@ -23,6 +33,10 @@ impl Default for ExpArgs {
             pokec_nodes: 100_000,
             mc_runs: 10_000,
             rr_sets: 20_000,
+            spec: None,
+            list: false,
+            strict: false,
+            report: None,
         }
     }
 }
@@ -61,6 +75,10 @@ impl ExpArgs {
                         .parse()
                         .expect("--rr-sets takes an integer")
                 }
+                "--spec" => out.spec = Some(expect_value(&mut it, "--spec")),
+                "--list" => out.list = true,
+                "--strict" => out.strict = true,
+                "--report" => out.report = Some(expect_value(&mut it, "--report")),
                 other => panic!("unknown flag {other}"),
             }
         }
@@ -81,6 +99,7 @@ mod tests {
         let a = ExpArgs::from_iter(Vec::<String>::new());
         assert!(!a.quick);
         assert_eq!(a.pokec_nodes, 100_000);
+        assert!(a.spec.is_none() && !a.strict && !a.list);
         let b = ExpArgs::from_iter(
             ["--quick", "--out", "/tmp/x", "--mc-runs", "123"]
                 .iter()
@@ -90,6 +109,18 @@ mod tests {
         assert_eq!(b.out_dir, "/tmp/x");
         assert_eq!(b.mc_runs, 123);
         assert!(b.pokec_nodes <= 20_000);
+    }
+
+    #[test]
+    fn scenario_flags_parse() {
+        let a = ExpArgs::from_iter(
+            ["--spec", "fig3", "--strict", "--report", "r.json", "--list"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(a.spec.as_deref(), Some("fig3"));
+        assert!(a.strict && a.list);
+        assert_eq!(a.report.as_deref(), Some("r.json"));
     }
 
     #[test]

@@ -1,59 +1,7 @@
-//! Figure 10 (Appendix B): MC and IM, varying τ on Facebook
-//! (Age, c = 2 and c = 4, k = 5).
-
-use fair_submod_bench::args::ExpArgs;
-use fair_submod_bench::harness::{run_suite, SuiteConfig};
-use fair_submod_bench::report::{push_results, Table, RESULT_HEADERS};
-use fair_submod_core::metrics::evaluate;
-use fair_submod_datasets::{facebook_like, seeds};
-use fair_submod_influence::{monte_carlo_evaluate, DiffusionModel};
+//! Alias binary: loads the built-in `fig10` scenario spec
+//! (`crates/bench/specs/fig10.json`) and runs it through the shared
+//! scenario runner. See `scenarios --list` and the crate docs.
 
 fn main() {
-    let args = ExpArgs::parse();
-    let k = 5;
-    let taus: Vec<f64> = if args.quick {
-        vec![0.1, 0.5, 0.9]
-    } else {
-        (1..=9).map(|i| i as f64 / 10.0).collect()
-    };
-    let mut table = Table::new(
-        "Figure 10: MC and IM on Facebook, varying tau (k = 5)",
-        RESULT_HEADERS,
-    );
-
-    for c in [2usize, 4] {
-        let dataset = facebook_like(c, seeds::FACEBOOK);
-        let oracle = dataset.coverage_oracle();
-        eprintln!("[fig10] MC {} ...", dataset.name);
-        for &tau in &taus {
-            let cfg = SuiteConfig::paper(k, tau);
-            let results = run_suite(&oracle, &|items| evaluate(&oracle, items), &cfg);
-            push_results(&mut table, &format!("{} (MC)", dataset.name), &results);
-        }
-    }
-
-    let model = DiffusionModel::ic(0.01);
-    for c in [2usize, 4] {
-        let dataset = facebook_like(c, seeds::FACEBOOK);
-        eprintln!("[fig10] IM {} ...", dataset.name);
-        let oracle = dataset.ris_oracle(model, args.rr_sets, seeds::FACEBOOK ^ 0x31);
-        let evaluator = |items: &[u32]| {
-            monte_carlo_evaluate(
-                &dataset.graph,
-                model,
-                &dataset.groups,
-                items,
-                args.mc_runs,
-                seeds::FACEBOOK ^ 0x32,
-            )
-        };
-        for &tau in &taus {
-            let cfg = SuiteConfig::paper(k, tau);
-            let results = run_suite(&oracle, &evaluator, &cfg);
-            push_results(&mut table, &format!("{} (IM)", dataset.name), &results);
-        }
-    }
-
-    table.print();
-    table.write_csv(&args.out_dir, "fig10").expect("write csv");
+    fair_submod_bench::scenario::alias_main("fig10");
 }

@@ -1,58 +1,7 @@
-//! Figure 11 (Appendix B): MC and IM, varying k on DBLP
-//! (Continent, c = 5, τ = 0.8).
-
-use fair_submod_bench::args::ExpArgs;
-use fair_submod_bench::harness::{run_suite, SuiteConfig};
-use fair_submod_bench::report::{push_results, Table, RESULT_HEADERS};
-use fair_submod_core::metrics::evaluate;
-use fair_submod_datasets::{dblp_like, seeds};
-use fair_submod_influence::{monte_carlo_evaluate, DiffusionModel};
+//! Alias binary: loads the built-in `fig11` scenario spec
+//! (`crates/bench/specs/fig11.json`) and runs it through the shared
+//! scenario runner. See `scenarios --list` and the crate docs.
 
 fn main() {
-    let args = ExpArgs::parse();
-    let tau = 0.8;
-    let ks: Vec<usize> = if args.quick {
-        vec![10, 30, 50]
-    } else {
-        (1..=10).map(|i| i * 5).collect()
-    };
-    let mut table = Table::new(
-        "Figure 11: MC and IM on DBLP, varying k (tau = 0.8)",
-        RESULT_HEADERS,
-    );
-
-    let dataset = dblp_like(seeds::DBLP);
-    {
-        let oracle = dataset.coverage_oracle();
-        eprintln!("[fig11] MC {} ...", dataset.name);
-        for &k in &ks {
-            let cfg = SuiteConfig::paper(k, tau);
-            let results = run_suite(&oracle, &|items| evaluate(&oracle, items), &cfg);
-            push_results(&mut table, &format!("{} (MC)", dataset.name), &results);
-        }
-    }
-
-    {
-        let model = DiffusionModel::ic(0.1);
-        eprintln!("[fig11] IM {} ...", dataset.name);
-        let oracle = dataset.ris_oracle(model, args.rr_sets, seeds::DBLP ^ 0x51);
-        let evaluator = |items: &[u32]| {
-            monte_carlo_evaluate(
-                &dataset.graph,
-                model,
-                &dataset.groups,
-                items,
-                args.mc_runs,
-                seeds::DBLP ^ 0x52,
-            )
-        };
-        for &k in &ks {
-            let cfg = SuiteConfig::paper(k, tau);
-            let results = run_suite(&oracle, &evaluator, &cfg);
-            push_results(&mut table, &format!("{} (IM)", dataset.name), &results);
-        }
-    }
-
-    table.print();
-    table.write_csv(&args.out_dir, "fig11").expect("write csv");
+    fair_submod_bench::scenario::alias_main("fig11");
 }

@@ -1,49 +1,7 @@
-//! Figure 3: maximum coverage, varying the balance factor τ.
-//!
-//! Datasets: RAND (c=2, k=5), RAND (c=4, k=5), DBLP (c=5, k=10).
-//! The paper's `BSM-Optimal` reference line comes from Gurobi on the
-//! n=500 RAND graphs; our self-contained branch-and-bound proves
-//! optimality comfortably up to n≈150, so the exact comparison runs on
-//! dedicated `RAND-OPT` datasets (n=150, same generator/ratios) — a
-//! documented substitution (DESIGN.md §4, EXPERIMENTS.md). Observations
-//! to reproduce: `f(S)` near `OPT_f` at small τ, decreasing in τ while
-//! `g(S)` rises; BSM-Saturate dominating BSM-TSGreedy on `f`; SMSC flat
-//! in τ; approximate `f` within ~10–26% of optimal.
-
-use fair_submod_bench::args::ExpArgs;
-use fair_submod_bench::harness::{run_suite, SuiteConfig};
-use fair_submod_bench::report::{push_results, Table, RESULT_HEADERS};
-use fair_submod_core::metrics::evaluate;
-use fair_submod_datasets::{dblp_like, rand_mc, seeds};
+//! Alias binary: loads the built-in `fig3` scenario spec
+//! (`crates/bench/specs/fig3.json`) and runs it through the shared
+//! scenario runner. See `scenarios --list` and the crate docs.
 
 fn main() {
-    let args = ExpArgs::parse();
-    let taus: Vec<f64> = if args.quick {
-        vec![0.1, 0.5, 0.9]
-    } else {
-        (1..=9).map(|i| i as f64 / 10.0).collect()
-    };
-    let mut table = Table::new("Figure 3: MC, varying tau", RESULT_HEADERS);
-
-    for (dataset, k, with_optimal) in [
-        (rand_mc(2, 500, seeds::RAND), 5usize, false),
-        (rand_mc(4, 500, seeds::RAND + 1), 5, false),
-        (rand_mc(2, 150, seeds::RAND), 5, true),
-        (rand_mc(4, 150, seeds::RAND + 1), 5, true),
-        (dblp_like(seeds::DBLP), 10, false),
-    ] {
-        let oracle = dataset.coverage_oracle();
-        eprintln!("[fig3] {} ...", dataset.name);
-        for &tau in &taus {
-            let mut cfg = SuiteConfig::paper(k, tau);
-            if with_optimal && !args.quick {
-                cfg = cfg.with_optimal();
-            }
-            let results = run_suite(&oracle, &|items| evaluate(&oracle, items), &cfg);
-            push_results(&mut table, &dataset.name, &results);
-        }
-    }
-
-    table.print();
-    table.write_csv(&args.out_dir, "fig3").expect("write csv");
+    fair_submod_bench::scenario::alias_main("fig3");
 }

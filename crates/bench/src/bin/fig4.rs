@@ -1,54 +1,7 @@
-//! Figure 4: maximum coverage, varying the solution size k (τ = 0.8).
-//!
-//! Datasets: Facebook (Age, c=2 and c=4), k ∈ {5..50}; Pokec (Gender
-//! c=2, Age c=6), k ∈ {10..100}. Reports `f`, `g`, and selection time —
-//! the paper's observations: values grow with k, runtime grows only
-//! mildly thanks to lazy-forward, BSM-Saturate better on quality /
-//! slower than BSM-TSGreedy, Pokec values tiny (sparse coverage).
-
-use fair_submod_bench::args::ExpArgs;
-use fair_submod_bench::harness::{run_suite, SuiteConfig};
-use fair_submod_bench::report::{push_results, Table, RESULT_HEADERS};
-use fair_submod_core::metrics::evaluate;
-use fair_submod_datasets::{facebook_like, pokec_like, seeds, PokecAttr};
+//! Alias binary: loads the built-in `fig4` scenario spec
+//! (`crates/bench/specs/fig4.json`) and runs it through the shared
+//! scenario runner. See `scenarios --list` and the crate docs.
 
 fn main() {
-    let args = ExpArgs::parse();
-    let tau = 0.8;
-    let mut table = Table::new("Figure 4: MC, varying k (tau = 0.8)", RESULT_HEADERS);
-
-    let fb_ks: Vec<usize> = if args.quick {
-        vec![10, 30, 50]
-    } else {
-        (1..=10).map(|i| i * 5).collect()
-    };
-    for c in [2usize, 4] {
-        let dataset = facebook_like(c, seeds::FACEBOOK);
-        let oracle = dataset.coverage_oracle();
-        eprintln!("[fig4] {} ...", dataset.name);
-        for &k in &fb_ks {
-            let cfg = SuiteConfig::paper(k, tau);
-            let results = run_suite(&oracle, &|items| evaluate(&oracle, items), &cfg);
-            push_results(&mut table, &dataset.name, &results);
-        }
-    }
-
-    let pokec_ks: Vec<usize> = if args.quick {
-        vec![10, 40, 100]
-    } else {
-        (1..=10).map(|i| i * 10).collect()
-    };
-    for attr in [PokecAttr::Gender, PokecAttr::Age] {
-        let dataset = pokec_like(args.pokec_nodes, attr, seeds::POKEC);
-        let oracle = dataset.coverage_oracle();
-        eprintln!("[fig4] {} ...", dataset.name);
-        for &k in &pokec_ks {
-            let cfg = SuiteConfig::paper(k, tau);
-            let results = run_suite(&oracle, &|items| evaluate(&oracle, items), &cfg);
-            push_results(&mut table, &dataset.name, &results);
-        }
-    }
-
-    table.print();
-    table.write_csv(&args.out_dir, "fig4").expect("write csv");
+    fair_submod_bench::scenario::alias_main("fig4");
 }

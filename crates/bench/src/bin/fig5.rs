@@ -1,53 +1,7 @@
-//! Figure 5: influence maximization, varying the balance factor τ.
-//!
-//! Datasets: RAND (c=2/c=4, n=100, k=5) and DBLP (c=5, k=10) under the
-//! IC model with p = 0.1 (as in the paper's small-graph setting).
-//! Selection runs on the group-stratified RIS oracle; reported values
-//! come from independent Monte-Carlo simulation (10,000 runs by
-//! default), exactly as in the paper. BSM-TSGreedy may violate the weak
-//! constraint occasionally due to estimation noise — a paper observation
-//! worth reproducing.
-
-use fair_submod_bench::args::ExpArgs;
-use fair_submod_bench::harness::{run_suite, SuiteConfig};
-use fair_submod_bench::report::{push_results, Table, RESULT_HEADERS};
-use fair_submod_datasets::{dblp_like, rand_mc, seeds};
-use fair_submod_influence::{monte_carlo_evaluate, DiffusionModel};
+//! Alias binary: loads the built-in `fig5` scenario spec
+//! (`crates/bench/specs/fig5.json`) and runs it through the shared
+//! scenario runner. See `scenarios --list` and the crate docs.
 
 fn main() {
-    let args = ExpArgs::parse();
-    let model = DiffusionModel::ic(0.1);
-    let taus: Vec<f64> = if args.quick {
-        vec![0.1, 0.5, 0.9]
-    } else {
-        (1..=9).map(|i| i as f64 / 10.0).collect()
-    };
-    let mut table = Table::new("Figure 5: IM, varying tau (IC, p = 0.1)", RESULT_HEADERS);
-
-    for (dataset, k) in [
-        (rand_mc(2, 100, seeds::RAND + 2), 5usize),
-        (rand_mc(4, 100, seeds::RAND + 3), 5),
-        (dblp_like(seeds::DBLP), 10),
-    ] {
-        eprintln!("[fig5] {} ...", dataset.name);
-        let oracle = dataset.ris_oracle(model, args.rr_sets, seeds::RAND ^ 0x11);
-        let evaluator = |items: &[u32]| {
-            monte_carlo_evaluate(
-                &dataset.graph,
-                model,
-                &dataset.groups,
-                items,
-                args.mc_runs,
-                seeds::RAND ^ 0x22,
-            )
-        };
-        for &tau in &taus {
-            let cfg = SuiteConfig::paper(k, tau);
-            let results = run_suite(&oracle, &evaluator, &cfg);
-            push_results(&mut table, &dataset.name, &results);
-        }
-    }
-
-    table.print();
-    table.write_csv(&args.out_dir, "fig5").expect("write csv");
+    fair_submod_bench::scenario::alias_main("fig5");
 }

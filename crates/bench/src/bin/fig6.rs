@@ -1,80 +1,7 @@
-//! Figure 6: influence maximization, varying the solution size k
-//! (τ = 0.8).
-//!
-//! Datasets: Facebook (Age, c=2/c=4), k ∈ {5..50}, and Pokec (Gender /
-//! Age), k ∈ {10..100}. Dense graphs use IC with p = 0.01 (the paper's
-//! alternative setting) so diffusion stays subcritical as in the paper's
-//! reported magnitudes; evaluation is Monte-Carlo.
-
-use fair_submod_bench::args::ExpArgs;
-use fair_submod_bench::harness::{run_suite, SuiteConfig};
-use fair_submod_bench::report::{push_results, Table, RESULT_HEADERS};
-use fair_submod_datasets::{facebook_like, pokec_like, seeds, PokecAttr};
-use fair_submod_influence::{monte_carlo_evaluate, DiffusionModel};
+//! Alias binary: loads the built-in `fig6` scenario spec
+//! (`crates/bench/specs/fig6.json`) and runs it through the shared
+//! scenario runner. See `scenarios --list` and the crate docs.
 
 fn main() {
-    let args = ExpArgs::parse();
-    let tau = 0.8;
-    let model = DiffusionModel::ic(0.01);
-    let mut table = Table::new(
-        "Figure 6: IM, varying k (tau = 0.8, IC p = 0.01)",
-        RESULT_HEADERS,
-    );
-
-    let fb_ks: Vec<usize> = if args.quick {
-        vec![10, 30, 50]
-    } else {
-        (1..=10).map(|i| i * 5).collect()
-    };
-    for c in [2usize, 4] {
-        let dataset = facebook_like(c, seeds::FACEBOOK);
-        eprintln!("[fig6] {} ...", dataset.name);
-        let oracle = dataset.ris_oracle(model, args.rr_sets, seeds::FACEBOOK ^ 0x11);
-        let evaluator = |items: &[u32]| {
-            monte_carlo_evaluate(
-                &dataset.graph,
-                model,
-                &dataset.groups,
-                items,
-                args.mc_runs,
-                seeds::FACEBOOK ^ 0x22,
-            )
-        };
-        for &k in &fb_ks {
-            let cfg = SuiteConfig::paper(k, tau);
-            let results = run_suite(&oracle, &evaluator, &cfg);
-            push_results(&mut table, &dataset.name, &results);
-        }
-    }
-
-    let pokec_ks: Vec<usize> = if args.quick {
-        vec![10, 40, 100]
-    } else {
-        (1..=10).map(|i| i * 10).collect()
-    };
-    // Monte-Carlo on the Pokec stand-in is the dominant cost; cap runs.
-    let pokec_runs = args.mc_runs.min(2_000);
-    for attr in [PokecAttr::Gender, PokecAttr::Age] {
-        let dataset = pokec_like(args.pokec_nodes, attr, seeds::POKEC);
-        eprintln!("[fig6] {} ...", dataset.name);
-        let oracle = dataset.ris_oracle(model, args.rr_sets, seeds::POKEC ^ 0x11);
-        let evaluator = |items: &[u32]| {
-            monte_carlo_evaluate(
-                &dataset.graph,
-                model,
-                &dataset.groups,
-                items,
-                pokec_runs,
-                seeds::POKEC ^ 0x22,
-            )
-        };
-        for &k in &pokec_ks {
-            let cfg = SuiteConfig::paper(k, tau);
-            let results = run_suite(&oracle, &evaluator, &cfg);
-            push_results(&mut table, &dataset.name, &results);
-        }
-    }
-
-    table.print();
-    table.write_csv(&args.out_dir, "fig6").expect("write csv");
+    fair_submod_bench::scenario::alias_main("fig6");
 }

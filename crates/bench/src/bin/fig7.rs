@@ -1,46 +1,7 @@
-//! Figure 7: facility location, varying the balance factor τ.
-//!
-//! Datasets: RAND FL (c=2/c=3, k=5) and Adult-Small (Race, c=5, k=5),
-//! RBF benefits. `BSM-Optimal` runs on all three (the paper solves these
-//! small instances with Gurobi; we use the submodular branch-and-bound).
-
-use fair_submod_bench::args::ExpArgs;
-use fair_submod_bench::harness::{run_suite, SuiteConfig};
-use fair_submod_bench::report::{push_results, Table, RESULT_HEADERS};
-use fair_submod_core::metrics::evaluate;
-use fair_submod_datasets::{adult_like, rand_fl, seeds, AdultSize};
+//! Alias binary: loads the built-in `fig7` scenario spec
+//! (`crates/bench/specs/fig7.json`) and runs it through the shared
+//! scenario runner. See `scenarios --list` and the crate docs.
 
 fn main() {
-    let args = ExpArgs::parse();
-    let taus: Vec<f64> = if args.quick {
-        vec![0.1, 0.5, 0.9]
-    } else {
-        (1..=9).map(|i| i as f64 / 10.0).collect()
-    };
-    let mut table = Table::new("Figure 7: FL, varying tau", RESULT_HEADERS);
-
-    // Adult-Small's five race groups (two of size ≤ 2) make the exact
-    // maximin bound loose, so its branch-and-bound gets a tighter node
-    // budget; hitting it is reported via the harness' fallback flag and
-    // the incumbent is still a valid lower bound (EXPERIMENTS.md).
-    for (dataset, k, node_limit) in [
-        (rand_fl(2, seeds::FL), 5usize, 3_000_000u64),
-        (rand_fl(3, seeds::FL + 1), 5, 3_000_000),
-        (adult_like(AdultSize::SmallRace, seeds::FL + 2), 5, 250_000),
-    ] {
-        let oracle = dataset.oracle();
-        eprintln!("[fig7] {} ...", dataset.name);
-        for &tau in &taus {
-            let mut cfg = SuiteConfig::paper(k, tau);
-            if !args.quick {
-                cfg = cfg.with_optimal();
-                cfg.exact_node_limit = node_limit;
-            }
-            let results = run_suite(&oracle, &|items| evaluate(&oracle, items), &cfg);
-            push_results(&mut table, &dataset.name, &results);
-        }
-    }
-
-    table.print();
-    table.write_csv(&args.out_dir, "fig7").expect("write csv");
+    fair_submod_bench::scenario::alias_main("fig7");
 }

@@ -1,41 +1,7 @@
-//! Figure 8: facility location, varying the solution size k (τ = 0.8).
-//!
-//! Datasets: Adult (Gender c=2 / Race c=5, 1,000 records, RBF) and
-//! FourSquare NYC/TKY (c = 1,000 singleton groups, k-median benefits) —
-//! the paper's stress test for many groups.
-
-use fair_submod_bench::args::ExpArgs;
-use fair_submod_bench::harness::{run_suite, SuiteConfig};
-use fair_submod_bench::report::{push_results, Table, RESULT_HEADERS};
-use fair_submod_core::metrics::evaluate;
-use fair_submod_datasets::{adult_like, foursquare_like, seeds, AdultSize, City};
+//! Alias binary: loads the built-in `fig8` scenario spec
+//! (`crates/bench/specs/fig8.json`) and runs it through the shared
+//! scenario runner. See `scenarios --list` and the crate docs.
 
 fn main() {
-    let args = ExpArgs::parse();
-    let tau = 0.8;
-    let ks: Vec<usize> = if args.quick {
-        vec![10, 30, 50]
-    } else {
-        (1..=10).map(|i| i * 5).collect()
-    };
-    let mut table = Table::new("Figure 8: FL, varying k (tau = 0.8)", RESULT_HEADERS);
-
-    let datasets = vec![
-        adult_like(AdultSize::Gender, seeds::FL + 3),
-        adult_like(AdultSize::Race, seeds::FL + 3),
-        foursquare_like(City::Nyc, seeds::FL + 4),
-        foursquare_like(City::Tky, seeds::FL + 5),
-    ];
-    for dataset in &datasets {
-        let oracle = dataset.oracle();
-        eprintln!("[fig8] {} ...", dataset.name);
-        for &k in &ks {
-            let cfg = SuiteConfig::paper(k, tau);
-            let results = run_suite(&oracle, &|items| evaluate(&oracle, items), &cfg);
-            push_results(&mut table, &dataset.name, &results);
-        }
-    }
-
-    table.print();
-    table.write_csv(&args.out_dir, "fig8").expect("write csv");
+    fair_submod_bench::scenario::alias_main("fig8");
 }

@@ -1,103 +1,7 @@
-//! Figure 9 (Appendix B): effect of BSM-Saturate's error parameter ε.
-//!
-//! Sweeps ε ∈ {0.05, 0.1, …, 0.5} at τ = 0.8, k = 5 on the RAND
-//! datasets for MC (c=2 and c=4), IM (c=2), and FL (c=2). The paper's
-//! observation to reproduce: `f(S)` and `g(S)` barely move until
-//! ε approaches 0.5.
-
-use fair_submod_bench::args::ExpArgs;
-use fair_submod_bench::report::Table;
-use fair_submod_core::algorithms::bsm_saturate::{bsm_saturate, BsmSaturateConfig};
-use fair_submod_core::metrics::{evaluate, Evaluation};
-use fair_submod_core::system::UtilitySystem;
-use fair_submod_datasets::{rand_fl, rand_mc, seeds};
-use fair_submod_influence::{monte_carlo_evaluate, DiffusionModel};
-
-fn sweep<S: UtilitySystem>(
-    table: &mut Table,
-    dataset: &str,
-    system: &S,
-    evaluator: &dyn Fn(&[u32]) -> Evaluation,
-    epsilons: &[f64],
-) {
-    for &eps in epsilons {
-        let cfg = BsmSaturateConfig::new(5, 0.8).with_epsilon(eps);
-        let start = std::time::Instant::now();
-        let out = bsm_saturate(system, &cfg);
-        let secs = start.elapsed().as_secs_f64();
-        let eval = evaluator(&out.items);
-        table.push(vec![
-            dataset.to_string(),
-            format!("{eps:.2}"),
-            format!("{:.6}", eval.f),
-            format!("{:.6}", eval.g),
-            format!("{:.3}", secs),
-        ]);
-    }
-}
+//! Alias binary: loads the built-in `fig9` scenario spec
+//! (`crates/bench/specs/fig9.json`) and runs it through the shared
+//! scenario runner. See `scenarios --list` and the crate docs.
 
 fn main() {
-    let args = ExpArgs::parse();
-    let epsilons: Vec<f64> = if args.quick {
-        vec![0.05, 0.25, 0.5]
-    } else {
-        vec![0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5]
-    };
-    let mut table = Table::new(
-        "Figure 9: BSM-Saturate, varying epsilon (tau = 0.8, k = 5)",
-        &["dataset", "epsilon", "f(S)", "g(S)", "time_s"],
-    );
-
-    for c in [2usize, 4] {
-        let dataset = rand_mc(c, 500, seeds::RAND + (c as u64 - 2) / 2);
-        let oracle = dataset.coverage_oracle();
-        eprintln!("[fig9] MC {} ...", dataset.name);
-        sweep(
-            &mut table,
-            &format!("{} (MC)", dataset.name),
-            &oracle,
-            &|items| evaluate(&oracle, items),
-            &epsilons,
-        );
-    }
-
-    {
-        let dataset = rand_mc(2, 100, seeds::RAND + 2);
-        let model = DiffusionModel::ic(0.1);
-        eprintln!("[fig9] IM {} ...", dataset.name);
-        let oracle = dataset.ris_oracle(model, args.rr_sets, seeds::RAND ^ 0x33);
-        let evaluator = |items: &[u32]| {
-            monte_carlo_evaluate(
-                &dataset.graph,
-                model,
-                &dataset.groups,
-                items,
-                args.mc_runs,
-                seeds::RAND ^ 0x44,
-            )
-        };
-        sweep(
-            &mut table,
-            &format!("{} (IM)", dataset.name),
-            &oracle,
-            &evaluator,
-            &epsilons,
-        );
-    }
-
-    {
-        let dataset = rand_fl(2, seeds::FL);
-        let oracle = dataset.oracle();
-        eprintln!("[fig9] FL {} ...", dataset.name);
-        sweep(
-            &mut table,
-            &format!("{} (FL)", dataset.name),
-            &oracle,
-            &|items| evaluate(&oracle, items),
-            &epsilons,
-        );
-    }
-
-    table.print();
-    table.write_csv(&args.out_dir, "fig9").expect("write csv");
+    fair_submod_bench::scenario::alias_main("fig9");
 }

@@ -21,7 +21,7 @@
 
 use std::time::Instant;
 
-use fair_submod_bench::harness::{run_suite, SuiteConfig};
+use fair_submod_bench::harness::{run_suite, GridConfig};
 use fair_submod_core::prelude::*;
 use fair_submod_datasets::{facebook_like, rand_fl, rand_mc, seeds};
 use fair_submod_facility::BenefitMatrix;
@@ -205,6 +205,7 @@ fn main() {
         let model = DiffusionModel::ic(0.01);
         let rr = if quick { 2_000 } else { 5_000 };
         let mc_runs = if quick { 200 } else { 500 };
+        let registry = SolverRegistry::default();
         let sweep = || {
             let oracle = dataset.ris_oracle(model, rr, seeds::FACEBOOK ^ 0x11);
             let evaluator = |items: &[u32]| {
@@ -219,8 +220,12 @@ fn main() {
             };
             let mut fs = Vec::new();
             for k in [5usize, 10] {
-                let results = run_suite(&oracle, &evaluator, &SuiteConfig::paper(k, 0.8));
-                fs.extend(results.into_iter().map(|r| r.f));
+                let results = run_suite(&oracle, &evaluator, &registry, &GridConfig::paper(k, 0.8));
+                fs.extend(
+                    results
+                        .into_iter()
+                        .map(|r| r.outcome.expect("paper solvers run on c = 2").f),
+                );
             }
             fs
         };

@@ -1,0 +1,33 @@
+//! The shared scenario runner: executes any built-in or on-disk
+//! [`ScenarioSpec`](fair_submod_bench::scenario::ScenarioSpec) through
+//! the solver registry.
+//!
+//! ```text
+//! scenarios --list                       # show the built-in specs
+//! scenarios --spec fig3 [--quick]        # run a paper artifact
+//! scenarios --spec my_experiment.json    # run a custom spec file
+//! scenarios --spec smoke --quick --strict  # the CI smoke gate
+//! ```
+
+use fair_submod_bench::args::ExpArgs;
+use fair_submod_bench::scenario::{alias_main, builtin_specs, load_spec};
+
+fn main() {
+    let args = ExpArgs::parse();
+    if args.list {
+        println!("built-in scenario specs:");
+        for (name, _) in builtin_specs() {
+            let spec = load_spec(name).expect("built-in specs always parse");
+            println!("  {name:<8} {}", spec.title);
+        }
+        return;
+    }
+    match args.spec.as_deref() {
+        Some(spec) => alias_main(spec),
+        None => {
+            eprintln!("usage: scenarios --spec <name-or-path> [--quick] [--strict]");
+            eprintln!("       scenarios --list");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,38 +1,7 @@
-//! Table 1: statistics of the datasets in the MC and IM experiments.
-
-use fair_submod_bench::args::ExpArgs;
-use fair_submod_bench::report::Table;
-use fair_submod_datasets::tables::{format_groups, table1_row};
-use fair_submod_datasets::{dblp_like, facebook_like, pokec_like, rand_mc, seeds, PokecAttr};
+//! Alias binary: loads the built-in `table1` scenario spec
+//! (`crates/bench/specs/table1.json`) and runs it through the shared
+//! scenario runner. See `scenarios --list` and the crate docs.
 
 fn main() {
-    let args = ExpArgs::parse();
-    let mut table = Table::new(
-        "Table 1: statistics of datasets in the MC and IM experiments",
-        &["dataset", "n (= m)", "|E|", "groups"],
-    );
-    let datasets = vec![
-        rand_mc(2, 500, seeds::RAND),
-        rand_mc(4, 500, seeds::RAND + 1),
-        rand_mc(2, 100, seeds::RAND + 2),
-        rand_mc(4, 100, seeds::RAND + 3),
-        facebook_like(2, seeds::FACEBOOK),
-        facebook_like(4, seeds::FACEBOOK),
-        dblp_like(seeds::DBLP),
-        pokec_like(args.pokec_nodes, PokecAttr::Gender, seeds::POKEC),
-        pokec_like(args.pokec_nodes, PokecAttr::Age, seeds::POKEC),
-    ];
-    for d in &datasets {
-        let row = table1_row(d);
-        table.push(vec![
-            row.dataset,
-            row.n.to_string(),
-            row.edges.to_string(),
-            format_groups(&row.groups),
-        ]);
-    }
-    table.print();
-    table
-        .write_csv(&args.out_dir, "table1")
-        .expect("write table1 csv");
+    fair_submod_bench::scenario::alias_main("table1");
 }

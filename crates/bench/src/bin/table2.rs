@@ -1,37 +1,7 @@
-//! Table 2: statistics of the datasets in the FL experiments.
-
-use fair_submod_bench::args::ExpArgs;
-use fair_submod_bench::report::Table;
-use fair_submod_datasets::tables::{format_groups, table2_row};
-use fair_submod_datasets::{adult_like, foursquare_like, rand_fl, seeds, AdultSize, City};
+//! Alias binary: loads the built-in `table2` scenario spec
+//! (`crates/bench/specs/table2.json`) and runs it through the shared
+//! scenario runner. See `scenarios --list` and the crate docs.
 
 fn main() {
-    let args = ExpArgs::parse();
-    let mut table = Table::new(
-        "Table 2: statistics of datasets in the FL experiments",
-        &["dataset", "n", "m", "d", "groups"],
-    );
-    let datasets = vec![
-        rand_fl(2, seeds::FL),
-        rand_fl(3, seeds::FL + 1),
-        adult_like(AdultSize::SmallRace, seeds::FL + 2),
-        adult_like(AdultSize::Gender, seeds::FL + 3),
-        adult_like(AdultSize::Race, seeds::FL + 3),
-        foursquare_like(City::Nyc, seeds::FL + 4),
-        foursquare_like(City::Tky, seeds::FL + 5),
-    ];
-    for d in &datasets {
-        let row = table2_row(d);
-        table.push(vec![
-            row.dataset,
-            row.n.to_string(),
-            row.m.to_string(),
-            row.d.to_string(),
-            format_groups(&row.groups),
-        ]);
-    }
-    table.print();
-    table
-        .write_csv(&args.out_dir, "table2")
-        .expect("write table2 csv");
+    fair_submod_bench::scenario::alias_main("table2");
 }

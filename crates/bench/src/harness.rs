@@ -1,235 +1,157 @@
-//! Algorithm suite runner: one call per `(dataset, k, τ)` grid point,
-//! timing every algorithm of the paper's comparison and evaluating
-//! solutions with a caller-provided evaluator (oracle-exact for MC/FL,
-//! Monte-Carlo for IM).
+//! Registry-driven grid executor: one call sweeps a solver list over a
+//! `(k, τ, ε) × repetitions` grid on one oracle.
 //!
-//! The algorithm cells of a grid point are independent, so
-//! [`run_suite`] runs them concurrently across worker threads; results
-//! come back in the configured algorithm order and every cell is
-//! deterministic (all solvers are), so concurrency affects wall-clock
-//! time only. Per-cell `seconds` are still measured per algorithm but
-//! on a shared machine concurrent cells can inflate one another's
+//! The solver suite lives in
+//! [`fair_submod_core::engine::SolverRegistry`]; this module only
+//! handles the *grid* — expanding the axes into cells, running the
+//! cells concurrently across worker threads (they are independent, and
+//! every solver is deterministic for a fixed seed, so concurrency
+//! affects wall-clock time only), and re-evaluating each solution with
+//! a caller-provided evaluator (oracle-exact for MC/FL, Monte-Carlo for
+//! IM). Results come back in deterministic grid order. Capability gaps
+//! (SMSC on `c ≠ 2`, exact solvers over their size caps) come back as
+//! typed errors inside [`CellOutcome`], never as panics, so a sweep
+//! always completes. Per-cell `seconds` are measured per solver, but on
+//! a shared machine concurrent cells can inflate one another's
 //! wall-clock; for publication-grade runtime plots, pin
 //! `RAYON_NUM_THREADS=1`.
 
-use std::time::Instant;
-
 use rayon::prelude::*;
 
+use fair_submod_core::engine::{
+    DynUtilitySystem, ScenarioParams, SolveReport, SolverError, SolverRegistry,
+};
 use fair_submod_core::items::ItemId;
 use fair_submod_core::metrics::Evaluation;
-use fair_submod_core::prelude::*;
-use fair_submod_core::system::UtilitySystem;
 
-/// The algorithms of the paper's comparison (Section 5) plus sanity
-/// baselines.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Algo {
-    /// Classic greedy on `f` (fairness-unaware upper anchor for `f`).
-    Greedy,
-    /// Saturate on `g` (fairness-only anchor).
-    Saturate,
-    /// SMSC baseline (only valid when `c = 2`).
-    Smsc,
-    /// BSM-TSGreedy (Algorithm 1).
-    TsGreedy,
-    /// BSM-Saturate (Algorithm 2).
-    BsmSaturate,
-    /// Exact `BSM-Optimal` via submodular branch-and-bound.
-    BsmOptimal,
-    /// Uniform random subset.
-    Random,
-    /// Top-k singleton items by `f`-gain.
-    TopSingletons,
-}
+/// The five algorithms of the paper's comparison (Section 5), by
+/// registry name.
+pub const PAPER_SOLVERS: &[&str] = &["Greedy", "Saturate", "SMSC", "BSM-TSGreedy", "BSM-Saturate"];
 
-impl Algo {
-    /// Display name matching the paper's legends.
-    pub fn name(&self) -> &'static str {
-        match self {
-            Algo::Greedy => "Greedy",
-            Algo::Saturate => "Saturate",
-            Algo::Smsc => "SMSC",
-            Algo::TsGreedy => "BSM-TSGreedy",
-            Algo::BsmSaturate => "BSM-Saturate",
-            Algo::BsmOptimal => "BSM-Optimal",
-            Algo::Random => "Random",
-            Algo::TopSingletons => "TopSingletons",
-        }
-    }
-}
-
-/// Grid-point configuration for [`run_suite`].
+/// A solver grid: names × `k` × `τ` × `ε` × repetitions, plus the
+/// template parameters every cell inherits.
 #[derive(Clone, Debug)]
-pub struct SuiteConfig {
-    /// Cardinality constraint `k`.
-    pub k: usize,
-    /// Balance factor `τ`.
-    pub tau: f64,
-    /// BSM-Saturate's `ε` (paper default 0.05).
-    pub epsilon: f64,
-    /// Algorithms to run.
-    pub algos: Vec<Algo>,
-    /// Node budget for `BSM-Optimal`.
-    pub exact_node_limit: u64,
-    /// Disable Saturate's exact tiny-instance path (to benchmark the
-    /// pure approximation).
-    pub approximate_saturate: bool,
+pub struct GridConfig {
+    /// Registry names of the solvers to run.
+    pub solvers: Vec<String>,
+    /// Cardinality axis.
+    pub ks: Vec<usize>,
+    /// Balance-factor axis.
+    pub taus: Vec<f64>,
+    /// Error-parameter axis (usually the single paper default `0.05`).
+    pub epsilons: Vec<f64>,
+    /// Repetitions per cell; repetition `r` runs with `base.seed + r`,
+    /// so deterministic solvers repeat identically and randomized ones
+    /// re-sample reproducibly.
+    pub repetitions: usize,
+    /// Template parameters (seed, greedy variant, exact caps, …);
+    /// `k`/`tau`/`epsilon` are overwritten per cell.
+    pub base: ScenarioParams,
 }
 
-impl SuiteConfig {
-    /// The paper's default comparison at a `(k, τ)` grid point.
+impl GridConfig {
+    /// The paper's default comparison at a single `(k, τ)` grid point.
     pub fn paper(k: usize, tau: f64) -> Self {
         Self {
-            k,
-            tau,
-            epsilon: 0.05,
-            algos: vec![
-                Algo::Greedy,
-                Algo::Saturate,
-                Algo::Smsc,
-                Algo::TsGreedy,
-                Algo::BsmSaturate,
-            ],
-            exact_node_limit: 3_000_000,
-            approximate_saturate: false,
+            solvers: PAPER_SOLVERS.iter().map(|s| s.to_string()).collect(),
+            ks: vec![k],
+            taus: vec![tau],
+            epsilons: vec![0.05],
+            repetitions: 1,
+            base: ScenarioParams::new(k, tau),
         }
     }
 
     /// Adds `BSM-Optimal` to the comparison.
     pub fn with_optimal(mut self) -> Self {
-        self.algos.push(Algo::BsmOptimal);
+        self.solvers.push("BSM-Optimal".to_string());
         self
     }
-}
 
-/// One measured grid point for one algorithm.
-#[derive(Clone, Debug)]
-pub struct AlgoResult {
-    /// Algorithm display name.
-    pub algo: &'static str,
-    /// `k` of the grid point.
-    pub k: usize,
-    /// `τ` of the grid point.
-    pub tau: f64,
-    /// Utility `f(S)` per the experiment's evaluator.
-    pub f: f64,
-    /// Fairness `g(S)` per the experiment's evaluator.
-    pub g: f64,
-    /// The algorithm's internal `OPT'_g` estimate (0 when not computed).
-    pub opt_g_estimate: f64,
-    /// Whether the weak constraint `g(S) ≥ τ·OPT'_g` holds.
-    pub weakly_feasible: bool,
-    /// Wall-clock seconds for selection (not evaluation).
-    pub seconds: f64,
-    /// Solution size.
-    pub size: usize,
-    /// Whether the algorithm fell back to `S_g`.
-    pub fell_back: bool,
-    /// The chosen items.
-    pub items: Vec<ItemId>,
-}
-
-fn saturate_config(k: usize, approximate: bool) -> SaturateConfig {
-    let cfg = SaturateConfig::new(k);
-    if approximate {
-        cfg.approximate_only()
-    } else {
-        cfg
+    /// Number of cells this grid expands to.
+    pub fn num_cells(&self) -> usize {
+        self.solvers.len()
+            * self.ks.len()
+            * self.taus.len()
+            * self.epsilons.len()
+            * self.repetitions.max(1)
     }
 }
 
-/// Runs the configured algorithms on `system`, evaluating each solution
-/// with `evaluator` (pass [`fair_submod_core::metrics::evaluate`] for
-/// oracle-exact applications; a Monte-Carlo closure for IM).
-///
-/// Cells run concurrently (see the module docs); the result order
-/// matches `cfg.algos`.
-pub fn run_suite<S: UtilitySystem + Sync>(
-    system: &S,
-    evaluator: &(dyn Fn(&[ItemId]) -> Evaluation + Sync),
-    cfg: &SuiteConfig,
-) -> Vec<AlgoResult> {
-    let algos: Vec<Algo> = cfg
-        .algos
-        .iter()
-        .copied()
-        // SMSC is undefined for c ≠ 2, as in the paper.
-        .filter(|&algo| !(algo == Algo::Smsc && system.num_groups() != 2))
-        .collect();
-    algos
-        .into_par_iter()
-        .map(|algo| run_cell(system, evaluator, cfg, algo))
-        .collect()
+/// One executed `(solver, k, τ, ε, rep)` cell.
+#[derive(Clone, Debug)]
+pub struct CellOutcome {
+    /// Registry name of the solver.
+    pub solver: String,
+    /// `k` of the cell.
+    pub k: usize,
+    /// `τ` of the cell.
+    pub tau: f64,
+    /// `ε` of the cell.
+    pub epsilon: f64,
+    /// Repetition index (0-based).
+    pub rep: usize,
+    /// The solver's report — with `f`/`g`/`group_utilities` replaced by
+    /// the caller's evaluator — or its typed rejection.
+    pub outcome: Result<SolveReport, SolverError>,
 }
 
-/// One `(algorithm, grid point)` cell: select, time, evaluate.
-fn run_cell<S: UtilitySystem>(
-    system: &S,
+impl CellOutcome {
+    /// The report, if the cell succeeded.
+    pub fn report(&self) -> Option<&SolveReport> {
+        self.outcome.as_ref().ok()
+    }
+}
+
+/// Runs the grid on `system`, evaluating each solution with `evaluator`
+/// (pass [`fair_submod_core::metrics::evaluate`] for oracle-exact
+/// applications; a Monte-Carlo closure for IM).
+///
+/// Cells run concurrently (see the module docs); the result order is
+/// the deterministic grid order `k → τ → ε → rep → solver`.
+pub fn run_suite(
+    system: &dyn DynUtilitySystem,
     evaluator: &(dyn Fn(&[ItemId]) -> Evaluation + Sync),
-    cfg: &SuiteConfig,
-    algo: Algo,
-) -> AlgoResult {
-    {
-        let start = Instant::now();
-        let (items, opt_g_estimate, fell_back) = match algo {
-            Algo::Greedy => {
-                let f = MeanUtility::new(system.num_users());
-                let run = greedy(system, &f, &GreedyConfig::lazy(cfg.k));
-                (run.items, 0.0, false)
+    registry: &SolverRegistry,
+    grid: &GridConfig,
+) -> Vec<CellOutcome> {
+    let mut cells: Vec<(String, usize, f64, f64, usize)> = Vec::with_capacity(grid.num_cells());
+    for &k in &grid.ks {
+        for &tau in &grid.taus {
+            for &epsilon in &grid.epsilons {
+                for rep in 0..grid.repetitions.max(1) {
+                    for solver in &grid.solvers {
+                        cells.push((solver.clone(), k, tau, epsilon, rep));
+                    }
+                }
             }
-            Algo::Saturate => {
-                let run = saturate(system, &saturate_config(cfg.k, cfg.approximate_saturate));
-                (run.items, run.opt_g_estimate, false)
-            }
-            Algo::Smsc => {
-                let run = smsc(system, &SmscConfig::new(cfg.k));
-                (run.items, run.opt_g_estimate, run.fell_back)
-            }
-            Algo::TsGreedy => {
-                let mut tcfg = TsGreedyConfig::new(cfg.k, cfg.tau);
-                tcfg.saturate = saturate_config(cfg.k, cfg.approximate_saturate);
-                let run = bsm_tsgreedy(system, &tcfg);
-                (run.items, run.opt_g_estimate, run.fell_back)
-            }
-            Algo::BsmSaturate => {
-                let mut bcfg = BsmSaturateConfig::new(cfg.k, cfg.tau).with_epsilon(cfg.epsilon);
-                bcfg.saturate = saturate_config(cfg.k, cfg.approximate_saturate);
-                let run = bsm_saturate(system, &bcfg);
-                (run.items, run.opt_g_estimate, run.fell_back)
-            }
-            Algo::BsmOptimal => {
-                let mut ecfg = ExactConfig::new(cfg.k, cfg.tau);
-                ecfg.node_limit = cfg.exact_node_limit;
-                let run = branch_and_bound_bsm(system, &ecfg);
-                (run.items, run.opt_g, !run.complete)
-            }
-            Algo::Random => {
-                let (items, _) = random_subset(system, cfg.k, 42);
-                (items, 0.0, false)
-            }
-            Algo::TopSingletons => {
-                let f = MeanUtility::new(system.num_users());
-                let (items, _) = top_singletons(system, &f, cfg.k);
-                (items, 0.0, false)
-            }
-        };
-        let seconds = start.elapsed().as_secs_f64();
-        let eval = evaluator(&items);
-        AlgoResult {
-            algo: algo.name(),
-            k: cfg.k,
-            tau: cfg.tau,
-            f: eval.f,
-            g: eval.g,
-            opt_g_estimate,
-            weakly_feasible: eval.g + 1e-9 >= cfg.tau * opt_g_estimate,
-            seconds,
-            size: eval.size,
-            fell_back,
-            items,
         }
     }
+    cells
+        .into_par_iter()
+        .map(|(solver, k, tau, epsilon, rep)| {
+            let mut params = grid.base.clone();
+            params.k = k;
+            params.tau = tau;
+            params.epsilon = epsilon;
+            params.seed = grid.base.seed.wrapping_add(rep as u64);
+            let outcome = registry.solve(&solver, system, &params).map(|mut report| {
+                let eval = evaluator(&report.items);
+                report.f = eval.f;
+                report.g = eval.g;
+                report.group_utilities = eval.group_means;
+                report
+            });
+            CellOutcome {
+                solver,
+                k,
+                tau,
+                epsilon,
+                rep,
+                outcome,
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -241,9 +163,10 @@ mod tests {
     #[test]
     fn suite_runs_all_paper_algorithms_on_figure1() {
         let sys = toy::figure1();
-        let cfg = SuiteConfig::paper(2, 0.5).with_optimal();
-        let results = run_suite(&sys, &|items| evaluate(&sys, items), &cfg);
-        let names: Vec<&str> = results.iter().map(|r| r.algo).collect();
+        let registry = SolverRegistry::default();
+        let grid = GridConfig::paper(2, 0.5).with_optimal();
+        let results = run_suite(&sys, &|items| evaluate(&sys, items), &registry, &grid);
+        let names: Vec<&str> = results.iter().map(|r| r.solver.as_str()).collect();
         assert_eq!(
             names,
             vec![
@@ -255,23 +178,52 @@ mod tests {
                 "BSM-Optimal"
             ]
         );
+        let greedy_f = results[0].report().expect("greedy runs").f;
         for r in &results {
-            assert!(r.size <= 2);
-            assert!(r.f >= 0.0 && r.f <= 1.0);
-            assert!(r.seconds >= 0.0);
-        }
-        // Greedy maximizes f among the suite.
-        let greedy_f = results[0].f;
-        for r in &results {
-            assert!(r.f <= greedy_f + 1e-9, "{} beat Greedy on f", r.algo);
+            let report = r.outcome.as_ref().expect("all paper solvers run on c=2");
+            assert!(report.items.len() <= 2);
+            assert!(report.f >= 0.0 && report.f <= 1.0);
+            assert!(report.seconds >= 0.0);
+            assert!(report.f <= greedy_f + 1e-9, "{} beat Greedy on f", r.solver);
         }
     }
 
     #[test]
-    fn smsc_skipped_when_c_not_two() {
+    fn smsc_cell_is_a_typed_error_when_c_not_two() {
         let sys = toy::random_coverage(10, 30, 3, 0.2, 1);
-        let cfg = SuiteConfig::paper(3, 0.5);
-        let results = run_suite(&sys, &|items| evaluate(&sys, items), &cfg);
-        assert!(results.iter().all(|r| r.algo != "SMSC"));
+        let registry = SolverRegistry::default();
+        let grid = GridConfig::paper(3, 0.5);
+        let results = run_suite(&sys, &|items| evaluate(&sys, items), &registry, &grid);
+        let smsc = results.iter().find(|r| r.solver == "SMSC").unwrap();
+        assert!(matches!(
+            smsc.outcome,
+            Err(SolverError::UnsupportedGroupCount { got: 3, .. })
+        ));
+        // The rest of the grid point still ran.
+        assert!(results.iter().filter(|r| r.outcome.is_ok()).count() >= 4);
+    }
+
+    #[test]
+    fn grid_axes_expand_in_deterministic_order() {
+        let sys = toy::figure1();
+        let registry = SolverRegistry::default();
+        let mut grid = GridConfig::paper(2, 0.2);
+        grid.solvers = vec!["Greedy".into(), "Random".into()];
+        grid.taus = vec![0.2, 0.8];
+        grid.repetitions = 2;
+        let results = run_suite(&sys, &|items| evaluate(&sys, items), &registry, &grid);
+        assert_eq!(results.len(), grid.num_cells());
+        assert_eq!(results.len(), 8);
+        assert_eq!(results[0].tau, 0.2);
+        assert_eq!(results[0].rep, 0);
+        assert_eq!(results[2].rep, 1);
+        assert_eq!(results[4].tau, 0.8);
+        // Repetitions shift the seed: Random may differ across reps but
+        // both reps of a deterministic solver agree.
+        let greedy: Vec<&CellOutcome> = results.iter().filter(|r| r.solver == "Greedy").collect();
+        assert_eq!(
+            greedy[0].report().unwrap().items,
+            greedy[1].report().unwrap().items
+        );
     }
 }

@@ -1,9 +1,24 @@
 //! # fair-submod-bench
 //!
-//! Experiment harness regenerating every table and figure of the paper's
-//! evaluation (Section 5 and Appendix B). One binary per experiment:
+//! Experiment harness regenerating every table and figure of the
+//! paper's evaluation (Section 5 and Appendix B), built on the solver
+//! registry in [`fair_submod_core::engine`]:
 //!
-//! | Binary | Paper artifact |
+//! * [`harness`] — the registry-driven grid executor: expands a
+//!   `(solver, k, τ, ε) × repetitions` grid into cells, runs them
+//!   concurrently, and records capability gaps as typed errors.
+//! * [`scenario`] — the declarative layer: serde-backed
+//!   [`scenario::ScenarioSpec`]s (dataset recipes + substrate + solver
+//!   list + grids) executed by [`scenario::run_spec`], with every run
+//!   persisted as a JSON report artifact.
+//! * [`report`] — aligned stdout tables and CSV export.
+//! * [`args`] — the shared `--quick`/`--out`/… CLI flags.
+//!
+//! Each paper artifact is a built-in spec (see
+//! [`scenario::builtin_specs`]); the historical binary names are thin
+//! aliases over the shared `scenarios` runner:
+//!
+//! | Spec / binary | Paper artifact |
 //! |---|---|
 //! | `table1`, `table2` | dataset statistics |
 //! | `fig3` | MC, vary τ (RAND c=2/c=4, DBLP) incl. `BSM-Optimal` |
@@ -15,12 +30,18 @@
 //! | `fig9` | BSM-Saturate, vary ε (Appendix B) |
 //! | `fig10` | MC+IM, vary τ on Facebook (Appendix B) |
 //! | `fig11` | MC+IM, vary k on DBLP (Appendix B) |
+//! | `smoke` | CI: every registered solver on tiny instances |
 //!
-//! Run with `cargo run -p fair-submod-bench --release --bin fig3`.
-//! Common flags: `--quick` (coarser sweeps), `--out <dir>` (CSV output
-//! directory, default `experiments/`), `--pokec-nodes <n>`,
-//! `--mc-runs <n>` (Monte-Carlo evaluation runs).
+//! Run any spec with `cargo run -p fair-submod-bench --release --bin
+//! scenarios -- --spec fig3` (or via its alias binary, e.g. `--bin
+//! fig3`), and custom experiments with `--spec path/to/spec.json`.
+//! Common flags: `--quick` (thinned grids, exact solvers dropped),
+//! `--out <dir>` (CSV/report output directory, default `experiments/`),
+//! `--strict` (non-zero exit on rejected cells or empty solutions),
+//! `--report <path>` (JSON artifact path), `--pokec-nodes <n>`,
+//! `--mc-runs <n>`, `--rr-sets <n>`.
 
 pub mod args;
 pub mod harness;
 pub mod report;
+pub mod scenario;

@@ -4,7 +4,7 @@ use std::fs;
 use std::io::Write;
 use std::path::Path;
 
-use crate::harness::AlgoResult;
+use crate::harness::CellOutcome;
 
 /// A simple column-aligned text table.
 #[derive(Clone, Debug)]
@@ -98,35 +98,65 @@ impl Table {
     }
 }
 
-/// Standard headers for algorithm-comparison tables.
+/// Standard headers for solver-comparison tables. Every grid axis —
+/// including `epsilon` (the x-axis of the fig9 sweep) and `rep` — gets
+/// a column, so cells stay distinguishable in the CSV artifact.
 pub const RESULT_HEADERS: &[&str] = &[
     "dataset",
-    "algo",
+    "solver",
     "k",
     "tau",
+    "epsilon",
+    "rep",
     "f(S)",
     "g(S)",
     "tau*OPT'_g",
     "weak_ok",
     "size",
     "time_s",
+    "status",
 ];
 
-/// Appends suite results to a table with [`RESULT_HEADERS`].
-pub fn push_results(table: &mut Table, dataset: &str, results: &[AlgoResult]) {
+/// Appends grid cells to a table with [`RESULT_HEADERS`]. Rejected
+/// cells (typed [`fair_submod_core::engine::SolverError`]s) keep their
+/// row, with the error in the `status` column, so capability gaps are
+/// visible in the artifact instead of silently dropped.
+pub fn push_results(table: &mut Table, dataset: &str, results: &[CellOutcome]) {
     for r in results {
-        table.push(vec![
+        let key = vec![
             dataset.to_string(),
-            r.algo.to_string(),
+            r.solver.clone(),
             r.k.to_string(),
             format!("{:.2}", r.tau),
-            format!("{:.6}", r.f),
-            format!("{:.6}", r.g),
-            format!("{:.6}", r.tau * r.opt_g_estimate),
-            if r.weakly_feasible { "yes" } else { "NO" }.to_string(),
-            r.size.to_string(),
-            format!("{:.3}", r.seconds),
-        ]);
+            format!("{:.2}", r.epsilon),
+            r.rep.to_string(),
+        ];
+        match &r.outcome {
+            Ok(report) => {
+                let mut row = key;
+                row.extend([
+                    format!("{:.6}", report.f),
+                    format!("{:.6}", report.g),
+                    format!("{:.6}", r.tau * report.opt_g_estimate),
+                    if report.weakly_feasible() {
+                        "yes"
+                    } else {
+                        "NO"
+                    }
+                    .to_string(),
+                    report.items.len().to_string(),
+                    format!("{:.3}", report.seconds),
+                    "ok".to_string(),
+                ]);
+                table.push(row);
+            }
+            Err(error) => {
+                let mut row = key;
+                row.extend(vec!["-".to_string(); 6]);
+                row.push(error.to_string());
+                table.push(row);
+            }
+        }
     }
 }
 

@@ -27,6 +27,14 @@
 //! * [`pareto`] — τ-sweep Pareto frontier extraction with hypervolume.
 //! * [`local_search`] — pairwise-interchange refinement (optionally
 //!   fairness-constrained).
+//!
+//! Every entry point above is also registered, by name, as a
+//! [`crate::engine::Solver`] in [`crate::engine::SolverRegistry`] — the
+//! uniform execution boundary the experiment harness, examples, and
+//! cross-solver tests drive. Call the free functions directly when you
+//! hold a concrete system and want an algorithm's full typed outcome;
+//! go through the registry when you are sweeping a scenario grid or
+//! need solvers behind one interface.
 
 pub mod baselines;
 pub mod bsm_saturate;

@@ -107,41 +107,57 @@ pub fn pareto_frontier<S: UtilitySystem>(system: &S, cfg: &FrontierConfig) -> Fr
         })
         .collect();
 
-    // Pareto filtering: point p is dominated if another point is ≥ in
-    // both coordinates and > in one.
-    for i in 0..points.len() {
-        let (fi, gi) = (points[i].f, points[i].g);
-        let dominated = points.iter().enumerate().any(|(j, q)| {
-            j != i
-                && q.f >= fi - 1e-12
-                && q.g >= gi - 1e-12
-                && (q.f > fi + 1e-12 || q.g > gi + 1e-12)
-        });
-        points[i].on_frontier = !dominated;
+    let flags = pareto_filter(&points.iter().map(|p| (p.f, p.g)).collect::<Vec<_>>());
+    for (p, on) in points.iter_mut().zip(flags) {
+        p.on_frontier = on;
     }
 
-    // Hypervolume via the staircase integral over the sorted frontier.
-    let mut frontier: Vec<(f64, f64)> = points
-        .iter()
-        .filter(|p| p.on_frontier)
-        .map(|p| (p.g, p.f))
-        .collect();
-    frontier.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-    let mut hypervolume = 0.0;
-    let mut prev_g = 0.0;
-    // Descending-f staircase from left (low g, high f) to right.
-    for &(g, f) in &frontier {
-        hypervolume += (g - prev_g).max(0.0) * f_at_or_right(&frontier, g);
-        let _ = f;
-        prev_g = g;
-    }
-    // Left-most block from g = 0 handled in the loop via prev_g = 0; add
-    // the block before the first point (covered when first g > 0 uses
-    // the max f, which is f_at_or_right(0)).
+    let hypervolume = hypervolume(
+        &points
+            .iter()
+            .filter(|p| p.on_frontier)
+            .map(|p| (p.f, p.g))
+            .collect::<Vec<_>>(),
+    );
     Frontier {
         points,
         hypervolume,
     }
+}
+
+/// Marks the non-dominated points of a set of `(f, g)` pairs: entry `i`
+/// is `true` iff no other point is ≥ in both coordinates and > in one.
+pub fn pareto_filter(points: &[(f64, f64)]) -> Vec<bool> {
+    points
+        .iter()
+        .enumerate()
+        .map(|(i, &(fi, gi))| {
+            !points.iter().enumerate().any(|(j, q)| {
+                j != i
+                    && q.0 >= fi - 1e-12
+                    && q.1 >= gi - 1e-12
+                    && (q.0 > fi + 1e-12 || q.1 > gi + 1e-12)
+            })
+        })
+        .collect()
+}
+
+/// Dominated-area indicator of a frontier of `(f, g)` pairs w.r.t. the
+/// origin: the area of `∪_p [0, f_p] × [0, g_p]`, computed as a
+/// staircase integral.
+pub fn hypervolume(points: &[(f64, f64)]) -> f64 {
+    let mut frontier: Vec<(f64, f64)> = points.iter().map(|&(f, g)| (g, f)).collect();
+    frontier.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    let mut volume = 0.0;
+    let mut prev_g = 0.0;
+    // Descending-f staircase from left (low g, high f) to right; the
+    // block before the first point uses the overall max f
+    // (f_at_or_right(0)) via prev_g = 0.
+    for &(g, _) in &frontier {
+        volume += (g - prev_g).max(0.0) * f_at_or_right(&frontier, g);
+        prev_g = g;
+    }
+    volume
 }
 
 /// The best `f` among frontier points with `g ≥ g0` (staircase height).

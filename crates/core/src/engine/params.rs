@@ -1,0 +1,209 @@
+//! Uniform solver parameters for one grid cell.
+
+use serde::json::{obj, Error, Value};
+use serde::{FromJson, ToJson};
+
+use crate::algorithms::greedy::GreedyVariant;
+
+/// Parameters of one `(k, τ, ε, …)` scenario cell, understood by every
+/// registered solver. Solvers read the fields they care about and
+/// ignore the rest — `k` and `tau` are the paper's grid axes, the rest
+/// carry sensible defaults so specs only override what they sweep.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioParams {
+    /// Cardinality constraint `k`.
+    pub k: usize,
+    /// Balance factor `τ ∈ [0, 1]`.
+    pub tau: f64,
+    /// Error parameter `ε` (BSM-Saturate bisection, sieve grid).
+    pub epsilon: f64,
+    /// Seed for randomized solvers (Random, StochasticGreedy-style
+    /// sampling, RandomGreedy, GreeDi sharding).
+    pub seed: u64,
+    /// Greedy evaluation strategy for greedy-driven solvers.
+    pub variant: GreedyVariant,
+    /// Disable Saturate's exact tiny-instance path (pure approximation).
+    pub approximate_saturate: bool,
+    /// Node budget for the branch-and-bound exact solver.
+    pub exact_node_limit: u64,
+    /// Ground-set size cap for exact solvers: a grid with
+    /// `num_items > exact_item_cap` is refused with a typed error
+    /// instead of being attempted.
+    pub exact_item_cap: usize,
+    /// Subset-count cap for brute force: refused when `C(n, k)` exceeds
+    /// this.
+    pub exact_subset_limit: f64,
+    /// Number of shards for GreeDi.
+    pub shards: usize,
+    /// MWU rounds.
+    pub mwu_rounds: usize,
+    /// Knapsack budget (unit costs); defaults to `k` when `None`.
+    pub knapsack_budget: Option<f64>,
+    /// τ grid for the Pareto sweep solver.
+    pub sweep_taus: Vec<f64>,
+}
+
+impl ScenarioParams {
+    /// Paper defaults for a `(k, τ)` cell: `ε = 0.05`, lazy-forward
+    /// greedy, seed 42, 4 GreeDi shards, 30 MWU rounds, an 11-point
+    /// Pareto τ grid, and exact caps of 500 items / 2·10⁶ subsets.
+    pub fn new(k: usize, tau: f64) -> Self {
+        Self {
+            k,
+            tau,
+            epsilon: 0.05,
+            seed: 42,
+            variant: GreedyVariant::Lazy,
+            approximate_saturate: false,
+            exact_node_limit: 3_000_000,
+            exact_item_cap: 500,
+            exact_subset_limit: 2.0e6,
+            shards: 4,
+            mwu_rounds: 30,
+            knapsack_budget: None,
+            sweep_taus: (0..=10).map(|i| i as f64 / 10.0).collect(),
+        }
+    }
+
+    /// Sets `ε`.
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Sets the seed for randomized solvers.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+fn variant_to_json(v: &GreedyVariant) -> Value {
+    match v {
+        GreedyVariant::Naive => Value::Str("naive".into()),
+        GreedyVariant::Lazy => Value::Str("lazy".into()),
+        GreedyVariant::Stochastic { sample_size } => {
+            obj([("stochastic_sample_size", Value::Num(*sample_size as f64))])
+        }
+    }
+}
+
+fn variant_from_json(v: &Value) -> Result<GreedyVariant, Error> {
+    match v {
+        Value::Str(s) if s == "naive" => Ok(GreedyVariant::Naive),
+        Value::Str(s) if s == "lazy" => Ok(GreedyVariant::Lazy),
+        Value::Obj(_) => {
+            let sample_size = v
+                .get("stochastic_sample_size")
+                .and_then(Value::as_usize)
+                .ok_or_else(|| Error::msg("stochastic variant needs stochastic_sample_size"))?;
+            Ok(GreedyVariant::Stochastic { sample_size })
+        }
+        _ => Err(Error::msg(format!("unknown greedy variant {v}"))),
+    }
+}
+
+impl ToJson for ScenarioParams {
+    fn to_json(&self) -> Value {
+        obj([
+            ("k", Value::Num(self.k as f64)),
+            ("tau", Value::Num(self.tau)),
+            ("epsilon", Value::Num(self.epsilon)),
+            ("seed", Value::Num(self.seed as f64)),
+            ("variant", variant_to_json(&self.variant)),
+            (
+                "approximate_saturate",
+                Value::Bool(self.approximate_saturate),
+            ),
+            ("exact_node_limit", Value::Num(self.exact_node_limit as f64)),
+            ("exact_item_cap", Value::Num(self.exact_item_cap as f64)),
+            ("exact_subset_limit", Value::Num(self.exact_subset_limit)),
+            ("shards", Value::Num(self.shards as f64)),
+            ("mwu_rounds", Value::Num(self.mwu_rounds as f64)),
+            (
+                "knapsack_budget",
+                match self.knapsack_budget {
+                    Some(b) => Value::Num(b),
+                    None => Value::Null,
+                },
+            ),
+            (
+                "sweep_taus",
+                Value::Arr(self.sweep_taus.iter().map(|&t| Value::Num(t)).collect()),
+            ),
+        ])
+    }
+}
+
+impl FromJson for ScenarioParams {
+    fn from_json(value: &Value) -> Result<Self, Error> {
+        let k = value
+            .get("k")
+            .and_then(Value::as_usize)
+            .ok_or_else(|| Error::msg("params need an integer k"))?;
+        let tau = value
+            .get("tau")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| Error::msg("params need a numeric tau"))?;
+        // Everything else is optional with the `new` defaults.
+        let mut params = ScenarioParams::new(k, tau);
+        if let Some(x) = value.get("epsilon").and_then(Value::as_f64) {
+            params.epsilon = x;
+        }
+        if let Some(x) = value.get("seed").and_then(Value::as_u64) {
+            params.seed = x;
+        }
+        if let Some(v) = value.get("variant") {
+            params.variant = variant_from_json(v)?;
+        }
+        if let Some(x) = value.get("approximate_saturate").and_then(Value::as_bool) {
+            params.approximate_saturate = x;
+        }
+        if let Some(x) = value.get("exact_node_limit").and_then(Value::as_u64) {
+            params.exact_node_limit = x;
+        }
+        if let Some(x) = value.get("exact_item_cap").and_then(Value::as_usize) {
+            params.exact_item_cap = x;
+        }
+        if let Some(x) = value.get("exact_subset_limit").and_then(Value::as_f64) {
+            params.exact_subset_limit = x;
+        }
+        if let Some(x) = value.get("shards").and_then(Value::as_usize) {
+            params.shards = x;
+        }
+        if let Some(x) = value.get("mwu_rounds").and_then(Value::as_usize) {
+            params.mwu_rounds = x;
+        }
+        if let Some(v) = value.get("knapsack_budget") {
+            params.knapsack_budget = v.as_f64();
+        }
+        if let Some(v) = value.get("sweep_taus") {
+            params.sweep_taus = v
+                .as_f64_vec()
+                .ok_or_else(|| Error::msg("sweep_taus must be an array of numbers"))?;
+        }
+        Ok(params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_round_trip_through_json() {
+        let mut params = ScenarioParams::new(7, 0.8).with_epsilon(0.2).with_seed(9);
+        params.variant = GreedyVariant::Stochastic { sample_size: 50 };
+        params.knapsack_budget = Some(3.5);
+        params.sweep_taus = vec![0.0, 0.5, 1.0];
+        let back = ScenarioParams::from_json_str(&params.to_json_pretty()).unwrap();
+        assert_eq!(back, params);
+    }
+
+    #[test]
+    fn sparse_json_fills_defaults() {
+        let params = ScenarioParams::from_json_str(r#"{"k": 4, "tau": 0.5}"#).unwrap();
+        assert_eq!(params, ScenarioParams::new(4, 0.5));
+        assert!(ScenarioParams::from_json_str(r#"{"tau": 0.5}"#).is_err());
+    }
+}

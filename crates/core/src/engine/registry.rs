@@ -1,0 +1,200 @@
+//! The [`Solver`] trait and the name-indexed [`SolverRegistry`].
+
+use std::time::Instant;
+
+use super::erased::DynUtilitySystem;
+use super::params::ScenarioParams;
+use super::report::{SolveReport, SolverError};
+
+/// Capability flags a solver declares so schedulers and tests can
+/// reason about it without special-casing names.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Capabilities {
+    /// Defined only for systems with exactly two groups (SMSC).
+    pub requires_two_groups: bool,
+    /// Produces the true optimum (and therefore carries size caps).
+    pub exact: bool,
+    /// Output depends on [`ScenarioParams::seed`] (still deterministic
+    /// for a fixed seed).
+    pub randomized: bool,
+    /// Reads the balance factor `τ` (fairness-aware solvers).
+    pub uses_tau: bool,
+}
+
+/// One uniform execution boundary over the whole algorithm suite.
+///
+/// A solver receives a type-erased oracle and the scenario cell's
+/// parameters, and either returns a [`SolveReport`] or rejects the cell
+/// with a typed [`SolverError`] — never a panic — so a registry-driven
+/// grid can sweep every solver over every cell and record capability
+/// gaps in the report instead of crashing the run.
+pub trait Solver: Send + Sync {
+    /// Stable registry name (used in scenario specs and figure legends).
+    fn name(&self) -> &'static str;
+
+    /// Capability flags.
+    fn capabilities(&self) -> Capabilities;
+
+    /// Runs the solver on one scenario cell.
+    fn solve(
+        &self,
+        system: &dyn DynUtilitySystem,
+        params: &ScenarioParams,
+    ) -> Result<SolveReport, SolverError>;
+}
+
+/// Name-indexed collection of solvers; the execution boundary the
+/// bench harness, examples, and cross-solver tests all drive.
+///
+/// [`SolverRegistry::default`] registers the full suite — every
+/// `core::algorithms` entry point. New objectives plug in as additional
+/// [`Solver`] impls via [`SolverRegistry::register`] instead of another
+/// copy of the experiment grid.
+pub struct SolverRegistry {
+    solvers: Vec<Box<dyn Solver>>,
+}
+
+impl SolverRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self {
+            solvers: Vec::new(),
+        }
+    }
+
+    /// Registers a solver; a later registration under an existing name
+    /// replaces the earlier one (in place, preserving order).
+    pub fn register(&mut self, solver: Box<dyn Solver>) {
+        match self.solvers.iter_mut().find(|s| s.name() == solver.name()) {
+            Some(slot) => *slot = solver,
+            None => self.solvers.push(solver),
+        }
+    }
+
+    /// Looks up a solver by its exact registry name.
+    pub fn get(&self, name: &str) -> Option<&dyn Solver> {
+        self.solvers
+            .iter()
+            .find(|s| s.name() == name)
+            .map(Box::as_ref)
+    }
+
+    /// Registered names, in registration order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.solvers.iter().map(|s| s.name()).collect()
+    }
+
+    /// Number of registered solvers.
+    pub fn len(&self) -> usize {
+        self.solvers.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.solvers.is_empty()
+    }
+
+    /// Runs the named solver on one cell, filling in the report's
+    /// wall-clock `seconds`.
+    pub fn solve(
+        &self,
+        name: &str,
+        system: &dyn DynUtilitySystem,
+        params: &ScenarioParams,
+    ) -> Result<SolveReport, SolverError> {
+        let solver = self.get(name).ok_or_else(|| SolverError::UnknownSolver {
+            name: name.to_string(),
+        })?;
+        let start = Instant::now();
+        let mut report = solver.solve(system, params)?;
+        report.seconds = start.elapsed().as_secs_f64();
+        Ok(report)
+    }
+}
+
+impl Default for SolverRegistry {
+    /// The full suite: all 16 `core::algorithms` entry points as
+    /// registry entries (see [`super::adapters`]).
+    fn default() -> Self {
+        let mut registry = Self::new();
+        for solver in super::adapters::all_solvers() {
+            registry.register(solver);
+        }
+        registry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy;
+
+    #[test]
+    fn default_registry_has_all_sixteen_entry_points() {
+        let registry = SolverRegistry::default();
+        let names = registry.names();
+        assert_eq!(names.len(), 16, "registry names: {names:?}");
+        for expected in [
+            "Greedy",
+            "Saturate",
+            "SMSC",
+            "BSM-TSGreedy",
+            "BSM-Saturate",
+            "BSM-Optimal",
+            "BruteForce",
+            "Random",
+            "TopSingletons",
+            "SieveStreaming",
+            "GreeDi",
+            "Knapsack",
+            "LocalSearch",
+            "RandomGreedy",
+            "MWU",
+            "ParetoSweep",
+        ] {
+            assert!(registry.get(expected).is_some(), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn unknown_names_are_typed_errors() {
+        let registry = SolverRegistry::default();
+        let sys = toy::figure1();
+        let err = registry
+            .solve("NotASolver", &sys, &ScenarioParams::new(2, 0.5))
+            .unwrap_err();
+        assert!(matches!(err, SolverError::UnknownSolver { .. }));
+    }
+
+    #[test]
+    fn registration_replaces_by_name() {
+        struct Stub;
+        impl Solver for Stub {
+            fn name(&self) -> &'static str {
+                "Greedy"
+            }
+            fn capabilities(&self) -> Capabilities {
+                Capabilities::default()
+            }
+            fn solve(
+                &self,
+                _system: &dyn crate::engine::DynUtilitySystem,
+                _params: &ScenarioParams,
+            ) -> Result<SolveReport, SolverError> {
+                Err(SolverError::InvalidParams {
+                    solver: "Greedy".into(),
+                    message: "stub".into(),
+                })
+            }
+        }
+        let mut registry = SolverRegistry::default();
+        let before = registry.len();
+        registry.register(Box::new(Stub));
+        assert_eq!(registry.len(), before);
+        let sys = toy::figure1();
+        let err = registry
+            .solve("Greedy", &sys, &ScenarioParams::new(2, 0.5))
+            .unwrap_err();
+        assert!(matches!(err, SolverError::InvalidParams { .. }));
+    }
+}

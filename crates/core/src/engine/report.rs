@@ -1,0 +1,325 @@
+//! The uniform result of any registered solver, plus typed rejection
+//! errors for capability gaps.
+
+use std::fmt;
+
+use serde::json::{obj, Error, Value};
+use serde::{FromJson, ToJson};
+
+use crate::items::ItemId;
+use crate::metrics::Evaluation;
+
+/// Uniform report of one solver run on one scenario cell.
+///
+/// Every solver — greedy anchors, the two BSM schemes, exact solvers,
+/// baselines, and the extensions — reports through this one shape, so
+/// the grid executor, figures, and persisted JSON artifacts never need
+/// per-algorithm cases.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SolveReport {
+    /// Registry name of the solver that produced this report.
+    pub solver: String,
+    /// Cardinality constraint `k` of the cell.
+    pub k: usize,
+    /// Balance factor `τ` of the cell.
+    pub tau: f64,
+    /// Chosen items in insertion order.
+    pub items: Vec<ItemId>,
+    /// Utility `f(S) = (1/m) Σ_u f_u(S)`.
+    pub f: f64,
+    /// Fairness `g(S) = min_i f_i(S)`.
+    pub g: f64,
+    /// The solver's *own* final objective value `F` — what it was
+    /// maximizing: `f` for utility solvers, `g` for robust solvers, the
+    /// constrained `f` for the BSM schemes and exact solvers.
+    pub objective: f64,
+    /// Per-group mean utilities `f_i(S)`.
+    pub group_utilities: Vec<f64>,
+    /// Internal `OPT'_f` estimate (0 when not computed).
+    pub opt_f_estimate: f64,
+    /// Internal `OPT'_g` estimate (0 when not computed).
+    pub opt_g_estimate: f64,
+    /// Whether the solver fell back to its fairness-first solution.
+    pub fell_back: bool,
+    /// Oracle (`group_gains`) evaluations performed.
+    pub oracle_calls: u64,
+    /// Selection wall-clock seconds (filled by the registry wrapper).
+    pub seconds: f64,
+    /// Solver-specific diagnostics (bisection rounds, hypervolume,
+    /// accepted swaps, …) as labeled scalars.
+    pub notes: Vec<(String, f64)>,
+}
+
+impl SolveReport {
+    /// Builds a report from a solution evaluation; estimates, accounting
+    /// fields, and notes start at their zero values.
+    pub fn from_eval(
+        solver: impl Into<String>,
+        k: usize,
+        tau: f64,
+        items: Vec<ItemId>,
+        eval: &Evaluation,
+        objective: f64,
+    ) -> Self {
+        Self {
+            solver: solver.into(),
+            k,
+            tau,
+            items,
+            f: eval.f,
+            g: eval.g,
+            objective,
+            group_utilities: eval.group_means.clone(),
+            opt_f_estimate: 0.0,
+            opt_g_estimate: 0.0,
+            fell_back: false,
+            oracle_calls: 0,
+            seconds: 0.0,
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a labeled diagnostic scalar.
+    pub fn note(mut self, label: impl Into<String>, value: f64) -> Self {
+        self.notes.push((label.into(), value));
+        self
+    }
+
+    /// Whether the weak BSM constraint `g(S) ≥ τ·OPT'_g` holds (with a
+    /// small numerical slack).
+    pub fn weakly_feasible(&self) -> bool {
+        self.g + 1e-9 >= self.tau * self.opt_g_estimate
+    }
+}
+
+impl ToJson for SolveReport {
+    fn to_json(&self) -> Value {
+        obj([
+            ("solver", Value::Str(self.solver.clone())),
+            ("k", Value::Num(self.k as f64)),
+            ("tau", Value::Num(self.tau)),
+            (
+                "items",
+                Value::Arr(self.items.iter().map(|&v| Value::Num(v as f64)).collect()),
+            ),
+            ("f", Value::Num(self.f)),
+            ("g", Value::Num(self.g)),
+            ("objective", Value::Num(self.objective)),
+            (
+                "group_utilities",
+                Value::Arr(
+                    self.group_utilities
+                        .iter()
+                        .map(|&x| Value::Num(x))
+                        .collect(),
+                ),
+            ),
+            ("opt_f_estimate", Value::Num(self.opt_f_estimate)),
+            ("opt_g_estimate", Value::Num(self.opt_g_estimate)),
+            ("fell_back", Value::Bool(self.fell_back)),
+            ("oracle_calls", Value::Num(self.oracle_calls as f64)),
+            ("seconds", Value::Num(self.seconds)),
+            (
+                "notes",
+                Value::Obj(
+                    self.notes
+                        .iter()
+                        .map(|(label, x)| (label.clone(), Value::Num(*x)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl FromJson for SolveReport {
+    fn from_json(value: &Value) -> Result<Self, Error> {
+        let num_field = |key: &str| -> Result<f64, Error> {
+            value
+                .get(key)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| Error::msg(format!("report needs numeric '{key}'")))
+        };
+        let items: Vec<ItemId> = value
+            .get("items")
+            .and_then(Value::as_usize_vec)
+            .ok_or_else(|| Error::msg("report needs an items array of non-negative integers"))?
+            .into_iter()
+            .map(|x| x as ItemId)
+            .collect();
+        let group_utilities = value
+            .get("group_utilities")
+            .and_then(Value::as_f64_vec)
+            .ok_or_else(|| Error::msg("report needs a numeric group_utilities array"))?;
+        let notes = match value.get("notes") {
+            Some(Value::Obj(pairs)) => pairs
+                .iter()
+                .map(|(label, v)| {
+                    v.as_f64()
+                        .map(|x| (label.clone(), x))
+                        .ok_or_else(|| Error::msg("notes must be numbers"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => Vec::new(),
+        };
+        Ok(Self {
+            solver: value
+                .get("solver")
+                .and_then(Value::as_str)
+                .ok_or_else(|| Error::msg("report needs a solver name"))?
+                .to_string(),
+            k: num_field("k")? as usize,
+            tau: num_field("tau")?,
+            items,
+            f: num_field("f")?,
+            g: num_field("g")?,
+            objective: num_field("objective")?,
+            group_utilities,
+            opt_f_estimate: num_field("opt_f_estimate")?,
+            opt_g_estimate: num_field("opt_g_estimate")?,
+            fell_back: value
+                .get("fell_back")
+                .and_then(Value::as_bool)
+                .unwrap_or(false),
+            oracle_calls: value
+                .get("oracle_calls")
+                .and_then(Value::as_u64)
+                .unwrap_or(0),
+            seconds: value.get("seconds").and_then(Value::as_f64).unwrap_or(0.0),
+            notes,
+        })
+    }
+}
+
+/// Typed rejection of a scenario cell — the registry's alternative to
+/// the panics/asserts the free functions used to rely on.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SolverError {
+    /// No solver registered under that name.
+    UnknownSolver {
+        /// The requested name.
+        name: String,
+    },
+    /// The solver requires a specific group count (SMSC: exactly 2).
+    UnsupportedGroupCount {
+        /// Solver name.
+        solver: String,
+        /// Required group count.
+        required: usize,
+        /// The system's group count.
+        got: usize,
+    },
+    /// An exact solver refused a grid beyond its size cap.
+    GridTooLarge {
+        /// Solver name.
+        solver: String,
+        /// Human-readable cap description (e.g. `n <= 500`).
+        cap: String,
+        /// Human-readable instance size (e.g. `n = 20000`).
+        size: String,
+    },
+    /// Parameters are invalid for this solver.
+    InvalidParams {
+        /// Solver name.
+        solver: String,
+        /// What is wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for SolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverError::UnknownSolver { name } => {
+                write!(f, "no solver registered under '{name}'")
+            }
+            SolverError::UnsupportedGroupCount {
+                solver,
+                required,
+                got,
+            } => write!(
+                f,
+                "{solver} requires exactly {required} groups (instance has {got})"
+            ),
+            SolverError::GridTooLarge { solver, cap, size } => {
+                write!(f, "{solver} refuses instances beyond {cap} (got {size})")
+            }
+            SolverError::InvalidParams { solver, message } => {
+                write!(f, "invalid parameters for {solver}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
+
+impl ToJson for SolverError {
+    fn to_json(&self) -> Value {
+        let kind = match self {
+            SolverError::UnknownSolver { .. } => "unknown_solver",
+            SolverError::UnsupportedGroupCount { .. } => "unsupported_group_count",
+            SolverError::GridTooLarge { .. } => "grid_too_large",
+            SolverError::InvalidParams { .. } => "invalid_params",
+        };
+        obj([
+            ("kind", Value::Str(kind.into())),
+            ("message", Value::Str(self.to_string())),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> SolveReport {
+        let eval = Evaluation {
+            f: 0.75,
+            g: 0.5,
+            group_means: vec![0.5, 0.9],
+            size: 2,
+        };
+        let mut report = SolveReport::from_eval("BSM-TSGreedy", 2, 0.8, vec![0, 3], &eval, 0.75)
+            .note("stage1_len", 1.0)
+            .note("rounds", 12.0);
+        report.opt_f_estimate = 0.75;
+        report.opt_g_estimate = 5.0 / 9.0;
+        report.fell_back = true;
+        report.oracle_calls = 123;
+        report.seconds = 0.001_5;
+        report
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = sample_report();
+        let back = SolveReport::from_json_str(&report.to_json_pretty()).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn weak_feasibility_uses_tau_and_estimate() {
+        let mut report = sample_report();
+        assert!(report.weakly_feasible()); // 0.5 >= 0.8 * 5/9 = 0.444
+        report.tau = 1.0;
+        assert!(!report.weakly_feasible()); // 0.5 < 5/9
+    }
+
+    #[test]
+    fn errors_render_their_context() {
+        let e = SolverError::UnsupportedGroupCount {
+            solver: "SMSC".into(),
+            required: 2,
+            got: 5,
+        };
+        let text = e.to_string();
+        assert!(text.contains("SMSC") && text.contains('2') && text.contains('5'));
+        assert!(e.to_json().get("kind").is_some());
+    }
+
+    #[test]
+    fn malformed_report_json_is_rejected() {
+        assert!(SolveReport::from_json_str(r#"{"solver": "X"}"#).is_err());
+        assert!(SolveReport::from_json_str("not json").is_err());
+    }
+}

@@ -24,6 +24,11 @@
 //!   **BSM-TSGreedy** (Algorithm 1), **BSM-Saturate** (Algorithm 2), the
 //!   SMSC baseline, random/degree baselines, and exact solvers
 //!   (brute force and submodular branch-and-bound).
+//! * [`engine`] — the uniform execution boundary: every algorithm entry
+//!   point registered as a named [`engine::Solver`] in a
+//!   [`engine::SolverRegistry`], driven by serializable
+//!   [`engine::ScenarioParams`] and reporting through a uniform
+//!   [`engine::SolveReport`].
 //!
 //! ## Quickstart
 //!
@@ -43,6 +48,7 @@ pub mod aggregate;
 pub mod algorithms;
 pub mod bitset;
 pub mod curvature;
+pub mod engine;
 pub mod items;
 pub mod metrics;
 pub mod system;
@@ -67,13 +73,17 @@ pub mod prelude {
     pub use crate::algorithms::mwu::{mwu_robust, MwuConfig};
     pub use crate::algorithms::nonmonotone::{random_greedy, PenalizedSystem, RandomGreedyConfig};
     pub use crate::algorithms::pareto::{
-        pareto_frontier, Frontier, FrontierConfig, FrontierSolver,
+        hypervolume, pareto_filter, pareto_frontier, Frontier, FrontierConfig, FrontierSolver,
     };
     pub use crate::algorithms::saturate::{saturate, SaturateConfig, SaturateOutcome};
     pub use crate::algorithms::smsc::{smsc, SmscConfig};
     pub use crate::algorithms::streaming::{sieve_streaming, SieveConfig};
     pub use crate::algorithms::tsgreedy::{bsm_tsgreedy, TsGreedyConfig};
     pub use crate::algorithms::BsmOutcome;
+    pub use crate::engine::{
+        Capabilities, DynUtilitySystem, ErasedSystem, ScenarioParams, SolveReport, Solver,
+        SolverError, SolverRegistry,
+    };
     pub use crate::items::{ItemId, ItemSet};
     pub use crate::metrics::{evaluate, Evaluation};
     pub use crate::system::{SolutionState, SystemExt, UtilitySystem};

@@ -1,8 +1,44 @@
-//! Offline stand-in for [`serde`](https://docs.rs/serde): re-exports
-//! the no-op [`Serialize`] / [`Deserialize`] derive macros so the
-//! workspace's `#[derive(Serialize, Deserialize)]` annotations compile
-//! without network access. No serialization is performed anywhere in
-//! the workspace yet; when that changes, point the workspace `serde`
-//! dependency back at crates.io (see `crates/shims/README.md`).
+//! Offline stand-in for [`serde`](https://docs.rs/serde).
+//!
+//! Two layers:
+//!
+//! * The no-op [`Serialize`] / [`Deserialize`] **derive macros**
+//!   (re-exported from the `serde_derive` shim) keep the workspace's
+//!   `#[derive(Serialize, Deserialize)]` annotations compiling without
+//!   network access — they emit no code.
+//! * The [`json`] module plus the [`ToJson`] / [`FromJson`] traits are
+//!   the shim's *working* serialization surface: a small JSON tree with
+//!   a parser and pretty-printer, used by the engine layer to persist
+//!   scenario specs and solve reports as JSON artifacts. Types opt in
+//!   with explicit `impl ToJson` / `impl FromJson` blocks (the derive
+//!   macros do **not** generate these).
+//!
+//! To use the real crates.io serde stack instead, point the workspace
+//! `serde` dependency back at the registry and replace `ToJson` /
+//! `FromJson` impls with derives (see `crates/shims/README.md`).
+
+pub mod json;
 
 pub use serde_derive::{Deserialize, Serialize};
+
+/// Conversion into a [`json::Value`] tree.
+pub trait ToJson {
+    /// Builds the JSON representation of `self`.
+    fn to_json(&self) -> json::Value;
+
+    /// Serializes with two-space indentation (ends with a newline).
+    fn to_json_pretty(&self) -> String {
+        self.to_json().to_pretty_string()
+    }
+}
+
+/// Conversion from a [`json::Value`] tree.
+pub trait FromJson: Sized {
+    /// Rebuilds `Self` from its JSON representation.
+    fn from_json(value: &json::Value) -> Result<Self, json::Error>;
+
+    /// Parses a JSON document and rebuilds `Self`.
+    fn from_json_str(text: &str) -> Result<Self, json::Error> {
+        Self::from_json(&json::parse(text)?)
+    }
+}

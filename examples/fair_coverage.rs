@@ -6,17 +6,19 @@
 //! best achievable minimum coverage. The graph is a stochastic block
 //! model with a 20%/80% minority/majority split — exactly the paper's
 //! RAND dataset — so the unconstrained optimum systematically
-//! under-serves the minority block.
+//! under-serves the minority block. All solvers run through the
+//! registry boundary.
 //!
 //! Run with: `cargo run --release --example fair_coverage`
 
-use fair_submod::core::metrics::{evaluate, price_of_fairness};
+use fair_submod::core::metrics::price_of_fairness;
 use fair_submod::core::prelude::*;
 use fair_submod::datasets::{rand_mc, seeds};
 
 fn main() {
     let dataset = rand_mc(2, 500, seeds::RAND);
     let oracle = dataset.coverage_oracle();
+    let registry = SolverRegistry::default();
     let k = 5;
     println!(
         "{}: {} nodes, {} edges, groups {:?}\n",
@@ -26,14 +28,14 @@ fn main() {
         dataset.groups.sizes()
     );
 
-    let f = MeanUtility::new(oracle.num_users());
-    let unconstrained = greedy(&oracle, &f, &GreedyConfig::lazy(k));
-    let base = evaluate(&oracle, &unconstrained.items);
+    let base = registry
+        .solve("Greedy", &oracle, &ScenarioParams::new(k, 0.0))
+        .expect("greedy runs everywhere");
     println!(
         "Unconstrained greedy: f = {:.4}, g = {:.4} (per-group means: {:?})",
         base.f,
         base.g,
-        base.group_means
+        base.group_utilities
             .iter()
             .map(|x| (x * 1000.0).round() / 1000.0)
             .collect::<Vec<_>>()
@@ -44,12 +46,14 @@ fn main() {
         "tau", "f(S)", "g(S)", "PoF", "fell_back"
     );
     for tau in [0.2, 0.4, 0.6, 0.8, 0.95] {
-        let out = bsm_saturate(&oracle, &BsmSaturateConfig::new(k, tau));
+        let out = registry
+            .solve("BSM-Saturate", &oracle, &ScenarioParams::new(k, tau))
+            .expect("bsm saturate runs everywhere");
         println!(
             "{tau:>4.2}  {:>8.4}  {:>8.4}  {:>8.4}  {:>10}",
-            out.eval.f,
-            out.eval.g,
-            price_of_fairness(base.f, out.eval.f),
+            out.f,
+            out.g,
+            price_of_fairness(base.f, out.f),
             out.fell_back
         );
     }

@@ -4,20 +4,21 @@
 //! close to one, ensuring each neighborhood group receives comparable
 //! average benefit. Users/facilities are the paper's RAND FL dataset
 //! (isotropic Gaussian blobs in R^5, RBF benefits, 15%/85% groups);
-//! compares the whole suite at one grid point and sweeps τ for the
-//! exact optimum.
+//! compares the whole suite at one grid point — one registry call per
+//! solver, no per-algorithm config code — and sweeps τ for the exact
+//! optimum.
 //!
 //! Run with: `cargo run --release --example fair_facility`
 
-use fair_submod::core::metrics::evaluate;
 use fair_submod::core::prelude::*;
 use fair_submod::datasets::{rand_fl, seeds};
 
 fn main() {
     let dataset = rand_fl(2, seeds::FL);
     let oracle = dataset.oracle();
+    let registry = SolverRegistry::default();
     let k = 5;
-    let tau = 0.8;
+    let params = ScenarioParams::new(k, 0.8);
     println!(
         "{}: {} users / {} candidate facilities in R^{}\n",
         dataset.name,
@@ -26,42 +27,32 @@ fn main() {
         dataset.dim()
     );
 
-    let f = MeanUtility::new(oracle.num_users());
-    let algos: Vec<(&str, Vec<ItemId>)> = vec![
-        ("Greedy", greedy(&oracle, &f, &GreedyConfig::lazy(k)).items),
-        ("Saturate", saturate(&oracle, &SaturateConfig::new(k)).items),
-        ("SMSC", smsc(&oracle, &SmscConfig::new(k)).items),
-        (
-            "BSM-TSGreedy",
-            bsm_tsgreedy(&oracle, &TsGreedyConfig::new(k, tau)).items,
-        ),
-        (
-            "BSM-Saturate",
-            bsm_saturate(&oracle, &BsmSaturateConfig::new(k, tau)).items,
-        ),
-    ];
-    println!(
-        "{:>14}  {:>8}  {:>8}  facilities",
-        "algorithm", "f(S)", "g(S)"
-    );
-    for (name, items) in &algos {
-        let e = evaluate(&oracle, items);
-        println!("{name:>14}  {:>8.4}  {:>8.4}  {:?}", e.f, e.g, items);
+    println!("{:>14}  {:>8}  {:>8}  facilities", "solver", "f(S)", "g(S)");
+    for name in ["Greedy", "Saturate", "SMSC", "BSM-TSGreedy", "BSM-Saturate"] {
+        let report = registry
+            .solve(name, &oracle, &params)
+            .expect("paper solvers run on c = 2");
+        println!(
+            "{name:>14}  {:>8.4}  {:>8.4}  {:?}",
+            report.f, report.g, report.items
+        );
     }
 
     println!("\nExact trade-off curve (BSM-Optimal, branch-and-bound):");
     println!("{:>5}  {:>8}  {:>8}", "tau", "f*", "g*");
     for tau in [0.0, 0.25, 0.5, 0.75, 1.0] {
-        let opt = branch_and_bound_bsm(&oracle, &ExactConfig::new(k, tau));
+        let opt = registry
+            .solve("BSM-Optimal", &oracle, &ScenarioParams::new(k, tau))
+            .expect("n = 100 is within the exact caps");
+        let complete = opt
+            .notes
+            .iter()
+            .any(|(label, x)| label == "complete" && *x == 1.0);
         println!(
             "{tau:>5.2}  {:>8.4}  {:>8.4}{}",
-            opt.eval.f,
-            opt.eval.g,
-            if opt.complete {
-                ""
-            } else {
-                "  (node budget hit)"
-            }
+            opt.f,
+            opt.g,
+            if complete { "" } else { "  (node budget hit)" }
         );
     }
 }

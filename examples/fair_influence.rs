@@ -2,11 +2,12 @@
 //! access across groups.
 //!
 //! The paper's IM motivation: a campaign picks `k` seed users in a
-//! social network; without a fairness constraint, minority groups can be
-//! left out of the spread ("information inequality"). This example
-//! selects seeds on a group-stratified RIS oracle and reports the final
-//! spread with independent Monte-Carlo simulation, comparing classic
-//! greedy IM against BSM at τ = 0.8.
+//! social network; without a fairness constraint, minority groups can
+//! be left out of the spread ("information inequality"). This example
+//! selects seeds on a group-stratified RIS oracle — through the solver
+//! registry, like every other substrate — and reports the final spread
+//! with independent Monte-Carlo simulation, comparing classic greedy IM
+//! against BSM at τ = 0.8.
 //!
 //! Run with: `cargo run --release --example fair_influence`
 
@@ -17,6 +18,7 @@ use fair_submod::influence::{monte_carlo_evaluate, DiffusionModel};
 fn main() {
     let dataset = rand_mc(2, 100, seeds::RAND + 2);
     let model = DiffusionModel::ic(0.1);
+    let registry = SolverRegistry::default();
     let k = 5;
     println!(
         "{} under IC(p=0.1): {} nodes, {} edges\n",
@@ -27,9 +29,12 @@ fn main() {
 
     // Selection happens on the RIS estimator…
     let oracle = dataset.ris_oracle(model, 20_000, 7);
-    let f = MeanUtility::new(oracle.num_users());
-    let im_greedy = greedy(&oracle, &f, &GreedyConfig::lazy(k));
-    let fair = bsm_saturate(&oracle, &BsmSaturateConfig::new(k, 0.8));
+    let im_greedy = registry
+        .solve("Greedy", &oracle, &ScenarioParams::new(k, 0.0))
+        .expect("greedy runs everywhere");
+    let fair = registry
+        .solve("BSM-Saturate", &oracle, &ScenarioParams::new(k, 0.8))
+        .expect("bsm saturate runs everywhere");
 
     // …but reported numbers come from 10,000 forward simulations, as in
     // the paper.

@@ -1,57 +1,69 @@
-//! Quickstart: the paper's running example (Figure 1, Examples 3.1–4.6).
+//! Quickstart: the paper's running example (Figure 1, Examples 3.1–4.6)
+//! driven entirely through the solver registry.
 //!
-//! Builds the 4-item / 12-user maximum-coverage instance, then walks the
-//! whole algorithm suite at several balance factors τ, printing how the
-//! utility–fairness trade-off moves.
+//! Builds the 4-item / 12-user maximum-coverage instance, then walks
+//! the algorithm suite at several balance factors τ — every solver runs
+//! behind the same `SolverRegistry::solve(name, system, params)`
+//! boundary, so there is no per-algorithm setup code at all.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use fair_submod::core::metrics::evaluate;
 use fair_submod::core::prelude::*;
 use fair_submod::core::toy;
 
 fn main() {
     let system = toy::figure1();
-    println!("Figure 1 instance: 4 items, 12 users in 2 groups (9 + 3)\n");
+    let registry = SolverRegistry::default();
+    println!("Figure 1 instance: 4 items, 12 users in 2 groups (9 + 3)");
+    println!("registered solvers: {:?}\n", registry.names());
 
-    // Fairness-unaware anchor: classic greedy on f.
-    let f = MeanUtility::new(system.num_users());
-    let greedy_run = greedy(&system, &f, &GreedyConfig::lazy(2));
-    let greedy_eval = evaluate(&system, &greedy_run.items);
-    println!(
-        "Greedy (utility only):    S = {:?}  f = {:.3}  g = {:.3}",
-        greedy_run.items, greedy_eval.f, greedy_eval.g
-    );
+    // Anchors: utility-only greedy and fairness-only Saturate.
+    for name in ["Greedy", "Saturate"] {
+        let report = registry
+            .solve(name, &system, &ScenarioParams::new(2, 0.0))
+            .expect("figure-1 anchors always run");
+        println!(
+            "{name:>8}: S = {:?}  f = {:.3}  g = {:.3}",
+            report.items, report.f, report.g
+        );
+    }
 
-    // Fairness-only anchor: Saturate on g.
-    let sat = saturate(&system, &SaturateConfig::new(2));
-    let sat_eval = evaluate(&system, &sat.items);
+    println!("\nBSM: maximize f subject to g >= tau * OPT'_g");
     println!(
-        "Saturate (fairness only): S = {:?}  f = {:.3}  g = {:.3}  (OPT'_g = {:.3})\n",
-        sat.items, sat_eval.f, sat_eval.g, sat.opt_g_estimate
-    );
-
-    println!("BSM: maximize f subject to g >= tau * OPT_g");
-    println!(
-        "{:>5} | {:^24} | {:^24}",
+        "{:>5} | {:^28} | {:^28}",
         "tau", "BSM-TSGreedy", "BSM-Saturate"
     );
     for tau in [0.0, 0.2, 0.5, 0.8, 1.0] {
-        let ts = bsm_tsgreedy(&system, &TsGreedyConfig::new(2, tau));
-        let bs = bsm_saturate(&system, &BsmSaturateConfig::new(2, tau));
+        let params = ScenarioParams::new(2, tau);
+        let ts = registry
+            .solve("BSM-TSGreedy", &system, &params)
+            .expect("ts greedy runs");
+        let bs = registry
+            .solve("BSM-Saturate", &system, &params)
+            .expect("bsm saturate runs");
         println!(
             "{tau:>5.1} | S={:?} f={:.2} g={:.2} | S={:?} f={:.2} g={:.2}",
-            ts.items, ts.eval.f, ts.eval.g, bs.items, bs.eval.f, bs.eval.g
+            ts.items, ts.f, ts.g, bs.items, bs.f, bs.g
         );
     }
 
     // The exact optimum for reference (tiny instance).
     println!("\nExact BSM-Optimal for comparison:");
     for tau in [0.2, 0.8] {
-        let opt = branch_and_bound_bsm(&system, &ExactConfig::new(2, tau));
+        let opt = registry
+            .solve("BSM-Optimal", &system, &ScenarioParams::new(2, tau))
+            .expect("figure 1 is far below the exact caps");
         println!(
             "  tau={tau:.1}: S = {:?}  f = {:.3}  g = {:.3}  (OPT_g = {:.3})",
-            opt.items, opt.eval.f, opt.eval.g, opt.opt_g
+            opt.items, opt.f, opt.g, opt.opt_g_estimate
         );
     }
+
+    // Capability gaps come back as typed errors, not panics: SMSC on a
+    // 3-group instance is rejected cleanly.
+    let three_groups = toy::random_coverage(10, 30, 3, 0.2, 1);
+    let err = registry
+        .solve("SMSC", &three_groups, &ScenarioParams::new(2, 0.5))
+        .unwrap_err();
+    println!("\nSMSC on c=3 groups: {err}");
 }

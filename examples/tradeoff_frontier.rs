@@ -1,9 +1,12 @@
-//! The whole utility–fairness trade-off at a glance: sweep τ, extract
-//! the Pareto frontier, and compare the two BSM solvers by hypervolume.
+//! The whole utility–fairness trade-off at a glance: sweep τ through
+//! the solver registry, extract the Pareto frontier, and compare the
+//! two BSM solvers by hypervolume.
 //!
-//! This is the decision-maker's view the paper's Figures 3/7 plot: every
-//! achievable (f, g) pair for a facility-location deployment, with the
-//! dominated τ settings filtered out.
+//! This is the decision-maker's view the paper's Figures 3/7 plot:
+//! every achievable (f, g) pair for a facility-location deployment,
+//! with the dominated τ settings filtered out. Each point is one
+//! registry call; the frontier math comes from `pareto_filter` /
+//! `hypervolume`.
 //!
 //! Run with: `cargo run --release --example tradeoff_frontier`
 
@@ -13,6 +16,7 @@ use fair_submod::datasets::{adult_like, seeds, AdultSize};
 fn main() {
     let dataset = adult_like(AdultSize::SmallRace, seeds::FL + 2);
     let oracle = dataset.oracle();
+    let registry = SolverRegistry::default();
     let k = 5;
     println!(
         "{}: {} users, {} facilities, {} race groups\n",
@@ -22,22 +26,31 @@ fn main() {
         dataset.groups.num_groups()
     );
 
-    for solver in [FrontierSolver::TsGreedy, FrontierSolver::BsmSaturate] {
-        let cfg = FrontierConfig {
-            k,
-            taus: (0..=10).map(|i| i as f64 / 10.0).collect(),
-            solver,
-        };
-        let frontier = pareto_frontier(&oracle, &cfg);
-        println!("{solver:?}: hypervolume = {:.4}", frontier.hypervolume);
+    let taus: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
+    for solver in ["BSM-TSGreedy", "BSM-Saturate"] {
+        let points: Vec<(f64, f64, f64)> = taus
+            .iter()
+            .map(|&tau| {
+                let report = registry
+                    .solve(solver, &oracle, &ScenarioParams::new(k, tau))
+                    .expect("BSM solvers run on any grouped oracle");
+                (tau, report.f, report.g)
+            })
+            .collect();
+        let fg: Vec<(f64, f64)> = points.iter().map(|&(_, f, g)| (f, g)).collect();
+        let on_frontier = pareto_filter(&fg);
+        let frontier: Vec<(f64, f64)> = fg
+            .iter()
+            .zip(&on_frontier)
+            .filter(|(_, &on)| on)
+            .map(|(&p, _)| p)
+            .collect();
+        println!("{solver}: hypervolume = {:.4}", hypervolume(&frontier));
         println!("{:>5}  {:>8}  {:>8}  frontier", "tau", "f(S)", "g(S)");
-        for p in &frontier.points {
+        for ((tau, f, g), on) in points.iter().zip(&on_frontier) {
             println!(
-                "{:>5.2}  {:>8.4}  {:>8.4}  {}",
-                p.tau,
-                p.f,
-                p.g,
-                if p.on_frontier { "*" } else { "" }
+                "{tau:>5.2}  {f:>8.4}  {g:>8.4}  {}",
+                if *on { "*" } else { "" }
             );
         }
         println!();

@@ -2,6 +2,12 @@
 //! branch-and-bound, and the Appendix-A ILP — on random MC and FL
 //! instances. Any disagreement indicates a bug in one of them; they are
 //! implemented independently (combinatorial vs simplex-based).
+//!
+//! The second half iterates the *full* `SolverRegistry` generically:
+//! every registered solver must respect the budget `k`, report
+//! non-negative per-group utilities, and be deterministic across two
+//! runs — invariants that hold for any present or future registry
+//! entry, so new solvers are covered the moment they register.
 
 use fair_submod::core::prelude::*;
 use fair_submod::coverage::{CoverageOracle, SetSystem};
@@ -136,5 +142,110 @@ fn approximate_algorithms_never_beat_the_feasible_optimum() {
                 );
             }
         }
+    }
+}
+
+// ── Registry-generic invariants over the whole solver suite. ─────────
+
+/// Every registered solver on a two-group coverage instance: respects
+/// the budget `k`, returns non-negative group utilities of the right
+/// arity, and is deterministic across two runs.
+#[test]
+fn every_registered_solver_respects_budget_and_is_deterministic() {
+    let (sets, group_of) = random_mc_instance(3, 12, 24, 2);
+    let oracle = CoverageOracle::new(sets, &Groups::from_assignment(group_of));
+    let registry = SolverRegistry::default();
+    let k = 3;
+    let params = ScenarioParams::new(k, 0.5);
+    for name in registry.names() {
+        let first = registry
+            .solve(name, &oracle, &params)
+            .unwrap_or_else(|e| panic!("{name} rejected a c=2 instance: {e}"));
+        assert!(
+            first.items.len() <= k,
+            "{name} returned {} items for k = {k}",
+            first.items.len()
+        );
+        assert_eq!(
+            first.group_utilities.len(),
+            2,
+            "{name} reported wrong group arity"
+        );
+        assert!(
+            first.group_utilities.iter().all(|&x| x >= 0.0),
+            "{name} reported a negative group utility: {:?}",
+            first.group_utilities
+        );
+        assert!(
+            first.f >= 0.0 && first.g >= 0.0,
+            "{name}: f = {}, g = {}",
+            first.f,
+            first.g
+        );
+        assert!(first.solver == name, "{name} mislabeled its report");
+
+        let second = registry
+            .solve(name, &oracle, &params)
+            .unwrap_or_else(|e| panic!("{name} second run rejected: {e}"));
+        assert_eq!(first.items, second.items, "{name} is non-deterministic");
+        assert_eq!(
+            first.f.to_bits(),
+            second.f.to_bits(),
+            "{name} f drifted across runs"
+        );
+        assert_eq!(
+            first.g.to_bits(),
+            second.g.to_bits(),
+            "{name} g drifted across runs"
+        );
+    }
+}
+
+/// The only acceptable failures on a three-group instance are typed
+/// capability rejections (SMSC's two-group requirement); everything
+/// else must still run and keep the same invariants.
+#[test]
+fn registry_capability_gaps_are_typed_on_three_groups() {
+    let (sets, group_of) = random_mc_instance(7, 12, 24, 3);
+    let oracle = CoverageOracle::new(sets, &Groups::from_assignment(group_of));
+    let registry = SolverRegistry::default();
+    let params = ScenarioParams::new(3, 0.5);
+    for name in registry.names() {
+        match registry.solve(name, &oracle, &params) {
+            Ok(report) => {
+                assert!(report.items.len() <= 3, "{name} ignored the budget");
+                assert_eq!(report.group_utilities.len(), 3);
+            }
+            Err(SolverError::UnsupportedGroupCount {
+                solver,
+                required,
+                got,
+            }) => {
+                assert_eq!(solver, "SMSC");
+                assert_eq!((required, got), (2, 3));
+                assert_eq!(name, "SMSC");
+            }
+            Err(other) => panic!("{name} failed unexpectedly: {other}"),
+        }
+    }
+}
+
+/// Weak feasibility holds for the fairness-aware solvers on exact
+/// oracles, reported uniformly through the engine.
+#[test]
+fn registry_fairness_solvers_are_weakly_feasible_on_exact_oracles() {
+    let (sets, group_of) = random_mc_instance(11, 14, 30, 2);
+    let oracle = CoverageOracle::new(sets, &Groups::from_assignment(group_of));
+    let registry = SolverRegistry::default();
+    for tau in [0.3, 0.7] {
+        let params = ScenarioParams::new(3, tau);
+        let ts = registry.solve("BSM-TSGreedy", &oracle, &params).unwrap();
+        assert!(ts.weakly_feasible(), "TSGreedy broke the weak constraint");
+        let ls = registry.solve("LocalSearch", &oracle, &params).unwrap();
+        assert!(
+            ls.g + 1e-9 >= tau * ls.opt_g_estimate - 1e-9,
+            "LocalSearch refinement broke the fairness floor"
+        );
+        assert!(ls.f + 1e-9 >= ts.f, "refinement lost utility");
     }
 }
