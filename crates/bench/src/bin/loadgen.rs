@@ -1,0 +1,430 @@
+//! Load generator for the solve daemon (`fair-submod-service`): hammers
+//! a running daemon with a mixed read/solve workload over keep-alive
+//! connections and writes p50/p95/p99 latency and throughput to
+//! `BENCH_service.json`.
+//!
+//! The workload rotates three instance recipes (MC `c=2`, MC `c=4`,
+//! FL `c=2`) across three solvers, interleaved with `/healthz` and
+//! `/registry` reads — roughly 60% solves, 30% health checks, 10%
+//! registry listings. A warmup pass touches every recipe once so the
+//! timed phase measures the *resident* serving path (instance-cache
+//! hits), which is the daemon's whole point; the JSON notes the
+//! store's hit/miss counters so the cache effectiveness is part of the
+//! artifact.
+//!
+//! Usage:
+//!
+//! ```text
+//! # against a running daemon
+//! cargo run -p fair-submod-bench --release --bin loadgen -- --addr 127.0.0.1:7878
+//! # spawn a --quick daemon on an ephemeral port, then hammer it (CI)
+//! cargo run -p fair-submod-bench --release --bin loadgen -- --quick --spawn
+//! ```
+//!
+//! Flags: `--addr HOST:PORT`, `--spawn` (start `fair-submod-service`
+//! itself and kill it afterwards), `--quick` (fewer requests, smaller
+//! instances), `--requests N`, `--workers N`, `--out PATH`.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use serde::json::{obj, parse_bytes, Value};
+
+// ── Minimal HTTP/1.1 client (keep-alive) ─────────────────────────────
+
+struct Reply {
+    status: u16,
+    body: Vec<u8>,
+}
+
+fn http_request(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> Result<Reply, String> {
+    let _ = stream.set_nodelay(true);
+    // One write per request (see the server's write_response): keeps
+    // Nagle + delayed-ACK from inserting ~40ms per round trip.
+    let mut message = format!(
+        "{method} {path} HTTP/1.1\r\nHost: loadgen\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    message.extend_from_slice(body.as_bytes());
+    stream
+        .write_all(&message)
+        .and_then(|()| stream.flush())
+        .map_err(|e| format!("write: {e}"))?;
+
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| format!("clone: {e}"))?);
+    let mut status_line = String::new();
+    reader
+        .read_line(&mut status_line)
+        .map_err(|e| format!("status: {e}"))?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line {status_line:?}"))?;
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| format!("header: {e}"))?;
+        if n == 0 {
+            return Err("connection closed mid-headers".into());
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad content-length {value:?}"))?;
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| format!("body: {e}"))?;
+    Ok(Reply { status, body })
+}
+
+// ── Workload ─────────────────────────────────────────────────────────
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum Class {
+    Solve,
+    Healthz,
+    Registry,
+}
+
+impl Class {
+    fn label(self) -> &'static str {
+        match self {
+            Class::Solve => "solve",
+            Class::Healthz => "healthz",
+            Class::Registry => "registry",
+        }
+    }
+}
+
+fn solve_bodies(quick: bool) -> Vec<String> {
+    let n = if quick { 80 } else { 300 };
+    let recipes = [
+        (
+            format!(r#"{{"kind": "rand_mc", "c": 2, "n": {n}}}"#),
+            "coverage",
+        ),
+        (
+            format!(r#"{{"kind": "rand_mc", "c": 4, "n": {n}}}"#),
+            "coverage",
+        ),
+        (r#"{"kind": "rand_fl", "c": 2}"#.to_string(), "facility"),
+    ];
+    let solvers = ["Greedy", "BSM-TSGreedy", "BSM-Saturate"];
+    let mut bodies = Vec::new();
+    for (recipe, substrate) in &recipes {
+        for solver in solvers {
+            bodies.push(format!(
+                r#"{{"dataset": {recipe}, "substrate": "{substrate}", "solver": "{solver}", "params": {{"k": 5, "tau": 0.8}}}}"#
+            ));
+        }
+    }
+    bodies
+}
+
+/// Deterministic 60/30/10 request mix by global request index.
+fn class_for(index: usize) -> Class {
+    match index % 10 {
+        0..=5 => Class::Solve,
+        6..=8 => Class::Healthz,
+        _ => Class::Registry,
+    }
+}
+
+// ── Stats ────────────────────────────────────────────────────────────
+
+fn percentile_ms(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1] * 1e3
+}
+
+fn class_stats(label: &str, latencies: &mut Vec<f64>) -> Value {
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let mean = if latencies.is_empty() {
+        0.0
+    } else {
+        latencies.iter().sum::<f64>() / latencies.len() as f64
+    };
+    obj([
+        ("class", Value::Str(label.into())),
+        ("count", Value::Num(latencies.len() as f64)),
+        ("p50_ms", Value::Num(percentile_ms(latencies, 0.50))),
+        ("p95_ms", Value::Num(percentile_ms(latencies, 0.95))),
+        ("p99_ms", Value::Num(percentile_ms(latencies, 0.99))),
+        ("mean_ms", Value::Num(mean * 1e3)),
+        (
+            "max_ms",
+            Value::Num(latencies.last().copied().unwrap_or(0.0) * 1e3),
+        ),
+    ])
+}
+
+// ── Daemon spawning / readiness ──────────────────────────────────────
+
+/// Kill-on-drop handle for the spawned daemon: whether loadgen exits
+/// cleanly or panics mid-run (failed warmup, worker error), the child
+/// is reaped — CI must never be left with an orphaned release daemon.
+struct DaemonGuard(std::process::Child);
+
+impl Drop for DaemonGuard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+/// Spawns `cargo run -p fair-submod-service` and parses the bound
+/// address off its stdout handshake line.
+fn spawn_daemon(quick: bool) -> (DaemonGuard, String) {
+    let mut cmd = std::process::Command::new(env!("CARGO"));
+    cmd.args([
+        "run",
+        "-p",
+        "fair-submod-service",
+        "--release",
+        "--",
+        "--addr",
+        "127.0.0.1:0",
+    ]);
+    if quick {
+        cmd.arg("--quick");
+    }
+    // Guard the child before the fallible handshake below, so even a
+    // panic while waiting for it reaps the process.
+    let mut child = DaemonGuard(
+        cmd.stdout(std::process::Stdio::piped())
+            .spawn()
+            .expect("spawn fair-submod-service"),
+    );
+    let stdout = child.0.stdout.take().expect("piped stdout");
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = reader.read_line(&mut line).expect("read daemon stdout");
+        assert!(n > 0, "daemon exited before its listening handshake");
+        if let Some(addr) = line
+            .trim()
+            .strip_prefix("fair-submod-service listening on ")
+        {
+            return (child, addr.to_string());
+        }
+    }
+}
+
+fn wait_ready(addr: &str) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if let Ok(mut stream) = TcpStream::connect(addr) {
+            if let Ok(reply) = http_request(&mut stream, "GET", "/healthz", "") {
+                if reply.status == 200 {
+                    return;
+                }
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "daemon at {addr} not ready within 60s"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+// ── Main ─────────────────────────────────────────────────────────────
+
+fn main() {
+    let mut addr: Option<String> = None;
+    let mut spawn = false;
+    let mut quick = false;
+    let mut requests: Option<usize> = None;
+    let mut workers: Option<usize> = None;
+    let mut out_path = String::from("BENCH_service.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => addr = Some(value("--addr")),
+            "--spawn" => spawn = true,
+            "--quick" => quick = true,
+            "--requests" => {
+                requests = Some(
+                    value("--requests")
+                        .parse()
+                        .expect("--requests takes an integer"),
+                )
+            }
+            "--workers" => {
+                workers = Some(
+                    value("--workers")
+                        .parse()
+                        .expect("--workers takes an integer"),
+                )
+            }
+            "--out" => out_path = value("--out"),
+            other => panic!("unknown flag {other} (see the module docs)"),
+        }
+    }
+    let total_requests = requests.unwrap_or(if quick { 200 } else { 1_000 });
+    let num_workers = workers.unwrap_or(if quick { 2 } else { 4 }).max(1);
+
+    let (child, addr) = match addr {
+        Some(addr) => (None, addr),
+        None => {
+            assert!(spawn, "need --addr HOST:PORT or --spawn");
+            let (child, addr) = spawn_daemon(quick);
+            (Some(child), addr)
+        }
+    };
+    eprintln!("[loadgen] target daemon at {addr}");
+    wait_ready(&addr);
+
+    // Warmup: touch every solve body once so the timed phase measures
+    // the resident (instance-cache-hit) path.
+    let bodies = Arc::new(solve_bodies(quick));
+    {
+        let mut stream = TcpStream::connect(&addr).expect("connect for warmup");
+        for body in bodies.iter() {
+            let reply = http_request(&mut stream, "POST", "/solve", body)
+                .unwrap_or_else(|e| panic!("warmup solve failed: {e}"));
+            assert_eq!(
+                reply.status,
+                200,
+                "warmup solve rejected: {}",
+                String::from_utf8_lossy(&reply.body)
+            );
+        }
+    }
+    eprintln!("[loadgen] warmed {} solve cells; timing {total_requests} requests on {num_workers} workers ...", bodies.len());
+
+    // Timed phase: workers pull global request indices off an atomic
+    // cursor, each over its own keep-alive connection.
+    let cursor = Arc::new(AtomicUsize::new(0));
+    let started = Instant::now();
+    let handles: Vec<_> = (0..num_workers)
+        .map(|_| {
+            let cursor = Arc::clone(&cursor);
+            let bodies = Arc::clone(&bodies);
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(&addr).expect("worker connect");
+                let mut samples: Vec<(Class, f64)> = Vec::new();
+                let mut errors = 0usize;
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= total_requests {
+                        return (samples, errors);
+                    }
+                    let class = class_for(i);
+                    let (method, path, body): (&str, &str, &str) = match class {
+                        Class::Solve => ("POST", "/solve", &bodies[i % bodies.len()]),
+                        Class::Healthz => ("GET", "/healthz", ""),
+                        Class::Registry => ("GET", "/registry", ""),
+                    };
+                    let start = Instant::now();
+                    match http_request(&mut stream, method, path, body) {
+                        Ok(reply) if reply.status == 200 => {
+                            samples.push((class, start.elapsed().as_secs_f64()));
+                        }
+                        _ => errors += 1,
+                    }
+                }
+            })
+        })
+        .collect();
+    let mut all: Vec<(Class, f64)> = Vec::with_capacity(total_requests);
+    let mut errors = 0usize;
+    for handle in handles {
+        let (samples, worker_errors) = handle.join().expect("worker panicked");
+        all.extend(samples);
+        errors += worker_errors;
+    }
+    let wall_seconds = started.elapsed().as_secs_f64();
+
+    // Final daemon counters: the cache-effectiveness half of the story.
+    let (cache_hits, cache_misses, instances) = {
+        let mut stream = TcpStream::connect(&addr).expect("connect for counters");
+        let reply = http_request(&mut stream, "GET", "/instances", "").expect("GET /instances");
+        let body = parse_bytes(&reply.body).expect("instances JSON");
+        (
+            body.get("hits").and_then(Value::as_u64).unwrap_or(0),
+            body.get("misses").and_then(Value::as_u64).unwrap_or(0),
+            body.get("len").and_then(Value::as_u64).unwrap_or(0),
+        )
+    };
+    // Dropping the guard kills and reaps the spawned daemon (and the
+    // guard's Drop also covers every panic path above).
+    drop(child);
+
+    let mut classes: Vec<Value> = Vec::new();
+    let mut overall: Vec<f64> = all.iter().map(|&(_, s)| s).collect();
+    for class in [Class::Solve, Class::Healthz, Class::Registry] {
+        let mut latencies: Vec<f64> = all
+            .iter()
+            .filter(|&&(c, _)| c == class)
+            .map(|&(_, s)| s)
+            .collect();
+        classes.push(class_stats(class.label(), &mut latencies));
+    }
+    let report = obj([
+        ("generated_by", Value::Str("loadgen".into())),
+        ("quick", Value::Bool(quick)),
+        ("addr", Value::Str(addr.clone())),
+        ("workers", Value::Num(num_workers as f64)),
+        ("requests", Value::Num(total_requests as f64)),
+        ("ok", Value::Num(all.len() as f64)),
+        ("errors", Value::Num(errors as f64)),
+        ("wall_seconds", Value::Num(wall_seconds)),
+        (
+            "throughput_rps",
+            Value::Num(all.len() as f64 / wall_seconds.max(1e-9)),
+        ),
+        ("cache_hits", Value::Num(cache_hits as f64)),
+        ("cache_misses", Value::Num(cache_misses as f64)),
+        ("resident_instances", Value::Num(instances as f64)),
+        ("overall", class_stats("overall", &mut overall)),
+        ("classes", Value::Arr(classes)),
+    ]);
+    std::fs::write(&out_path, report.to_pretty_string()).expect("write BENCH_service.json");
+    eprintln!(
+        "[loadgen] {} ok / {} errors in {:.2}s ({:.0} req/s); cache {}h/{}m; wrote {}",
+        all.len(),
+        errors,
+        wall_seconds,
+        all.len() as f64 / wall_seconds.max(1e-9),
+        cache_hits,
+        cache_misses,
+        out_path
+    );
+    assert_eq!(errors, 0, "loadgen saw non-200 responses");
+    assert!(
+        cache_hits > 0,
+        "repeated recipes never hit the instance cache"
+    );
+}

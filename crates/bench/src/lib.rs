@@ -34,12 +34,19 @@
 //!
 //! Run any spec with `cargo run -p fair-submod-bench --release --bin
 //! scenarios -- --spec fig3` (or via its alias binary, e.g. `--bin
-//! fig3`), and custom experiments with `--spec path/to/spec.json`.
+//! fig3`), and custom experiments with `--spec path/to/spec.json`
+//! (schema: `crates/bench/specs/README.md`).
 //! Common flags: `--quick` (thinned grids, exact solvers dropped),
 //! `--out <dir>` (CSV/report output directory, default `experiments/`),
 //! `--strict` (non-zero exit on rejected cells or empty solutions),
 //! `--report <path>` (JSON artifact path), `--pokec-nodes <n>`,
 //! `--mc-runs <n>`, `--rr-sets <n>`.
+//!
+//! Beyond the scenario runner, two bespoke binaries measure the system
+//! itself: `perfbase` (oracle/kernel hot-path timings,
+//! `BENCH_baseline.json`) and `loadgen` (latency percentiles and
+//! throughput against the `fair-submod-service` solve daemon,
+//! `BENCH_service.json`).
 
 pub mod args;
 pub mod harness;

@@ -923,7 +923,10 @@ fn run_grid_job(
     }
 }
 
-fn cell_to_json(dataset: &str, cell: &CellOutcome) -> Value {
+/// Serializes one executed grid cell — report or typed rejection — as a
+/// JSON object, tagging it with the dataset label. Shared by the
+/// scenario report artifacts and the solve service's `/batch` endpoint.
+pub fn cell_to_json(dataset: &str, cell: &CellOutcome) -> Value {
     let mut pairs: Vec<(&'static str, Value)> = vec![
         ("dataset", Value::Str(dataset.to_string())),
         ("solver", Value::Str(cell.solver.clone())),

@@ -10,7 +10,7 @@
 //! * [`tsgreedy`] — **BSM-TSGreedy** (Algorithm 1 of the paper).
 //! * [`bsm_saturate`] — **BSM-Saturate** (Algorithm 2 of the paper).
 //! * [`smsc`] — the SMSC baseline (Ohsaka & Matsuoka, 2021;
-//!   two groups only), reconstructed as documented in DESIGN.md.
+//!   two groups only), reconstructed as documented in DESIGN.md §5.
 //! * [`baselines`] — random and top-singleton baselines.
 //! * [`exact`] — brute force and submodular branch-and-bound
 //!   (`BSM-Optimal`).

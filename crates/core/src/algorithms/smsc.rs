@@ -3,7 +3,7 @@
 //!
 //! The paper compares against SMSC "by maximizing two submodular functions
 //! `f_1` and `f_2` simultaneously"; the reference implementation is not
-//! public, so this is a documented reconstruction (see DESIGN.md): a
+//! public, so this is a documented reconstruction (see DESIGN.md §5): a
 //! Saturate-style bisection over a common fraction `β` of the two groups'
 //! individually achievable optima. Level `β` is feasible when greedy
 //! reaches

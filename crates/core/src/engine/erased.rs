@@ -62,7 +62,14 @@ impl DynState {
 /// Object-safe view of a [`UtilitySystem`]: what [`crate::engine`]
 /// solvers receive. Implemented automatically for every system whose
 /// `Inner` state is `'static + Clone + Send`.
-pub trait DynUtilitySystem: Sync {
+///
+/// The `Send + Sync` supertraits make erased systems *shareable*: a
+/// long-running service can hold a built oracle behind
+/// `Arc<dyn DynUtilitySystem>` (or an `Arc` of any concrete system) and
+/// serve concurrent solve requests from many threads against the same
+/// instance — solvers only ever take `&self`, so no synchronization
+/// beyond the `Arc` is needed.
+pub trait DynUtilitySystem: Send + Sync {
     /// Number of items in the ground set `V`.
     ///
     /// Accessors carry a `dyn_` prefix so the blanket impl never
@@ -92,7 +99,7 @@ pub trait DynUtilitySystem: Sync {
 
 impl<S> DynUtilitySystem for S
 where
-    S: UtilitySystem + Sync,
+    S: UtilitySystem + Send + Sync,
     S::Inner: Any + Clone + Send,
 {
     fn dyn_num_items(&self) -> usize {
@@ -195,6 +202,30 @@ mod tests {
         for (j, &v) in items.iter().enumerate() {
             erased.group_gains(&state, v, &mut row);
             assert_eq!(&batch[j * c..(j + 1) * c], &row[..]);
+        }
+    }
+
+    #[test]
+    fn erased_systems_are_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync + ?Sized>() {}
+        assert_send_sync::<dyn DynUtilitySystem>();
+        // An Arc'd concrete system can serve solves from many threads.
+        let sys = std::sync::Arc::new(toy::random_coverage(20, 60, 2, 0.15, 3));
+        let f = MeanUtility::new(UtilitySystem::num_users(sys.as_ref()));
+        let baseline = greedy(sys.as_ref(), &f, &GreedyConfig::lazy(3)).items;
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let sys = std::sync::Arc::clone(&sys);
+                std::thread::spawn(move || {
+                    let shared: &dyn DynUtilitySystem = sys.as_ref();
+                    let erased = ErasedSystem(shared);
+                    let f = MeanUtility::new(erased.num_users());
+                    greedy(&erased, &f, &GreedyConfig::lazy(3)).items
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), baseline);
         }
     }
 

@@ -2,6 +2,9 @@
 
 use std::time::Instant;
 
+use serde::json::{obj, Value};
+use serde::ToJson;
+
 use super::erased::DynUtilitySystem;
 use super::params::ScenarioParams;
 use super::report::{SolveReport, SolverError};
@@ -19,6 +22,17 @@ pub struct Capabilities {
     pub randomized: bool,
     /// Reads the balance factor `τ` (fairness-aware solvers).
     pub uses_tau: bool,
+}
+
+impl ToJson for Capabilities {
+    fn to_json(&self) -> Value {
+        obj([
+            ("requires_two_groups", Value::Bool(self.requires_two_groups)),
+            ("exact", Value::Bool(self.exact)),
+            ("randomized", Value::Bool(self.randomized)),
+            ("uses_tau", Value::Bool(self.uses_tau)),
+        ])
+    }
 }
 
 /// One uniform execution boundary over the whole algorithm suite.
@@ -50,6 +64,10 @@ pub trait Solver: Send + Sync {
 /// `core::algorithms` entry point. New objectives plug in as additional
 /// [`Solver`] impls via [`SolverRegistry::register`] instead of another
 /// copy of the experiment grid.
+///
+/// The registry is `Send + Sync` ([`Solver`] requires both), so a
+/// long-running service can build it once, wrap it in an `Arc`, and
+/// answer concurrent solve requests from many threads.
 pub struct SolverRegistry {
     solvers: Vec<Box<dyn Solver>>,
 }
@@ -154,6 +172,48 @@ mod tests {
         ] {
             assert!(registry.get(expected).is_some(), "missing {expected}");
         }
+    }
+
+    #[test]
+    fn registry_is_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SolverRegistry>();
+        let registry = std::sync::Arc::new(SolverRegistry::default());
+        let sys = std::sync::Arc::new(toy::figure1());
+        let baseline = registry
+            .solve("Greedy", sys.as_ref(), &ScenarioParams::new(2, 0.5))
+            .unwrap()
+            .items;
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let registry = std::sync::Arc::clone(&registry);
+                let sys = std::sync::Arc::clone(&sys);
+                std::thread::spawn(move || {
+                    registry
+                        .solve("Greedy", sys.as_ref(), &ScenarioParams::new(2, 0.5))
+                        .unwrap()
+                        .items
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), baseline);
+        }
+    }
+
+    #[test]
+    fn capabilities_serialize_as_flags() {
+        let caps = Capabilities {
+            exact: true,
+            uses_tau: true,
+            ..Capabilities::default()
+        };
+        let json = caps.to_json();
+        assert_eq!(json.get("exact").and_then(Value::as_bool), Some(true));
+        assert_eq!(
+            json.get("requires_two_groups").and_then(Value::as_bool),
+            Some(false)
+        );
     }
 
     #[test]

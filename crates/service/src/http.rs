@@ -1,0 +1,455 @@
+//! A minimal HTTP/1.1 layer over [`std::net`]: request parsing,
+//! response writing, and a threaded accept loop.
+//!
+//! This is deliberately not a general web server — it covers exactly
+//! what the solve daemon needs: `GET`/`POST`, `Content-Length` bodies
+//! (no chunked transfer encoding), persistent connections (HTTP/1.1
+//! keep-alive, honoring `Connection: close`), and JSON response
+//! helpers. Each accepted connection is served by its own thread; the
+//! handler itself is shared behind an `Arc` and must be `Send + Sync`.
+//!
+//! Limits: request head (request line + headers) ≤ 16 KiB, body ≤
+//! 8 MiB. Oversized or malformed requests terminate the connection
+//! after a `400`.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+
+use serde::json::Value;
+
+/// Maximum accepted request body, in bytes.
+pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+/// Maximum accepted request head (request line + headers), in bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, …).
+    pub method: String,
+    /// Path without the query string (e.g. `/solve`).
+    pub path: String,
+    /// Raw query string after `?`, if any.
+    pub query: Option<String>,
+    /// Header `(name, value)` pairs; names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header, by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to close the connection after this
+    /// request (`Connection: close`; HTTP/1.1 defaults to keep-alive).
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// One HTTP response under construction.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// Status code (200, 400, …).
+    pub status: u16,
+    /// Extra header `(name, value)` pairs (`Content-Length` and
+    /// `Connection` are written automatically).
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response with `Content-Type: application/json`.
+    pub fn json(status: u16, value: &Value) -> Self {
+        Self {
+            status,
+            headers: vec![("Content-Type".into(), "application/json".into())],
+            body: value.to_body_bytes(),
+        }
+    }
+
+    /// Adds a response header.
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+}
+
+fn status_text(code: u16) -> &'static str {
+    match code {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Why reading a request from a connection stopped.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The peer closed the connection cleanly between requests.
+    Closed,
+    /// The request was malformed or exceeded a limit; the message is
+    /// safe to echo back in a 400 body.
+    Malformed(String),
+}
+
+/// Reads one `\n`-terminated line, never buffering more than `budget`
+/// bytes. `read_line` alone would accumulate an endless newline-free
+/// request line unboundedly; this enforces the head limit *while*
+/// reading, so a malicious peer cannot exhaust memory.
+fn read_line_limited(
+    reader: &mut BufReader<TcpStream>,
+    budget: usize,
+) -> Result<String, ReadError> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let buf = reader
+            .fill_buf()
+            .map_err(|e| ReadError::Malformed(format!("read line: {e}")))?;
+        if buf.is_empty() {
+            if line.is_empty() {
+                return Err(ReadError::Closed);
+            }
+            return Err(ReadError::Malformed("connection closed mid-line".into()));
+        }
+        let (chunk, done) = match buf.iter().position(|&b| b == b'\n') {
+            Some(i) => (&buf[..=i], true),
+            None => (buf, false),
+        };
+        if line.len() + chunk.len() > budget {
+            return Err(ReadError::Malformed("request head too large".into()));
+        }
+        line.extend_from_slice(chunk);
+        let consumed = chunk.len();
+        reader.consume(consumed);
+        if done {
+            return String::from_utf8(line)
+                .map_err(|_| ReadError::Malformed("request head is not valid UTF-8".into()));
+        }
+    }
+}
+
+/// Reads one request from the connection.
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ReadError> {
+    let mut head_bytes = 0usize;
+    let line = read_line_limited(reader, MAX_HEAD_BYTES)?;
+    head_bytes += line.len();
+    let mut parts = line.split_whitespace();
+    let (method, target) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) if v.starts_with("HTTP/1.") => (m.to_uppercase(), t),
+        _ => {
+            return Err(ReadError::Malformed(format!(
+                "malformed request line {:?}",
+                line.trim_end()
+            )))
+        }
+    };
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), Some(q.to_string())),
+        None => (target.to_string(), None),
+    };
+
+    let mut headers = Vec::new();
+    loop {
+        let line = match read_line_limited(reader, MAX_HEAD_BYTES - head_bytes) {
+            Ok(line) => line,
+            Err(ReadError::Closed) => {
+                return Err(ReadError::Malformed("connection closed mid-headers".into()))
+            }
+            Err(e) => return Err(e),
+        };
+        head_bytes += line.len();
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ReadError::Malformed(format!("malformed header {line:?}")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| ReadError::Malformed(format!("bad Content-Length {v:?}")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err(ReadError::Malformed(format!(
+            "body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+        )));
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| ReadError::Malformed(format!("read body: {e}")))?;
+
+    Ok(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    })
+}
+
+/// Writes `response`, announcing whether the connection stays open.
+pub fn write_response(
+    stream: &mut TcpStream,
+    response: &Response,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\n",
+        response.status,
+        status_text(response.status)
+    );
+    for (name, value) in &response.headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str(&format!("Content-Length: {}\r\n", response.body.len()));
+    head.push_str(if keep_alive {
+        "Connection: keep-alive\r\n\r\n"
+    } else {
+        "Connection: close\r\n\r\n"
+    });
+    // Head and body go out in one write: with TCP_NODELAY this is one
+    // segment, avoiding the Nagle + delayed-ACK ~40ms stall that two
+    // writes would risk.
+    let mut message = head.into_bytes();
+    message.extend_from_slice(&response.body);
+    stream.write_all(&message)?;
+    stream.flush()
+}
+
+/// Reads one HTTP response from the client side of a connection:
+/// `(status, headers, body)`, header names lower-cased. The
+/// counterpart of [`write_response`] — test clients parse the wire
+/// format through this one function instead of re-implementing it.
+pub fn read_response(
+    reader: &mut BufReader<TcpStream>,
+) -> std::io::Result<(u16, Vec<(String, String)>, Vec<u8>)> {
+    use std::io::{Error, ErrorKind};
+    let bad = |message: String| Error::new(ErrorKind::InvalidData, message);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad(format!("bad status line {status_line:?}")))?;
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(bad("connection closed mid-headers".into()));
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| bad(format!("malformed header {line:?}")))?;
+        let (name, value) = (name.trim().to_ascii_lowercase(), value.trim().to_string());
+        if name == "content-length" {
+            content_length = value
+                .parse()
+                .map_err(|_| bad(format!("bad content-length {value:?}")))?;
+        }
+        headers.push((name, value));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok((status, headers, body))
+}
+
+/// A bound listener plus the shared request handler.
+pub struct Server {
+    listener: TcpListener,
+}
+
+impl Server {
+    /// Binds the listener (use port 0 for an ephemeral port).
+    pub fn bind(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        Ok(Self {
+            listener: TcpListener::bind(addr)?,
+        })
+    }
+
+    /// The bound address (reports the actual ephemeral port).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves forever: accepts connections and hands each to its own
+    /// thread running `handler` per request. Per-connection accept
+    /// errors (client reset before accept, transient fd exhaustion
+    /// under a spike) are logged and survived — a long-running daemon
+    /// must not die because one accept failed — with a short backoff
+    /// so an error storm cannot spin the loop hot.
+    pub fn run<H>(self, handler: Arc<H>) -> std::io::Result<()>
+    where
+        H: Fn(&Request) -> Response + Send + Sync + 'static,
+    {
+        for stream in self.listener.incoming() {
+            match stream {
+                Ok(stream) => {
+                    let handler = Arc::clone(&handler);
+                    std::thread::spawn(move || serve_connection(stream, handler.as_ref()));
+                }
+                Err(e) => {
+                    eprintln!("[service] accept error (continuing): {e}");
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Serves requests on one connection until it closes.
+fn serve_connection<H>(stream: TcpStream, handler: &H)
+where
+    H: Fn(&Request) -> Response,
+{
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut stream = stream;
+    loop {
+        match read_request(&mut reader) {
+            Ok(request) => {
+                let keep_alive = !request.wants_close();
+                let response = handler(&request);
+                if write_response(&mut stream, &response, keep_alive).is_err() || !keep_alive {
+                    return;
+                }
+            }
+            Err(ReadError::Closed) => return,
+            Err(ReadError::Malformed(message)) => {
+                let body = serde::json::obj([("error", Value::Str(message))]);
+                let _ = write_response(&mut stream, &Response::json(400, &body), false);
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(raw: &[u8]) -> Result<Request, ReadError> {
+        // Push raw bytes through a real loopback socket so the parser
+        // sees exactly what a client would send.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.write_all(raw).unwrap();
+        client.flush().unwrap();
+        drop(client);
+        let (server_side, _) = listener.accept().unwrap();
+        let mut reader = BufReader::new(server_side);
+        read_request(&mut reader)
+    }
+
+    #[test]
+    fn parses_post_with_body_and_query() {
+        let req =
+            roundtrip(b"POST /solve?debug=1 HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd")
+                .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/solve");
+        assert_eq!(req.query.as_deref(), Some("debug=1"));
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"abcd");
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn connection_close_is_honored() {
+        let req = roundtrip(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(req.wants_close());
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        assert!(matches!(roundtrip(b""), Err(ReadError::Closed)));
+        assert!(matches!(
+            roundtrip(b"NOT-HTTP\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+        assert!(matches!(
+            roundtrip(b"GET / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+        let huge = format!("GET / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", usize::MAX);
+        assert!(matches!(
+            roundtrip(huge.as_bytes()),
+            Err(ReadError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn endless_head_without_newline_is_bounded() {
+        // A newline-free request line must be rejected once it passes
+        // the head budget — not buffered indefinitely.
+        let mut raw = vec![b'A'; MAX_HEAD_BYTES + 64];
+        raw.extend_from_slice(b" / HTTP/1.1\r\n\r\n");
+        assert!(matches!(roundtrip(&raw), Err(ReadError::Malformed(_))));
+        // Same for an oversized header section of many small lines.
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        for i in 0..2_000 {
+            raw.extend_from_slice(format!("x-h{i}: {}\r\n", "v".repeat(64)).as_bytes());
+        }
+        raw.extend_from_slice(b"\r\n");
+        assert!(matches!(roundtrip(&raw), Err(ReadError::Malformed(_))));
+    }
+
+    #[test]
+    fn responses_serialize_with_length_and_connection() {
+        // Write through a loopback socket and read the raw bytes back.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (mut server_side, _) = listener.accept().unwrap();
+        let body = serde::json::obj([("ok", Value::Bool(true))]);
+        write_response(&mut server_side, &Response::json(200, &body), false).unwrap();
+        drop(server_side);
+        let mut raw = String::new();
+        let mut reader = BufReader::new(client);
+        reader.read_to_string(&mut raw).unwrap();
+        assert!(raw.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(raw.contains("Content-Type: application/json\r\n"));
+        assert!(raw.contains("Content-Length: 11\r\n"));
+        assert!(raw.contains("Connection: close\r\n"));
+        assert!(raw.ends_with("{\"ok\":true}"));
+    }
+}

@@ -1,0 +1,84 @@
+//! # fair-submod-service
+//!
+//! Solve-as-a-service: a long-running BSM daemon speaking HTTP/1.1 +
+//! JSON over [`std::net`] — no external dependencies beyond the
+//! workspace's offline shims.
+//!
+//! After PR 3 every solve still paid full dataset materialization and
+//! oracle construction per process invocation. This crate amortizes
+//! that cost across requests: an [`store::InstanceStore`] materializes
+//! each [`fair_submod_bench::scenario::DatasetRecipe`] once, builds the
+//! substrate oracle, and caches the immutable
+//! [`instance::Instance`] behind an `Arc` keyed by the FNV-1a hash of
+//! its canonical JSON, with LRU eviction. Requests then pick solver
+//! and parameters per call (τ/ε are query-time knobs over a fixed
+//! ground set, exactly the query-primitive framing of the paper), and
+//! the shared [`fair_submod_core::engine::SolverRegistry`] answers
+//! them from any connection thread.
+//!
+//! Start the daemon with `cargo run -p fair-submod-service` (flags:
+//! `--addr host:port`, `--capacity N` instances, `--rr-sets`,
+//! `--mc-runs`, `--pokec-nodes`, `--quick`). It prints one line,
+//! `fair-submod-service listening on <addr>`, once the socket is
+//! bound.
+//!
+//! ## Endpoints
+//!
+//! | Method + path | Purpose |
+//! |---|---|
+//! | `GET /healthz` | liveness + uptime, cache and request counters |
+//! | `GET /registry` | solver capability listing from the registry |
+//! | `GET /instances` | admin view of the instance store (keys, hit counts, LRU state) |
+//! | `POST /solve` | one solver on one cell; returns the `SolveReport` JSON |
+//! | `POST /batch` | a solver grid on one instance, run concurrently on the shared pool |
+//!
+//! `POST /solve` takes a dataset recipe, a substrate, a registry
+//! solver name, and scenario parameters:
+//!
+//! ```json
+//! {
+//!   "dataset": {"kind": "rand_mc", "c": 2, "n": 500},
+//!   "substrate": "coverage",
+//!   "solver": "BSM-TSGreedy",
+//!   "params": {"k": 5, "tau": 0.8}
+//! }
+//! ```
+//!
+//! and answers with the solver's `SolveReport` (items, `f`, `g`,
+//! per-group utilities, oracle calls, seconds). The
+//! `X-Instance-Cache: hit|miss` response header reports whether the
+//! instance came from the store; `X-Instance-Cache-Hits` carries the
+//! store's cumulative hit counter. Typed solver rejections map to
+//! statuses (unknown solver → 404, capability gap → 422, bad
+//! parameters → 400) with the error's JSON in the body.
+//!
+//! `POST /batch` takes the same grid-job shape scenario specs use
+//! (`solvers` × `ks` × `taus` × `epsilons` × `repetitions`) and runs
+//! the expanded cells concurrently through
+//! [`fair_submod_bench::harness::run_suite`] on the one shared
+//! instance:
+//!
+//! ```json
+//! {
+//!   "dataset": {"kind": "rand_mc", "c": 2, "n": 500},
+//!   "substrate": "coverage",
+//!   "solvers": ["Greedy", "BSM-TSGreedy", "BSM-Saturate"],
+//!   "ks": [5, 10],
+//!   "taus": [0.2, 0.8]
+//! }
+//! ```
+//!
+//! Load generation lives in the bench crate:
+//! `cargo run -p fair-submod-bench --release --bin loadgen -- --quick
+//! --spawn` spawns a daemon, hammers it with a mixed read/solve
+//! workload, and writes p50/p95/p99 latencies and throughput to
+//! `BENCH_service.json`.
+
+pub mod http;
+pub mod instance;
+pub mod server;
+pub mod store;
+
+pub use instance::{canonical_key, Instance, InstanceConfig};
+pub use server::{serve, ServiceState};
+pub use store::{CacheStatus, InstanceStore};

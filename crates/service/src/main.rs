@@ -1,0 +1,87 @@
+//! The solve daemon binary. See the crate docs for the endpoint
+//! surface; `--help` prints the flags.
+
+use std::sync::Arc;
+
+use fair_submod_service::{serve, InstanceConfig, ServiceState};
+
+const USAGE: &str = "\
+fair-submod-service: long-running BSM solve daemon (HTTP/1.1 + JSON)
+
+USAGE:
+    fair-submod-service [--addr HOST:PORT] [--capacity N] [--quick]
+                        [--rr-sets N] [--mc-runs N] [--pokec-nodes N]
+
+FLAGS:
+    --addr HOST:PORT   bind address (default 127.0.0.1:7878; port 0 = ephemeral)
+    --capacity N       max cached instances before LRU eviction (default 8)
+    --quick            smoke-sized instance knobs (harness --quick caps)
+    --rr-sets N        RR sets for influence oracles
+    --mc-runs N        Monte-Carlo runs per influence evaluation
+    --pokec-nodes N    node count of the Pokec stand-in
+";
+
+fn main() {
+    let mut addr = String::from("127.0.0.1:7878");
+    let mut capacity = 8usize;
+    let mut quick = false;
+    let mut cfg = InstanceConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--capacity" => {
+                capacity = value("--capacity")
+                    .parse()
+                    .expect("--capacity takes an integer")
+            }
+            "--quick" => quick = true,
+            "--rr-sets" => {
+                cfg.rr_sets = value("--rr-sets")
+                    .parse()
+                    .expect("--rr-sets takes an integer")
+            }
+            "--mc-runs" => {
+                cfg.mc_runs = value("--mc-runs")
+                    .parse()
+                    .expect("--mc-runs takes an integer")
+            }
+            "--pokec-nodes" => {
+                cfg.pokec_nodes = value("--pokec-nodes")
+                    .parse()
+                    .expect("--pokec-nodes takes an integer")
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return;
+            }
+            other => {
+                eprintln!("unknown flag {other}\n\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if quick {
+        cfg = cfg.quick();
+    }
+
+    let state = Arc::new(ServiceState::new(capacity, cfg));
+    eprintln!(
+        "[service] {} solvers registered, instance capacity {capacity}",
+        state.registry.len()
+    );
+    let result = serve(&addr, state, |bound| {
+        // The loadgen --spawn handshake parses this exact stdout line.
+        use std::io::Write;
+        println!("fair-submod-service listening on {bound}");
+        let _ = std::io::stdout().flush();
+    });
+    if let Err(e) = result {
+        eprintln!("[service] fatal: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,508 @@
+//! The request layer: shared service state and the endpoint router.
+//!
+//! One [`ServiceState`] lives for the whole daemon: the solver
+//! registry (built once), the instance store, and request counters.
+//! Every connection thread routes through [`ServiceState::handle`],
+//! which is a pure `&self` function — all mutability is behind the
+//! store's internal lock and atomic counters, so requests on different
+//! instances never serialize on each other.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use serde::json::{obj, parse_bytes, Value};
+use serde::{FromJson, ToJson};
+
+use fair_submod_bench::harness::{run_suite, GridConfig};
+use fair_submod_bench::scenario::{cell_to_json, DatasetRecipe, GridJob, SubstrateSpec};
+use fair_submod_core::engine::{ScenarioParams, SolverError, SolverRegistry};
+
+use crate::http::{Request, Response, Server};
+use crate::instance::{canonical_key, validate_request, Instance, InstanceConfig};
+use crate::store::{CacheStatus, InstanceStore, StoreEntry};
+
+/// Long-lived daemon state shared by all connection threads.
+pub struct ServiceState {
+    /// The full solver suite, built once at startup.
+    pub registry: SolverRegistry,
+    /// The cached instance store.
+    pub store: InstanceStore,
+    /// Build knobs for new instances (part of the cache key).
+    pub instance_cfg: InstanceConfig,
+    started: Instant,
+    requests: AtomicU64,
+    solves: AtomicU64,
+}
+
+impl ServiceState {
+    /// Fresh state with the default registry and an empty store
+    /// holding at most `capacity` instances.
+    pub fn new(capacity: usize, instance_cfg: InstanceConfig) -> Self {
+        Self {
+            registry: SolverRegistry::default(),
+            store: InstanceStore::new(capacity),
+            instance_cfg,
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
+            solves: AtomicU64::new(0),
+        }
+    }
+
+    /// Routes one request. Panics in handlers (there should be none —
+    /// solver rejections are typed errors) are caught and mapped to a
+    /// 500 so a bad request can never take the daemon down.
+    pub fn handle(&self, request: &Request) -> Response {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let result = catch_unwind(AssertUnwindSafe(|| self.route(request)));
+        result.unwrap_or_else(|_| {
+            Response::json(
+                500,
+                &obj([("error", Value::Str("internal handler panic".into()))]),
+            )
+        })
+    }
+
+    fn route(&self, request: &Request) -> Response {
+        match (request.method.as_str(), request.path.as_str()) {
+            ("GET", "/healthz") => self.healthz(),
+            ("GET", "/registry") => self.registry_listing(),
+            ("GET", "/instances") => Response::json(200, &self.store.snapshot_json()),
+            ("POST", "/solve") => self.solve(&request.body),
+            ("POST", "/batch") => self.batch(&request.body),
+            ("GET", "/solve" | "/batch") | ("POST", "/healthz" | "/registry" | "/instances") => {
+                error_response(405, "method not allowed for this endpoint")
+            }
+            _ => error_response(404, "no such endpoint"),
+        }
+    }
+
+    fn healthz(&self) -> Response {
+        let stats = self.store.stats();
+        Response::json(
+            200,
+            &obj([
+                ("status", Value::Str("ok".into())),
+                (
+                    "uptime_seconds",
+                    Value::Num(self.started.elapsed().as_secs_f64()),
+                ),
+                ("solvers", Value::Num(self.registry.len() as f64)),
+                ("instances", Value::Num(stats.len as f64)),
+                ("cache_hits", Value::Num(stats.hits as f64)),
+                ("cache_misses", Value::Num(stats.misses as f64)),
+                (
+                    "requests",
+                    Value::Num(self.requests.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "solves",
+                    Value::Num(self.solves.load(Ordering::Relaxed) as f64),
+                ),
+                ("threads", Value::Num(rayon::current_num_threads() as f64)),
+            ]),
+        )
+    }
+
+    fn registry_listing(&self) -> Response {
+        let solvers: Vec<Value> = self
+            .registry
+            .names()
+            .into_iter()
+            .map(|name| {
+                let caps = self
+                    .registry
+                    .get(name)
+                    .expect("listed names resolve")
+                    .capabilities();
+                obj([
+                    ("name", Value::Str(name.into())),
+                    ("capabilities", caps.to_json()),
+                ])
+            })
+            .collect();
+        Response::json(
+            200,
+            &obj([
+                ("count", Value::Num(solvers.len() as f64)),
+                ("solvers", Value::Arr(solvers)),
+            ]),
+        )
+    }
+
+    /// Registers + builds (or reuses) the instance for a validated
+    /// request, returning the entry and whether the store already knew
+    /// the key.
+    fn instance_entry(
+        &self,
+        recipe: DatasetRecipe,
+        substrate: SubstrateSpec,
+    ) -> (Arc<StoreEntry>, CacheStatus) {
+        let (key, canonical) = canonical_key(&recipe, &substrate, &self.instance_cfg);
+        let (entry, status) = self.store.get_or_insert(&key, &canonical);
+        entry.get_or_build(|| Instance::build(recipe, substrate, &self.instance_cfg));
+        (entry, status)
+    }
+
+    fn solve(&self, body: &[u8]) -> Response {
+        let (recipe, substrate, value) = match parse_instance_request(body) {
+            Ok(parts) => parts,
+            Err(response) => return *response,
+        };
+        let solver = match value.get("solver").and_then(Value::as_str) {
+            Some(s) => s.to_string(),
+            None => return error_response(400, "request needs a 'solver' name"),
+        };
+        let params = match value.get("params") {
+            Some(p) => match ScenarioParams::from_json(p) {
+                Ok(params) => params,
+                Err(e) => return error_response(400, &format!("bad params: {e}")),
+            },
+            None => return error_response(400, "request needs a 'params' object with k and tau"),
+        };
+
+        let (entry, status) = self.instance_entry(recipe, substrate);
+        let instance = entry.built().expect("instance_entry builds");
+        self.solves.fetch_add(1, Ordering::Relaxed);
+        match self.registry.solve(&solver, instance.system(), &params) {
+            Ok(mut report) => {
+                // Re-evaluate the solution the way the harness does
+                // (Monte-Carlo for influence, oracle-exact otherwise).
+                let eval = instance.evaluate(&report.items);
+                report.f = eval.f;
+                report.g = eval.g;
+                report.group_utilities = eval.group_means;
+                Response::json(200, &report.to_json())
+                    .with_header("X-Instance-Cache", status.as_str())
+                    .with_header("X-Instance-Key", entry.key.clone())
+                    .with_header("X-Instance-Cache-Hits", self.store.stats().hits.to_string())
+            }
+            Err(error) => Response::json(solver_error_status(&error), &error.to_json())
+                .with_header("X-Instance-Cache", status.as_str()),
+        }
+    }
+
+    fn batch(&self, body: &[u8]) -> Response {
+        let job = match parse_bytes(body)
+            .map_err(|e| e.to_string())
+            .and_then(|v| GridJob::from_json(&v).map_err(|e| e.to_string()))
+        {
+            Ok(job) => job,
+            Err(message) => return error_response(400, &format!("bad batch job: {message}")),
+        };
+        if let Err(message) = job.validate() {
+            return error_response(400, &message);
+        }
+        if let Err(message) = validate_request(&job.dataset, &job.substrate) {
+            return error_response(400, &message);
+        }
+        let mut base = ScenarioParams::new(job.ks[0], job.taus[0]);
+        if let Some(limit) = job.exact_node_limit {
+            base.exact_node_limit = limit;
+        }
+        let grid = GridConfig {
+            solvers: job.solvers.clone(),
+            ks: job.ks.clone(),
+            taus: job.taus.clone(),
+            epsilons: job.epsilons.clone(),
+            repetitions: job.repetitions.max(1),
+            base,
+        };
+
+        let (entry, status) = self.instance_entry(job.dataset.clone(), job.substrate.clone());
+        let instance = entry.built().expect("instance_entry builds");
+        self.solves
+            .fetch_add(grid.num_cells() as u64, Ordering::Relaxed);
+        let results = run_suite(
+            instance.system(),
+            &|items| instance.evaluate_capped(items, job.mc_runs_cap),
+            &self.registry,
+            &grid,
+        );
+        let label = format!("{}{}", instance.dataset_name, job.label_suffix);
+        let mut ok_cells = 0usize;
+        let mut capability_gaps = 0usize;
+        let mut error_cells = 0usize;
+        let cells: Vec<Value> = results
+            .iter()
+            .map(|cell| {
+                match &cell.outcome {
+                    Ok(_) => ok_cells += 1,
+                    Err(
+                        SolverError::UnsupportedGroupCount { .. }
+                        | SolverError::GridTooLarge { .. },
+                    ) => capability_gaps += 1,
+                    Err(_) => error_cells += 1,
+                }
+                cell_to_json(&label, cell)
+            })
+            .collect();
+        Response::json(
+            200,
+            &obj([
+                ("dataset", Value::Str(label)),
+                ("ok_cells", Value::Num(ok_cells as f64)),
+                ("capability_gaps", Value::Num(capability_gaps as f64)),
+                ("error_cells", Value::Num(error_cells as f64)),
+                ("cells", Value::Arr(cells)),
+            ]),
+        )
+        .with_header("X-Instance-Cache", status.as_str())
+        .with_header("X-Instance-Key", entry.key.clone())
+    }
+}
+
+/// Parses and validates the `dataset` + `substrate` of a request body,
+/// returning the remaining JSON for endpoint-specific fields.
+fn parse_instance_request(
+    body: &[u8],
+) -> Result<(DatasetRecipe, SubstrateSpec, Value), Box<Response>> {
+    let value = parse_bytes(body)
+        .map_err(|e| Box::new(error_response(400, &format!("bad JSON body: {e}"))))?;
+    let recipe = value
+        .get("dataset")
+        .ok_or_else(|| Box::new(error_response(400, "request needs a 'dataset' recipe")))
+        .and_then(|v| {
+            DatasetRecipe::from_json(v)
+                .map_err(|e| Box::new(error_response(400, &format!("bad dataset: {e}"))))
+        })?;
+    let substrate = value
+        .get("substrate")
+        .ok_or_else(|| Box::new(error_response(400, "request needs a 'substrate'")))
+        .and_then(|v| {
+            SubstrateSpec::from_json(v)
+                .map_err(|e| Box::new(error_response(400, &format!("bad substrate: {e}"))))
+        })?;
+    validate_request(&recipe, &substrate).map_err(|m| Box::new(error_response(400, &m)))?;
+    Ok((recipe, substrate, value))
+}
+
+fn error_response(status: u16, message: &str) -> Response {
+    Response::json(status, &obj([("error", Value::Str(message.into()))]))
+}
+
+fn solver_error_status(error: &SolverError) -> u16 {
+    match error {
+        SolverError::UnknownSolver { .. } => 404,
+        SolverError::UnsupportedGroupCount { .. } | SolverError::GridTooLarge { .. } => 422,
+        SolverError::InvalidParams { .. } => 400,
+    }
+}
+
+/// Binds `addr` and serves `state` forever (the accept loop blocks the
+/// calling thread). Returns the bound address through `on_bound` before
+/// entering the loop, so callers can log the ephemeral port.
+pub fn serve(
+    addr: &str,
+    state: Arc<ServiceState>,
+    on_bound: impl FnOnce(std::net::SocketAddr),
+) -> std::io::Result<()> {
+    let server = Server::bind(addr)?;
+    on_bound(server.local_addr()?);
+    server.run(Arc::new(move |request: &Request| state.handle(request)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(path: &str) -> Request {
+        Request {
+            method: "GET".into(),
+            path: path.into(),
+            query: None,
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    fn post(path: &str, body: &str) -> Request {
+        Request {
+            method: "POST".into(),
+            path: path.into(),
+            query: None,
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    fn state() -> ServiceState {
+        ServiceState::new(4, InstanceConfig::default().quick())
+    }
+
+    const TINY_SOLVE: &str = r#"{
+        "dataset": {"kind": "rand_mc", "c": 2, "n": 40},
+        "substrate": "coverage",
+        "solver": "Greedy",
+        "params": {"k": 3, "tau": 0.8}
+    }"#;
+
+    #[test]
+    fn healthz_and_registry_respond() {
+        let s = state();
+        let health = s.handle(&get("/healthz"));
+        assert_eq!(health.status, 200);
+        let body = parse_bytes(&health.body).unwrap();
+        assert_eq!(body.get("status").and_then(Value::as_str), Some("ok"));
+        assert_eq!(body.get("solvers").and_then(Value::as_usize), Some(16));
+
+        let registry = s.handle(&get("/registry"));
+        assert_eq!(registry.status, 200);
+        let body = parse_bytes(&registry.body).unwrap();
+        let solvers = body.get("solvers").and_then(Value::as_arr).unwrap();
+        assert_eq!(solvers.len(), 16);
+        assert!(solvers.iter().any(|v| {
+            v.get("name").and_then(Value::as_str) == Some("SMSC")
+                && v.get("capabilities")
+                    .and_then(|c| c.get("requires_two_groups"))
+                    .and_then(Value::as_bool)
+                    == Some(true)
+        }));
+    }
+
+    #[test]
+    fn solve_reports_cache_status_and_report() {
+        let s = state();
+        let first = s.handle(&post("/solve", TINY_SOLVE));
+        assert_eq!(
+            first.status,
+            200,
+            "{:?}",
+            String::from_utf8_lossy(&first.body)
+        );
+        let cache = |r: &Response| {
+            r.headers
+                .iter()
+                .find(|(n, _)| n == "X-Instance-Cache")
+                .map(|(_, v)| v.clone())
+        };
+        assert_eq!(cache(&first).as_deref(), Some("miss"));
+        let report = parse_bytes(&first.body).unwrap();
+        assert_eq!(report.get("solver").and_then(Value::as_str), Some("Greedy"));
+        assert_eq!(
+            report
+                .get("items")
+                .and_then(Value::as_arr)
+                .map(<[Value]>::len),
+            Some(3)
+        );
+
+        let second = s.handle(&post("/solve", TINY_SOLVE));
+        assert_eq!(second.status, 200);
+        assert_eq!(cache(&second).as_deref(), Some("hit"));
+        let stats = s.store.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn solve_maps_typed_errors_to_statuses() {
+        let s = state();
+        let unknown = TINY_SOLVE.replace("Greedy", "NotASolver");
+        assert_eq!(s.handle(&post("/solve", &unknown)).status, 404);
+        // SMSC on a c=4 instance: a capability gap, 422.
+        let gap = r#"{
+            "dataset": {"kind": "rand_mc", "c": 4, "n": 40},
+            "substrate": "coverage",
+            "solver": "SMSC",
+            "params": {"k": 3, "tau": 0.8}
+        }"#;
+        let resp = s.handle(&post("/solve", gap));
+        assert_eq!(resp.status, 422);
+        let body = parse_bytes(&resp.body).unwrap();
+        assert_eq!(
+            body.get("kind").and_then(Value::as_str),
+            Some("unsupported_group_count")
+        );
+    }
+
+    #[test]
+    fn bad_requests_are_400s_not_panics() {
+        let s = state();
+        assert_eq!(s.handle(&post("/solve", "not json")).status, 400);
+        assert_eq!(s.handle(&post("/solve", "{}")).status, 400);
+        // rand_mc c=3 would panic in the builder; validation rejects it.
+        let bad_c = TINY_SOLVE.replace("\"c\": 2", "\"c\": 3");
+        assert_eq!(s.handle(&post("/solve", &bad_c)).status, 400);
+        // Mismatched substrate/dataset family.
+        let mismatch = TINY_SOLVE.replace("\"coverage\"", "\"facility\"");
+        assert_eq!(s.handle(&post("/solve", &mismatch)).status, 400);
+        // Unknown endpoints and wrong methods.
+        assert_eq!(s.handle(&get("/nope")).status, 404);
+        assert_eq!(s.handle(&get("/solve")).status, 405);
+        assert_eq!(s.handle(&post("/healthz", "")).status, 405);
+    }
+
+    #[test]
+    fn batch_runs_a_grid_on_one_shared_instance() {
+        let s = state();
+        let job = r#"{
+            "dataset": {"kind": "rand_mc", "c": 2, "n": 40},
+            "substrate": "coverage",
+            "solvers": ["Greedy", "BSM-TSGreedy", "SMSC"],
+            "ks": [2, 3],
+            "taus": [0.5]
+        }"#;
+        let resp = s.handle(&post("/batch", job));
+        assert_eq!(
+            resp.status,
+            200,
+            "{:?}",
+            String::from_utf8_lossy(&resp.body)
+        );
+        let body = parse_bytes(&resp.body).unwrap();
+        assert_eq!(body.get("ok_cells").and_then(Value::as_usize), Some(6));
+        assert_eq!(
+            body.get("cells")
+                .and_then(Value::as_arr)
+                .map(<[Value]>::len),
+            Some(6)
+        );
+        // A follow-up solve on the same recipe reuses the instance.
+        let resp = s.handle(&post("/solve", TINY_SOLVE));
+        assert_eq!(
+            resp.headers
+                .iter()
+                .find(|(n, _)| n == "X-Instance-Cache")
+                .map(|(_, v)| v.as_str()),
+            Some("hit")
+        );
+    }
+
+    #[test]
+    fn batch_honors_mc_runs_cap_like_the_scenario_runner() {
+        let s = state();
+        let job = |cap: &str| {
+            format!(
+                r#"{{
+                    "dataset": {{"kind": "rand_mc", "c": 2, "n": 40, "seed_offset": 2}},
+                    "substrate": {{"influence_p": 0.1}},
+                    "solvers": ["Greedy"],
+                    "ks": [2],
+                    "taus": [0.5]{cap}
+                }}"#
+            )
+        };
+        let capped = s.handle(&post("/batch", &job(r#", "mc_runs_cap": 10"#)));
+        let uncapped = s.handle(&post("/batch", &job("")));
+        assert_eq!(capped.status, 200);
+        assert_eq!(uncapped.status, 200);
+        let f_of = |resp: &Response| {
+            parse_bytes(&resp.body)
+                .unwrap()
+                .get("cells")
+                .unwrap()
+                .as_arr()
+                .unwrap()[0]
+                .get("report")
+                .unwrap()
+                .get("f")
+                .and_then(Value::as_f64)
+                .unwrap()
+        };
+        // 10 MC runs vs the quick default (1000) must give different
+        // evaluation estimates for the same selection — proof the cap
+        // reaches the evaluator, matching scenario.rs semantics.
+        assert_ne!(f_of(&capped).to_bits(), f_of(&uncapped).to_bits());
+    }
+}

@@ -1,0 +1,290 @@
+//! The instance store: a bounded, LRU-evicting cache of built
+//! [`Instance`]s keyed by their canonical recipe hash.
+//!
+//! The store separates *registration* from *construction*. A request
+//! first registers its key under the store mutex — a cheap operation
+//! that either finds the existing entry (a **hit**) or inserts an
+//! empty slot, evicting the least-recently-used entry if the store is
+//! full (a **miss**). Construction then happens *outside* the store
+//! lock through the slot's [`std::sync::OnceLock`]: the first request
+//! for a key builds the instance while concurrent requests for the
+//! same key block only on that slot, and requests for other keys
+//! proceed untouched. Evicting a key whose instance is still being
+//! used (or built) is safe: holders keep the entry alive through its
+//! `Arc`, the store merely forgets it.
+
+use std::sync::{Arc, Mutex, OnceLock};
+
+use serde::json::{obj, Value};
+
+use crate::instance::Instance;
+
+/// Whether a lookup found an already-registered instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheStatus {
+    /// The key was already registered; no rebuild needed.
+    Hit,
+    /// The key was newly registered; the caller builds the instance.
+    Miss,
+}
+
+impl CacheStatus {
+    /// Header-friendly rendering (`hit` / `miss`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            CacheStatus::Hit => "hit",
+            CacheStatus::Miss => "miss",
+        }
+    }
+}
+
+/// One cache slot: the canonical identity plus the lazily-built
+/// instance.
+pub struct StoreEntry {
+    /// Cache key: hex FNV-1a of the canonical JSON.
+    pub key: String,
+    /// The canonical JSON the key hashes.
+    pub canonical: String,
+    cell: OnceLock<Instance>,
+}
+
+impl StoreEntry {
+    /// The instance, building it on first call. Concurrent callers for
+    /// the same entry block until the single build finishes.
+    pub fn get_or_build(&self, build: impl FnOnce() -> Instance) -> &Instance {
+        self.cell.get_or_init(build)
+    }
+
+    /// The instance, if it has finished building.
+    pub fn built(&self) -> Option<&Instance> {
+        self.cell.get()
+    }
+}
+
+struct Slot {
+    entry: Arc<StoreEntry>,
+    last_used: u64,
+    hits: u64,
+}
+
+struct Inner {
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    slots: Vec<Slot>,
+}
+
+/// Aggregate store counters, as reported by `/instances`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Lookups that found a registered instance.
+    pub hits: u64,
+    /// Lookups that registered a new instance.
+    pub misses: u64,
+    /// Entries dropped to make room.
+    pub evictions: u64,
+    /// Currently registered instances.
+    pub len: usize,
+    /// Maximum registered instances.
+    pub capacity: usize,
+}
+
+/// Bounded LRU cache of [`StoreEntry`]s; all methods take `&self` and
+/// are safe to call from many request threads.
+pub struct InstanceStore {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl InstanceStore {
+    /// An empty store holding at most `capacity` instances.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner {
+                clock: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+                slots: Vec::new(),
+            }),
+        }
+    }
+
+    /// Looks up `key`, registering an empty entry (and evicting the
+    /// least-recently-used one if full) when absent. Never builds —
+    /// call [`StoreEntry::get_or_build`] on the returned entry outside
+    /// the store lock.
+    pub fn get_or_insert(&self, key: &str, canonical: &str) -> (Arc<StoreEntry>, CacheStatus) {
+        let mut inner = self.inner.lock().expect("instance store poisoned");
+        inner.clock += 1;
+        let now = inner.clock;
+        if let Some(slot) = inner.slots.iter_mut().find(|s| s.entry.key == key) {
+            slot.last_used = now;
+            slot.hits += 1;
+            let entry = Arc::clone(&slot.entry);
+            inner.hits += 1;
+            return (entry, CacheStatus::Hit);
+        }
+        if inner.slots.len() >= self.capacity {
+            let lru = inner
+                .slots
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(i, _)| i)
+                .expect("non-empty at capacity");
+            inner.slots.remove(lru);
+            inner.evictions += 1;
+        }
+        let entry = Arc::new(StoreEntry {
+            key: key.to_string(),
+            canonical: canonical.to_string(),
+            cell: OnceLock::new(),
+        });
+        inner.slots.push(Slot {
+            entry: Arc::clone(&entry),
+            last_used: now,
+            hits: 0,
+        });
+        inner.misses += 1;
+        (entry, CacheStatus::Miss)
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> StoreStats {
+        let inner = self.inner.lock().expect("instance store poisoned");
+        StoreStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            len: inner.slots.len(),
+            capacity: self.capacity,
+        }
+    }
+
+    /// The `/instances` admin view: aggregate counters plus one row per
+    /// registered instance (most recently used first).
+    pub fn snapshot_json(&self) -> Value {
+        let inner = self.inner.lock().expect("instance store poisoned");
+        let mut rows: Vec<&Slot> = inner.slots.iter().collect();
+        rows.sort_by_key(|s| std::cmp::Reverse(s.last_used));
+        let instances: Vec<Value> = rows
+            .into_iter()
+            .map(|slot| {
+                let mut pairs = vec![
+                    ("key", Value::Str(slot.entry.key.clone())),
+                    ("canonical", Value::Str(slot.entry.canonical.clone())),
+                    ("hits", Value::Num(slot.hits as f64)),
+                ];
+                match slot.entry.built() {
+                    Some(instance) => {
+                        pairs.push(("built", Value::Bool(true)));
+                        pairs.push(("instance", instance.summary_json()));
+                    }
+                    None => pairs.push(("built", Value::Bool(false))),
+                }
+                obj(pairs)
+            })
+            .collect();
+        obj([
+            ("capacity", Value::Num(self.capacity as f64)),
+            ("len", Value::Num(inner.slots.len() as f64)),
+            ("hits", Value::Num(inner.hits as f64)),
+            ("misses", Value::Num(inner.misses as f64)),
+            ("evictions", Value::Num(inner.evictions as f64)),
+            ("instances", Value::Arr(instances)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{canonical_key, InstanceConfig};
+    use fair_submod_bench::scenario::{DatasetRecipe, SubstrateSpec};
+
+    fn tiny_instance() -> Instance {
+        Instance::build(
+            DatasetRecipe::RandMc {
+                c: 2,
+                n: 40,
+                seed_offset: 0,
+            },
+            SubstrateSpec::Coverage,
+            &InstanceConfig::default().quick(),
+        )
+    }
+
+    #[test]
+    fn hit_miss_and_lru_eviction() {
+        let store = InstanceStore::new(2);
+        let (_, s1) = store.get_or_insert("a", "{}");
+        let (_, s2) = store.get_or_insert("b", "{}");
+        let (_, s3) = store.get_or_insert("a", "{}");
+        assert_eq!(
+            (s1, s2, s3),
+            (CacheStatus::Miss, CacheStatus::Miss, CacheStatus::Hit)
+        );
+        // "b" is now least recently used; inserting "c" evicts it.
+        let (_, s4) = store.get_or_insert("c", "{}");
+        assert_eq!(s4, CacheStatus::Miss);
+        let (_, s5) = store.get_or_insert("b", "{}");
+        assert_eq!(s5, CacheStatus::Miss, "evicted key re-registers as miss");
+        let stats = store.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 4);
+        assert_eq!(stats.evictions, 2);
+        assert_eq!(stats.len, 2);
+    }
+
+    #[test]
+    fn concurrent_requests_build_once() {
+        let cfg = InstanceConfig::default().quick();
+        let recipe = DatasetRecipe::RandMc {
+            c: 2,
+            n: 40,
+            seed_offset: 0,
+        };
+        let (key, canonical) = canonical_key(&recipe, &SubstrateSpec::Coverage, &cfg);
+        let store = std::sync::Arc::new(InstanceStore::new(4));
+        let builds = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let store = std::sync::Arc::clone(&store);
+                let builds = std::sync::Arc::clone(&builds);
+                let (key, canonical) = (key.clone(), canonical.clone());
+                std::thread::spawn(move || {
+                    let (entry, _) = store.get_or_insert(&key, &canonical);
+                    let instance = entry.get_or_build(|| {
+                        builds.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                        tiny_instance()
+                    });
+                    instance.num_items
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 40);
+        }
+        assert_eq!(builds.load(std::sync::atomic::Ordering::SeqCst), 1);
+        let stats = store.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 7);
+    }
+
+    #[test]
+    fn snapshot_reports_built_state() {
+        let store = InstanceStore::new(2);
+        let (entry, _) = store.get_or_insert("k", "{\"x\":1}");
+        let before = store.snapshot_json();
+        let rows = before.get("instances").and_then(Value::as_arr).unwrap();
+        assert_eq!(rows[0].get("built").and_then(Value::as_bool), Some(false));
+        entry.get_or_build(tiny_instance);
+        let after = store.snapshot_json();
+        let rows = after.get("instances").and_then(Value::as_arr).unwrap();
+        assert_eq!(rows[0].get("built").and_then(Value::as_bool), Some(true));
+        assert!(rows[0].get("instance").is_some());
+    }
+}

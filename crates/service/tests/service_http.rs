@@ -1,0 +1,186 @@
+//! End-to-end integration test: spawn the daemon on an ephemeral port,
+//! round-trip the endpoints over a real TCP connection, and prove that
+//! a repeated-recipe solve skips rematerialization (observable through
+//! the `X-Instance-Cache` header and the `/instances` counters).
+
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{mpsc, Arc};
+
+use serde::json::{parse_bytes, Value};
+
+use fair_submod_service::http::read_response;
+use fair_submod_service::{serve, InstanceConfig, ServiceState};
+
+/// Starts the daemon on 127.0.0.1:0 in a background thread and returns
+/// the bound address. The thread serves for the rest of the process.
+fn spawn_daemon() -> SocketAddr {
+    let state = Arc::new(ServiceState::new(4, InstanceConfig::default().quick()));
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        serve("127.0.0.1:0", state, move |addr| {
+            tx.send(addr).expect("report bound address");
+        })
+        .expect("daemon serves");
+    });
+    rx.recv().expect("daemon binds")
+}
+
+struct Reply {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: Vec<u8>,
+}
+
+impl Reply {
+    fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn json(&self) -> Value {
+        parse_bytes(&self.body).unwrap_or_else(|e| {
+            panic!(
+                "non-JSON body ({e}): {:?}",
+                String::from_utf8_lossy(&self.body)
+            )
+        })
+    }
+}
+
+/// One request on a (kept-alive) connection; the response is parsed by
+/// the crate's own [`read_response`] so the wire format lives in one
+/// place.
+fn request(stream: &mut TcpStream, method: &str, path: &str, body: Option<&str>) -> Reply {
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).unwrap();
+    stream.write_all(body.as_bytes()).unwrap();
+    stream.flush().unwrap();
+
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let (status, headers, body) = read_response(&mut reader).unwrap();
+    Reply {
+        status,
+        headers,
+        body,
+    }
+}
+
+const SOLVE_BODY: &str = r#"{
+    "dataset": {"kind": "rand_mc", "c": 2, "n": 60},
+    "substrate": "coverage",
+    "solver": "BSM-TSGreedy",
+    "params": {"k": 3, "tau": 0.8}
+}"#;
+
+#[test]
+fn daemon_round_trips_and_caches_instances() {
+    let addr = spawn_daemon();
+    let mut conn = TcpStream::connect(addr).unwrap();
+
+    // /healthz
+    let health = request(&mut conn, "GET", "/healthz", None);
+    assert_eq!(health.status, 200);
+    let body = health.json();
+    assert_eq!(body.get("status").and_then(Value::as_str), Some("ok"));
+    assert_eq!(body.get("solvers").and_then(Value::as_usize), Some(16));
+    assert_eq!(body.get("instances").and_then(Value::as_usize), Some(0));
+
+    // /registry lists every solver with capability flags.
+    let registry = request(&mut conn, "GET", "/registry", None);
+    assert_eq!(registry.status, 200);
+    let solvers = registry.json();
+    let solvers = solvers.get("solvers").and_then(Value::as_arr).unwrap();
+    assert_eq!(solvers.len(), 16);
+    let names: Vec<&str> = solvers
+        .iter()
+        .filter_map(|v| v.get("name").and_then(Value::as_str))
+        .collect();
+    assert!(names.contains(&"Greedy") && names.contains(&"BSM-Saturate"));
+
+    // First solve: instance cache miss, full report.
+    let first = request(&mut conn, "POST", "/solve", Some(SOLVE_BODY));
+    assert_eq!(
+        first.status,
+        200,
+        "{}",
+        String::from_utf8_lossy(&first.body)
+    );
+    assert_eq!(first.header("x-instance-cache"), Some("miss"));
+    let key = first.header("x-instance-key").unwrap().to_string();
+    let report = first.json();
+    assert_eq!(
+        report.get("solver").and_then(Value::as_str),
+        Some("BSM-TSGreedy")
+    );
+    let items = report.get("items").and_then(Value::as_arr).unwrap();
+    assert!(!items.is_empty() && items.len() <= 3);
+    let f = report.get("f").and_then(Value::as_f64).unwrap();
+    assert!(f > 0.0 && f <= 1.0);
+
+    // Second solve on the same recipe (different solver, different
+    // params): must hit the instance cache — no rematerialization.
+    let second_body = SOLVE_BODY
+        .replace("BSM-TSGreedy", "Greedy")
+        .replace("\"k\": 3", "\"k\": 5");
+    let second = request(&mut conn, "POST", "/solve", Some(&second_body));
+    assert_eq!(second.status, 200);
+    assert_eq!(second.header("x-instance-cache"), Some("hit"));
+    assert_eq!(second.header("x-instance-key"), Some(key.as_str()));
+    assert_eq!(
+        second.header("x-instance-cache-hits"),
+        Some("1"),
+        "cumulative store hits exposed in headers"
+    );
+
+    // /instances shows one registered, built instance with one hit.
+    let instances = request(&mut conn, "GET", "/instances", None);
+    assert_eq!(instances.status, 200);
+    let body = instances.json();
+    assert_eq!(body.get("len").and_then(Value::as_usize), Some(1));
+    assert_eq!(body.get("hits").and_then(Value::as_usize), Some(1));
+    assert_eq!(body.get("misses").and_then(Value::as_usize), Some(1));
+    let rows = body.get("instances").and_then(Value::as_arr).unwrap();
+    assert_eq!(rows[0].get("key").and_then(Value::as_str), Some(&key[..]));
+    assert_eq!(rows[0].get("built").and_then(Value::as_bool), Some(true));
+
+    // /batch reuses the same cached instance for a whole grid.
+    let batch_body = r#"{
+        "dataset": {"kind": "rand_mc", "c": 2, "n": 60},
+        "substrate": "coverage",
+        "solvers": ["Greedy", "Saturate"],
+        "ks": [2, 3],
+        "taus": [0.8]
+    }"#;
+    let batch = request(&mut conn, "POST", "/batch", Some(batch_body));
+    assert_eq!(
+        batch.status,
+        200,
+        "{}",
+        String::from_utf8_lossy(&batch.body)
+    );
+    assert_eq!(batch.header("x-instance-cache"), Some("hit"));
+    let body = batch.json();
+    assert_eq!(body.get("ok_cells").and_then(Value::as_usize), Some(4));
+
+    // A fresh connection still sees the warm cache (state is shared
+    // across connections, not per-connection).
+    let mut conn2 = TcpStream::connect(addr).unwrap();
+    let third = request(&mut conn2, "POST", "/solve", Some(SOLVE_BODY));
+    assert_eq!(third.status, 200);
+    assert_eq!(third.header("x-instance-cache"), Some("hit"));
+
+    // Bad requests come back as JSON errors, and the daemon survives.
+    let bad = request(&mut conn2, "POST", "/solve", Some("{\"nope\": 1}"));
+    assert_eq!(bad.status, 400);
+    assert!(bad.json().get("error").is_some());
+    let after = request(&mut conn2, "GET", "/healthz", None);
+    assert_eq!(after.status, 200);
+}

@@ -97,6 +97,19 @@ impl Value {
         self.as_arr()?.iter().map(Value::as_usize).collect()
     }
 
+    /// The value as the object's key/value pairs, if it is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// Serializes compactly into bytes (e.g. an HTTP response body).
+    pub fn to_body_bytes(&self) -> Vec<u8> {
+        self.to_compact_string().into_bytes()
+    }
+
     /// Serializes compactly (no whitespace).
     pub fn to_compact_string(&self) -> String {
         let mut out = String::new();
@@ -230,6 +243,19 @@ impl fmt::Display for Error {
 }
 
 impl std::error::Error for Error {}
+
+/// Parses a JSON document from raw bytes (e.g. an HTTP request body).
+///
+/// The body must be UTF-8; invalid encoding is reported as a parse
+/// error at the offending byte rather than a panic, so servers can map
+/// it to a 400 response.
+pub fn parse_bytes(input: &[u8]) -> Result<Value, Error> {
+    let text = std::str::from_utf8(input).map_err(|e| Error {
+        message: "body is not valid UTF-8".into(),
+        offset: e.valid_up_to(),
+    })?;
+    parse(text)
+}
 
 /// Parses a JSON document (must consume the whole input up to trailing
 /// whitespace).
@@ -461,6 +487,22 @@ mod tests {
         // 2^64 must not saturate into range.
         assert_eq!(Value::Num((u64::MAX as f64) * 2.0).as_u64(), None);
         assert_eq!(parse("18446744073709551616").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn byte_bodies_round_trip() {
+        let v = obj([
+            ("solver", Value::Str("Greedy".into())),
+            ("k", Value::Num(5.0)),
+        ]);
+        let body = v.to_body_bytes();
+        assert_eq!(parse_bytes(&body).unwrap(), v);
+        assert_eq!(v.as_obj().map(<[_]>::len), Some(2));
+        assert_eq!(Value::Num(1.0).as_obj(), None);
+        // Invalid UTF-8 is a positioned parse error, not a panic.
+        let err = parse_bytes(&[b'"', 0xFF, b'"']).unwrap_err();
+        assert!(err.message.contains("UTF-8"));
+        assert_eq!(err.offset, 1);
     }
 
     #[test]

@@ -1,0 +1,171 @@
+//! Doc-reference integrity: every `DESIGN.md §N` citation in rustdoc
+//! (and the top-level docs) must point at a section that exists, and
+//! every `docs/*.md` path cited anywhere must be a real file.
+//!
+//! Rustdoc has cited DESIGN.md sections since the early PRs; the file
+//! itself only landed later, and nothing stopped a section from being
+//! renumbered out from under its citations. This test closes that gap
+//! the same way `-D warnings` closes intra-doc links: referencing a
+//! missing section or document fails CI.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Recursively collects files under `dir` with one of `extensions`,
+/// skipping build output.
+fn collect_files(dir: &Path, extensions: &[&str], out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name != "target" && !name.starts_with('.') {
+                collect_files(&path, extensions, out);
+            }
+        } else if extensions
+            .iter()
+            .any(|ext| name.ends_with(&format!(".{ext}")))
+        {
+            out.push(path);
+        }
+    }
+}
+
+/// The scanned corpus: all workspace Rust sources plus the top-level
+/// documentation (ISSUE.md and friends are process files, not docs,
+/// and are deliberately excluded).
+fn corpus() -> Vec<PathBuf> {
+    let root = repo_root();
+    let mut files = Vec::new();
+    for dir in ["crates", "src", "tests", "examples", "docs"] {
+        collect_files(&root.join(dir), &["rs", "md"], &mut files);
+    }
+    for name in ["README.md", "ARCHITECTURE.md", "DESIGN.md"] {
+        let path = root.join(name);
+        if path.exists() {
+            files.push(path);
+        }
+    }
+    files.sort();
+    files
+}
+
+/// Every `§N` number following the given needle in `text`.
+fn cited_sections(text: &str, needle: &str) -> Vec<u32> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(pos) = rest.find(needle) {
+        rest = &rest[pos + needle.len()..];
+        let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+        if let Ok(n) = digits.parse() {
+            out.push(n);
+        }
+    }
+    out
+}
+
+/// Every `docs/<path>.md` reference in `text`.
+fn cited_docs(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(pos) = rest.find("docs/") {
+        let tail = &rest[pos..];
+        let path: String = tail
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || matches!(c, '/' | '_' | '-' | '.'))
+            .collect();
+        if path.ends_with(".md") {
+            out.push(path.clone());
+        }
+        rest = &rest[pos + "docs/".len()..];
+    }
+    out
+}
+
+#[test]
+fn design_md_exists_and_is_cited() {
+    let design = repo_root().join("DESIGN.md");
+    assert!(design.exists(), "DESIGN.md missing at the repo root");
+    let text = std::fs::read_to_string(&design).unwrap();
+    assert!(
+        text.contains("## §4"),
+        "DESIGN.md must keep the dataset-substitution section rustdoc cites"
+    );
+}
+
+#[test]
+fn every_cited_design_section_exists() {
+    let design = std::fs::read_to_string(repo_root().join("DESIGN.md")).unwrap();
+    let defined: BTreeSet<u32> = cited_sections(&design, "## §").into_iter().collect();
+    assert!(!defined.is_empty(), "DESIGN.md defines no `## §N` sections");
+
+    let mut checked = 0usize;
+    for path in corpus() {
+        if path.ends_with("DESIGN.md") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        for section in cited_sections(&text, "DESIGN.md §") {
+            checked += 1;
+            assert!(
+                defined.contains(&section),
+                "{} cites DESIGN.md §{section}, but DESIGN.md has no `## §{section}` heading \
+                 (defined: {defined:?})",
+                path.display()
+            );
+        }
+    }
+    assert!(
+        checked >= 4,
+        "expected the known DESIGN.md §N citations in rustdoc to be scanned (found {checked})"
+    );
+}
+
+#[test]
+fn every_cited_docs_path_exists() {
+    let root = repo_root();
+    let mut checked = 0usize;
+    for path in corpus() {
+        let text = std::fs::read_to_string(&path).unwrap();
+        for doc in cited_docs(&text) {
+            // Skip glob-style mentions ("docs/*.md") in prose.
+            if doc.contains('*') {
+                continue;
+            }
+            checked += 1;
+            assert!(
+                root.join(&doc).exists(),
+                "{} references {doc}, which does not exist",
+                path.display()
+            );
+        }
+    }
+    assert!(
+        checked >= 1,
+        "expected at least the README's docs/paper_map.md reference to be scanned"
+    );
+}
+
+#[test]
+fn top_level_docs_cross_reference_each_other() {
+    // The documentation layer is a graph: README links the paper map
+    // and spec schema; DESIGN and ARCHITECTURE reference each other.
+    let read = |name: &str| std::fs::read_to_string(repo_root().join(name)).unwrap();
+    let readme = read("README.md");
+    assert!(readme.contains("docs/paper_map.md"));
+    assert!(readme.contains("crates/bench/specs/README.md"));
+    assert!(readme.contains("DESIGN.md"));
+    let design = read("DESIGN.md");
+    assert!(design.contains("ARCHITECTURE.md"));
+    let architecture = read("ARCHITECTURE.md");
+    assert!(architecture.contains("DESIGN.md §7"));
+    // And the spec schema doc exists next to the specs it describes.
+    assert!(repo_root().join("crates/bench/specs/README.md").exists());
+}
