@@ -23,6 +23,14 @@ pub struct ExpArgs {
     pub strict: bool,
     /// Path for the JSON run report (default `<out>/<spec>_report.json`).
     pub report: Option<String>,
+    /// Restrict every grid job to this comma-separated subset of
+    /// registry names (`scenarios --solvers Greedy,BSM-Saturate`), so a
+    /// spec can be rerun for a few solvers without editing the JSON.
+    pub solvers: Option<Vec<String>>,
+    /// Disable warm k-axis sweeps: run every grid cell from the empty
+    /// set (`--cold`), as the pre-session harness did. The CI grid-reuse
+    /// smoke diffs warm against cold solutions with this flag.
+    pub cold: bool,
 }
 
 impl Default for ExpArgs {
@@ -37,6 +45,8 @@ impl Default for ExpArgs {
             list: false,
             strict: false,
             report: None,
+            solvers: None,
+            cold: false,
         }
     }
 }
@@ -79,6 +89,16 @@ impl ExpArgs {
                 "--list" => out.list = true,
                 "--strict" => out.strict = true,
                 "--report" => out.report = Some(expect_value(&mut it, "--report")),
+                "--solvers" => {
+                    out.solvers = Some(
+                        expect_value(&mut it, "--solvers")
+                            .split(',')
+                            .map(|s| s.trim().to_string())
+                            .filter(|s| !s.is_empty())
+                            .collect(),
+                    )
+                }
+                "--cold" => out.cold = true,
                 other => panic!("unknown flag {other}"),
             }
         }
@@ -121,6 +141,21 @@ mod tests {
         assert_eq!(a.spec.as_deref(), Some("fig3"));
         assert!(a.strict && a.list);
         assert_eq!(a.report.as_deref(), Some("r.json"));
+        assert!(a.solvers.is_none() && !a.cold);
+    }
+
+    #[test]
+    fn solver_filter_and_cold_parse() {
+        let a = ExpArgs::from_iter(
+            ["--solvers", "Greedy, BSM-Saturate,", "--cold"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(
+            a.solvers.as_deref(),
+            Some(&["Greedy".to_string(), "BSM-Saturate".to_string()][..])
+        );
+        assert!(a.cold);
     }
 
     #[test]

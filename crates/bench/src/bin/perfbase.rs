@@ -16,6 +16,12 @@
 //! parallel paths are deterministic by construction), so `perfbase`
 //! doubles as an end-to-end equivalence smoke test.
 //!
+//! The `grid_warm_vs_cold` scenario measures the session layer instead
+//! of thread counts: a Greedy k-sweep (k = 5..50) run cold (every cell
+//! from the empty set) versus warm (the whole k-axis served from one
+//! resumable session by prefix extraction), with bit-identical
+//! solutions asserted between the two.
+//!
 //! Usage: `cargo run -p fair-submod-bench --release --bin perfbase --
 //! [--quick] [--out BENCH_baseline.json]`.
 
@@ -220,7 +226,8 @@ fn main() {
             };
             let mut fs = Vec::new();
             for k in [5usize, 10] {
-                let results = run_suite(&oracle, &evaluator, &registry, &GridConfig::paper(k, 0.8));
+                let results = run_suite(&oracle, &evaluator, &registry, &GridConfig::paper(k, 0.8))
+                    .expect("paper grid is valid");
                 fs.extend(
                     results
                         .into_iter()
@@ -246,6 +253,63 @@ fn main() {
             name: "fig6_style_sweep",
             before_label: "1_thread",
             after_label: "default_threads",
+            before_seconds,
+            after_seconds,
+        });
+    }
+
+    // ── 6. Warm vs cold k-axis sweep (session prefix extraction). ────
+    eprintln!("[perfbase] grid warm vs cold k-sweep ...");
+    {
+        let n = if quick { 400 } else { 1_000 };
+        let dataset = rand_mc(2, n, seeds::RAND + 7);
+        let oracle = dataset.coverage_oracle();
+        let registry = SolverRegistry::default();
+        let ks: Vec<usize> = (1..=10).map(|i| i * 5).collect(); // 5, 10, …, 50
+        let grid = GridConfig {
+            solvers: vec!["Greedy".into()],
+            ks,
+            taus: vec![0.8],
+            epsilons: vec![0.05],
+            repetitions: 1,
+            warm_sweeps: true,
+            base: fair_submod_core::engine::ScenarioParams::new(5, 0.8),
+        };
+        let run = |grid: &GridConfig| {
+            run_suite(
+                &oracle,
+                &|items| fair_submod_core::metrics::evaluate(&oracle, items),
+                &registry,
+                grid,
+            )
+            .expect("k-sweep grid is valid")
+        };
+        let cold_grid = grid.clone().cold();
+        let before_seconds = time_best(reps, || run(&cold_grid));
+        let after_seconds = time_best(reps, || run(&grid));
+        // Warm prefix extraction must be bit-identical to cold solves.
+        let warm = run(&grid);
+        let cold = run(&cold_grid);
+        for (w, c) in warm.iter().zip(&cold) {
+            let (wr, cr) = (
+                w.report().expect("greedy runs"),
+                c.report().expect("greedy runs"),
+            );
+            assert_eq!(wr.items, cr.items, "warm sweep changed selections");
+            assert_eq!(
+                wr.objective.to_bits(),
+                cr.objective.to_bits(),
+                "warm sweep changed objectives"
+            );
+            assert_eq!(
+                wr.oracle_calls, cr.oracle_calls,
+                "warm sweep changed call accounting"
+            );
+        }
+        scenarios.push(Scenario {
+            name: "grid_warm_vs_cold",
+            before_label: "cold_per_cell",
+            after_label: "warm_k_axis_session",
             before_seconds,
             after_seconds,
         });

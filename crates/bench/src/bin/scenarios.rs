@@ -7,6 +7,8 @@
 //! scenarios --spec fig3 [--quick]        # run a paper artifact
 //! scenarios --spec my_experiment.json    # run a custom spec file
 //! scenarios --spec smoke --quick --strict  # the CI smoke gate
+//! scenarios --spec fig4 --solvers Greedy,BSM-Saturate  # subset rerun
+//! scenarios --spec smoke --quick --cold  # disable warm k-axis sweeps
 //! ```
 
 use fair_submod_bench::args::ExpArgs;
@@ -25,7 +27,10 @@ fn main() {
     match args.spec.as_deref() {
         Some(spec) => alias_main(spec),
         None => {
-            eprintln!("usage: scenarios --spec <name-or-path> [--quick] [--strict]");
+            eprintln!(
+                "usage: scenarios --spec <name-or-path> [--quick] [--strict] \
+                 [--solvers a,b] [--cold]"
+            );
             eprintln!("       scenarios --list");
             std::process::exit(2);
         }

@@ -3,23 +3,50 @@
 //!
 //! The solver suite lives in
 //! [`fair_submod_core::engine::SolverRegistry`]; this module only
-//! handles the *grid* — expanding the axes into cells, running the
-//! cells concurrently across worker threads (they are independent, and
-//! every solver is deterministic for a fixed seed, so concurrency
-//! affects wall-clock time only), and re-evaluating each solution with
-//! a caller-provided evaluator (oracle-exact for MC/FL, Monte-Carlo for
-//! IM). Results come back in deterministic grid order. Capability gaps
-//! (SMSC on `c ≠ 2`, exact solvers over their size caps) come back as
-//! typed errors inside [`CellOutcome`], never as panics, so a sweep
-//! always completes. Per-cell `seconds` are measured per solver, but on
-//! a shared machine concurrent cells can inflate one another's
-//! wall-clock; for publication-grade runtime plots, pin
-//! `RAYON_NUM_THREADS=1`.
+//! handles the *grid* — expanding the axes into cells (checked:
+//! [`GridConfig::cells`] rejects empty axes and size overflows with a
+//! typed [`GridError`] instead of silently producing a zero-cell
+//! sweep), running the cells concurrently across worker threads (they
+//! are independent, and every solver is deterministic for a fixed seed,
+//! so concurrency affects wall-clock time only), and re-evaluating each
+//! solution with a caller-provided evaluator (oracle-exact for MC/FL,
+//! Monte-Carlo for IM). Results come back in deterministic grid order.
+//! Capability gaps (SMSC on `c ≠ 2`, exact solvers over their size
+//! caps) come back as typed errors inside [`CellOutcome`], never as
+//! panics, so a sweep always completes.
+//!
+//! ## Warm k-axis sweeps
+//!
+//! The paper's experiments sweep the budget `k` (Figs. 4, 6, 8, 11),
+//! and for greedy-family solvers the solution at budget `k` is a strict
+//! prefix of the solution at `k′ > k`. When
+//! [`GridConfig::warm_sweeps`] is on (the default), the executor groups
+//! grid cells by `(solver, τ, ε, rep)`, opens one resumable
+//! [`SolveSession`](fair_submod_core::engine::SolveSession) at the
+//! largest `k` of the axis, and serves every smaller budget by exact
+//! prefix extraction — `O(max k)` greedy rounds for the whole axis
+//! instead of `O(Σ k)`. Only sessions that declare
+//! [`prefix_exact`](fair_submod_core::engine::SolveSession::prefix_exact)
+//! take this path, and extraction is
+//! bit-identical to a cold per-cell solve (items, objective, oracle
+//! calls — enforced by `tests/session_equivalence.rs`); warm cells are
+//! flagged via [`CellOutcome::warm`] and record the rounds and oracle
+//! calls the shared session saved in their report notes
+//! (`warm_saved_rounds`, `warm_saved_oracle_calls`).
+//!
+//! Per-cell `seconds` are measured per solver (for warm cells: the
+//! share of session stepping spent between the previous budget and this
+//! one, plus extraction), but on a shared machine concurrent cells can
+//! inflate one another's wall-clock; for publication-grade runtime
+//! plots, pin `RAYON_NUM_THREADS=1`.
+
+use std::fmt;
+use std::time::Instant;
 
 use rayon::prelude::*;
 
 use fair_submod_core::engine::{
-    DynUtilitySystem, ScenarioParams, SolveReport, SolverError, SolverRegistry,
+    DynUtilitySystem, ScenarioParams, SessionStatus, SolveReport, SolverError, SolverRegistry,
 };
 use fair_submod_core::items::ItemId;
 use fair_submod_core::metrics::Evaluation;
@@ -44,9 +71,62 @@ pub struct GridConfig {
     /// so deterministic solvers repeat identically and randomized ones
     /// re-sample reproducibly.
     pub repetitions: usize,
+    /// Serve multi-`k` axes of prefix-exact resumable solvers from one
+    /// warm session per `(solver, τ, ε, rep)` group (see the module
+    /// docs). Off = the historical cold per-cell execution.
+    pub warm_sweeps: bool,
     /// Template parameters (seed, greedy variant, exact caps, …);
     /// `k`/`tau`/`epsilon` are overwritten per cell.
     pub base: ScenarioParams,
+}
+
+/// Typed rejection of a grid whose axes cannot expand into cells.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GridError {
+    /// An axis is empty — the sweep would silently run zero cells.
+    EmptyAxis {
+        /// Which axis (`solvers`, `ks`, `taus`, `epsilons`).
+        axis: &'static str,
+    },
+    /// The axis-length product overflows `usize` — the sweep size is
+    /// nonsensical.
+    Overflow {
+        /// Human-readable axis lengths.
+        lengths: String,
+    },
+}
+
+impl fmt::Display for GridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GridError::EmptyAxis { axis } => {
+                write!(
+                    f,
+                    "grid axis '{axis}' is empty; the sweep would run zero cells"
+                )
+            }
+            GridError::Overflow { lengths } => {
+                write!(f, "grid size overflows usize (axis lengths {lengths})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GridError {}
+
+/// One expanded `(solver, k, τ, ε, rep)` grid point, before execution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GridCell {
+    /// Registry name of the solver.
+    pub solver: String,
+    /// `k` of the cell.
+    pub k: usize,
+    /// `τ` of the cell.
+    pub tau: f64,
+    /// `ε` of the cell.
+    pub epsilon: f64,
+    /// Repetition index (0-based).
+    pub rep: usize,
 }
 
 impl GridConfig {
@@ -58,6 +138,7 @@ impl GridConfig {
             taus: vec![tau],
             epsilons: vec![0.05],
             repetitions: 1,
+            warm_sweeps: true,
             base: ScenarioParams::new(k, tau),
         }
     }
@@ -68,13 +149,68 @@ impl GridConfig {
         self
     }
 
-    /// Number of cells this grid expands to.
-    pub fn num_cells(&self) -> usize {
-        self.solvers.len()
-            * self.ks.len()
-            * self.taus.len()
-            * self.epsilons.len()
-            * self.repetitions.max(1)
+    /// Disables warm k-axis sweeps (cold per-cell execution).
+    pub fn cold(mut self) -> Self {
+        self.warm_sweeps = false;
+        self
+    }
+
+    /// Number of cells this grid expands to, checked: empty axes and
+    /// `usize` overflow are typed [`GridError`]s instead of a silent
+    /// zero (or wrapped) product.
+    pub fn num_cells(&self) -> Result<usize, GridError> {
+        for (axis, len) in [
+            ("solvers", self.solvers.len()),
+            ("ks", self.ks.len()),
+            ("taus", self.taus.len()),
+            ("epsilons", self.epsilons.len()),
+        ] {
+            if len == 0 {
+                return Err(GridError::EmptyAxis { axis });
+            }
+        }
+        let lengths = || {
+            format!(
+                "{} × {} × {} × {} × {}",
+                self.solvers.len(),
+                self.ks.len(),
+                self.taus.len(),
+                self.epsilons.len(),
+                self.repetitions.max(1)
+            )
+        };
+        self.solvers
+            .len()
+            .checked_mul(self.ks.len())
+            .and_then(|n| n.checked_mul(self.taus.len()))
+            .and_then(|n| n.checked_mul(self.epsilons.len()))
+            .and_then(|n| n.checked_mul(self.repetitions.max(1)))
+            .ok_or_else(|| GridError::Overflow { lengths: lengths() })
+    }
+
+    /// Expands the axes into cells in the deterministic grid order
+    /// `k → τ → ε → rep → solver`, with the same checks as
+    /// [`GridConfig::num_cells`].
+    pub fn cells(&self) -> Result<Vec<GridCell>, GridError> {
+        let mut cells = Vec::with_capacity(self.num_cells()?);
+        for &k in &self.ks {
+            for &tau in &self.taus {
+                for &epsilon in &self.epsilons {
+                    for rep in 0..self.repetitions.max(1) {
+                        for solver in &self.solvers {
+                            cells.push(GridCell {
+                                solver: solver.clone(),
+                                k,
+                                tau,
+                                epsilon,
+                                rep,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(cells)
     }
 }
 
@@ -91,6 +227,9 @@ pub struct CellOutcome {
     pub epsilon: f64,
     /// Repetition index (0-based).
     pub rep: usize,
+    /// Whether this cell was served from a warm session's prefix
+    /// instead of a cold per-cell solve (bit-identical either way).
+    pub warm: bool,
     /// The solver's report — with `f`/`g`/`group_utilities` replaced by
     /// the caller's evaluator — or its typed rejection.
     pub outcome: Result<SolveReport, SolverError>,
@@ -103,55 +242,272 @@ impl CellOutcome {
     }
 }
 
+/// Cell parameters: the grid template with the cell's axes substituted.
+fn cell_params(
+    base: &ScenarioParams,
+    k: usize,
+    tau: f64,
+    epsilon: f64,
+    rep: usize,
+) -> ScenarioParams {
+    let mut params = base.clone();
+    params.k = k;
+    params.tau = tau;
+    params.epsilon = epsilon;
+    params.seed = base.seed.wrapping_add(rep as u64);
+    params
+}
+
+/// Applies the caller's evaluator to a report (harness semantics:
+/// selection comes from the solver's oracle, evaluation from the
+/// ground-truth evaluator).
+fn re_evaluate(report: &mut SolveReport, evaluator: &(dyn Fn(&[ItemId]) -> Evaluation + Sync)) {
+    let eval = evaluator(&report.items);
+    report.f = eval.f;
+    report.g = eval.g;
+    report.group_utilities = eval.group_means;
+}
+
+/// One unit of parallel work: a cold cell, or a warm `(solver, τ, ε,
+/// rep)` group covering a whole k-axis. `usize` indices key the results
+/// back into deterministic grid order.
+enum WorkUnit {
+    Cold(usize, GridCell),
+    Warm(Vec<(usize, GridCell)>),
+}
+
 /// Runs the grid on `system`, evaluating each solution with `evaluator`
 /// (pass [`fair_submod_core::metrics::evaluate`] for oracle-exact
 /// applications; a Monte-Carlo closure for IM).
 ///
 /// Cells run concurrently (see the module docs); the result order is
-/// the deterministic grid order `k → τ → ε → rep → solver`.
+/// the deterministic grid order `k → τ → ε → rep → solver`. An invalid
+/// grid (empty axis, size overflow) is a typed [`GridError`] instead of
+/// an empty result.
 pub fn run_suite(
     system: &dyn DynUtilitySystem,
     evaluator: &(dyn Fn(&[ItemId]) -> Evaluation + Sync),
     registry: &SolverRegistry,
     grid: &GridConfig,
-) -> Vec<CellOutcome> {
-    let mut cells: Vec<(String, usize, f64, f64, usize)> = Vec::with_capacity(grid.num_cells());
-    for &k in &grid.ks {
-        for &tau in &grid.taus {
-            for &epsilon in &grid.epsilons {
-                for rep in 0..grid.repetitions.max(1) {
-                    for solver in &grid.solvers {
-                        cells.push((solver.clone(), k, tau, epsilon, rep));
-                    }
+) -> Result<Vec<CellOutcome>, GridError> {
+    let cells = grid.cells()?;
+    let units = plan_units(registry, grid, cells);
+    let nested: Vec<Vec<(usize, CellOutcome)>> = units
+        .into_par_iter()
+        .map(|unit| match unit {
+            WorkUnit::Cold(index, cell) => {
+                vec![(
+                    index,
+                    run_cold_cell(system, evaluator, registry, grid, cell),
+                )]
+            }
+            WorkUnit::Warm(group) => run_warm_group(system, evaluator, registry, grid, group),
+        })
+        .collect();
+    let mut outcomes: Vec<(usize, CellOutcome)> = nested.into_iter().flatten().collect();
+    outcomes.sort_by_key(|(index, _)| *index);
+    Ok(outcomes.into_iter().map(|(_, outcome)| outcome).collect())
+}
+
+/// Splits indexed cells into cold units and warm `(solver, τ, ε, rep)`
+/// groups. A group goes warm only when warm sweeps are enabled, the
+/// k-axis has more than one point, and the solver statically declares
+/// `resumable` *and* `prefix_exact` — grouping a non-prefix solver
+/// would serialize its whole k-axis into one work unit for nothing.
+/// The opened session's own `prefix_exact()` is still re-checked at
+/// run time (disagreement degrades to cold solves inside the group).
+fn plan_units(registry: &SolverRegistry, grid: &GridConfig, cells: Vec<GridCell>) -> Vec<WorkUnit> {
+    let multi_k = grid.ks.len() > 1;
+    if !grid.warm_sweeps || !multi_k {
+        return cells
+            .into_iter()
+            .enumerate()
+            .map(|(index, cell)| WorkUnit::Cold(index, cell))
+            .collect();
+    }
+    let mut units: Vec<WorkUnit> = Vec::new();
+    // Key → position in `units`, so the expansion stays a single pass.
+    let mut groups: Vec<((String, u64, u64, usize), usize)> = Vec::new();
+    for (index, cell) in cells.into_iter().enumerate() {
+        let warm_capable = registry.get(&cell.solver).is_some_and(|s| {
+            let caps = s.capabilities();
+            caps.resumable && caps.prefix_exact
+        });
+        if !warm_capable {
+            units.push(WorkUnit::Cold(index, cell));
+            continue;
+        }
+        let key = (
+            cell.solver.clone(),
+            cell.tau.to_bits(),
+            cell.epsilon.to_bits(),
+            cell.rep,
+        );
+        match groups.iter().find(|(k, _)| *k == key) {
+            Some(&(_, at)) => {
+                if let WorkUnit::Warm(group) = &mut units[at] {
+                    group.push((index, cell));
                 }
+            }
+            None => {
+                groups.push((key, units.len()));
+                units.push(WorkUnit::Warm(vec![(index, cell)]));
             }
         }
     }
-    cells
-        .into_par_iter()
-        .map(|(solver, k, tau, epsilon, rep)| {
-            let mut params = grid.base.clone();
-            params.k = k;
-            params.tau = tau;
-            params.epsilon = epsilon;
-            params.seed = grid.base.seed.wrapping_add(rep as u64);
-            let outcome = registry.solve(&solver, system, &params).map(|mut report| {
-                let eval = evaluator(&report.items);
-                report.f = eval.f;
-                report.g = eval.g;
-                report.group_utilities = eval.group_means;
-                report
-            });
-            CellOutcome {
-                solver,
-                k,
-                tau,
-                epsilon,
-                rep,
-                outcome,
+    units
+}
+
+fn run_cold_cell(
+    system: &dyn DynUtilitySystem,
+    evaluator: &(dyn Fn(&[ItemId]) -> Evaluation + Sync),
+    registry: &SolverRegistry,
+    grid: &GridConfig,
+    cell: GridCell,
+) -> CellOutcome {
+    let params = cell_params(&grid.base, cell.k, cell.tau, cell.epsilon, cell.rep);
+    let outcome = registry
+        .solve(&cell.solver, system, &params)
+        .map(|mut report| {
+            re_evaluate(&mut report, evaluator);
+            report
+        });
+    CellOutcome {
+        solver: cell.solver,
+        k: cell.k,
+        tau: cell.tau,
+        epsilon: cell.epsilon,
+        rep: cell.rep,
+        warm: false,
+        outcome,
+    }
+}
+
+/// Serves one `(solver, τ, ε, rep)` group's whole k-axis from a single
+/// warm session: open at the largest `k`, step to each budget in
+/// ascending order, and extract the (bit-identical) prefix report.
+/// Sessions that are not prefix-exact — or fail to open — degrade to
+/// cold per-cell execution/errors, so the group always completes.
+fn run_warm_group(
+    system: &dyn DynUtilitySystem,
+    evaluator: &(dyn Fn(&[ItemId]) -> Evaluation + Sync),
+    registry: &SolverRegistry,
+    grid: &GridConfig,
+    group: Vec<(usize, GridCell)>,
+) -> Vec<(usize, CellOutcome)> {
+    let cold_all = |group: Vec<(usize, GridCell)>| -> Vec<(usize, CellOutcome)> {
+        group
+            .into_iter()
+            .map(|(index, cell)| {
+                (
+                    index,
+                    run_cold_cell(system, evaluator, registry, grid, cell),
+                )
+            })
+            .collect()
+    };
+    let max_k = group.iter().map(|(_, cell)| cell.k).max().unwrap_or(0);
+    let template = &group[0].1;
+    let params = cell_params(
+        &grid.base,
+        max_k,
+        template.tau,
+        template.epsilon,
+        template.rep,
+    );
+    let open_start = Instant::now();
+    let mut session = match registry.open_session(&template.solver, system, &params) {
+        Ok(session) => session,
+        Err(error) => {
+            // The error is k-independent for resumable solvers (τ/ε
+            // validation), so every cell of the group reports it — the
+            // same outcome a cold sweep would produce cell by cell.
+            return group
+                .into_iter()
+                .map(|(index, cell)| {
+                    (
+                        index,
+                        CellOutcome {
+                            solver: cell.solver,
+                            k: cell.k,
+                            tau: cell.tau,
+                            epsilon: cell.epsilon,
+                            rep: cell.rep,
+                            warm: false,
+                            outcome: Err(error.clone()),
+                        },
+                    )
+                })
+                .collect();
+        }
+    };
+    if !session.prefix_exact() {
+        return cold_all(group);
+    }
+    let mut opened_seconds = open_start.elapsed().as_secs_f64();
+
+    // Ascending-k order: step the session only as far as each budget
+    // needs, so per-cell seconds reflect the marginal rounds.
+    let mut by_k: Vec<(usize, GridCell)> = group;
+    by_k.sort_by_key(|(_, cell)| cell.k);
+    let mut results: Vec<(usize, CellOutcome)> = Vec::with_capacity(by_k.len());
+    let mut cold_calls_total = 0u64;
+    let mut cold_rounds_total = 0u64;
+    for (index, cell) in by_k {
+        let start = Instant::now();
+        // `rounds()` is the cheap counter — polling `snapshot()` here
+        // would clone the items vector once per round.
+        while session.rounds() < cell.k && !session.done() {
+            if session.step(system) == SessionStatus::Done {
+                break;
             }
-        })
-        .collect()
+        }
+        let extracted = session.solution_at(system, cell.k);
+        // Selection time only (stepping + prefix extraction) — the
+        // clock stops before the caller's evaluator runs, matching the
+        // cold path where `seconds` is the registry's solve timer and
+        // re-evaluation happens outside it.
+        let selection_seconds = opened_seconds + start.elapsed().as_secs_f64();
+        opened_seconds = 0.0;
+        let outcome = extracted.map(|mut report| {
+            re_evaluate(&mut report, evaluator);
+            cold_calls_total += report.oracle_calls;
+            cold_rounds_total += report.items.len() as u64;
+            report.seconds = selection_seconds;
+            report
+        });
+        results.push((
+            index,
+            CellOutcome {
+                solver: cell.solver,
+                k: cell.k,
+                tau: cell.tau,
+                epsilon: cell.epsilon,
+                rep: cell.rep,
+                warm: true,
+                outcome,
+            },
+        ));
+    }
+
+    // Record what the shared session saved versus cold per-cell solves:
+    // the prefix reports carry exactly the cold counts, so the saving is
+    // their sum minus what the one session actually spent.
+    let snapshot = session.snapshot();
+    let saved_calls = cold_calls_total.saturating_sub(snapshot.oracle_calls);
+    let saved_rounds = cold_rounds_total.saturating_sub(snapshot.round as u64);
+    for (_, outcome) in &mut results {
+        if let Ok(report) = &mut outcome.outcome {
+            report.notes.push(("warm".into(), 1.0));
+            report
+                .notes
+                .push(("warm_saved_oracle_calls".into(), saved_calls as f64));
+            report
+                .notes
+                .push(("warm_saved_rounds".into(), saved_rounds as f64));
+        }
+    }
+    results
 }
 
 #[cfg(test)]
@@ -165,7 +521,7 @@ mod tests {
         let sys = toy::figure1();
         let registry = SolverRegistry::default();
         let grid = GridConfig::paper(2, 0.5).with_optimal();
-        let results = run_suite(&sys, &|items| evaluate(&sys, items), &registry, &grid);
+        let results = run_suite(&sys, &|items| evaluate(&sys, items), &registry, &grid).unwrap();
         let names: Vec<&str> = results.iter().map(|r| r.solver.as_str()).collect();
         assert_eq!(
             names,
@@ -193,7 +549,7 @@ mod tests {
         let sys = toy::random_coverage(10, 30, 3, 0.2, 1);
         let registry = SolverRegistry::default();
         let grid = GridConfig::paper(3, 0.5);
-        let results = run_suite(&sys, &|items| evaluate(&sys, items), &registry, &grid);
+        let results = run_suite(&sys, &|items| evaluate(&sys, items), &registry, &grid).unwrap();
         let smsc = results.iter().find(|r| r.solver == "SMSC").unwrap();
         assert!(matches!(
             smsc.outcome,
@@ -211,8 +567,8 @@ mod tests {
         grid.solvers = vec!["Greedy".into(), "Random".into()];
         grid.taus = vec![0.2, 0.8];
         grid.repetitions = 2;
-        let results = run_suite(&sys, &|items| evaluate(&sys, items), &registry, &grid);
-        assert_eq!(results.len(), grid.num_cells());
+        let results = run_suite(&sys, &|items| evaluate(&sys, items), &registry, &grid).unwrap();
+        assert_eq!(results.len(), grid.num_cells().unwrap());
         assert_eq!(results.len(), 8);
         assert_eq!(results[0].tau, 0.2);
         assert_eq!(results[0].rep, 0);
@@ -225,5 +581,93 @@ mod tests {
             greedy[0].report().unwrap().items,
             greedy[1].report().unwrap().items
         );
+    }
+
+    #[test]
+    fn empty_axes_and_overflow_are_typed_errors() {
+        let sys = toy::figure1();
+        let registry = SolverRegistry::default();
+        let mut grid = GridConfig::paper(2, 0.5);
+        grid.taus.clear();
+        assert_eq!(grid.num_cells(), Err(GridError::EmptyAxis { axis: "taus" }));
+        let err = run_suite(&sys, &|items| evaluate(&sys, items), &registry, &grid).unwrap_err();
+        assert_eq!(err, GridError::EmptyAxis { axis: "taus" });
+        assert!(err.to_string().contains("taus"));
+
+        let mut grid = GridConfig::paper(2, 0.5);
+        // 5 solvers × usize::MAX repetitions overflows the product.
+        grid.repetitions = usize::MAX;
+        assert!(matches!(grid.num_cells(), Err(GridError::Overflow { .. })));
+        assert!(grid.cells().is_err());
+    }
+
+    #[test]
+    fn warm_k_axis_sweep_is_bit_identical_to_cold() {
+        let sys = toy::random_coverage(40, 120, 3, 0.08, 6);
+        let registry = SolverRegistry::default();
+        let mut grid = GridConfig::paper(8, 0.6);
+        grid.solvers = vec!["Greedy".into(), "Random".into()];
+        grid.ks = vec![2, 5, 8];
+        grid.repetitions = 2;
+        let warm = run_suite(&sys, &|items| evaluate(&sys, items), &registry, &grid).unwrap();
+        let cold = run_suite(
+            &sys,
+            &|items| evaluate(&sys, items),
+            &registry,
+            &grid.clone().cold(),
+        )
+        .unwrap();
+        assert_eq!(warm.len(), cold.len());
+        let mut warm_cells = 0;
+        for (w, c) in warm.iter().zip(&cold) {
+            assert_eq!(
+                (w.solver.as_str(), w.k, w.rep),
+                (c.solver.as_str(), c.k, c.rep)
+            );
+            let (wr, cr) = (w.report().unwrap(), c.report().unwrap());
+            assert_eq!(wr.items, cr.items, "{} k={}", w.solver, w.k);
+            assert_eq!(wr.objective.to_bits(), cr.objective.to_bits());
+            assert_eq!(wr.f.to_bits(), cr.f.to_bits());
+            assert_eq!(wr.oracle_calls, cr.oracle_calls, "{} k={}", w.solver, w.k);
+            if w.warm {
+                warm_cells += 1;
+                assert_eq!(w.solver, "Greedy", "only prefix-exact solvers go warm");
+                assert!(wr.notes.iter().any(|(l, v)| l == "warm" && *v == 1.0));
+            } else {
+                assert!(wr.notes.iter().all(|(l, _)| l != "warm"));
+            }
+        }
+        // Both Greedy reps × 3 ks rode the warm path.
+        assert_eq!(warm_cells, 6);
+        // The warm sweep actually saved oracle calls over the cold one.
+        let saved = warm
+            .iter()
+            .filter_map(|c| c.report())
+            .flat_map(|r| r.notes.iter())
+            .find(|(l, _)| l == "warm_saved_oracle_calls")
+            .map(|(_, v)| *v)
+            .unwrap_or(0.0);
+        assert!(saved > 0.0, "k-axis reuse saved no oracle calls");
+    }
+
+    #[test]
+    fn warm_groups_surface_typed_errors_per_cell() {
+        // BSM-Saturate is resumable but not prefix-exact, so its cells
+        // run cold even on a multi-k grid — and an invalid ε must yield
+        // the same typed per-cell error either way.
+        let sys = toy::figure1();
+        let registry = SolverRegistry::default();
+        let mut grid = GridConfig::paper(2, 0.5);
+        grid.solvers = vec!["BSM-Saturate".into()];
+        grid.ks = vec![1, 2];
+        grid.epsilons = vec![1.5];
+        let results = run_suite(&sys, &|items| evaluate(&sys, items), &registry, &grid).unwrap();
+        assert_eq!(results.len(), 2);
+        for cell in &results {
+            assert!(matches!(
+                cell.outcome,
+                Err(SolverError::InvalidParams { .. })
+            ));
+        }
     }
 }

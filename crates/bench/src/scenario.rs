@@ -710,6 +710,21 @@ fn thin<T: Clone>(xs: &[T]) -> Vec<T> {
 pub fn run_spec(spec: &ScenarioSpec, args: &ExpArgs) -> Result<RunSummary, String> {
     spec.validate()?;
     let registry = SolverRegistry::default();
+    // A typo'd `--solvers` filter would silently empty every grid job
+    // and exit 0; unknown names are a hard error instead.
+    if let Some(filter) = &args.solvers {
+        let unknown: Vec<&str> = filter
+            .iter()
+            .filter(|name| registry.get(name).is_none())
+            .map(String::as_str)
+            .collect();
+        if !unknown.is_empty() {
+            return Err(format!(
+                "--solvers names not in the registry: {unknown:?} (known: {:?})",
+                registry.names()
+            ));
+        }
+    }
     let mut summary = RunSummary {
         name: spec.name.clone(),
         ..RunSummary::default()
@@ -721,10 +736,20 @@ pub fn run_spec(spec: &ScenarioSpec, args: &ExpArgs) -> Result<RunSummary, Strin
     for job in &spec.jobs {
         match job {
             JobSpec::Grid(job) => {
+                let grid = grid_config_for(job, &registry, args);
+                if grid.solvers.is_empty() {
+                    // A `--solvers` filter (or `--quick` exact-solver
+                    // drop) can empty a job's solver list; skip the job
+                    // instead of failing the whole spec on an empty axis.
+                    eprintln!(
+                        "[{}] skipping a grid job: no solvers left after filtering",
+                        spec.name
+                    );
+                    continue;
+                }
                 let built = job.dataset.build(args);
                 let label = format!("{}{}", built.name(), job.label_suffix);
                 eprintln!("[{}] {} ...", spec.name, label);
-                let grid = grid_config_for(job, &registry, args);
                 let results = run_grid_job(job, &built, &registry, &grid, args)?;
                 for cell in &results {
                     match &cell.outcome {
@@ -836,7 +861,7 @@ pub fn run_spec(spec: &ScenarioSpec, args: &ExpArgs) -> Result<RunSummary, Strin
 }
 
 fn grid_config_for(job: &GridJob, registry: &SolverRegistry, args: &ExpArgs) -> GridConfig {
-    let solvers: Vec<String> = if args.quick && !job.keep_exact_in_quick {
+    let mut solvers: Vec<String> = if args.quick && !job.keep_exact_in_quick {
         job.solvers
             .iter()
             .filter(|name| registry.get(name).is_none_or(|s| !s.capabilities().exact))
@@ -845,6 +870,11 @@ fn grid_config_for(job: &GridJob, registry: &SolverRegistry, args: &ExpArgs) -> 
     } else {
         job.solvers.clone()
     };
+    // `--solvers a,b` reruns the spec for a subset of registry entries
+    // without editing the JSON (job order preserved).
+    if let Some(filter) = &args.solvers {
+        solvers.retain(|name| filter.iter().any(|f| f == name));
+    }
     let mut base = ScenarioParams::new(job.ks[0], job.taus[0]);
     if let Some(limit) = job.exact_node_limit {
         base.exact_node_limit = limit;
@@ -867,6 +897,7 @@ fn grid_config_for(job: &GridJob, registry: &SolverRegistry, args: &ExpArgs) -> 
             job.epsilons.clone()
         },
         repetitions: if args.quick { 1 } else { job.repetitions },
+        warm_sweeps: !args.cold,
         base,
     }
 }
@@ -878,15 +909,11 @@ fn run_grid_job(
     grid: &GridConfig,
     args: &ExpArgs,
 ) -> Result<Vec<CellOutcome>, String> {
+    let grid_err = |e: crate::harness::GridError| format!("grid expansion: {e}");
     match (&job.substrate, built) {
         (SubstrateSpec::Coverage, BuiltDataset::Graph(dataset)) => {
             let oracle = dataset.coverage_oracle();
-            Ok(run_suite(
-                &oracle,
-                &|items| evaluate(&oracle, items),
-                registry,
-                grid,
-            ))
+            run_suite(&oracle, &|items| evaluate(&oracle, items), registry, grid).map_err(grid_err)
         }
         (SubstrateSpec::Influence { p }, BuiltDataset::Graph(dataset)) => {
             let model = DiffusionModel::ic(*p);
@@ -905,16 +932,11 @@ fn run_grid_job(
                     seed ^ 0x22,
                 )
             };
-            Ok(run_suite(&oracle, &evaluator, registry, grid))
+            run_suite(&oracle, &evaluator, registry, grid).map_err(grid_err)
         }
         (SubstrateSpec::Facility, BuiltDataset::Points(dataset)) => {
             let oracle = dataset.oracle();
-            Ok(run_suite(
-                &oracle,
-                &|items| evaluate(&oracle, items),
-                registry,
-                grid,
-            ))
+            run_suite(&oracle, &|items| evaluate(&oracle, items), registry, grid).map_err(grid_err)
         }
         (substrate, _) => Err(format!(
             "substrate {substrate:?} does not match dataset {:?}",
@@ -934,6 +956,7 @@ pub fn cell_to_json(dataset: &str, cell: &CellOutcome) -> Value {
         ("tau", Value::Num(cell.tau)),
         ("epsilon", Value::Num(cell.epsilon)),
         ("rep", Value::Num(cell.rep as f64)),
+        ("warm", Value::Bool(cell.warm)),
     ];
     match &cell.outcome {
         Ok(report) => {

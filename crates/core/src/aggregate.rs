@@ -38,6 +38,25 @@ pub trait Aggregate {
     }
 }
 
+/// Aggregates are stateless value functions, so a shared reference is as
+/// good as the value itself. This blanket impl lets owners and borrowers
+/// share one code path: the resumable algorithm steppers own their
+/// aggregate (sessions outlive the call frame), while the historical free
+/// functions pass `&A` straight through.
+impl<A: Aggregate + ?Sized> Aggregate for &A {
+    fn value(&self, sums: &[f64]) -> f64 {
+        (**self).value(sums)
+    }
+
+    fn gain(&self, sums: &[f64], gains: &[f64]) -> f64 {
+        (**self).gain(sums, gains)
+    }
+
+    fn saturation_value(&self) -> Option<f64> {
+        (**self).saturation_value()
+    }
+}
+
 /// The utility objective `f(S) = (1/m) Σ_{u} f_u(S)` (Eq. 1 of the paper).
 #[derive(Clone, Debug)]
 pub struct MeanUtility {

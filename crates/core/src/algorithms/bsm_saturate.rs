@@ -28,7 +28,7 @@ use crate::metrics::evaluate;
 use crate::system::UtilitySystem;
 
 use super::greedy::{greedy, GreedyConfig, GreedyVariant};
-use super::saturate::{saturate, SaturateConfig};
+use super::saturate::SaturateConfig;
 use super::BsmOutcome;
 
 /// Solution-size budget for the per-`α` greedy runs.
@@ -126,43 +126,163 @@ pub fn bsm_saturate<S: UtilitySystem>(system: &S, cfg: &BsmSaturateConfig) -> Bs
 }
 
 /// Runs BSM-Saturate and additionally reports the bisection bounds.
+///
+/// Thin driver over [`BsmSaturateStepper`]: steps the state machine to
+/// completion, so one-shot calls and resumable sessions run the exact
+/// same code and produce bit-identical outcomes.
 pub fn bsm_saturate_detailed<S: UtilitySystem>(
     system: &S,
     cfg: &BsmSaturateConfig,
 ) -> BsmSaturateOutcome {
-    let m = system.num_users();
-    let c = system.num_groups();
-    let sizes = system.group_sizes().to_vec();
-    let mut oracle_calls = 0u64;
+    let mut stepper = BsmSaturateStepper::new(system, cfg);
+    while stepper.step(system) {}
+    stepper.into_outcome()
+}
 
-    // Line 1: greedy on f for OPT'_f.
-    let f = MeanUtility::new(m);
-    let f_cfg = GreedyConfig {
-        variant: cfg.variant.clone(),
-        ..GreedyConfig::lazy(cfg.k)
-    };
-    let run_f = greedy(system, &f, &f_cfg);
-    oracle_calls += run_f.oracle_calls;
-    let opt_f_estimate = run_f.value;
+enum BsmSaturatePhase {
+    /// Line 1: greedy on `f` for `OPT'_f` (one step).
+    GreedyF,
+    /// Line 2: Saturate on `g` — one inner Saturate step per step.
+    Saturate,
+    /// Lines 3–14: one α feasibility probe per step.
+    Bisect,
+    /// Finished; the outcome is ready.
+    Done,
+}
 
-    // Line 2: Saturate on g for OPT'_g.
-    let sat = saturate(system, &cfg.saturate);
-    oracle_calls += sat.oracle_calls;
-    let opt_g_estimate = sat.opt_g_estimate;
+/// BSM-Saturate as a resumable state machine: one ingredient estimate or
+/// α-bisection probe per [`BsmSaturateStepper::step`].
+///
+/// The inner Saturate run advances through its own
+/// [`SaturateStepper`](super::saturate::SaturateStepper), and each α
+/// probe is a greedy run on the combined
+/// objective — both exactly the operations of the historical
+/// run-to-completion function, cut at round boundaries, so stepping to
+/// completion is bit-identical to [`bsm_saturate_detailed`] (which is
+/// itself implemented over this stepper). Every `step` call must receive
+/// the same `system` the stepper was created with.
+pub struct BsmSaturateStepper {
+    cfg: BsmSaturateConfig,
+    sizes: Vec<usize>,
+    m: usize,
+    phase: BsmSaturatePhase,
+    saturate: Option<super::saturate::SaturateStepper>,
+    sat: Option<super::saturate::SaturateOutcome>,
+    opt_f_estimate: f64,
+    alpha_min: f64,
+    alpha_max: f64,
+    rounds: usize,
+    best: Option<Vec<crate::items::ItemId>>,
+    oracle_calls: u64,
+    outcome: Option<BsmSaturateOutcome>,
+}
 
-    let tau_opt_g = cfg.tau * opt_g_estimate;
-    let budget = cfg.budget(c);
-    let threshold = 2.0 * (1.0 - cfg.epsilon / c as f64);
+impl BsmSaturateStepper {
+    /// Prepares a run of `cfg` on `system` (no oracle work yet).
+    pub fn new<S: UtilitySystem>(system: &S, cfg: &BsmSaturateConfig) -> Self {
+        Self {
+            cfg: cfg.clone(),
+            sizes: system.group_sizes().to_vec(),
+            m: system.num_users(),
+            phase: BsmSaturatePhase::GreedyF,
+            saturate: None,
+            sat: None,
+            opt_f_estimate: 0.0,
+            alpha_min: 0.0,
+            alpha_max: 1.0,
+            rounds: 0,
+            best: None,
+            oracle_calls: 0,
+            outcome: None,
+        }
+    }
 
-    // Lines 3–14: bisection on α.
-    let mut alpha_min = 0.0f64;
-    let mut alpha_max = 1.0f64;
-    let mut best: Option<Vec<_>> = None;
-    let mut rounds = 0usize;
-    while (1.0 - cfg.epsilon) * alpha_max > alpha_min && rounds < cfg.max_rounds {
-        rounds += 1;
-        let alpha = 0.5 * (alpha_max + alpha_min);
-        let objective = BsmObjective::new(m, &sizes, alpha * opt_f_estimate, tau_opt_g);
+    /// Whether the run has finished.
+    pub fn is_done(&self) -> bool {
+        matches!(self.phase, BsmSaturatePhase::Done)
+    }
+
+    /// α-bisection probes performed so far.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Current bisection bounds `(α_min, α_max)`.
+    pub fn alpha_bounds(&self) -> (f64, f64) {
+        (self.alpha_min, self.alpha_max)
+    }
+
+    /// Items of the best feasible probe so far (empty before one
+    /// succeeds).
+    pub fn best_items(&self) -> &[crate::items::ItemId] {
+        self.best.as_deref().unwrap_or(&[])
+    }
+
+    /// Oracle calls performed so far, including the in-flight inner
+    /// Saturate run (so per-step progress metering never freezes
+    /// through the Saturate phase).
+    pub fn oracle_calls(&self) -> u64 {
+        self.oracle_calls + self.saturate.as_ref().map_or(0, |s| s.oracle_calls())
+    }
+
+    /// Performs one unit of work (the greedy-on-`f` estimate, one inner
+    /// Saturate step, or one α probe). Returns `true` while more work
+    /// remains.
+    pub fn step<S: UtilitySystem>(&mut self, system: &S) -> bool {
+        match self.phase {
+            BsmSaturatePhase::GreedyF => {
+                // Line 1: greedy on f for OPT'_f.
+                let f = MeanUtility::new(self.m);
+                let f_cfg = GreedyConfig {
+                    variant: self.cfg.variant.clone(),
+                    ..GreedyConfig::lazy(self.cfg.k)
+                };
+                let run_f = greedy(system, &f, &f_cfg);
+                self.oracle_calls += run_f.oracle_calls;
+                self.opt_f_estimate = run_f.value;
+                self.saturate = Some(super::saturate::SaturateStepper::new(
+                    system,
+                    &self.cfg.saturate,
+                ));
+                self.phase = BsmSaturatePhase::Saturate;
+            }
+            BsmSaturatePhase::Saturate => {
+                // Line 2: Saturate on g for OPT'_g, one inner step at a
+                // time.
+                let inner = self.saturate.as_mut().expect("set by GreedyF");
+                if !inner.step(system) {
+                    let sat = self.saturate.take().expect("checked above").into_outcome();
+                    self.oracle_calls += sat.oracle_calls;
+                    self.sat = Some(sat);
+                    self.phase = BsmSaturatePhase::Bisect;
+                }
+            }
+            BsmSaturatePhase::Bisect => {
+                // Lines 3–14: bisection on α.
+                if (1.0 - self.cfg.epsilon) * self.alpha_max > self.alpha_min
+                    && self.rounds < self.cfg.max_rounds
+                {
+                    self.probe(system);
+                } else {
+                    self.finalize(system);
+                }
+            }
+            BsmSaturatePhase::Done => {}
+        }
+        !self.is_done()
+    }
+
+    /// One α feasibility probe at the current midpoint.
+    fn probe<S: UtilitySystem>(&mut self, system: &S) {
+        let c = self.sizes.len();
+        let sat = self.sat.as_ref().expect("bisect follows saturate");
+        let tau_opt_g = self.cfg.tau * sat.opt_g_estimate;
+        let budget = self.cfg.budget(c);
+        let threshold = 2.0 * (1.0 - self.cfg.epsilon / c as f64);
+        self.rounds += 1;
+        let alpha = 0.5 * (self.alpha_max + self.alpha_min);
+        let objective =
+            BsmObjective::new(self.m, &self.sizes, alpha * self.opt_f_estimate, tau_opt_g);
         // Paper's Algorithm 2 line 8: the greedy loop always runs the
         // full budget; the threshold is only checked afterwards (line
         // 11). Early-stopping at the threshold would shrink solutions
@@ -172,38 +292,56 @@ pub fn bsm_saturate_detailed<S: UtilitySystem>(
             system,
             &objective,
             &GreedyConfig {
-                variant: cfg.variant.clone(),
+                variant: self.cfg.variant.clone(),
                 ..GreedyConfig::lazy(budget)
             },
         );
-        oracle_calls += run.oracle_calls;
+        self.oracle_calls += run.oracle_calls;
         if run.value + 1e-12 >= threshold {
-            alpha_min = alpha;
-            best = Some(run.items);
+            self.alpha_min = alpha;
+            self.best = Some(run.items);
         } else {
-            alpha_max = alpha;
+            self.alpha_max = alpha;
         }
     }
 
-    let (items, fell_back) = match best {
-        Some(items) => (items, false),
-        // Unspecified in the paper: fall back to S_g (see module docs).
-        None => (sat.items.clone(), true),
-    };
-    let eval = evaluate(system, &items);
+    fn finalize<S: UtilitySystem>(&mut self, system: &S) {
+        let sat = self.sat.as_ref().expect("bisect follows saturate");
+        let (items, fell_back) = match self.best.clone() {
+            Some(items) => (items, false),
+            // Unspecified in the paper: fall back to S_g (see module
+            // docs).
+            None => (sat.items.clone(), true),
+        };
+        let eval = evaluate(system, &items);
+        self.outcome = Some(BsmSaturateOutcome {
+            bsm: BsmOutcome {
+                items,
+                eval,
+                opt_f_estimate: self.opt_f_estimate,
+                opt_g_estimate: sat.opt_g_estimate,
+                fell_back,
+                oracle_calls: self.oracle_calls,
+            },
+            alpha_min: self.alpha_min,
+            alpha_max: self.alpha_max,
+            rounds: self.rounds,
+        });
+        self.phase = BsmSaturatePhase::Done;
+    }
 
-    BsmSaturateOutcome {
-        bsm: BsmOutcome {
-            items,
-            eval,
-            opt_f_estimate,
-            opt_g_estimate,
-            fell_back,
-            oracle_calls,
-        },
-        alpha_min,
-        alpha_max,
-        rounds,
+    /// The finished outcome (call after stepping to completion).
+    ///
+    /// # Panics
+    /// Panics if the run has not finished.
+    pub fn into_outcome(self) -> BsmSaturateOutcome {
+        self.outcome
+            .expect("BsmSaturateStepper stepped to completion")
+    }
+
+    /// Borrowed view of the finished outcome, if done.
+    pub fn outcome(&self) -> Option<&BsmSaturateOutcome> {
+        self.outcome.as_ref()
     }
 }
 

@@ -38,6 +38,19 @@ pub fn submodular_cover<S: UtilitySystem, A: Aggregate>(
     submodular_cover_into(&mut state, aggregate, target, max_size, variant)
 }
 
+/// The greedy configuration every cover run uses — one definition, so
+/// round-by-round cover steppers (BSM-TSGreedy's stage 1) can never
+/// drift from the run-to-completion functions here.
+pub(crate) fn cover_config(target: f64, max_size: usize, variant: GreedyVariant) -> GreedyConfig {
+    GreedyConfig {
+        k: max_size,
+        variant,
+        stop_at: Some(target),
+        stop_slack: 1e-9,
+        seed: 0,
+    }
+}
+
 /// Cover starting from an existing state; `max_size` caps the *total*
 /// solution size.
 pub fn submodular_cover_into<S: UtilitySystem, A: Aggregate>(
@@ -47,14 +60,7 @@ pub fn submodular_cover_into<S: UtilitySystem, A: Aggregate>(
     max_size: usize,
     variant: GreedyVariant,
 ) -> CoverOutcome {
-    let cfg = GreedyConfig {
-        k: max_size,
-        variant,
-        stop_at: Some(target),
-        stop_slack: 1e-9,
-        seed: 0,
-    };
-    let out = greedy_into(state, aggregate, &cfg);
+    let out = greedy_into(state, aggregate, &cover_config(target, max_size, variant));
     CoverOutcome {
         covered: out.reached_target,
         items: out.items,

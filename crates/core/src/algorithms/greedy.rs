@@ -14,6 +14,23 @@
 //! The same routine doubles as greedy **submodular cover** (Wolsey 1982)
 //! through [`GreedyConfig::stop_at`]: stop as soon as the aggregate value
 //! reaches a target, or at the cardinality cap, whichever comes first.
+//!
+//! ## Resumable core
+//!
+//! The algorithm itself lives in `GreedyEngine` (crate-internal), a one-round-per-step
+//! state machine: `step()` performs exactly one argmax round (select +
+//! insert) and records the post-round value and cumulative oracle-call
+//! count at every round boundary. The free functions [`greedy`] /
+//! [`greedy_into`] are thin drivers that step the engine to completion —
+//! their outputs are bit-identical to the historical run-to-completion
+//! loops because the engine *is* those loops, cut at the round boundary.
+//!
+//! Because one greedy round never looks at the budget `k` except to
+//! decide whether to stop, the solution for budget `k` is a strict prefix
+//! of the solution for any `k′ > k` — including the per-round value
+//! trajectory and the oracle-call count at each boundary. That is the
+//! prefix property the engine layer's warm k-axis sweeps
+//! ([`crate::engine::SolveSession`]) are built on.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -108,23 +125,6 @@ pub struct GreedyOutcome {
     pub oracle_calls: u64,
 }
 
-impl GreedyOutcome {
-    fn from_state<S: UtilitySystem>(
-        state: &SolutionState<'_, S>,
-        trajectory: Vec<f64>,
-        value: f64,
-        reached_target: bool,
-    ) -> Self {
-        Self {
-            items: state.items().to_vec(),
-            trajectory,
-            value,
-            reached_target,
-            oracle_calls: state.oracle_calls(),
-        }
-    }
-}
-
 /// Max-heap entry for lazy-forward: stale upper bound on an item's gain.
 struct HeapEntry {
     bound: f64,
@@ -186,14 +186,9 @@ pub fn greedy_into<S: UtilitySystem, A: Aggregate>(
     aggregate: &A,
     cfg: &GreedyConfig,
 ) -> GreedyOutcome {
-    let target = effective_target(aggregate, cfg);
-    match cfg.variant {
-        GreedyVariant::Naive => greedy_naive(state, aggregate, cfg, target),
-        GreedyVariant::Lazy => greedy_lazy(state, aggregate, cfg, target),
-        GreedyVariant::Stochastic { sample_size } => {
-            greedy_stochastic(state, aggregate, cfg, target, sample_size)
-        }
-    }
+    let mut engine = GreedyEngine::new(state, aggregate, cfg.clone());
+    while engine.step(state) {}
+    engine.into_outcome(state)
 }
 
 fn effective_target<A: Aggregate>(aggregate: &A, cfg: &GreedyConfig) -> Option<f64> {
@@ -241,164 +236,316 @@ fn best_candidate<S: UtilitySystem, A: Aggregate>(
     best
 }
 
-fn greedy_naive<S: UtilitySystem, A: Aggregate>(
-    state: &mut SolutionState<'_, S>,
-    aggregate: &A,
-    cfg: &GreedyConfig,
-    target: Option<f64>,
-) -> GreedyOutcome {
-    let n = state.system().num_items();
-    let mut trajectory = Vec::with_capacity(cfg.k);
-    let mut value = state.value(aggregate);
-    let mut reached = target_reached(value, target, cfg.stop_slack);
-    let mut candidates: Vec<ItemId> = Vec::with_capacity(n);
-    let mut gains: Vec<f64> = Vec::new();
-    while state.len() < cfg.k && !reached {
-        // One batched oracle call per round: every remaining candidate in
-        // ascending id order, so the argmax tie-breaking matches the
-        // historical per-item scan exactly.
-        candidates.clear();
-        candidates.extend((0..n as ItemId).filter(|&v| !state.contains(v)));
-        let best = best_candidate(state, aggregate, &candidates, &mut gains);
-        match best {
-            Some((gain, v)) if gain > 1e-15 => {
-                state.insert(v);
-                value = state.value(aggregate);
-                trajectory.push(value);
-                reached = target_reached(value, target, cfg.stop_slack);
-            }
-            _ => break,
-        }
-    }
-    GreedyOutcome::from_state(state, trajectory, value, reached)
+/// Per-variant incremental state of a [`GreedyEngine`].
+enum VariantState {
+    Naive {
+        candidates: Vec<ItemId>,
+        gains: Vec<f64>,
+    },
+    Lazy {
+        /// Seeded by the first step's full scan (`None` until then, so
+        /// that an already-finished start state never pays the scan).
+        heap: Option<BinaryHeap<HeapEntry>>,
+        round: usize,
+    },
+    Stochastic {
+        pool: Vec<ItemId>,
+        rng: StdRng,
+        sample_size: usize,
+        gains: Vec<f64>,
+    },
 }
 
-fn greedy_lazy<S: UtilitySystem, A: Aggregate>(
-    state: &mut SolutionState<'_, S>,
-    aggregate: &A,
-    cfg: &GreedyConfig,
+/// The greedy algorithm as a resumable one-round-per-step state machine.
+///
+/// Construction captures the start state's value and stop condition;
+/// each [`GreedyEngine::step`] performs exactly one greedy round against
+/// a [`SolutionState`] **of the same run** (the engine does not hold the
+/// state so that callers — sessions in particular — can park the state
+/// as parts between steps). After every successful round the engine
+/// records the post-round aggregate value and the state's cumulative
+/// oracle-call count; those boundary logs are exactly what a cold run
+/// with a smaller budget would have reported, which is what makes greedy
+/// solutions prefix-extractable per `k`.
+pub(crate) struct GreedyEngine<A: Aggregate> {
+    cfg: GreedyConfig,
+    aggregate: A,
     target: Option<f64>,
-) -> GreedyOutcome {
-    let n = state.system().num_items();
-    let mut trajectory = Vec::with_capacity(cfg.k);
-    let mut value = state.value(aggregate);
-    let mut reached = target_reached(value, target, cfg.stop_slack);
-    if reached || state.len() >= cfg.k {
-        return GreedyOutcome::from_state(state, trajectory, value, reached);
-    }
+    variant: VariantState,
+    initial_value: f64,
+    value: f64,
+    reached: bool,
+    done: bool,
+    trajectory: Vec<f64>,
+    /// `state.oracle_calls()` at each round boundary (after insert `r`).
+    round_calls: Vec<u64>,
+    /// `state.oracle_calls()` when the engine finished (includes the
+    /// final failed scan of an early stop, which a cold run with a
+    /// budget beyond the stop point also performs).
+    final_calls: Option<u64>,
+}
 
-    // Round 0: evaluate everything once — through the batch seam, so the
-    // full scan that dominates lazy greedy's cost runs in parallel — to
-    // seed the heap. Heap contents (and thus all later pops) are
-    // identical to the per-item loop; `BinaryHeap` ordering depends only
-    // on the entries, and ties break on item id.
-    let candidates: Vec<ItemId> = (0..n as ItemId).filter(|&v| !state.contains(v)).collect();
-    let c = state.system().num_groups();
-    let mut gains = vec![0.0; candidates.len() * c];
-    state.gains_batch_into(&candidates, &mut gains);
-    let mut heap = BinaryHeap::with_capacity(n);
-    for (j, &v) in candidates.iter().enumerate() {
-        let bound = aggregate.gain(state.group_sums(), &gains[j * c..(j + 1) * c]);
-        heap.push(HeapEntry {
-            bound,
-            item: v,
-            round: 0,
-        });
-    }
-
-    let mut round = 0usize;
-    while state.len() < cfg.k && !reached {
-        // Pop until the top entry is fresh for this round.
-        let chosen = loop {
-            match heap.pop() {
-                None => break None,
-                Some(entry) => {
-                    if entry.round == round {
-                        break Some(entry);
-                    }
-                    let bound = state.gain(aggregate, entry.item);
-                    heap.push(HeapEntry {
-                        bound,
-                        item: entry.item,
-                        round,
-                    });
+impl<A: Aggregate> GreedyEngine<A> {
+    /// Prepares a run of `cfg` continuing from `state` (which may be
+    /// non-empty, as in the two-stage algorithms).
+    pub(crate) fn new<S: UtilitySystem>(
+        state: &mut SolutionState<'_, S>,
+        aggregate: A,
+        cfg: GreedyConfig,
+    ) -> Self {
+        let target = effective_target(&aggregate, &cfg);
+        let value = state.value(&aggregate);
+        let reached = target_reached(value, target, cfg.stop_slack);
+        let variant = match cfg.variant {
+            GreedyVariant::Naive => VariantState::Naive {
+                candidates: Vec::with_capacity(state.system().num_items()),
+                gains: Vec::new(),
+            },
+            GreedyVariant::Lazy => VariantState::Lazy {
+                heap: None,
+                round: 0,
+            },
+            GreedyVariant::Stochastic { sample_size } => {
+                let n = state.system().num_items();
+                VariantState::Stochastic {
+                    pool: (0..n as ItemId).filter(|&v| !state.contains(v)).collect(),
+                    rng: StdRng::seed_from_u64(cfg.seed),
+                    sample_size,
+                    gains: Vec::new(),
                 }
             }
         };
-        match chosen {
-            Some(entry) if entry.bound > 1e-15 => {
-                state.insert(entry.item);
-                value = state.value(aggregate);
-                trajectory.push(value);
-                reached = target_reached(value, target, cfg.stop_slack);
-                round += 1;
-            }
-            _ => break,
+        Self {
+            cfg,
+            aggregate,
+            target,
+            variant,
+            initial_value: value,
+            value,
+            reached,
+            done: false,
+            trajectory: Vec::new(),
+            round_calls: Vec::new(),
+            final_calls: None,
         }
     }
-    GreedyOutcome::from_state(state, trajectory, value, reached)
-}
 
-fn greedy_stochastic<S: UtilitySystem, A: Aggregate>(
-    state: &mut SolutionState<'_, S>,
-    aggregate: &A,
-    cfg: &GreedyConfig,
-    target: Option<f64>,
-    sample_size: usize,
-) -> GreedyOutcome {
-    let n = state.system().num_items();
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut trajectory = Vec::with_capacity(cfg.k);
-    let mut value = state.value(aggregate);
-    let mut reached = target_reached(value, target, cfg.stop_slack);
-    let mut pool: Vec<ItemId> = (0..n as ItemId).filter(|&v| !state.contains(v)).collect();
-    let mut gains: Vec<f64> = Vec::new();
-
-    while state.len() < cfg.k && !reached && !pool.is_empty() {
-        let s = sample_size.max(1).min(pool.len());
-        // Partial Fisher–Yates: the first `s` entries become the sample,
-        // then one batched oracle call evaluates the whole sample.
-        for i in 0..s {
-            let j = i + (rand::Rng::gen_range(&mut rng, 0..pool.len() - i));
-            pool.swap(i, j);
+    /// Performs one greedy round. Returns `true` while more rounds
+    /// remain, `false` once the run has finished (budget exhausted,
+    /// target reached, or no candidate with positive gain).
+    pub(crate) fn step<S: UtilitySystem>(&mut self, state: &mut SolutionState<'_, S>) -> bool {
+        if self.done {
+            return false;
         }
-        let best = best_candidate(state, aggregate, &pool[..s], &mut gains);
-        match best {
-            Some((gain, v)) if gain > 1e-15 => {
-                state.insert(v);
-                pool.retain(|&x| x != v);
-                value = state.value(aggregate);
-                trajectory.push(value);
-                reached = target_reached(value, target, cfg.stop_slack);
-            }
-            _ => {
-                // The sample had no improving candidate; with monotone
-                // aggregates this can only be sampling bad luck or true
-                // exhaustion — reshuffle once more and fall back to a
-                // full scan to decide.
-                pool.shuffle(&mut rng);
-                let mut any = None;
-                for &v in pool.iter() {
-                    let gain = state.gain(aggregate, v);
-                    if gain > 1e-15 {
-                        any = Some(v);
-                        break;
-                    }
-                }
-                match any {
-                    Some(v) => {
+        if state.len() >= self.cfg.k || self.reached {
+            return self.finish(state);
+        }
+        let aggregate = &self.aggregate;
+        let inserted = match &mut self.variant {
+            VariantState::Naive { candidates, gains } => {
+                let n = state.system().num_items();
+                // One batched oracle call per round: every remaining
+                // candidate in ascending id order, so the argmax
+                // tie-breaking matches the historical per-item scan.
+                candidates.clear();
+                candidates.extend((0..n as ItemId).filter(|&v| !state.contains(v)));
+                match best_candidate(state, aggregate, candidates, gains) {
+                    Some((gain, v)) if gain > 1e-15 => {
                         state.insert(v);
-                        pool.retain(|&x| x != v);
-                        value = state.value(aggregate);
-                        trajectory.push(value);
-                        reached = target_reached(value, target, cfg.stop_slack);
+                        true
                     }
-                    None => break,
+                    _ => false,
                 }
             }
+            VariantState::Lazy { heap, round } => {
+                if heap.is_none() {
+                    // Round 0: evaluate everything once — through the
+                    // batch seam, so the full scan that dominates lazy
+                    // greedy's cost runs in parallel — to seed the heap.
+                    let n = state.system().num_items();
+                    let candidates: Vec<ItemId> =
+                        (0..n as ItemId).filter(|&v| !state.contains(v)).collect();
+                    let c = state.system().num_groups();
+                    let mut gains = vec![0.0; candidates.len() * c];
+                    state.gains_batch_into(&candidates, &mut gains);
+                    let mut seeded = BinaryHeap::with_capacity(n);
+                    for (j, &v) in candidates.iter().enumerate() {
+                        let bound = aggregate.gain(state.group_sums(), &gains[j * c..(j + 1) * c]);
+                        seeded.push(HeapEntry {
+                            bound,
+                            item: v,
+                            round: 0,
+                        });
+                    }
+                    *heap = Some(seeded);
+                }
+                let heap = heap.as_mut().expect("seeded above");
+                // Pop until the top entry is fresh for this round.
+                let chosen = loop {
+                    match heap.pop() {
+                        None => break None,
+                        Some(entry) => {
+                            if entry.round == *round {
+                                break Some(entry);
+                            }
+                            let bound = state.gain(aggregate, entry.item);
+                            heap.push(HeapEntry {
+                                bound,
+                                item: entry.item,
+                                round: *round,
+                            });
+                        }
+                    }
+                };
+                match chosen {
+                    Some(entry) if entry.bound > 1e-15 => {
+                        state.insert(entry.item);
+                        *round += 1;
+                        true
+                    }
+                    _ => false,
+                }
+            }
+            VariantState::Stochastic {
+                pool,
+                rng,
+                sample_size,
+                gains,
+            } => {
+                if pool.is_empty() {
+                    false
+                } else {
+                    let s = (*sample_size).max(1).min(pool.len());
+                    // Partial Fisher–Yates: the first `s` entries become
+                    // the sample, then one batched oracle call evaluates
+                    // the whole sample.
+                    for i in 0..s {
+                        let j = i + (rand::Rng::gen_range(rng, 0..pool.len() - i));
+                        pool.swap(i, j);
+                    }
+                    let sample: Vec<ItemId> = pool[..s].to_vec();
+                    let mut inserted = false;
+                    match best_candidate(state, aggregate, &sample, gains) {
+                        Some((gain, v)) if gain > 1e-15 => {
+                            state.insert(v);
+                            pool.retain(|&x| x != v);
+                            inserted = true;
+                        }
+                        _ => {
+                            // The sample had no improving candidate; with
+                            // monotone aggregates this can only be sampling
+                            // bad luck or true exhaustion — reshuffle once
+                            // more and fall back to a full scan to decide.
+                            pool.shuffle(rng);
+                            let mut any = None;
+                            for &v in pool.iter() {
+                                let gain = state.gain(aggregate, v);
+                                if gain > 1e-15 {
+                                    any = Some(v);
+                                    break;
+                                }
+                            }
+                            if let Some(v) = any {
+                                state.insert(v);
+                                pool.retain(|&x| x != v);
+                                inserted = true;
+                            }
+                        }
+                    }
+                    inserted
+                }
+            }
+        };
+        if !inserted {
+            return self.finish(state);
+        }
+        self.value = state.value(&self.aggregate);
+        self.trajectory.push(self.value);
+        self.round_calls.push(state.oracle_calls());
+        self.reached = target_reached(self.value, self.target, self.cfg.stop_slack);
+        if state.len() >= self.cfg.k || self.reached {
+            return self.finish(state);
+        }
+        true
+    }
+
+    fn finish<S: UtilitySystem>(&mut self, state: &mut SolutionState<'_, S>) -> bool {
+        self.done = true;
+        self.final_calls = Some(state.oracle_calls());
+        false
+    }
+
+    /// Whether the run has finished.
+    pub(crate) fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Rounds completed so far (= items inserted by this engine).
+    pub(crate) fn rounds(&self) -> usize {
+        self.trajectory.len()
+    }
+
+    /// Current aggregate value.
+    pub(crate) fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Whether the stop target (or aggregate saturation) was reached.
+    pub(crate) fn reached_target(&self) -> bool {
+        self.reached
+    }
+
+    /// The aggregate value a cold run with budget `k` would have ended
+    /// at: the round-`k` boundary value, or the final value when the run
+    /// stopped before round `k`. Only meaningful once enough rounds ran
+    /// (`rounds() >= k` or [`GreedyEngine::is_done`]).
+    pub(crate) fn value_at(&self, k: usize) -> f64 {
+        if k == 0 {
+            self.initial_value
+        } else if k <= self.trajectory.len() {
+            self.trajectory[k - 1]
+        } else {
+            self.value
         }
     }
-    GreedyOutcome::from_state(state, trajectory, value, reached)
+
+    /// The cumulative oracle-call count a cold run with budget `k`
+    /// would have reported. For `k` beyond the stop point this includes
+    /// the final failed scan (a cold run performs it too).
+    pub(crate) fn calls_at(&self, k: usize) -> u64 {
+        if k == 0 {
+            0
+        } else if k <= self.round_calls.len() {
+            self.round_calls[k - 1]
+        } else {
+            self.final_calls
+                .expect("calls_at beyond rounds requires a finished engine")
+        }
+    }
+
+    /// Whether a cold run with budget `k` would have reported reaching
+    /// its target (only the final round can reach it). Exercised by the
+    /// round-boundary equivalence test; sessions report only the final
+    /// `reached` state.
+    #[cfg(test)]
+    pub(crate) fn reached_at(&self, k: usize) -> bool {
+        self.reached && k >= self.trajectory.len()
+    }
+
+    /// Finalizes the historical [`GreedyOutcome`] shape from a finished
+    /// (or abandoned) run.
+    pub(crate) fn into_outcome<S: UtilitySystem>(
+        self,
+        state: &SolutionState<'_, S>,
+    ) -> GreedyOutcome {
+        GreedyOutcome {
+            items: state.items().to_vec(),
+            trajectory: self.trajectory,
+            value: self.value,
+            reached_target: self.reached,
+            oracle_calls: state.oracle_calls(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -497,5 +644,49 @@ mod tests {
         assert_eq!(out.items.len(), 2);
         assert_eq!(out.items[0], 3);
         assert_eq!(out.items[1], 0); // v1 is the best complement to v4
+    }
+
+    /// The engine's round-boundary logs must equal cold runs at every
+    /// smaller budget — the invariant behind warm k-axis sweeps.
+    #[test]
+    fn engine_round_boundaries_match_cold_runs_at_every_k() {
+        let sys = toy::random_coverage(30, 90, 3, 0.1, 7);
+        let f = MeanUtility::new(sys.num_users());
+        let variants = [
+            GreedyVariant::Naive,
+            GreedyVariant::Lazy,
+            GreedyVariant::Stochastic { sample_size: 9 },
+        ];
+        for variant in variants {
+            let max_k = 8;
+            let warm_cfg = GreedyConfig {
+                variant: variant.clone(),
+                seed: 5,
+                ..GreedyConfig::lazy(max_k)
+            };
+            let mut state = SolutionState::new(&sys);
+            let mut engine = GreedyEngine::new(&mut state, &f, warm_cfg.clone());
+            while engine.step(&mut state) {}
+            for k in 0..=max_k {
+                let cold_cfg = GreedyConfig {
+                    k,
+                    ..warm_cfg.clone()
+                };
+                let cold = greedy(&sys, &f, &cold_cfg);
+                let r = k.min(engine.rounds());
+                assert_eq!(cold.items, state.items()[..r], "{variant:?} k={k}");
+                assert_eq!(
+                    cold.value.to_bits(),
+                    engine.value_at(k).to_bits(),
+                    "{variant:?} k={k}"
+                );
+                assert_eq!(cold.oracle_calls, engine.calls_at(k), "{variant:?} k={k}");
+                assert_eq!(
+                    cold.reached_target,
+                    engine.reached_at(k),
+                    "{variant:?} k={k}"
+                );
+            }
+        }
     }
 }

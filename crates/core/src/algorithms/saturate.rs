@@ -90,13 +90,255 @@ pub struct SaturateOutcome {
 }
 
 /// Runs Saturate on `system` for the maximin objective over its groups.
+///
+/// Thin driver over [`SaturateStepper`]: steps the bisection state
+/// machine to completion, so one-shot calls and resumable sessions run
+/// the exact same code and produce bit-identical outcomes.
 pub fn saturate<S: UtilitySystem>(system: &S, cfg: &SaturateConfig) -> SaturateOutcome {
-    let n = system.num_items();
-    let k = cfg.k.min(n);
-    if cfg.exact_subset_limit > 0.0 && binomial(n, k) <= cfg.exact_subset_limit {
-        return saturate_exact(system, k);
+    let mut stepper = SaturateStepper::new(system, cfg);
+    while stepper.step(system) {}
+    stepper.into_outcome()
+}
+
+enum SaturatePhase {
+    /// Tiny instance: one exhaustive enumeration step.
+    Exact,
+    /// Compute the bisection upper bound `g(V)`.
+    Bound,
+    /// One feasibility probe per step.
+    Bisect,
+    /// Finished; the outcome is ready.
+    Done,
+}
+
+/// Saturate as a resumable state machine: one bisection round per
+/// [`SaturateStepper::step`].
+///
+/// The phases mirror the historical run-to-completion loop exactly —
+/// upper-bound computation, feasibility probes with witness tightening,
+/// and the best-effort fallback cover when no probe succeeded — cut at
+/// the probe boundary, so stepping to completion is bit-identical to
+/// [`saturate`] (which is itself implemented over this stepper). Every
+/// `step` call must receive the same `system` the stepper was created
+/// with.
+pub struct SaturateStepper {
+    cfg: SaturateConfig,
+    sizes: Vec<usize>,
+    k: usize,
+    lo: f64,
+    hi: f64,
+    rounds: usize,
+    best: Option<(Vec<ItemId>, f64)>,
+    best_sums: Vec<f64>,
+    oracle_calls: u64,
+    phase: SaturatePhase,
+    outcome: Option<SaturateOutcome>,
+}
+
+impl SaturateStepper {
+    /// Prepares a run of `cfg` on `system` (no oracle work yet).
+    pub fn new<S: UtilitySystem>(system: &S, cfg: &SaturateConfig) -> Self {
+        let n = system.num_items();
+        let k = cfg.k.min(n);
+        let exact = cfg.exact_subset_limit > 0.0 && binomial(n, k) <= cfg.exact_subset_limit;
+        Self {
+            cfg: cfg.clone(),
+            sizes: system.group_sizes().to_vec(),
+            k,
+            lo: 0.0,
+            hi: 0.0,
+            rounds: 0,
+            best: None,
+            best_sums: Vec::new(),
+            oracle_calls: 0,
+            phase: if exact {
+                SaturatePhase::Exact
+            } else {
+                SaturatePhase::Bound
+            },
+            outcome: None,
+        }
     }
-    saturate_approx(system, cfg)
+
+    /// Whether the run has finished.
+    pub fn is_done(&self) -> bool {
+        matches!(self.phase, SaturatePhase::Done)
+    }
+
+    /// Bisection rounds performed so far.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Current bisection bounds `(lo, hi)` on the level `t`.
+    pub fn bounds(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+
+    /// Best witness found so far: `(items, g(items))`, if any probe
+    /// succeeded yet.
+    pub fn best_witness(&self) -> Option<(&[ItemId], f64)> {
+        self.best.as_ref().map(|(items, v)| (items.as_slice(), *v))
+    }
+
+    /// Per-group utility sums of the best witness (empty before the
+    /// first feasible probe).
+    pub fn best_witness_sums(&self) -> &[f64] {
+        &self.best_sums
+    }
+
+    /// Oracle calls performed so far.
+    pub fn oracle_calls(&self) -> u64 {
+        self.oracle_calls
+    }
+
+    /// Performs one unit of work (the exact enumeration, the bound
+    /// computation, or one feasibility probe). Returns `true` while more
+    /// work remains.
+    pub fn step<S: UtilitySystem>(&mut self, system: &S) -> bool {
+        match self.phase {
+            SaturatePhase::Exact => {
+                self.outcome = Some(saturate_exact(system, self.k));
+                self.finish_from_outcome();
+            }
+            SaturatePhase::Bound => {
+                // Upper bound for the bisection: g(V) = min_i f_i(V) by
+                // monotonicity.
+                let g = MinGroupUtility::new(&self.sizes);
+                let mut full = SolutionState::new(system);
+                for v in 0..system.num_items() as ItemId {
+                    full.insert(v);
+                }
+                self.oracle_calls += full.oracle_calls();
+                self.hi = full.value(&g);
+                if self.hi <= 0.0 {
+                    // Some group can never be served; OPT_g = 0 and any
+                    // set is optimal.
+                    self.outcome = Some(SaturateOutcome {
+                        items: Vec::new(),
+                        opt_g_estimate: 0.0,
+                        rounds: self.rounds,
+                        exact: false,
+                        oracle_calls: self.oracle_calls,
+                    });
+                    self.finish_from_outcome();
+                } else {
+                    self.phase = SaturatePhase::Bisect;
+                }
+            }
+            SaturatePhase::Bisect => {
+                if self.rounds < self.cfg.max_rounds
+                    && (self.hi - self.lo) > self.cfg.tolerance * self.hi
+                {
+                    self.probe(system);
+                    if self.hi < self.lo {
+                        self.finalize_approx(system);
+                    }
+                } else {
+                    self.finalize_approx(system);
+                }
+            }
+            SaturatePhase::Done => {}
+        }
+        !self.is_done()
+    }
+
+    /// One feasibility probe at the current midpoint level.
+    fn probe<S: UtilitySystem>(&mut self, system: &S) {
+        let g = MinGroupUtility::new(&self.sizes);
+        let budget = ((self.cfg.k as f64) * self.cfg.budget_factor).ceil() as usize;
+        self.rounds += 1;
+        let t = 0.5 * (self.lo + self.hi);
+        let truncated = TruncatedMean::uniform(&self.sizes, t);
+        let run = greedy(
+            system,
+            &truncated,
+            &GreedyConfig::cover_with(1.0, budget, self.cfg.variant.clone()),
+        );
+        self.oracle_calls += run.oracle_calls;
+        if run.reached_target {
+            // Feasible: the witness's true g value is a certified lower
+            // bound (≥ t), so jump straight to it.
+            let mut st = SolutionState::new(system);
+            st.insert_all(&run.items);
+            self.oracle_calls += st.oracle_calls();
+            let achieved = st.value(&g);
+            if self.best.as_ref().is_none_or(|(_, b)| achieved > *b) {
+                self.best_sums = st.group_sums().to_vec();
+                self.best = Some((run.items, achieved));
+            }
+            self.lo = self.lo.max(achieved).max(t);
+        } else {
+            self.hi = t;
+        }
+    }
+
+    /// Assembles the approximate-path outcome (running the best-effort
+    /// fallback cover when no probe ever succeeded).
+    fn finalize_approx<S: UtilitySystem>(&mut self, system: &S) {
+        let outcome = match self.best.take() {
+            Some((items, value)) => SaturateOutcome {
+                items,
+                opt_g_estimate: value,
+                rounds: self.rounds,
+                exact: false,
+                oracle_calls: self.oracle_calls,
+            },
+            None => {
+                // Every probed level failed within budget (possible when
+                // k is very small and groups need disjoint items). Return
+                // the last cover attempt's best-effort set at the lowest
+                // useful level.
+                let g = MinGroupUtility::new(&self.sizes);
+                let budget = ((self.cfg.k as f64) * self.cfg.budget_factor).ceil() as usize;
+                let t = (self.cfg.tolerance * self.hi).max(f64::MIN_POSITIVE);
+                let truncated = TruncatedMean::uniform(&self.sizes, t);
+                let run = greedy(
+                    system,
+                    &truncated,
+                    &GreedyConfig::cover_with(1.0, budget, self.cfg.variant.clone()),
+                );
+                self.oracle_calls += run.oracle_calls;
+                let mut st = SolutionState::new(system);
+                st.insert_all(&run.items);
+                self.oracle_calls += st.oracle_calls();
+                let achieved = st.value(&g);
+                self.best_sums = st.group_sums().to_vec();
+                SaturateOutcome {
+                    items: run.items,
+                    opt_g_estimate: achieved,
+                    rounds: self.rounds,
+                    exact: false,
+                    oracle_calls: self.oracle_calls,
+                }
+            }
+        };
+        self.outcome = Some(outcome);
+        self.finish_from_outcome();
+    }
+
+    fn finish_from_outcome(&mut self) {
+        let outcome = self.outcome.as_ref().expect("outcome set before finish");
+        self.oracle_calls = outcome.oracle_calls;
+        self.rounds = outcome.rounds;
+        if self.best.is_none() && !outcome.items.is_empty() {
+            self.best = Some((outcome.items.clone(), outcome.opt_g_estimate));
+        }
+        self.phase = SaturatePhase::Done;
+    }
+
+    /// The finished outcome (call after stepping to completion).
+    ///
+    /// # Panics
+    /// Panics if the run has not finished.
+    pub fn into_outcome(self) -> SaturateOutcome {
+        self.outcome.expect("SaturateStepper stepped to completion")
+    }
+
+    /// Borrowed view of the finished outcome, if done.
+    pub fn outcome(&self) -> Option<&SaturateOutcome> {
+        self.outcome.as_ref()
+    }
 }
 
 /// Exhaustive maximin optimum for tiny instances.
@@ -122,98 +364,6 @@ fn saturate_exact<S: UtilitySystem>(system: &S, k: usize) -> SaturateOutcome {
         rounds: 0,
         exact: true,
         oracle_calls,
-    }
-}
-
-fn saturate_approx<S: UtilitySystem>(system: &S, cfg: &SaturateConfig) -> SaturateOutcome {
-    let sizes = system.group_sizes().to_vec();
-    let g = MinGroupUtility::new(&sizes);
-    let budget = ((cfg.k as f64) * cfg.budget_factor).ceil() as usize;
-    let mut oracle_calls = 0u64;
-
-    // Upper bound for the bisection: g(V) = min_i f_i(V) by monotonicity.
-    let mut full = SolutionState::new(system);
-    for v in 0..system.num_items() as ItemId {
-        full.insert(v);
-    }
-    oracle_calls += full.oracle_calls();
-    let mut hi = full.value(&g);
-    let mut lo = 0.0f64;
-    let mut rounds = 0usize;
-
-    if hi <= 0.0 {
-        // Some group can never be served; OPT_g = 0 and any set is optimal.
-        return SaturateOutcome {
-            items: Vec::new(),
-            opt_g_estimate: 0.0,
-            rounds,
-            exact: false,
-            oracle_calls,
-        };
-    }
-
-    let mut best: Option<(Vec<ItemId>, f64)> = None;
-    while rounds < cfg.max_rounds && (hi - lo) > cfg.tolerance * hi {
-        rounds += 1;
-        let t = 0.5 * (lo + hi);
-        let truncated = TruncatedMean::uniform(&sizes, t);
-        let run = greedy(
-            system,
-            &truncated,
-            &GreedyConfig::cover_with(1.0, budget, cfg.variant.clone()),
-        );
-        oracle_calls += run.oracle_calls;
-        if run.reached_target {
-            // Feasible: the witness's true g value is a certified lower
-            // bound (≥ t), so jump straight to it.
-            let mut st = SolutionState::new(system);
-            st.insert_all(&run.items);
-            oracle_calls += st.oracle_calls();
-            let achieved = st.value(&g);
-            if best.as_ref().is_none_or(|(_, b)| achieved > *b) {
-                best = Some((run.items, achieved));
-            }
-            lo = lo.max(achieved).max(t);
-        } else {
-            hi = t;
-        }
-        if hi < lo {
-            break;
-        }
-    }
-
-    match best {
-        Some((items, value)) => SaturateOutcome {
-            items,
-            opt_g_estimate: value,
-            rounds,
-            exact: false,
-            oracle_calls,
-        },
-        None => {
-            // Every probed level failed within budget (possible when k is
-            // very small and groups need disjoint items). Return the last
-            // cover attempt's best-effort set at the lowest useful level.
-            let t = (cfg.tolerance * hi).max(f64::MIN_POSITIVE);
-            let truncated = TruncatedMean::uniform(&sizes, t);
-            let run = greedy(
-                system,
-                &truncated,
-                &GreedyConfig::cover_with(1.0, budget, cfg.variant.clone()),
-            );
-            oracle_calls += run.oracle_calls;
-            let mut st = SolutionState::new(system);
-            st.insert_all(&run.items);
-            oracle_calls += st.oracle_calls();
-            let achieved = st.value(&g);
-            SaturateOutcome {
-                items: run.items,
-                opt_g_estimate: achieved,
-                rounds,
-                exact: false,
-                oracle_calls,
-            }
-        }
     }
 }
 

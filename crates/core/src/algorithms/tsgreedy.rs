@@ -17,9 +17,8 @@ use crate::aggregate::TruncatedMean;
 use crate::metrics::evaluate_state;
 use crate::system::{SolutionState, UtilitySystem};
 
-use super::cover::submodular_cover_into;
 use super::greedy::{greedy, GreedyConfig, GreedyVariant};
-use super::saturate::{saturate, SaturateConfig};
+use super::saturate::SaturateConfig;
 use super::BsmOutcome;
 
 /// Configuration for [`bsm_tsgreedy`].
@@ -78,90 +77,295 @@ pub fn bsm_tsgreedy<S: UtilitySystem>(system: &S, cfg: &TsGreedyConfig) -> BsmOu
 }
 
 /// Runs BSM-TSGreedy and additionally reports stage sizes.
+///
+/// Thin driver over [`TsGreedyStepper`]: steps the state machine to
+/// completion, so one-shot calls and resumable sessions run the exact
+/// same code and produce bit-identical outcomes.
 pub fn bsm_tsgreedy_detailed<S: UtilitySystem>(
     system: &S,
     cfg: &TsGreedyConfig,
 ) -> TsGreedyOutcome {
-    let sizes = system.group_sizes().to_vec();
-    let mut oracle_calls = 0u64;
+    let mut stepper = TsGreedyStepper::new(system, cfg);
+    while stepper.step(system) {}
+    stepper.into_outcome()
+}
 
-    // Line 1: greedy on f.
-    let f = crate::aggregate::MeanUtility::new(system.num_users());
-    let f_cfg = GreedyConfig {
-        variant: cfg.variant.clone(),
-        ..GreedyConfig::lazy(cfg.k)
-    };
-    let run_f = greedy(system, &f, &f_cfg);
-    oracle_calls += run_f.oracle_calls;
-    let opt_f_estimate = run_f.value;
+enum TsGreedyPhase {
+    /// Line 1: greedy on `f` (one step).
+    GreedyF,
+    /// Line 2: Saturate on `g` — one inner Saturate step per step.
+    Saturate,
+    /// Lines 3–9: one stage-1 cover round per step.
+    Stage1,
+    /// Lines 10–15: top-up with the greedy-for-`f` prefix (one step).
+    TopUp,
+    /// Finished; the outcome is ready.
+    Done,
+}
 
-    // Line 2: Saturate on g.
-    let sat = saturate(system, &cfg.saturate);
-    oracle_calls += sat.oracle_calls;
-    let opt_g_estimate = sat.opt_g_estimate;
+/// BSM-TSGreedy as a resumable state machine: estimate stages, then one
+/// stage-1 cover round per [`TsGreedyStepper::step`], then the top-up.
+///
+/// The stage-1 cover drives a greedy engine round by round over a
+/// solution state that is parked between steps, so the operation
+/// sequence — and therefore every item choice and oracle-call count —
+/// is identical to the historical run-to-completion function (which is
+/// itself implemented over this stepper). The stepper is generic over
+/// the system's incremental state type `I = S::Inner`; every `step`
+/// call must receive the same `system` the stepper was created with.
+pub struct TsGreedyStepper<I> {
+    cfg: TsGreedyConfig,
+    sizes: Vec<usize>,
+    m: usize,
+    phase: TsGreedyPhase,
+    run_f: Option<super::greedy::GreedyOutcome>,
+    saturate_stepper: Option<super::saturate::SaturateStepper>,
+    sat: Option<super::saturate::SaturateOutcome>,
+    cover: Option<super::greedy::GreedyEngine<TruncatedMean>>,
+    parts: Option<crate::system::StateParts<I>>,
+    oracle_calls: u64,
+    fell_back: bool,
+    stage1_len: usize,
+    outcome: Option<TsGreedyOutcome>,
+}
 
-    // Lines 3–7: greedy cover on g'_τ (threshold τ·OPT'_g); a vacuous
-    // threshold (τ = 0 or OPT'_g = 0) makes stage 1 a no-op.
-    let threshold = cfg.tau * opt_g_estimate;
-    let mut state = SolutionState::new(system);
-    let mut fell_back = false;
-    let mut stage1_len = 0usize;
-    if threshold > 0.0 {
-        let g_tau = TruncatedMean::uniform(&sizes, threshold);
-        let cover = submodular_cover_into(&mut state, &g_tau, 1.0, cfg.k, cfg.variant.clone());
-        stage1_len = state.len();
-        // Lines 8–9: fall back to S_g when the cover failed. (If greedy
-        // stalled below size k, submodularity implies no superset can
-        // reach g'_τ = 1 either, so the fallback is also correct then.)
-        if !cover.covered {
-            oracle_calls += state.oracle_calls();
-            state = SolutionState::new(system);
-            state.insert_all(&sat.items);
-            fell_back = true;
-            stage1_len = state.len();
+impl<I> TsGreedyStepper<I> {
+    /// Prepares a run of `cfg` on `system` (no oracle work yet).
+    pub fn new<S: UtilitySystem<Inner = I>>(system: &S, cfg: &TsGreedyConfig) -> Self {
+        Self {
+            cfg: cfg.clone(),
+            sizes: system.group_sizes().to_vec(),
+            m: system.num_users(),
+            phase: TsGreedyPhase::GreedyF,
+            run_f: None,
+            saturate_stepper: None,
+            sat: None,
+            cover: None,
+            parts: None,
+            oracle_calls: 0,
+            fell_back: false,
+            stage1_len: 0,
+            outcome: None,
         }
     }
 
-    // Lines 10–15: top up with the greedy-for-f prefix, in greedy order.
-    for &v in &run_f.items {
-        if state.len() >= cfg.k {
-            break;
+    /// Whether the run has finished.
+    pub fn is_done(&self) -> bool {
+        matches!(self.phase, TsGreedyPhase::Done)
+    }
+
+    /// Human-readable name of the current stage.
+    pub fn stage(&self) -> &'static str {
+        match self.phase {
+            TsGreedyPhase::GreedyF => "estimate_f",
+            TsGreedyPhase::Saturate => "saturate",
+            TsGreedyPhase::Stage1 => "stage1_cover",
+            TsGreedyPhase::TopUp => "topup",
+            TsGreedyPhase::Done => "done",
         }
-        state.insert(v);
     }
-    // If S_f's items all overlapped (possible when stage 1 chose them
-    // already), fill with the best remaining items for f to honor |S'| = k.
-    if state.len() < cfg.k {
-        let fill_cfg = GreedyConfig {
-            variant: cfg.variant.clone(),
-            ..GreedyConfig::lazy(cfg.k)
-        };
-        let _ = super::greedy::greedy_into(&mut state, &f, &fill_cfg);
+
+    /// Items of the in-progress solution (stage-1 state, or the final
+    /// solution once done).
+    pub fn current_items(&self) -> Vec<crate::items::ItemId> {
+        if let Some(outcome) = &self.outcome {
+            return outcome.bsm.items.clone();
+        }
+        self.parts
+            .as_ref()
+            .map(|p| p.items().to_vec())
+            .unwrap_or_default()
     }
-    // Zero-gain padding: the paper's greedy runs exactly k argmax rounds,
-    // so |S'| = k always; padding with useless items changes neither f
-    // nor g (monotone utilities) but honors the size contract.
-    if state.len() < cfg.k {
-        for v in 0..system.num_items() as crate::items::ItemId {
-            if state.len() >= cfg.k {
-                break;
+
+    /// Per-group utility sums of the in-progress solution (empty before
+    /// stage 1 starts).
+    pub fn current_sums(&self) -> Vec<f64> {
+        self.parts
+            .as_ref()
+            .map(|p| p.group_sums().to_vec())
+            .unwrap_or_default()
+    }
+
+    /// Oracle calls performed so far: settled stages plus the parked
+    /// stage-1 state plus the in-flight inner Saturate run (so per-step
+    /// progress metering never freezes through the Saturate phase).
+    pub fn oracle_calls(&self) -> u64 {
+        if let Some(outcome) = &self.outcome {
+            return outcome.bsm.oracle_calls;
+        }
+        self.oracle_calls
+            + self.parts.as_ref().map_or(0, |p| p.oracle_calls())
+            + self
+                .saturate_stepper
+                .as_ref()
+                .map_or(0, |s| s.oracle_calls())
+    }
+
+    /// The utility objective `f` of the in-progress solution — the
+    /// solver's own objective, for anytime progress reporting. Reports
+    /// the final evaluation once done, the parked stage-1 state's value
+    /// while covering, and `0` before any solution state exists.
+    pub fn current_f(&self) -> f64 {
+        if let Some(outcome) = &self.outcome {
+            return outcome.bsm.eval.f;
+        }
+        self.parts
+            .as_ref()
+            .map(|p| p.group_sums().iter().sum::<f64>() / self.m as f64)
+            .unwrap_or(0.0)
+    }
+
+    fn stage1_greedy_f(&self) -> crate::aggregate::MeanUtility {
+        crate::aggregate::MeanUtility::new(self.m)
+    }
+
+    /// Performs one unit of work (an estimate stage, one stage-1 cover
+    /// round, or the top-up). Returns `true` while more work remains.
+    pub fn step<S: UtilitySystem<Inner = I>>(&mut self, system: &S) -> bool {
+        match self.phase {
+            TsGreedyPhase::GreedyF => {
+                // Line 1: greedy on f.
+                let f = self.stage1_greedy_f();
+                let f_cfg = GreedyConfig {
+                    variant: self.cfg.variant.clone(),
+                    ..GreedyConfig::lazy(self.cfg.k)
+                };
+                let run_f = greedy(system, &f, &f_cfg);
+                self.oracle_calls += run_f.oracle_calls;
+                self.run_f = Some(run_f);
+                self.saturate_stepper = Some(super::saturate::SaturateStepper::new(
+                    system,
+                    &self.cfg.saturate,
+                ));
+                self.phase = TsGreedyPhase::Saturate;
             }
-            state.insert(v);
+            TsGreedyPhase::Saturate => {
+                // Line 2: Saturate on g, one inner step at a time.
+                let inner = self.saturate_stepper.as_mut().expect("set by GreedyF");
+                if !inner.step(system) {
+                    let sat = self
+                        .saturate_stepper
+                        .take()
+                        .expect("checked above")
+                        .into_outcome();
+                    self.oracle_calls += sat.oracle_calls;
+                    // Lines 3–7: greedy cover on g'_τ (threshold
+                    // τ·OPT'_g); a vacuous threshold (τ = 0 or
+                    // OPT'_g = 0) makes stage 1 a no-op.
+                    let threshold = self.cfg.tau * sat.opt_g_estimate;
+                    self.sat = Some(sat);
+                    let mut state = SolutionState::new(system);
+                    if threshold > 0.0 {
+                        let g_tau = TruncatedMean::uniform(&self.sizes, threshold);
+                        let cover_cfg =
+                            super::cover::cover_config(1.0, self.cfg.k, self.cfg.variant.clone());
+                        self.cover = Some(super::greedy::GreedyEngine::new(
+                            &mut state, g_tau, cover_cfg,
+                        ));
+                        self.phase = TsGreedyPhase::Stage1;
+                    } else {
+                        self.phase = TsGreedyPhase::TopUp;
+                    }
+                    self.parts = Some(state.into_parts());
+                }
+            }
+            TsGreedyPhase::Stage1 => {
+                let mut state = SolutionState::from_parts(
+                    system,
+                    self.parts.take().expect("stage 1 state parked"),
+                );
+                let engine = self.cover.as_mut().expect("stage 1 engine parked");
+                if !engine.step(&mut state) {
+                    let covered = engine.reached_target();
+                    self.stage1_len = state.len();
+                    // Lines 8–9: fall back to S_g when the cover failed.
+                    // (If greedy stalled below size k, submodularity
+                    // implies no superset can reach g'_τ = 1 either, so
+                    // the fallback is also correct then.)
+                    if !covered {
+                        self.oracle_calls += state.oracle_calls();
+                        let sat = self.sat.as_ref().expect("stage 1 follows saturate");
+                        let mut fresh = SolutionState::new(system);
+                        fresh.insert_all(&sat.items);
+                        self.fell_back = true;
+                        self.stage1_len = fresh.len();
+                        state = fresh;
+                    }
+                    self.cover = None;
+                    self.phase = TsGreedyPhase::TopUp;
+                }
+                self.parts = Some(state.into_parts());
+            }
+            TsGreedyPhase::TopUp => {
+                let mut state = SolutionState::from_parts(
+                    system,
+                    self.parts.take().expect("top-up state parked"),
+                );
+                let run_f = self.run_f.as_ref().expect("set by GreedyF");
+                // Lines 10–15: top up with the greedy-for-f prefix, in
+                // greedy order.
+                for &v in &run_f.items {
+                    if state.len() >= self.cfg.k {
+                        break;
+                    }
+                    state.insert(v);
+                }
+                // If S_f's items all overlapped (possible when stage 1
+                // chose them already), fill with the best remaining items
+                // for f to honor |S'| = k.
+                if state.len() < self.cfg.k {
+                    let f = self.stage1_greedy_f();
+                    let fill_cfg = GreedyConfig {
+                        variant: self.cfg.variant.clone(),
+                        ..GreedyConfig::lazy(self.cfg.k)
+                    };
+                    let _ = super::greedy::greedy_into(&mut state, &f, &fill_cfg);
+                }
+                // Zero-gain padding: the paper's greedy runs exactly k
+                // argmax rounds, so |S'| = k always; padding with useless
+                // items changes neither f nor g (monotone utilities) but
+                // honors the size contract.
+                if state.len() < self.cfg.k {
+                    for v in 0..system.num_items() as crate::items::ItemId {
+                        if state.len() >= self.cfg.k {
+                            break;
+                        }
+                        state.insert(v);
+                    }
+                }
+
+                self.oracle_calls += state.oracle_calls();
+                let eval = evaluate_state(&state);
+                let sat = self.sat.as_ref().expect("top-up follows saturate");
+                self.outcome = Some(TsGreedyOutcome {
+                    bsm: BsmOutcome {
+                        items: state.items().to_vec(),
+                        eval,
+                        opt_f_estimate: run_f.value,
+                        opt_g_estimate: sat.opt_g_estimate,
+                        fell_back: self.fell_back,
+                        oracle_calls: self.oracle_calls,
+                    },
+                    stage1_len: self.stage1_len,
+                });
+                self.phase = TsGreedyPhase::Done;
+            }
+            TsGreedyPhase::Done => {}
         }
+        !self.is_done()
     }
 
-    oracle_calls += state.oracle_calls();
-    let eval = evaluate_state(&state);
-    TsGreedyOutcome {
-        bsm: BsmOutcome {
-            items: state.items().to_vec(),
-            eval,
-            opt_f_estimate,
-            opt_g_estimate,
-            fell_back,
-            oracle_calls,
-        },
-        stage1_len,
+    /// The finished outcome (call after stepping to completion).
+    ///
+    /// # Panics
+    /// Panics if the run has not finished.
+    pub fn into_outcome(self) -> TsGreedyOutcome {
+        self.outcome.expect("TsGreedyStepper stepped to completion")
+    }
+
+    /// Borrowed view of the finished outcome, if done.
+    pub fn outcome(&self) -> Option<&TsGreedyOutcome> {
+        self.outcome.as_ref()
     }
 }
 

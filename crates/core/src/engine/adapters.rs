@@ -34,6 +34,10 @@ use super::erased::{DynUtilitySystem, ErasedSystem};
 use super::params::ScenarioParams;
 use super::registry::{Capabilities, Solver};
 use super::report::{SolveReport, SolverError};
+use super::session::{
+    saturate_config_for, BsmSaturateSession, GreedySession, SaturateSession, SolveSession,
+    TsGreedySession,
+};
 
 /// The default suite: one boxed adapter per `core::algorithms` entry
 /// point, in the paper's presentation order followed by the extensions.
@@ -81,12 +85,7 @@ fn check_epsilon(solver: &str, epsilon: f64) -> Result<(), SolverError> {
 }
 
 fn saturate_config(params: &ScenarioParams) -> SaturateConfig {
-    let mut cfg = SaturateConfig::new(params.k);
-    cfg.variant = params.variant.clone();
-    if params.approximate_saturate {
-        cfg = cfg.approximate_only();
-    }
-    cfg
+    saturate_config_for(params)
 }
 
 fn greedy_config(params: &ScenarioParams) -> GreedyConfig {
@@ -106,7 +105,19 @@ impl Solver for GreedySolver {
     }
 
     fn capabilities(&self) -> Capabilities {
-        Capabilities::default()
+        Capabilities {
+            resumable: true,
+            prefix_exact: true,
+            ..Capabilities::default()
+        }
+    }
+
+    fn open_session(
+        &self,
+        system: &dyn DynUtilitySystem,
+        params: &ScenarioParams,
+    ) -> Result<Box<dyn SolveSession>, SolverError> {
+        Ok(Box::new(GreedySession::open(system, params)))
     }
 
     fn solve(
@@ -141,7 +152,18 @@ impl Solver for SaturateSolver {
     }
 
     fn capabilities(&self) -> Capabilities {
-        Capabilities::default()
+        Capabilities {
+            resumable: true,
+            ..Capabilities::default()
+        }
+    }
+
+    fn open_session(
+        &self,
+        system: &dyn DynUtilitySystem,
+        params: &ScenarioParams,
+    ) -> Result<Box<dyn SolveSession>, SolverError> {
+        Ok(Box::new(SaturateSession::open(system, params)))
     }
 
     fn solve(
@@ -226,8 +248,18 @@ impl Solver for TsGreedySolver {
     fn capabilities(&self) -> Capabilities {
         Capabilities {
             uses_tau: true,
+            resumable: true,
             ..Capabilities::default()
         }
+    }
+
+    fn open_session(
+        &self,
+        system: &dyn DynUtilitySystem,
+        params: &ScenarioParams,
+    ) -> Result<Box<dyn SolveSession>, SolverError> {
+        check_tau(self.name(), params.tau)?;
+        Ok(Box::new(TsGreedySession::open(system, params)))
     }
 
     fn solve(
@@ -270,8 +302,19 @@ impl Solver for BsmSaturateSolver {
     fn capabilities(&self) -> Capabilities {
         Capabilities {
             uses_tau: true,
+            resumable: true,
             ..Capabilities::default()
         }
+    }
+
+    fn open_session(
+        &self,
+        system: &dyn DynUtilitySystem,
+        params: &ScenarioParams,
+    ) -> Result<Box<dyn SolveSession>, SolverError> {
+        check_tau(self.name(), params.tau)?;
+        check_epsilon(self.name(), params.epsilon)?;
+        Ok(Box::new(BsmSaturateSession::open(system, params)))
     }
 
     fn solve(

@@ -20,6 +20,11 @@
 //! * **Serializable cells** — [`ScenarioParams`] and [`SolveReport`]
 //!   round-trip through the serde shim's JSON layer, so scenario specs
 //!   and results persist as artifacts.
+//! * **Resumable sessions** ([`session`]) — every solver opens as a
+//!   [`SolveSession`] state machine (`step`/`snapshot`/`solution_at`);
+//!   the greedy family, Saturate, and both BSM schemes step natively
+//!   ([`Capabilities::resumable`]), and greedy sessions serve an entire
+//!   budget axis from one warm run via exact prefix extraction.
 //!
 //! ```
 //! use fair_submod_core::engine::{ScenarioParams, SolverRegistry};
@@ -39,8 +44,10 @@ mod erased;
 mod params;
 mod registry;
 mod report;
+pub mod session;
 
 pub use erased::{DynState, DynUtilitySystem, ErasedSystem};
 pub use params::ScenarioParams;
 pub use registry::{Capabilities, Solver, SolverRegistry};
 pub use report::{SolveReport, SolverError};
+pub use session::{OneShotSession, PartialSolution, SessionStatus, SolveSession};

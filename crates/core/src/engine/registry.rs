@@ -8,6 +8,7 @@ use serde::ToJson;
 use super::erased::DynUtilitySystem;
 use super::params::ScenarioParams;
 use super::report::{SolveReport, SolverError};
+use super::session::{OneShotSession, SolveSession};
 
 /// Capability flags a solver declares so schedulers and tests can
 /// reason about it without special-casing names.
@@ -22,6 +23,16 @@ pub struct Capabilities {
     pub randomized: bool,
     /// Reads the balance factor `τ` (fairness-aware solvers).
     pub uses_tau: bool,
+    /// Has a native incremental [`SolveSession`]: `open_session` yields
+    /// a state machine that does real per-round work instead of the
+    /// run-to-completion adapter.
+    pub resumable: bool,
+    /// Sessions serve *any* budget `k` up to their own bit-identically
+    /// to a cold run at that budget ([`SolveSession::prefix_exact`]).
+    /// Static per solver, so grid planners can group k-axes without
+    /// opening a probe session; `tests/session_equivalence.rs` asserts
+    /// the flag agrees with the opened session's own answer.
+    pub prefix_exact: bool,
 }
 
 impl ToJson for Capabilities {
@@ -31,6 +42,8 @@ impl ToJson for Capabilities {
             ("exact", Value::Bool(self.exact)),
             ("randomized", Value::Bool(self.randomized)),
             ("uses_tau", Value::Bool(self.uses_tau)),
+            ("resumable", Value::Bool(self.resumable)),
+            ("prefix_exact", Value::Bool(self.prefix_exact)),
         ])
     }
 }
@@ -55,6 +68,28 @@ pub trait Solver: Send + Sync {
         system: &dyn DynUtilitySystem,
         params: &ScenarioParams,
     ) -> Result<SolveReport, SolverError>;
+
+    /// Opens a resumable [`SolveSession`] for one scenario cell.
+    ///
+    /// The default adapter runs [`Solver::solve`] to completion and
+    /// wraps the report, so every solver is sessionable; solvers that
+    /// set [`Capabilities::resumable`] override this with a native
+    /// state machine whose steps do real incremental work. Parameter
+    /// validation happens here (same typed errors as `solve`), and the
+    /// returned session owns all of its state — it borrows neither the
+    /// solver nor the registry, so long-running services can park it
+    /// across requests (stepping it with the same system it was opened
+    /// on).
+    fn open_session(
+        &self,
+        system: &dyn DynUtilitySystem,
+        params: &ScenarioParams,
+    ) -> Result<Box<dyn SolveSession>, SolverError> {
+        Ok(Box::new(OneShotSession::new(
+            self.name(),
+            self.solve(system, params)?,
+        )))
+    }
 }
 
 /// Name-indexed collection of solvers; the execution boundary the
@@ -127,6 +162,22 @@ impl SolverRegistry {
         let mut report = solver.solve(system, params)?;
         report.seconds = start.elapsed().as_secs_f64();
         Ok(report)
+    }
+
+    /// Opens a [`SolveSession`] for the named solver (see
+    /// [`Solver::open_session`]). Unlike [`SolverRegistry::solve`],
+    /// sessions do not time themselves — callers stepping a session in
+    /// chunks own the clock.
+    pub fn open_session(
+        &self,
+        name: &str,
+        system: &dyn DynUtilitySystem,
+        params: &ScenarioParams,
+    ) -> Result<Box<dyn SolveSession>, SolverError> {
+        let solver = self.get(name).ok_or_else(|| SolverError::UnknownSolver {
+            name: name.to_string(),
+        })?;
+        solver.open_session(system, params)
     }
 }
 

@@ -81,8 +81,8 @@ pub mod prelude {
     pub use crate::algorithms::tsgreedy::{bsm_tsgreedy, TsGreedyConfig};
     pub use crate::algorithms::BsmOutcome;
     pub use crate::engine::{
-        Capabilities, DynUtilitySystem, ErasedSystem, ScenarioParams, SolveReport, Solver,
-        SolverError, SolverRegistry,
+        Capabilities, DynUtilitySystem, ErasedSystem, PartialSolution, ScenarioParams,
+        SessionStatus, SolveReport, SolveSession, Solver, SolverError, SolverRegistry,
     };
     pub use crate::items::{ItemId, ItemSet};
     pub use crate::metrics::{evaluate, Evaluation};

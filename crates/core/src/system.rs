@@ -267,6 +267,70 @@ impl<'a, S: UtilitySystem> SolutionState<'a, S> {
     }
 }
 
+/// The owned pieces of a [`SolutionState`] with the system borrow
+/// stripped: what a resumable session keeps between steps.
+///
+/// A `SolutionState` borrows its system for its whole lifetime, which
+/// makes it impossible to store inside a `'static` session object that
+/// *also* owns (a handle to) the system. Sessions therefore park the
+/// state as `StateParts` between steps and rehydrate it with
+/// [`SolutionState::from_parts`] against the system reference each step
+/// receives. Both conversions are plain moves — no clones, no oracle
+/// calls — so a step sequence through parts is bit-identical to holding
+/// one state across the whole run.
+pub(crate) struct StateParts<I> {
+    inner: I,
+    group_sums: Vec<f64>,
+    set: ItemSet,
+    scratch: Vec<f64>,
+    oracle_calls: u64,
+}
+
+impl<I> StateParts<I> {
+    /// Chosen items in insertion order.
+    pub(crate) fn items(&self) -> &[ItemId] {
+        self.set.items()
+    }
+
+    /// Current per-group utility sums.
+    pub(crate) fn group_sums(&self) -> &[f64] {
+        &self.group_sums
+    }
+
+    /// Oracle calls accumulated by the parked state.
+    pub(crate) fn oracle_calls(&self) -> u64 {
+        self.oracle_calls
+    }
+}
+
+impl<'a, S: UtilitySystem> SolutionState<'a, S> {
+    /// Splits the state into its system-independent parts.
+    pub(crate) fn into_parts(self) -> StateParts<S::Inner> {
+        StateParts {
+            inner: self.inner,
+            group_sums: self.group_sums,
+            set: self.set,
+            scratch: self.scratch,
+            oracle_calls: self.oracle_calls,
+        }
+    }
+
+    /// Rebuilds a state from parts previously produced by
+    /// [`SolutionState::into_parts`] over the **same** system (the
+    /// incremental `inner` state is only meaningful against the system
+    /// that produced it).
+    pub(crate) fn from_parts(system: &'a S, parts: StateParts<S::Inner>) -> Self {
+        Self {
+            system,
+            inner: parts.inner,
+            group_sums: parts.group_sums,
+            set: parts.set,
+            scratch: parts.scratch,
+            oracle_calls: parts.oracle_calls,
+        }
+    }
+}
+
 impl<'a, S: UtilitySystem> Clone for SolutionState<'a, S> {
     fn clone(&self) -> Self {
         Self {

@@ -30,6 +30,7 @@
 //! | `GET /registry` | solver capability listing from the registry |
 //! | `GET /instances` | admin view of the instance store (keys, hit counts, LRU state) |
 //! | `POST /solve` | one solver on one cell; returns the `SolveReport` JSON |
+//! | `POST /solve/anytime` | a resumable solve in bounded step chunks with per-round progress |
 //! | `POST /batch` | a solver grid on one instance, run concurrently on the shared pool |
 //!
 //! `POST /solve` takes a dataset recipe, a substrate, a registry
@@ -68,6 +69,18 @@
 //! }
 //! ```
 //!
+//! `POST /solve/anytime` is the incremental variant of `/solve`: it
+//! opens a resumable [`fair_submod_core::engine::SolveSession`] on the
+//! cached instance, steps it for at most `max_rounds` rounds (default
+//! 16), and reports per-round progress (`round`, `objective`,
+//! `group_sums`, `solution_size`, `oracle_calls`). If the solve did
+//! not finish, the response carries a `session` handle — embedding the
+//! instance-store key — that a follow-up request resumes with
+//! `{"session": "<handle>", "max_rounds": N}`; when it finishes, the
+//! final `SolveReport` (bit-identical to `/solve` up to timing) is
+//! included and the handle expires. Solvers whose registry capability
+//! `resumable` is `false` complete in a single chunk.
+//!
 //! Load generation lives in the bench crate:
 //! `cargo run -p fair-submod-bench --release --bin loadgen -- --quick
 //! --spawn` spawns a daemon, hammers it with a mixed read/solve
@@ -77,8 +90,10 @@
 pub mod http;
 pub mod instance;
 pub mod server;
+pub mod sessions;
 pub mod store;
 
 pub use instance::{canonical_key, Instance, InstanceConfig};
 pub use server::{serve, ServiceState};
+pub use sessions::{ParkedSession, SessionStore};
 pub use store::{CacheStatus, InstanceStore};

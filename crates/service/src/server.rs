@@ -21,7 +21,16 @@ use fair_submod_core::engine::{ScenarioParams, SolverError, SolverRegistry};
 
 use crate::http::{Request, Response, Server};
 use crate::instance::{canonical_key, validate_request, Instance, InstanceConfig};
+use crate::sessions::{ParkedSession, SessionStore};
 use crate::store::{CacheStatus, InstanceStore, StoreEntry};
+
+/// Maximum parked anytime sessions (oldest evicted past this; see
+/// [`SessionStore`]).
+pub const ANYTIME_SESSION_CAPACITY: usize = 64;
+
+/// Default (and maximum) session steps per `POST /solve/anytime` chunk.
+const DEFAULT_ANYTIME_CHUNK: usize = 16;
+const MAX_ANYTIME_CHUNK: usize = 100_000;
 
 /// Long-lived daemon state shared by all connection threads.
 pub struct ServiceState {
@@ -29,6 +38,8 @@ pub struct ServiceState {
     pub registry: SolverRegistry,
     /// The cached instance store.
     pub store: InstanceStore,
+    /// Parked anytime solve sessions (`POST /solve/anytime`).
+    pub sessions: SessionStore,
     /// Build knobs for new instances (part of the cache key).
     pub instance_cfg: InstanceConfig,
     started: Instant,
@@ -43,6 +54,7 @@ impl ServiceState {
         Self {
             registry: SolverRegistry::default(),
             store: InstanceStore::new(capacity),
+            sessions: SessionStore::new(ANYTIME_SESSION_CAPACITY),
             instance_cfg,
             started: Instant::now(),
             requests: AtomicU64::new(0),
@@ -70,8 +82,10 @@ impl ServiceState {
             ("GET", "/registry") => self.registry_listing(),
             ("GET", "/instances") => Response::json(200, &self.store.snapshot_json()),
             ("POST", "/solve") => self.solve(&request.body),
+            ("POST", "/solve/anytime") => self.solve_anytime(&request.body),
             ("POST", "/batch") => self.batch(&request.body),
-            ("GET", "/solve" | "/batch") | ("POST", "/healthz" | "/registry" | "/instances") => {
+            ("GET", "/solve" | "/solve/anytime" | "/batch")
+            | ("POST", "/healthz" | "/registry" | "/instances") => {
                 error_response(405, "method not allowed for this endpoint")
             }
             _ => error_response(404, "no such endpoint"),
@@ -100,6 +114,7 @@ impl ServiceState {
                     "solves",
                     Value::Num(self.solves.load(Ordering::Relaxed) as f64),
                 ),
+                ("anytime_sessions", Value::Num(self.sessions.len() as f64)),
                 ("threads", Value::Num(rayon::current_num_threads() as f64)),
             ]),
         )
@@ -183,6 +198,148 @@ impl ServiceState {
         }
     }
 
+    /// `POST /solve/anytime`: runs a resumable solve in bounded step
+    /// chunks with per-round progress.
+    ///
+    /// Opening request: the `/solve` body plus optional `max_rounds`
+    /// (steps this chunk, default 16). If the session finishes within
+    /// the chunk the final `report` is returned; otherwise the response
+    /// carries a `session` handle (embedding the instance-store key) to
+    /// resume with `{"session": "<handle>", "max_rounds": N}`. Solvers
+    /// without a native incremental core (capability `resumable =
+    /// false`) complete in one chunk by construction. A handle is
+    /// single-flight: while one request steps it, concurrent resumes
+    /// see 404.
+    fn solve_anytime(&self, body: &[u8]) -> Response {
+        let Ok(value) = parse_bytes(body) else {
+            return error_response(400, "bad JSON body");
+        };
+        let max_rounds = value
+            .get("max_rounds")
+            .and_then(Value::as_usize)
+            .unwrap_or(DEFAULT_ANYTIME_CHUNK)
+            .clamp(1, MAX_ANYTIME_CHUNK);
+
+        // Resume path: handle only, no dataset re-validation needed —
+        // the parked session pins its instance through the entry Arc.
+        if let Some(handle) = value.get("session").and_then(Value::as_str) {
+            let Some(parked) = self.sessions.take(handle) else {
+                return error_response(
+                    404,
+                    "unknown session handle (finished, evicted, or being stepped)",
+                );
+            };
+            return self.step_session_chunk(parked, max_rounds);
+        }
+
+        // Open path: same shape as /solve (the body was parsed once
+        // above for max_rounds/session).
+        let (recipe, substrate) = match parse_instance_value(&value) {
+            Ok(parts) => parts,
+            Err(response) => return *response,
+        };
+        let solver = match value.get("solver").and_then(Value::as_str) {
+            Some(s) => s.to_string(),
+            None => return error_response(400, "request needs a 'solver' name"),
+        };
+        let params = match value.get("params") {
+            Some(p) => match ScenarioParams::from_json(p) {
+                Ok(params) => params,
+                Err(e) => return error_response(400, &format!("bad params: {e}")),
+            },
+            None => return error_response(400, "request needs a 'params' object with k and tau"),
+        };
+
+        let (entry, status) = self.instance_entry(recipe, substrate);
+        let instance = entry.built().expect("instance_entry builds");
+        let session = match self
+            .registry
+            .open_session(&solver, instance.system(), &params)
+        {
+            Ok(session) => session,
+            Err(error) => {
+                return Response::json(solver_error_status(&error), &error.to_json())
+                    .with_header("X-Instance-Cache", status.as_str())
+            }
+        };
+        self.solves.fetch_add(1, Ordering::Relaxed);
+        let parked = ParkedSession {
+            id: self.sessions.mint_id(&entry.key),
+            solver,
+            k: params.k,
+            entry: Arc::clone(&entry),
+            session,
+            steps: 0,
+        };
+        self.step_session_chunk(parked, max_rounds)
+            .with_header("X-Instance-Cache", status.as_str())
+    }
+
+    /// Steps a (fresh or resumed) session for up to `max_rounds`
+    /// rounds, collecting one progress row per round, and either
+    /// returns the final report or parks the session for the next
+    /// chunk.
+    fn step_session_chunk(&self, mut parked: ParkedSession, max_rounds: usize) -> Response {
+        let start = Instant::now();
+        let mut progress: Vec<Value> = Vec::new();
+        {
+            let instance = parked
+                .entry
+                .built()
+                .expect("parked sessions hold built entries");
+            let system = instance.system();
+            let mut chunk_steps = 0usize;
+            while chunk_steps < max_rounds && !parked.session.done() {
+                parked.session.step(system);
+                parked.steps += 1;
+                chunk_steps += 1;
+                let snap = parked.session.snapshot();
+                progress.push(obj([
+                    ("round", Value::Num(snap.round as f64)),
+                    ("objective", Value::Num(snap.objective)),
+                    (
+                        "group_sums",
+                        Value::Arr(snap.group_sums.iter().map(|&s| Value::Num(s)).collect()),
+                    ),
+                    ("solution_size", Value::Num(snap.items.len() as f64)),
+                    ("oracle_calls", Value::Num(snap.oracle_calls as f64)),
+                ]));
+            }
+        }
+        let done = parked.session.done();
+        let mut pairs: Vec<(&'static str, Value)> = vec![
+            ("solver", Value::Str(parked.solver.clone())),
+            ("k", Value::Num(parked.k as f64)),
+            ("done", Value::Bool(done)),
+            ("steps_total", Value::Num(parked.steps as f64)),
+            ("instance_key", Value::Str(parked.entry.key.clone())),
+            ("seconds", Value::Num(start.elapsed().as_secs_f64())),
+            ("progress", Value::Arr(progress)),
+        ];
+        if done {
+            let instance = parked
+                .entry
+                .built()
+                .expect("parked sessions hold built entries");
+            let mut report = match parked.session.finish(instance.system()) {
+                Ok(report) => report,
+                Err(error) => return Response::json(solver_error_status(&error), &error.to_json()),
+            };
+            // Re-evaluate the way /solve does (Monte-Carlo for
+            // influence, oracle-exact otherwise).
+            let eval = instance.evaluate(&report.items);
+            report.f = eval.f;
+            report.g = eval.g;
+            report.group_utilities = eval.group_means;
+            pairs.push(("report", report.to_json()));
+            // Finished sessions are not re-parked; the handle dies.
+        } else {
+            pairs.push(("session", Value::Str(parked.id.clone())));
+            self.sessions.park(parked);
+        }
+        Response::json(200, &obj(pairs))
+    }
+
     fn batch(&self, body: &[u8]) -> Response {
         let job = match parse_bytes(body)
             .map_err(|e| e.to_string())
@@ -207,19 +364,26 @@ impl ServiceState {
             taus: job.taus.clone(),
             epsilons: job.epsilons.clone(),
             repetitions: job.repetitions.max(1),
+            warm_sweeps: true,
             base,
+        };
+        let num_cells = match grid.num_cells() {
+            Ok(n) => n,
+            Err(e) => return error_response(400, &format!("bad batch grid: {e}")),
         };
 
         let (entry, status) = self.instance_entry(job.dataset.clone(), job.substrate.clone());
         let instance = entry.built().expect("instance_entry builds");
-        self.solves
-            .fetch_add(grid.num_cells() as u64, Ordering::Relaxed);
-        let results = run_suite(
+        self.solves.fetch_add(num_cells as u64, Ordering::Relaxed);
+        let results = match run_suite(
             instance.system(),
             &|items| instance.evaluate_capped(items, job.mc_runs_cap),
             &self.registry,
             &grid,
-        );
+        ) {
+            Ok(results) => results,
+            Err(e) => return error_response(400, &format!("bad batch grid: {e}")),
+        };
         let label = format!("{}{}", instance.dataset_name, job.label_suffix);
         let mut ok_cells = 0usize;
         let mut capability_gaps = 0usize;
@@ -260,6 +424,13 @@ fn parse_instance_request(
 ) -> Result<(DatasetRecipe, SubstrateSpec, Value), Box<Response>> {
     let value = parse_bytes(body)
         .map_err(|e| Box::new(error_response(400, &format!("bad JSON body: {e}"))))?;
+    let (recipe, substrate) = parse_instance_value(&value)?;
+    Ok((recipe, substrate, value))
+}
+
+/// [`parse_instance_request`] over an already-parsed body, for handlers
+/// that read other fields first.
+fn parse_instance_value(value: &Value) -> Result<(DatasetRecipe, SubstrateSpec), Box<Response>> {
     let recipe = value
         .get("dataset")
         .ok_or_else(|| Box::new(error_response(400, "request needs a 'dataset' recipe")))
@@ -275,7 +446,7 @@ fn parse_instance_request(
                 .map_err(|e| Box::new(error_response(400, &format!("bad substrate: {e}"))))
         })?;
     validate_request(&recipe, &substrate).map_err(|m| Box::new(error_response(400, &m)))?;
-    Ok((recipe, substrate, value))
+    Ok((recipe, substrate))
 }
 
 fn error_response(status: u16, message: &str) -> Response {

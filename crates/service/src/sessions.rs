@@ -1,0 +1,210 @@
+//! The anytime-session store: parked [`SolveSession`]s that
+//! `POST /solve/anytime` steps in bounded chunks across requests.
+//!
+//! A session owns no borrow of the registry, but its incremental state
+//! is only meaningful against the oracle it was opened on — so each
+//! parked session carries the `Arc` of its instance-store entry, which
+//! both keeps the built [`crate::instance::Instance`] alive across LRU
+//! eviction and guarantees every later chunk steps against the same
+//! oracle. Handles embed the instance key
+//! (`anyt-<instance-key>-<serial>`), so clients can correlate a session
+//! with the `/instances` admin view.
+//!
+//! Stepping must be exclusive: a resume request *takes* the session out
+//! of the store, steps it without holding the store lock, and puts it
+//! back unless it finished. A concurrent resume of the same handle
+//! finds nothing and gets a 404 — by design, the store never blocks one
+//! request on another's solve. Capacity is bounded; inserting past it
+//! evicts the least-recently-touched parked session (its work so far is
+//! lost, which is safe: re-opening just re-solves).
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use fair_submod_core::engine::SolveSession;
+
+use crate::store::StoreEntry;
+
+/// One parked anytime solve.
+pub struct ParkedSession {
+    /// Opaque handle the client resumes with.
+    pub id: String,
+    /// Registry name of the solver.
+    pub solver: String,
+    /// The session's budget `k` (its own scenario cell).
+    pub k: usize,
+    /// Instance-store entry the session was opened on (kept alive for
+    /// the session's whole life).
+    pub entry: Arc<StoreEntry>,
+    /// The resumable state machine itself.
+    pub session: Box<dyn SolveSession>,
+    /// Steps performed across all chunks so far.
+    pub steps: u64,
+}
+
+struct Slot {
+    parked: ParkedSession,
+    last_used: Instant,
+}
+
+/// Bounded store of parked sessions; all methods take `&self`.
+pub struct SessionStore {
+    capacity: usize,
+    inner: Mutex<SessionInner>,
+}
+
+struct SessionInner {
+    serial: u64,
+    evictions: u64,
+    slots: Vec<Slot>,
+}
+
+impl SessionStore {
+    /// An empty store parking at most `capacity` sessions.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            inner: Mutex::new(SessionInner {
+                serial: 0,
+                evictions: 0,
+                slots: Vec::new(),
+            }),
+        }
+    }
+
+    /// Mints a handle for a session opened on the instance entry `key`.
+    pub fn mint_id(&self, instance_key: &str) -> String {
+        let mut inner = self.inner.lock().expect("session store poisoned");
+        inner.serial += 1;
+        format!("anyt-{instance_key}-{:x}", inner.serial)
+    }
+
+    /// Parks a session, evicting the least-recently-touched one when
+    /// full.
+    pub fn park(&self, parked: ParkedSession) {
+        let mut inner = self.inner.lock().expect("session store poisoned");
+        if inner.slots.len() >= self.capacity {
+            let oldest = inner
+                .slots
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(i, _)| i)
+                .expect("non-empty at capacity");
+            inner.slots.remove(oldest);
+            inner.evictions += 1;
+        }
+        inner.slots.push(Slot {
+            parked,
+            last_used: Instant::now(),
+        });
+    }
+
+    /// Takes a parked session out for exclusive stepping. Returns
+    /// `None` for unknown handles *and* for sessions another request is
+    /// currently stepping (it is out of the store while stepped).
+    pub fn take(&self, id: &str) -> Option<ParkedSession> {
+        let mut inner = self.inner.lock().expect("session store poisoned");
+        let at = inner.slots.iter().position(|s| s.parked.id == id)?;
+        Some(inner.slots.remove(at).parked)
+    }
+
+    /// Number of currently parked sessions.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("session store poisoned")
+            .slots
+            .len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sessions evicted to make room so far.
+    pub fn evictions(&self) -> u64 {
+        self.inner.lock().expect("session store poisoned").evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fair_submod_bench::scenario::{DatasetRecipe, SubstrateSpec};
+    use fair_submod_core::engine::{ScenarioParams, SolverRegistry};
+
+    use crate::instance::{canonical_key, Instance, InstanceConfig};
+    use crate::store::InstanceStore;
+
+    fn parked(store: &InstanceStore, sessions: &SessionStore, n: usize) -> ParkedSession {
+        let cfg = InstanceConfig::default().quick();
+        let recipe = DatasetRecipe::RandMc {
+            c: 2,
+            n: 40 + n,
+            seed_offset: 0,
+        };
+        let (key, canonical) = canonical_key(&recipe, &SubstrateSpec::Coverage, &cfg);
+        let (entry, _) = store.get_or_insert(&key, &canonical);
+        entry.get_or_build(|| Instance::build(recipe, SubstrateSpec::Coverage, &cfg));
+        let registry = SolverRegistry::default();
+        let session = registry
+            .open_session(
+                "Greedy",
+                entry.built().unwrap().system(),
+                &ScenarioParams::new(3, 0.5),
+            )
+            .unwrap();
+        ParkedSession {
+            id: sessions.mint_id(&entry.key),
+            solver: "Greedy".into(),
+            k: 3,
+            entry,
+            session,
+            steps: 0,
+        }
+    }
+
+    #[test]
+    fn park_take_and_evict() {
+        let instances = InstanceStore::new(4);
+        let sessions = SessionStore::new(2);
+        let a = parked(&instances, &sessions, 0);
+        let a_id = a.id.clone();
+        sessions.park(a);
+        let b = parked(&instances, &sessions, 2);
+        let b_id = b.id.clone();
+        sessions.park(b);
+        assert_eq!(sessions.len(), 2);
+        assert_ne!(a_id, b_id, "serials discriminate handles");
+        // Taking removes; a second take of the same handle misses.
+        let taken = sessions.take(&a_id).expect("parked");
+        assert!(sessions.take(&a_id).is_none());
+        sessions.park(taken);
+        // Past capacity the least-recently-touched session is evicted.
+        let c = parked(&instances, &sessions, 4);
+        let c_id = c.id.clone();
+        sessions.park(c);
+        assert_eq!(sessions.len(), 2);
+        assert_eq!(sessions.evictions(), 1);
+        assert!(sessions.take(&b_id).is_none(), "b was oldest, evicted");
+        assert!(sessions.take(&c_id).is_some());
+    }
+
+    #[test]
+    fn parked_sessions_survive_instance_store_eviction() {
+        // The session's Arc keeps the built instance alive even after
+        // the instance store forgets the key.
+        let instances = InstanceStore::new(1);
+        let sessions = SessionStore::new(4);
+        let mut a = parked(&instances, &sessions, 0);
+        let _b = parked(&instances, &sessions, 2); // evicts a's entry
+        let system = a.entry.built().unwrap().system();
+        while !a.session.done() {
+            a.session.step(system);
+        }
+        let report = a.session.finish(system).unwrap();
+        assert_eq!(report.items.len(), 3);
+    }
+}

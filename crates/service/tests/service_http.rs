@@ -93,7 +93,8 @@ fn daemon_round_trips_and_caches_instances() {
     assert_eq!(body.get("solvers").and_then(Value::as_usize), Some(16));
     assert_eq!(body.get("instances").and_then(Value::as_usize), Some(0));
 
-    // /registry lists every solver with capability flags.
+    // /registry lists every solver with capability flags, including
+    // the session-layer `resumable` flag per solver.
     let registry = request(&mut conn, "GET", "/registry", None);
     assert_eq!(registry.status, 200);
     let solvers = registry.json();
@@ -104,6 +105,29 @@ fn daemon_round_trips_and_caches_instances() {
         .filter_map(|v| v.get("name").and_then(Value::as_str))
         .collect();
     assert!(names.contains(&"Greedy") && names.contains(&"BSM-Saturate"));
+    let resumable_of = |name: &str| {
+        solvers
+            .iter()
+            .find(|v| v.get("name").and_then(Value::as_str) == Some(name))
+            .and_then(|v| v.get("capabilities"))
+            .and_then(|c| c.get("resumable"))
+            .and_then(Value::as_bool)
+            .unwrap_or_else(|| panic!("{name} must expose a resumable flag"))
+    };
+    for native in ["Greedy", "Saturate", "BSM-Saturate", "BSM-TSGreedy"] {
+        assert!(resumable_of(native), "{native} has a native session");
+    }
+    for one_shot in ["MWU", "Random", "SMSC", "BruteForce"] {
+        assert!(!resumable_of(one_shot), "{one_shot} is one-shot");
+    }
+    // The pre-session flags are still present alongside it.
+    assert!(solvers.iter().any(|v| {
+        v.get("name").and_then(Value::as_str) == Some("SMSC")
+            && v.get("capabilities")
+                .and_then(|c| c.get("requires_two_groups"))
+                .and_then(Value::as_bool)
+                == Some(true)
+    }));
 
     // First solve: instance cache miss, full report.
     let first = request(&mut conn, "POST", "/solve", Some(SOLVE_BODY));
@@ -183,4 +207,107 @@ fn daemon_round_trips_and_caches_instances() {
     assert!(bad.json().get("error").is_some());
     let after = request(&mut conn2, "GET", "/healthz", None);
     assert_eq!(after.status, 200);
+}
+
+#[test]
+fn anytime_sessions_chunk_across_requests_and_match_one_shot() {
+    let addr = spawn_daemon();
+    let mut conn = TcpStream::connect(addr).unwrap();
+
+    // The one-shot answer the chunked session must reproduce.
+    let one_shot_body = r#"{
+        "dataset": {"kind": "rand_mc", "c": 2, "n": 60, "seed_offset": 7},
+        "substrate": "coverage",
+        "solver": "Greedy",
+        "params": {"k": 6, "tau": 0.5}
+    }"#;
+    let one_shot = request(&mut conn, "POST", "/solve", Some(one_shot_body));
+    assert_eq!(one_shot.status, 200);
+    let one_shot = one_shot.json();
+
+    // Open an anytime session, 2 rounds per chunk: k = 6 greedy rounds
+    // cannot finish in the first chunk.
+    let open_body = r#"{
+        "dataset": {"kind": "rand_mc", "c": 2, "n": 60, "seed_offset": 7},
+        "substrate": "coverage",
+        "solver": "Greedy",
+        "params": {"k": 6, "tau": 0.5},
+        "max_rounds": 2
+    }"#;
+    let first = request(&mut conn, "POST", "/solve/anytime", Some(open_body));
+    assert_eq!(
+        first.status,
+        200,
+        "{}",
+        String::from_utf8_lossy(&first.body)
+    );
+    assert_eq!(first.header("x-instance-cache"), Some("hit"));
+    let first = first.json();
+    assert_eq!(first.get("done").and_then(Value::as_bool), Some(false));
+    let handle = first
+        .get("session")
+        .and_then(Value::as_str)
+        .expect("unfinished chunk returns a session handle")
+        .to_string();
+    // The handle is instance-store-friendly: it embeds the cache key.
+    let progress = first.get("progress").and_then(Value::as_arr).unwrap();
+    assert_eq!(progress.len(), 2, "one row per round");
+    assert_eq!(progress[0].get("round").and_then(Value::as_usize), Some(1));
+    assert!(progress[0]
+        .get("group_sums")
+        .and_then(Value::as_arr)
+        .is_some());
+    assert!(progress[0]
+        .get("objective")
+        .and_then(Value::as_f64)
+        .is_some());
+    // Objectives are monotone for greedy rounds.
+    let objectives: Vec<f64> = progress
+        .iter()
+        .filter_map(|p| p.get("objective").and_then(Value::as_f64))
+        .collect();
+    assert!(objectives[1] >= objectives[0]);
+
+    // Resume (even from another connection) until done.
+    let mut conn2 = TcpStream::connect(addr).unwrap();
+    let mut report = None;
+    for _ in 0..8 {
+        let resume_body = format!(r#"{{"session": "{handle}", "max_rounds": 2}}"#);
+        let next = request(&mut conn2, "POST", "/solve/anytime", Some(&resume_body));
+        assert_eq!(next.status, 200);
+        let next = next.json();
+        if next.get("done").and_then(Value::as_bool) == Some(true) {
+            report = next.get("report").cloned();
+            break;
+        }
+    }
+    let report = report.expect("session finishes within the chunk budget");
+    // The chunked result is the one-shot result (items, objective,
+    // oracle calls; seconds differ by construction).
+    assert_eq!(report.get("items"), one_shot.get("items"));
+    assert_eq!(report.get("objective"), one_shot.get("objective"));
+    assert_eq!(report.get("oracle_calls"), one_shot.get("oracle_calls"));
+    assert_eq!(report.get("f"), one_shot.get("f"));
+
+    // The handle died with the final report.
+    let stale = request(
+        &mut conn2,
+        "POST",
+        "/solve/anytime",
+        Some(&format!(r#"{{"session": "{handle}"}}"#)),
+    );
+    assert_eq!(stale.status, 404);
+
+    // Non-resumable solvers complete in one chunk by construction.
+    let one_chunk = request(
+        &mut conn,
+        "POST",
+        "/solve/anytime",
+        Some(&one_shot_body.replace("Greedy", "MWU")),
+    );
+    assert_eq!(one_chunk.status, 200);
+    let one_chunk = one_chunk.json();
+    assert_eq!(one_chunk.get("done").and_then(Value::as_bool), Some(true));
+    assert!(one_chunk.get("report").is_some());
+    assert!(one_chunk.get("session").is_none());
 }
