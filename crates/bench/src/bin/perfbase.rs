@@ -22,15 +22,33 @@
 //! resumable session by prefix extraction), with bit-identical
 //! solutions asserted between the two.
 //!
+//! The `sharded_1m` scenario exercises the sharded solve tier at its
+//! design scale: a million-node synthetic coverage instance solved
+//! centrally (full graph + full oracle + `greedi`) versus through
+//! [`ShardedInstance`] fed by per-shard CSR slices streamed straight
+//! off the edge list (`read_shard_slices` — no full graph ever built).
+//! Selections are asserted bit-identical, and the sharded run is held
+//! to explicit wall-clock and peak-RSS budgets (the process aborts when
+//! either is blown, so CI's `scale-smoke` step fails loudly). It runs
+//! in full mode and under `--only sharded_1m`; plain `--quick` skips it
+//! to keep the per-push perf gate fast.
+//!
 //! Usage: `cargo run -p fair-submod-bench --release --bin perfbase --
-//! [--quick] [--out BENCH_baseline.json]`.
+//! [--quick] [--only NAME] [--out BENCH_baseline.json]`.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use fair_submod_bench::harness::{run_suite, GridConfig};
+use fair_submod_core::engine::MergeBuilder;
 use fair_submod_core::prelude::*;
+use fair_submod_coverage::{
+    dominating_set_system, dominating_slice_system, CoverageOracle, SetSystem,
+};
 use fair_submod_datasets::{facebook_like, rand_fl, rand_mc, seeds};
 use fair_submod_facility::BenefitMatrix;
+use fair_submod_graphs::io::{read_edge_list, read_shard_slices};
+use fair_submod_graphs::{CsrSlice, Groups};
 use fair_submod_influence::oracle::{RisConfig, RisOracle};
 use fair_submod_influence::{monte_carlo_evaluate, DiffusionModel};
 
@@ -40,6 +58,52 @@ struct Scenario {
     after_label: &'static str,
     before_seconds: f64,
     after_seconds: f64,
+    /// Extra JSON fields (`, "key": value` fragments) for scenarios
+    /// that record more than the two timings — e.g. budget checks.
+    extra: String,
+}
+
+/// Peak resident set size of this process in MiB (`VmHWM` from
+/// `/proc/self/status`); `None` off Linux.
+#[cfg(target_os = "linux")]
+fn peak_rss_mib() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: f64 = line
+        .trim_start_matches("VmHWM:")
+        .trim()
+        .trim_end_matches("kB")
+        .trim()
+        .parse()
+        .ok()?;
+    Some(kb / 1024.0)
+}
+
+#[cfg(not(target_os = "linux"))]
+fn peak_rss_mib() -> Option<f64> {
+    None
+}
+
+/// Deterministic million-scale edge list: a ring plus `chords` xorshift
+/// chords per node, as text, so both load paths parse the same bytes.
+fn synth_edge_list(n: usize, chords: usize, seed: u64) -> String {
+    use std::fmt::Write as _;
+    let mut text = String::with_capacity(n * (chords + 1) * 15);
+    let mut state = seed | 1;
+    let mut next = |bound: u64| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state % bound
+    };
+    for v in 0..n {
+        let _ = writeln!(text, "{} {}", v, (v + 1) % n);
+        for _ in 0..chords {
+            let w = next(n as u64);
+            let _ = writeln!(text, "{v} {w}");
+        }
+    }
+    text
 }
 
 /// Best-of-`reps` wall-clock seconds for `f`.
@@ -64,21 +128,30 @@ fn time_seq_vs_par<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, f64) {
 
 fn main() {
     let mut quick = false;
+    let mut only: Option<String> = None;
     let mut out_path = String::from("BENCH_baseline.json");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--only" => only = Some(args.next().expect("--only needs a scenario name")),
             "--out" => out_path = args.next().expect("--out needs a value"),
             other => panic!("unknown flag {other}"),
         }
     }
+    // `--only NAME` runs a single scenario; otherwise everything runs,
+    // except that plain `--quick` skips the heavyweight million-node
+    // scenario (CI runs it separately as the `scale-smoke` step).
+    let should_run = |name: &str| match &only {
+        Some(o) => o == name,
+        None => !(quick && name == "sharded_1m"),
+    };
     let reps = if quick { 3 } else { 5 };
     let mut scenarios: Vec<Scenario> = Vec::new();
 
     // ── 1. Coverage gain kernel: packed u64 bitset vs Vec<bool>. ──────
-    eprintln!("[perfbase] coverage kernel ...");
-    {
+    if should_run("coverage_gain_kernel") {
+        eprintln!("[perfbase] coverage kernel ...");
         let n = if quick { 400 } else { 1_000 };
         let dataset = rand_mc(2, n, seeds::RAND);
         let packed = dataset.coverage_oracle();
@@ -117,12 +190,13 @@ fn main() {
             after_label: "u64_bitset",
             before_seconds,
             after_seconds,
+            extra: String::new(),
         });
     }
 
     // ── 2. Naive-greedy rounds: batched candidate scan, 1 thread vs default. ──
-    eprintln!("[perfbase] naive greedy rounds ...");
-    {
+    if should_run("naive_greedy_round") {
+        eprintln!("[perfbase] naive greedy rounds ...");
         let n = if quick { 400 } else { 1_000 };
         let dataset = rand_mc(2, n, seeds::RAND + 1);
         let oracle = dataset.coverage_oracle();
@@ -144,12 +218,13 @@ fn main() {
             after_label: "default_threads",
             before_seconds,
             after_seconds,
+            extra: String::new(),
         });
     }
 
     // ── 3. Batched RR-set sampling, 1 thread vs default. ──────────────
-    eprintln!("[perfbase] rr sampling ...");
-    {
+    if should_run("rr_sampling_batch") {
+        eprintln!("[perfbase] rr sampling ...");
         let dataset = rand_mc(2, if quick { 200 } else { 500 }, seeds::RAND + 2);
         let model = DiffusionModel::ic(0.1);
         let rr = if quick { 5_000 } else { 20_000 };
@@ -173,12 +248,13 @@ fn main() {
             after_label: "default_threads",
             before_seconds,
             after_seconds,
+            extra: String::new(),
         });
     }
 
     // ── 4. Benefit-matrix construction (row-parallel RBF kernel). ─────
-    eprintln!("[perfbase] benefit matrix ...");
-    {
+    if should_run("benefit_matrix_rbf") {
+        eprintln!("[perfbase] benefit matrix ...");
         let dataset = rand_fl(2, seeds::FL);
         let (before_seconds, after_seconds) =
             time_seq_vs_par(reps, || BenefitMatrix::rbf(&dataset.users, &dataset.items));
@@ -201,12 +277,13 @@ fn main() {
             after_label: "default_threads",
             before_seconds,
             after_seconds,
+            extra: String::new(),
         });
     }
 
     // ── 5. End-to-end fig6-style IM sweep (RIS + suite + MC eval). ────
-    eprintln!("[perfbase] fig6-style sweep ...");
-    {
+    if should_run("fig6_style_sweep") {
+        eprintln!("[perfbase] fig6-style sweep ...");
         let dataset = facebook_like(2, seeds::FACEBOOK);
         let model = DiffusionModel::ic(0.01);
         let rr = if quick { 2_000 } else { 5_000 };
@@ -255,12 +332,13 @@ fn main() {
             after_label: "default_threads",
             before_seconds,
             after_seconds,
+            extra: String::new(),
         });
     }
 
     // ── 6. Warm vs cold k-axis sweep (session prefix extraction). ────
-    eprintln!("[perfbase] grid warm vs cold k-sweep ...");
-    {
+    if should_run("grid_warm_vs_cold") {
+        eprintln!("[perfbase] grid warm vs cold k-sweep ...");
         let n = if quick { 400 } else { 1_000 };
         let dataset = rand_mc(2, n, seeds::RAND + 7);
         let oracle = dataset.coverage_oracle();
@@ -271,6 +349,7 @@ fn main() {
             ks,
             taus: vec![0.8],
             epsilons: vec![0.05],
+            shards: vec![4],
             repetitions: 1,
             warm_sweeps: true,
             base: fair_submod_core::engine::ScenarioParams::new(5, 0.8),
@@ -312,6 +391,135 @@ fn main() {
             after_label: "warm_k_axis_session",
             before_seconds,
             after_seconds,
+            extra: String::new(),
+        });
+    }
+
+    // ── 7. Sharded million-element solve tier vs centralized GreeDi. ──
+    if should_run("sharded_1m") {
+        eprintln!("[perfbase] sharded 1M-node solve tier ...");
+        let n = 1_000_000usize;
+        let num_shards = 8usize;
+        let k = if quick { 8 } else { 16 };
+        let seed = 42u64;
+        let text = synth_edge_list(n, 2, 0xA5A5_5A5A);
+        let groups = Groups::from_assignment((0..n).map(|v| (v % 2) as u32).collect());
+        let f = MeanUtility::new(n);
+        let mut cfg = GreediConfig::new(k);
+        cfg.shards = num_shards;
+        cfg.seed = seed;
+
+        // Before: the centralized pipeline — parse the whole edge list
+        // into one Graph, build one full dominating-set oracle, run the
+        // in-memory `greedi`.
+        let start = Instant::now();
+        let central_out = {
+            let graph =
+                read_edge_list(text.as_bytes(), n, false).expect("synthetic list is well-formed");
+            let oracle = CoverageOracle::new(dominating_set_system(&graph), &groups);
+            greedi(&oracle, &f, &cfg).expect("valid config")
+        };
+        let before_seconds = start.elapsed().as_secs_f64();
+
+        // After: the sharded tier — stream the same bytes into per-shard
+        // CSR slices (no full Graph), build one sub-oracle per shard,
+        // and solve through ShardedInstance. The merge oracle is built
+        // on demand over the round-2 pool only.
+        let start = Instant::now();
+        let sharded_out = {
+            let partition = shard_partition(n, num_shards, seed);
+            let mut owner = vec![0u32; n];
+            for (s, members) in partition.iter().enumerate() {
+                for &v in members {
+                    owner[v as usize] = s as u32;
+                }
+            }
+            let slices: Vec<Arc<CsrSlice>> =
+                read_shard_slices(text.as_bytes(), n, false, &owner, num_shards, 1 << 20)
+                    .expect("synthetic list is well-formed")
+                    .into_iter()
+                    .map(Arc::new)
+                    .collect();
+            let shard_oracles = slices
+                .iter()
+                .map(|slice| {
+                    let oracle = CoverageOracle::new(dominating_slice_system(slice, n), &groups);
+                    ShardOracle {
+                        members: slice.nodes().to_vec(),
+                        system: Box::new(oracle),
+                    }
+                })
+                .collect();
+            let merge_slices = slices.clone();
+            let merge_groups = groups.clone();
+            let merge: MergeBuilder = Box::new(move |pool| {
+                let sets = pool
+                    .iter()
+                    .map(|&v| {
+                        let mut s = merge_slices
+                            .iter()
+                            .find_map(|sl| sl.neighbors_of(v))
+                            .expect("pool ids come from shard members")
+                            .to_vec();
+                        s.push(v);
+                        s
+                    })
+                    .collect();
+                Box::new(CoverageOracle::new(SetSystem::new(sets, n), &merge_groups))
+            });
+            let instance =
+                ShardedInstance::new(shard_oracles, merge).expect("slice shards are valid");
+            instance.solve_greedi(k, cfg.variant.clone())
+        };
+        let after_seconds = start.elapsed().as_secs_f64();
+
+        // The scale-equivalence contract, enforced at design scale.
+        assert_eq!(
+            central_out.items, sharded_out.items,
+            "sharded tier changed the 1M-node selection"
+        );
+        assert_eq!(
+            central_out.value.to_bits(),
+            sharded_out.value.to_bits(),
+            "sharded tier changed the 1M-node objective"
+        );
+        assert_eq!(
+            central_out.oracle_calls, sharded_out.oracle_calls,
+            "sharded tier changed the 1M-node call accounting"
+        );
+
+        // Hard budgets: the sharded pipeline's wall clock and this
+        // process's peak RSS. Blowing either aborts (CI scale-smoke
+        // fails on the non-zero exit).
+        // Measured on the baseline host: ~1.5s / ~320 MiB (quick).
+        // Budgets leave ~20x headroom for slow shared CI runners while
+        // still catching an accidental O(n·p) blow-up or a full-graph
+        // materialization sneaking back into the sharded path.
+        let wall_budget_seconds = if quick { 120.0 } else { 240.0 };
+        let rss_budget_mib = 2048.0;
+        let rss_mib = peak_rss_mib();
+        assert!(
+            after_seconds <= wall_budget_seconds,
+            "sharded_1m blew its wall-clock budget: {after_seconds:.1}s > {wall_budget_seconds:.0}s"
+        );
+        if let Some(rss) = rss_mib {
+            assert!(
+                rss <= rss_budget_mib,
+                "sharded_1m blew its peak-RSS budget: {rss:.0} MiB > {rss_budget_mib:.0} MiB"
+            );
+        }
+        scenarios.push(Scenario {
+            name: "sharded_1m",
+            before_label: "centralized_greedi",
+            after_label: "sharded_slices",
+            before_seconds,
+            after_seconds,
+            extra: format!(
+                ", \"nodes\": {n}, \"shards\": {num_shards}, \"k\": {k}, \
+                 \"wallclock_budget_seconds\": {wall_budget_seconds:.1}, \
+                 \"peak_rss_mib\": {}, \"peak_rss_budget_mib\": {rss_budget_mib:.1}",
+                rss_mib.map_or("null".into(), |r| format!("{r:.1}"))
+            ),
         });
     }
 
@@ -336,13 +544,14 @@ fn main() {
         );
         json.push_str(&format!(
             "    {{ \"name\": \"{}\", \"before_label\": \"{}\", \"before_seconds\": {:.6}, \
-             \"after_label\": \"{}\", \"after_seconds\": {:.6}, \"speedup\": {:.4} }}{}\n",
+             \"after_label\": \"{}\", \"after_seconds\": {:.6}, \"speedup\": {:.4}{} }}{}\n",
             s.name,
             s.before_label,
             s.before_seconds,
             s.after_label,
             s.after_seconds,
             speedup,
+            s.extra,
             if i + 1 < scenarios.len() { "," } else { "" }
         ));
     }

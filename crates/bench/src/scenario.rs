@@ -349,6 +349,8 @@ pub struct GridJob {
     pub taus: Vec<f64>,
     /// Error-parameter axis.
     pub epsilons: Vec<f64>,
+    /// Shard-count axis (GreeDi partitioning; other solvers ignore it).
+    pub shards: Vec<usize>,
     /// Repetitions per cell.
     pub repetitions: usize,
     /// Suffix appended to the dataset name in tables (e.g. `" (MC)"`).
@@ -373,6 +375,7 @@ impl GridJob {
             ks: vec![5],
             taus: vec![0.8],
             epsilons: vec![0.05],
+            shards: vec![4],
             repetitions: 1,
             label_suffix: String::new(),
             exact_node_limit: None,
@@ -394,8 +397,14 @@ impl GridJob {
             || self.ks.is_empty()
             || self.taus.is_empty()
             || self.epsilons.is_empty()
+            || self.shards.is_empty()
         {
-            return Err("grid job needs at least one solver, k, tau, and epsilon".into());
+            return Err(
+                "grid job needs at least one solver, k, tau, epsilon, and shard count".into(),
+            );
+        }
+        if self.shards.contains(&0) {
+            return Err("shard counts must be >= 1".into());
         }
         Ok(())
     }
@@ -421,6 +430,10 @@ impl ToJson for GridJob {
             (
                 "epsilons",
                 Value::Arr(self.epsilons.iter().map(|&e| Value::Num(e)).collect()),
+            ),
+            (
+                "shards",
+                Value::Arr(self.shards.iter().map(|&p| Value::Num(p as f64)).collect()),
             ),
             ("repetitions", Value::Num(self.repetitions as f64)),
         ];
@@ -488,6 +501,7 @@ impl FromJson for GridJob {
             ks: usize_arr("ks")?.unwrap_or_else(|| vec![5]),
             taus: f64_arr("taus")?.unwrap_or_else(|| vec![0.8]),
             epsilons: f64_arr("epsilons")?.unwrap_or_else(|| vec![0.05]),
+            shards: usize_arr("shards")?.unwrap_or_else(|| vec![4]),
             repetitions: value
                 .get("repetitions")
                 .and_then(Value::as_usize)
@@ -896,6 +910,11 @@ fn grid_config_for(job: &GridJob, registry: &SolverRegistry, args: &ExpArgs) -> 
         } else {
             job.epsilons.clone()
         },
+        shards: if args.quick {
+            thin(&job.shards)
+        } else {
+            job.shards.clone()
+        },
         repetitions: if args.quick { 1 } else { job.repetitions },
         warm_sweeps: !args.cold,
         base,
@@ -955,6 +974,7 @@ pub fn cell_to_json(dataset: &str, cell: &CellOutcome) -> Value {
         ("k", Value::Num(cell.k as f64)),
         ("tau", Value::Num(cell.tau)),
         ("epsilon", Value::Num(cell.epsilon)),
+        ("shards", Value::Num(cell.shards as f64)),
         ("rep", Value::Num(cell.rep as f64)),
         ("warm", Value::Bool(cell.warm)),
     ];

@@ -19,6 +19,7 @@ use crate::items::ItemId;
 use crate::system::{SolutionState, UtilitySystem};
 
 use super::greedy::{GreedyConfig, GreedyVariant};
+use super::InvalidConfig;
 
 /// Configuration for [`greedi`].
 #[derive(Clone, Debug)]
@@ -44,6 +45,44 @@ impl GreediConfig {
             seed: 0,
         }
     }
+
+    /// Checks the config's numeric domain (`shards ≥ 1`).
+    pub fn validate(&self) -> Result<(), InvalidConfig> {
+        if self.shards >= 1 {
+            Ok(())
+        } else {
+            Err(InvalidConfig::new(
+                "greedi",
+                format!("shards must be >= 1, got {}", self.shards),
+            ))
+        }
+    }
+}
+
+/// The seeded round-robin partition GreeDi shards the ground set with:
+/// a Fisher–Yates shuffle driven by an xorshift stream on `seed | 1`,
+/// then shard `s` takes positions `s, s + p, s + 2p, …` of the shuffled
+/// order. Shared by [`greedi`], the native GreeDi session, and
+/// [`crate::engine::ShardedInstance`], so every sharded consumer agrees
+/// on the partition bit for bit.
+///
+/// Members are returned in shuffled (not sorted) order; the per-shard
+/// greedy sorts its candidate list, so the order here only matters for
+/// reproducing the partition itself.
+pub fn shard_partition(n: usize, shards: usize, seed: u64) -> Vec<Vec<ItemId>> {
+    let shards = shards.max(1);
+    let mut order: Vec<ItemId> = (0..n as ItemId).collect();
+    let mut state = seed | 1;
+    for i in (1..order.len()).rev() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let j = (state % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    (0..shards)
+        .map(|shard| order.iter().copied().skip(shard).step_by(shards).collect())
+        .collect()
 }
 
 /// Result of [`greedi`].
@@ -60,37 +99,26 @@ pub struct GreediOutcome {
 }
 
 /// Runs two-round GreeDi over `0..n` with a seeded random partition.
+///
+/// Rejects `shards = 0` with a typed [`InvalidConfig`] instead of
+/// asserting: the engine adapter forwards the rejection as a
+/// [`crate::engine::SolverError::InvalidParams`], so a bad scenario spec
+/// never takes down a grid run.
 pub fn greedi<S: UtilitySystem, A: Aggregate>(
     system: &S,
     aggregate: &A,
     cfg: &GreediConfig,
-) -> GreediOutcome {
-    assert!(cfg.shards >= 1);
+) -> Result<GreediOutcome, InvalidConfig> {
+    cfg.validate()?;
     let n = system.num_items();
     let k = cfg.k;
 
-    // Seeded shuffle → round-robin sharding.
-    let mut order: Vec<ItemId> = (0..n as ItemId).collect();
-    let mut state = cfg.seed | 1;
-    for i in (1..order.len()).rev() {
-        state ^= state << 13;
-        state ^= state >> 7;
-        state ^= state << 17;
-        let j = (state % (i as u64 + 1)) as usize;
-        order.swap(i, j);
-    }
-
+    let partition = shard_partition(n, cfg.shards, cfg.seed);
     let mut oracle_calls = 0u64;
     let mut pool: Vec<ItemId> = Vec::with_capacity(cfg.shards * k);
     let mut best_shard: (f64, Vec<ItemId>) = (f64::NEG_INFINITY, Vec::new());
-    for shard in 0..cfg.shards {
-        let members: Vec<ItemId> = order
-            .iter()
-            .copied()
-            .skip(shard)
-            .step_by(cfg.shards)
-            .collect();
-        let run = greedy_over_subset(system, aggregate, &members, k, cfg.variant.clone());
+    for members in &partition {
+        let run = greedy_over_subset(system, aggregate, members, k, cfg.variant.clone());
         oracle_calls += run.1;
         let value = run.2;
         if value > best_shard.0 {
@@ -103,6 +131,17 @@ pub fn greedi<S: UtilitySystem, A: Aggregate>(
     let round2 = greedy_over_subset(system, aggregate, &pool, k, cfg.variant.clone());
     oracle_calls += round2.1;
 
+    Ok(merge_outcome(round2, best_shard, oracle_calls))
+}
+
+/// Final GreeDi comparison: the better of the round-2 solution and the
+/// best single-shard solution (ties go to round 2). Shared with the
+/// sharded tier so the decision rule can never drift.
+pub(crate) fn merge_outcome(
+    round2: (Vec<ItemId>, u64, f64),
+    best_shard: (f64, Vec<ItemId>),
+    oracle_calls: u64,
+) -> GreediOutcome {
     if round2.2 >= best_shard.0 {
         GreediOutcome {
             items: round2.0,
@@ -121,8 +160,10 @@ pub fn greedi<S: UtilitySystem, A: Aggregate>(
 }
 
 /// Greedy restricted to a candidate subset; returns
-/// `(items, oracle_calls, value)`.
-fn greedy_over_subset<S: UtilitySystem, A: Aggregate>(
+/// `(items, oracle_calls, value)`. Crate-visible so the sharded tier and
+/// the native GreeDi session run the exact argmax/tie-break rule the
+/// one-shot algorithm runs.
+pub(crate) fn greedy_over_subset<S: UtilitySystem, A: Aggregate>(
     system: &S,
     aggregate: &A,
     candidates: &[ItemId],
@@ -185,7 +226,7 @@ mod tests {
             let central = greedy(&sys, &f, &GreedyConfig::lazy(6));
             let mut cfg = GreediConfig::new(6);
             cfg.seed = seed;
-            let dist = greedi(&sys, &f, &cfg);
+            let dist = greedi(&sys, &f, &cfg).expect("valid config");
             assert!(
                 dist.value + 1e-9 >= 0.7 * central.value,
                 "seed {seed}: greedi {} vs central {}",
@@ -203,7 +244,7 @@ mod tests {
         let central = greedy(&sys, &f, &GreedyConfig::naive(5));
         let mut cfg = GreediConfig::new(5);
         cfg.shards = 1;
-        let dist = greedi(&sys, &f, &cfg);
+        let dist = greedi(&sys, &f, &cfg).expect("valid config");
         assert!((dist.value - central.value).abs() < 1e-9);
     }
 
@@ -213,7 +254,7 @@ mod tests {
         let f = MeanUtility::new(sys.num_users());
         let mut cfg = GreediConfig::new(5);
         cfg.shards = 8;
-        let dist = greedi(&sys, &f, &cfg);
+        let dist = greedi(&sys, &f, &cfg).expect("valid config");
         assert!(dist.value + 1e-12 >= dist.best_shard_value);
     }
 
@@ -222,8 +263,30 @@ mod tests {
         let sys = toy::random_coverage(40, 100, 2, 0.1, 9);
         let f = MeanUtility::new(sys.num_users());
         let cfg = GreediConfig::new(4);
-        let a = greedi(&sys, &f, &cfg);
-        let b = greedi(&sys, &f, &cfg);
+        let a = greedi(&sys, &f, &cfg).expect("valid config");
+        let b = greedi(&sys, &f, &cfg).expect("valid config");
         assert_eq!(a.items, b.items);
+    }
+
+    #[test]
+    fn zero_shards_is_a_typed_rejection() {
+        let sys = toy::random_coverage(10, 20, 2, 0.2, 1);
+        let f = MeanUtility::new(sys.num_users());
+        let mut cfg = GreediConfig::new(3);
+        cfg.shards = 0;
+        let err = greedi(&sys, &f, &cfg).unwrap_err();
+        assert_eq!(err.algorithm, "greedi");
+        assert!(err.message.contains("shards"), "{}", err.message);
+    }
+
+    #[test]
+    fn shard_partition_covers_ground_set_exactly_once() {
+        for shards in [1usize, 2, 4, 8] {
+            let partition = shard_partition(37, shards, 5);
+            assert_eq!(partition.len(), shards);
+            let mut all: Vec<ItemId> = partition.iter().flatten().copied().collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..37).collect::<Vec<ItemId>>());
+        }
     }
 }

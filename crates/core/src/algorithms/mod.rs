@@ -55,6 +55,38 @@ pub mod tsgreedy;
 use crate::items::ItemId;
 use crate::metrics::Evaluation;
 
+/// Typed rejection of an algorithm configuration.
+///
+/// Entry points whose configs carry numeric domains (`ε ∈ (0, 1)`,
+/// `shards ≥ 1`) return this instead of asserting, so a bad parameter in
+/// a scenario spec surfaces as a recoverable error: the engine adapters
+/// map it onto [`crate::engine::SolverError::InvalidParams`], upholding
+/// the registry contract that a solve never panics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InvalidConfig {
+    /// The rejecting algorithm (free-function name).
+    pub algorithm: &'static str,
+    /// What was wrong with the configuration.
+    pub message: String,
+}
+
+impl InvalidConfig {
+    pub(crate) fn new(algorithm: &'static str, message: impl Into<String>) -> Self {
+        Self {
+            algorithm,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for InvalidConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: invalid config: {}", self.algorithm, self.message)
+    }
+}
+
+impl std::error::Error for InvalidConfig {}
+
 /// Common result shape for BSM solvers (TSGreedy, BSM-Saturate, SMSC,
 /// exact solvers), rich enough for the experiment harness to report the
 /// paper's figures.

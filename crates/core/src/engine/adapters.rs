@@ -35,8 +35,8 @@ use super::params::ScenarioParams;
 use super::registry::{Capabilities, Solver};
 use super::report::{SolveReport, SolverError};
 use super::session::{
-    saturate_config_for, BsmSaturateSession, GreedySession, SaturateSession, SolveSession,
-    TsGreedySession,
+    saturate_config_for, BsmSaturateSession, GreediSession, GreedySession, SaturateSession,
+    SieveSession, SolveSession, TsGreedySession,
 };
 
 /// The default suite: one boxed adapter per `core::algorithms` entry
@@ -84,6 +84,17 @@ fn check_epsilon(solver: &str, epsilon: f64) -> Result<(), SolverError> {
     }
 }
 
+/// Maps an algorithm-level [`crate::algorithms::InvalidConfig`] onto the
+/// engine's typed rejection — the seam that upholds the registry
+/// contract ("never a panic") for entry points whose free functions
+/// validate their own configs.
+fn invalid_config(solver: &str, err: crate::algorithms::InvalidConfig) -> SolverError {
+    SolverError::InvalidParams {
+        solver: solver.to_string(),
+        message: err.message,
+    }
+}
+
 fn saturate_config(params: &ScenarioParams) -> SaturateConfig {
     saturate_config_for(params)
 }
@@ -93,6 +104,17 @@ fn greedy_config(params: &ScenarioParams) -> GreedyConfig {
         variant: params.variant.clone(),
         seed: params.seed,
         ..GreedyConfig::lazy(params.k)
+    }
+}
+
+/// Builds the GreeDi configuration (shared by `solve` and
+/// `open_session` so the two can never drift apart).
+fn greedi_config(params: &ScenarioParams) -> GreediConfig {
+    GreediConfig {
+        k: params.k,
+        shards: params.shards,
+        variant: params.variant.clone(),
+        seed: params.seed,
     }
 }
 
@@ -527,7 +549,20 @@ impl Solver for SieveStreamingSolver {
     }
 
     fn capabilities(&self) -> Capabilities {
-        Capabilities::default()
+        Capabilities {
+            resumable: true,
+            streaming: true,
+            ..Capabilities::default()
+        }
+    }
+
+    fn open_session(
+        &self,
+        system: &dyn DynUtilitySystem,
+        params: &ScenarioParams,
+    ) -> Result<Box<dyn SolveSession>, SolverError> {
+        check_epsilon(self.name(), params.epsilon)?;
+        Ok(Box::new(SieveSession::open(system, params)))
     }
 
     fn solve(
@@ -542,7 +577,7 @@ impl Solver for SieveStreamingSolver {
             k: params.k,
             epsilon: params.epsilon,
         };
-        let run = sieve_streaming(&erased, &f, &cfg);
+        let run = sieve_streaming(&erased, &f, &cfg).map_err(|e| invalid_config(self.name(), e))?;
         let eval = evaluate(&erased, &run.items);
         let mut report = SolveReport::from_eval(
             self.name(),
@@ -569,8 +604,21 @@ impl Solver for GreediSolver {
     fn capabilities(&self) -> Capabilities {
         Capabilities {
             randomized: true,
+            resumable: true,
+            sharded: true,
             ..Capabilities::default()
         }
+    }
+
+    fn open_session(
+        &self,
+        system: &dyn DynUtilitySystem,
+        params: &ScenarioParams,
+    ) -> Result<Box<dyn SolveSession>, SolverError> {
+        greedi_config(params)
+            .validate()
+            .map_err(|e| invalid_config(self.name(), e))?;
+        Ok(Box::new(GreediSession::open(system, params)))
     }
 
     fn solve(
@@ -578,21 +626,10 @@ impl Solver for GreediSolver {
         system: &dyn DynUtilitySystem,
         params: &ScenarioParams,
     ) -> Result<SolveReport, SolverError> {
-        if params.shards == 0 {
-            return Err(SolverError::InvalidParams {
-                solver: self.name().to_string(),
-                message: "shards must be >= 1".into(),
-            });
-        }
         let erased = ErasedSystem(system);
         let f = MeanUtility::new(system.dyn_num_users());
-        let cfg = GreediConfig {
-            k: params.k,
-            shards: params.shards,
-            variant: params.variant.clone(),
-            seed: params.seed,
-        };
-        let run = greedi(&erased, &f, &cfg);
+        let cfg = greedi_config(params);
+        let run = greedi(&erased, &f, &cfg).map_err(|e| invalid_config(self.name(), e))?;
         let eval = evaluate(&erased, &run.items);
         let mut report = SolveReport::from_eval(
             self.name(),
@@ -928,6 +965,21 @@ mod tests {
         let bad_eps = ScenarioParams::new(2, 0.5).with_epsilon(1.0);
         for name in ["BSM-Saturate", "SieveStreaming"] {
             assert!(registry.solve(name, &sys, &bad_eps).is_err(), "{name}");
+            assert!(
+                registry.open_session(name, &sys, &bad_eps).is_err(),
+                "{name}"
+            );
+        }
+        let mut bad_shards = ScenarioParams::new(2, 0.5);
+        bad_shards.shards = 0;
+        for run in [
+            registry.solve("GreeDi", &sys, &bad_shards).map(|_| ()),
+            registry
+                .open_session("GreeDi", &sys, &bad_shards)
+                .map(|_| ()),
+        ] {
+            let err = run.unwrap_err();
+            assert!(matches!(err, SolverError::InvalidParams { .. }), "{err}");
         }
     }
 

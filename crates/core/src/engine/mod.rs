@@ -22,9 +22,14 @@
 //!   and results persist as artifacts.
 //! * **Resumable sessions** ([`session`]) — every solver opens as a
 //!   [`SolveSession`] state machine (`step`/`snapshot`/`solution_at`);
-//!   the greedy family, Saturate, and both BSM schemes step natively
-//!   ([`Capabilities::resumable`]), and greedy sessions serve an entire
-//!   budget axis from one warm run via exact prefix extraction.
+//!   the greedy family, Saturate, both BSM schemes, GreeDi, and
+//!   Sieve-Streaming step natively ([`Capabilities::resumable`]), and
+//!   greedy sessions serve an entire budget axis from one warm run via
+//!   exact prefix extraction.
+//! * **The sharded tier** ([`sharded`]) — [`ShardedInstance`] holds an
+//!   instance as per-shard oracles plus a merge builder (no full-ground-
+//!   set oracle ever exists) and solves it with two-round GreeDi,
+//!   bit-identically to the centralized algorithm.
 //!
 //! ```
 //! use fair_submod_core::engine::{ScenarioParams, SolverRegistry};
@@ -45,9 +50,11 @@ mod params;
 mod registry;
 mod report;
 pub mod session;
+pub mod sharded;
 
 pub use erased::{DynState, DynUtilitySystem, ErasedSystem};
 pub use params::ScenarioParams;
 pub use registry::{Capabilities, Solver, SolverRegistry};
 pub use report::{SolveReport, SolverError};
 pub use session::{OneShotSession, PartialSolution, SessionStatus, SolveSession};
+pub use sharded::{MergeBuilder, ShardOracle, ShardedInstance, SubsetSystem};

@@ -33,6 +33,15 @@ pub struct Capabilities {
     /// opening a probe session; `tests/session_equivalence.rs` asserts
     /// the flag agrees with the opened session's own answer.
     pub prefix_exact: bool,
+    /// Partitions the ground set and solves shards independently
+    /// (reads [`ScenarioParams::shards`]); results for a fixed seed are
+    /// identical for every shard count ≥ 1 only where documented, but
+    /// always deterministic. These solvers compose with the sharded
+    /// million-element tier (`engine::ShardedInstance`).
+    pub sharded: bool,
+    /// Consumes the ground set as a single arrival pass with sublinear
+    /// memory in `n` (streaming solvers).
+    pub streaming: bool,
 }
 
 impl ToJson for Capabilities {
@@ -44,6 +53,8 @@ impl ToJson for Capabilities {
             ("uses_tau", Value::Bool(self.uses_tau)),
             ("resumable", Value::Bool(self.resumable)),
             ("prefix_exact", Value::Bool(self.prefix_exact)),
+            ("sharded", Value::Bool(self.sharded)),
+            ("streaming", Value::Bool(self.streaming)),
         ])
     }
 }
@@ -265,6 +276,24 @@ mod tests {
             json.get("requires_two_groups").and_then(Value::as_bool),
             Some(false)
         );
+        assert_eq!(json.get("sharded").and_then(Value::as_bool), Some(false));
+        assert_eq!(json.get("streaming").and_then(Value::as_bool), Some(false));
+    }
+
+    #[test]
+    fn sharded_and_streaming_flags_are_declared_by_the_scale_solvers() {
+        let registry = SolverRegistry::default();
+        let greedi = registry.get("GreeDi").unwrap().capabilities();
+        assert!(greedi.sharded && greedi.resumable && !greedi.streaming);
+        let sieve = registry.get("SieveStreaming").unwrap().capabilities();
+        assert!(sieve.streaming && sieve.resumable && !sieve.sharded);
+        // No other entry claims the scale flags today.
+        for name in registry.names() {
+            if name != "GreeDi" && name != "SieveStreaming" {
+                let caps = registry.get(name).unwrap().capabilities();
+                assert!(!caps.sharded && !caps.streaming, "{name}");
+            }
+        }
     }
 
     #[test]

@@ -40,8 +40,12 @@
 
 use crate::aggregate::MeanUtility;
 use crate::algorithms::bsm_saturate::{BsmSaturateConfig, BsmSaturateStepper};
-use crate::algorithms::greedy::GreedyEngine;
+use crate::algorithms::distributed::{
+    greedy_over_subset, merge_outcome, shard_partition, GreediOutcome,
+};
+use crate::algorithms::greedy::{GreedyEngine, GreedyVariant};
 use crate::algorithms::saturate::{SaturateConfig, SaturateStepper};
+use crate::algorithms::streaming::{SieveConfig, SieveCore};
 use crate::algorithms::tsgreedy::{TsGreedyConfig, TsGreedyStepper};
 use crate::items::ItemId;
 use crate::metrics::evaluate;
@@ -650,6 +654,269 @@ impl SolveSession for TsGreedySession {
         report.fell_back = run.bsm.fell_back;
         report.oracle_calls = run.bsm.oracle_calls;
         let _ = system;
+        Ok(report)
+    }
+
+    fn finish(&mut self, system: &dyn DynUtilitySystem) -> Result<SolveReport, SolverError> {
+        while self.step(system) == SessionStatus::Running {}
+        self.solution_at(system, self.k)
+    }
+}
+
+/// Native GreeDi session: one shard's restricted greedy per step, then
+/// one merge step (round 2 over the union pool).
+///
+/// Replays [`crate::algorithms::distributed::greedi`] at shard-round
+/// granularity: the partition comes from [`shard_partition`], every
+/// shard run and the merge run go through `greedy_over_subset`, and
+/// the final comparison through `merge_outcome` — the same three
+/// pieces the one-shot algorithm is built from, so the finish report is
+/// bit-identical to [`super::adapters::GreediSolver`]'s.
+pub struct GreediSession {
+    tau: f64,
+    k: usize,
+    shards: usize,
+    variant: GreedyVariant,
+    partition: Vec<Vec<ItemId>>,
+    next_shard: usize,
+    oracle_calls: u64,
+    pool: Vec<ItemId>,
+    best_shard: (f64, Vec<ItemId>),
+    outcome: Option<GreediOutcome>,
+    steps: usize,
+}
+
+impl GreediSession {
+    /// Opens a session for the `GreeDi` solver on `system` (parameters
+    /// must already be validated; no oracle work until the first step).
+    pub fn open(system: &dyn DynUtilitySystem, params: &ScenarioParams) -> Self {
+        let shards = params.shards.max(1);
+        Self {
+            tau: params.tau,
+            k: params.k,
+            shards,
+            variant: params.variant.clone(),
+            partition: shard_partition(system.dyn_num_items(), shards, params.seed),
+            next_shard: 0,
+            oracle_calls: 0,
+            pool: Vec::with_capacity(shards * params.k),
+            best_shard: (f64::NEG_INFINITY, Vec::new()),
+            outcome: None,
+            steps: 0,
+        }
+    }
+}
+
+impl SolveSession for GreediSession {
+    fn solver(&self) -> &'static str {
+        "GreeDi"
+    }
+
+    fn done(&self) -> bool {
+        self.outcome.is_some()
+    }
+
+    fn rounds(&self) -> usize {
+        self.steps
+    }
+
+    fn step(&mut self, system: &dyn DynUtilitySystem) -> SessionStatus {
+        if self.done() {
+            // Post-done steps are no-ops and must not inflate the round
+            // counter (finish() always issues one trailing step).
+            return SessionStatus::Done;
+        }
+        let erased = ErasedSystem(system);
+        let f = MeanUtility::new(system.dyn_num_users());
+        if self.next_shard < self.partition.len() {
+            // Round 1, one shard: exactly the fold `greedi` performs.
+            let members = &self.partition[self.next_shard];
+            let run = greedy_over_subset(&erased, &f, members, self.k, self.variant.clone());
+            self.oracle_calls += run.1;
+            let value = run.2;
+            if value > self.best_shard.0 {
+                self.best_shard = (value, run.0.clone());
+            }
+            self.pool.extend(run.0);
+            self.next_shard += 1;
+            self.steps += 1;
+            SessionStatus::Running
+        } else {
+            // Round 2 on the merged pool, then the final comparison.
+            let round2 = greedy_over_subset(&erased, &f, &self.pool, self.k, self.variant.clone());
+            self.oracle_calls += round2.1;
+            self.outcome = Some(merge_outcome(
+                round2,
+                self.best_shard.clone(),
+                self.oracle_calls,
+            ));
+            self.steps += 1;
+            SessionStatus::Done
+        }
+    }
+
+    fn snapshot(&self) -> PartialSolution {
+        let (items, objective) = match &self.outcome {
+            Some(run) => (run.items.clone(), run.value),
+            None if self.best_shard.0.is_finite() => (self.best_shard.1.clone(), self.best_shard.0),
+            None => (Vec::new(), 0.0),
+        };
+        PartialSolution {
+            round: self.steps,
+            items,
+            group_sums: Vec::new(),
+            objective,
+            oracle_calls: self.oracle_calls,
+            done: self.done(),
+        }
+    }
+
+    fn solution_at(
+        &self,
+        system: &dyn DynUtilitySystem,
+        k: usize,
+    ) -> Result<SolveReport, SolverError> {
+        let run = match (k == self.k, &self.outcome) {
+            (true, Some(run)) => run,
+            (false, _) => {
+                return Err(SolverError::InvalidParams {
+                    solver: self.solver().to_string(),
+                    message: format!(
+                        "GreeDi sessions only serve their own budget k = {} (asked {k})",
+                        self.k
+                    ),
+                })
+            }
+            (_, None) => {
+                return Err(SolverError::InvalidParams {
+                    solver: self.solver().to_string(),
+                    message: "session not finished; step it to completion first".into(),
+                })
+            }
+        };
+        // Mirrors `GreediSolver::solve` field for field.
+        let erased = ErasedSystem(system);
+        let eval = evaluate(&erased, &run.items);
+        let mut report = SolveReport::from_eval(
+            self.solver(),
+            k,
+            self.tau,
+            run.items.clone(),
+            &eval,
+            run.value,
+        )
+        .note("shards", self.shards as f64)
+        .note("best_shard_value", run.best_shard_value);
+        report.oracle_calls = run.oracle_calls;
+        Ok(report)
+    }
+
+    fn finish(&mut self, system: &dyn DynUtilitySystem) -> Result<SolveReport, SolverError> {
+        while self.step(system) == SessionStatus::Running {}
+        self.solution_at(system, self.k)
+    }
+}
+
+/// Native Sieve-Streaming session: one stream arrival per step.
+///
+/// Wraps the same `SieveCore` the one-shot free function drives, so
+/// the grid of OPT guesses, acceptance thresholds, and oracle-call
+/// accounting are shared by construction.
+pub struct SieveSession {
+    tau: f64,
+    k: usize,
+    core: SieveCore<DynState>,
+    steps: usize,
+}
+
+impl SieveSession {
+    /// Opens a session for the `SieveStreaming` solver on `system`
+    /// (parameters must already be validated).
+    pub fn open(system: &dyn DynUtilitySystem, params: &ScenarioParams) -> Self {
+        let erased = ErasedSystem(system);
+        let cfg = SieveConfig {
+            k: params.k,
+            epsilon: params.epsilon,
+        };
+        Self {
+            tau: params.tau,
+            k: params.k,
+            core: SieveCore::new(&erased, &cfg),
+            steps: 0,
+        }
+    }
+}
+
+impl SolveSession for SieveSession {
+    fn solver(&self) -> &'static str {
+        "SieveStreaming"
+    }
+
+    fn done(&self) -> bool {
+        self.core.done()
+    }
+
+    fn rounds(&self) -> usize {
+        self.steps
+    }
+
+    fn step(&mut self, system: &dyn DynUtilitySystem) -> SessionStatus {
+        if self.core.done() {
+            // Post-done steps are no-ops and must not inflate the round
+            // counter (finish() always issues one trailing step).
+            return SessionStatus::Done;
+        }
+        let erased = ErasedSystem(system);
+        let f = MeanUtility::new(system.dyn_num_users());
+        self.core.step(&erased, &f);
+        self.steps += 1;
+        if self.core.done() {
+            SessionStatus::Done
+        } else {
+            SessionStatus::Running
+        }
+    }
+
+    fn snapshot(&self) -> PartialSolution {
+        let run = self.core.outcome();
+        PartialSolution {
+            round: self.steps,
+            items: run.items,
+            group_sums: Vec::new(),
+            objective: run.value,
+            oracle_calls: run.oracle_calls,
+            done: self.core.done(),
+        }
+    }
+
+    fn solution_at(
+        &self,
+        system: &dyn DynUtilitySystem,
+        k: usize,
+    ) -> Result<SolveReport, SolverError> {
+        if k != self.k {
+            return Err(SolverError::InvalidParams {
+                solver: self.solver().to_string(),
+                message: format!(
+                    "SieveStreaming sessions only serve their own budget k = {} (asked {k})",
+                    self.k
+                ),
+            });
+        }
+        if !self.core.done() {
+            return Err(SolverError::InvalidParams {
+                solver: self.solver().to_string(),
+                message: "session not finished; step it to completion first".into(),
+            });
+        }
+        // Mirrors `SieveStreamingSolver::solve` field for field.
+        let run = self.core.outcome();
+        let erased = ErasedSystem(system);
+        let eval = evaluate(&erased, &run.items);
+        let mut report =
+            SolveReport::from_eval(self.solver(), k, self.tau, run.items, &eval, run.value)
+                .note("candidates", run.candidates as f64);
+        report.oracle_calls = run.oracle_calls;
         Ok(report)
     }
 

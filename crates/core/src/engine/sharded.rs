@@ -1,0 +1,379 @@
+//! The sharded solve tier: instances too large for one oracle build,
+//! represented as per-shard oracles plus a merge phase.
+//!
+//! A [`ShardedInstance`] holds `p` independent [`ShardOracle`]s — each a
+//! type-erased [`DynUtilitySystem`] over only its shard's items (local
+//! ids `0..len` mapped to ascending global ids) — and a merge builder
+//! that can materialize an oracle over any small global-id subset (the
+//! round-2 candidate pool, at most `p·k` items). No single oracle over
+//! the full ground set ever exists.
+//!
+//! [`ShardedInstance::solve_greedi`] runs two-round GreeDi over that
+//! representation: round 1 greedily solves every shard against its own
+//! sub-oracle (in parallel — the fold over shard results stays in shard
+//! order, so thread count never changes the outcome), round 2 runs the
+//! same restricted greedy over the union candidate pool against the
+//! merge oracle, and the final answer is the better of round 2 and the
+//! best single shard — exactly the decision rule of
+//! [`crate::algorithms::distributed::greedi`].
+//!
+//! **Determinism invariant (DESIGN.md §8):** when the shard members come
+//! from [`shard_partition`] with the same `(n, p, seed)`, and every
+//! sub-oracle reports bit-identical per-item gains to the centralized
+//! oracle (which holds whenever shards carry the *full user universe*
+//! and per-item oracle data is row-separable — true for all three
+//! substrates), `solve_greedi` is **bit-identical** to `greedi` on the
+//! centralized system: same items, same `f64` bits, same oracle-call
+//! counts, at every thread count. `tests/sharded_equivalence.rs`
+//! enforces this.
+//!
+//! [`SubsetSystem`] is the reference sub-oracle: a view of an existing
+//! erased system restricted to a member list, forwarding every gain
+//! query to the base oracle's rows. It is what the equivalence suite
+//! compares real per-shard oracles (e.g. coverage over per-shard CSR
+//! slices) against, and the default shard/merge builder for
+//! [`ShardedInstance::from_central`].
+
+use std::sync::Arc;
+
+use rayon::prelude::*;
+
+use crate::aggregate::MeanUtility;
+use crate::algorithms::distributed::{
+    greedy_over_subset, merge_outcome, shard_partition, GreediOutcome,
+};
+use crate::algorithms::greedy::GreedyVariant;
+use crate::items::ItemId;
+use crate::system::UtilitySystem;
+
+use super::erased::{DynState, DynUtilitySystem, ErasedSystem};
+use super::report::SolverError;
+
+/// A view of an erased system restricted to a sorted member list:
+/// local item `j` is the base system's item `members[j]`, users and
+/// groups pass through unchanged.
+///
+/// Because every query forwards to the base oracle's own rows, gains
+/// through a `SubsetSystem` are bit-identical to gains through the base
+/// system by construction — which makes it both the reference
+/// implementation of the shard-oracle contract and the cheapest way to
+/// shard an instance that *does* fit in memory (tests, medium scale).
+pub struct SubsetSystem {
+    base: Arc<dyn DynUtilitySystem>,
+    members: Vec<ItemId>,
+}
+
+impl SubsetSystem {
+    /// Restricts `base` to `members` (sorted and deduplicated here).
+    ///
+    /// Returns a typed error if any member id is out of the base
+    /// system's range.
+    pub fn new(base: Arc<dyn DynUtilitySystem>, members: Vec<ItemId>) -> Result<Self, SolverError> {
+        let n = base.dyn_num_items();
+        let mut members = members;
+        members.sort_unstable();
+        members.dedup();
+        if let Some(&bad) = members.iter().find(|&&v| v as usize >= n) {
+            return Err(SolverError::InvalidParams {
+                solver: "SubsetSystem".into(),
+                message: format!("member id {bad} out of range for a {n}-item base system"),
+            });
+        }
+        Ok(Self { base, members })
+    }
+
+    /// The sorted global ids this view exposes as local ids `0..len`.
+    pub fn members(&self) -> &[ItemId] {
+        &self.members
+    }
+}
+
+impl UtilitySystem for SubsetSystem {
+    type Inner = DynState;
+
+    fn num_items(&self) -> usize {
+        self.members.len()
+    }
+
+    fn num_users(&self) -> usize {
+        self.base.dyn_num_users()
+    }
+
+    fn group_sizes(&self) -> &[usize] {
+        self.base.dyn_group_sizes()
+    }
+
+    fn init_inner(&self) -> Self::Inner {
+        self.base.dyn_init()
+    }
+
+    fn group_gains(&self, inner: &Self::Inner, item: ItemId, out: &mut [f64]) {
+        self.base
+            .dyn_group_gains(inner, self.members[item as usize], out);
+    }
+
+    fn group_gains_batch(&self, inner: &Self::Inner, items: &[ItemId], out: &mut [f64]) {
+        // Translate to global ids and forward one batch, preserving any
+        // parallel override the base substrate installed.
+        let globals: Vec<ItemId> = items.iter().map(|&j| self.members[j as usize]).collect();
+        self.base.dyn_group_gains_batch(inner, &globals, out);
+    }
+
+    fn apply(&self, inner: &mut Self::Inner, item: ItemId) {
+        self.base.dyn_apply(inner, self.members[item as usize]);
+    }
+}
+
+/// One shard of a [`ShardedInstance`]: a sub-oracle over exactly the
+/// listed members (local id `j` ↔ `members[j]`, members ascending).
+pub struct ShardOracle {
+    /// Ascending global ids of the shard's items.
+    pub members: Vec<ItemId>,
+    /// Oracle whose item `j` is global item `members[j]`. Must report
+    /// the full user universe (`num_users`, `group_sizes` equal across
+    /// shards) so aggregate values stay comparable across shards.
+    pub system: Box<dyn DynUtilitySystem>,
+}
+
+/// Builds a merge oracle over an arbitrary ascending global-id subset —
+/// the round-2 candidate pool. Receives at most `p·k` ids.
+pub type MergeBuilder = Box<dyn Fn(&[ItemId]) -> Box<dyn DynUtilitySystem> + Send + Sync>;
+
+/// A large instance represented as per-shard oracles plus a merge
+/// builder; see the module docs for the determinism contract.
+pub struct ShardedInstance {
+    shards: Vec<ShardOracle>,
+    merge: MergeBuilder,
+}
+
+impl ShardedInstance {
+    /// Assembles an instance from prebuilt shards.
+    ///
+    /// Validates the shard-oracle contract: at least one shard, members
+    /// strictly ascending, each sub-oracle sized to its member list, and
+    /// a consistent user universe across shards.
+    pub fn new(shards: Vec<ShardOracle>, merge: MergeBuilder) -> Result<Self, SolverError> {
+        let invalid = |message: String| SolverError::InvalidParams {
+            solver: "ShardedInstance".into(),
+            message,
+        };
+        if shards.is_empty() {
+            return Err(invalid("at least one shard is required".into()));
+        }
+        for (i, shard) in shards.iter().enumerate() {
+            if !shard.members.windows(2).all(|w| w[0] < w[1]) {
+                return Err(invalid(format!(
+                    "shard {i} members must be strictly ascending"
+                )));
+            }
+            if shard.system.dyn_num_items() != shard.members.len() {
+                return Err(invalid(format!(
+                    "shard {i} oracle has {} items for {} members",
+                    shard.system.dyn_num_items(),
+                    shard.members.len()
+                )));
+            }
+            if shard.system.dyn_num_users() != shards[0].system.dyn_num_users()
+                || shard.system.dyn_group_sizes() != shards[0].system.dyn_group_sizes()
+            {
+                return Err(invalid(format!(
+                    "shard {i} reports a different user universe than shard 0"
+                )));
+            }
+        }
+        Ok(Self { shards, merge })
+    }
+
+    /// Shards an in-memory erased system with [`shard_partition`] — each
+    /// shard and the merge phase become [`SubsetSystem`] views of the
+    /// base. The reference path for equivalence tests and for instances
+    /// that fit centrally anyway.
+    pub fn from_central(
+        base: Arc<dyn DynUtilitySystem>,
+        shards: usize,
+        seed: u64,
+    ) -> Result<Self, SolverError> {
+        let n = base.dyn_num_items();
+        let partition = shard_partition(n, shards, seed);
+        let shard_oracles = partition
+            .into_iter()
+            .map(|mut members| {
+                members.sort_unstable();
+                let system = SubsetSystem::new(Arc::clone(&base), members.clone())?;
+                Ok(ShardOracle {
+                    members,
+                    system: Box::new(system),
+                })
+            })
+            .collect::<Result<Vec<_>, SolverError>>()?;
+        let merge_base = Arc::clone(&base);
+        let merge: MergeBuilder = Box::new(move |pool| {
+            Box::new(
+                SubsetSystem::new(Arc::clone(&merge_base), pool.to_vec())
+                    .expect("pool ids come from shard members"),
+            )
+        });
+        Self::new(shard_oracles, merge)
+    }
+
+    /// Number of shards `p`.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total items across all shards.
+    pub fn num_items(&self) -> usize {
+        self.shards.iter().map(|s| s.members.len()).sum()
+    }
+
+    /// The shards (read-only).
+    pub fn shards(&self) -> &[ShardOracle] {
+        &self.shards
+    }
+
+    /// Two-round GreeDi over the sharded representation; see the module
+    /// docs for the bit-identity contract with
+    /// [`crate::algorithms::distributed::greedi`].
+    ///
+    /// Round 1 runs shards in parallel; results are folded in shard
+    /// order, so the outcome is identical at every thread count.
+    pub fn solve_greedi(&self, k: usize, variant: GreedyVariant) -> GreediOutcome {
+        // Round 1: independent restricted greedy per shard, mapped back
+        // to global ids.
+        let runs: Vec<(Vec<ItemId>, u64, f64)> = self
+            .shards
+            .iter()
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|shard| {
+                let erased = ErasedSystem(shard.system.as_ref());
+                let f = MeanUtility::new(shard.system.dyn_num_users());
+                let locals: Vec<ItemId> = (0..shard.members.len() as ItemId).collect();
+                let run = greedy_over_subset(&erased, &f, &locals, k, variant.clone());
+                let globals: Vec<ItemId> =
+                    run.0.iter().map(|&j| shard.members[j as usize]).collect();
+                (globals, run.1, run.2)
+            })
+            .collect();
+
+        let mut oracle_calls = 0u64;
+        let mut pool: Vec<ItemId> = Vec::with_capacity(self.shards.len() * k);
+        let mut best_shard: (f64, Vec<ItemId>) = (f64::NEG_INFINITY, Vec::new());
+        for run in runs {
+            oracle_calls += run.1;
+            let value = run.2;
+            if value > best_shard.0 {
+                best_shard = (value, run.0.clone());
+            }
+            pool.extend(run.0);
+        }
+
+        // Round 2 over the union pool against the merge oracle. The
+        // pool is sorted/deduplicated here (in global-id order) exactly
+        // as `greedy_over_subset` would, so local ids in the merge
+        // oracle scan in the same order the centralized round 2 scans
+        // global ids.
+        pool.sort_unstable();
+        pool.dedup();
+        let merge_system = (self.merge)(&pool);
+        debug_assert_eq!(merge_system.dyn_num_items(), pool.len());
+        let erased = ErasedSystem(merge_system.as_ref());
+        let f = MeanUtility::new(merge_system.dyn_num_users());
+        let locals: Vec<ItemId> = (0..pool.len() as ItemId).collect();
+        let run2 = greedy_over_subset(&erased, &f, &locals, k, variant);
+        oracle_calls += run2.1;
+        let globals2: Vec<ItemId> = run2.0.iter().map(|&j| pool[j as usize]).collect();
+        merge_outcome((globals2, run2.1, run2.2), best_shard, oracle_calls)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::distributed::{greedi, GreediConfig};
+    use crate::algorithms::greedy::{greedy, GreedyConfig};
+    use crate::toy;
+
+    fn central(seed: u64) -> Arc<dyn DynUtilitySystem> {
+        Arc::new(toy::random_coverage(60, 150, 3, 0.08, seed))
+    }
+
+    #[test]
+    fn subset_system_gains_match_the_base_rows() {
+        let base = central(3);
+        let members = vec![5u32, 9, 12, 40];
+        let sub = SubsetSystem::new(Arc::clone(&base), members.clone()).unwrap();
+        let c = base.dyn_num_groups();
+        let state = base.dyn_init();
+        let sub_state = sub.init_inner();
+        let mut through = vec![0.0; c];
+        let mut direct = vec![0.0; c];
+        for (local, &global) in members.iter().enumerate() {
+            sub.group_gains(&sub_state, local as ItemId, &mut through);
+            base.dyn_group_gains(&state, global, &mut direct);
+            let same = through
+                .iter()
+                .zip(&direct)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "local {local} / global {global}");
+        }
+    }
+
+    #[test]
+    fn sharded_greedi_is_bit_identical_to_centralized_greedi() {
+        for seed in 1..4u64 {
+            let base = central(seed);
+            for shards in [1usize, 2, 4, 8] {
+                let instance = ShardedInstance::from_central(Arc::clone(&base), shards, seed)
+                    .expect("valid sharding");
+                let sharded = instance.solve_greedi(6, GreedyVariant::Lazy);
+                let mut cfg = GreediConfig::new(6);
+                cfg.shards = shards;
+                cfg.seed = seed;
+                let erased = ErasedSystem(base.as_ref());
+                let f = MeanUtility::new(base.dyn_num_users());
+                let one_shot = greedi(&erased, &f, &cfg).expect("valid config");
+                assert_eq!(sharded.items, one_shot.items, "seed {seed} p {shards}");
+                assert_eq!(sharded.value.to_bits(), one_shot.value.to_bits());
+                assert_eq!(
+                    sharded.best_shard_value.to_bits(),
+                    one_shot.best_shard_value.to_bits()
+                );
+                assert_eq!(sharded.oracle_calls, one_shot.oracle_calls);
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_solve_equals_centralized_greedy_value() {
+        let base = central(7);
+        let instance = ShardedInstance::from_central(Arc::clone(&base), 1, 0).unwrap();
+        let out = instance.solve_greedi(5, GreedyVariant::Naive);
+        let erased = ErasedSystem(base.as_ref());
+        let f = MeanUtility::new(base.dyn_num_users());
+        let plain = greedy(&erased, &f, &GreedyConfig::naive(5));
+        assert_eq!(out.value.to_bits(), plain.value.to_bits());
+    }
+
+    #[test]
+    fn malformed_shards_are_typed_rejections() {
+        let base = central(1);
+        assert!(SubsetSystem::new(Arc::clone(&base), vec![1000]).is_err());
+        let merge_base = Arc::clone(&base);
+        let merge: MergeBuilder = Box::new(move |pool| {
+            Box::new(SubsetSystem::new(Arc::clone(&merge_base), pool.to_vec()).unwrap())
+        });
+        assert!(ShardedInstance::new(Vec::new(), merge).is_err());
+        // Unsorted members are rejected.
+        let sub = SubsetSystem::new(Arc::clone(&base), vec![0, 1, 2]).unwrap();
+        let shard = ShardOracle {
+            members: vec![2, 1, 0],
+            system: Box::new(sub),
+        };
+        let merge_base = Arc::clone(&base);
+        let merge: MergeBuilder = Box::new(move |pool| {
+            Box::new(SubsetSystem::new(Arc::clone(&merge_base), pool.to_vec()).unwrap())
+        });
+        assert!(ShardedInstance::new(vec![shard], merge).is_err());
+    }
+}

@@ -63,7 +63,9 @@ pub mod prelude {
     pub use crate::algorithms::baselines::{random_subset, top_singletons};
     pub use crate::algorithms::bsm_saturate::{bsm_saturate, BsmSaturateConfig};
     pub use crate::algorithms::cover::{submodular_cover, CoverOutcome};
-    pub use crate::algorithms::distributed::{greedi, GreediConfig};
+    pub use crate::algorithms::distributed::{
+        greedi, shard_partition, GreediConfig, GreediOutcome,
+    };
     pub use crate::algorithms::exact::{
         branch_and_bound_bsm, brute_force_bsm, brute_force_max, BsmOptimal, ExactConfig,
     };
@@ -79,10 +81,11 @@ pub mod prelude {
     pub use crate::algorithms::smsc::{smsc, SmscConfig};
     pub use crate::algorithms::streaming::{sieve_streaming, SieveConfig};
     pub use crate::algorithms::tsgreedy::{bsm_tsgreedy, TsGreedyConfig};
-    pub use crate::algorithms::BsmOutcome;
+    pub use crate::algorithms::{BsmOutcome, InvalidConfig};
     pub use crate::engine::{
         Capabilities, DynUtilitySystem, ErasedSystem, PartialSolution, ScenarioParams,
-        SessionStatus, SolveReport, SolveSession, Solver, SolverError, SolverRegistry,
+        SessionStatus, ShardOracle, ShardedInstance, SolveReport, SolveSession, Solver,
+        SolverError, SolverRegistry, SubsetSystem,
     };
     pub use crate::items::{ItemId, ItemSet};
     pub use crate::metrics::{evaluate, Evaluation};

@@ -4,7 +4,7 @@
 //! `v` a set `S(v) = N_out(v) ∪ {v}` is created. Selecting `k` items then
 //! means selecting `k` nodes that dominate as many users as possible.
 
-use fair_submod_graphs::Graph;
+use fair_submod_graphs::{CsrSlice, Graph};
 
 use crate::set_system::SetSystem;
 
@@ -19,6 +19,27 @@ pub fn dominating_set_system(graph: &Graph) -> SetSystem {
         })
         .collect();
     SetSystem::new(sets, n)
+}
+
+/// Builds the dominating-set system of one shard's [`CsrSlice`]: item
+/// `i` is the slice's `i`-th node `v` with `S(v) = N_out(v) ∪ {v}` over
+/// the **full** element universe `0..num_nodes`. Because the universe
+/// (and hence every per-user utility) is the global one, the shard
+/// sub-oracle's rows are bitwise equal to the corresponding rows of
+/// [`dominating_set_system`] on the whole graph — the invariant the
+/// sharded tier's bit-identity proof rests on.
+pub fn dominating_slice_system(slice: &CsrSlice, num_nodes: usize) -> SetSystem {
+    let sets = slice
+        .nodes()
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| {
+            let mut s: Vec<u32> = slice.neighbors(i).to_vec();
+            s.push(v);
+            s
+        })
+        .collect();
+    SetSystem::new(sets, num_nodes)
 }
 
 #[cfg(test)]
@@ -36,6 +57,25 @@ mod tests {
         assert_eq!(s.set(0), &[0, 1, 2]);
         assert_eq!(s.set(1), &[1]);
         assert_eq!(s.set(3), &[0, 3]);
+    }
+
+    #[test]
+    fn slice_system_rows_match_the_central_system() {
+        let mut b = GraphBuilder::new(5, false);
+        b.add_edge(0, 1)
+            .add_edge(1, 2)
+            .add_edge(2, 3)
+            .add_edge(3, 4);
+        let g = b.build();
+        let central = dominating_set_system(&g);
+        let members = [1u32, 3];
+        let slice = g.slice_rows(&members);
+        let sharded = dominating_slice_system(&slice, g.num_nodes());
+        assert_eq!(sharded.num_sets(), 2);
+        assert_eq!(sharded.num_elements(), central.num_elements());
+        for (local, &v) in members.iter().enumerate() {
+            assert_eq!(sharded.set(local), central.set(v as usize));
+        }
     }
 
     #[test]

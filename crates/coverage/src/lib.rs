@@ -45,7 +45,7 @@ pub mod oracle;
 pub mod set_system;
 pub mod weighted;
 
-pub use dominating::dominating_set_system;
+pub use dominating::{dominating_set_system, dominating_slice_system};
 pub use oracle::{CoverageOracle, UnpackedCoverageOracle};
 pub use set_system::SetSystem;
 pub use weighted::WeightedCoverageOracle;

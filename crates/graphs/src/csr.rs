@@ -85,6 +85,112 @@ impl Graph {
     pub fn arc_index(&self, src: NodeId, pos_in_src: usize) -> usize {
         self.out_offsets[src as usize] + pos_in_src
     }
+
+    /// Copies the out-adjacency rows of `nodes` (strictly ascending
+    /// global ids) into a standalone [`CsrSlice`]. Reference
+    /// implementation for the streaming slice loader in
+    /// [`crate::io::read_shard_slices`]: both must produce bitwise-equal
+    /// slices from the same edge list.
+    ///
+    /// # Panics
+    /// Panics if `nodes` is not strictly ascending or contains an id
+    /// `≥ num_nodes()`.
+    pub fn slice_rows(&self, nodes: &[NodeId]) -> CsrSlice {
+        assert!(
+            nodes.windows(2).all(|w| w[0] < w[1]),
+            "slice nodes must be strictly ascending"
+        );
+        let mut offsets = Vec::with_capacity(nodes.len() + 1);
+        offsets.push(0usize);
+        let mut targets = Vec::new();
+        for &v in nodes {
+            assert!((v as usize) < self.n, "slice node out of range");
+            targets.extend_from_slice(self.out_neighbors(v));
+            offsets.push(targets.len());
+        }
+        CsrSlice {
+            nodes: nodes.to_vec(),
+            offsets,
+            targets,
+        }
+    }
+}
+
+/// A horizontal slice of a CSR graph: the out-adjacency rows of an
+/// ascending subset of nodes, with targets kept as **global** node ids.
+///
+/// This is the unit of the sharded solve tier — each shard owns one
+/// slice and never sees the rows of other shards, so a million-node
+/// graph can be loaded shard by shard without ever materializing the
+/// full [`Graph`] (in particular without its doubled in-adjacency).
+/// Row semantics are identical to [`GraphBuilder::build`]: self-loops
+/// dropped, undirected edges symmetrized before deduplication, each row
+/// sorted ascending and deduplicated.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CsrSlice {
+    nodes: Vec<NodeId>,
+    offsets: Vec<usize>,
+    targets: Vec<NodeId>,
+}
+
+impl CsrSlice {
+    /// Builds a slice from raw arcs `(local_row, global_target)`.
+    /// `nodes` must be strictly ascending; self-loops must already have
+    /// been dropped by the caller. Arcs are sorted and deduplicated per
+    /// row, matching [`GraphBuilder::build`].
+    pub(crate) fn from_arcs(nodes: Vec<NodeId>, mut arcs: Vec<(u32, NodeId)>) -> Self {
+        assert!(
+            nodes.windows(2).all(|w| w[0] < w[1]),
+            "slice nodes must be strictly ascending"
+        );
+        arcs.sort_unstable();
+        arcs.dedup();
+        let mut offsets = vec![0usize; nodes.len() + 1];
+        for &(row, _) in &arcs {
+            offsets[row as usize + 1] += 1;
+        }
+        for i in 0..nodes.len() {
+            offsets[i + 1] += offsets[i];
+        }
+        let targets = arcs.into_iter().map(|(_, t)| t).collect();
+        Self {
+            nodes,
+            offsets,
+            targets,
+        }
+    }
+
+    /// Global node ids owned by this slice, ascending.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Number of rows (nodes) in the slice.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of stored arcs.
+    pub fn num_arcs(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-neighbors (global ids, sorted, deduplicated) of the slice's
+    /// `local`-th node.
+    #[inline]
+    pub fn neighbors(&self, local: usize) -> &[NodeId] {
+        &self.targets[self.offsets[local]..self.offsets[local + 1]]
+    }
+
+    /// Local row index of a global node id, if this slice owns it.
+    pub fn position(&self, global: NodeId) -> Option<usize> {
+        self.nodes.binary_search(&global).ok()
+    }
+
+    /// Out-neighbors of a global node id, if this slice owns it.
+    pub fn neighbors_of(&self, global: NodeId) -> Option<&[NodeId]> {
+        self.position(global).map(|local| self.neighbors(local))
+    }
 }
 
 /// Incremental builder deduplicating arcs and dropping self-loops.
@@ -242,5 +348,34 @@ mod tests {
     fn out_of_range_edge_panics() {
         let mut b = GraphBuilder::new(2, false);
         b.add_edge(0, 5);
+    }
+
+    #[test]
+    fn slice_rows_copies_adjacency_with_global_targets() {
+        let g = triangle();
+        let slice = g.slice_rows(&[0, 2]);
+        assert_eq!(slice.num_nodes(), 2);
+        assert_eq!(slice.nodes(), &[0, 2]);
+        assert_eq!(slice.neighbors(0), g.out_neighbors(0));
+        assert_eq!(slice.neighbors(1), g.out_neighbors(2));
+        assert_eq!(slice.neighbors_of(2), Some(g.out_neighbors(2)));
+        assert_eq!(slice.neighbors_of(1), None);
+        assert_eq!(slice.num_arcs(), 4);
+    }
+
+    #[test]
+    fn slice_from_arcs_sorts_and_dedups_rows() {
+        // Rows: node 5 -> {1, 7}, node 9 -> {0}. Duplicates collapse.
+        let slice = CsrSlice::from_arcs(vec![5, 9], vec![(1, 0), (0, 7), (0, 1), (0, 7)]);
+        assert_eq!(slice.neighbors(0), &[1, 7]);
+        assert_eq!(slice.neighbors(1), &[0]);
+        assert_eq!(slice.num_arcs(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_slice_nodes_panic() {
+        let g = triangle();
+        let _ = g.slice_rows(&[2, 0]);
     }
 }

@@ -363,6 +363,7 @@ impl ServiceState {
             ks: job.ks.clone(),
             taus: job.taus.clone(),
             epsilons: job.epsilons.clone(),
+            shards: job.shards.clone(),
             repetitions: job.repetitions.max(1),
             warm_sweeps: true,
             base,

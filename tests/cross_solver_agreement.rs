@@ -9,12 +9,15 @@
 //! runs — invariants that hold for any present or future registry
 //! entry, so new solvers are covered the moment they register.
 
+use fair_submod::core::engine::SessionStatus;
 use fair_submod::core::prelude::*;
 use fair_submod::coverage::{CoverageOracle, SetSystem};
 use fair_submod::facility::{BenefitMatrix, FacilityOracle};
 use fair_submod::graphs::Groups;
 use fair_submod::lp::bsm_ilp::{fl_bsm_optimal, mc_bsm_optimal};
 use fair_submod::lp::IlpConfig;
+use serde::json::Value;
+use serde::ToJson;
 
 /// Small deterministic PRNG for instance generation.
 struct Xorshift(u64);
@@ -226,6 +229,104 @@ fn registry_capability_gaps_are_typed_on_three_groups() {
                 assert_eq!(name, "SMSC");
             }
             Err(other) => panic!("{name} failed unexpectedly: {other}"),
+        }
+    }
+}
+
+/// The scale capability flags gate behaviour generically — no solver
+/// names appear below, so any future registry entry that declares
+/// `sharded` or `streaming` is held to the same contract the moment it
+/// registers:
+///
+/// - solvers that do NOT declare `sharded` must ignore the shard axis
+///   (bit-identical reports for different `params.shards`);
+/// - solvers that DO declare it must accept every shard count ≥ 1,
+///   deterministically, and their native sessions run one step per
+///   shard plus a merge;
+/// - streaming solvers' native sessions consume one arrival per step —
+///   exactly `n` steps to completion.
+#[test]
+fn capability_flags_gate_scale_behaviour_generically() {
+    let (sets, group_of) = random_mc_instance(5, 14, 28, 2);
+    let oracle = CoverageOracle::new(sets, &Groups::from_assignment(group_of));
+    let n = oracle.dyn_num_items();
+    let registry = SolverRegistry::default();
+    let strip = |mut r: SolveReport| {
+        r.seconds = 0.0;
+        r
+    };
+    for name in registry.names() {
+        let caps = registry.get(name).unwrap().capabilities();
+        let mut params = ScenarioParams::new(3, 0.5).with_seed(13);
+        if caps.sharded {
+            for shards in [1usize, 2, 4] {
+                params.shards = shards;
+                let a = strip(registry.solve(name, &oracle, &params).unwrap());
+                let b = strip(registry.solve(name, &oracle, &params).unwrap());
+                assert_eq!(a, b, "{name} non-deterministic at p={shards}");
+                assert!(a.items.len() <= params.k, "{name} over budget");
+            }
+            if caps.resumable {
+                params.shards = 3;
+                let mut session = registry.open_session(name, &oracle, &params).unwrap();
+                let mut steps = 0usize;
+                while session.step(&oracle) == SessionStatus::Running {
+                    steps += 1;
+                }
+                steps += 1;
+                assert_eq!(
+                    steps,
+                    params.shards + 1,
+                    "{name}: sharded sessions step once per shard plus a merge"
+                );
+            }
+        } else {
+            params.shards = 3;
+            let a = strip(registry.solve(name, &oracle, &params).unwrap());
+            params.shards = 7;
+            let b = strip(registry.solve(name, &oracle, &params).unwrap());
+            assert_eq!(a, b, "{name} read the shard axis without declaring sharded");
+        }
+        if caps.streaming && caps.resumable {
+            let params = ScenarioParams::new(3, 0.5).with_seed(13);
+            let mut session = registry.open_session(name, &oracle, &params).unwrap();
+            let mut steps = 0usize;
+            while session.step(&oracle) == SessionStatus::Running {
+                steps += 1;
+            }
+            steps += 1;
+            assert_eq!(
+                steps, n,
+                "{name}: streaming sessions consume one arrival per step"
+            );
+        }
+    }
+}
+
+/// Every solver's capability flags round-trip through the JSON surface
+/// the service layer publishes — so a new flag (like `sharded` or
+/// `streaming`) is picked up by clients without per-solver wiring.
+#[test]
+fn capability_flags_serialize_for_every_solver() {
+    let registry = SolverRegistry::default();
+    for name in registry.names() {
+        let caps = registry.get(name).unwrap().capabilities();
+        let json = caps.to_json();
+        for (key, value) in [
+            ("requires_two_groups", caps.requires_two_groups),
+            ("exact", caps.exact),
+            ("randomized", caps.randomized),
+            ("uses_tau", caps.uses_tau),
+            ("resumable", caps.resumable),
+            ("prefix_exact", caps.prefix_exact),
+            ("sharded", caps.sharded),
+            ("streaming", caps.streaming),
+        ] {
+            assert_eq!(
+                json.get(key).and_then(Value::as_bool),
+                Some(value),
+                "{name}: flag {key} missing or wrong in the JSON surface"
+            );
         }
     }
 }

@@ -33,7 +33,7 @@ fn sieve_streaming_works_on_dataset_scale() {
     let dataset = rand_mc(2, 500, seeds::RAND);
     let oracle = dataset.coverage_oracle();
     let f = MeanUtility::new(500);
-    let sieve = sieve_streaming(&oracle, &f, &SieveConfig::new(5));
+    let sieve = sieve_streaming(&oracle, &f, &SieveConfig::new(5)).expect("valid config");
     let central = greedy(&oracle, &f, &GreedyConfig::lazy(5));
     assert!(sieve.value >= 0.45 * central.value);
     // Memory bound: number of parallel candidates is O(log(k)/ε).
@@ -48,7 +48,7 @@ fn greedi_scales_out_the_utility_stage() {
     let central = greedy(&oracle, &f, &GreedyConfig::lazy(8));
     let mut cfg = GreediConfig::new(8);
     cfg.shards = 8;
-    let dist = greedi(&oracle, &f, &cfg);
+    let dist = greedi(&oracle, &f, &cfg).expect("valid config");
     assert!(dist.value >= 0.8 * central.value);
 }
 

@@ -1,0 +1,148 @@
+//! Property-based tests (proptest) for the streaming edge-list loader
+//! behind the sharded tier (`graphs::io`): chunked parsing at any chunk
+//! size — including sizes that split every line across chunk boundaries
+//! and leave a ragged final chunk — must agree byte for byte with the
+//! whole-file reader, per-shard CSR slices must equal the rows the full
+//! graph would hand out, and both paths must report identical typed
+//! errors with identical line numbers.
+
+use proptest::prelude::*;
+
+use fair_submod::graphs::csr::NodeId;
+use fair_submod::graphs::io::{
+    read_edge_list, read_edge_list_chunked, read_shard_slices, write_edge_list,
+};
+use fair_submod::graphs::CsrSlice;
+
+/// Strategy: a random edge-list document over `n` nodes — duplicate
+/// edges, self-loops, blank lines, `#` comments, and an optional
+/// missing trailing newline (a ragged last line) all appear.
+fn edge_list_doc() -> impl Strategy<Value = (String, usize)> {
+    (2usize..24, 0usize..50, any::<u64>(), any::<bool>()).prop_map(
+        |(n, edges, seed, trailing_newline)| {
+            let mut state = seed | 1;
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            let mut lines: Vec<String> = Vec::new();
+            for _ in 0..edges {
+                match next() % 10 {
+                    0 => lines.push(String::new()),
+                    1 => lines.push("# comment".to_string()),
+                    // Self-loops and duplicates are produced naturally:
+                    // endpoints are unconstrained and repeats are likely.
+                    _ => lines.push(format!("{} {}", next() % n as u64, next() % n as u64)),
+                }
+            }
+            let mut text = lines.join("\n");
+            if trailing_newline && !text.is_empty() {
+                text.push('\n');
+            }
+            (text, n)
+        },
+    )
+}
+
+/// The full out-adjacency of `graph`-like readers, as one comparable
+/// value (Graph itself has no `PartialEq`; its row slicer does).
+fn all_rows(graph: &fair_submod::graphs::Graph) -> CsrSlice {
+    let nodes: Vec<NodeId> = (0..graph.num_nodes() as NodeId).collect();
+    graph.slice_rows(&nodes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Chunked parsing is chunk-size invariant and equals the
+    /// whole-file reader, directed and undirected.
+    #[test]
+    fn chunked_reader_matches_whole_file(
+        (text, n) in edge_list_doc(),
+        chunk in 1usize..48,
+        directed in any::<bool>(),
+    ) {
+        let whole = read_edge_list(text.as_bytes(), n, directed).unwrap();
+        let chunked = read_edge_list_chunked(text.as_bytes(), n, directed, chunk).unwrap();
+        prop_assert_eq!(whole.num_nodes(), chunked.num_nodes());
+        prop_assert_eq!(whole.num_arcs(), chunked.num_arcs());
+        prop_assert_eq!(whole.is_directed(), chunked.is_directed());
+        prop_assert_eq!(all_rows(&whole), all_rows(&chunked));
+    }
+
+    /// Per-shard slices streamed from the bytes equal the rows the
+    /// fully materialized graph hands out — for any owner assignment,
+    /// including ones that leave shards empty.
+    #[test]
+    fn shard_slices_equal_full_graph_rows(
+        (text, n) in edge_list_doc(),
+        num_shards in 1usize..6,
+        owner_seed in any::<u64>(),
+        chunk in 1usize..48,
+        directed in any::<bool>(),
+    ) {
+        let mut state = owner_seed | 1;
+        let owner: Vec<u32> = (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % num_shards as u64) as u32
+            })
+            .collect();
+        let whole = read_edge_list(text.as_bytes(), n, directed).unwrap();
+        let slices =
+            read_shard_slices(text.as_bytes(), n, directed, &owner, num_shards, chunk).unwrap();
+        prop_assert_eq!(slices.len(), num_shards);
+        let mut total_nodes = 0usize;
+        for (s, slice) in slices.iter().enumerate() {
+            let members: Vec<NodeId> = (0..n as NodeId)
+                .filter(|&v| owner[v as usize] == s as u32)
+                .collect();
+            total_nodes += members.len();
+            prop_assert_eq!(slice, &whole.slice_rows(&members));
+        }
+        prop_assert_eq!(total_nodes, n);
+    }
+
+    /// A graph round-trips: write_edge_list → chunked reader → the
+    /// same adjacency (the bench pipeline's on-disk format).
+    #[test]
+    fn written_graphs_round_trip_through_the_chunked_reader(
+        (text, n) in edge_list_doc(),
+        chunk in 1usize..48,
+        directed in any::<bool>(),
+    ) {
+        let original = read_edge_list(text.as_bytes(), n, directed).unwrap();
+        let mut bytes = Vec::new();
+        write_edge_list(&original, &mut bytes).unwrap();
+        let reread = read_edge_list_chunked(&bytes[..], n, directed, chunk).unwrap();
+        prop_assert_eq!(all_rows(&original), all_rows(&reread));
+    }
+
+    /// Malformed documents fail identically on both paths: same error
+    /// kind, same message, same 1-based line number — so switching the
+    /// bench pipeline to streaming never changes its diagnostics.
+    #[test]
+    fn both_readers_report_identical_errors(
+        (text, n) in edge_list_doc(),
+        corrupt_kind in 0u8..3,
+        line_seed in any::<u64>(),
+        chunk in 1usize..48,
+    ) {
+        let corrupt = ["1 junk", "lonely", "999999 0"][corrupt_kind as usize];
+        let mut lines: Vec<&str> = text.lines().collect();
+        let at = if lines.is_empty() { 0 } else { line_seed as usize % (lines.len() + 1) };
+        lines.insert(at, corrupt);
+        let bad = lines.join("\n");
+        let whole_err = read_edge_list(bad.as_bytes(), n, false).unwrap_err();
+        let chunked_err = read_edge_list_chunked(bad.as_bytes(), n, false, chunk).unwrap_err();
+        prop_assert_eq!(whole_err.kind(), chunked_err.kind());
+        prop_assert_eq!(whole_err.to_string(), chunked_err.to_string());
+        let owner = vec![0u32; n];
+        let shard_err = read_shard_slices(bad.as_bytes(), n, false, &owner, 1, chunk).unwrap_err();
+        prop_assert_eq!(whole_err.to_string(), shard_err.to_string());
+    }
+}

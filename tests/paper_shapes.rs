@@ -148,7 +148,7 @@ fn extension_algorithms_are_consistent_on_rand() {
 
     let f_agg = MeanUtility::new(oracle.num_users());
     let greedy_run = greedy(&oracle, &f_agg, &GreedyConfig::lazy(k));
-    let sieve = sieve_streaming(&oracle, &f_agg, &SieveConfig::new(k));
+    let sieve = sieve_streaming(&oracle, &f_agg, &SieveConfig::new(k)).expect("valid config");
     assert!(sieve.value >= 0.4 * greedy_run.value);
 
     let knap = knapsack_greedy(

@@ -65,8 +65,9 @@ fn check_sessions_on(system: &dyn DynUtilitySystem, label: &str) {
         })
         .collect();
     assert!(
-        resumable.len() >= 4,
-        "{label}: expected the greedy/Saturate/BSM family to be resumable, got {resumable:?}"
+        resumable.len() >= 6,
+        "{label}: expected the greedy/Saturate/BSM family plus the scale \
+         solvers (GreeDi, SieveStreaming) to be resumable, got {resumable:?}"
     );
     for name in resumable {
         let params = ScenarioParams::new(max_k, 0.6);
@@ -157,6 +158,79 @@ fn greedy_prefixes_match_cold_runs_for_every_variant_and_thread_count() {
             }
         }
     }
+}
+
+/// The native GreeDi session works at shard granularity: one step per
+/// shard (round 1), then one merge step — and the finished report is
+/// bit-identical to the one-shot solver. Mid-run snapshots expose the
+/// best shard found so far, which a serving layer can return early.
+#[test]
+fn greedi_sessions_step_one_shard_per_round() {
+    let dataset = rand_mc(2, 150, seeds::RAND + 15);
+    let oracle = dataset.coverage_oracle();
+    let registry = SolverRegistry::default();
+    let mut params = ScenarioParams::new(5, 0.5).with_seed(7);
+    params.shards = 4;
+    let one_shot = strip_seconds(registry.solve("GreeDi", &oracle, &params).unwrap());
+
+    let mut session = registry.open_session("GreeDi", &oracle, &params).unwrap();
+    assert!(!session.done());
+    // Round 1: one step per shard, all still Running.
+    for shard in 0..params.shards {
+        assert_eq!(
+            session.step(&oracle),
+            SessionStatus::Running,
+            "shard {shard} ended the session early"
+        );
+        let snap = session.snapshot();
+        assert_eq!(snap.round, shard + 1);
+        assert!(!snap.done);
+        assert!(snap.items.len() <= params.k, "partial solution over budget");
+        assert!(snap.objective >= 0.0 && snap.oracle_calls > 0);
+    }
+    // Asking for a solution before the merge is a typed refusal.
+    assert!(session.solution_at(&oracle, params.k).is_err());
+    // The merge step finishes it; further steps are no-ops.
+    assert_eq!(session.step(&oracle), SessionStatus::Done);
+    assert_eq!(session.rounds(), params.shards + 1);
+    assert_eq!(session.step(&oracle), SessionStatus::Done);
+    assert_eq!(
+        session.rounds(),
+        params.shards + 1,
+        "post-done step counted"
+    );
+    let finished = strip_seconds(session.finish(&oracle).unwrap());
+    assert_eq!(finished, one_shot, "GreeDi session != one-shot");
+    assert_eq!(finished.notes.len(), 2, "shards + best_shard_value notes");
+}
+
+/// The native Sieve-Streaming session consumes one stream arrival per
+/// step — exactly `n` steps — and finishes bit-identical to the
+/// one-shot solver.
+#[test]
+fn sieve_sessions_step_one_arrival_per_item() {
+    let dataset = rand_mc(2, 80, seeds::RAND + 16);
+    let oracle = dataset.coverage_oracle();
+    let n = oracle.dyn_num_items();
+    let registry = SolverRegistry::default();
+    let params = ScenarioParams::new(4, 0.5);
+    let one_shot = strip_seconds(registry.solve("SieveStreaming", &oracle, &params).unwrap());
+
+    let mut session = registry
+        .open_session("SieveStreaming", &oracle, &params)
+        .unwrap();
+    let mut arrivals = 0usize;
+    while session.step(&oracle) == SessionStatus::Running {
+        arrivals += 1;
+        let snap = session.snapshot();
+        assert_eq!(snap.round, arrivals);
+        assert!(snap.items.len() <= params.k, "sieve overflowed the budget");
+    }
+    arrivals += 1;
+    assert_eq!(arrivals, n, "one step per stream arrival");
+    assert_eq!(session.rounds(), n);
+    let finished = strip_seconds(session.finish(&oracle).unwrap());
+    assert_eq!(finished, one_shot, "Sieve session != one-shot");
 }
 
 /// The harness-level statement of the same invariant: a warm suite run
