@@ -33,8 +33,21 @@
 //! in full mode and under `--only sharded_1m`; plain `--quick` skips it
 //! to keep the per-push perf gate fast.
 //!
+//! The PR-7 kernel scenarios pit the incremental gain kernels against
+//! their retained rescan references on identical workloads:
+//! `ris_incremental_vs_rescan` (counter reads vs per-item RR-set
+//! rescans under naive greedy rounds), `celf_vs_naive_rounds` (lazy
+//! batched-refresh greedy vs full candidate scans), and
+//! `bitset_kernel_unrolled` (the 8-word unrolled complement-masked
+//! popcount vs the scalar loop). Selections/counts are asserted
+//! bit-identical in-process, as everywhere else.
+//!
+//! `--profile` additionally records a per-phase wall-clock breakdown
+//! (sample / build-index / solve-rounds) as a `phases` array on the
+//! scenario rows that have one.
+//!
 //! Usage: `cargo run -p fair-submod-bench --release --bin perfbase --
-//! [--quick] [--only NAME] [--out BENCH_baseline.json]`.
+//! [--quick] [--profile] [--only NAME] [--out BENCH_baseline.json]`.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -61,6 +74,10 @@ struct Scenario {
     /// Extra JSON fields (`, "key": value` fragments) for scenarios
     /// that record more than the two timings — e.g. budget checks.
     extra: String,
+    /// Per-phase wall-clock breakdown of the *after* pipeline
+    /// (sample / build-index / solve-rounds / merge …), emitted as a
+    /// `phases` array when `--profile` is passed.
+    phases: Vec<(&'static str, f64)>,
 }
 
 /// Peak resident set size of this process in MiB (`VmHWM` from
@@ -128,12 +145,14 @@ fn time_seq_vs_par<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, f64) {
 
 fn main() {
     let mut quick = false;
+    let mut profile = false;
     let mut only: Option<String> = None;
     let mut out_path = String::from("BENCH_baseline.json");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--profile" => profile = true,
             "--only" => only = Some(args.next().expect("--only needs a scenario name")),
             "--out" => out_path = args.next().expect("--out needs a value"),
             other => panic!("unknown flag {other}"),
@@ -191,6 +210,7 @@ fn main() {
             before_seconds,
             after_seconds,
             extra: String::new(),
+            phases: Vec::new(),
         });
     }
 
@@ -219,6 +239,7 @@ fn main() {
             before_seconds,
             after_seconds,
             extra: String::new(),
+            phases: Vec::new(),
         });
     }
 
@@ -236,7 +257,8 @@ fn main() {
         rayon::set_num_threads(1);
         let seq = RisOracle::generate(&dataset.graph, model, &dataset.groups, &cfg);
         rayon::set_num_threads(0);
-        let par = RisOracle::generate(&dataset.graph, model, &dataset.groups, &cfg);
+        let (par, build) =
+            RisOracle::generate_profiled(&dataset.graph, model, &dataset.groups, &cfg);
         assert_eq!(
             seq.estimated_spread(&probe).to_bits(),
             par.estimated_spread(&probe).to_bits(),
@@ -249,6 +271,10 @@ fn main() {
             before_seconds,
             after_seconds,
             extra: String::new(),
+            phases: vec![
+                ("sample", build.sample_seconds),
+                ("build_index", build.index_seconds),
+            ],
         });
     }
 
@@ -278,6 +304,7 @@ fn main() {
             before_seconds,
             after_seconds,
             extra: String::new(),
+            phases: Vec::new(),
         });
     }
 
@@ -333,6 +360,7 @@ fn main() {
             before_seconds,
             after_seconds,
             extra: String::new(),
+            phases: Vec::new(),
         });
     }
 
@@ -392,6 +420,7 @@ fn main() {
             before_seconds,
             after_seconds,
             extra: String::new(),
+            phases: Vec::new(),
         });
     }
 
@@ -520,6 +549,160 @@ fn main() {
                  \"peak_rss_mib\": {}, \"peak_rss_budget_mib\": {rss_budget_mib:.1}",
                 rss_mib.map_or("null".into(), |r| format!("{r:.1}"))
             ),
+            phases: Vec::new(),
+        });
+    }
+
+    // ── 8. RIS greedy rounds: incremental counters vs rescan kernel. ──
+    if should_run("ris_incremental_vs_rescan") {
+        eprintln!("[perfbase] ris incremental vs rescan ...");
+        let dataset = rand_mc(2, if quick { 200 } else { 500 }, seeds::RAND + 3);
+        let model = DiffusionModel::ic(0.1);
+        let rr = if quick { 5_000 } else { 20_000 };
+        let cfg = RisConfig::new(rr, 13);
+        let (oracle, build) =
+            RisOracle::generate_profiled(&dataset.graph, model, &dataset.groups, &cfg);
+        let rescan = oracle.rescan_reference();
+        let f = MeanUtility::new(oracle.num_users());
+        let k = if quick { 10 } else { 20 };
+        // Naive full-scan rounds on both sides, so the only difference
+        // is the gain kernel: counter reads vs per-item RR-set rescans.
+        let gcfg = GreedyConfig::naive(k);
+        let before_seconds = time_best(reps, || greedy(&rescan, &f, &gcfg));
+        let after_seconds = time_best(reps, || greedy(&oracle, &f, &gcfg));
+        let inc = greedy(&oracle, &f, &gcfg);
+        let res = greedy(&rescan, &f, &gcfg);
+        assert_eq!(inc.items, res.items, "incremental kernel changed selection");
+        assert_eq!(
+            inc.value.to_bits(),
+            res.value.to_bits(),
+            "incremental kernel changed the objective"
+        );
+        assert_eq!(
+            inc.oracle_calls, res.oracle_calls,
+            "incremental kernel changed call accounting"
+        );
+        scenarios.push(Scenario {
+            name: "ris_incremental_vs_rescan",
+            before_label: "rescan_rr_sets",
+            after_label: "incremental_counters",
+            before_seconds,
+            after_seconds,
+            extra: format!(", \"k\": {k}, \"rr_sets\": {rr}"),
+            phases: vec![
+                ("sample", build.sample_seconds),
+                ("build_index", build.index_seconds),
+                ("solve_rounds", after_seconds),
+            ],
+        });
+    }
+
+    // ── 9. CELF (lazy, batched refreshes) vs naive full-scan rounds. ──
+    if should_run("celf_vs_naive_rounds") {
+        eprintln!("[perfbase] celf vs naive rounds ...");
+        // Facility location: gain evaluation costs O(active users) per
+        // candidate, so skipped evaluations — CELF's whole point — are
+        // the dominant term. (On the counter-read coverage kernel a
+        // full naive scan is already nearly free, which is exactly what
+        // `ris_incremental_vs_rescan` measures instead.)
+        let (m, n) = if quick { (800, 400) } else { (2_000, 1_000) };
+        let mut state = 0xD1B5_4A32_D192_ED03u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        };
+        // Skewed per-item quality (cube of a uniform draw): real
+        // benefit data has popularity skew, and a flat IID landscape is
+        // CELF's degenerate worst case (every stale bound ties).
+        let quality: Vec<f64> = (0..n).map(|_| next().powi(3)).collect();
+        let values: Vec<f64> = (0..m * n).map(|i| next() * quality[i % n]).collect();
+        let benefits = BenefitMatrix::new(values, m, n);
+        let group_of: Vec<u32> = (0..m as u32).map(|u| u % 2).collect();
+        let oracle = fair_submod_facility::FacilityOracle::new(benefits, group_of);
+        let f = MeanUtility::new(oracle.num_users());
+        let k = if quick { 20 } else { 50 };
+        let before_seconds = time_best(reps, || greedy(&oracle, &f, &GreedyConfig::naive(k)));
+        let after_seconds = time_best(reps, || greedy(&oracle, &f, &GreedyConfig::lazy(k)));
+        let nv = greedy(&oracle, &f, &GreedyConfig::naive(k));
+        let lz = greedy(&oracle, &f, &GreedyConfig::lazy(k));
+        assert_eq!(lz.items, nv.items, "CELF changed the greedy selection");
+        assert_eq!(
+            lz.value.to_bits(),
+            nv.value.to_bits(),
+            "CELF changed the greedy objective"
+        );
+        assert!(
+            lz.oracle_calls < nv.oracle_calls,
+            "CELF did not save oracle calls: {} vs {}",
+            lz.oracle_calls,
+            nv.oracle_calls
+        );
+        scenarios.push(Scenario {
+            name: "celf_vs_naive_rounds",
+            before_label: "naive_full_scans",
+            after_label: "celf_lazy_batched",
+            before_seconds,
+            after_seconds,
+            extra: format!(
+                ", \"k\": {k}, \"naive_oracle_calls\": {}, \"lazy_oracle_calls\": {}",
+                nv.oracle_calls, lz.oracle_calls
+            ),
+            phases: vec![("solve_rounds", after_seconds)],
+        });
+    }
+
+    // ── 10. Unrolled 8-word bitset popcount kernel vs scalar loop. ────
+    if should_run("bitset_kernel_unrolled") {
+        eprintln!("[perfbase] bitset kernel unrolled ...");
+        use fair_submod_core::bitset::{popcount_andnot, scalar_popcount_andnot};
+        // L1-resident buffers (8 KiB each), so the timing isolates the
+        // popcount kernel instead of memory bandwidth.
+        let words = 1usize << 10;
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let a: Vec<u64> = (0..words).map(|_| next()).collect();
+        let covered: Vec<u64> = (0..words).map(|_| next()).collect();
+        let sweeps = if quick { 30_000 } else { 80_000 };
+        let before_seconds = time_best(reps, || {
+            let mut acc = 0usize;
+            for _ in 0..sweeps {
+                acc = acc.wrapping_add(scalar_popcount_andnot(
+                    std::hint::black_box(&a),
+                    std::hint::black_box(&covered),
+                ));
+            }
+            acc
+        });
+        let after_seconds = time_best(reps, || {
+            let mut acc = 0usize;
+            for _ in 0..sweeps {
+                acc = acc.wrapping_add(popcount_andnot(
+                    std::hint::black_box(&a),
+                    std::hint::black_box(&covered),
+                ));
+            }
+            acc
+        });
+        assert_eq!(
+            popcount_andnot(&a, &covered),
+            scalar_popcount_andnot(&a, &covered),
+            "unrolled popcount kernel disagrees with the scalar loop"
+        );
+        scenarios.push(Scenario {
+            name: "bitset_kernel_unrolled",
+            before_label: "scalar_popcount",
+            after_label: "unrolled_8_word",
+            before_seconds,
+            after_seconds,
+            extra: format!(", \"words\": {words}, \"sweeps\": {sweeps}"),
+            phases: Vec::new(),
         });
     }
 
@@ -542,9 +725,20 @@ fn main() {
             "[perfbase] {:<24} {}: {:.4}s  {}: {:.4}s  speedup {:.2}x",
             s.name, s.before_label, s.before_seconds, s.after_label, s.after_seconds, speedup
         );
+        // `--profile`: per-phase wall-clock of the shipped pipeline.
+        let phases_json = if profile && !s.phases.is_empty() {
+            let entries: Vec<String> = s
+                .phases
+                .iter()
+                .map(|(name, secs)| format!("{{ \"name\": \"{name}\", \"seconds\": {secs:.6} }}"))
+                .collect();
+            format!(", \"phases\": [{}]", entries.join(", "))
+        } else {
+            String::new()
+        };
         json.push_str(&format!(
             "    {{ \"name\": \"{}\", \"before_label\": \"{}\", \"before_seconds\": {:.6}, \
-             \"after_label\": \"{}\", \"after_seconds\": {:.6}, \"speedup\": {:.4}{} }}{}\n",
+             \"after_label\": \"{}\", \"after_seconds\": {:.6}, \"speedup\": {:.4}{}{} }}{}\n",
             s.name,
             s.before_label,
             s.before_seconds,
@@ -552,6 +746,7 @@ fn main() {
             s.after_seconds,
             speedup,
             s.extra,
+            phases_json,
             if i + 1 < scenarios.len() { "," } else { "" }
         ));
     }

@@ -18,7 +18,7 @@ use crate::aggregate::Aggregate;
 use crate::items::ItemId;
 use crate::system::{SolutionState, UtilitySystem};
 
-use super::greedy::{GreedyConfig, GreedyVariant};
+use super::greedy::GreedyVariant;
 use super::InvalidConfig;
 
 /// Configuration for [`greedi`].
@@ -163,6 +163,16 @@ pub(crate) fn merge_outcome(
 /// `(items, oracle_calls, value)`. Crate-visible so the sharded tier and
 /// the native GreeDi session run the exact argmax/tie-break rule the
 /// one-shot algorithm runs.
+///
+/// `variant` is honored: `Lazy` (the [`GreediConfig`] default) runs a
+/// candidate-restricted CELF with the same heap ordering, tie-break, and
+/// batched stale refreshes as the central [`super::greedy::greedy`]
+/// engine — round 1 of GreeDi runs over `n/p`-sized shards, where lazy
+/// evaluation pays exactly as it does centrally. `Naive` (and
+/// `Stochastic`, which degenerates to it on a restricted pool) keeps the
+/// historical per-round scan in ascending id order with the strict
+/// `> best + 1e-15` improvement rule, batched through one
+/// `gains_batch_into` per round.
 pub(crate) fn greedy_over_subset<S: UtilitySystem, A: Aggregate>(
     system: &S,
     aggregate: &A,
@@ -170,41 +180,91 @@ pub(crate) fn greedy_over_subset<S: UtilitySystem, A: Aggregate>(
     k: usize,
     variant: GreedyVariant,
 ) -> (Vec<ItemId>, u64, f64) {
-    // Restriction is implemented directly (no oracle wrapper needed):
-    // a naive argmax over `candidates` per round; `variant` only
-    // matters for large candidate pools, where we fall back to naive
-    // anyway because pools are O(p·k). Candidates are scanned in
-    // ascending id order so tie-breaking matches the central greedy.
-    let _ = variant;
+    use std::collections::BinaryHeap;
+
+    use super::greedy::{best_candidate, HeapEntry, CELF_BATCH_CAP};
+
     let mut candidates = candidates.to_vec();
     candidates.sort_unstable();
     candidates.dedup();
-    let candidates = &candidates[..];
     let mut state = SolutionState::new(system);
     let mut chosen: Vec<ItemId> = Vec::with_capacity(k);
-    let cfg = GreedyConfig::lazy(k);
-    let _ = cfg;
-    for _ in 0..k {
-        let mut best: Option<(f64, ItemId)> = None;
-        for &v in candidates {
-            if state.contains(v) {
-                continue;
+    let mut gains: Vec<f64> = Vec::new();
+    match variant {
+        GreedyVariant::Lazy => {
+            if k == 0 || candidates.is_empty() {
+                let value = state.value(aggregate);
+                return (chosen, state.oracle_calls(), value);
             }
-            let gain = state.gain(aggregate, v);
-            let better = match best {
-                None => true,
-                Some((bg, _)) => gain > bg + 1e-15,
-            };
-            if better {
-                best = Some((gain, v));
+            // Seed the heap with one batched scan of the pool, then run
+            // CELF rounds with doubling stale-refresh slabs — the same
+            // scheme (and thus the same selections) as the central lazy
+            // engine, restricted to `candidates`.
+            let c = system.num_groups();
+            gains.resize(candidates.len() * c, 0.0);
+            state.gains_batch_into(&candidates, &mut gains);
+            let mut heap = BinaryHeap::with_capacity(candidates.len());
+            for (j, &v) in candidates.iter().enumerate() {
+                let bound = aggregate.gain(state.group_sums(), &gains[j * c..(j + 1) * c]);
+                heap.push(HeapEntry {
+                    bound,
+                    item: v,
+                    round: 0,
+                });
+            }
+            let mut batch: Vec<ItemId> = Vec::new();
+            for round in 0..k {
+                let mut slab = 1usize;
+                let top = loop {
+                    match heap.peek() {
+                        None => break None,
+                        Some(entry) if entry.round == round => break heap.pop(),
+                        Some(_) => {}
+                    }
+                    batch.clear();
+                    while batch.len() < slab {
+                        match heap.peek() {
+                            Some(entry) if entry.round != round => {
+                                batch.push(heap.pop().expect("peeked").item);
+                            }
+                            _ => break,
+                        }
+                    }
+                    gains.clear();
+                    gains.resize(batch.len() * c, 0.0);
+                    state.gains_batch_into(&batch, &mut gains);
+                    for (j, &v) in batch.iter().enumerate() {
+                        let bound = aggregate.gain(state.group_sums(), &gains[j * c..(j + 1) * c]);
+                        heap.push(HeapEntry {
+                            bound,
+                            item: v,
+                            round,
+                        });
+                    }
+                    slab = (slab * 2).min(CELF_BATCH_CAP);
+                };
+                match top {
+                    Some(entry) if entry.bound > 1e-15 => {
+                        state.insert(entry.item);
+                        chosen.push(entry.item);
+                    }
+                    _ => break,
+                }
             }
         }
-        match best {
-            Some((gain, v)) if gain > 1e-15 => {
-                state.insert(v);
-                chosen.push(v);
+        GreedyVariant::Naive | GreedyVariant::Stochastic { .. } => {
+            let mut live: Vec<ItemId> = Vec::with_capacity(candidates.len());
+            for _ in 0..k {
+                live.clear();
+                live.extend(candidates.iter().copied().filter(|&v| !state.contains(v)));
+                match best_candidate(&mut state, aggregate, &live, &mut gains) {
+                    Some((gain, v)) if gain > 1e-15 => {
+                        state.insert(v);
+                        chosen.push(v);
+                    }
+                    _ => break,
+                }
             }
-            _ => break,
         }
     }
     let value = state.value(aggregate);
@@ -215,7 +275,7 @@ pub(crate) fn greedy_over_subset<S: UtilitySystem, A: Aggregate>(
 mod tests {
     use super::*;
     use crate::aggregate::MeanUtility;
-    use crate::algorithms::greedy::greedy;
+    use crate::algorithms::greedy::{greedy, GreedyConfig};
     use crate::toy;
 
     #[test]
@@ -277,6 +337,23 @@ mod tests {
         let err = greedi(&sys, &f, &cfg).unwrap_err();
         assert_eq!(err.algorithm, "greedi");
         assert!(err.message.contains("shards"), "{}", err.message);
+    }
+
+    #[test]
+    fn lazy_subset_greedy_matches_naive_subset_greedy() {
+        // The restricted CELF must select the same items as the
+        // restricted naive scan (integer coverage gains: ties are exact
+        // and both tie-break toward the smaller id), with fewer calls.
+        for seed in 1..5u64 {
+            let sys = toy::random_coverage(50, 120, 3, 0.1, seed);
+            let f = MeanUtility::new(sys.num_users());
+            let candidates: Vec<ItemId> = (0..50).filter(|v| v % 3 != 1).collect();
+            let naive = greedy_over_subset(&sys, &f, &candidates, 8, GreedyVariant::Naive);
+            let lazy = greedy_over_subset(&sys, &f, &candidates, 8, GreedyVariant::Lazy);
+            assert_eq!(naive.0, lazy.0, "seed {seed}");
+            assert_eq!(naive.2.to_bits(), lazy.2.to_bits(), "seed {seed}");
+            assert!(lazy.1 <= naive.1, "seed {seed}: {} vs {}", lazy.1, naive.1);
+        }
     }
 
     #[test]

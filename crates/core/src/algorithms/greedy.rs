@@ -48,13 +48,27 @@ use crate::system::{SolutionState, UtilitySystem};
 pub enum GreedyVariant {
     /// Evaluate every candidate every round.
     Naive,
-    /// Lazy-forward: re-evaluate only the heap top (default everywhere,
-    /// as in the paper's experiments).
+    /// Lazy-forward (CELF): re-evaluate only stale heap tops, in
+    /// geometrically growing batches through the `group_gains_batch`
+    /// seam (default everywhere, as in the paper's experiments).
     Lazy,
     /// Evaluate a uniform random sample of `sample_size` candidates per
     /// round (sampling without replacement, fresh each round).
     Stochastic { sample_size: usize },
 }
+
+/// CELF is the default everywhere a variant isn't specified explicitly.
+impl Default for GreedyVariant {
+    fn default() -> Self {
+        GreedyVariant::Lazy
+    }
+}
+
+/// Ceiling on one CELF re-evaluation batch. Batches grow 1, 2, 4, … per
+/// selection round, so total re-evaluations stay within 2× of the
+/// one-at-a-time walk while large stale prefixes are still evaluated in
+/// parallel-friendly slabs.
+pub(crate) const CELF_BATCH_CAP: usize = 1024;
 
 /// Configuration for [`greedy`].
 #[derive(Clone, Debug)]
@@ -126,10 +140,12 @@ pub struct GreedyOutcome {
 }
 
 /// Max-heap entry for lazy-forward: stale upper bound on an item's gain.
-struct HeapEntry {
-    bound: f64,
-    item: ItemId,
-    round: usize,
+/// Crate-visible so the subset greedy (`algorithms::distributed`) runs
+/// the exact same CELF ordering and tie-break.
+pub(crate) struct HeapEntry {
+    pub(crate) bound: f64,
+    pub(crate) item: ItemId,
+    pub(crate) round: usize,
 }
 
 impl PartialEq for HeapEntry {
@@ -209,7 +225,7 @@ fn target_reached(value: f64, target: Option<f64>, slack: f64) -> bool {
 /// candidate order with the same strict `> best + 1e-15` improvement rule
 /// as the historical per-item loop, so the winner (and every tie-break)
 /// is identical to evaluating candidates one at a time.
-fn best_candidate<S: UtilitySystem, A: Aggregate>(
+pub(crate) fn best_candidate<S: UtilitySystem, A: Aggregate>(
     state: &mut SolutionState<'_, S>,
     aggregate: &A,
     candidates: &[ItemId],
@@ -247,6 +263,9 @@ enum VariantState {
         /// that an already-finished start state never pays the scan).
         heap: Option<BinaryHeap<HeapEntry>>,
         round: usize,
+        /// Reused stale-batch and gain-matrix buffers.
+        batch: Vec<ItemId>,
+        gains: Vec<f64>,
     },
     Stochastic {
         pool: Vec<ItemId>,
@@ -304,6 +323,8 @@ impl<A: Aggregate> GreedyEngine<A> {
             GreedyVariant::Lazy => VariantState::Lazy {
                 heap: None,
                 round: 0,
+                batch: Vec::new(),
+                gains: Vec::new(),
             },
             GreedyVariant::Stochastic { sample_size } => {
                 let n = state.system().num_items();
@@ -357,7 +378,12 @@ impl<A: Aggregate> GreedyEngine<A> {
                     _ => false,
                 }
             }
-            VariantState::Lazy { heap, round } => {
+            VariantState::Lazy {
+                heap,
+                round,
+                batch,
+                gains,
+            } => {
                 if heap.is_none() {
                     // Round 0: evaluate everything once — through the
                     // batch seam, so the full scan that dominates lazy
@@ -366,11 +392,12 @@ impl<A: Aggregate> GreedyEngine<A> {
                     let candidates: Vec<ItemId> =
                         (0..n as ItemId).filter(|&v| !state.contains(v)).collect();
                     let c = state.system().num_groups();
-                    let mut gains = vec![0.0; candidates.len() * c];
-                    state.gains_batch_into(&candidates, &mut gains);
+                    let mut seed_gains = vec![0.0; candidates.len() * c];
+                    state.gains_batch_into(&candidates, &mut seed_gains);
                     let mut seeded = BinaryHeap::with_capacity(n);
                     for (j, &v) in candidates.iter().enumerate() {
-                        let bound = aggregate.gain(state.group_sums(), &gains[j * c..(j + 1) * c]);
+                        let bound =
+                            aggregate.gain(state.group_sums(), &seed_gains[j * c..(j + 1) * c]);
                         seeded.push(HeapEntry {
                             bound,
                             item: v,
@@ -380,22 +407,48 @@ impl<A: Aggregate> GreedyEngine<A> {
                     *heap = Some(seeded);
                 }
                 let heap = heap.as_mut().expect("seeded above");
-                // Pop until the top entry is fresh for this round.
+                // CELF with batched refreshes: while the top is stale,
+                // pop a slab of consecutive stale entries, re-evaluate
+                // them in ONE `gains_batch_into` call, and push them
+                // back fresh. Stale bounds only overestimate (submodular
+                // gains shrink), so whichever fresh entry surfaces is
+                // the exact argmax with the exact heap tie-break the
+                // one-at-a-time walk selects; batching only changes how
+                // many refreshes happen, never which item wins. Slabs
+                // double from 1 so the refresh total stays within 2× of
+                // the strict walk while big stale prefixes still hit the
+                // parallel batch path.
+                let c = state.system().num_groups();
+                let mut slab = 1usize;
                 let chosen = loop {
-                    match heap.pop() {
+                    match heap.peek() {
                         None => break None,
-                        Some(entry) => {
-                            if entry.round == *round {
-                                break Some(entry);
+                        Some(entry) if entry.round == *round => {
+                            break heap.pop();
+                        }
+                        Some(_) => {}
+                    }
+                    batch.clear();
+                    while batch.len() < slab {
+                        match heap.peek() {
+                            Some(entry) if entry.round != *round => {
+                                batch.push(heap.pop().expect("peeked").item);
                             }
-                            let bound = state.gain(aggregate, entry.item);
-                            heap.push(HeapEntry {
-                                bound,
-                                item: entry.item,
-                                round: *round,
-                            });
+                            _ => break,
                         }
                     }
+                    gains.clear();
+                    gains.resize(batch.len() * c, 0.0);
+                    state.gains_batch_into(batch, gains);
+                    for (j, &v) in batch.iter().enumerate() {
+                        let bound = aggregate.gain(state.group_sums(), &gains[j * c..(j + 1) * c]);
+                        heap.push(HeapEntry {
+                            bound,
+                            item: v,
+                            round: *round,
+                        });
+                    }
+                    slab = (slab * 2).min(CELF_BATCH_CAP);
                 };
                 match chosen {
                     Some(entry) if entry.bound > 1e-15 => {

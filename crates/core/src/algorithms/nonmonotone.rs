@@ -140,6 +140,10 @@ impl<S: UtilitySystem> UtilitySystem for PenalizedSystem<S> {
     fn apply(&self, inner: &mut Self::Inner, item: ItemId) {
         self.inner.apply(inner, item);
     }
+
+    fn gain_kernel(&self) -> &'static str {
+        self.inner.gain_kernel()
+    }
 }
 
 #[cfg(test)]

@@ -91,6 +91,11 @@ pub trait DynUtilitySystem: Send + Sync {
     /// Type-erased [`UtilitySystem::apply`].
     fn dyn_apply(&self, state: &mut DynState, item: ItemId);
 
+    /// Type-erased [`UtilitySystem::gain_kernel`] — the substrate's
+    /// marginal-gain evaluation strategy label, surfaced in
+    /// [`crate::engine::SolveReport::gain_kernel`].
+    fn dyn_gain_kernel(&self) -> &'static str;
+
     /// Number of groups `c`.
     fn dyn_num_groups(&self) -> usize {
         self.dyn_group_sizes().len()
@@ -129,6 +134,10 @@ where
     fn dyn_apply(&self, state: &mut DynState, item: ItemId) {
         self.apply(state.downcast_mut::<S::Inner>(), item);
     }
+
+    fn dyn_gain_kernel(&self) -> &'static str {
+        UtilitySystem::gain_kernel(self)
+    }
 }
 
 /// Adapts a type-erased system back into a [`UtilitySystem`], so the
@@ -165,6 +174,10 @@ impl UtilitySystem for ErasedSystem<'_> {
 
     fn apply(&self, inner: &mut Self::Inner, item: ItemId) {
         self.0.dyn_apply(inner, item);
+    }
+
+    fn gain_kernel(&self) -> &'static str {
+        self.0.dyn_gain_kernel()
     }
 }
 

@@ -96,10 +96,9 @@ pub trait Solver: Send + Sync {
         system: &dyn DynUtilitySystem,
         params: &ScenarioParams,
     ) -> Result<Box<dyn SolveSession>, SolverError> {
-        Ok(Box::new(OneShotSession::new(
-            self.name(),
-            self.solve(system, params)?,
-        )))
+        let mut report = self.solve(system, params)?;
+        report.gain_kernel = system.dyn_gain_kernel().to_string();
+        Ok(Box::new(OneShotSession::new(self.name(), report)))
     }
 }
 
@@ -159,7 +158,7 @@ impl SolverRegistry {
     }
 
     /// Runs the named solver on one cell, filling in the report's
-    /// wall-clock `seconds`.
+    /// wall-clock `seconds` and the substrate's `gain_kernel` label.
     pub fn solve(
         &self,
         name: &str,
@@ -172,6 +171,7 @@ impl SolverRegistry {
         let start = Instant::now();
         let mut report = solver.solve(system, params)?;
         report.seconds = start.elapsed().as_secs_f64();
+        report.gain_kernel = system.dyn_gain_kernel().to_string();
         Ok(report)
     }
 

@@ -45,6 +45,11 @@ pub struct SolveReport {
     pub oracle_calls: u64,
     /// Selection wall-clock seconds (filled by the registry wrapper).
     pub seconds: f64,
+    /// The substrate's marginal-gain evaluation strategy
+    /// ([`crate::system::UtilitySystem::gain_kernel`]), filled by the
+    /// registry wrapper: `"rescan"`, `"incremental_counters"`, or
+    /// `"active_set"`. Diagnostic only — never affects values.
+    pub gain_kernel: String,
     /// Solver-specific diagnostics (bisection rounds, hypervolume,
     /// accepted swaps, …) as labeled scalars.
     pub notes: Vec<(String, f64)>,
@@ -75,6 +80,7 @@ impl SolveReport {
             fell_back: false,
             oracle_calls: 0,
             seconds: 0.0,
+            gain_kernel: String::new(),
             notes: Vec::new(),
         }
     }
@@ -119,6 +125,7 @@ impl ToJson for SolveReport {
             ("fell_back", Value::Bool(self.fell_back)),
             ("oracle_calls", Value::Num(self.oracle_calls as f64)),
             ("seconds", Value::Num(self.seconds)),
+            ("gain_kernel", Value::Str(self.gain_kernel.clone())),
             (
                 "notes",
                 Value::Obj(
@@ -186,6 +193,12 @@ impl FromJson for SolveReport {
                 .and_then(Value::as_u64)
                 .unwrap_or(0),
             seconds: value.get("seconds").and_then(Value::as_f64).unwrap_or(0.0),
+            // Absent in pre-kernel-pass artifacts: default to unlabeled.
+            gain_kernel: value
+                .get("gain_kernel")
+                .and_then(Value::as_str)
+                .unwrap_or("")
+                .to_string(),
             notes,
         })
     }
@@ -287,6 +300,7 @@ mod tests {
         report.fell_back = true;
         report.oracle_calls = 123;
         report.seconds = 0.001_5;
+        report.gain_kernel = "incremental_counters".into();
         report
     }
 

@@ -315,6 +315,7 @@ impl SolveSession for GreedySession {
         let mut report = SolveReport::from_eval(self.solver(), k, self.tau, items, &eval, value);
         report.opt_f_estimate = value;
         report.oracle_calls = self.engine.calls_at(k);
+        report.gain_kernel = system.dyn_gain_kernel().to_string();
         Ok(report)
     }
 
@@ -429,6 +430,7 @@ impl SolveSession for SaturateSession {
         .note("exact_path", if run.exact { 1.0 } else { 0.0 });
         report.opt_g_estimate = run.opt_g_estimate;
         report.oracle_calls = run.oracle_calls;
+        report.gain_kernel = system.dyn_gain_kernel().to_string();
         Ok(report)
     }
 
@@ -539,6 +541,7 @@ impl SolveSession for BsmSaturateSession {
         report.fell_back = run.bsm.fell_back;
         report.oracle_calls = run.bsm.oracle_calls;
         let _ = system;
+        report.gain_kernel = system.dyn_gain_kernel().to_string();
         Ok(report)
     }
 
@@ -654,6 +657,7 @@ impl SolveSession for TsGreedySession {
         report.fell_back = run.bsm.fell_back;
         report.oracle_calls = run.bsm.oracle_calls;
         let _ = system;
+        report.gain_kernel = system.dyn_gain_kernel().to_string();
         Ok(report)
     }
 
@@ -808,6 +812,7 @@ impl SolveSession for GreediSession {
         .note("shards", self.shards as f64)
         .note("best_shard_value", run.best_shard_value);
         report.oracle_calls = run.oracle_calls;
+        report.gain_kernel = system.dyn_gain_kernel().to_string();
         Ok(report)
     }
 
@@ -917,6 +922,7 @@ impl SolveSession for SieveSession {
             SolveReport::from_eval(self.solver(), k, self.tau, run.items, &eval, run.value)
                 .note("candidates", run.candidates as f64);
         report.oracle_calls = run.oracle_calls;
+        report.gain_kernel = system.dyn_gain_kernel().to_string();
         Ok(report)
     }
 

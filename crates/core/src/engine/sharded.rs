@@ -122,6 +122,10 @@ impl UtilitySystem for SubsetSystem {
     fn apply(&self, inner: &mut Self::Inner, item: ItemId) {
         self.base.dyn_apply(inner, self.members[item as usize]);
     }
+
+    fn gain_kernel(&self) -> &'static str {
+        self.base.dyn_gain_kernel()
+    }
 }
 
 /// One shard of a [`ShardedInstance`]: a sub-oracle over exactly the

@@ -86,6 +86,17 @@ pub trait UtilitySystem {
 
     /// Commits `item` into the state.
     fn apply(&self, inner: &mut Self::Inner, item: ItemId);
+
+    /// Short label for the marginal-gain evaluation strategy this system
+    /// uses — `"rescan"` (the default: every `group_gains` call walks the
+    /// item's footprint) or `"incremental_counters"` / `"active_set"` for
+    /// the decremental fast paths (DESIGN.md §9). Purely diagnostic: the
+    /// engine copies it into [`crate::engine::SolveReport::gain_kernel`]
+    /// so benchmark output shows which kernel produced a number. Must not
+    /// affect values.
+    fn gain_kernel(&self) -> &'static str {
+        "rescan"
+    }
 }
 
 /// Row-parallel batch gain evaluation: the standard building block for

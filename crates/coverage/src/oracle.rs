@@ -1,7 +1,7 @@
-//! The maximum-coverage utility oracle, with a packed word-parallel
-//! gain kernel.
+//! The maximum-coverage utility oracle: decremental per-item
+//! uncovered-overlap counters over a packed word-parallel kernel.
 
-use fair_submod_core::bitset::{pack_sparse, FixedBitset};
+use fair_submod_core::bitset::{pack_sparse, FixedBitset, KERNEL_WORDS, WORD_BITS};
 use fair_submod_core::items::ItemId;
 use fair_submod_core::system::UtilitySystem;
 use fair_submod_graphs::Groups;
@@ -11,14 +11,20 @@ use crate::set_system::SetSystem;
 /// Coverage utility system: `f_u(S) = 1` iff user `u` is covered by the
 /// union of the chosen sets (Section 5.1 of the paper).
 ///
-/// Incremental state is a packed per-user coverage bitset
-/// ([`FixedBitset`]). Each item's element list is precomputed as sparse
-/// `(word, mask)` pairs and each group's membership as a dense word
-/// mask, so a marginal-gain query for item `v` ANDs the item's masks
-/// against the complement of the covered words and popcounts per group
-/// — `O(touched words)` instead of `O(|S(v)|)` byte loads, and exactly
-/// the same integer counts as the element-at-a-time kernel (kept as
-/// [`UnpackedCoverageOracle`] for equivalence tests and benchmarks).
+/// Incremental state ([`CoverageInner`]) is a packed per-user coverage
+/// bitset **plus per-item uncovered-overlap counters** (DESIGN.md §9):
+/// `counts[v·c + g]` tracks how many still-uncovered group-`g` users
+/// item `v` would newly cover, so a marginal-gain query is `c` counter
+/// reads. `apply` ORs the chosen item's `(word, mask)` pairs into the
+/// coverage bitset and decrements the counters of every item containing
+/// a newly covered user (via a user → items inverted index built from
+/// the same packed bits, so duplicate listings can never
+/// double-decrement). Each user is drained exactly once per run.
+///
+/// The pre-counter kernels are retained for equivalence tests and
+/// benchmarks: [`CoverageOracle::scan_reference`] (packed word-popcount
+/// rescans) and [`CoverageOracle::unpacked_reference`] (the seed
+/// `Vec<bool>` element-at-a-time kernel).
 #[derive(Clone, Debug)]
 pub struct CoverageOracle {
     sets: SetSystem,
@@ -31,6 +37,13 @@ pub struct CoverageOracle {
     /// Dense per-group word masks over the element universe: bit `u` of
     /// `group_masks[g]` is set iff user `u` belongs to group `g`.
     group_masks: Vec<Vec<u64>>,
+    /// CSR over users into `user_items`: the items whose element masks
+    /// contain each user. Drives the decremental counter updates.
+    user_offsets: Vec<usize>,
+    user_items: Vec<u32>,
+    /// Uncovered-overlap counters at `S = ∅`: `base_counts[v·c + g]` =
+    /// group-`g` elements of item `v` (deduplicated, like the masks).
+    base_counts: Vec<u32>,
 }
 
 impl CoverageOracle {
@@ -64,6 +77,41 @@ impl CoverageOracle {
             group_masks[g as usize][u / 64] |= 1u64 << (u % 64);
         }
 
+        // User → items inverted index and the base counters, both read
+        // off the packed masks (not the raw element lists) so duplicate
+        // listings contribute exactly one bit, one index entry, and one
+        // count — consistent with the word kernels.
+        let n = sets.num_sets();
+        let mut user_offsets = vec![0usize; m + 1];
+        for &(w, mask) in &item_words {
+            let base = w as usize * WORD_BITS;
+            let mut bits = mask;
+            while bits != 0 {
+                let u = base + bits.trailing_zeros() as usize;
+                user_offsets[u + 1] += 1;
+                bits &= bits - 1;
+            }
+        }
+        for u in 0..m {
+            user_offsets[u + 1] += user_offsets[u];
+        }
+        let mut cursor = user_offsets.clone();
+        let mut user_items = vec![0u32; *user_offsets.last().expect("m + 1 > 0")];
+        let mut base_counts = vec![0u32; n * c];
+        for v in 0..n {
+            for &(w, mask) in &item_words[item_offsets[v]..item_offsets[v + 1]] {
+                let base = w as usize * WORD_BITS;
+                let mut bits = mask;
+                while bits != 0 {
+                    let u = base + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    user_items[cursor[u]] = v as u32;
+                    cursor[u] += 1;
+                    base_counts[v * c + group_of[u] as usize] += 1;
+                }
+            }
+        }
+
         Self {
             sets,
             group_of,
@@ -71,6 +119,9 @@ impl CoverageOracle {
             item_offsets,
             item_words,
             group_masks,
+            user_offsets,
+            user_items,
+            base_counts,
         }
     }
 
@@ -90,15 +141,64 @@ impl CoverageOracle {
         }
     }
 
+    /// The packed word-popcount rescan kernel over the same instance —
+    /// the pre-counter implementation (PR 2's kernel, now with the
+    /// 8-word complement-masked popcount), kept as the "before" side of
+    /// the incremental-equivalence tests and perfbase scenarios.
+    pub fn scan_reference(&self) -> ScanCoverageOracle {
+        ScanCoverageOracle(self.clone())
+    }
+
     #[inline]
     fn words_of(&self, item: usize) -> &[(u32, u64)] {
         &self.item_words[self.item_offsets[item]..self.item_offsets[item + 1]]
     }
+
+    /// The word-parallel rescan gain kernel: complement-mask the item's
+    /// words against the covered bitset ([`KERNEL_WORDS`] pairs at a
+    /// time), then popcount the surviving free masks against each
+    /// group's membership words. Integer counts accumulated in `f64`
+    /// (exact), so it agrees bit for bit with the counter reads.
+    fn scan_group_gains(&self, covered: &[u64], item: ItemId, out: &mut [f64]) {
+        out.fill(0.0);
+        let mut free_buf = [0u64; KERNEL_WORDS];
+        let mut word_buf = [0u32; KERNEL_WORDS];
+        for chunk in self.words_of(item as usize).chunks(KERNEL_WORDS) {
+            let mut len = 0usize;
+            for &(w, mask) in chunk {
+                let free = mask & !covered[w as usize];
+                if free != 0 {
+                    free_buf[len] = free;
+                    word_buf[len] = w;
+                    len += 1;
+                }
+            }
+            if len == 0 {
+                continue;
+            }
+            for (g, gm) in self.group_masks.iter().enumerate() {
+                let mut cnt = 0u32;
+                for i in 0..len {
+                    cnt += (free_buf[i] & gm[word_buf[i] as usize]).count_ones();
+                }
+                out[g] += cnt as f64;
+            }
+        }
+    }
+}
+
+/// Incremental evaluation state of [`CoverageOracle`]: the packed
+/// covered bitset plus the live uncovered-overlap counters.
+#[derive(Clone, Debug)]
+pub struct CoverageInner {
+    /// Packed covered flag per user.
+    covered: FixedBitset,
+    /// `counts[v·c + g]` = uncovered group-`g` users item `v` covers.
+    counts: Vec<u32>,
 }
 
 impl UtilitySystem for CoverageOracle {
-    /// Packed covered flag per user.
-    type Inner = FixedBitset;
+    type Inner = CoverageInner;
 
     fn num_items(&self) -> usize {
         self.sets.num_sets()
@@ -113,24 +213,86 @@ impl UtilitySystem for CoverageOracle {
     }
 
     fn init_inner(&self) -> Self::Inner {
-        FixedBitset::zeros(self.sets.num_elements())
+        CoverageInner {
+            covered: FixedBitset::zeros(self.sets.num_elements()),
+            counts: self.base_counts.clone(),
+        }
     }
 
+    /// Counter read: `c` loads per query. Coverage gains are exact
+    /// integers, so this is trivially bit-identical to both rescan
+    /// kernels.
     fn group_gains(&self, inner: &Self::Inner, item: ItemId, out: &mut [f64]) {
-        out.fill(0.0);
-        let covered = inner.words();
+        let c = self.group_sizes.len();
+        let row = &inner.counts[item as usize * c..item as usize * c + c];
+        for (o, &cnt) in out.iter_mut().zip(row) {
+            *o = cnt as f64;
+        }
+    }
+
+    fn group_gains_batch(&self, inner: &Self::Inner, items: &[ItemId], out: &mut [f64]) {
+        fair_submod_core::system::parallel_group_gains(self, inner, items, out);
+    }
+
+    /// Decremental maintenance: OR the item's masks into the coverage
+    /// bitset, then walk only the **newly** covered users and decrement
+    /// the counters of every item containing them. Each user is drained
+    /// at most once per run, so total apply work is bounded by the
+    /// inverted index size.
+    fn apply(&self, inner: &mut Self::Inner, item: ItemId) {
+        let c = self.group_sizes.len();
+        let covered = inner.covered.words_mut();
         for &(w, mask) in self.words_of(item as usize) {
-            let free = mask & !covered[w as usize];
-            if free == 0 {
+            let new = mask & !covered[w as usize];
+            if new == 0 {
                 continue;
             }
-            for (g, gm) in self.group_masks.iter().enumerate() {
-                let cnt = (free & gm[w as usize]).count_ones();
-                if cnt != 0 {
-                    out[g] += cnt as f64;
+            covered[w as usize] |= mask;
+            let base = w as usize * WORD_BITS;
+            let mut bits = new;
+            while bits != 0 {
+                let u = base + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let g = self.group_of[u] as usize;
+                for &t in &self.user_items[self.user_offsets[u]..self.user_offsets[u + 1]] {
+                    inner.counts[t as usize * c + g] -= 1;
                 }
             }
         }
+    }
+
+    fn gain_kernel(&self) -> &'static str {
+        "incremental_counters"
+    }
+}
+
+/// The pre-counter packed kernel: word-popcount rescans per gain query
+/// over a plain covered bitset. See [`CoverageOracle::scan_reference`].
+#[derive(Clone, Debug)]
+pub struct ScanCoverageOracle(CoverageOracle);
+
+impl UtilitySystem for ScanCoverageOracle {
+    /// Packed covered flag per user (no counters to maintain).
+    type Inner = FixedBitset;
+
+    fn num_items(&self) -> usize {
+        self.0.sets.num_sets()
+    }
+
+    fn num_users(&self) -> usize {
+        self.0.sets.num_elements()
+    }
+
+    fn group_sizes(&self) -> &[usize] {
+        &self.0.group_sizes
+    }
+
+    fn init_inner(&self) -> Self::Inner {
+        FixedBitset::zeros(self.0.sets.num_elements())
+    }
+
+    fn group_gains(&self, inner: &Self::Inner, item: ItemId, out: &mut [f64]) {
+        self.0.scan_group_gains(inner.words(), item, out);
     }
 
     fn group_gains_batch(&self, inner: &Self::Inner, items: &[ItemId], out: &mut [f64]) {
@@ -139,7 +301,7 @@ impl UtilitySystem for CoverageOracle {
 
     fn apply(&self, inner: &mut Self::Inner, item: ItemId) {
         let covered = inner.words_mut();
-        for &(w, mask) in self.words_of(item as usize) {
+        for &(w, mask) in self.0.words_of(item as usize) {
             covered[w as usize] |= mask;
         }
     }
@@ -268,5 +430,41 @@ mod tests {
             plain.insert(step);
             assert_eq!(packed.group_sums(), plain.group_sums());
         }
+    }
+
+    #[test]
+    fn counter_kernel_matches_scan_reference_bitwise() {
+        let oracle = figure1_oracle();
+        let scan = oracle.scan_reference();
+        let mut inc = SolutionState::new(&oracle);
+        let mut refc = SolutionState::new(&scan);
+        let mut gi = [0.0; 2];
+        let mut gr = [0.0; 2];
+        for &step in &[2u32, 0, 3, 1] {
+            for v in 0..4u32 {
+                inc.gains_into(v, &mut gi);
+                refc.gains_into(v, &mut gr);
+                assert_eq!(gi.map(f64::to_bits), gr.map(f64::to_bits), "item {v}");
+            }
+            inc.insert(step);
+            refc.insert(step);
+            assert_eq!(inc.group_sums(), refc.group_sums());
+        }
+    }
+
+    #[test]
+    fn overlapping_sets_drain_each_user_once() {
+        // Items 0 and 1 share users 5 and 8: applying one must drop the
+        // other's counters for exactly the shared users, and re-applying
+        // must change nothing.
+        let oracle = figure1_oracle();
+        let mut inner = oracle.init_inner();
+        let mut out = [0.0; 2];
+        oracle.apply(&mut inner, 2); // covers {5, 8, 9}
+        oracle.group_gains(&inner, 1, &mut out); // {5,6,7,8} minus {5,8}
+        assert_eq!(out, [2.0, 0.0]);
+        let snapshot = inner.counts.clone();
+        oracle.apply(&mut inner, 2);
+        assert_eq!(inner.counts, snapshot);
     }
 }

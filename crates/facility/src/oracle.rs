@@ -8,14 +8,26 @@ use crate::benefit::BenefitMatrix;
 /// Facility-location utility system: `f_u(S) = max_{v∈S} b_uv`
 /// (Section 5.3 of the paper).
 ///
-/// Incremental state is the per-user current best benefit, so a
-/// marginal-gain query costs `O(m)` (a scan over the item's benefit
-/// column) and an insertion the same.
+/// Incremental state ([`FacilityInner`]) is the per-user current best
+/// benefit plus the **active-user list**: the users whose best is still
+/// below their precomputed maximum attainable benefit `max_v b_uv`. A
+/// saturated user (`best[u] == maxb[u]`, exact — `best` is only ever
+/// assigned values from `u`'s own benefit row, so the max is reached
+/// exactly) can never contribute to any future gain, so queries and
+/// applies scan only the active users, in ascending id order — the
+/// identical `f64` additions, in the identical order, as a full-`m`
+/// scan whose saturated users contribute nothing (DESIGN.md §9). As
+/// greedy rounds saturate users, per-round cost shrinks from `O(m)`
+/// toward the surviving tail. [`FacilityOracle::rescan_reference`]
+/// keeps the full-scan kernel for equivalence tests and benchmarks.
 #[derive(Clone, Debug)]
 pub struct FacilityOracle {
     benefits: BenefitMatrix,
     group_of: Vec<u32>,
     group_sizes: Vec<usize>,
+    /// `max_v b_uv` per user: the saturation ceiling for the active-set
+    /// filter.
+    max_benefit: Vec<f64>,
 }
 
 impl FacilityOracle {
@@ -38,10 +50,13 @@ impl FacilityOracle {
             group_sizes[g as usize] += 1;
         }
         assert!(group_sizes.iter().all(|&s| s > 0), "empty group");
+        let m = benefits.num_users();
+        let max_benefit = (0..m).map(|u| row_max(&benefits, u)).collect();
         Self {
             benefits,
             group_of,
             group_sizes,
+            max_benefit,
         }
     }
 
@@ -49,11 +64,43 @@ impl FacilityOracle {
     pub fn benefits(&self) -> &BenefitMatrix {
         &self.benefits
     }
+
+    /// The full-`m`-scan kernel over the same instance — the pre-active-
+    /// set implementation, bit-identical to the filtered scans (saturated
+    /// users contribute exactly nothing to either) and kept as the
+    /// "before" side of the incremental-equivalence tests and perfbase.
+    pub fn rescan_reference(&self) -> FacilityRescanOracle {
+        FacilityRescanOracle(self.clone())
+    }
+}
+
+/// Largest benefit in user `u`'s row (0.0 for an all-nonpositive row,
+/// matching the `f_u(∅) = 0` baseline).
+fn row_max(benefits: &BenefitMatrix, u: usize) -> f64 {
+    let mut best = 0.0f64;
+    for v in 0..benefits.num_items() {
+        let b = benefits.benefit(u, v);
+        if b > best {
+            best = b;
+        }
+    }
+    best
+}
+
+/// Incremental evaluation state of [`FacilityOracle`]: per-user current
+/// best benefits plus the shrinking active-user list.
+#[derive(Clone, Debug)]
+pub struct FacilityInner {
+    /// Current best benefit per user (all `m`, saturated included, so
+    /// downstream reads stay O(1)).
+    best: Vec<f64>,
+    /// Users with `best[u] < max_v b_uv`, ascending — the only users a
+    /// future gain can come from.
+    active: Vec<u32>,
 }
 
 impl UtilitySystem for FacilityOracle {
-    /// Current best benefit per user.
-    type Inner = Vec<f64>;
+    type Inner = FacilityInner;
 
     fn num_items(&self) -> usize {
         self.benefits.num_items()
@@ -68,13 +115,27 @@ impl UtilitySystem for FacilityOracle {
     }
 
     fn init_inner(&self) -> Self::Inner {
-        vec![0.0; self.benefits.num_users()]
+        let m = self.benefits.num_users();
+        FacilityInner {
+            best: vec![0.0; m],
+            // Users whose ceiling is 0.0 can never gain: inactive from
+            // the start, exactly as a full scan would never add for them.
+            active: (0..m as u32)
+                .filter(|&u| self.max_benefit[u as usize] > 0.0)
+                .collect(),
+        }
     }
 
+    /// Filtered scan: only still-improvable users, ascending. The `f64`
+    /// additions performed are exactly those a full-`m` ascending scan
+    /// performs (saturated users fail `b > cur` there: no benefit can
+    /// exceed their ceiling), in the same order — bit-identical sums.
     fn group_gains(&self, inner: &Self::Inner, item: ItemId, out: &mut [f64]) {
         out.fill(0.0);
         let v = item as usize;
-        for (u, &cur) in inner.iter().enumerate() {
+        for &u in &inner.active {
+            let u = u as usize;
+            let cur = inner.best[u];
             let b = self.benefits.benefit(u, v);
             if b > cur {
                 out[self.group_of[u] as usize] += b - cur;
@@ -88,8 +149,69 @@ impl UtilitySystem for FacilityOracle {
 
     fn apply(&self, inner: &mut Self::Inner, item: ItemId) {
         let v = item as usize;
-        for (u, cur) in inner.iter_mut().enumerate() {
+        for &u in &inner.active {
+            let u = u as usize;
             let b = self.benefits.benefit(u, v);
+            if b > inner.best[u] {
+                inner.best[u] = b;
+            }
+        }
+        let best = &inner.best;
+        let maxb = &self.max_benefit;
+        inner
+            .active
+            .retain(|&u| best[u as usize] < maxb[u as usize]);
+    }
+
+    fn gain_kernel(&self) -> &'static str {
+        "active_set"
+    }
+}
+
+/// The pre-active-set [`FacilityOracle`] kernel: every query scans all
+/// `m` users. See [`FacilityOracle::rescan_reference`].
+#[derive(Clone, Debug)]
+pub struct FacilityRescanOracle(FacilityOracle);
+
+impl UtilitySystem for FacilityRescanOracle {
+    /// Current best benefit per user.
+    type Inner = Vec<f64>;
+
+    fn num_items(&self) -> usize {
+        self.0.benefits.num_items()
+    }
+
+    fn num_users(&self) -> usize {
+        self.0.benefits.num_users()
+    }
+
+    fn group_sizes(&self) -> &[usize] {
+        &self.0.group_sizes
+    }
+
+    fn init_inner(&self) -> Self::Inner {
+        vec![0.0; self.0.benefits.num_users()]
+    }
+
+    fn group_gains(&self, inner: &Self::Inner, item: ItemId, out: &mut [f64]) {
+        out.fill(0.0);
+        let v = item as usize;
+        for (u, &cur) in inner.iter().enumerate() {
+            let b = self.0.benefits.benefit(u, v);
+            if b > cur {
+                out[self.0.group_of[u] as usize] += b - cur;
+            }
+        }
+    }
+
+    fn group_gains_batch(&self, inner: &Self::Inner, items: &[ItemId], out: &mut [f64]) {
+        fair_submod_core::system::parallel_group_gains(self, inner, items, out);
+    }
+
+    fn apply(&self, inner: &mut Self::Inner, item: ItemId) {
+        let v = item as usize;
+        for (u, cur) in inner.iter_mut().enumerate() {
+            let b = self.0.benefits.benefit(u, v);
             if b > *cur {
                 *cur = b;
             }
@@ -133,6 +255,43 @@ mod tests {
         // User 0: 0.2 < 1.0 → 0; user 1: 0.0 < 0.5 → 0; user 2: 0.9 > 0.
         assert_eq!(out[0], 0.0);
         assert!((out[1] - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn active_set_matches_rescan_reference_bitwise() {
+        let o = small();
+        let rescan = o.rescan_reference();
+        let mut inc = SolutionState::new(&o);
+        let mut refc = SolutionState::new(&rescan);
+        let mut gi = [0.0; 2];
+        let mut gr = [0.0; 2];
+        for &step in &[1u32, 0] {
+            for v in 0..2u32 {
+                inc.gains_into(v, &mut gi);
+                refc.gains_into(v, &mut gr);
+                assert_eq!(gi.map(f64::to_bits), gr.map(f64::to_bits), "item {v}");
+            }
+            inc.insert(step);
+            refc.insert(step);
+            assert_eq!(inc.group_sums(), refc.group_sums());
+        }
+    }
+
+    #[test]
+    fn saturated_users_leave_the_active_list() {
+        let o = small();
+        let mut inner = o.init_inner();
+        assert_eq!(inner.active, vec![0, 1, 2]);
+        // Item 0 gives users 0 and 1 their row maxima (1.0 and 0.5);
+        // user 2's maximum (0.9) sits on item 1.
+        o.apply(&mut inner, 0);
+        assert_eq!(inner.active, vec![2]);
+        o.apply(&mut inner, 1);
+        assert!(inner.active.is_empty());
+        let mut out = [0.0; 2];
+        o.group_gains(&inner, 0, &mut out);
+        o.group_gains(&inner, 1, &mut out);
+        assert_eq!(out, [0.0, 0.0]);
     }
 
     #[test]

@@ -7,19 +7,29 @@
 //!
 //! * group sum estimate: `σ_i(S) = m_i · (covered group-i RR sets)/r_i`,
 //!   an unbiased estimator of `Σ_{u∈U_i} P_u(S)`;
-//! * marginal gains via an inverted index node → RR sets.
+//! * marginal gains from **per-item uncovered-coverage counters**
+//!   maintained decrementally (DESIGN.md §9): `Δ_i(v|S) = w_i ·
+//!   #{uncovered group-i RR sets containing v}`, so a gain query is `c`
+//!   counter reads and an `apply` touches only the nodes of the RR sets
+//!   it newly covers — each RR set is drained exactly once per run,
+//!   making a full greedy round loop near-linear in the arena size
+//!   instead of rescan-quadratic. [`RisOracle::rescan_reference`] keeps
+//!   the index-scanning kernel for equivalence tests and `perfbase`.
+
+use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 
+use fair_submod_core::bitset::FixedBitset;
 use fair_submod_core::items::ItemId;
 use fair_submod_core::system::UtilitySystem;
 use fair_submod_graphs::csr::NodeId;
 use fair_submod_graphs::{Graph, Groups};
 
-use crate::models::DiffusionModel;
-use crate::rr::{sample_rr, RrScratch};
+use crate::models::{DiffusionModel, EdgeWeighting};
+use crate::rr::{sample_rr_into, sample_rr_masked_into, RrInMasks, RrScratch};
 
 /// RR-sampling configuration.
 #[derive(Clone, Debug)]
@@ -63,10 +73,28 @@ pub struct RisOracle {
     rr_group: Vec<u32>,
     /// `m_i / r_i` per group: converting covered counts to group sums.
     weight: Vec<f64>,
+    /// RR-set arena: set `i`'s nodes are
+    /// `rr_nodes[rr_offsets[i]..rr_offsets[i+1]]`, in sample order.
+    rr_offsets: Vec<usize>,
+    rr_nodes: Vec<u32>,
     /// Inverted index: CSR of node → RR-set ids containing it.
     idx_offsets: Vec<usize>,
     idx_rr: Vec<u32>,
+    /// Uncovered-coverage counters at `S = ∅`: `base_counts[v·c + g]` =
+    /// number of group-`g` RR sets containing node `v`. Cloned into
+    /// every fresh [`RisInner`].
+    base_counts: Vec<u32>,
     num_rr: usize,
+}
+
+/// Wall-clock split of [`RisOracle::generate_profiled`]: where oracle
+/// construction spends its time.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RisBuildPhases {
+    /// RR-set sampling (the parallel reverse-BFS sweep).
+    pub sample_seconds: f64,
+    /// Inverted-index + base-counter construction.
+    pub index_seconds: f64,
 }
 
 impl RisOracle {
@@ -77,6 +105,17 @@ impl RisOracle {
         groups: &Groups,
         cfg: &RisConfig,
     ) -> Self {
+        Self::generate_profiled(graph, model, groups, cfg).0
+    }
+
+    /// [`RisOracle::generate`] with per-phase wall-clock timings, the
+    /// measurement hook behind `perfbase --profile`.
+    pub fn generate_profiled(
+        graph: &Graph,
+        model: DiffusionModel,
+        groups: &Groups,
+        cfg: &RisConfig,
+    ) -> (Self, RisBuildPhases) {
         assert_eq!(graph.num_nodes(), groups.num_users());
         let n = graph.num_nodes();
         let m = groups.num_users();
@@ -109,49 +148,91 @@ impl RisOracle {
         // sequential stream — so the sample is identical for any thread
         // count; chunk boundaries depend only on `total_rr`, and the
         // ordered collect reassembles sets in RR-id order. One
-        // `RrScratch` (an `n`-sized visited buffer) lives per in-flight
-        // chunk — created and dropped inside the task — so peak scratch
-        // memory scales with the worker count, not the chunk count.
+        // `RrScratch` (an `n`-sized visited buffer) and one node arena
+        // live per in-flight chunk — created and dropped inside the task
+        // — so each worker appends every sampled set into a single
+        // growing buffer instead of allocating a `Vec` per RR set, and
+        // peak scratch memory scales with the worker count, not the
+        // chunk count.
+        let t0 = Instant::now();
+        // Small uniform-`p` IC graphs get the mask-accelerated sampler
+        // (same RNG stream, same sets — see `sample_rr_masked_into`);
+        // the shared read-only mask table is built once, outside the
+        // parallel loop.
+        let masks = RrInMasks::applies(graph, model).then(|| RrInMasks::build(graph));
+        let uniform_p = match model {
+            DiffusionModel::IndependentCascade(EdgeWeighting::Uniform(p)) => p,
+            _ => 0.0,
+        };
         let ids: Vec<u32> = (0..total_rr as u32).collect();
         let chunk_size = total_rr.div_ceil(64).max(1);
-        let sampled: Vec<Vec<Vec<NodeId>>> = ids
+        let sampled: Vec<(Vec<NodeId>, Vec<u32>)> = ids
             .par_chunks(chunk_size)
             .map(|chunk| {
                 let mut scratch = RrScratch::new(n);
-                chunk
-                    .iter()
-                    .map(|&i| {
-                        let mut rng = StdRng::seed_from_u64(rr_stream_seed(cfg.seed, i as usize));
-                        let bucket = &members[rr_group[i as usize] as usize];
-                        let root = bucket[rng.gen_range(0..bucket.len())];
-                        sample_rr(graph, model, root, &mut rng, &mut scratch)
-                    })
-                    .collect()
+                let mut arena: Vec<NodeId> = Vec::with_capacity(chunk.len() * 8);
+                let mut lens: Vec<u32> = Vec::with_capacity(chunk.len());
+                for &i in chunk {
+                    let mut rng = StdRng::seed_from_u64(rr_stream_seed(cfg.seed, i as usize));
+                    let bucket = &members[rr_group[i as usize] as usize];
+                    let root = bucket[rng.gen_range(0..bucket.len())];
+                    let len = match &masks {
+                        Some(m) => sample_rr_masked_into(
+                            m,
+                            uniform_p,
+                            root,
+                            &mut rng,
+                            &mut scratch,
+                            &mut arena,
+                        ),
+                        None => {
+                            sample_rr_into(graph, model, root, &mut rng, &mut scratch, &mut arena)
+                        }
+                    };
+                    lens.push(len as u32);
+                }
+                (arena, lens)
             })
             .collect();
-        let rr_sets: Vec<Vec<NodeId>> = sampled.into_iter().flatten().collect();
+        let sample_seconds = t0.elapsed().as_secs_f64();
 
-        // Build the inverted index with counting sort over nodes.
-        let mut pairs: Vec<(NodeId, u32)> = Vec::new();
-        for (rr_id, rr) in rr_sets.iter().enumerate() {
-            for &node in rr {
-                pairs.push((node, rr_id as u32));
+        // Splice the per-chunk arenas (already in RR-id order) into one
+        // flat arena with offsets, then invert it into the node → RR-set
+        // index by counting sort — no per-pair materialization: the
+        // counting pass reads the arena directly.
+        let t1 = Instant::now();
+        let total_nodes: usize = sampled.iter().map(|(a, _)| a.len()).sum();
+        let mut rr_nodes: Vec<u32> = Vec::with_capacity(total_nodes);
+        let mut rr_offsets: Vec<usize> = Vec::with_capacity(total_rr + 1);
+        rr_offsets.push(0);
+        for (arena, lens) in &sampled {
+            rr_nodes.extend_from_slice(arena);
+            for &len in lens {
+                let last = *rr_offsets.last().expect("seeded with 0");
+                rr_offsets.push(last + len as usize);
             }
         }
+        drop(sampled);
 
         let mut idx_offsets = vec![0usize; n + 1];
-        for &(node, _) in &pairs {
+        for &node in &rr_nodes {
             idx_offsets[node as usize + 1] += 1;
         }
         for i in 0..n {
             idx_offsets[i + 1] += idx_offsets[i];
         }
         let mut cursor = idx_offsets.clone();
-        let mut idx_rr = vec![0u32; pairs.len()];
-        for &(node, rr) in &pairs {
-            idx_rr[cursor[node as usize]] = rr;
-            cursor[node as usize] += 1;
+        let mut idx_rr = vec![0u32; rr_nodes.len()];
+        let mut base_counts = vec![0u32; n * c];
+        for rr_id in 0..total_rr {
+            let gi = rr_group[rr_id] as usize;
+            for &node in &rr_nodes[rr_offsets[rr_id]..rr_offsets[rr_id + 1]] {
+                idx_rr[cursor[node as usize]] = rr_id as u32;
+                cursor[node as usize] += 1;
+                base_counts[node as usize * c + gi] += 1;
+            }
         }
+        let index_seconds = t1.elapsed().as_secs_f64();
 
         let weight = sizes
             .iter()
@@ -159,21 +240,35 @@ impl RisOracle {
             .map(|(&mi, &ri)| mi as f64 / ri as f64)
             .collect();
 
-        Self {
-            n,
-            m,
-            group_sizes: sizes,
-            rr_group,
-            weight,
-            idx_offsets,
-            idx_rr,
-            num_rr: total_rr,
-        }
+        (
+            Self {
+                n,
+                m,
+                group_sizes: sizes,
+                rr_group,
+                weight,
+                rr_offsets,
+                rr_nodes,
+                idx_offsets,
+                idx_rr,
+                base_counts,
+                num_rr: total_rr,
+            },
+            RisBuildPhases {
+                sample_seconds,
+                index_seconds,
+            },
+        )
     }
 
     /// Number of materialized RR sets.
     pub fn num_rr_sets(&self) -> usize {
         self.num_rr
+    }
+
+    /// Total nodes across all RR sets (the arena length).
+    pub fn arena_len(&self) -> usize {
+        self.rr_nodes.len()
     }
 
     /// RR sets containing `node`.
@@ -182,16 +277,41 @@ impl RisOracle {
         &self.idx_rr[self.idx_offsets[node]..self.idx_offsets[node + 1]]
     }
 
+    /// Nodes of RR set `rr`, in sample order.
+    #[inline]
+    fn nodes_of(&self, rr: usize) -> &[u32] {
+        &self.rr_nodes[self.rr_offsets[rr]..self.rr_offsets[rr + 1]]
+    }
+
     /// Estimated overall spread (expected influenced users) of `items`.
     pub fn estimated_spread(&self, items: &[ItemId]) -> f64 {
         let eval = fair_submod_core::metrics::evaluate(self, items);
         eval.f * self.m as f64
     }
+
+    /// The index-scanning kernel over the same RR sample: every gain
+    /// query walks the item's inverted-index slice instead of reading
+    /// counters. Bit-identical to the incremental oracle (both compute
+    /// count-then-multiply per group) and kept as the "before" side of
+    /// the `ris_incremental_vs_rescan` perfbase scenario and the
+    /// incremental-equivalence property tests.
+    pub fn rescan_reference(&self) -> RisRescanOracle {
+        RisRescanOracle(self.clone())
+    }
+}
+
+/// Incremental evaluation state of [`RisOracle`]: which RR sets are
+/// covered, plus the live uncovered-coverage counters (DESIGN.md §9).
+#[derive(Clone, Debug)]
+pub struct RisInner {
+    /// Covered flag per RR set.
+    covered: FixedBitset,
+    /// `counts[v·c + g]` = uncovered group-`g` RR sets containing `v`.
+    counts: Vec<u32>,
 }
 
 impl UtilitySystem for RisOracle {
-    /// Covered flag per RR set.
-    type Inner = Vec<bool>;
+    type Inner = RisInner;
 
     fn num_items(&self) -> usize {
         self.n
@@ -206,16 +326,87 @@ impl UtilitySystem for RisOracle {
     }
 
     fn init_inner(&self) -> Self::Inner {
-        vec![false; self.num_rr]
+        RisInner {
+            covered: FixedBitset::zeros(self.num_rr),
+            counts: self.base_counts.clone(),
+        }
+    }
+
+    /// Counter read: `c` loads and one multiply per group. The product
+    /// `(count as f64) · w_g` is exactly what the rescan kernel computes
+    /// (it accumulates the integer count in `f64` — exact below 2^53 —
+    /// then multiplies once), so both kernels agree bit for bit.
+    fn group_gains(&self, inner: &Self::Inner, item: ItemId, out: &mut [f64]) {
+        let c = self.weight.len();
+        let row = &inner.counts[item as usize * c..item as usize * c + c];
+        for ((o, &cnt), &w) in out.iter_mut().zip(row).zip(&self.weight) {
+            *o = cnt as f64 * w;
+        }
+    }
+
+    fn group_gains_batch(&self, inner: &Self::Inner, items: &[ItemId], out: &mut [f64]) {
+        fair_submod_core::system::parallel_group_gains(self, inner, items, out);
+    }
+
+    /// Decremental maintenance: for each RR set this item newly covers,
+    /// mark it covered and decrement the counter of every node it
+    /// contains. Each RR set is drained at most once per run, so the
+    /// total apply work over a whole greedy run is bounded by the arena
+    /// size — gains stay exact without ever rescanning.
+    fn apply(&self, inner: &mut Self::Inner, item: ItemId) {
+        let c = self.weight.len();
+        for &rr in self.rr_of(item as usize) {
+            if !inner.covered.contains(rr as usize) {
+                inner.covered.insert(rr as usize);
+                let gi = self.rr_group[rr as usize] as usize;
+                for &node in self.nodes_of(rr as usize) {
+                    inner.counts[node as usize * c + gi] -= 1;
+                }
+            }
+        }
+    }
+
+    fn gain_kernel(&self) -> &'static str {
+        "incremental_counters"
+    }
+}
+
+/// The pre-incremental [`RisOracle`] kernel: rescan-per-query over the
+/// inverted index. See [`RisOracle::rescan_reference`].
+#[derive(Clone, Debug)]
+pub struct RisRescanOracle(RisOracle);
+
+impl UtilitySystem for RisRescanOracle {
+    /// Covered flag per RR set (no counters to maintain).
+    type Inner = FixedBitset;
+
+    fn num_items(&self) -> usize {
+        self.0.n
+    }
+
+    fn num_users(&self) -> usize {
+        self.0.m
+    }
+
+    fn group_sizes(&self) -> &[usize] {
+        &self.0.group_sizes
+    }
+
+    fn init_inner(&self) -> Self::Inner {
+        FixedBitset::zeros(self.0.num_rr)
     }
 
     fn group_gains(&self, inner: &Self::Inner, item: ItemId, out: &mut [f64]) {
         out.fill(0.0);
-        for &rr in self.rr_of(item as usize) {
-            if !inner[rr as usize] {
-                let gi = self.rr_group[rr as usize] as usize;
-                out[gi] += self.weight[gi];
+        // Accumulate integer counts in f64 (exact), multiply once at the
+        // end — the same count-then-multiply the counter kernel does.
+        for &rr in self.0.rr_of(item as usize) {
+            if !inner.contains(rr as usize) {
+                out[self.0.rr_group[rr as usize] as usize] += 1.0;
             }
+        }
+        for (o, &w) in out.iter_mut().zip(&self.0.weight) {
+            *o *= w;
         }
     }
 
@@ -224,8 +415,8 @@ impl UtilitySystem for RisOracle {
     }
 
     fn apply(&self, inner: &mut Self::Inner, item: ItemId) {
-        for &rr in self.rr_of(item as usize) {
-            inner[rr as usize] = true;
+        for &rr in self.0.rr_of(item as usize) {
+            inner.insert(rr as usize);
         }
     }
 }
@@ -298,9 +489,43 @@ mod tests {
         let par = RisOracle::generate(&g, DiffusionModel::ic(0.15), &groups, &cfg);
         rayon::set_num_threads(0);
         assert_eq!(seq.rr_group, par.rr_group);
+        assert_eq!(seq.rr_offsets, par.rr_offsets);
+        assert_eq!(seq.rr_nodes, par.rr_nodes);
         assert_eq!(seq.idx_offsets, par.idx_offsets);
         assert_eq!(seq.idx_rr, par.idx_rr);
+        assert_eq!(seq.base_counts, par.base_counts);
         assert_eq!(seq.weight, par.weight);
+    }
+
+    #[test]
+    fn counter_kernel_matches_rescan_reference_bitwise() {
+        use fair_submod_core::system::SolutionState;
+        let g = sbm(&[40, 40], 0.2, 0.05, 13);
+        let groups = Groups::from_ratios(80, &[("a", 0.5), ("b", 0.5)], 4);
+        let oracle = RisOracle::generate(
+            &g,
+            DiffusionModel::ic(0.15),
+            &groups,
+            &RisConfig::new(1_500, 29),
+        );
+        let rescan = oracle.rescan_reference();
+        let mut inc = SolutionState::new(&oracle);
+        let mut refc = SolutionState::new(&rescan);
+        let c = oracle.num_groups();
+        let mut gi = vec![0.0; c];
+        let mut gr = vec![0.0; c];
+        for &step in &[3u32, 61, 0, 17, 42] {
+            for v in 0..80u32 {
+                inc.gains_into(v, &mut gi);
+                refc.gains_into(v, &mut gr);
+                for g in 0..c {
+                    assert_eq!(gi[g].to_bits(), gr[g].to_bits(), "item {v} group {g}");
+                }
+            }
+            inc.insert(step);
+            refc.insert(step);
+            assert_eq!(inc.group_sums(), refc.group_sums());
+        }
     }
 
     #[test]
