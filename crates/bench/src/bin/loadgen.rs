@@ -1,7 +1,13 @@
-//! Load generator for the solve daemon (`fair-submod-service`): hammers
-//! a running daemon with a mixed read/solve workload over keep-alive
-//! connections and writes p50/p95/p99 latency and throughput to
-//! `BENCH_service.json`.
+//! Load generator for the solve daemon (`fair-submod-service`): drives
+//! a daemon with a mixed read/solve workload over many concurrent
+//! keep-alive connections and writes p50/p95/p99/max latency,
+//! throughput, and error/shed counts to `BENCH_service.json`.
+//!
+//! The client is itself event-driven (one thread, readiness loop over
+//! the workspace `polling` shim), so it can hold 1k+ concurrent
+//! connections without a thread per connection — the same architecture
+//! as the server under test, which keeps the measurement from being
+//! client-bound at high concurrency.
 //!
 //! The workload rotates three instance recipes (MC `c=2`, MC `c=4`,
 //! FL `c=2`) across three solvers, interleaved with `/healthz` and
@@ -15,25 +21,42 @@
 //! Usage:
 //!
 //! ```text
-//! # against a running daemon
-//! cargo run -p fair-submod-bench --release --bin loadgen -- --addr 127.0.0.1:7878
-//! # spawn a --quick daemon on an ephemeral port, then hammer it (CI)
-//! cargo run -p fair-submod-bench --release --bin loadgen -- --quick --spawn
+//! # against a running daemon, 256 keep-alive connections
+//! cargo run -p fair-submod-bench --release --bin loadgen -- \
+//!     --addr 127.0.0.1:7878 --connections 256
+//! # CI: spawn both servers, sweep 16/256/1024 connections, gate
+//! cargo run -p fair-submod-bench --release --bin loadgen -- \
+//!     --quick --spawn --compare --min-rps 200 --max-p99-ms 2000
 //! ```
 //!
-//! Flags: `--addr HOST:PORT`, `--spawn` (start `fair-submod-service`
-//! itself and kill it afterwards), `--quick` (fewer requests, smaller
-//! instances), `--requests N`, `--workers N`, `--out PATH`.
+//! Flags:
+//!
+//! - `--addr HOST:PORT` target a running daemon / `--spawn` start one
+//! - `--blocking` spawn (or label) the thread-per-connection server
+//! - `--compare` spawn event-driven AND blocking daemons, sweep both,
+//!   and record the throughput ratio at the largest connection count
+//! - `--connections N` concurrent connections (default 16)
+//! - `--sweep` run at 16, 256, and 1024 connections instead of one N
+//! - `--keepalive` / `--no-keepalive` reuse connections (default on)
+//! - `--pipeline D` keep D requests in flight per connection (default 1)
+//! - `--mode closed|open` closed-loop (issue-on-completion) or
+//!   open-loop (issue on a fixed schedule; latencies count queueing
+//!   from the scheduled instant, so there is no coordinated omission)
+//! - `--rate R` open-loop arrival rate in requests/second
+//! - `--requests N` requests per run, `--quick`, `--out PATH`
+//! - `--min-rps F` / `--max-p99-ms F` CI gates on the event server's
+//!   largest-connection-count run (non-zero exit when violated)
 
+use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::os::unix::io::AsRawFd;
 use std::time::{Duration, Instant};
 
+use polling::{Interest, Poller};
 use serde::json::{obj, parse_bytes, Value};
 
-// ── Minimal HTTP/1.1 client (keep-alive) ─────────────────────────────
+// ── Blocking HTTP/1.1 helper (warmup + counters only) ────────────────
 
 struct Reply {
     status: u16,
@@ -47,8 +70,6 @@ fn http_request(
     body: &str,
 ) -> Result<Reply, String> {
     let _ = stream.set_nodelay(true);
-    // One write per request (see the server's write_response): keeps
-    // Nagle + delayed-ACK from inserting ~40ms per round trip.
     let mut message = format!(
         "{method} {path} HTTP/1.1\r\nHost: loadgen\r\nContent-Length: {}\r\n\r\n",
         body.len()
@@ -183,11 +204,356 @@ fn class_stats(label: &str, latencies: &mut Vec<f64>) -> Value {
     ])
 }
 
+// ── Event-driven client ──────────────────────────────────────────────
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Mode {
+    Closed,
+    Open,
+}
+
+#[derive(Clone)]
+struct LoadOpts {
+    connections: usize,
+    pipeline: usize,
+    keepalive: bool,
+    mode: Mode,
+    /// Open-loop arrival rate across the whole pool (requests/second).
+    rate: f64,
+    total: usize,
+}
+
+struct RunResult {
+    samples: Vec<(Class, f64)>,
+    errors: usize,
+    shed: usize,
+    wall_seconds: f64,
+}
+
+/// Incremental HTTP/1.1 response scan: `Ok(Some((status, consumed)))`
+/// once a full head + `Content-Length` body is buffered.
+fn try_parse_response(buf: &[u8]) -> Result<Option<(u16, usize)>, String> {
+    let Some(head_end) = buf.windows(4).position(|w| w == b"\r\n\r\n") else {
+        return Ok(None);
+    };
+    let head = std::str::from_utf8(&buf[..head_end]).map_err(|_| "non-UTF-8 head".to_string())?;
+    let mut lines = head.split("\r\n");
+    let status: u16 = lines
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line in {head:?}"))?;
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad content-length {value:?}"))?;
+            }
+        }
+    }
+    let total = head_end + 4 + content_length;
+    Ok((buf.len() >= total).then_some((status, total)))
+}
+
+struct ClientConn {
+    stream: TcpStream,
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    read_buf: Vec<u8>,
+    /// FIFO of in-flight requests: (class, latency clock start).
+    outstanding: VecDeque<(Class, Instant)>,
+    interest: Interest,
+    /// Open-loop: when this connection issues its next request.
+    next_due: Instant,
+}
+
+fn connect_nonblocking(addr: &str) -> ClientConn {
+    // Retry briefly: a concurrent burst of connects can overflow the
+    // listener backlog while the server drains its accept queue.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let stream = loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => break s,
+            Err(e) => {
+                assert!(Instant::now() < deadline, "connect to {addr}: {e}");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+    };
+    stream.set_nodelay(true).expect("nodelay");
+    stream.set_nonblocking(true).expect("nonblocking");
+    ClientConn {
+        stream,
+        write_buf: Vec::new(),
+        write_pos: 0,
+        read_buf: Vec::new(),
+        outstanding: VecDeque::new(),
+        interest: Interest::READABLE,
+        next_due: Instant::now(),
+    }
+}
+
+impl ClientConn {
+    fn encode(&mut self, class: Class, bodies: &[String], index: usize, keepalive: bool) {
+        let (method, path, body): (&str, &str, &str) = match class {
+            Class::Solve => ("POST", "/solve", &bodies[index % bodies.len()]),
+            Class::Healthz => ("GET", "/healthz", ""),
+            Class::Registry => ("GET", "/registry", ""),
+        };
+        let connection = if keepalive { "keep-alive" } else { "close" };
+        self.write_buf.extend_from_slice(
+            format!(
+                "{method} {path} HTTP/1.1\r\nHost: loadgen\r\nConnection: {connection}\r\nContent-Length: {}\r\n\r\n",
+                body.len()
+            )
+            .as_bytes(),
+        );
+        self.write_buf.extend_from_slice(body.as_bytes());
+    }
+
+    /// Writes as much buffered request data as the socket accepts.
+    /// `false` on a fatal transport error.
+    fn flush(&mut self) -> bool {
+        while self.write_pos < self.write_buf.len() {
+            match self.stream.write(&self.write_buf[self.write_pos..]) {
+                Ok(0) => return false,
+                Ok(n) => self.write_pos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+        if self.write_pos == self.write_buf.len() {
+            self.write_buf.clear();
+            self.write_pos = 0;
+        }
+        true
+    }
+
+    fn wants_write(&self) -> bool {
+        self.write_pos < self.write_buf.len()
+    }
+}
+
+/// Drives `opts.total` requests through `opts.connections` concurrent
+/// connections with a single-threaded readiness loop.
+fn run_load(addr: &str, bodies: &[String], opts: &LoadOpts) -> RunResult {
+    let mut poller = Poller::new().expect("poller");
+    let mut conns: Vec<ClientConn> = (0..opts.connections)
+        .map(|_| connect_nonblocking(addr))
+        .collect();
+    for (token, conn) in conns.iter_mut().enumerate() {
+        poller
+            .register(conn.stream.as_raw_fd(), token, conn.interest)
+            .expect("register");
+    }
+
+    let started = Instant::now();
+    let mut cursor = 0usize; // next global request index
+    let mut samples: Vec<(Class, f64)> = Vec::with_capacity(opts.total);
+    let mut errors = 0usize;
+    let mut shed = 0usize;
+    let deadline = started + Duration::from_secs(600);
+
+    // Open-loop: stagger each connection's schedule across one period
+    // so arrivals spread evenly instead of beating.
+    if opts.mode == Mode::Open {
+        let period = Duration::from_secs_f64(opts.connections as f64 / opts.rate.max(1e-9));
+        for (i, conn) in conns.iter_mut().enumerate() {
+            conn.next_due = started + period.mul_f64(i as f64 / opts.connections as f64);
+        }
+    }
+
+    // A connection's slot in the poller is its index; interest changes
+    // are applied lazily after each burst of work.
+    let mut events = Vec::new();
+    macro_rules! issue_on {
+        ($conn:expr, $clock:expr) => {
+            if cursor < opts.total {
+                let class = class_for(cursor);
+                $conn.encode(class, bodies, cursor, opts.keepalive);
+                $conn.outstanding.push_back((class, $clock));
+                cursor += 1;
+            }
+        };
+    }
+
+    // Prime the closed loop: `pipeline` requests in flight per
+    // connection (the open loop issues purely on schedule).
+    if opts.mode == Mode::Closed {
+        for conn in conns.iter_mut() {
+            for _ in 0..opts.pipeline {
+                issue_on!(conn, Instant::now());
+            }
+        }
+    }
+
+    let mut dead: Vec<usize> = Vec::new();
+    loop {
+        let completed = samples.len() + errors + shed;
+        if completed >= opts.total {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "loadgen run wedged: {completed}/{} after 600s",
+            opts.total
+        );
+
+        // Flush pending writes and sync interest before sleeping.
+        for (token, conn) in conns.iter_mut().enumerate() {
+            if conn.wants_write() && !conn.flush() {
+                dead.push(token);
+                continue;
+            }
+            let desired = if conn.wants_write() {
+                Interest::BOTH
+            } else {
+                Interest::READABLE
+            };
+            if desired != conn.interest {
+                conn.interest = desired;
+                poller
+                    .modify(conn.stream.as_raw_fd(), token, desired)
+                    .expect("modify");
+            }
+        }
+
+        let timeout = match opts.mode {
+            Mode::Closed => Duration::from_millis(1000),
+            Mode::Open => conns
+                .iter()
+                .filter(|c| !c.outstanding.is_empty() || cursor < opts.total)
+                .map(|c| c.next_due.saturating_duration_since(Instant::now()))
+                .min()
+                .unwrap_or(Duration::from_millis(1000))
+                .min(Duration::from_millis(1000)),
+        };
+        events.clear();
+        poller.wait(&mut events, Some(timeout)).expect("poll");
+
+        for event in events.drain(..) {
+            let token = event.token;
+            let conn = &mut conns[token];
+            if event.writable && !conn.flush() {
+                dead.push(token);
+                continue;
+            }
+            if !event.readable {
+                continue;
+            }
+            let mut eof = false;
+            let mut tmp = [0u8; 16 * 1024];
+            loop {
+                match conn.stream.read(&mut tmp) {
+                    Ok(0) => {
+                        eof = true;
+                        break;
+                    }
+                    Ok(n) => conn.read_buf.extend_from_slice(&tmp[..n]),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        eof = true;
+                        break;
+                    }
+                }
+            }
+            // Settle every complete response in the buffer.
+            loop {
+                match try_parse_response(&conn.read_buf) {
+                    Ok(Some((status, consumed))) => {
+                        conn.read_buf.drain(..consumed);
+                        let (class, issued_at) =
+                            conn.outstanding.pop_front().expect("tracked request");
+                        match status {
+                            200 => samples.push((class, issued_at.elapsed().as_secs_f64())),
+                            429 | 503 => shed += 1,
+                            _ => errors += 1,
+                        }
+                        if opts.mode == Mode::Closed && opts.keepalive {
+                            issue_on!(conn, Instant::now());
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(_) => {
+                        eof = true;
+                        break;
+                    }
+                }
+            }
+            if eof || (!opts.keepalive && conn.outstanding.is_empty()) {
+                if eof {
+                    // In-flight requests died with the connection.
+                    errors += conn.outstanding.len();
+                    conn.outstanding.clear();
+                }
+                dead.push(token);
+            }
+        }
+
+        // Open-loop arrivals: issue every request whose scheduled
+        // instant has passed, clocking latency from the schedule (not
+        // the send), so queueing under overload is charged honestly.
+        if opts.mode == Mode::Open {
+            let period = Duration::from_secs_f64(opts.connections as f64 / opts.rate.max(1e-9));
+            for conn in conns.iter_mut() {
+                while cursor < opts.total && Instant::now() >= conn.next_due {
+                    issue_on!(conn, conn.next_due);
+                    conn.next_due += period;
+                }
+            }
+        }
+
+        // Replace torn-down connections (non-keepalive churn, EOFs,
+        // transport errors) while work remains.
+        for token in dead.drain(..) {
+            let more_work = cursor < opts.total
+                || opts.mode == Mode::Closed && samples.len() + errors + shed < opts.total;
+            let old_fd = conns[token].stream.as_raw_fd();
+            let _ = poller.deregister(old_fd);
+            if !more_work {
+                continue;
+            }
+            let next_due = conns[token].next_due;
+            let mut fresh = connect_nonblocking(addr);
+            fresh.next_due = next_due;
+            if opts.mode == Mode::Closed && fresh.outstanding.is_empty() {
+                let mut primed = 0;
+                while primed < opts.pipeline && cursor < opts.total {
+                    let class = class_for(cursor);
+                    fresh.encode(class, bodies, cursor, opts.keepalive);
+                    fresh.outstanding.push_back((class, Instant::now()));
+                    cursor += 1;
+                    primed += 1;
+                }
+            }
+            poller
+                .register(fresh.stream.as_raw_fd(), token, fresh.interest)
+                .expect("re-register");
+            conns[token] = fresh;
+        }
+    }
+
+    for conn in &conns {
+        let _ = poller.deregister(conn.stream.as_raw_fd());
+    }
+    RunResult {
+        samples,
+        errors,
+        shed,
+        wall_seconds: started.elapsed().as_secs_f64(),
+    }
+}
+
 // ── Daemon spawning / readiness ──────────────────────────────────────
 
 /// Kill-on-drop handle for the spawned daemon: whether loadgen exits
-/// cleanly or panics mid-run (failed warmup, worker error), the child
-/// is reaped — CI must never be left with an orphaned release daemon.
+/// cleanly or panics mid-run (failed warmup, wedged run), the child is
+/// reaped — CI must never be left with an orphaned release daemon.
 struct DaemonGuard(std::process::Child);
 
 impl Drop for DaemonGuard {
@@ -198,8 +564,10 @@ impl Drop for DaemonGuard {
 }
 
 /// Spawns `cargo run -p fair-submod-service` and parses the bound
-/// address off its stdout handshake line.
-fn spawn_daemon(quick: bool) -> (DaemonGuard, String) {
+/// address off its stdout handshake line. The admission queue is sized
+/// above the largest sweep so a healthy run sees zero shed; shedding
+/// behavior itself is covered by the service integration tests.
+fn spawn_daemon(quick: bool, blocking: bool) -> (DaemonGuard, String) {
     let mut cmd = std::process::Command::new(env!("CARGO"));
     cmd.args([
         "run",
@@ -209,9 +577,16 @@ fn spawn_daemon(quick: bool) -> (DaemonGuard, String) {
         "--",
         "--addr",
         "127.0.0.1:0",
+        "--queue-capacity",
+        "4096",
+        "--max-connections",
+        "8192",
     ]);
     if quick {
         cmd.arg("--quick");
+    }
+    if blocking {
+        cmd.arg("--blocking");
     }
     // Guard the child before the fallible handshake below, so even a
     // panic while waiting for it reaps the process.
@@ -254,177 +629,314 @@ fn wait_ready(addr: &str) {
     }
 }
 
+/// Warmup: touch every solve body once so the timed phase measures the
+/// resident (instance-cache-hit) path.
+fn warm(addr: &str, bodies: &[String]) {
+    let mut stream = TcpStream::connect(addr).expect("connect for warmup");
+    for body in bodies {
+        let reply = http_request(&mut stream, "POST", "/solve", body)
+            .unwrap_or_else(|e| panic!("warmup solve failed: {e}"));
+        assert_eq!(
+            reply.status,
+            200,
+            "warmup solve rejected: {}",
+            String::from_utf8_lossy(&reply.body)
+        );
+    }
+}
+
+fn cache_counters(addr: &str) -> (u64, u64, u64) {
+    let mut stream = TcpStream::connect(addr).expect("connect for counters");
+    let reply = http_request(&mut stream, "GET", "/instances", "").expect("GET /instances");
+    let body = parse_bytes(&reply.body).expect("instances JSON");
+    (
+        body.get("hits").and_then(Value::as_u64).unwrap_or(0),
+        body.get("misses").and_then(Value::as_u64).unwrap_or(0),
+        body.get("len").and_then(Value::as_u64).unwrap_or(0),
+    )
+}
+
 // ── Main ─────────────────────────────────────────────────────────────
 
-fn main() {
-    let mut addr: Option<String> = None;
-    let mut spawn = false;
-    let mut quick = false;
-    let mut requests: Option<usize> = None;
-    let mut workers: Option<usize> = None;
-    let mut out_path = String::from("BENCH_service.json");
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        let mut value = |flag: &str| {
-            args.next()
-                .unwrap_or_else(|| panic!("{flag} needs a value"))
-        };
-        match arg.as_str() {
-            "--addr" => addr = Some(value("--addr")),
-            "--spawn" => spawn = true,
-            "--quick" => quick = true,
-            "--requests" => {
-                requests = Some(
-                    value("--requests")
-                        .parse()
-                        .expect("--requests takes an integer"),
-                )
-            }
-            "--workers" => {
-                workers = Some(
-                    value("--workers")
-                        .parse()
-                        .expect("--workers takes an integer"),
-                )
-            }
-            "--out" => out_path = value("--out"),
-            other => panic!("unknown flag {other} (see the module docs)"),
-        }
-    }
-    let total_requests = requests.unwrap_or(if quick { 200 } else { 1_000 });
-    let num_workers = workers.unwrap_or(if quick { 2 } else { 4 }).max(1);
-
-    let (child, addr) = match addr {
-        Some(addr) => (None, addr),
-        None => {
-            assert!(spawn, "need --addr HOST:PORT or --spawn");
-            let (child, addr) = spawn_daemon(quick);
-            (Some(child), addr)
-        }
-    };
-    eprintln!("[loadgen] target daemon at {addr}");
-    wait_ready(&addr);
-
-    // Warmup: touch every solve body once so the timed phase measures
-    // the resident (instance-cache-hit) path.
-    let bodies = Arc::new(solve_bodies(quick));
-    {
-        let mut stream = TcpStream::connect(&addr).expect("connect for warmup");
-        for body in bodies.iter() {
-            let reply = http_request(&mut stream, "POST", "/solve", body)
-                .unwrap_or_else(|e| panic!("warmup solve failed: {e}"));
-            assert_eq!(
-                reply.status,
-                200,
-                "warmup solve rejected: {}",
-                String::from_utf8_lossy(&reply.body)
-            );
-        }
-    }
-    eprintln!("[loadgen] warmed {} solve cells; timing {total_requests} requests on {num_workers} workers ...", bodies.len());
-
-    // Timed phase: workers pull global request indices off an atomic
-    // cursor, each over its own keep-alive connection.
-    let cursor = Arc::new(AtomicUsize::new(0));
-    let started = Instant::now();
-    let handles: Vec<_> = (0..num_workers)
-        .map(|_| {
-            let cursor = Arc::clone(&cursor);
-            let bodies = Arc::clone(&bodies);
-            let addr = addr.clone();
-            std::thread::spawn(move || {
-                let mut stream = TcpStream::connect(&addr).expect("worker connect");
-                let mut samples: Vec<(Class, f64)> = Vec::new();
-                let mut errors = 0usize;
-                loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= total_requests {
-                        return (samples, errors);
-                    }
-                    let class = class_for(i);
-                    let (method, path, body): (&str, &str, &str) = match class {
-                        Class::Solve => ("POST", "/solve", &bodies[i % bodies.len()]),
-                        Class::Healthz => ("GET", "/healthz", ""),
-                        Class::Registry => ("GET", "/registry", ""),
-                    };
-                    let start = Instant::now();
-                    match http_request(&mut stream, method, path, body) {
-                        Ok(reply) if reply.status == 200 => {
-                            samples.push((class, start.elapsed().as_secs_f64()));
-                        }
-                        _ => errors += 1,
-                    }
-                }
-            })
-        })
-        .collect();
-    let mut all: Vec<(Class, f64)> = Vec::with_capacity(total_requests);
-    let mut errors = 0usize;
-    for handle in handles {
-        let (samples, worker_errors) = handle.join().expect("worker panicked");
-        all.extend(samples);
-        errors += worker_errors;
-    }
-    let wall_seconds = started.elapsed().as_secs_f64();
-
-    // Final daemon counters: the cache-effectiveness half of the story.
-    let (cache_hits, cache_misses, instances) = {
-        let mut stream = TcpStream::connect(&addr).expect("connect for counters");
-        let reply = http_request(&mut stream, "GET", "/instances", "").expect("GET /instances");
-        let body = parse_bytes(&reply.body).expect("instances JSON");
-        (
-            body.get("hits").and_then(Value::as_u64).unwrap_or(0),
-            body.get("misses").and_then(Value::as_u64).unwrap_or(0),
-            body.get("len").and_then(Value::as_u64).unwrap_or(0),
-        )
-    };
-    // Dropping the guard kills and reaps the spawned daemon (and the
-    // guard's Drop also covers every panic path above).
-    drop(child);
-
+fn run_to_json(connections: usize, opts: &LoadOpts, result: &RunResult) -> (f64, f64, Value) {
+    let mut overall: Vec<f64> = result.samples.iter().map(|&(_, s)| s).collect();
     let mut classes: Vec<Value> = Vec::new();
-    let mut overall: Vec<f64> = all.iter().map(|&(_, s)| s).collect();
     for class in [Class::Solve, Class::Healthz, Class::Registry] {
-        let mut latencies: Vec<f64> = all
+        let mut latencies: Vec<f64> = result
+            .samples
             .iter()
             .filter(|&&(c, _)| c == class)
             .map(|&(_, s)| s)
             .collect();
         classes.push(class_stats(class.label(), &mut latencies));
     }
-    let report = obj([
-        ("generated_by", Value::Str("loadgen".into())),
-        ("quick", Value::Bool(quick)),
-        ("addr", Value::Str(addr.clone())),
-        ("workers", Value::Num(num_workers as f64)),
-        ("requests", Value::Num(total_requests as f64)),
-        ("ok", Value::Num(all.len() as f64)),
-        ("errors", Value::Num(errors as f64)),
-        ("wall_seconds", Value::Num(wall_seconds)),
-        (
-            "throughput_rps",
-            Value::Num(all.len() as f64 / wall_seconds.max(1e-9)),
-        ),
-        ("cache_hits", Value::Num(cache_hits as f64)),
-        ("cache_misses", Value::Num(cache_misses as f64)),
-        ("resident_instances", Value::Num(instances as f64)),
-        ("overall", class_stats("overall", &mut overall)),
+    let throughput = result.samples.len() as f64 / result.wall_seconds.max(1e-9);
+    let overall_stats = class_stats("overall", &mut overall);
+    let p99_ms = overall_stats
+        .get("p99_ms")
+        .and_then(Value::as_f64)
+        .unwrap_or(0.0);
+    let json = obj([
+        ("connections", Value::Num(connections as f64)),
+        ("requests", Value::Num(opts.total as f64)),
+        ("ok", Value::Num(result.samples.len() as f64)),
+        ("errors", Value::Num(result.errors as f64)),
+        ("shed", Value::Num(result.shed as f64)),
+        ("wall_seconds", Value::Num(result.wall_seconds)),
+        ("throughput_rps", Value::Num(throughput)),
+        ("overall", overall_stats),
         ("classes", Value::Arr(classes)),
     ]);
-    std::fs::write(&out_path, report.to_pretty_string()).expect("write BENCH_service.json");
-    eprintln!(
-        "[loadgen] {} ok / {} errors in {:.2}s ({:.0} req/s); cache {}h/{}m; wrote {}",
-        all.len(),
-        errors,
-        wall_seconds,
-        all.len() as f64 / wall_seconds.max(1e-9),
-        cache_hits,
-        cache_misses,
-        out_path
-    );
-    assert_eq!(errors, 0, "loadgen saw non-200 responses");
+    (throughput, p99_ms, json)
+}
+
+struct ServerOutcome {
+    label: &'static str,
+    json: Value,
+    /// (throughput_rps, p99_ms) of the largest-connection run.
+    at_max: (f64, f64),
+    errors: usize,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn sweep_server(
+    label: &'static str,
+    addr: &str,
+    bodies: &[String],
+    points: &[usize],
+    opts: &LoadOpts,
+    spawned: bool,
+) -> ServerOutcome {
+    warm(addr, bodies);
+    let mut runs = Vec::new();
+    let mut at_max = (0.0, 0.0);
+    let mut errors = 0;
+    let mut shed = 0;
+    for &connections in points {
+        let opts = LoadOpts {
+            connections,
+            ..opts.clone()
+        };
+        eprintln!(
+            "[loadgen] {label}: {connections} connections, {} requests, {:?} loop ...",
+            opts.total, opts.mode
+        );
+        let result = run_load(addr, bodies, &opts);
+        let (rps, p99, json) = run_to_json(connections, &opts, &result);
+        eprintln!(
+            "[loadgen] {label}: {} ok / {} errors / {} shed in {:.2}s ({rps:.0} req/s, p99 {p99:.1}ms)",
+            result.samples.len(),
+            result.errors,
+            result.shed,
+            result.wall_seconds,
+        );
+        at_max = (rps, p99);
+        errors += result.errors;
+        shed += result.shed;
+        runs.push(json);
+    }
+    let (hits, misses, resident) = cache_counters(addr);
     assert!(
-        cache_hits > 0,
+        !spawned || hits > 0,
         "repeated recipes never hit the instance cache"
     );
+    ServerOutcome {
+        label,
+        json: obj([
+            ("server", Value::Str(label.into())),
+            ("runs", Value::Arr(runs)),
+            ("cache_hits", Value::Num(hits as f64)),
+            ("cache_misses", Value::Num(misses as f64)),
+            ("resident_instances", Value::Num(resident as f64)),
+            ("total_errors", Value::Num(errors as f64)),
+            ("total_shed", Value::Num(shed as f64)),
+        ]),
+        at_max,
+        errors,
+    }
+}
+
+fn main() {
+    let mut addr: Option<String> = None;
+    let mut spawn = false;
+    let mut quick = false;
+    let mut blocking = false;
+    let mut compare = false;
+    let mut sweep = false;
+    let mut connections = 16usize;
+    let mut pipeline = 1usize;
+    let mut keepalive = true;
+    let mut mode = Mode::Closed;
+    let mut rate: Option<f64> = None;
+    let mut requests: Option<usize> = None;
+    let mut out_path = String::from("BENCH_service.json");
+    let mut min_rps: Option<f64> = None;
+    let mut max_p99_ms: Option<f64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+        };
+        fn int(flag: &str, raw: String) -> usize {
+            raw.parse()
+                .unwrap_or_else(|_| panic!("{flag} takes an integer"))
+        }
+        fn num(flag: &str, raw: String) -> f64 {
+            raw.parse()
+                .unwrap_or_else(|_| panic!("{flag} takes a number"))
+        }
+        match arg.as_str() {
+            "--addr" => addr = Some(value("--addr")),
+            "--spawn" => spawn = true,
+            "--quick" => quick = true,
+            "--blocking" => blocking = true,
+            "--compare" => compare = true,
+            "--sweep" => sweep = true,
+            "--connections" => connections = int("--connections", value("--connections")).max(1),
+            "--pipeline" => pipeline = int("--pipeline", value("--pipeline")).max(1),
+            "--keepalive" => keepalive = true,
+            "--no-keepalive" => keepalive = false,
+            "--mode" => {
+                mode = match value("--mode").as_str() {
+                    "closed" => Mode::Closed,
+                    "open" => Mode::Open,
+                    other => panic!("--mode takes closed|open, not {other:?}"),
+                }
+            }
+            "--rate" => rate = Some(num("--rate", value("--rate"))),
+            "--requests" => requests = Some(int("--requests", value("--requests"))),
+            "--out" => out_path = value("--out"),
+            "--min-rps" => min_rps = Some(num("--min-rps", value("--min-rps"))),
+            "--max-p99-ms" => max_p99_ms = Some(num("--max-p99-ms", value("--max-p99-ms"))),
+            other => panic!("unknown flag {other} (see the module docs)"),
+        }
+    }
+    let total = requests.unwrap_or(if quick { 1_500 } else { 10_000 });
+    let opts = LoadOpts {
+        connections,
+        pipeline,
+        keepalive,
+        mode,
+        rate: rate.unwrap_or(if quick { 500.0 } else { 2_000.0 }),
+        total,
+    };
+    let points: Vec<usize> = if sweep || compare {
+        vec![16, 256, 1024]
+    } else {
+        vec![connections]
+    };
+
+    let bodies = solve_bodies(quick);
+    let mut outcomes: Vec<ServerOutcome> = Vec::new();
+    let mut guards = Vec::new();
+    if compare {
+        assert!(
+            spawn && addr.is_none(),
+            "--compare spawns both servers; drop --addr"
+        );
+        for (label, is_blocking) in [("event", false), ("blocking", true)] {
+            let (child, daemon_addr) = spawn_daemon(quick, is_blocking);
+            eprintln!("[loadgen] spawned {label} daemon at {daemon_addr}");
+            wait_ready(&daemon_addr);
+            outcomes.push(sweep_server(
+                label,
+                &daemon_addr,
+                &bodies,
+                &points,
+                &opts,
+                true,
+            ));
+            drop(child); // reap before spawning the twin
+        }
+    } else {
+        let (child, target) = match addr {
+            Some(addr) => (None, addr),
+            None => {
+                assert!(spawn, "need --addr HOST:PORT or --spawn");
+                let (child, addr) = spawn_daemon(quick, blocking);
+                (Some(child), addr)
+            }
+        };
+        eprintln!("[loadgen] target daemon at {target}");
+        wait_ready(&target);
+        let label = if blocking { "blocking" } else { "event" };
+        outcomes.push(sweep_server(label, &target, &bodies, &points, &opts, spawn));
+        guards.push(child);
+    }
+
+    // The gated subject is the event server's largest-connection run
+    // (the first outcome in every invocation shape).
+    let subject = &outcomes[0];
+    let (subject_rps, subject_p99) = subject.at_max;
+    let speedup = (outcomes.len() == 2).then(|| outcomes[0].at_max.0 / outcomes[1].at_max.0);
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut top = vec![
+        ("generated_by", Value::Str("loadgen".into())),
+        ("quick", Value::Bool(quick)),
+        ("cores", Value::Num(cores as f64)),
+        (
+            "threads_default",
+            Value::Num(rayon::current_num_threads() as f64),
+        ),
+        (
+            "mode",
+            Value::Str(
+                match opts.mode {
+                    Mode::Closed => "closed",
+                    Mode::Open => "open",
+                }
+                .into(),
+            ),
+        ),
+        ("keepalive", Value::Bool(opts.keepalive)),
+        ("pipeline", Value::Num(opts.pipeline as f64)),
+        (
+            "connection_sweep",
+            Value::Arr(points.iter().map(|&p| Value::Num(p as f64)).collect()),
+        ),
+        (
+            "servers",
+            Value::Arr(outcomes.iter().map(|o| o.json.clone()).collect()),
+        ),
+    ];
+    if let Some(speedup) = speedup {
+        top.push(("event_vs_blocking_speedup", Value::Num(speedup)));
+    }
+    let report = obj(top);
+    std::fs::write(&out_path, report.to_pretty_string()).expect("write BENCH_service.json");
+    for outcome in &outcomes {
+        eprintln!(
+            "[loadgen] {}: at {} connections {:.0} req/s, p99 {:.1}ms",
+            outcome.label,
+            points.last().unwrap(),
+            outcome.at_max.0,
+            outcome.at_max.1
+        );
+    }
+    if let Some(speedup) = speedup {
+        eprintln!("[loadgen] event vs blocking throughput at max connections: {speedup:.2}x");
+    }
+    eprintln!("[loadgen] wrote {out_path}");
+
+    // Gates: a healthy daemon sized above the sweep must never error
+    // or shed; the floors/ceilings catch regressions in CI.
+    assert_eq!(
+        subject.errors, 0,
+        "{} server saw transport errors or non-200/429/503 statuses",
+        subject.label
+    );
+    if let Some(floor) = min_rps {
+        assert!(
+            subject_rps >= floor,
+            "throughput gate: {subject_rps:.0} req/s < floor {floor:.0}"
+        );
+    }
+    if let Some(ceiling) = max_p99_ms {
+        assert!(
+            subject_p99 <= ceiling,
+            "p99 gate: {subject_p99:.1}ms > ceiling {ceiling:.1}ms"
+        );
+    }
 }

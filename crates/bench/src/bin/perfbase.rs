@@ -708,10 +708,12 @@ fn main() {
 
     // ── Report. ───────────────────────────────────────────────────────
     let threads = rayon::current_num_threads();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"generated_by\": \"perfbase\",\n");
     json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!("  \"cores\": {cores},\n"));
     json.push_str(&format!("  \"threads_default\": {threads},\n"));
     json.push_str(
         "  \"note\": \"1_thread-vs-default scenarios only show speedup when threads_default > 1; \

@@ -1,20 +1,31 @@
-//! A minimal HTTP/1.1 layer over [`std::net`]: request parsing,
-//! response writing, and a threaded accept loop.
+//! The HTTP/1.1 wire layer shared by both servers: an incremental
+//! buffer-based request parser, response encoding, and the blocking
+//! thread-per-connection reference server.
 //!
 //! This is deliberately not a general web server — it covers exactly
 //! what the solve daemon needs: `GET`/`POST`, `Content-Length` bodies
 //! (no chunked transfer encoding), persistent connections (HTTP/1.1
-//! keep-alive, honoring `Connection: close`), and JSON response
-//! helpers. Each accepted connection is served by its own thread; the
-//! handler itself is shared behind an `Arc` and must be `Send + Sync`.
+//! keep-alive, honoring `Connection: close`), request pipelining, and
+//! JSON response helpers.
 //!
-//! Limits: request head (request line + headers) ≤ 16 KiB, body ≤
-//! 8 MiB. Oversized or malformed requests terminate the connection
-//! after a `400`.
+//! The parser is **pull-based over a byte buffer** ([`parse_request`]):
+//! callers append whatever bytes arrived and ask for the next complete
+//! request, which is what a readiness loop needs (the event-driven
+//! server in [`crate::event_loop`]) and what a blocking reader can
+//! trivially wrap ([`RequestReader`]). Both servers therefore accept
+//! and reject byte-for-byte the same inputs — the property the
+//! blocking-vs-event equivalence test pins.
+//!
+//! Limits: request head (request line + headers) ≤ 16 KiB (`400` past
+//! it), body ≤ 8 MiB (`413` past it, distinguished from malformed so
+//! clients can tell "shrink the payload" from "fix the syntax"). The
+//! blocking path additionally arms a socket read timeout so a stalled
+//! client can never pin its thread forever (see [`Server`]).
 
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
+use std::time::Duration;
 
 use serde::json::Value;
 
@@ -22,6 +33,9 @@ use serde::json::Value;
 pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
 /// Maximum accepted request head (request line + headers), in bytes.
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Default read deadline of the blocking server: a connection that
+/// leaves a request unfinished this long is dropped (slowloris guard).
+pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// One parsed HTTP request.
 #[derive(Clone, Debug)]
@@ -53,6 +67,12 @@ impl Request {
     pub fn wants_close(&self) -> bool {
         self.header("connection")
             .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+
+    /// The tenant this request bills to: the `X-Tenant` header, or the
+    /// anonymous tenant `""`.
+    pub fn tenant(&self) -> &str {
+        self.header("x-tenant").unwrap_or("")
     }
 }
 
@@ -93,69 +113,63 @@ fn status_text(code: u16) -> &'static str {
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Unknown",
     }
 }
 
-/// Why reading a request from a connection stopped.
+// ── Incremental request parsing ──────────────────────────────────────
+
+/// Why a buffer could not be parsed into a request.
 #[derive(Debug)]
-pub enum ReadError {
-    /// The peer closed the connection cleanly between requests.
-    Closed,
-    /// The request was malformed or exceeded a limit; the message is
-    /// safe to echo back in a 400 body.
+pub enum ParseError {
+    /// Syntactically invalid (or the head outgrew [`MAX_HEAD_BYTES`]);
+    /// the message is safe to echo in a `400` body.
     Malformed(String),
+    /// Well-formed head announcing a body over the cap — answered with
+    /// `413` rather than `400`.
+    BodyTooLarge {
+        /// The announced `Content-Length`.
+        length: usize,
+    },
 }
 
-/// Reads one `\n`-terminated line, never buffering more than `budget`
-/// bytes. `read_line` alone would accumulate an endless newline-free
-/// request line unboundedly; this enforces the head limit *while*
-/// reading, so a malicious peer cannot exhaust memory.
-fn read_line_limited(
-    reader: &mut BufReader<TcpStream>,
-    budget: usize,
-) -> Result<String, ReadError> {
-    let mut line: Vec<u8> = Vec::new();
-    loop {
-        let buf = reader
-            .fill_buf()
-            .map_err(|e| ReadError::Malformed(format!("read line: {e}")))?;
-        if buf.is_empty() {
-            if line.is_empty() {
-                return Err(ReadError::Closed);
-            }
-            return Err(ReadError::Malformed("connection closed mid-line".into()));
+/// Attempts to parse one complete request off the front of `buf`.
+///
+/// Returns `Ok(Some((request, consumed)))` when a full head + body is
+/// present (the caller drains `consumed` bytes and may call again —
+/// pipelining is exactly this loop), `Ok(None)` when more bytes are
+/// needed, and `Err` when the connection should be answered with an
+/// error and closed. Incomplete heads are bounded: once the buffer
+/// exceeds `max_head` without a blank line, the request is rejected
+/// rather than buffered indefinitely.
+pub fn parse_request(
+    buf: &[u8],
+    max_head: usize,
+    max_body: usize,
+) -> Result<Option<(Request, usize)>, ParseError> {
+    let Some(head_end) = find_head_end(buf) else {
+        if buf.len() > max_head {
+            return Err(ParseError::Malformed("request head too large".into()));
         }
-        let (chunk, done) = match buf.iter().position(|&b| b == b'\n') {
-            Some(i) => (&buf[..=i], true),
-            None => (buf, false),
-        };
-        if line.len() + chunk.len() > budget {
-            return Err(ReadError::Malformed("request head too large".into()));
-        }
-        line.extend_from_slice(chunk);
-        let consumed = chunk.len();
-        reader.consume(consumed);
-        if done {
-            return String::from_utf8(line)
-                .map_err(|_| ReadError::Malformed("request head is not valid UTF-8".into()));
-        }
+        return Ok(None);
+    };
+    if head_end > max_head {
+        return Err(ParseError::Malformed("request head too large".into()));
     }
-}
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| ParseError::Malformed("request head is not valid UTF-8".into()))?;
 
-/// Reads one request from the connection.
-pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ReadError> {
-    let mut head_bytes = 0usize;
-    let line = read_line_limited(reader, MAX_HEAD_BYTES)?;
-    head_bytes += line.len();
-    let mut parts = line.split_whitespace();
+    let mut lines = head.lines();
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
     let (method, target) = match (parts.next(), parts.next(), parts.next()) {
         (Some(m), Some(t), Some(v)) if v.starts_with("HTTP/1.") => (m.to_uppercase(), t),
         _ => {
-            return Err(ReadError::Malformed(format!(
-                "malformed request line {:?}",
-                line.trim_end()
+            return Err(ParseError::Malformed(format!(
+                "malformed request line {request_line:?}"
             )))
         }
     };
@@ -165,21 +179,12 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ReadEr
     };
 
     let mut headers = Vec::new();
-    loop {
-        let line = match read_line_limited(reader, MAX_HEAD_BYTES - head_bytes) {
-            Ok(line) => line,
-            Err(ReadError::Closed) => {
-                return Err(ReadError::Malformed("connection closed mid-headers".into()))
-            }
-            Err(e) => return Err(e),
-        };
-        head_bytes += line.len();
-        let line = line.trim_end();
+    for line in lines {
         if line.is_empty() {
             break;
         }
         let Some((name, value)) = line.split_once(':') else {
-            return Err(ReadError::Malformed(format!("malformed header {line:?}")));
+            return Err(ParseError::Malformed(format!("malformed header {line:?}")));
         };
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
@@ -189,35 +194,57 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ReadEr
         .find(|(n, _)| n == "content-length")
         .map(|(_, v)| {
             v.parse::<usize>()
-                .map_err(|_| ReadError::Malformed(format!("bad Content-Length {v:?}")))
+                .map_err(|_| ParseError::Malformed(format!("bad Content-Length {v:?}")))
         })
         .transpose()?
         .unwrap_or(0);
-    if content_length > MAX_BODY_BYTES {
-        return Err(ReadError::Malformed(format!(
-            "body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
-        )));
+    if content_length > max_body {
+        return Err(ParseError::BodyTooLarge {
+            length: content_length,
+        });
     }
-    let mut body = vec![0u8; content_length];
-    reader
-        .read_exact(&mut body)
-        .map_err(|e| ReadError::Malformed(format!("read body: {e}")))?;
-
-    Ok(Request {
-        method,
-        path,
-        query,
-        headers,
-        body,
-    })
+    let total = head_end + content_length;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    Ok(Some((
+        Request {
+            method,
+            path,
+            query,
+            headers,
+            body: buf[head_end..total].to_vec(),
+        },
+        total,
+    )))
 }
 
-/// Writes `response`, announcing whether the connection stays open.
-pub fn write_response(
-    stream: &mut TcpStream,
-    response: &Response,
-    keep_alive: bool,
-) -> std::io::Result<()> {
+/// Index one past the head-terminating blank line (`\r\n\r\n` or, for
+/// lenient clients, `\n\n`), if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    let mut at = 0;
+    while let Some(rel) = buf[at..].iter().position(|&b| b == b'\n') {
+        let nl = at + rel;
+        // A line that is empty after stripping the optional '\r'
+        // terminates the head.
+        let rest = &buf[nl + 1..];
+        if rest.first() == Some(&b'\r') && rest.get(1) == Some(&b'\n') {
+            return Some(nl + 3);
+        }
+        if rest.first() == Some(&b'\n') {
+            return Some(nl + 2);
+        }
+        at = nl + 1;
+    }
+    None
+}
+
+// ── Response encoding ────────────────────────────────────────────────
+
+/// Serializes a response to its wire bytes, head and body in one
+/// buffer: with `TCP_NODELAY` that is one segment, avoiding the Nagle +
+/// delayed-ACK ~40ms stall that two writes would risk.
+pub fn encode_response(response: &Response, keep_alive: bool) -> Vec<u8> {
     let mut head = format!(
         "HTTP/1.1 {} {}\r\n",
         response.status,
@@ -235,21 +262,98 @@ pub fn write_response(
     } else {
         "Connection: close\r\n\r\n"
     });
-    // Head and body go out in one write: with TCP_NODELAY this is one
-    // segment, avoiding the Nagle + delayed-ACK ~40ms stall that two
-    // writes would risk.
     let mut message = head.into_bytes();
     message.extend_from_slice(&response.body);
-    stream.write_all(&message)?;
+    message
+}
+
+/// Writes `response`, announcing whether the connection stays open.
+pub fn write_response(
+    stream: &mut TcpStream,
+    response: &Response,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    stream.write_all(&encode_response(response, keep_alive))?;
     stream.flush()
 }
 
+// ── Blocking request reading ─────────────────────────────────────────
+
+/// Why reading a request from a connection stopped.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The peer closed the connection cleanly between requests.
+    Closed,
+    /// No complete request arrived within the read timeout — the
+    /// slowloris case. The connection is dropped without a response.
+    TimedOut,
+    /// The request was malformed or exceeded the head limit; the
+    /// message is safe to echo back in a 400 body.
+    Malformed(String),
+    /// The head was well-formed but announced a body over
+    /// [`MAX_BODY_BYTES`]; answered with `413`.
+    BodyTooLarge(usize),
+}
+
+/// Blocking request source over one connection: feeds socket bytes
+/// into [`parse_request`], carrying leftover bytes across calls so
+/// pipelined requests are never lost between reads.
+pub struct RequestReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl RequestReader {
+    /// Wraps a connection (does not touch its socket options).
+    pub fn new(stream: TcpStream) -> Self {
+        Self {
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Reads until one complete request is available and returns it.
+    pub fn next_request(&mut self) -> Result<Request, ReadError> {
+        loop {
+            match parse_request(&self.buf, MAX_HEAD_BYTES, MAX_BODY_BYTES) {
+                Ok(Some((request, consumed))) => {
+                    self.buf.drain(..consumed);
+                    return Ok(request);
+                }
+                Ok(None) => {}
+                Err(ParseError::Malformed(m)) => return Err(ReadError::Malformed(m)),
+                Err(ParseError::BodyTooLarge { length }) => {
+                    return Err(ReadError::BodyTooLarge(length))
+                }
+            }
+            let mut chunk = [0u8; 16 * 1024];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(if self.buf.is_empty() {
+                        ReadError::Closed
+                    } else {
+                        ReadError::Malformed("connection closed mid-request".into())
+                    })
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Err(ReadError::TimedOut)
+                }
+                Err(e) => return Err(ReadError::Malformed(format!("read: {e}"))),
+            }
+        }
+    }
+}
+
 /// Reads one HTTP response from the client side of a connection:
-/// `(status, headers, body)`, header names lower-cased. The
-/// counterpart of [`write_response`] — test clients parse the wire
-/// format through this one function instead of re-implementing it.
+/// `(status, headers, body)`, header names lower-cased. The counterpart
+/// of [`write_response`] — test clients parse the wire format through
+/// this one function instead of re-implementing it.
 pub fn read_response(
-    reader: &mut BufReader<TcpStream>,
+    reader: &mut impl std::io::BufRead,
 ) -> std::io::Result<(u16, Vec<(String, String)>, Vec<u8>)> {
     use std::io::{Error, ErrorKind};
     let bad = |message: String| Error::new(ErrorKind::InvalidData, message);
@@ -287,9 +391,20 @@ pub fn read_response(
     Ok((status, headers, body))
 }
 
-/// A bound listener plus the shared request handler.
+// ── The blocking reference server ────────────────────────────────────
+
+/// The thread-per-connection server: the pre-event-loop design, kept
+/// as the `--blocking` escape hatch and as the reference twin the
+/// equivalence suite compares the event-driven server against.
+///
+/// Every accepted connection gets its own thread; a socket read
+/// timeout (default [`DEFAULT_READ_TIMEOUT`]) bounds how long a
+/// stalled client can hold that thread mid-request. Nothing bounds the
+/// number of threads — that unboundedness is exactly why
+/// [`crate::event_loop::EventServer`] replaced this as the default.
 pub struct Server {
     listener: TcpListener,
+    read_timeout: Duration,
 }
 
 impl Server {
@@ -297,7 +412,14 @@ impl Server {
     pub fn bind(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
         Ok(Self {
             listener: TcpListener::bind(addr)?,
+            read_timeout: DEFAULT_READ_TIMEOUT,
         })
+    }
+
+    /// Replaces the per-connection read deadline.
+    pub fn with_read_timeout(mut self, timeout: Duration) -> Self {
+        self.read_timeout = timeout;
+        self
     }
 
     /// The bound address (reports the actual ephemeral port).
@@ -315,11 +437,12 @@ impl Server {
     where
         H: Fn(&Request) -> Response + Send + Sync + 'static,
     {
+        let timeout = self.read_timeout;
         for stream in self.listener.incoming() {
             match stream {
                 Ok(stream) => {
                     let handler = Arc::clone(&handler);
-                    std::thread::spawn(move || serve_connection(stream, handler.as_ref()));
+                    std::thread::spawn(move || serve_connection(stream, handler.as_ref(), timeout));
                 }
                 Err(e) => {
                     eprintln!("[service] accept error (continuing): {e}");
@@ -331,19 +454,23 @@ impl Server {
     }
 }
 
-/// Serves requests on one connection until it closes.
-fn serve_connection<H>(stream: TcpStream, handler: &H)
+/// Serves requests on one connection until it closes, times out, or
+/// errors.
+fn serve_connection<H>(stream: TcpStream, handler: &H, read_timeout: Duration)
 where
     H: Fn(&Request) -> Response,
 {
     let _ = stream.set_nodelay(true);
+    // The slowloris guard: without this, a client that sends half a
+    // request and stalls parks this thread forever.
+    let _ = stream.set_read_timeout(Some(read_timeout));
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
-    let mut reader = BufReader::new(read_half);
+    let mut reader = RequestReader::new(read_half);
     let mut stream = stream;
     loop {
-        match read_request(&mut reader) {
+        match reader.next_request() {
             Ok(request) => {
                 let keep_alive = !request.wants_close();
                 let response = handler(&request);
@@ -351,19 +478,38 @@ where
                     return;
                 }
             }
-            Err(ReadError::Closed) => return,
+            Err(ReadError::Closed | ReadError::TimedOut) => return,
             Err(ReadError::Malformed(message)) => {
                 let body = serde::json::obj([("error", Value::Str(message))]);
                 let _ = write_response(&mut stream, &Response::json(400, &body), false);
+                return;
+            }
+            Err(ReadError::BodyTooLarge(length)) => {
+                let _ = write_response(&mut stream, &payload_too_large(length), false);
                 return;
             }
         }
     }
 }
 
+/// The shared `413` answer for a body over the cap (same bytes from
+/// both servers).
+pub fn payload_too_large(length: usize) -> Response {
+    Response::json(
+        413,
+        &serde::json::obj([(
+            "error",
+            Value::Str(format!(
+                "body of {length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+            )),
+        )]),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::BufReader;
 
     fn roundtrip(raw: &[u8]) -> Result<Request, ReadError> {
         // Push raw bytes through a real loopback socket so the parser
@@ -375,8 +521,7 @@ mod tests {
         client.flush().unwrap();
         drop(client);
         let (server_side, _) = listener.accept().unwrap();
-        let mut reader = BufReader::new(server_side);
-        read_request(&mut reader)
+        RequestReader::new(server_side).next_request()
     }
 
     #[test]
@@ -390,6 +535,7 @@ mod tests {
         assert_eq!(req.header("host"), Some("x"));
         assert_eq!(req.body, b"abcd");
         assert!(!req.wants_close());
+        assert_eq!(req.tenant(), "");
     }
 
     #[test]
@@ -410,10 +556,16 @@ mod tests {
             roundtrip(b"GET / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
             Err(ReadError::Malformed(_))
         ));
+    }
+
+    #[test]
+    fn oversized_bodies_are_distinguished_from_malformed() {
+        // An announced body over the cap is a 413-class rejection, not
+        // a 400: the head is perfectly well-formed.
         let huge = format!("GET / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", usize::MAX);
         assert!(matches!(
             roundtrip(huge.as_bytes()),
-            Err(ReadError::Malformed(_))
+            Err(ReadError::BodyTooLarge(_))
         ));
     }
 
@@ -431,6 +583,57 @@ mod tests {
         }
         raw.extend_from_slice(b"\r\n");
         assert!(matches!(roundtrip(&raw), Err(ReadError::Malformed(_))));
+    }
+
+    #[test]
+    fn parse_request_is_incremental_and_pipelines() {
+        let wire = b"POST /a HTTP/1.1\r\nContent-Length: 3\r\n\r\nabcGET /b HTTP/1.1\r\n\r\n";
+        // Every strict prefix that ends before the first request's last
+        // byte parses to None (need more data), never to an error.
+        let first_len = wire.iter().len() - b"GET /b HTTP/1.1\r\n\r\n".len();
+        for cut in 0..first_len {
+            assert!(
+                matches!(
+                    parse_request(&wire[..cut], MAX_HEAD_BYTES, MAX_BODY_BYTES),
+                    Ok(None)
+                ),
+                "cut {cut}"
+            );
+        }
+        // The full buffer yields the first request and its exact length;
+        // the remainder parses as the pipelined second request.
+        let (req, consumed) = parse_request(wire, MAX_HEAD_BYTES, MAX_BODY_BYTES)
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            (req.path.as_str(), req.body.as_slice()),
+            ("/a", &b"abc"[..])
+        );
+        assert_eq!(consumed, first_len);
+        let (req2, consumed2) = parse_request(&wire[consumed..], MAX_HEAD_BYTES, MAX_BODY_BYTES)
+            .unwrap()
+            .unwrap();
+        assert_eq!(req2.path, "/b");
+        assert_eq!(consumed + consumed2, wire.len());
+    }
+
+    #[test]
+    fn slow_clients_time_out_instead_of_pinning_the_thread() {
+        // Half a request then silence: next_request must return
+        // TimedOut once the socket deadline fires, not block forever.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.write_all(b"GET /healthz HTT").unwrap();
+        client.flush().unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        server_side
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .unwrap();
+        let started = std::time::Instant::now();
+        let result = RequestReader::new(server_side).next_request();
+        assert!(matches!(result, Err(ReadError::TimedOut)), "{result:?}");
+        assert!(started.elapsed() < Duration::from_secs(5));
     }
 
     #[test]

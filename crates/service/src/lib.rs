@@ -16,11 +16,38 @@
 //! the shared [`fair_submod_core::engine::SolverRegistry`] answers
 //! them from any connection thread.
 //!
-//! Start the daemon with `cargo run -p fair-submod-service` (flags:
-//! `--addr host:port`, `--capacity N` instances, `--rr-sets`,
+//! Start the daemon with `cargo run -p fair-submod-service` (instance
+//! flags: `--addr host:port`, `--capacity N` instances, `--rr-sets`,
 //! `--mc-runs`, `--pokec-nodes`, `--quick`). It prints one line,
 //! `fair-submod-service listening on <addr>`, once the socket is
 //! bound.
+//!
+//! ## Concurrency model
+//!
+//! The default server is an event-driven readiness loop
+//! ([`event_loop::EventServer`], running on the workspace `polling`
+//! shim — epoll on Linux, poll(2) fallback): one thread owns every
+//! nonblocking connection, parses requests incrementally, and
+//! dispatches them to a fixed [`workers::WorkerPool`] through a
+//! bounded queue. Keep-alive connections may pipeline; responses are
+//! re-sequenced into request order. When the queue is full the loop
+//! sheds `503 + Retry-After` inline; a timer wheel reaps idle
+//! connections and slowloris half-requests (`--idle-timeout-secs`,
+//! `--read-timeout-secs`); bodies over [`http::MAX_BODY_BYTES`] draw
+//! `413`; SIGINT/SIGTERM drain in-flight work before exit. Knobs:
+//! `--workers`, `--queue-capacity`, `--max-connections`,
+//! `--max-pipeline`. `--blocking` selects [`serve_blocking`], the
+//! thread-per-connection reference twin — same
+//! [`server::ServiceState::handle`], byte-identical responses (proven
+//! by `tests/service_concurrency.rs`), kept as an escape hatch.
+//!
+//! Per-tenant quotas ([`tenants::TenantQuotas`], keyed by the
+//! `X-Tenant` header, default off) enforce a token bucket on solve
+//! admissions (`--tenant-rate`/`--tenant-burst`, `429 + Retry-After`
+//! past it) and occupancy caps on instance-store slots and parked
+//! anytime sessions (`--tenant-max-instances`,
+//! `--tenant-max-sessions`). Enforcement lives in the handler layer,
+//! so both servers apply identical policy. See DESIGN.md §10.
 //!
 //! ## Endpoints
 //!
@@ -83,17 +110,25 @@
 //!
 //! Load generation lives in the bench crate:
 //! `cargo run -p fair-submod-bench --release --bin loadgen -- --quick
-//! --spawn` spawns a daemon, hammers it with a mixed read/solve
-//! workload, and writes p50/p95/p99 latencies and throughput to
-//! `BENCH_service.json`.
+//! --spawn` spawns a daemon and drives a mixed read/solve workload
+//! through an event-driven client (`--connections N`, `--pipeline D`,
+//! `--mode closed|open`, `--no-keepalive`), writing p50/p95/p99/max
+//! latencies, throughput, and error/shed counts to
+//! `BENCH_service.json`; `--compare` sweeps 16/256/1024 connections
+//! against both this server and the `--blocking` twin.
 
+pub mod event_loop;
 pub mod http;
 pub mod instance;
 pub mod server;
 pub mod sessions;
 pub mod store;
+pub mod tenants;
+pub mod workers;
 
+pub use event_loop::{EventConfig, EventServer, ServerMetrics, ShutdownHandle};
 pub use instance::{canonical_key, Instance, InstanceConfig};
-pub use server::{serve, ServiceState};
+pub use server::{serve, serve_blocking, serve_with, ServiceState};
 pub use sessions::{ParkedSession, SessionStore};
 pub use store::{CacheStatus, InstanceStore};
+pub use tenants::{QuotaConfig, TenantQuotas};

@@ -19,10 +19,12 @@ use fair_submod_bench::harness::{run_suite, GridConfig};
 use fair_submod_bench::scenario::{cell_to_json, DatasetRecipe, GridJob, SubstrateSpec};
 use fair_submod_core::engine::{ScenarioParams, SolverError, SolverRegistry};
 
+use crate::event_loop::{EventConfig, EventServer};
 use crate::http::{Request, Response, Server};
 use crate::instance::{canonical_key, validate_request, Instance, InstanceConfig};
 use crate::sessions::{ParkedSession, SessionStore};
 use crate::store::{CacheStatus, InstanceStore, StoreEntry};
+use crate::tenants::{QuotaConfig, TenantQuotas};
 
 /// Maximum parked anytime sessions (oldest evicted past this; see
 /// [`SessionStore`]).
@@ -42,6 +44,9 @@ pub struct ServiceState {
     pub sessions: SessionStore,
     /// Build knobs for new instances (part of the cache key).
     pub instance_cfg: InstanceConfig,
+    /// Per-tenant admission and occupancy limits (unlimited unless
+    /// configured via [`Self::with_quotas`]).
+    pub quotas: TenantQuotas,
     started: Instant,
     requests: AtomicU64,
     solves: AtomicU64,
@@ -56,10 +61,18 @@ impl ServiceState {
             store: InstanceStore::new(capacity),
             sessions: SessionStore::new(ANYTIME_SESSION_CAPACITY),
             instance_cfg,
+            quotas: TenantQuotas::new(QuotaConfig::unlimited()),
             started: Instant::now(),
             requests: AtomicU64::new(0),
             solves: AtomicU64::new(0),
         }
+    }
+
+    /// Replaces the tenant quota limits (builder-style, before the
+    /// state is shared).
+    pub fn with_quotas(mut self, config: QuotaConfig) -> Self {
+        self.quotas = TenantQuotas::new(config);
+        self
     }
 
     /// Routes one request. Panics in handlers (there should be none —
@@ -81,14 +94,50 @@ impl ServiceState {
             ("GET", "/healthz") => self.healthz(),
             ("GET", "/registry") => self.registry_listing(),
             ("GET", "/instances") => Response::json(200, &self.store.snapshot_json()),
-            ("POST", "/solve") => self.solve(&request.body),
-            ("POST", "/solve/anytime") => self.solve_anytime(&request.body),
-            ("POST", "/batch") => self.batch(&request.body),
+            // The CPU-heavy endpoints pay a tenant rate token first.
+            ("POST", "/solve") => match self.admit_tenant(request) {
+                Ok(tenant) => self.solve(tenant, &request.body),
+                Err(refused) => *refused,
+            },
+            ("POST", "/solve/anytime") => match self.admit_tenant(request) {
+                Ok(tenant) => self.solve_anytime(tenant, &request.body),
+                Err(refused) => *refused,
+            },
+            ("POST", "/batch") => match self.admit_tenant(request) {
+                Ok(tenant) => self.batch(tenant, &request.body),
+                Err(refused) => *refused,
+            },
             ("GET", "/solve" | "/solve/anytime" | "/batch")
             | ("POST", "/healthz" | "/registry" | "/instances") => {
                 error_response(405, "method not allowed for this endpoint")
             }
             _ => error_response(404, "no such endpoint"),
+        }
+    }
+
+    /// Charges one solve token to the request's tenant; a drained
+    /// bucket becomes the `429` + `Retry-After` refusal.
+    fn admit_tenant<'r>(&self, request: &'r Request) -> Result<&'r str, Box<Response>> {
+        let tenant = request.tenant();
+        match self.quotas.admit_solve(tenant) {
+            Ok(()) => Ok(tenant),
+            Err(refusal) => Err(Box::new(
+                Response::json(
+                    429,
+                    &obj([
+                        (
+                            "error",
+                            Value::Str("tenant solve rate limit exceeded".into()),
+                        ),
+                        ("tenant", Value::Str(tenant.to_string())),
+                        (
+                            "retry_after_seconds",
+                            Value::Num(refusal.retry_after_secs as f64),
+                        ),
+                    ]),
+                )
+                .with_header("Retry-After", refusal.retry_after_secs.to_string()),
+            )),
         }
     }
 
@@ -148,19 +197,38 @@ impl ServiceState {
 
     /// Registers + builds (or reuses) the instance for a validated
     /// request, returning the entry and whether the store already knew
-    /// the key.
+    /// the key. A miss that would push the tenant past its
+    /// instance-occupancy cap is refused with `429`.
     fn instance_entry(
         &self,
         recipe: DatasetRecipe,
         substrate: SubstrateSpec,
-    ) -> (Arc<StoreEntry>, CacheStatus) {
+        tenant: &str,
+    ) -> Result<(Arc<StoreEntry>, CacheStatus), Box<Response>> {
         let (key, canonical) = canonical_key(&recipe, &substrate, &self.instance_cfg);
-        let (entry, status) = self.store.get_or_insert(&key, &canonical);
+        let max = self.quotas.config().max_instances;
+        let (entry, status) = self
+            .store
+            .get_or_insert_for(&key, &canonical, tenant, max)
+            .map_err(|occupancy| {
+                Box::new(
+                    Response::json(
+                        429,
+                        &obj([
+                            ("error", Value::Str("tenant instance quota exceeded".into())),
+                            ("tenant", Value::Str(occupancy.tenant)),
+                            ("held", Value::Num(occupancy.held as f64)),
+                            ("limit", Value::Num(occupancy.limit as f64)),
+                        ]),
+                    )
+                    .with_header("Retry-After", "1"),
+                )
+            })?;
         entry.get_or_build(|| Instance::build(recipe, substrate, &self.instance_cfg));
-        (entry, status)
+        Ok((entry, status))
     }
 
-    fn solve(&self, body: &[u8]) -> Response {
+    fn solve(&self, tenant: &str, body: &[u8]) -> Response {
         let (recipe, substrate, value) = match parse_instance_request(body) {
             Ok(parts) => parts,
             Err(response) => return *response,
@@ -177,7 +245,10 @@ impl ServiceState {
             None => return error_response(400, "request needs a 'params' object with k and tau"),
         };
 
-        let (entry, status) = self.instance_entry(recipe, substrate);
+        let (entry, status) = match self.instance_entry(recipe, substrate, tenant) {
+            Ok(found) => found,
+            Err(refused) => return *refused,
+        };
         let instance = entry.built().expect("instance_entry builds");
         self.solves.fetch_add(1, Ordering::Relaxed);
         match self.registry.solve(&solver, instance.system(), &params) {
@@ -210,7 +281,7 @@ impl ServiceState {
     /// false`) complete in one chunk by construction. A handle is
     /// single-flight: while one request steps it, concurrent resumes
     /// see 404.
-    fn solve_anytime(&self, body: &[u8]) -> Response {
+    fn solve_anytime(&self, tenant: &str, body: &[u8]) -> Response {
         let Ok(value) = parse_bytes(body) else {
             return error_response(400, "bad JSON body");
         };
@@ -250,7 +321,10 @@ impl ServiceState {
             None => return error_response(400, "request needs a 'params' object with k and tau"),
         };
 
-        let (entry, status) = self.instance_entry(recipe, substrate);
+        let (entry, status) = match self.instance_entry(recipe, substrate, tenant) {
+            Ok(found) => found,
+            Err(refused) => return *refused,
+        };
         let instance = entry.built().expect("instance_entry builds");
         let session = match self
             .registry
@@ -265,6 +339,7 @@ impl ServiceState {
         self.solves.fetch_add(1, Ordering::Relaxed);
         let parked = ParkedSession {
             id: self.sessions.mint_id(&entry.key),
+            tenant: tenant.to_string(),
             solver,
             k: params.k,
             entry: Arc::clone(&entry),
@@ -334,13 +409,29 @@ impl ServiceState {
             pairs.push(("report", report.to_json()));
             // Finished sessions are not re-parked; the handle dies.
         } else {
-            pairs.push(("session", Value::Str(parked.id.clone())));
-            self.sessions.park(parked);
+            let handle = parked.id.clone();
+            let max = self.quotas.config().max_sessions;
+            if self.sessions.park_for(parked, max).is_err() {
+                // The chunk's work is discarded — honest accounting:
+                // a tenant at its session cap cannot bank more state.
+                return Response::json(
+                    429,
+                    &obj([
+                        (
+                            "error",
+                            Value::Str("tenant session quota exceeded; progress discarded".into()),
+                        ),
+                        ("limit", Value::Num(max as f64)),
+                    ]),
+                )
+                .with_header("Retry-After", "1");
+            }
+            pairs.push(("session", Value::Str(handle)));
         }
         Response::json(200, &obj(pairs))
     }
 
-    fn batch(&self, body: &[u8]) -> Response {
+    fn batch(&self, tenant: &str, body: &[u8]) -> Response {
         let job = match parse_bytes(body)
             .map_err(|e| e.to_string())
             .and_then(|v| GridJob::from_json(&v).map_err(|e| e.to_string()))
@@ -373,7 +464,11 @@ impl ServiceState {
             Err(e) => return error_response(400, &format!("bad batch grid: {e}")),
         };
 
-        let (entry, status) = self.instance_entry(job.dataset.clone(), job.substrate.clone());
+        let (entry, status) =
+            match self.instance_entry(job.dataset.clone(), job.substrate.clone(), tenant) {
+                Ok(found) => found,
+                Err(refused) => return *refused,
+            };
         let instance = entry.built().expect("instance_entry builds");
         self.solves.fetch_add(num_cells as u64, Ordering::Relaxed);
         let results = match run_suite(
@@ -462,10 +557,35 @@ fn solver_error_status(error: &SolverError) -> u16 {
     }
 }
 
-/// Binds `addr` and serves `state` forever (the accept loop blocks the
-/// calling thread). Returns the bound address through `on_bound` before
-/// entering the loop, so callers can log the ephemeral port.
+/// Binds `addr` and serves `state` on the **event-driven** server with
+/// default [`EventConfig`] (the readiness loop blocks the calling
+/// thread; it returns only after a graceful shutdown). Reports the
+/// bound address through `on_bound` before entering the loop, so
+/// callers can log the ephemeral port.
 pub fn serve(
+    addr: &str,
+    state: Arc<ServiceState>,
+    on_bound: impl FnOnce(std::net::SocketAddr),
+) -> std::io::Result<()> {
+    serve_with(addr, state, EventConfig::default(), on_bound)
+}
+
+/// [`serve`] with explicit event-loop knobs.
+pub fn serve_with(
+    addr: &str,
+    state: Arc<ServiceState>,
+    config: EventConfig,
+    on_bound: impl FnOnce(std::net::SocketAddr),
+) -> std::io::Result<()> {
+    let server = EventServer::bind(addr, config)?;
+    on_bound(server.local_addr()?);
+    server.run(Arc::new(move |request: &Request| state.handle(request)))
+}
+
+/// The pre-event-loop path, kept as the `--blocking` escape hatch and
+/// as the reference twin for response-equivalence testing: one thread
+/// per connection over the exact same [`ServiceState::handle`].
+pub fn serve_blocking(
     addr: &str,
     state: Arc<ServiceState>,
     on_bound: impl FnOnce(std::net::SocketAddr),

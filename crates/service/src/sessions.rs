@@ -29,6 +29,10 @@ use crate::store::StoreEntry;
 pub struct ParkedSession {
     /// Opaque handle the client resumes with.
     pub id: String,
+    /// Tenant billed for the session's occupancy (`""` = anonymous);
+    /// fixed at open time, so a resume under a different `X-Tenant`
+    /// does not shift the charge.
+    pub tenant: String,
     /// Registry name of the solver.
     pub solver: String,
     /// The session's budget `k` (its own scenario cell).
@@ -82,7 +86,31 @@ impl SessionStore {
     /// Parks a session, evicting the least-recently-touched one when
     /// full.
     pub fn park(&self, parked: ParkedSession) {
+        self.park_for(parked, usize::MAX)
+            .unwrap_or_else(|_| panic!("unlimited occupancy cannot be exceeded"));
+    }
+
+    /// [`Self::park`] with a per-tenant occupancy cap: refuses
+    /// (returning the session so the caller decides its fate) when the
+    /// session's tenant already holds `max_per_tenant` parked
+    /// sessions. Store-wide capacity still evicts the
+    /// least-recently-touched session.
+    pub fn park_for(
+        &self,
+        parked: ParkedSession,
+        max_per_tenant: usize,
+    ) -> Result<(), ParkedSession> {
         let mut inner = self.inner.lock().expect("session store poisoned");
+        if max_per_tenant != usize::MAX
+            && inner
+                .slots
+                .iter()
+                .filter(|s| s.parked.tenant == parked.tenant)
+                .count()
+                >= max_per_tenant
+        {
+            return Err(parked);
+        }
         if inner.slots.len() >= self.capacity {
             let oldest = inner
                 .slots
@@ -98,6 +126,7 @@ impl SessionStore {
             parked,
             last_used: Instant::now(),
         });
+        Ok(())
     }
 
     /// Takes a parked session out for exclusive stepping. Returns
@@ -158,6 +187,7 @@ mod tests {
             .unwrap();
         ParkedSession {
             id: sessions.mint_id(&entry.key),
+            tenant: String::new(),
             solver: "Greedy".into(),
             k: 3,
             entry,

@@ -38,6 +38,18 @@ impl CacheStatus {
     }
 }
 
+/// A tenant asked to register a new instance while already holding its
+/// occupancy cap (see [`crate::tenants::QuotaConfig::max_instances`]).
+#[derive(Clone, Debug)]
+pub struct OccupancyExceeded {
+    /// The refused tenant (`""` = anonymous).
+    pub tenant: String,
+    /// Slots the tenant currently holds.
+    pub held: usize,
+    /// The per-tenant cap in force.
+    pub limit: usize,
+}
+
 /// One cache slot: the canonical identity plus the lazily-built
 /// instance.
 pub struct StoreEntry {
@@ -63,6 +75,9 @@ impl StoreEntry {
 
 struct Slot {
     entry: Arc<StoreEntry>,
+    /// Tenant that first registered the entry (`""` = anonymous);
+    /// counted against that tenant's occupancy quota.
+    tenant: String,
     last_used: u64,
     hits: u64,
 }
@@ -117,6 +132,22 @@ impl InstanceStore {
     /// call [`StoreEntry::get_or_build`] on the returned entry outside
     /// the store lock.
     pub fn get_or_insert(&self, key: &str, canonical: &str) -> (Arc<StoreEntry>, CacheStatus) {
+        self.get_or_insert_for(key, canonical, "", usize::MAX)
+            .expect("unlimited occupancy cannot be exceeded")
+    }
+
+    /// [`Self::get_or_insert`] with tenant attribution: a **miss** that
+    /// would push `tenant` past `max_per_tenant` registered slots is
+    /// refused (hits never are — they add no occupancy). The check is
+    /// taken before LRU eviction, so a tenant at its cap cannot churn
+    /// the cache even when the victim would have been its own entry.
+    pub fn get_or_insert_for(
+        &self,
+        key: &str,
+        canonical: &str,
+        tenant: &str,
+        max_per_tenant: usize,
+    ) -> Result<(Arc<StoreEntry>, CacheStatus), OccupancyExceeded> {
         let mut inner = self.inner.lock().expect("instance store poisoned");
         inner.clock += 1;
         let now = inner.clock;
@@ -125,7 +156,17 @@ impl InstanceStore {
             slot.hits += 1;
             let entry = Arc::clone(&slot.entry);
             inner.hits += 1;
-            return (entry, CacheStatus::Hit);
+            return Ok((entry, CacheStatus::Hit));
+        }
+        if max_per_tenant != usize::MAX {
+            let held = inner.slots.iter().filter(|s| s.tenant == tenant).count();
+            if held >= max_per_tenant {
+                return Err(OccupancyExceeded {
+                    tenant: tenant.to_string(),
+                    held,
+                    limit: max_per_tenant,
+                });
+            }
         }
         if inner.slots.len() >= self.capacity {
             let lru = inner
@@ -145,11 +186,12 @@ impl InstanceStore {
         });
         inner.slots.push(Slot {
             entry: Arc::clone(&entry),
+            tenant: tenant.to_string(),
             last_used: now,
             hits: 0,
         });
         inner.misses += 1;
-        (entry, CacheStatus::Miss)
+        Ok((entry, CacheStatus::Miss))
     }
 
     /// Aggregate counters.
@@ -176,6 +218,7 @@ impl InstanceStore {
                 let mut pairs = vec![
                     ("key", Value::Str(slot.entry.key.clone())),
                     ("canonical", Value::Str(slot.entry.canonical.clone())),
+                    ("tenant", Value::Str(slot.tenant.clone())),
                     ("hits", Value::Num(slot.hits as f64)),
                 ];
                 match slot.entry.built() {

@@ -1,0 +1,221 @@
+//! The fixed-size worker pool behind the event loop: a bounded
+//! MPMC queue (mutex + condvars) feeding N long-lived threads.
+//!
+//! The bound is the admission-control lever. The event loop submits
+//! handler jobs with [`WorkerPool::try_submit`], which **fails
+//! immediately** when the queue is at its high-water mark instead of
+//! blocking or growing — the loop turns that failure into a `503` with
+//! `Retry-After`, so overload sheds cheap early responses rather than
+//! piling latency onto every queued request. The rayon shim spawns
+//! scoped threads per call and keeps no persistent pool, so solve work
+//! dispatched from here still fans out through it; this pool only
+//! bounds how many *requests* execute concurrently.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A unit of work: a boxed closure run on one worker thread.
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Queue {
+    jobs: Mutex<QueueState>,
+    /// Signaled when a job is pushed (workers wait on this).
+    available: Condvar,
+    /// Signaled when the queue drains empty (shutdown waits on this).
+    drained: Condvar,
+    capacity: usize,
+    depth: AtomicUsize,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutting_down: bool,
+    in_flight: usize,
+}
+
+/// Fixed-size thread pool with a bounded submission queue.
+pub struct WorkerPool {
+    queue: Arc<Queue>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `threads` workers behind a queue of at most `capacity`
+    /// pending jobs. `threads` and `capacity` are clamped to ≥ 1.
+    pub fn new(threads: usize, capacity: usize) -> Self {
+        let queue = Arc::new(Queue {
+            jobs: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutting_down: false,
+                in_flight: 0,
+            }),
+            available: Condvar::new(),
+            drained: Condvar::new(),
+            capacity: capacity.max(1),
+            depth: AtomicUsize::new(0),
+        });
+        let workers = (0..threads.max(1))
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                std::thread::Builder::new()
+                    .name(format!("svc-worker-{i}"))
+                    .spawn(move || worker_loop(&queue))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Self { queue, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Jobs currently queued (excludes jobs already executing).
+    pub fn queue_depth(&self) -> usize {
+        self.queue.depth.load(Ordering::Relaxed)
+    }
+
+    /// Submits a job, or returns it untouched when the queue is full
+    /// (the admission-control rejection) or the pool is shutting down.
+    pub fn try_submit(&self, job: Job) -> Result<(), Job> {
+        let mut state = self.queue.jobs.lock().unwrap();
+        if state.shutting_down || state.jobs.len() >= self.queue.capacity {
+            return Err(job);
+        }
+        state.jobs.push_back(job);
+        self.queue.depth.store(state.jobs.len(), Ordering::Relaxed);
+        drop(state);
+        self.queue.available.notify_one();
+        Ok(())
+    }
+
+    /// Waits until every queued and executing job has finished, up to
+    /// `timeout`. Returns whether the pool fully drained.
+    pub fn drain(&self, timeout: std::time::Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut state = self.queue.jobs.lock().unwrap();
+        loop {
+            if state.jobs.is_empty() && state.in_flight == 0 {
+                return true;
+            }
+            let Some(left) = deadline.checked_duration_since(std::time::Instant::now()) else {
+                return false;
+            };
+            let (next, result) = self.queue.drained.wait_timeout(state, left).unwrap();
+            state = next;
+            if result.timed_out() && !(state.jobs.is_empty() && state.in_flight == 0) {
+                return false;
+            }
+        }
+    }
+
+    /// Stops accepting jobs, wakes the workers, and joins them.
+    /// Already-queued jobs still run to completion.
+    pub fn shutdown(mut self) {
+        {
+            let mut state = self.queue.jobs.lock().unwrap();
+            state.shutting_down = true;
+        }
+        self.queue.available.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(queue: &Queue) {
+    loop {
+        let job = {
+            let mut state = queue.jobs.lock().unwrap();
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    queue.depth.store(state.jobs.len(), Ordering::Relaxed);
+                    state.in_flight += 1;
+                    break job;
+                }
+                if state.shutting_down {
+                    return;
+                }
+                state = queue.available.wait(state).unwrap();
+            }
+        };
+        job();
+        let mut state = queue.jobs.lock().unwrap();
+        state.in_flight -= 1;
+        if state.jobs.is_empty() && state.in_flight == 0 {
+            queue.drained.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    #[test]
+    fn runs_jobs_and_reports_depth() {
+        let pool = WorkerPool::new(2, 16);
+        assert_eq!(pool.threads(), 2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..8 {
+            let counter = Arc::clone(&counter);
+            let tx = tx.clone();
+            pool.try_submit(Box::new(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+                tx.send(()).unwrap();
+            }))
+            .unwrap_or_else(|_| panic!("queue unexpectedly full"));
+        }
+        for _ in 0..8 {
+            rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+        assert!(pool.drain(Duration::from_secs(5)));
+        pool.shutdown();
+    }
+
+    #[test]
+    fn full_queue_rejects_instead_of_blocking() {
+        // One worker parked on a gate + capacity-1 queue: the second
+        // pending job must bounce straight back.
+        let pool = WorkerPool::new(1, 1);
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        pool.try_submit(Box::new(move || {
+            started_tx.send(()).unwrap();
+            gate_rx.recv().unwrap();
+        }))
+        .unwrap_or_else(|_| panic!("first job rejected"));
+        started_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        // Worker busy; this occupies the single queue slot.
+        pool.try_submit(Box::new(|| {}))
+            .unwrap_or_else(|_| panic!("second job rejected"));
+        // Queue full: shed.
+        assert!(pool.try_submit(Box::new(|| {})).is_err());
+        assert_eq!(pool.queue_depth(), 1);
+        gate_tx.send(()).unwrap();
+        assert!(pool.drain(Duration::from_secs(5)));
+        pool.shutdown();
+    }
+
+    #[test]
+    fn drain_times_out_on_stuck_work() {
+        let pool = WorkerPool::new(1, 4);
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        pool.try_submit(Box::new(move || {
+            gate_rx.recv().unwrap();
+        }))
+        .unwrap_or_else(|_| panic!("job rejected"));
+        assert!(!pool.drain(Duration::from_millis(50)));
+        gate_tx.send(()).unwrap();
+        assert!(pool.drain(Duration::from_secs(5)));
+        pool.shutdown();
+    }
+}

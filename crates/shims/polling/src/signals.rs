@@ -1,0 +1,35 @@
+//! Termination signals as readiness events: the classic self-pipe
+//! trick, so an event loop can treat SIGINT/SIGTERM as one more
+//! readable descriptor instead of re-inventing signal safety.
+//!
+//! [`notify_on_terminate`] stores the given descriptor in a static and
+//! installs a handler that `write(2)`s a single byte to it — the only
+//! async-signal-safe action taken. The caller registers the other half
+//! of its socketpair/pipe with a [`crate::Poller`] and maps readiness
+//! on it to graceful shutdown.
+
+use std::os::fd::RawFd;
+use std::os::raw::c_int;
+use std::sync::atomic::{AtomicI32, Ordering};
+
+use crate::sys;
+
+static NOTIFY_FD: AtomicI32 = AtomicI32::new(-1);
+
+extern "C" fn on_signal(_signum: c_int) {
+    let fd = NOTIFY_FD.load(Ordering::Relaxed);
+    if fd >= 0 {
+        sys::write_byte(fd);
+    }
+}
+
+/// Routes SIGINT and SIGTERM to one byte written on `fd`.
+///
+/// Installs process-wide handlers; the last registered fd wins. The fd
+/// must stay open for the process lifetime (leak the write half of the
+/// pair — it is one descriptor).
+pub fn notify_on_terminate(fd: RawFd) {
+    NOTIFY_FD.store(fd, Ordering::Relaxed);
+    sys::install_handler(sys::SIGINT, on_signal);
+    sys::install_handler(sys::SIGTERM, on_signal);
+}

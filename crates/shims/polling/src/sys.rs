@@ -1,0 +1,230 @@
+//! The thin FFI layer: raw declarations of the readiness syscalls and
+//! safe wrappers the rest of the crate (and nothing else) calls.
+//!
+//! Declared by hand against the kernel/libc ABI instead of pulling the
+//! `libc` crate, keeping the workspace fully offline. Only the handful
+//! of symbols the poller needs are bound.
+
+use std::io;
+use std::os::fd::RawFd;
+use std::os::raw::{c_int, c_short, c_ulong, c_void};
+
+use crate::{Event, Interest};
+
+// ── ABI types ────────────────────────────────────────────────────────
+
+/// `struct epoll_event`. Packed on x86-64 (the kernel ABI packs it
+/// there so 32- and 64-bit layouts match); naturally aligned elsewhere.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct PollFd {
+    fd: c_int,
+    events: c_short,
+    revents: c_short,
+}
+
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+
+const POLLIN: c_short = 0x001;
+const POLLOUT: c_short = 0x004;
+const POLLERR: c_short = 0x008;
+const POLLHUP: c_short = 0x010;
+const POLLNVAL: c_short = 0x020;
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    #[link_name = "epoll_wait"]
+    fn epoll_wait_raw(
+        epfd: c_int,
+        events: *mut EpollEvent,
+        maxevents: c_int,
+        timeout: c_int,
+    ) -> c_int;
+    #[link_name = "poll"]
+    fn poll_raw(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+    fn close(fd: c_int) -> c_int;
+}
+
+fn cvt(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+fn interest_to_epoll(interest: Interest) -> u32 {
+    let mut bits = EPOLLRDHUP;
+    if interest.readable {
+        bits |= EPOLLIN;
+    }
+    if interest.writable {
+        bits |= EPOLLOUT;
+    }
+    bits
+}
+
+// ── epoll backend ────────────────────────────────────────────────────
+
+pub(crate) fn epoll_create() -> io::Result<RawFd> {
+    // SAFETY: epoll_create1 takes a flags integer and returns an fd or
+    // -1; no pointers cross the boundary.
+    cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })
+}
+
+fn epoll_ctl_op(
+    epfd: RawFd,
+    op: c_int,
+    fd: RawFd,
+    token: u64,
+    interest: Interest,
+) -> io::Result<()> {
+    let mut event = EpollEvent {
+        events: interest_to_epoll(interest),
+        data: token,
+    };
+    // SAFETY: `event` outlives the call; the kernel copies it before
+    // returning (DEL ignores the pointer entirely on modern kernels but
+    // a valid one is passed anyway for pre-2.6.9 compatibility).
+    cvt(unsafe { epoll_ctl(epfd, op, fd, &mut event) }).map(|_| ())
+}
+
+pub(crate) fn epoll_add(epfd: RawFd, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+    epoll_ctl_op(epfd, EPOLL_CTL_ADD, fd, token, interest)
+}
+
+pub(crate) fn epoll_mod(epfd: RawFd, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+    epoll_ctl_op(epfd, EPOLL_CTL_MOD, fd, token, interest)
+}
+
+pub(crate) fn epoll_del(epfd: RawFd, fd: RawFd) -> io::Result<()> {
+    epoll_ctl_op(epfd, EPOLL_CTL_DEL, fd, 0, Interest::READABLE)
+}
+
+pub(crate) fn epoll_wait(epfd: RawFd, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<usize> {
+    const MAX_EVENTS: usize = 1024;
+    let mut buf = [EpollEvent { events: 0, data: 0 }; MAX_EVENTS];
+    let n = loop {
+        // SAFETY: `buf` is a valid writable array of MAX_EVENTS
+        // epoll_event structs; the kernel writes at most that many.
+        let ret =
+            unsafe { epoll_wait_raw(epfd, buf.as_mut_ptr(), MAX_EVENTS as c_int, timeout_ms) };
+        match cvt(ret) {
+            Ok(n) => break n as usize,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    };
+    for raw in &buf[..n] {
+        // Copy out of the (possibly packed) struct before field reads.
+        let (bits, data) = { (raw.events, raw.data) };
+        out.push(Event {
+            token: data as usize,
+            // Error/hangup conditions are folded into readable: the
+            // consumer's next read observes the error or EOF.
+            readable: bits & (EPOLLIN | EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0,
+            writable: bits & (EPOLLOUT | EPOLLERR | EPOLLHUP) != 0,
+        });
+    }
+    Ok(n)
+}
+
+pub(crate) fn close_fd(fd: RawFd) {
+    // SAFETY: plain close of an fd this crate created.
+    let _ = unsafe { close(fd) };
+}
+
+// ── poll(2) fallback ─────────────────────────────────────────────────
+
+pub(crate) fn poll_wait(
+    registered: &std::collections::HashMap<RawFd, (usize, Interest)>,
+    out: &mut Vec<Event>,
+    timeout_ms: i32,
+) -> io::Result<usize> {
+    let mut fds: Vec<PollFd> = Vec::with_capacity(registered.len());
+    let mut tokens: Vec<usize> = Vec::with_capacity(registered.len());
+    for (&fd, &(token, interest)) in registered {
+        let mut events: c_short = 0;
+        if interest.readable {
+            events |= POLLIN;
+        }
+        if interest.writable {
+            events |= POLLOUT;
+        }
+        fds.push(PollFd {
+            fd,
+            events,
+            revents: 0,
+        });
+        tokens.push(token);
+    }
+    if fds.is_empty() {
+        // poll(NULL, 0, t) is a valid sleep, but spare the syscall.
+        if timeout_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(timeout_ms as u64));
+        }
+        return Ok(0);
+    }
+    loop {
+        // SAFETY: `fds` is a valid mutable pollfd array of fds.len()
+        // entries for the duration of the call.
+        let ret = unsafe { poll_raw(fds.as_mut_ptr(), fds.len() as c_ulong, timeout_ms) };
+        match cvt(ret) {
+            Ok(_) => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    for (pfd, &token) in fds.iter().zip(&tokens) {
+        if pfd.revents == 0 {
+            continue;
+        }
+        out.push(Event {
+            token,
+            readable: pfd.revents & (POLLIN | POLLERR | POLLHUP | POLLNVAL) != 0,
+            writable: pfd.revents & (POLLOUT | POLLERR | POLLHUP) != 0,
+        });
+    }
+    Ok(out.len())
+}
+
+// ── signal → self-pipe bridge (see crate::signals) ───────────────────
+
+pub(crate) const SIGINT: c_int = 2;
+pub(crate) const SIGTERM: c_int = 15;
+
+extern "C" {
+    fn signal(signum: c_int, handler: usize) -> usize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+}
+
+pub(crate) fn install_handler(signum: c_int, handler: extern "C" fn(c_int)) {
+    // SAFETY: registering a handler function whose address stays valid
+    // for the process lifetime (a plain fn item).
+    let _ = unsafe { signal(signum, handler as usize) };
+}
+
+pub(crate) fn write_byte(fd: RawFd) {
+    let byte = b's';
+    // SAFETY: write(2) of one byte from a live stack buffer;
+    // async-signal-safe per POSIX.
+    let _ = unsafe { write(fd, std::ptr::addr_of!(byte).cast(), 1) };
+}
