@@ -29,9 +29,15 @@
 //! off the edge list (`read_shard_slices` — no full graph ever built).
 //! Selections are asserted bit-identical, and the sharded run is held
 //! to explicit wall-clock and peak-RSS budgets (the process aborts when
-//! either is blown, so CI's `scale-smoke` step fails loudly). It runs
-//! in full mode and under `--only sharded_1m`; plain `--quick` skips it
-//! to keep the per-push perf gate fast.
+//! either is blown, so CI's `scale-smoke` step fails loudly). The
+//! `sharded_ris_100k` and `sharded_fl_50k` scenarios hold the other two
+//! substrates to the same contract at their own design scales:
+//! centralized GreeDi over the resident oracle versus
+//! [`ShardedInstance`] over the substrate-owned `restrict` partitions
+//! (the daemon's sharded-solve path), bit-identical selections, and
+//! wall-clock/peak-RSS budgets. All three run in full mode and under
+//! `--only NAME`; plain `--quick` skips them to keep the per-push perf
+//! gate fast (CI's `scale-smoke` step runs each one `--quick`).
 //!
 //! The PR-7 kernel scenarios pit the incremental gain kernels against
 //! their retained rescan references on identical workloads:
@@ -59,7 +65,7 @@ use fair_submod_coverage::{
     dominating_set_system, dominating_slice_system, CoverageOracle, SetSystem,
 };
 use fair_submod_datasets::{facebook_like, rand_fl, rand_mc, seeds};
-use fair_submod_facility::BenefitMatrix;
+use fair_submod_facility::{BenefitMatrix, FacilityOracle};
 use fair_submod_graphs::io::{read_edge_list, read_shard_slices};
 use fair_submod_graphs::{CsrSlice, Groups};
 use fair_submod_influence::oracle::{RisConfig, RisOracle};
@@ -163,7 +169,7 @@ fn main() {
     // scenario (CI runs it separately as the `scale-smoke` step).
     let should_run = |name: &str| match &only {
         Some(o) => o == name,
-        None => !(quick && name == "sharded_1m"),
+        None => !(quick && matches!(name, "sharded_1m" | "sharded_ris_100k" | "sharded_fl_50k")),
     };
     let reps = if quick { 3 } else { 5 };
     let mut scenarios: Vec<Scenario> = Vec::new();
@@ -475,7 +481,7 @@ fn main() {
                     let oracle = CoverageOracle::new(dominating_slice_system(slice, n), &groups);
                     ShardOracle {
                         members: slice.nodes().to_vec(),
-                        system: Box::new(oracle),
+                        system: Arc::new(oracle),
                     }
                 })
                 .collect();
@@ -494,7 +500,7 @@ fn main() {
                         s
                     })
                     .collect();
-                Box::new(CoverageOracle::new(SetSystem::new(sets, n), &merge_groups))
+                Arc::new(CoverageOracle::new(SetSystem::new(sets, n), &merge_groups))
             });
             let instance =
                 ShardedInstance::new(shard_oracles, merge).expect("slice shards are valid");
@@ -546,6 +552,182 @@ fn main() {
             extra: format!(
                 ", \"nodes\": {n}, \"shards\": {num_shards}, \"k\": {k}, \
                  \"wallclock_budget_seconds\": {wall_budget_seconds:.1}, \
+                 \"peak_rss_mib\": {}, \"peak_rss_budget_mib\": {rss_budget_mib:.1}",
+                rss_mib.map_or("null".into(), |r| format!("{r:.1}"))
+            ),
+            phases: Vec::new(),
+        });
+    }
+
+    // ── 7b. Sharded RIS substrate at scale: centralized GreeDi over the
+    // resident RR-set oracle vs ShardedInstance over the oracle's own
+    // `restrict` partitions (the daemon's sharded-solve path). The RR
+    // sample is generated once and shared, so the timings isolate the
+    // shard build + solve, and the budgets catch a restriction path
+    // that re-materializes the arena per shard.
+    if should_run("sharded_ris_100k") {
+        eprintln!("[perfbase] sharded RIS solve tier ...");
+        let n = if quick { 30_000 } else { 100_000 };
+        let num_rr = if quick { 60_000 } else { 150_000 };
+        let num_shards = 8usize;
+        let k = 8;
+        let seed = 42u64;
+        // A sparse ring+chords graph (same generator as `sharded_1m`,
+        // average degree ≈ 6): IC(0.05) stays subcritical, so RR sets
+        // are small and the arena stays linear in `num_rr`. The dense
+        // SBM RAND family is the wrong substrate here — its RR sets
+        // would span the whole graph.
+        let text = synth_edge_list(n, 2, 0x1357_9BDF);
+        let graph = read_edge_list(text.as_bytes(), n, false).expect("synthetic list parses");
+        let groups = Groups::from_assignment((0..n).map(|v| (v % 2) as u32).collect());
+        let oracle = Arc::new(RisOracle::generate(
+            &graph,
+            DiffusionModel::ic(0.05),
+            &groups,
+            &RisConfig::new(num_rr, 17),
+        ));
+        let f = MeanUtility::new(n);
+        let mut cfg = GreediConfig::new(k);
+        cfg.shards = num_shards;
+        cfg.seed = seed;
+
+        let start = Instant::now();
+        let central_out = greedi(&*oracle, &f, &cfg).expect("valid config");
+        let before_seconds = start.elapsed().as_secs_f64();
+
+        let start = Instant::now();
+        let sharded_out = {
+            let restrict = Arc::clone(&oracle);
+            let instance = ShardedInstance::from_restrictor(n, num_shards, seed, move |m| {
+                Ok(Arc::new(restrict.restrict(m)?) as Arc<dyn DynUtilitySystem>)
+            })
+            .expect("valid sharding");
+            instance.solve_greedi(k, cfg.variant.clone())
+        };
+        let after_seconds = start.elapsed().as_secs_f64();
+
+        assert_eq!(
+            central_out.items, sharded_out.items,
+            "sharded RIS tier changed the selection"
+        );
+        assert_eq!(
+            central_out.value.to_bits(),
+            sharded_out.value.to_bits(),
+            "sharded RIS tier changed the objective"
+        );
+        assert_eq!(
+            central_out.oracle_calls, sharded_out.oracle_calls,
+            "sharded RIS tier changed the call accounting"
+        );
+
+        let wall_budget_seconds = if quick { 120.0 } else { 240.0 };
+        let rss_budget_mib = 2048.0;
+        let rss_mib = peak_rss_mib();
+        assert!(
+            after_seconds <= wall_budget_seconds,
+            "sharded_ris_100k blew its wall-clock budget: \
+             {after_seconds:.1}s > {wall_budget_seconds:.0}s"
+        );
+        if let Some(rss) = rss_mib {
+            assert!(
+                rss <= rss_budget_mib,
+                "sharded_ris_100k blew its peak-RSS budget: {rss:.0} MiB > {rss_budget_mib:.0} MiB"
+            );
+        }
+        scenarios.push(Scenario {
+            name: "sharded_ris_100k",
+            before_label: "centralized_greedi",
+            after_label: "sharded_restrict",
+            before_seconds,
+            after_seconds,
+            extra: format!(
+                ", \"nodes\": {n}, \"rr_sets\": {num_rr}, \"shards\": {num_shards}, \
+                 \"k\": {k}, \"wallclock_budget_seconds\": {wall_budget_seconds:.1}, \
+                 \"peak_rss_mib\": {}, \"peak_rss_budget_mib\": {rss_budget_mib:.1}",
+                rss_mib.map_or("null".into(), |r| format!("{r:.1}"))
+            ),
+            phases: Vec::new(),
+        });
+    }
+
+    // ── 7c. Sharded facility substrate at scale: centralized GreeDi
+    // over a dense benefit matrix vs ShardedInstance over
+    // column-partitioned shard views (`FacilityOracle::restrict`).
+    if should_run("sharded_fl_50k") {
+        eprintln!("[perfbase] sharded facility solve tier ...");
+        let m = 256usize;
+        let n = if quick { 20_000 } else { 50_000 };
+        let num_shards = 8usize;
+        let k = 8;
+        let seed = 42u64;
+        let mut state = 0x5EED_F00Du64 | 1;
+        let b: Vec<f64> = (0..m * n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % 1_000) as f64 / 250.0
+            })
+            .collect();
+        let group_of: Vec<u32> = (0..m).map(|u| (u % 2) as u32).collect();
+        let oracle = Arc::new(FacilityOracle::new(BenefitMatrix::new(b, m, n), group_of));
+        let f = MeanUtility::new(m);
+        let mut cfg = GreediConfig::new(k);
+        cfg.shards = num_shards;
+        cfg.seed = seed;
+
+        let start = Instant::now();
+        let central_out = greedi(&*oracle, &f, &cfg).expect("valid config");
+        let before_seconds = start.elapsed().as_secs_f64();
+
+        let start = Instant::now();
+        let sharded_out = {
+            let restrict = Arc::clone(&oracle);
+            let instance = ShardedInstance::from_restrictor(n, num_shards, seed, move |mm| {
+                Ok(Arc::new(restrict.restrict(mm)?) as Arc<dyn DynUtilitySystem>)
+            })
+            .expect("valid sharding");
+            instance.solve_greedi(k, cfg.variant.clone())
+        };
+        let after_seconds = start.elapsed().as_secs_f64();
+
+        assert_eq!(
+            central_out.items, sharded_out.items,
+            "sharded facility tier changed the selection"
+        );
+        assert_eq!(
+            central_out.value.to_bits(),
+            sharded_out.value.to_bits(),
+            "sharded facility tier changed the objective"
+        );
+        assert_eq!(
+            central_out.oracle_calls, sharded_out.oracle_calls,
+            "sharded facility tier changed the call accounting"
+        );
+
+        let wall_budget_seconds = if quick { 120.0 } else { 240.0 };
+        let rss_budget_mib = 2048.0;
+        let rss_mib = peak_rss_mib();
+        assert!(
+            after_seconds <= wall_budget_seconds,
+            "sharded_fl_50k blew its wall-clock budget: \
+             {after_seconds:.1}s > {wall_budget_seconds:.0}s"
+        );
+        if let Some(rss) = rss_mib {
+            assert!(
+                rss <= rss_budget_mib,
+                "sharded_fl_50k blew its peak-RSS budget: {rss:.0} MiB > {rss_budget_mib:.0} MiB"
+            );
+        }
+        scenarios.push(Scenario {
+            name: "sharded_fl_50k",
+            before_label: "centralized_greedi",
+            after_label: "sharded_restrict",
+            before_seconds,
+            after_seconds,
+            extra: format!(
+                ", \"users\": {m}, \"items\": {n}, \"shards\": {num_shards}, \
+                 \"k\": {k}, \"wallclock_budget_seconds\": {wall_budget_seconds:.1}, \
                  \"peak_rss_mib\": {}, \"peak_rss_budget_mib\": {rss_budget_mib:.1}",
                 rss_mib.map_or("null".into(), |r| format!("{r:.1}"))
             ),

@@ -57,4 +57,7 @@ pub use params::ScenarioParams;
 pub use registry::{Capabilities, Solver, SolverRegistry};
 pub use report::{SolveReport, SolverError};
 pub use session::{OneShotSession, PartialSolution, SessionStatus, SolveSession};
-pub use sharded::{MergeBuilder, ShardOracle, ShardedInstance, SubsetSystem};
+pub use sharded::{
+    validate_shard_members, validate_shard_partition, MergeBuilder, ShardOracle,
+    ShardedGreediSession, ShardedInstance, ShardedSieveSession, SubsetSystem,
+};

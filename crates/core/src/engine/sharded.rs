@@ -16,6 +16,9 @@
 //! merge oracle, and the final answer is the better of round 2 and the
 //! best single shard — exactly the decision rule of
 //! [`crate::algorithms::distributed::greedi`].
+//! [`ShardedInstance::solve_sieve`] streams the sorted union of all
+//! shard members through the same `SieveCore` the centralized solver
+//! drives, against the merge oracle over that union.
 //!
 //! **Determinism invariant (DESIGN.md §8):** when the shard members come
 //! from [`shard_partition`] with the same `(n, p, seed)`, and every
@@ -30,9 +33,21 @@
 //! [`SubsetSystem`] is the reference sub-oracle: a view of an existing
 //! erased system restricted to a member list, forwarding every gain
 //! query to the base oracle's rows. It is what the equivalence suite
-//! compares real per-shard oracles (e.g. coverage over per-shard CSR
-//! slices) against, and the default shard/merge builder for
-//! [`ShardedInstance::from_central`].
+//! compares real per-shard oracles (coverage over per-shard CSR slices,
+//! shard-restricted `RisOracle`s, column-partitioned `FacilityOracle`s)
+//! against, and the default shard/merge builder for
+//! [`ShardedInstance::from_central`]. The substrate crates provide
+//! *owned* restrictions of the same shape (`restrict`/`partition_shards`
+//! on each oracle), which plug in through
+//! [`ShardedInstance::from_restrictor`].
+//!
+//! The daemon serves this tier through the two native sessions here:
+//! [`ShardedGreediSession`] steps one shard per `step()` (then one merge
+//! step), [`ShardedSieveSession`] streams one union arrival per step.
+//! Both own their sharded oracles and *ignore* the system passed to
+//! `step`, but evaluate their `solution_at`/`finish` reports against the
+//! passed (centralized) system — so a parked daemon session produces a
+//! report byte-identical to the centralized solver's.
 
 use std::sync::Arc;
 
@@ -43,11 +58,85 @@ use crate::algorithms::distributed::{
     greedy_over_subset, merge_outcome, shard_partition, GreediOutcome,
 };
 use crate::algorithms::greedy::GreedyVariant;
+use crate::algorithms::streaming::{SieveConfig, SieveCore, SieveOutcome};
 use crate::items::ItemId;
+use crate::metrics::evaluate;
 use crate::system::UtilitySystem;
 
 use super::erased::{DynState, DynUtilitySystem, ErasedSystem};
-use super::report::SolverError;
+use super::params::ScenarioParams;
+use super::report::{SolveReport, SolverError};
+use super::session::{PartialSolution, SessionStatus, SolveSession};
+
+/// Checks one shard's member list against the shard-oracle contract:
+/// non-empty, strictly ascending (which implies deduplicated), and every
+/// id `< n`. Returns [`SolverError::InvalidParams`] (attributed to
+/// `solver`) on violation — the shared validation path for the
+/// substrate-owned `restrict` implementations, so malformed shard specs
+/// are typed rejections everywhere, never panics.
+pub fn validate_shard_members(
+    solver: &str,
+    n: usize,
+    members: &[ItemId],
+) -> Result<(), SolverError> {
+    let invalid = |message: String| SolverError::InvalidParams {
+        solver: solver.to_string(),
+        message,
+    };
+    if members.is_empty() {
+        return Err(invalid("shard member list must not be empty".into()));
+    }
+    if !members.windows(2).all(|w| w[0] < w[1]) {
+        return Err(invalid(
+            "shard members must be strictly ascending (sorted, no duplicates)".into(),
+        ));
+    }
+    if let Some(&bad) = members.iter().find(|&&v| v as usize >= n) {
+        return Err(invalid(format!(
+            "member id {bad} out of range for a {n}-item ground set"
+        )));
+    }
+    Ok(())
+}
+
+/// Checks a full shard partition: at least one shard, every shard valid
+/// per [`validate_shard_members`], no id owned by two shards, and the
+/// shards jointly covering the whole ground set `0..n`. Typed
+/// [`SolverError::InvalidParams`] on violation.
+pub fn validate_shard_partition(
+    solver: &str,
+    n: usize,
+    partition: &[Vec<ItemId>],
+) -> Result<(), SolverError> {
+    let invalid = |message: String| SolverError::InvalidParams {
+        solver: solver.to_string(),
+        message,
+    };
+    if partition.is_empty() {
+        return Err(invalid("a partition needs at least one shard".into()));
+    }
+    let mut owner = vec![false; n];
+    let mut total = 0usize;
+    for (s, members) in partition.iter().enumerate() {
+        validate_shard_members(solver, n, members)
+            .map_err(|e| invalid(format!("shard {s}: {e}")))?;
+        for &v in members {
+            if owner[v as usize] {
+                return Err(invalid(format!(
+                    "item {v} is owned by two shards (overlap at shard {s})"
+                )));
+            }
+            owner[v as usize] = true;
+        }
+        total += members.len();
+    }
+    if total != n {
+        return Err(invalid(format!(
+            "partition covers {total} of {n} items; shards must exactly cover the ground set"
+        )));
+    }
+    Ok(())
+}
 
 /// A view of an erased system restricted to a sorted member list:
 /// local item `j` is the base system's item `members[j]`, users and
@@ -136,12 +225,12 @@ pub struct ShardOracle {
     /// Oracle whose item `j` is global item `members[j]`. Must report
     /// the full user universe (`num_users`, `group_sizes` equal across
     /// shards) so aggregate values stay comparable across shards.
-    pub system: Box<dyn DynUtilitySystem>,
+    pub system: Arc<dyn DynUtilitySystem>,
 }
 
 /// Builds a merge oracle over an arbitrary ascending global-id subset —
 /// the round-2 candidate pool. Receives at most `p·k` ids.
-pub type MergeBuilder = Box<dyn Fn(&[ItemId]) -> Box<dyn DynUtilitySystem> + Send + Sync>;
+pub type MergeBuilder = Box<dyn Fn(&[ItemId]) -> Arc<dyn DynUtilitySystem> + Send + Sync>;
 
 /// A large instance represented as per-shard oracles plus a merge
 /// builder; see the module docs for the determinism contract.
@@ -188,6 +277,44 @@ impl ShardedInstance {
         Ok(Self { shards, merge })
     }
 
+    /// Partitions the ground set `0..n` with [`shard_partition`] and
+    /// builds every shard oracle through `restrict` — the substrate-
+    /// agnostic assembly path. `restrict` receives an ascending member
+    /// list and must return an oracle whose local item `j` is global
+    /// item `members[j]`; the substrate-owned restrictions
+    /// (`RisOracle::restrict`, `FacilityOracle::restrict`,
+    /// `CoverageOracle::restrict`) and the [`SubsetSystem`] view all fit
+    /// this shape. Shard builds run embarrassingly parallel on the
+    /// rayon pool; the same `restrict` then serves as the merge builder.
+    pub fn from_restrictor<F>(
+        n: usize,
+        shards: usize,
+        seed: u64,
+        restrict: F,
+    ) -> Result<Self, SolverError>
+    where
+        F: Fn(&[ItemId]) -> Result<Arc<dyn DynUtilitySystem>, SolverError> + Send + Sync + 'static,
+    {
+        let mut partition = shard_partition(n, shards, seed);
+        for members in &mut partition {
+            members.sort_unstable();
+        }
+        // Embarrassingly parallel shard builds: each restriction touches
+        // only its own members' rows.
+        let shard_oracles = partition
+            .into_par_iter()
+            .map(|members| {
+                let system = restrict(&members)?;
+                Ok(ShardOracle { members, system })
+            })
+            .collect::<Vec<Result<ShardOracle, SolverError>>>()
+            .into_iter()
+            .collect::<Result<Vec<_>, SolverError>>()?;
+        let merge: MergeBuilder =
+            Box::new(move |pool| restrict(pool).expect("pool ids come from shard members"));
+        Self::new(shard_oracles, merge)
+    }
+
     /// Shards an in-memory erased system with [`shard_partition`] — each
     /// shard and the merge phase become [`SubsetSystem`] views of the
     /// base. The reference path for equivalence tests and for instances
@@ -198,26 +325,12 @@ impl ShardedInstance {
         seed: u64,
     ) -> Result<Self, SolverError> {
         let n = base.dyn_num_items();
-        let partition = shard_partition(n, shards, seed);
-        let shard_oracles = partition
-            .into_iter()
-            .map(|mut members| {
-                members.sort_unstable();
-                let system = SubsetSystem::new(Arc::clone(&base), members.clone())?;
-                Ok(ShardOracle {
-                    members,
-                    system: Box::new(system),
-                })
-            })
-            .collect::<Result<Vec<_>, SolverError>>()?;
-        let merge_base = Arc::clone(&base);
-        let merge: MergeBuilder = Box::new(move |pool| {
-            Box::new(
-                SubsetSystem::new(Arc::clone(&merge_base), pool.to_vec())
-                    .expect("pool ids come from shard members"),
-            )
-        });
-        Self::new(shard_oracles, merge)
+        Self::from_restrictor(n, shards, seed, move |members| {
+            Ok(Arc::new(SubsetSystem::new(
+                Arc::clone(&base),
+                members.to_vec(),
+            )?))
+        })
     }
 
     /// Number of shards `p`.
@@ -233,6 +346,27 @@ impl ShardedInstance {
     /// The shards (read-only).
     pub fn shards(&self) -> &[ShardOracle] {
         &self.shards
+    }
+
+    /// The sorted union of all shard members.
+    pub fn union_members(&self) -> Vec<ItemId> {
+        let mut union: Vec<ItemId> = Vec::with_capacity(self.num_items());
+        for shard in &self.shards {
+            union.extend_from_slice(&shard.members);
+        }
+        union.sort_unstable();
+        union.dedup();
+        union
+    }
+
+    /// Materializes the merge oracle over the whole ground set (the
+    /// sorted union of all shard members) — what the streaming path
+    /// solves against. When the shards partition `0..n`, local ids in
+    /// this oracle coincide with global ids.
+    pub fn union_system(&self) -> (Vec<ItemId>, Arc<dyn DynUtilitySystem>) {
+        let union = self.union_members();
+        let system = (self.merge)(&union);
+        (union, system)
     }
 
     /// Two-round GreeDi over the sharded representation; see the module
@@ -289,6 +423,321 @@ impl ShardedInstance {
         let globals2: Vec<ItemId> = run2.0.iter().map(|&j| pool[j as usize]).collect();
         merge_outcome((globals2, run2.1, run2.2), best_shard, oracle_calls)
     }
+
+    /// Sieve-Streaming over the sharded representation: streams the
+    /// sorted union of shard members through the same `SieveCore` the
+    /// centralized solver drives, against the merge oracle over that
+    /// union. Because the shards partition `0..n` and the stream visits
+    /// items in ascending id order, this is bit-identical to
+    /// [`crate::algorithms::streaming::sieve_streaming`] on the
+    /// centralized system (items reported as global ids).
+    pub fn solve_sieve(&self, cfg: &SieveConfig) -> SieveOutcome {
+        let (union, system) = self.union_system();
+        let erased = ErasedSystem(system.as_ref());
+        let f = MeanUtility::new(system.dyn_num_users());
+        let mut core = SieveCore::new(&erased, cfg);
+        while !core.done() {
+            core.step(&erased, &f);
+        }
+        let mut run = core.outcome();
+        run.items = run.items.iter().map(|&j| union[j as usize]).collect();
+        run
+    }
+}
+
+/// Native GreeDi session over a [`ShardedInstance`]: one shard's
+/// restricted greedy per step, then one merge step — the daemon's
+/// `POST /solve/anytime` path for instances held as shard oracles.
+///
+/// Unlike [`super::session::GreediSession`], this session *owns* its
+/// oracles (inside the instance) and ignores the system passed to
+/// `step`; only `solution_at`/`finish` use the passed (centralized)
+/// system, to evaluate the final item set and stamp the gain kernel —
+/// which makes the finish report byte-identical to the centralized
+/// `GreeDi` solver's for the same recipe.
+pub struct ShardedGreediSession {
+    instance: Arc<ShardedInstance>,
+    tau: f64,
+    k: usize,
+    shards: usize,
+    variant: GreedyVariant,
+    next_shard: usize,
+    oracle_calls: u64,
+    pool: Vec<ItemId>,
+    best_shard: (f64, Vec<ItemId>),
+    outcome: Option<GreediOutcome>,
+    steps: usize,
+}
+
+impl ShardedGreediSession {
+    /// Opens a session over `instance` (parameters must already be
+    /// validated; no oracle work until the first step). The instance's
+    /// own shard count drives the schedule — `params.shards` is ignored
+    /// here because the partition is already baked into the instance.
+    pub fn open(instance: Arc<ShardedInstance>, params: &ScenarioParams) -> Self {
+        let shards = instance.num_shards();
+        Self {
+            instance,
+            tau: params.tau,
+            k: params.k,
+            shards,
+            variant: params.variant.clone(),
+            next_shard: 0,
+            oracle_calls: 0,
+            pool: Vec::with_capacity(shards * params.k),
+            best_shard: (f64::NEG_INFINITY, Vec::new()),
+            outcome: None,
+            steps: 0,
+        }
+    }
+}
+
+impl SolveSession for ShardedGreediSession {
+    fn solver(&self) -> &'static str {
+        "GreeDi"
+    }
+
+    fn done(&self) -> bool {
+        self.outcome.is_some()
+    }
+
+    fn rounds(&self) -> usize {
+        self.steps
+    }
+
+    fn step(&mut self, system: &dyn DynUtilitySystem) -> SessionStatus {
+        // The sharded session owns its oracles; the passed system is
+        // only used by `solution_at`.
+        let _ = system;
+        if self.done() {
+            // Post-done steps are no-ops and must not inflate the round
+            // counter (finish() always issues one trailing step).
+            return SessionStatus::Done;
+        }
+        if self.next_shard < self.instance.num_shards() {
+            // Round 1, one shard: exactly the fold `solve_greedi`
+            // performs, against the shard's own sub-oracle.
+            let shard = &self.instance.shards()[self.next_shard];
+            let erased = ErasedSystem(shard.system.as_ref());
+            let f = MeanUtility::new(shard.system.dyn_num_users());
+            let locals: Vec<ItemId> = (0..shard.members.len() as ItemId).collect();
+            let run = greedy_over_subset(&erased, &f, &locals, self.k, self.variant.clone());
+            let globals: Vec<ItemId> = run.0.iter().map(|&j| shard.members[j as usize]).collect();
+            self.oracle_calls += run.1;
+            let value = run.2;
+            if value > self.best_shard.0 {
+                self.best_shard = (value, globals.clone());
+            }
+            self.pool.extend(globals);
+            self.next_shard += 1;
+            self.steps += 1;
+            SessionStatus::Running
+        } else {
+            // Round 2 on the merged pool against the merge oracle, then
+            // the final comparison.
+            self.pool.sort_unstable();
+            self.pool.dedup();
+            let merge_system = (self.instance.merge)(&self.pool);
+            let erased = ErasedSystem(merge_system.as_ref());
+            let f = MeanUtility::new(merge_system.dyn_num_users());
+            let locals: Vec<ItemId> = (0..self.pool.len() as ItemId).collect();
+            let run2 = greedy_over_subset(&erased, &f, &locals, self.k, self.variant.clone());
+            self.oracle_calls += run2.1;
+            let globals2: Vec<ItemId> = run2.0.iter().map(|&j| self.pool[j as usize]).collect();
+            self.outcome = Some(merge_outcome(
+                (globals2, run2.1, run2.2),
+                self.best_shard.clone(),
+                self.oracle_calls,
+            ));
+            self.steps += 1;
+            SessionStatus::Done
+        }
+    }
+
+    fn snapshot(&self) -> PartialSolution {
+        let (items, objective) = match &self.outcome {
+            Some(run) => (run.items.clone(), run.value),
+            None if self.best_shard.0.is_finite() => (self.best_shard.1.clone(), self.best_shard.0),
+            None => (Vec::new(), 0.0),
+        };
+        PartialSolution {
+            round: self.steps,
+            items,
+            group_sums: Vec::new(),
+            objective,
+            oracle_calls: self.oracle_calls,
+            done: self.done(),
+        }
+    }
+
+    fn solution_at(
+        &self,
+        system: &dyn DynUtilitySystem,
+        k: usize,
+    ) -> Result<SolveReport, SolverError> {
+        let run = match (k == self.k, &self.outcome) {
+            (true, Some(run)) => run,
+            (false, _) => {
+                return Err(SolverError::InvalidParams {
+                    solver: self.solver().to_string(),
+                    message: format!(
+                        "GreeDi sessions only serve their own budget k = {} (asked {k})",
+                        self.k
+                    ),
+                })
+            }
+            (_, None) => {
+                return Err(SolverError::InvalidParams {
+                    solver: self.solver().to_string(),
+                    message: "session not finished; step it to completion first".into(),
+                })
+            }
+        };
+        // Mirrors `GreediSolver::solve` field for field.
+        let erased = ErasedSystem(system);
+        let eval = evaluate(&erased, &run.items);
+        let mut report = SolveReport::from_eval(
+            self.solver(),
+            k,
+            self.tau,
+            run.items.clone(),
+            &eval,
+            run.value,
+        )
+        .note("shards", self.shards as f64)
+        .note("best_shard_value", run.best_shard_value);
+        report.oracle_calls = run.oracle_calls;
+        report.gain_kernel = system.dyn_gain_kernel().to_string();
+        Ok(report)
+    }
+
+    fn finish(&mut self, system: &dyn DynUtilitySystem) -> Result<SolveReport, SolverError> {
+        while self.step(system) == SessionStatus::Running {}
+        self.solution_at(system, self.k)
+    }
+}
+
+/// Native Sieve-Streaming session over a [`ShardedInstance`]: one union
+/// arrival per step, against the instance's merge oracle over the
+/// sorted union of shard members.
+///
+/// Owns its oracle like [`ShardedGreediSession`] and uses the passed
+/// (centralized) system only for the final report evaluation, so the
+/// finish report is byte-identical to the centralized `SieveStreaming`
+/// solver's for the same recipe.
+pub struct ShardedSieveSession {
+    tau: f64,
+    k: usize,
+    union: Vec<ItemId>,
+    system: Arc<dyn DynUtilitySystem>,
+    core: SieveCore<DynState>,
+    steps: usize,
+}
+
+impl ShardedSieveSession {
+    /// Opens a session over `instance` (parameters must already be
+    /// validated). Materializes the union merge oracle once.
+    pub fn open(instance: &ShardedInstance, params: &ScenarioParams) -> Self {
+        let (union, system) = instance.union_system();
+        let cfg = SieveConfig {
+            k: params.k,
+            epsilon: params.epsilon,
+        };
+        let core = SieveCore::new(&ErasedSystem(system.as_ref()), &cfg);
+        Self {
+            tau: params.tau,
+            k: params.k,
+            union,
+            system,
+            core,
+            steps: 0,
+        }
+    }
+}
+
+impl SolveSession for ShardedSieveSession {
+    fn solver(&self) -> &'static str {
+        "SieveStreaming"
+    }
+
+    fn done(&self) -> bool {
+        self.core.done()
+    }
+
+    fn rounds(&self) -> usize {
+        self.steps
+    }
+
+    fn step(&mut self, system: &dyn DynUtilitySystem) -> SessionStatus {
+        // The sharded session streams against its own union oracle; the
+        // passed system is only used by `solution_at`.
+        let _ = system;
+        if self.core.done() {
+            // Post-done steps are no-ops and must not inflate the round
+            // counter (finish() always issues one trailing step).
+            return SessionStatus::Done;
+        }
+        let erased = ErasedSystem(self.system.as_ref());
+        let f = MeanUtility::new(self.system.dyn_num_users());
+        self.core.step(&erased, &f);
+        self.steps += 1;
+        if self.core.done() {
+            SessionStatus::Done
+        } else {
+            SessionStatus::Running
+        }
+    }
+
+    fn snapshot(&self) -> PartialSolution {
+        let run = self.core.outcome();
+        let items: Vec<ItemId> = run.items.iter().map(|&j| self.union[j as usize]).collect();
+        PartialSolution {
+            round: self.steps,
+            items,
+            group_sums: Vec::new(),
+            objective: run.value,
+            oracle_calls: run.oracle_calls,
+            done: self.core.done(),
+        }
+    }
+
+    fn solution_at(
+        &self,
+        system: &dyn DynUtilitySystem,
+        k: usize,
+    ) -> Result<SolveReport, SolverError> {
+        if k != self.k {
+            return Err(SolverError::InvalidParams {
+                solver: self.solver().to_string(),
+                message: format!(
+                    "SieveStreaming sessions only serve their own budget k = {} (asked {k})",
+                    self.k
+                ),
+            });
+        }
+        if !self.core.done() {
+            return Err(SolverError::InvalidParams {
+                solver: self.solver().to_string(),
+                message: "session not finished; step it to completion first".into(),
+            });
+        }
+        // Mirrors `SieveStreamingSolver::solve` field for field.
+        let run = self.core.outcome();
+        let items: Vec<ItemId> = run.items.iter().map(|&j| self.union[j as usize]).collect();
+        let erased = ErasedSystem(system);
+        let eval = evaluate(&erased, &items);
+        let mut report =
+            SolveReport::from_eval(self.solver(), k, self.tau, items, &eval, run.value)
+                .note("candidates", run.candidates as f64);
+        report.oracle_calls = run.oracle_calls;
+        report.gain_kernel = system.dyn_gain_kernel().to_string();
+        Ok(report)
+    }
+
+    fn finish(&mut self, system: &dyn DynUtilitySystem) -> Result<SolveReport, SolverError> {
+        while self.step(system) == SessionStatus::Running {}
+        self.solution_at(system, self.k)
+    }
 }
 
 #[cfg(test)]
@@ -296,6 +745,7 @@ mod tests {
     use super::*;
     use crate::algorithms::distributed::{greedi, GreediConfig};
     use crate::algorithms::greedy::{greedy, GreedyConfig};
+    use crate::algorithms::streaming::sieve_streaming;
     use crate::toy;
 
     fn central(seed: u64) -> Arc<dyn DynUtilitySystem> {
@@ -349,6 +799,24 @@ mod tests {
     }
 
     #[test]
+    fn sharded_sieve_is_bit_identical_to_centralized_sieve() {
+        for shards in [1usize, 3, 4] {
+            let base = central(11);
+            let instance =
+                ShardedInstance::from_central(Arc::clone(&base), shards, 11).expect("valid");
+            let cfg = SieveConfig::new(6);
+            let sharded = instance.solve_sieve(&cfg);
+            let erased = ErasedSystem(base.as_ref());
+            let f = MeanUtility::new(base.dyn_num_users());
+            let central = sieve_streaming(&erased, &f, &cfg).expect("valid config");
+            assert_eq!(sharded.items, central.items, "p {shards}");
+            assert_eq!(sharded.value.to_bits(), central.value.to_bits());
+            assert_eq!(sharded.candidates, central.candidates);
+            assert_eq!(sharded.oracle_calls, central.oracle_calls);
+        }
+    }
+
+    #[test]
     fn single_shard_solve_equals_centralized_greedy_value() {
         let base = central(7);
         let instance = ShardedInstance::from_central(Arc::clone(&base), 1, 0).unwrap();
@@ -360,24 +828,83 @@ mod tests {
     }
 
     #[test]
+    fn sharded_sessions_match_one_shot_solves() {
+        let base = central(5);
+        let instance =
+            Arc::new(ShardedInstance::from_central(Arc::clone(&base), 4, 5).expect("valid"));
+        let params = {
+            let mut p = ScenarioParams::new(6, 0.0);
+            p.seed = 5;
+            p.shards = 4;
+            p
+        };
+
+        let mut session = ShardedGreediSession::open(Arc::clone(&instance), &params);
+        assert_eq!(session.rounds(), 0);
+        let report = session.finish(base.as_ref()).expect("finishes");
+        // One step per shard + one merge step.
+        assert_eq!(session.rounds(), 5);
+        let one_shot = instance.solve_greedi(6, params.variant.clone());
+        assert_eq!(report.items, one_shot.items);
+        assert_eq!(report.objective.to_bits(), one_shot.value.to_bits());
+        assert_eq!(report.oracle_calls, one_shot.oracle_calls);
+
+        let mut sieve = ShardedSieveSession::open(&instance, &params);
+        let report = sieve.finish(base.as_ref()).expect("finishes");
+        let cfg = SieveConfig {
+            k: 6,
+            epsilon: params.epsilon,
+        };
+        let one_shot = instance.solve_sieve(&cfg);
+        assert_eq!(report.items, one_shot.items);
+        assert_eq!(report.objective.to_bits(), one_shot.value.to_bits());
+        assert_eq!(report.oracle_calls, one_shot.oracle_calls);
+        // One step per streamed item.
+        assert_eq!(sieve.rounds(), instance.num_items());
+    }
+
+    #[test]
     fn malformed_shards_are_typed_rejections() {
         let base = central(1);
         assert!(SubsetSystem::new(Arc::clone(&base), vec![1000]).is_err());
         let merge_base = Arc::clone(&base);
         let merge: MergeBuilder = Box::new(move |pool| {
-            Box::new(SubsetSystem::new(Arc::clone(&merge_base), pool.to_vec()).unwrap())
+            Arc::new(SubsetSystem::new(Arc::clone(&merge_base), pool.to_vec()).unwrap())
         });
         assert!(ShardedInstance::new(Vec::new(), merge).is_err());
         // Unsorted members are rejected.
         let sub = SubsetSystem::new(Arc::clone(&base), vec![0, 1, 2]).unwrap();
         let shard = ShardOracle {
             members: vec![2, 1, 0],
-            system: Box::new(sub),
+            system: Arc::new(sub),
         };
         let merge_base = Arc::clone(&base);
         let merge: MergeBuilder = Box::new(move |pool| {
-            Box::new(SubsetSystem::new(Arc::clone(&merge_base), pool.to_vec()).unwrap())
+            Arc::new(SubsetSystem::new(Arc::clone(&merge_base), pool.to_vec()).unwrap())
         });
         assert!(ShardedInstance::new(vec![shard], merge).is_err());
+    }
+
+    #[test]
+    fn partition_validation_rejects_each_malformation() {
+        let n = 8usize;
+        // Valid exact cover passes.
+        assert!(validate_shard_partition("t", n, &[vec![0, 2, 4, 6], vec![1, 3, 5, 7]]).is_ok());
+        // Empty partition list.
+        assert!(validate_shard_partition("t", n, &[]).is_err());
+        // Empty shard.
+        assert!(validate_shard_partition("t", n, &[(0..8).collect(), vec![]]).is_err());
+        // Not ascending.
+        assert!(validate_shard_members("t", n, &[3, 1]).is_err());
+        // Duplicate inside a shard.
+        assert!(validate_shard_members("t", n, &[1, 1, 2]).is_err());
+        // Out of range.
+        assert!(validate_shard_members("t", n, &[7, 8]).is_err());
+        // Overlap across shards.
+        assert!(
+            validate_shard_partition("t", n, &[vec![0, 1, 2, 3], vec![3, 4, 5, 6, 7]]).is_err()
+        );
+        // Not an exact cover.
+        assert!(validate_shard_partition("t", n, &[vec![0, 1, 2], vec![4, 5, 6, 7]]).is_err());
     }
 }

@@ -2,9 +2,11 @@
 //! uncovered-overlap counters over a packed word-parallel kernel.
 
 use fair_submod_core::bitset::{pack_sparse, FixedBitset, KERNEL_WORDS, WORD_BITS};
+use fair_submod_core::engine::{validate_shard_members, validate_shard_partition, SolverError};
 use fair_submod_core::items::ItemId;
 use fair_submod_core::system::UtilitySystem;
 use fair_submod_graphs::Groups;
+use rayon::prelude::*;
 
 use crate::set_system::SetSystem;
 
@@ -128,6 +130,52 @@ impl CoverageOracle {
     /// The underlying set system.
     pub fn sets(&self) -> &SetSystem {
         &self.sets
+    }
+
+    /// Restricts the oracle to an ascending member list: a standalone
+    /// shard oracle over only the members' element lists, with the full
+    /// element universe and group partition passing through unchanged.
+    ///
+    /// Every per-item structure (packed masks, inverted-index entries,
+    /// base counters) is a pure function of the item's own element list,
+    /// so the rebuilt shard rows are bitwise equal to the centralized
+    /// rows and gains — integer counter reads — are bit-identical for
+    /// every member under any shared apply sequence (DESIGN.md §8).
+    /// Malformed member lists are typed rejections, never panics.
+    pub fn restrict(&self, members: &[ItemId]) -> Result<CoverageOracle, SolverError> {
+        validate_shard_members("CoverageOracle::restrict", self.sets.num_sets(), members)?;
+        let member_sets: Vec<Vec<u32>> = members
+            .iter()
+            .map(|&v| self.sets.set(v as usize).to_vec())
+            .collect();
+        let sets = SetSystem::new(member_sets, self.sets.num_elements());
+        Ok(CoverageOracle::new(
+            sets,
+            &Groups::from_assignment(self.group_of.clone()),
+        ))
+    }
+
+    /// Restricts the oracle to every shard of an exact partition of the
+    /// ground set, building the shard oracles in parallel on the rayon
+    /// pool. Empty, overlapping, unsorted, or out-of-range partitions
+    /// are typed [`SolverError::InvalidParams`] rejections.
+    pub fn partition_shards(
+        &self,
+        partition: &[Vec<ItemId>],
+    ) -> Result<Vec<CoverageOracle>, SolverError> {
+        validate_shard_partition(
+            "CoverageOracle::partition_shards",
+            self.sets.num_sets(),
+            partition,
+        )?;
+        partition
+            .iter()
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|members| self.restrict(members))
+            .collect::<Vec<Result<CoverageOracle, SolverError>>>()
+            .into_iter()
+            .collect()
     }
 
     /// The element-at-a-time `Vec<bool>` kernel over the same instance —
@@ -374,6 +422,53 @@ mod tests {
             *g = 1;
         }
         CoverageOracle::new(sets, &Groups::from_assignment(assignment))
+    }
+
+    #[test]
+    fn restricted_oracle_matches_central_gains_bitwise() {
+        let oracle = figure1_oracle();
+        let members: Vec<u32> = vec![0, 2, 3];
+        let shard = oracle.restrict(&members).expect("valid members");
+        assert_eq!(shard.num_items(), 3);
+        assert_eq!(shard.num_users(), oracle.num_users());
+        assert_eq!(shard.group_sizes(), oracle.group_sizes());
+        let mut central = SolutionState::new(&oracle);
+        let mut restricted = SolutionState::new(&shard);
+        let c = oracle.num_groups();
+        let mut through = vec![0.0; c];
+        let mut direct = vec![0.0; c];
+        for &pick in &[1u32, 0] {
+            for (local, &global) in members.iter().enumerate() {
+                restricted.gains_into(local as u32, &mut through);
+                central.gains_into(global, &mut direct);
+                for g in 0..c {
+                    assert_eq!(through[g].to_bits(), direct[g].to_bits(), "member {global}");
+                }
+            }
+            restricted.insert(pick);
+            central.insert(members[pick as usize]);
+            assert_eq!(restricted.group_sums(), central.group_sums());
+        }
+    }
+
+    #[test]
+    fn partition_shards_rejects_malformed_partitions() {
+        let oracle = figure1_oracle();
+        assert!(oracle.partition_shards(&[]).is_err());
+        assert!(oracle
+            .partition_shards(&[vec![0, 1, 2, 3], vec![]])
+            .is_err());
+        assert!(oracle
+            .partition_shards(&[vec![0, 1], vec![1, 2, 3]])
+            .is_err());
+        assert!(oracle.partition_shards(&[vec![0, 1, 2], vec![4]]).is_err());
+        assert!(oracle.partition_shards(&[vec![0, 1]]).is_err());
+        assert!(oracle.restrict(&[]).is_err());
+        assert!(oracle.restrict(&[2, 0]).is_err());
+        let shards = oracle
+            .partition_shards(&[vec![0, 3], vec![1, 2]])
+            .expect("valid partition");
+        assert_eq!(shards.len(), 2);
     }
 
     #[test]

@@ -94,6 +94,34 @@ impl BenefitMatrix {
         &self.b[u * self.n..(u + 1) * self.n]
     }
 
+    /// Column-partitioned shard view: a standalone matrix keeping every
+    /// user row but only `members`' columns, in the given order (shard
+    /// column `j` is global column `members[j]`). Entries are copied
+    /// verbatim — shard benefits are bitwise equal to the centralized
+    /// matrix's — which is the facility half of the DESIGN.md §8
+    /// row-separability condition: `f_u(S) = max_{v∈S} b_uv` only ever
+    /// reads the columns of `S`, so a shard owning a column owns every
+    /// bit of that item's contribution.
+    ///
+    /// # Panics
+    /// Panics if a member column is out of range (the oracle-level
+    /// `restrict` validates first and returns typed errors instead).
+    pub fn select_columns(&self, members: &[u32]) -> BenefitMatrix {
+        assert!(
+            members.iter().all(|&v| (v as usize) < self.n),
+            "member column out of range"
+        );
+        let k = members.len();
+        let mut b = Vec::with_capacity(self.m * k);
+        for u in 0..self.m {
+            let row = self.row(u);
+            for &v in members {
+                b.push(row[v as usize]);
+            }
+        }
+        Self { b, m: self.m, n: k }
+    }
+
     /// The 95th-percentile pairwise distance is a common choice for the
     /// k-median normalization `d̄`; this helper computes a quantile of
     /// the user–item distance distribution.

@@ -1,7 +1,9 @@
 //! The facility-location utility oracle.
 
+use fair_submod_core::engine::{validate_shard_members, validate_shard_partition, SolverError};
 use fair_submod_core::items::ItemId;
 use fair_submod_core::system::UtilitySystem;
+use rayon::prelude::*;
 
 use crate::benefit::BenefitMatrix;
 
@@ -63,6 +65,56 @@ impl FacilityOracle {
     /// The underlying benefit matrix.
     pub fn benefits(&self) -> &BenefitMatrix {
         &self.benefits
+    }
+
+    /// Restricts the oracle to an ascending member list: a standalone
+    /// shard oracle over the column-partitioned
+    /// [`BenefitMatrix::select_columns`] view, with the full user
+    /// universe and group assignment passing through unchanged.
+    ///
+    /// Shard gains are **bit-identical** to the centralized gains of the
+    /// same items under any shared member apply sequence: benefit
+    /// columns are copied verbatim, and both kernels fold improvements
+    /// over users in the same ascending order (the shard's recomputed
+    /// saturation ceilings only drop users whose every shard column
+    /// fails `b > best[u]` — contributors of exactly nothing centrally
+    /// too). In particular, over a column partition the per-shard
+    /// singleton gains sum to the centralized total:
+    /// `Σ_s Σ_{v∈shard s} Δ_s(v|∅) = Σ_v Δ(v|∅)`.
+    /// Malformed member lists are typed rejections, never panics.
+    pub fn restrict(&self, members: &[ItemId]) -> Result<FacilityOracle, SolverError> {
+        validate_shard_members(
+            "FacilityOracle::restrict",
+            self.benefits.num_items(),
+            members,
+        )?;
+        Ok(FacilityOracle::new(
+            self.benefits.select_columns(members),
+            self.group_of.clone(),
+        ))
+    }
+
+    /// Restricts the oracle to every shard of an exact column partition,
+    /// building the shard oracles in parallel on the rayon pool. Empty,
+    /// overlapping, unsorted, or out-of-range partitions are typed
+    /// [`SolverError::InvalidParams`] rejections.
+    pub fn partition_shards(
+        &self,
+        partition: &[Vec<ItemId>],
+    ) -> Result<Vec<FacilityOracle>, SolverError> {
+        validate_shard_partition(
+            "FacilityOracle::partition_shards",
+            self.benefits.num_items(),
+            partition,
+        )?;
+        partition
+            .iter()
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|members| self.restrict(members))
+            .collect::<Vec<Result<FacilityOracle, SolverError>>>()
+            .into_iter()
+            .collect()
     }
 
     /// The full-`m`-scan kernel over the same instance — the pre-active-
@@ -292,6 +344,88 @@ mod tests {
         o.group_gains(&inner, 0, &mut out);
         o.group_gains(&inner, 1, &mut out);
         assert_eq!(out, [0.0, 0.0]);
+    }
+
+    /// 6 users in two groups, 8 items, deterministic pseudo-random rows.
+    fn wide() -> FacilityOracle {
+        let mut vals = Vec::with_capacity(6 * 8);
+        let mut state = 0x9E37_79B9u64;
+        for _ in 0..6 * 8 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            vals.push((state >> 33) as f64 / (1u64 << 31) as f64);
+        }
+        FacilityOracle::new(BenefitMatrix::new(vals, 6, 8), vec![0, 1, 0, 1, 0, 1])
+    }
+
+    #[test]
+    fn restricted_columns_match_central_gains_bitwise() {
+        let o = wide();
+        let members: Vec<u32> = vec![1, 3, 4, 7];
+        let shard = o.restrict(&members).expect("valid members");
+        assert_eq!(shard.num_items(), 4);
+        assert_eq!(shard.num_users(), o.num_users());
+        assert_eq!(shard.group_sizes(), o.group_sizes());
+        let mut central = SolutionState::new(&o);
+        let mut restricted = SolutionState::new(&shard);
+        let mut through = [0.0; 2];
+        let mut direct = [0.0; 2];
+        for &pick in &[2u32, 0, 3] {
+            for (local, &global) in members.iter().enumerate() {
+                restricted.gains_into(local as u32, &mut through);
+                central.gains_into(global, &mut direct);
+                assert_eq!(
+                    through.map(f64::to_bits),
+                    direct.map(f64::to_bits),
+                    "member {global}"
+                );
+            }
+            restricted.insert(pick);
+            central.insert(members[pick as usize]);
+            assert_eq!(restricted.group_sums(), central.group_sums());
+        }
+    }
+
+    #[test]
+    fn shard_singleton_gains_sum_to_centralized_total() {
+        let o = wide();
+        let shards = o
+            .partition_shards(&[vec![0, 5], vec![1, 2, 7], vec![3, 4, 6]])
+            .expect("valid partition");
+        let mut central_state = SolutionState::new(&o);
+        let mut central_total = [0.0; 2];
+        let mut gains = [0.0; 2];
+        for v in 0..8u32 {
+            central_state.gains_into(v, &mut gains);
+            central_total[0] += gains[0];
+            central_total[1] += gains[1];
+        }
+        let mut shard_total = [0.0; 2];
+        for shard in &shards {
+            let mut state = SolutionState::new(shard);
+            for v in 0..shard.num_items() as u32 {
+                state.gains_into(v, &mut gains);
+                shard_total[0] += gains[0];
+                shard_total[1] += gains[1];
+            }
+        }
+        assert!((central_total[0] - shard_total[0]).abs() < 1e-12);
+        assert!((central_total[1] - shard_total[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partition_shards_rejects_malformed_partitions() {
+        let o = wide();
+        assert!(o.partition_shards(&[]).is_err());
+        assert!(o.partition_shards(&[(0..8).collect(), vec![]]).is_err());
+        assert!(o
+            .partition_shards(&[(0..5).collect(), (4..8).collect()])
+            .is_err());
+        assert!(o.partition_shards(&[(0..7).collect(), vec![9]]).is_err());
+        assert!(o.partition_shards(&[(0..7).collect()]).is_err());
+        assert!(o.restrict(&[]).is_err());
+        assert!(o.restrict(&[4, 2]).is_err());
     }
 
     #[test]

@@ -95,6 +95,32 @@ impl Graph {
     /// # Panics
     /// Panics if `nodes` is not strictly ascending or contains an id
     /// `≥ num_nodes()`.
+    /// Reassembles a full graph from shard slices (the inverse of
+    /// [`Self::slice_rows`] / [`crate::io::read_shard_slices`] over a
+    /// node partition). Slice rows already obey the builder's row
+    /// semantics (self-loops dropped, undirected arcs symmetrized,
+    /// sorted, deduplicated), and [`GraphBuilder::build`] normalizes the
+    /// same way, so the result is bitwise identical to the graph the
+    /// slices were cut from: `Graph::from_slices(&slices, n, d)` equals
+    /// the original whenever the slices jointly cover its rows.
+    ///
+    /// # Panics
+    /// Panics if any slice row or target id is `>= n`.
+    pub fn from_slices(slices: &[CsrSlice], n: usize, directed: bool) -> Graph {
+        let total: usize = slices.iter().map(|s| s.num_arcs()).sum();
+        let mut builder = GraphBuilder::new(n, directed);
+        builder.edges.reserve(total);
+        for slice in slices {
+            for (local, &src) in slice.nodes().iter().enumerate() {
+                assert!((src as usize) < n, "slice node out of range");
+                for &dst in slice.neighbors(local) {
+                    builder.add_edge(src, dst);
+                }
+            }
+        }
+        builder.build()
+    }
+
     pub fn slice_rows(&self, nodes: &[NodeId]) -> CsrSlice {
         assert!(
             nodes.windows(2).all(|w| w[0] < w[1]),
@@ -370,6 +396,43 @@ mod tests {
         assert_eq!(slice.neighbors(0), &[1, 7]);
         assert_eq!(slice.neighbors(1), &[0]);
         assert_eq!(slice.num_arcs(), 3);
+    }
+
+    #[test]
+    fn from_slices_round_trips_partitioned_rows() {
+        let mut b = GraphBuilder::new(6, false);
+        b.add_edge(0, 1)
+            .add_edge(1, 2)
+            .add_edge(2, 3)
+            .add_edge(3, 4)
+            .add_edge(4, 5)
+            .add_edge(5, 0)
+            .add_edge(1, 4);
+        let g = b.build();
+        let slices = vec![
+            g.slice_rows(&[0, 3]),
+            g.slice_rows(&[1, 2]),
+            g.slice_rows(&[4, 5]),
+        ];
+        let rebuilt = Graph::from_slices(&slices, 6, false);
+        for v in 0..6u32 {
+            assert_eq!(rebuilt.out_neighbors(v), g.out_neighbors(v));
+            assert_eq!(rebuilt.in_neighbors(v), g.in_neighbors(v));
+        }
+        assert_eq!(rebuilt.num_arcs(), g.num_arcs());
+
+        let mut bd = GraphBuilder::new(4, true);
+        bd.add_edge(0, 1)
+            .add_edge(2, 1)
+            .add_edge(3, 0)
+            .add_edge(1, 3);
+        let gd = bd.build();
+        let slices = vec![gd.slice_rows(&[0, 1]), gd.slice_rows(&[2, 3])];
+        let rebuilt = Graph::from_slices(&slices, 4, true);
+        for v in 0..4u32 {
+            assert_eq!(rebuilt.out_neighbors(v), gd.out_neighbors(v));
+            assert_eq!(rebuilt.in_neighbors(v), gd.in_neighbors(v));
+        }
     }
 
     #[test]

@@ -23,10 +23,11 @@ use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 
 use fair_submod_core::bitset::FixedBitset;
+use fair_submod_core::engine::{validate_shard_members, validate_shard_partition, SolverError};
 use fair_submod_core::items::ItemId;
 use fair_submod_core::system::UtilitySystem;
 use fair_submod_graphs::csr::NodeId;
-use fair_submod_graphs::{Graph, Groups};
+use fair_submod_graphs::{CsrSlice, Graph, Groups};
 
 use crate::models::{DiffusionModel, EdgeWeighting};
 use crate::rr::{sample_rr_into, sample_rr_masked_into, RrInMasks, RrScratch};
@@ -259,6 +260,130 @@ impl RisOracle {
                 index_seconds,
             },
         )
+    }
+
+    /// [`RisOracle::generate`] from per-shard CSR slices instead of a
+    /// resident [`Graph`] — the slice-backed build path of the sharded
+    /// tier. Reverse-reachable sampling walks *in*-neighbors across
+    /// shard boundaries, so the slices (which jointly carry every
+    /// adjacency row) are first reassembled via [`Graph::from_slices`];
+    /// because slice rows are bitwise equal to the rows of the graph
+    /// they were cut from, the reassembled CSR — and therefore every RR
+    /// set, sampled from its own per-index seeded stream — is
+    /// bit-identical to a build from the original graph.
+    pub fn generate_from_slices(
+        slices: &[CsrSlice],
+        num_nodes: usize,
+        directed: bool,
+        model: DiffusionModel,
+        groups: &Groups,
+        cfg: &RisConfig,
+    ) -> Self {
+        let graph = Graph::from_slices(slices, num_nodes, directed);
+        Self::generate(&graph, model, groups, cfg)
+    }
+
+    /// Restricts the oracle to an ascending member list, producing a
+    /// standalone shard oracle whose local item `j` is global item
+    /// `members[j]`: each shard owns exactly the inverted-index rows,
+    /// base counters, and arena entries of its members (RR-set ids stay
+    /// global, so covered-set semantics are shared across shards).
+    ///
+    /// This is the DESIGN.md §8 row-separability construction for RIS:
+    /// a gain query reads only the item's own counter row, and an
+    /// `apply` decrements only member rows of the RR sets it drains —
+    /// both copied verbatim from the centralized oracle — so restricted
+    /// gains are **bit-identical** to centralized gains for every member
+    /// under any shared apply sequence. The invariant (counter rows
+    /// consistent with the restricted index) is checked at construction;
+    /// malformed member lists are typed rejections, never panics.
+    pub fn restrict(&self, members: &[ItemId]) -> Result<RisOracle, SolverError> {
+        validate_shard_members("RisOracle::restrict", self.n, members)?;
+        let c = self.weight.len();
+        let sub_n = members.len();
+
+        // Global node id -> local shard id, u32::MAX for non-members.
+        let mut local_of = vec![u32::MAX; self.n];
+        for (j, &v) in members.iter().enumerate() {
+            local_of[v as usize] = j as u32;
+        }
+
+        // Inverted index + base counters: the members' rows, verbatim.
+        let mut idx_offsets = Vec::with_capacity(sub_n + 1);
+        idx_offsets.push(0usize);
+        let mut idx_rr = Vec::new();
+        let mut base_counts = Vec::with_capacity(sub_n * c);
+        for &v in members {
+            idx_rr.extend_from_slice(self.rr_of(v as usize));
+            idx_offsets.push(idx_rr.len());
+            base_counts.extend_from_slice(&self.base_counts[v as usize * c..(v as usize + 1) * c]);
+        }
+
+        // Arena: every RR set keeps only its member nodes (in sample
+        // order), remapped to local ids. RR ids stay global so the
+        // covered bitset and `rr_group` lookups are untouched.
+        let mut rr_offsets = Vec::with_capacity(self.num_rr + 1);
+        rr_offsets.push(0usize);
+        let mut rr_nodes = Vec::new();
+        for rr in 0..self.num_rr {
+            for &node in self.nodes_of(rr) {
+                let local = local_of[node as usize];
+                if local != u32::MAX {
+                    rr_nodes.push(local);
+                }
+            }
+            rr_offsets.push(rr_nodes.len());
+        }
+
+        // §8 row-separability invariant: each member's counter row must
+        // total exactly its inverted-index degree — the structural fact
+        // that makes shard gains a verbatim read of central rows.
+        for (j, &v) in members.iter().enumerate() {
+            let degree = idx_offsets[j + 1] - idx_offsets[j];
+            let total: u32 = base_counts[j * c..(j + 1) * c].iter().sum();
+            if total as usize != degree {
+                return Err(SolverError::InvalidParams {
+                    solver: "RisOracle::restrict".into(),
+                    message: format!(
+                        "row-separability violated at member {v}: counter total {total} \
+                         != index degree {degree}"
+                    ),
+                });
+            }
+        }
+
+        Ok(RisOracle {
+            n: sub_n,
+            m: self.m,
+            group_sizes: self.group_sizes.clone(),
+            rr_group: self.rr_group.clone(),
+            weight: self.weight.clone(),
+            rr_offsets,
+            rr_nodes,
+            idx_offsets,
+            idx_rr,
+            base_counts,
+            num_rr: self.num_rr,
+        })
+    }
+
+    /// Restricts the oracle to every shard of an exact partition of the
+    /// ground set, building the shard oracles in parallel on the rayon
+    /// pool. Empty, overlapping, unsorted, or out-of-range partitions
+    /// are typed [`SolverError::InvalidParams`] rejections.
+    pub fn partition_shards(
+        &self,
+        partition: &[Vec<ItemId>],
+    ) -> Result<Vec<RisOracle>, SolverError> {
+        validate_shard_partition("RisOracle::partition_shards", self.n, partition)?;
+        partition
+            .iter()
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|members| self.restrict(members))
+            .collect::<Vec<Result<RisOracle, SolverError>>>()
+            .into_iter()
+            .collect()
     }
 
     /// Number of materialized RR sets.
@@ -526,6 +651,115 @@ mod tests {
             refc.insert(step);
             assert_eq!(inc.group_sums(), refc.group_sums());
         }
+    }
+
+    #[test]
+    fn restricted_oracle_reads_central_rows_bitwise() {
+        use fair_submod_core::system::SolutionState;
+        let g = sbm(&[30, 30], 0.2, 0.08, 17);
+        let groups = Groups::from_ratios(60, &[("a", 0.5), ("b", 0.5)], 6);
+        let oracle = RisOracle::generate(
+            &g,
+            DiffusionModel::ic(0.15),
+            &groups,
+            &RisConfig::new(800, 31),
+        );
+        let members: Vec<ItemId> = vec![1, 7, 20, 21, 44, 59];
+        let shard = oracle.restrict(&members).expect("valid members");
+        assert_eq!(shard.num_items(), members.len());
+        assert_eq!(shard.num_users(), oracle.num_users());
+        assert_eq!(shard.num_rr_sets(), oracle.num_rr_sets());
+
+        let mut central = SolutionState::new(&oracle);
+        let mut restricted = SolutionState::new(&shard);
+        let c = oracle.num_groups();
+        let mut through = vec![0.0; c];
+        let mut direct = vec![0.0; c];
+        // Apply a shared member sequence; gains must stay bitwise equal
+        // throughout (the sequence drains RR sets on both sides).
+        for &pick in &[2u32, 0, 5] {
+            for (local, &global) in members.iter().enumerate() {
+                restricted.gains_into(local as ItemId, &mut through);
+                central.gains_into(global, &mut direct);
+                for g in 0..c {
+                    assert_eq!(
+                        through[g].to_bits(),
+                        direct[g].to_bits(),
+                        "member {global} group {g}"
+                    );
+                }
+            }
+            restricted.insert(pick);
+            central.insert(members[pick as usize]);
+            assert_eq!(restricted.group_sums(), central.group_sums());
+        }
+    }
+
+    #[test]
+    fn partition_shards_rejects_malformed_partitions() {
+        let g = sbm(&[10, 10], 0.3, 0.1, 3);
+        let groups = Groups::from_ratios(20, &[("a", 0.5), ("b", 0.5)], 2);
+        let oracle = RisOracle::generate(
+            &g,
+            DiffusionModel::ic(0.2),
+            &groups,
+            &RisConfig::new(200, 5),
+        );
+        // Empty partition list.
+        assert!(oracle.partition_shards(&[]).is_err());
+        // Empty shard.
+        assert!(oracle
+            .partition_shards(&[(0..20).collect(), vec![]])
+            .is_err());
+        // Overlap.
+        assert!(oracle
+            .partition_shards(&[(0..11).collect(), (10..20).collect()])
+            .is_err());
+        // Out of range.
+        assert!(oracle
+            .partition_shards(&[(0..19).collect(), vec![25]])
+            .is_err());
+        // Not an exact cover.
+        assert!(oracle.partition_shards(&[(0..19).collect()]).is_err());
+        // Restrict alone: unsorted and empty member lists are typed
+        // rejections too.
+        assert!(oracle.restrict(&[]).is_err());
+        assert!(oracle.restrict(&[5, 2]).is_err());
+        // A valid partition round-trips.
+        let shards = oracle
+            .partition_shards(&[(0..7).collect(), (7..13).collect(), (13..20).collect()])
+            .expect("valid partition");
+        assert_eq!(shards.len(), 3);
+        assert_eq!(shards.iter().map(|s| s.num_items()).sum::<usize>(), 20);
+    }
+
+    #[test]
+    fn slice_backed_generation_matches_resident_graph() {
+        let g = sbm(&[25, 25], 0.2, 0.06, 21);
+        let groups = Groups::from_ratios(50, &[("a", 0.5), ("b", 0.5)], 3);
+        let cfg = RisConfig::new(600, 37);
+        let central = RisOracle::generate(&g, DiffusionModel::ic(0.12), &groups, &cfg);
+        // Cut the graph into three ragged slices and rebuild from them.
+        let slices = vec![
+            g.slice_rows(&(0..20).collect::<Vec<_>>()),
+            g.slice_rows(&(20..21).collect::<Vec<_>>()),
+            g.slice_rows(&(21..50).collect::<Vec<_>>()),
+        ];
+        let sliced = RisOracle::generate_from_slices(
+            &slices,
+            50,
+            g.is_directed(),
+            DiffusionModel::ic(0.12),
+            &groups,
+            &cfg,
+        );
+        assert_eq!(sliced.rr_group, central.rr_group);
+        assert_eq!(sliced.rr_offsets, central.rr_offsets);
+        assert_eq!(sliced.rr_nodes, central.rr_nodes);
+        assert_eq!(sliced.idx_offsets, central.idx_offsets);
+        assert_eq!(sliced.idx_rr, central.idx_rr);
+        assert_eq!(sliced.base_counts, central.base_counts);
+        assert_eq!(sliced.weight, central.weight);
     }
 
     #[test]

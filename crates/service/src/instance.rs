@@ -11,6 +11,7 @@
 //! JSON ([`canonical_key`]), and answers every later request against
 //! the shared, immutable [`Instance`].
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use serde::json::{obj, Value};
@@ -18,7 +19,7 @@ use serde::ToJson;
 
 use fair_submod_bench::args::ExpArgs;
 use fair_submod_bench::scenario::{BuiltDataset, DatasetRecipe, SubstrateSpec};
-use fair_submod_core::engine::DynUtilitySystem;
+use fair_submod_core::engine::{DynUtilitySystem, ErasedSystem, SolverError};
 use fair_submod_core::items::ItemId;
 use fair_submod_core::metrics::{evaluate, Evaluation};
 use fair_submod_coverage::CoverageOracle;
@@ -86,6 +87,23 @@ pub fn canonical_key(
         ("pokec_nodes", Value::Num(cfg.pokec_nodes as f64)),
     ])
     .to_compact_string();
+    (format!("{:016x}", fnv1a64(canonical.as_bytes())), canonical)
+}
+
+/// The canonical identity of one shard of a sharded solve: the central
+/// instance's canonical JSON suffixed with the shard coordinates and
+/// the partition seed, hashed the same way as [`canonical_key`]. Two
+/// requests share a shard oracle iff they share the central instance
+/// *and* ask for the same `(shard, num_shards, seed)` cut — a different
+/// shard count or partition seed selects different member columns, so
+/// it must (and does) key a different cache slot.
+pub fn shard_canonical_key(
+    central_canonical: &str,
+    shard: usize,
+    num_shards: usize,
+    seed: u64,
+) -> (String, String) {
+    let canonical = format!("{central_canonical}#shard={shard}/{num_shards}@seed={seed}");
     (format!("{:016x}", fnv1a64(canonical.as_bytes())), canonical)
 }
 
@@ -159,6 +177,11 @@ enum InstanceOracle {
         model: DiffusionModel,
     },
     Facility(FacilityOracle),
+    /// A shard-restricted view built by [`Instance::build_shard`]: the
+    /// substrate's own owned restriction (same concrete oracle type,
+    /// local ids), type-erased because the service only ever hands it
+    /// to a [`fair_submod_core::engine::ShardedInstance`].
+    Shard(Arc<dyn DynUtilitySystem>),
 }
 
 /// One materialized, immutable solve instance: the built dataset, its
@@ -180,7 +203,7 @@ pub struct Instance {
     pub num_groups: usize,
     /// Wall-clock seconds spent materializing dataset + oracle.
     pub build_seconds: f64,
-    dataset: BuiltDataset,
+    dataset: Arc<BuiltDataset>,
     oracle: InstanceOracle,
     mc_runs: usize,
     seed: u64,
@@ -215,6 +238,7 @@ impl Instance {
             InstanceOracle::Coverage(o) => o,
             InstanceOracle::Influence { oracle, .. } => oracle,
             InstanceOracle::Facility(o) => o,
+            InstanceOracle::Shard(_) => unreachable!("build never produces shard oracles"),
         };
         let (num_items, num_users, num_groups) = (
             system.dyn_num_items(),
@@ -229,10 +253,70 @@ impl Instance {
             num_users,
             num_groups,
             build_seconds: start.elapsed().as_secs_f64(),
-            dataset,
+            dataset: Arc::new(dataset),
             oracle,
             mc_runs: cfg.mc_runs,
             seed,
+        }
+    }
+
+    /// The substrate's owned restriction to an ascending member list —
+    /// the same concrete oracle type over local ids, bitwise equal to
+    /// the central oracle on the members' rows (see DESIGN.md §8).
+    /// Serves both the per-shard builds and the GreeDi merge phase.
+    /// Malformed member lists (empty, unsorted, out of range) are typed
+    /// [`SolverError::InvalidParams`] rejections from the substrate.
+    pub fn restrict_system(
+        &self,
+        members: &[ItemId],
+    ) -> Result<Arc<dyn DynUtilitySystem>, SolverError> {
+        match &self.oracle {
+            InstanceOracle::Coverage(o) => Ok(Arc::new(o.restrict(members)?)),
+            InstanceOracle::Influence { oracle, .. } => Ok(Arc::new(oracle.restrict(members)?)),
+            InstanceOracle::Facility(o) => Ok(Arc::new(o.restrict(members)?)),
+            InstanceOracle::Shard(_) => Err(SolverError::InvalidParams {
+                solver: "ShardedInstance".into(),
+                message: "shard instances cannot be restricted further".into(),
+            }),
+        }
+    }
+
+    /// One shard of `central`: shard `shard` of `num_shards` holding
+    /// exactly `members` (ascending global ids), sharing the central
+    /// instance's dataset through its `Arc`. The restriction itself is
+    /// the substrate-owned one, so shard gains are bitwise equal to the
+    /// central oracle's on the shard's items.
+    pub fn build_shard(
+        central: &Instance,
+        shard: usize,
+        num_shards: usize,
+        members: &[ItemId],
+    ) -> Result<Self, SolverError> {
+        let start = Instant::now();
+        let system = central.restrict_system(members)?;
+        let num_users = system.dyn_num_users();
+        let num_groups = system.dyn_num_groups();
+        Ok(Self {
+            recipe: central.recipe.clone(),
+            substrate: central.substrate.clone(),
+            dataset_name: format!("{}[shard {shard}/{num_shards}]", central.dataset_name),
+            num_items: members.len(),
+            num_users,
+            num_groups,
+            build_seconds: start.elapsed().as_secs_f64(),
+            dataset: Arc::clone(&central.dataset),
+            oracle: InstanceOracle::Shard(system),
+            mc_runs: central.mc_runs,
+            seed: central.seed,
+        })
+    }
+
+    /// The type-erased shard oracle, when this instance is a shard view
+    /// built by [`Instance::build_shard`].
+    pub fn shard_system(&self) -> Option<Arc<dyn DynUtilitySystem>> {
+        match &self.oracle {
+            InstanceOracle::Shard(system) => Some(Arc::clone(system)),
+            _ => None,
         }
     }
 
@@ -242,6 +326,7 @@ impl Instance {
             InstanceOracle::Coverage(o) => o,
             InstanceOracle::Influence { oracle, .. } => oracle,
             InstanceOracle::Facility(o) => o,
+            InstanceOracle::Shard(system) => system.as_ref(),
         }
     }
 
@@ -256,9 +341,13 @@ impl Instance {
     /// run count, mirroring the scenario runner's `mc_runs_cap`
     /// grid-job field (no effect on oracle-exact substrates).
     pub fn evaluate_capped(&self, items: &[ItemId], mc_runs_cap: Option<usize>) -> Evaluation {
-        match (&self.oracle, &self.dataset) {
+        match (&self.oracle, &*self.dataset) {
             (InstanceOracle::Coverage(o), _) => evaluate(o, items),
             (InstanceOracle::Facility(o), _) => evaluate(o, items),
+            // Shard views evaluate oracle-exactly over local ids; the
+            // service re-evaluates final solutions on the central
+            // instance, so this only serves diagnostics.
+            (InstanceOracle::Shard(system), _) => evaluate(&ErasedSystem(system.as_ref()), items),
             (InstanceOracle::Influence { model, .. }, BuiltDataset::Graph(d)) => {
                 let mc_runs = mc_runs_cap.map_or(self.mc_runs, |cap| self.mc_runs.min(cap));
                 monte_carlo_evaluate(

@@ -15,15 +15,23 @@ use std::time::Instant;
 use serde::json::{obj, parse_bytes, Value};
 use serde::{FromJson, ToJson};
 
+use rayon::prelude::*;
+
 use fair_submod_bench::harness::{run_suite, GridConfig};
 use fair_submod_bench::scenario::{cell_to_json, DatasetRecipe, GridJob, SubstrateSpec};
-use fair_submod_core::engine::{ScenarioParams, SolverError, SolverRegistry};
+use fair_submod_core::engine::{
+    MergeBuilder, ScenarioParams, ShardOracle, ShardedGreediSession, ShardedInstance,
+    ShardedSieveSession, SolveSession, SolverError, SolverRegistry,
+};
+use fair_submod_core::prelude::shard_partition;
 
 use crate::event_loop::{EventConfig, EventServer};
 use crate::http::{Request, Response, Server};
-use crate::instance::{canonical_key, validate_request, Instance, InstanceConfig};
+use crate::instance::{
+    canonical_key, shard_canonical_key, validate_request, Instance, InstanceConfig,
+};
 use crate::sessions::{ParkedSession, SessionStore};
-use crate::store::{CacheStatus, InstanceStore, StoreEntry};
+use crate::store::{CacheStatus, InstanceStore, OccupancyExceeded, StoreEntry};
 use crate::tenants::{QuotaConfig, TenantQuotas};
 
 /// Maximum parked anytime sessions (oldest evicted past this; see
@@ -33,6 +41,11 @@ pub const ANYTIME_SESSION_CAPACITY: usize = 64;
 /// Default (and maximum) session steps per `POST /solve/anytime` chunk.
 const DEFAULT_ANYTIME_CHUNK: usize = 16;
 const MAX_ANYTIME_CHUNK: usize = 100_000;
+
+/// Maximum shard count a `POST /solve` request may ask for. Each shard
+/// registers its own instance-store slot, so an unbounded `shards`
+/// would let one request flood the LRU cache.
+pub const MAX_SOLVE_SHARDS: usize = 64;
 
 /// Long-lived daemon state shared by all connection threads.
 pub struct ServiceState {
@@ -210,22 +223,164 @@ impl ServiceState {
         let (entry, status) = self
             .store
             .get_or_insert_for(&key, &canonical, tenant, max)
-            .map_err(|occupancy| {
-                Box::new(
-                    Response::json(
-                        429,
-                        &obj([
-                            ("error", Value::Str("tenant instance quota exceeded".into())),
-                            ("tenant", Value::Str(occupancy.tenant)),
-                            ("held", Value::Num(occupancy.held as f64)),
-                            ("limit", Value::Num(occupancy.limit as f64)),
-                        ]),
-                    )
-                    .with_header("Retry-After", "1"),
-                )
-            })?;
+            .map_err(occupancy_response)?;
         entry.get_or_build(|| Instance::build(recipe, substrate, &self.instance_cfg));
         Ok((entry, status))
+    }
+
+    /// Builds (or reuses) the `num_shards` shard oracles of `entry`'s
+    /// central instance and assembles them into a [`ShardedInstance`]
+    /// whose merge phase restricts the central oracle to the round-2
+    /// pool. Every shard is its own instance-store entry under
+    /// [`shard_canonical_key`], built in parallel on the worker pool —
+    /// so a repeat request with the same recipe, shard count, and seed
+    /// reuses all of them. The returned status is `hit` only when every
+    /// shard entry (the central one is the caller's) was already
+    /// registered.
+    fn sharded_instance(
+        &self,
+        tenant: &str,
+        entry: &Arc<StoreEntry>,
+        solver: &str,
+        params: &ScenarioParams,
+        num_shards: usize,
+    ) -> Result<(Arc<ShardedInstance>, CacheStatus), Box<Response>> {
+        let central = entry.built().expect("instance_entry builds");
+        let invalid = |message: String| {
+            let error = SolverError::InvalidParams {
+                solver: solver.to_string(),
+                message,
+            };
+            Box::new(Response::json(400, &error.to_json()))
+        };
+        if num_shards > central.num_items {
+            return Err(invalid(format!(
+                "shards must not exceed the instance's {} items (got {num_shards})",
+                central.num_items
+            )));
+        }
+        // Mirror the centralized SieveStreaming adapter's domain check
+        // before doing any shard work.
+        if solver == "SieveStreaming" && !(params.epsilon > 0.0 && params.epsilon < 1.0) {
+            return Err(invalid(format!(
+                "epsilon must lie in (0, 1), got {}",
+                params.epsilon
+            )));
+        }
+        let mut partition = shard_partition(central.num_items, num_shards, params.seed);
+        for members in &mut partition {
+            members.sort_unstable();
+        }
+        let max = self.quotas.config().max_instances;
+        let seed = params.seed;
+        let indexed: Vec<(usize, Vec<u32>)> = partition.into_iter().enumerate().collect();
+        let built = indexed
+            .into_par_iter()
+            .map(|(s, members)| {
+                let (key, canonical) = shard_canonical_key(&entry.canonical, s, num_shards, seed);
+                let (shard_entry, status) = self
+                    .store
+                    .get_or_insert_for(&key, &canonical, tenant, max)
+                    .map_err(occupancy_response)?;
+                shard_entry.get_or_build(|| {
+                    Instance::build_shard(central, s, num_shards, &members)
+                        .expect("shard_partition members are a valid restriction")
+                });
+                Ok((shard_entry, status, members))
+            })
+            .collect::<Vec<Result<_, Box<Response>>>>()
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()?;
+        let all_hit = built.iter().all(|(_, s, _)| *s == CacheStatus::Hit);
+        let shards: Vec<ShardOracle> = built
+            .into_iter()
+            .map(|(shard_entry, _, members)| {
+                let system = shard_entry
+                    .built()
+                    .expect("get_or_build built the shard entry")
+                    .shard_system()
+                    .expect("shard keys only ever hold shard instances");
+                ShardOracle { members, system }
+            })
+            .collect();
+        // The merge oracle restricts the *central* instance to the
+        // round-2 pool; holding the entry's Arc keeps it alive across
+        // LRU eviction for the sharded instance's whole life.
+        let central_entry = Arc::clone(entry);
+        let merge: MergeBuilder = Box::new(move |pool| {
+            central_entry
+                .built()
+                .expect("merge runs on a built central entry")
+                .restrict_system(pool)
+                .expect("merge pool ids come from shard members")
+        });
+        let instance = ShardedInstance::new(shards, merge)
+            .map_err(|e| Box::new(Response::json(solver_error_status(&e), &e.to_json())))?;
+        Ok((
+            Arc::new(instance),
+            if all_hit {
+                CacheStatus::Hit
+            } else {
+                CacheStatus::Miss
+            },
+        ))
+    }
+
+    /// Opens the sharded session for one of the two shard-capable
+    /// solvers (the only names [`parse_shards`] admits).
+    fn open_sharded_session(
+        instance: &Arc<ShardedInstance>,
+        solver: &str,
+        params: &ScenarioParams,
+    ) -> Box<dyn SolveSession> {
+        match solver {
+            "GreeDi" => Box::new(ShardedGreediSession::open(Arc::clone(instance), params)),
+            _ => Box::new(ShardedSieveSession::open(instance, params)),
+        }
+    }
+
+    /// `POST /solve` with a `shards` field: drives the sharded session
+    /// to completion server-side and finishes it against the central
+    /// system, so the report is identical to the centralized solver's
+    /// for the same recipe and params (up to wall-clock `seconds`).
+    fn solve_sharded(
+        &self,
+        tenant: &str,
+        entry: &Arc<StoreEntry>,
+        central_status: CacheStatus,
+        solver: &str,
+        params: &ScenarioParams,
+        num_shards: usize,
+    ) -> Response {
+        let started = Instant::now();
+        let (sharded, shard_status) =
+            match self.sharded_instance(tenant, entry, solver, params, num_shards) {
+                Ok(ok) => ok,
+                Err(refused) => return *refused,
+            };
+        let status = combine_status(central_status, shard_status);
+        let mut session = Self::open_sharded_session(&sharded, solver, params);
+        let central = entry.built().expect("instance_entry builds");
+        let system = central.system();
+        while !session.done() {
+            session.step(system);
+        }
+        self.solves.fetch_add(1, Ordering::Relaxed);
+        match session.finish(system) {
+            Ok(mut report) => {
+                let eval = central.evaluate(&report.items);
+                report.f = eval.f;
+                report.g = eval.g;
+                report.group_utilities = eval.group_means;
+                report.seconds = started.elapsed().as_secs_f64();
+                Response::json(200, &report.to_json())
+                    .with_header("X-Instance-Cache", status.as_str())
+                    .with_header("X-Instance-Key", entry.key.clone())
+                    .with_header("X-Instance-Cache-Hits", self.store.stats().hits.to_string())
+            }
+            Err(error) => Response::json(solver_error_status(&error), &error.to_json())
+                .with_header("X-Instance-Cache", status.as_str()),
+        }
     }
 
     fn solve(&self, tenant: &str, body: &[u8]) -> Response {
@@ -237,18 +392,29 @@ impl ServiceState {
             Some(s) => s.to_string(),
             None => return error_response(400, "request needs a 'solver' name"),
         };
-        let params = match value.get("params") {
+        let mut params = match value.get("params") {
             Some(p) => match ScenarioParams::from_json(p) {
                 Ok(params) => params,
                 Err(e) => return error_response(400, &format!("bad params: {e}")),
             },
             None => return error_response(400, "request needs a 'params' object with k and tau"),
         };
+        let shards = match parse_shards(&value, &solver) {
+            Ok(shards) => shards,
+            Err(refused) => return *refused,
+        };
 
         let (entry, status) = match self.instance_entry(recipe, substrate, tenant) {
             Ok(found) => found,
             Err(refused) => return *refused,
         };
+        if let Some(num_shards) = shards {
+            // Keep the report's "shards" note consistent with the
+            // partition actually used (and with a centralized GreeDi
+            // run of the same params, which reads `params.shards`).
+            params.shards = num_shards;
+            return self.solve_sharded(tenant, &entry, status, &solver, &params, num_shards);
+        }
         let instance = entry.built().expect("instance_entry builds");
         self.solves.fetch_add(1, Ordering::Relaxed);
         match self.registry.solve(&solver, instance.system(), &params) {
@@ -313,27 +479,46 @@ impl ServiceState {
             Some(s) => s.to_string(),
             None => return error_response(400, "request needs a 'solver' name"),
         };
-        let params = match value.get("params") {
+        let mut params = match value.get("params") {
             Some(p) => match ScenarioParams::from_json(p) {
                 Ok(params) => params,
                 Err(e) => return error_response(400, &format!("bad params: {e}")),
             },
             None => return error_response(400, "request needs a 'params' object with k and tau"),
         };
+        let shards = match parse_shards(&value, &solver) {
+            Ok(shards) => shards,
+            Err(refused) => return *refused,
+        };
 
-        let (entry, status) = match self.instance_entry(recipe, substrate, tenant) {
+        let (entry, mut status) = match self.instance_entry(recipe, substrate, tenant) {
             Ok(found) => found,
             Err(refused) => return *refused,
         };
         let instance = entry.built().expect("instance_entry builds");
-        let session = match self
-            .registry
-            .open_session(&solver, instance.system(), &params)
-        {
-            Ok(session) => session,
-            Err(error) => {
-                return Response::json(solver_error_status(&error), &error.to_json())
-                    .with_header("X-Instance-Cache", status.as_str())
+        let session = if let Some(num_shards) = shards {
+            params.shards = num_shards;
+            let (sharded, shard_status) =
+                match self.sharded_instance(tenant, &entry, &solver, &params, num_shards) {
+                    Ok(ok) => ok,
+                    Err(refused) => return *refused,
+                };
+            status = combine_status(status, shard_status);
+            // Sharded sessions own their shard oracles and ignore the
+            // system passed to `step`; parking them on the *central*
+            // entry makes `finish` evaluate against the central oracle,
+            // so the final report matches the centralized solver's.
+            Self::open_sharded_session(&sharded, &solver, &params)
+        } else {
+            match self
+                .registry
+                .open_session(&solver, instance.system(), &params)
+            {
+                Ok(session) => session,
+                Err(error) => {
+                    return Response::json(solver_error_status(&error), &error.to_json())
+                        .with_header("X-Instance-Cache", status.as_str())
+                }
             }
         };
         self.solves.fetch_add(1, Ordering::Relaxed);
@@ -549,6 +734,64 @@ fn error_response(status: u16, message: &str) -> Response {
     Response::json(status, &obj([("error", Value::Str(message.into()))]))
 }
 
+/// The `429` a tenant gets when a registration would push it past its
+/// instance-occupancy cap (shared by the central and shard entries).
+fn occupancy_response(occupancy: OccupancyExceeded) -> Box<Response> {
+    Box::new(
+        Response::json(
+            429,
+            &obj([
+                ("error", Value::Str("tenant instance quota exceeded".into())),
+                ("tenant", Value::Str(occupancy.tenant)),
+                ("held", Value::Num(occupancy.held as f64)),
+                ("limit", Value::Num(occupancy.limit as f64)),
+            ]),
+        )
+        .with_header("Retry-After", "1"),
+    )
+}
+
+/// `hit` only when both the central entry and every shard entry were
+/// already registered — a partial reuse still rebuilt something.
+fn combine_status(a: CacheStatus, b: CacheStatus) -> CacheStatus {
+    if a == CacheStatus::Hit && b == CacheStatus::Hit {
+        CacheStatus::Hit
+    } else {
+        CacheStatus::Miss
+    }
+}
+
+/// Parses the optional top-level `shards` field of a solve body:
+/// `None` means a centralized solve, `Some(p)` a validated sharded one.
+/// Rejections are the engine's typed `invalid_params` JSON, not bare
+/// strings, so clients can dispatch on `kind`.
+fn parse_shards(value: &Value, solver: &str) -> Result<Option<usize>, Box<Response>> {
+    let Some(raw) = value.get("shards") else {
+        return Ok(None);
+    };
+    let invalid = |message: String| {
+        let error = SolverError::InvalidParams {
+            solver: solver.to_string(),
+            message,
+        };
+        Box::new(Response::json(400, &error.to_json()))
+    };
+    let shards = raw
+        .as_usize()
+        .filter(|p| (1..=MAX_SOLVE_SHARDS).contains(p))
+        .ok_or_else(|| {
+            invalid(format!(
+                "'shards' must be an integer in 1..={MAX_SOLVE_SHARDS} (got {raw:?})"
+            ))
+        })?;
+    if !matches!(solver, "GreeDi" | "SieveStreaming") {
+        return Err(invalid(format!(
+            "sharded solves support GreeDi and SieveStreaming (got {solver})"
+        )));
+    }
+    Ok(Some(shards))
+}
+
 fn solver_error_status(error: &SolverError) -> u16 {
     match error {
         SolverError::UnknownSolver { .. } => 404,
@@ -723,6 +966,145 @@ mod tests {
         assert_eq!(s.handle(&get("/nope")).status, 404);
         assert_eq!(s.handle(&get("/solve")).status, 405);
         assert_eq!(s.handle(&post("/healthz", "")).status, 405);
+    }
+
+    /// The report body with wall-clock `seconds` stripped — the only
+    /// field the sharded and centralized paths may legitimately differ
+    /// in.
+    fn sans_seconds(body: &[u8]) -> String {
+        let Value::Obj(pairs) = parse_bytes(body).unwrap() else {
+            panic!("report bodies are objects")
+        };
+        Value::Obj(pairs.into_iter().filter(|(k, _)| k != "seconds").collect()).to_compact_string()
+    }
+
+    fn solve_body(solver: &str, shards: Option<usize>) -> String {
+        let top = shards.map_or(String::new(), |p| format!("\"shards\": {p},"));
+        format!(
+            r#"{{
+                "dataset": {{"kind": "rand_mc", "c": 2, "n": 48}},
+                "substrate": "coverage",
+                "solver": "{solver}",
+                {top}
+                "params": {{"k": 4, "tau": 0.8, "shards": 3, "epsilon": 0.1}}
+            }}"#
+        )
+    }
+
+    #[test]
+    fn sharded_solve_reports_are_byte_identical_to_centralized() {
+        for solver in ["GreeDi", "SieveStreaming"] {
+            let s = state();
+            let sharded = s.handle(&post("/solve", &solve_body(solver, Some(3))));
+            let central = s.handle(&post("/solve", &solve_body(solver, None)));
+            assert_eq!(
+                sharded.status,
+                200,
+                "{}",
+                String::from_utf8_lossy(&sharded.body)
+            );
+            assert_eq!(central.status, 200);
+            assert_eq!(
+                sans_seconds(&sharded.body),
+                sans_seconds(&central.body),
+                "{solver} sharded report must match the centralized one"
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_sharded_solves_reuse_every_shard_entry() {
+        let s = state();
+        let cache = |r: &Response| {
+            r.headers
+                .iter()
+                .find(|(n, _)| n == "X-Instance-Cache")
+                .map(|(_, v)| v.clone())
+        };
+        let first = s.handle(&post("/solve", &solve_body("GreeDi", Some(2))));
+        assert_eq!(first.status, 200);
+        assert_eq!(cache(&first).as_deref(), Some("miss"));
+        // Central + 2 shard entries registered.
+        assert_eq!(s.store.stats().len, 3);
+        let second = s.handle(&post("/solve", &solve_body("GreeDi", Some(2))));
+        assert_eq!(second.status, 200);
+        assert_eq!(
+            cache(&second).as_deref(),
+            Some("hit"),
+            "central and both shard entries were cached"
+        );
+        assert_eq!(s.store.stats().len, 3, "no new entries on the repeat");
+        // A different shard count cuts different columns: partial miss.
+        let recut = s.handle(&post("/solve", &solve_body("GreeDi", Some(3))));
+        assert_eq!(cache(&recut).as_deref(), Some("miss"));
+    }
+
+    #[test]
+    fn bad_shards_are_typed_400s() {
+        let s = state();
+        for bad in [
+            solve_body("GreeDi", Some(0)),
+            solve_body("GreeDi", Some(MAX_SOLVE_SHARDS + 1)),
+            solve_body("GreeDi", Some(49)), // > num_items = 48
+            solve_body("Greedy", Some(2)),  // not a shard-capable solver
+            solve_body("GreeDi", None).replace("\"solver\"", "\"shards\": 1.5, \"solver\""),
+        ] {
+            let resp = s.handle(&post("/solve", &bad));
+            assert_eq!(resp.status, 400, "{bad}");
+            let body = parse_bytes(&resp.body).unwrap();
+            assert_eq!(
+                body.get("kind").and_then(Value::as_str),
+                Some("invalid_params"),
+                "{bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_anytime_steps_one_shard_per_round_and_matches_solve() {
+        let s = state();
+        // 3 shard rounds + 1 merge round for GreeDi over 3 shards.
+        let open = format!(
+            r#"{{"max_rounds": 2, {}"#,
+            solve_body("GreeDi", Some(3))
+                .trim_start()
+                .trim_start_matches('{')
+        );
+        let first = s.handle(&post("/solve/anytime", &open));
+        assert_eq!(
+            first.status,
+            200,
+            "{}",
+            String::from_utf8_lossy(&first.body)
+        );
+        let body = parse_bytes(&first.body).unwrap();
+        assert_eq!(body.get("done").and_then(Value::as_bool), Some(false));
+        let handle = body
+            .get("session")
+            .and_then(Value::as_str)
+            .unwrap()
+            .to_string();
+        let resume = s.handle(&post(
+            "/solve/anytime",
+            &format!(r#"{{"session": "{handle}", "max_rounds": 10}}"#),
+        ));
+        assert_eq!(resume.status, 200);
+        let body = parse_bytes(&resume.body).unwrap();
+        assert_eq!(body.get("done").and_then(Value::as_bool), Some(true));
+        assert_eq!(body.get("steps_total").and_then(Value::as_usize), Some(4));
+        let report = body.get("report").unwrap();
+        // The finished anytime report matches the one-shot sharded (and
+        // therefore centralized) report.
+        let oneshot = s.handle(&post("/solve", &solve_body("GreeDi", Some(3))));
+        let oneshot = parse_bytes(&oneshot.body).unwrap();
+        assert_eq!(
+            report.get("items").unwrap().to_compact_string(),
+            oneshot.get("items").unwrap().to_compact_string()
+        );
+        assert_eq!(
+            report.get("f").and_then(Value::as_f64).unwrap().to_bits(),
+            oneshot.get("f").and_then(Value::as_f64).unwrap().to_bits()
+        );
     }
 
     #[test]

@@ -311,3 +311,130 @@ fn anytime_sessions_chunk_across_requests_and_match_one_shot() {
     assert!(one_chunk.get("report").is_some());
     assert!(one_chunk.get("session").is_none());
 }
+
+/// A report body with the wall-clock field removed — everything else
+/// must be byte-identical between the sharded and centralized paths.
+fn sans_seconds(body: &[u8]) -> String {
+    let Value::Obj(pairs) = parse_bytes(body).unwrap_or_else(|e| panic!("non-JSON body: {e}"))
+    else {
+        panic!("report bodies are objects")
+    };
+    Value::Obj(pairs.into_iter().filter(|(k, _)| k != "seconds").collect()).to_compact_string()
+}
+
+/// A GreeDi recipe over the same dataset, centralized (`shards: None`)
+/// or served through the sharded tier (`shards: Some(p)`). The
+/// in-params shard count is fixed so the centralized notes match the
+/// sharded run's.
+fn greedi_body(shards: Option<usize>) -> String {
+    let top = shards.map_or(String::new(), |p| format!("\"shards\": {p},"));
+    format!(
+        r#"{{
+            "dataset": {{"kind": "rand_mc", "c": 2, "n": 48, "seed_offset": 11}},
+            "substrate": "coverage",
+            "solver": "GreeDi",
+            {top}
+            "params": {{"k": 4, "tau": 0.8, "shards": 3}}
+        }}"#
+    )
+}
+
+#[test]
+fn sharded_solves_round_trip_over_http() {
+    let addr = spawn_daemon();
+    let mut conn = TcpStream::connect(addr).unwrap();
+
+    // The centralized GreeDi reference answer.
+    let central = request(&mut conn, "POST", "/solve", Some(&greedi_body(None)));
+    assert_eq!(
+        central.status,
+        200,
+        "{}",
+        String::from_utf8_lossy(&central.body)
+    );
+
+    // Sharded solve of the same recipe: byte-identical modulo seconds.
+    // The central entry is warm but the three shard entries are not, so
+    // the combined cache status is a miss.
+    let sharded = request(&mut conn, "POST", "/solve", Some(&greedi_body(Some(3))));
+    assert_eq!(
+        sharded.status,
+        200,
+        "{}",
+        String::from_utf8_lossy(&sharded.body)
+    );
+    assert_eq!(sharded.header("x-instance-cache"), Some("miss"));
+    assert_eq!(sans_seconds(&sharded.body), sans_seconds(&central.body));
+
+    // Repeating the recipe reuses every per-shard cache entry — the
+    // combined status only reports a hit when central AND all shards
+    // skip rematerialization.
+    let again = request(&mut conn, "POST", "/solve", Some(&greedi_body(Some(3))));
+    assert_eq!(again.status, 200);
+    assert_eq!(again.header("x-instance-cache"), Some("hit"));
+    assert_eq!(sans_seconds(&again.body), sans_seconds(&central.body));
+
+    // /instances shows the central entry plus the three shard entries.
+    let instances = request(&mut conn, "GET", "/instances", None);
+    assert_eq!(instances.status, 200);
+    assert_eq!(
+        instances.json().get("len").and_then(Value::as_usize),
+        Some(4)
+    );
+
+    // Malformed shard counts are typed 4xx JSON, and the daemon
+    // survives them.
+    for bad_body in [
+        greedi_body(Some(0)),
+        greedi_body(Some(65)),
+        greedi_body(Some(49)), // more shards than items
+        greedi_body(Some(2)).replace("GreeDi", "Greedy"), // non-mergeable solver
+    ] {
+        let bad = request(&mut conn, "POST", "/solve", Some(&bad_body));
+        assert_eq!(bad.status, 400, "{bad_body}");
+        assert_eq!(
+            bad.json().get("kind").and_then(Value::as_str),
+            Some("invalid_params"),
+            "{bad_body}"
+        );
+    }
+    let alive = request(&mut conn, "GET", "/healthz", None);
+    assert_eq!(alive.status, 200);
+
+    // Sharded anytime: one shard per chunked round, resumable across
+    // connections, and the final report equals the one-shot sharded
+    // solve (which equals the centralized one, above).
+    let open_body = greedi_body(Some(3)).replacen('{', "{\"max_rounds\": 2,", 1);
+    let first = request(&mut conn, "POST", "/solve/anytime", Some(&open_body));
+    assert_eq!(
+        first.status,
+        200,
+        "{}",
+        String::from_utf8_lossy(&first.body)
+    );
+    let first = first.json();
+    assert_eq!(first.get("done").and_then(Value::as_bool), Some(false));
+    let handle = first
+        .get("session")
+        .and_then(Value::as_str)
+        .expect("unfinished sharded chunk returns a session handle")
+        .to_string();
+
+    let mut conn2 = TcpStream::connect(addr).unwrap();
+    let mut report = None;
+    for _ in 0..8 {
+        let resume_body = format!(r#"{{"session": "{handle}", "max_rounds": 2}}"#);
+        let next = request(&mut conn2, "POST", "/solve/anytime", Some(&resume_body));
+        assert_eq!(next.status, 200);
+        let next = next.json();
+        if next.get("done").and_then(Value::as_bool) == Some(true) {
+            report = next.get("report").cloned();
+            break;
+        }
+    }
+    let report = report.expect("sharded session finishes within the chunk budget");
+    let one_shot = parse_bytes(&central.body).unwrap();
+    assert_eq!(report.get("items"), one_shot.get("items"));
+    assert_eq!(report.get("f"), one_shot.get("f"));
+    assert_eq!(report.get("oracle_calls"), one_shot.get("oracle_calls"));
+}

@@ -1,0 +1,317 @@
+//! Property-based tests (proptest) for substrate shard partitioning —
+//! the sibling of `tests/graph_chunk_props.rs` one layer up the stack.
+//! Random edge-list documents and random benefit matrices round-trip
+//! through `partition_shards`: every restricted oracle must be the same
+//! computation over local ids, so subset values through a shard are
+//! bitwise equal to the centralized oracle over the mapped global ids,
+//! shard singleton-value totals agree with the centralized sweep, the
+//! RR-set arena partitions exactly (multiset union of the shard arenas
+//! is the central arena), and ragged partitions — empty-prone owner
+//! draws, forced singleton shards — behave identically. Malformed
+//! partitions (overlap, gap, out-of-range, empty shard, unsorted
+//! members) are typed `SolverError::InvalidParams` rejections on every
+//! substrate, never panics.
+//!
+//! CI re-runs this suite under `RAYON_NUM_THREADS=1` alongside
+//! `sharded_equivalence` to pin thread-count independence.
+
+use proptest::prelude::*;
+
+use fair_submod::core::prelude::*;
+use fair_submod::coverage::{dominating_set_system, CoverageOracle};
+use fair_submod::facility::{BenefitMatrix, FacilityOracle};
+use fair_submod::graphs::io::read_edge_list;
+use fair_submod::graphs::Groups;
+use fair_submod::influence::oracle::RisConfig;
+use fair_submod::influence::{DiffusionModel, RisOracle};
+
+/// xorshift64 step shared by every generator below (same kernel as the
+/// graph-chunk sibling, so failures shrink comparably).
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// Strategy: a random edge-list document over `n` nodes — duplicate
+/// edges, self-loops, blank lines, and `#` comments all appear.
+fn edge_list_doc() -> impl Strategy<Value = (String, usize)> {
+    (2usize..20, 0usize..40, any::<u64>()).prop_map(|(n, edges, seed)| {
+        let mut state = seed | 1;
+        let mut lines: Vec<String> = Vec::new();
+        for _ in 0..edges {
+            match xorshift(&mut state) % 10 {
+                0 => lines.push(String::new()),
+                1 => lines.push("# comment".to_string()),
+                _ => lines.push(format!(
+                    "{} {}",
+                    xorshift(&mut state) % n as u64,
+                    xorshift(&mut state) % n as u64
+                )),
+            }
+        }
+        (lines.join("\n"), n)
+    })
+}
+
+/// Strategy: a random non-negative benefit matrix (m users × n items).
+fn benefit_matrix_doc() -> impl Strategy<Value = (Vec<f64>, usize, usize)> {
+    (2usize..8, 2usize..14, any::<u64>()).prop_map(|(m, n, seed)| {
+        let mut state = seed | 1;
+        let b: Vec<f64> = (0..m * n)
+            .map(|_| (xorshift(&mut state) % 1_000) as f64 / 250.0)
+            .collect();
+        (b, m, n)
+    })
+}
+
+/// A two-group assignment over `count` users with both groups
+/// guaranteed inhabited (group sizes must be positive).
+fn random_groups(count: usize, seed: u64) -> Vec<u32> {
+    let mut state = seed | 1;
+    let mut assignment: Vec<u32> = (0..count)
+        .map(|_| (xorshift(&mut state) % 2) as u32)
+        .collect();
+    assignment[0] = 0;
+    if count > 1 {
+        assignment[1] = 1;
+    } else {
+        assignment[0] = 0;
+    }
+    assignment
+}
+
+/// A random exact-cover partition of `0..n` into at most `num_shards`
+/// ascending member lists. Ragged by construction (owner draws are
+/// uniform, empties are dropped), and `force_singleton` pins item 0
+/// into a shard of its own so singleton shards stay in every sweep.
+fn random_partition(
+    n: usize,
+    num_shards: usize,
+    seed: u64,
+    force_singleton: bool,
+) -> Vec<Vec<ItemId>> {
+    let mut state = seed | 1;
+    let p = num_shards.max(1);
+    let mut shards: Vec<Vec<ItemId>> = vec![Vec::new(); p];
+    let singleton = force_singleton && n >= 2 && p >= 2;
+    let start = if singleton {
+        shards[0].push(0);
+        1
+    } else {
+        0
+    };
+    for v in start..n {
+        let lanes = if singleton { p - 1 } else { p };
+        let s = (xorshift(&mut state) % lanes as u64) as usize + usize::from(singleton);
+        shards[s].push(v as ItemId);
+    }
+    shards.retain(|members| !members.is_empty());
+    shards
+}
+
+/// Coverage oracle (dominating-set system) parsed from a random
+/// edge-list document.
+fn coverage_from_doc(text: &str, n: usize, group_seed: u64) -> CoverageOracle {
+    let graph = read_edge_list(text.as_bytes(), n, false).expect("generator emits valid documents");
+    let groups = Groups::from_assignment(random_groups(n, group_seed));
+    CoverageOracle::new(dominating_set_system(&graph), &groups)
+}
+
+/// Asserts that a shard oracle is the centralized computation over
+/// local ids: every local subset evaluates bitwise equal (f and g) to
+/// the central oracle over the mapped global ids. Exercised on every
+/// singleton and on the shard's full prefix chain, which walks the
+/// incremental state through the same update order on both sides.
+fn assert_shard_is_subset_view<S: UtilitySystem, C: UtilitySystem>(
+    shard: &S,
+    central: &C,
+    members: &[ItemId],
+) {
+    assert_eq!(shard.num_items(), members.len());
+    assert_eq!(shard.num_users(), central.num_users());
+    for (local, &global) in members.iter().enumerate() {
+        let local_eval = evaluate(shard, &[local as ItemId]);
+        let central_eval = evaluate(central, &[global]);
+        assert_eq!(local_eval.f.to_bits(), central_eval.f.to_bits());
+        assert_eq!(local_eval.g.to_bits(), central_eval.g.to_bits());
+    }
+    for prefix in 1..=members.len() {
+        let local: Vec<ItemId> = (0..prefix as ItemId).collect();
+        let global: Vec<ItemId> = members[..prefix].to_vec();
+        let local_eval = evaluate(shard, &local);
+        let central_eval = evaluate(central, &global);
+        assert_eq!(local_eval.f.to_bits(), central_eval.f.to_bits());
+        assert_eq!(local_eval.g.to_bits(), central_eval.g.to_bits());
+    }
+}
+
+/// Singleton-value totals for a centralized oracle (global item order)
+/// and for a partition of shard oracles (shard-major order).
+fn singleton_totals<S: UtilitySystem>(oracle: &S) -> f64 {
+    (0..oracle.num_items())
+        .map(|v| evaluate(oracle, &[v as ItemId]).f)
+        .sum()
+}
+
+/// Summation-order tolerance: shard-major and global-order singleton
+/// sweeps add the same bitwise-identical terms in different orders.
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Coverage: random edge lists round-trip through
+    /// `partition_shards` — every shard is a bitwise subset view and
+    /// the shard singleton totals rebuild the centralized sweep.
+    #[test]
+    fn coverage_partitions_are_bitwise_subset_views(
+        (text, n) in edge_list_doc(),
+        num_shards in 1usize..5,
+        partition_seed in any::<u64>(),
+        group_seed in any::<u64>(),
+        force_singleton in any::<bool>(),
+    ) {
+        let central = coverage_from_doc(&text, n, group_seed);
+        let partition = random_partition(n, num_shards, partition_seed, force_singleton);
+        let shards = central.partition_shards(&partition).expect("valid partition");
+        prop_assert_eq!(shards.len(), partition.len());
+        let mut sharded_total = 0.0;
+        for (shard, members) in shards.iter().zip(&partition) {
+            assert_shard_is_subset_view(shard, &central, members);
+            sharded_total += singleton_totals(shard);
+        }
+        prop_assert!(close(sharded_total, singleton_totals(&central)));
+    }
+
+    /// Facility location: random benefit matrices round-trip through
+    /// column partitioning the same way.
+    #[test]
+    fn facility_partitions_are_bitwise_subset_views(
+        (b, m, n) in benefit_matrix_doc(),
+        num_shards in 1usize..5,
+        partition_seed in any::<u64>(),
+        group_seed in any::<u64>(),
+        force_singleton in any::<bool>(),
+    ) {
+        let central = FacilityOracle::new(
+            BenefitMatrix::new(b, m, n),
+            random_groups(m, group_seed),
+        );
+        let partition = random_partition(n, num_shards, partition_seed, force_singleton);
+        let shards = central.partition_shards(&partition).expect("valid partition");
+        prop_assert_eq!(shards.len(), partition.len());
+        let mut sharded_total = 0.0;
+        for (shard, members) in shards.iter().zip(&partition) {
+            assert_shard_is_subset_view(shard, &central, members);
+            sharded_total += singleton_totals(shard);
+        }
+        prop_assert!(close(sharded_total, singleton_totals(&central)));
+    }
+
+    /// Malformed partitions are typed rejections — overlap, gap,
+    /// out-of-range member, inserted empty shard, unsorted members —
+    /// on both matrix-backed substrates, never a panic. (The influence
+    /// negatives ride the same `validate_shard_partition` path and are
+    /// pinned by `tests/sharded_equivalence.rs`.)
+    #[test]
+    fn malformed_partitions_are_typed_rejections(
+        (text, n) in edge_list_doc(),
+        (b, m, fl_n) in benefit_matrix_doc(),
+        num_shards in 2usize..5,
+        partition_seed in any::<u64>(),
+        corrupt_kind in 0u8..5,
+    ) {
+        let coverage = coverage_from_doc(&text, n, partition_seed);
+        let facility = FacilityOracle::new(
+            BenefitMatrix::new(b, m, fl_n),
+            random_groups(m, partition_seed),
+        );
+        for (items, run) in [
+            (n, Box::new(|p: &[Vec<ItemId>]| coverage.partition_shards(p).map(|_| ()))
+                as Box<dyn Fn(&[Vec<ItemId>]) -> Result<(), SolverError>>),
+            (fl_n, Box::new(|p: &[Vec<ItemId>]| facility.partition_shards(p).map(|_| ()))),
+        ] {
+            let mut partition = random_partition(items, num_shards, partition_seed, false);
+            match corrupt_kind {
+                // Overlap: shard 0's first member duplicated into the
+                // last shard (sorted insert keeps members ascending).
+                0 if partition.len() >= 2 => {
+                    let dup = partition[0][0];
+                    let last = partition.len() - 1;
+                    let at = partition[last].partition_point(|&v| v < dup);
+                    partition[last].insert(at, dup);
+                }
+                // Gap: one shard dropped, so the cover is not exact.
+                1 if partition.len() >= 2 => {
+                    partition.pop();
+                }
+                // Out-of-range member appended past the universe.
+                2 => partition.last_mut().unwrap().push(items as ItemId),
+                // Empty shard inserted mid-partition.
+                3 => partition.insert(partition.len() / 2, Vec::new()),
+                // Unsorted members (needs a shard with two entries).
+                _ => {
+                    let Some(shard) = partition.iter_mut().find(|s| s.len() >= 2) else {
+                        continue;
+                    };
+                    shard.reverse();
+                }
+            }
+            if corrupt_kind <= 1 && partition.len() < 2 {
+                continue; // mutation was a no-op on a degenerate draw
+            }
+            let err = run(&partition).expect_err("corrupted partition must be rejected");
+            prop_assert!(
+                matches!(err, SolverError::InvalidParams { .. }),
+                "expected InvalidParams, got {err:?}"
+            );
+        }
+    }
+}
+
+proptest! {
+    // RR generation dominates the budget here; fewer, larger cases.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Influence: the RR-set arena partitions exactly. Each (rr, node)
+    /// incidence lands in precisely the shard owning the node — the
+    /// multiset union of the shard arenas is the central arena — every
+    /// shard sees the full RR sample, and spreads through a shard are
+    /// bitwise equal to the centralized oracle.
+    #[test]
+    fn ris_partitions_split_the_rr_arena_exactly(
+        (text, n) in edge_list_doc(),
+        num_shards in 1usize..5,
+        partition_seed in any::<u64>(),
+        rr_seed in any::<u64>(),
+        force_singleton in any::<bool>(),
+    ) {
+        let graph = read_edge_list(text.as_bytes(), n, false).expect("valid document");
+        let groups = Groups::from_assignment(random_groups(n, partition_seed));
+        let central = RisOracle::generate(
+            &graph,
+            DiffusionModel::ic(0.1),
+            &groups,
+            &RisConfig::new(160, rr_seed),
+        );
+        let partition = random_partition(n, num_shards, partition_seed, force_singleton);
+        let shards = central.partition_shards(&partition).expect("valid partition");
+
+        let mut arena_total = 0usize;
+        for (shard, members) in shards.iter().zip(&partition) {
+            prop_assert_eq!(shard.num_rr_sets(), central.num_rr_sets());
+            arena_total += shard.arena_len();
+            assert_shard_is_subset_view(shard, &central, members);
+            for (local, &global) in members.iter().enumerate() {
+                let local_spread = shard.estimated_spread(&[local as ItemId]);
+                let central_spread = central.estimated_spread(&[global]);
+                prop_assert_eq!(local_spread.to_bits(), central_spread.to_bits());
+            }
+        }
+        prop_assert_eq!(arena_total, central.arena_len());
+    }
+}
