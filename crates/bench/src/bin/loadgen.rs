@@ -656,6 +656,19 @@ fn cache_counters(addr: &str) -> (u64, u64, u64) {
     )
 }
 
+/// The daemon's self-reported peak RSS (`peak_rss_mib` in the
+/// `/instances` view — fetched over HTTP because a `--spawn`ed daemon
+/// sits behind a wrapper process, so its PID is not ours to inspect).
+/// `None` when the daemon runs off Linux.
+fn daemon_peak_rss_mib(addr: &str) -> Option<f64> {
+    let mut stream = TcpStream::connect(addr).ok()?;
+    let reply = http_request(&mut stream, "GET", "/instances", "").ok()?;
+    parse_bytes(&reply.body)
+        .ok()?
+        .get("peak_rss_mib")
+        .and_then(Value::as_f64)
+}
+
 // ── Main ─────────────────────────────────────────────────────────────
 
 fn run_to_json(connections: usize, opts: &LoadOpts, result: &RunResult) -> (f64, f64, Value) {
@@ -740,6 +753,7 @@ fn sweep_server(
         !spawned || hits > 0,
         "repeated recipes never hit the instance cache"
     );
+    let rss = daemon_peak_rss_mib(addr);
     ServerOutcome {
         label,
         json: obj([
@@ -748,6 +762,7 @@ fn sweep_server(
             ("cache_hits", Value::Num(hits as f64)),
             ("cache_misses", Value::Num(misses as f64)),
             ("resident_instances", Value::Num(resident as f64)),
+            ("daemon_peak_rss_mib", rss.map_or(Value::Null, Value::Num)),
             ("total_errors", Value::Num(errors as f64)),
             ("total_shed", Value::Num(shed as f64)),
         ]),
@@ -899,6 +914,16 @@ fn main() {
         (
             "servers",
             Value::Arr(outcomes.iter().map(|o| o.json.clone()).collect()),
+        ),
+        (
+            // The gated (event) daemon's own high-water mark, repeated
+            // at the top level so dashboards need not dig into servers.
+            "daemon_peak_rss_mib",
+            subject
+                .json
+                .get("daemon_peak_rss_mib")
+                .cloned()
+                .unwrap_or(Value::Null),
         ),
     ];
     if let Some(speedup) = speedup {

@@ -39,6 +39,18 @@
 //! `--only NAME`; plain `--quick` skips them to keep the per-push perf
 //! gate fast (CI's `scale-smoke` step runs each one `--quick`).
 //!
+//! The memory-tier scenarios hold the PR-10 memory work to its
+//! contract: `sharded_1m_spill` re-runs the million-node solve through
+//! the out-of-core path (per-shard slices spilled to a scratch dir and
+//! reloaded one at a time per GreeDi step) and asserts the peak-RSS
+//! floor sits at ≤60% of the fully resident sharded run — the floor
+//! assert only fires under `--only sharded_1m_spill` because `VmHWM`
+//! is process-monotone, so any earlier scenario's peak would pollute
+//! the in-process comparison. `rr_arena_compressed` times greedy
+//! rounds over the gap+varint-compressed RR arena against the
+//! flat-`u32` uncompressed twin and records the compression ratio.
+//! Both assert bit-identical selections (DESIGN.md §11).
+//!
 //! The PR-7 kernel scenarios pit the incremental gain kernels against
 //! their retained rescan references on identical workloads:
 //! `ris_incremental_vs_rescan` (counter reads vs per-item RR-set
@@ -59,14 +71,14 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use fair_submod_bench::harness::{run_suite, GridConfig};
-use fair_submod_core::engine::MergeBuilder;
+use fair_submod_core::engine::{MergeBuilder, ShardBuilder};
 use fair_submod_core::prelude::*;
 use fair_submod_coverage::{
     dominating_set_system, dominating_slice_system, CoverageOracle, SetSystem,
 };
 use fair_submod_datasets::{facebook_like, rand_fl, rand_mc, seeds};
 use fair_submod_facility::{BenefitMatrix, FacilityOracle};
-use fair_submod_graphs::io::{read_edge_list, read_shard_slices};
+use fair_submod_graphs::io::{read_edge_list, read_shard_slices, spill_shard_slices};
 use fair_submod_graphs::{CsrSlice, Groups};
 use fair_submod_influence::oracle::{RisConfig, RisOracle};
 use fair_submod_influence::{monte_carlo_evaluate, DiffusionModel};
@@ -169,7 +181,13 @@ fn main() {
     // scenario (CI runs it separately as the `scale-smoke` step).
     let should_run = |name: &str| match &only {
         Some(o) => o == name,
-        None => !(quick && matches!(name, "sharded_1m" | "sharded_ris_100k" | "sharded_fl_50k")),
+        None => {
+            !(quick
+                && matches!(
+                    name,
+                    "sharded_1m" | "sharded_ris_100k" | "sharded_fl_50k" | "sharded_1m_spill"
+                ))
+        }
     };
     let reps = if quick { 3 } else { 5 };
     let mut scenarios: Vec<Scenario> = Vec::new();
@@ -280,6 +298,7 @@ fn main() {
             phases: vec![
                 ("sample", build.sample_seconds),
                 ("build_index", build.index_seconds),
+                ("compress", build.compress_seconds),
             ],
         });
     }
@@ -735,6 +754,224 @@ fn main() {
         });
     }
 
+    // ── 7d. Out-of-core sharded solve: spilled CSR slices reloaded one
+    // shard at a time vs the fully resident sharded tier. The win
+    // metric is the peak-RSS floor, not wall clock — the spill pipeline
+    // streams the edge list once per shard and rebuilds each shard
+    // oracle on demand, trading repeated parsing for a resident set
+    // that tracks the largest single shard (DESIGN.md §11). The spill
+    // run goes FIRST so its `VmHWM` reading is its own; the floor
+    // assert (spill peak ≤ 60% of in-core peak) only fires under
+    // `--only sharded_1m_spill`, where no earlier scenario has already
+    // raised the process-monotone high-water mark.
+    if should_run("sharded_1m_spill") {
+        eprintln!("[perfbase] sharded out-of-core spill tier ...");
+        let n = 1_000_000usize;
+        let num_shards = 8usize;
+        let k = if quick { 8 } else { 16 };
+        let seed = 42u64;
+        let text = synth_edge_list(n, 2, 0xA5A5_5A5A);
+        let groups = Groups::from_assignment((0..n).map(|v| (v % 2) as u32).collect());
+        let mut cfg = GreediConfig::new(k);
+        cfg.shards = num_shards;
+        cfg.seed = seed;
+
+        let partition = shard_partition(n, num_shards, seed);
+        let mut owner = vec![0u32; n];
+        for (s, members) in partition.iter().enumerate() {
+            for &v in members {
+                owner[v as usize] = s as u32;
+            }
+        }
+        // Ascending member lists per shard — the numbering shared by
+        // `read_shard_slices` and `spill_shard_slices`.
+        let mut members: Vec<Vec<ItemId>> = vec![Vec::new(); num_shards];
+        for v in 0..n {
+            members[owner[v] as usize].push(v as ItemId);
+        }
+
+        // After (run first — see above): stream the edge list once per
+        // shard into a scratch-dir slice, then solve out-of-core; each
+        // round-1 step reloads one slice, builds its oracle, and drops
+        // both before the next shard is touched.
+        let scratch =
+            std::env::temp_dir().join(format!("fair-submod-spill-{}", std::process::id()));
+        let start = Instant::now();
+        let (spill_out, spill_rss) = {
+            let spilled = Arc::new(
+                spill_shard_slices(
+                    || Ok(std::io::Cursor::new(text.as_bytes())),
+                    n,
+                    false,
+                    &owner,
+                    num_shards,
+                    1 << 20,
+                    &scratch,
+                )
+                .expect("scratch dir is writable"),
+            );
+            let build_spilled = Arc::clone(&spilled);
+            let build_groups = groups.clone();
+            let build: ShardBuilder = Box::new(move |s, _members| {
+                let slice = build_spilled[s]
+                    .load()
+                    .map_err(|e| SolverError::InvalidParams {
+                        solver: "sharded_1m_spill".into(),
+                        message: format!("scratch reload failed: {e}"),
+                    })?;
+                Ok(Arc::new(CoverageOracle::new(
+                    dominating_slice_system(&slice, n),
+                    &build_groups,
+                )) as Arc<dyn DynUtilitySystem>)
+            });
+            let merge_spilled = Arc::clone(&spilled);
+            let merge_owner = owner.clone();
+            let merge_groups = groups.clone();
+            let merge: MergeBuilder = Box::new(move |pool| {
+                // One spilled slice resident at a time: collect the
+                // pool ids' neighbor rows shard by shard, then emit the
+                // sets in pool order (the same order the resident merge
+                // builder produces, so the merge oracles are
+                // bit-identical).
+                let mut rows: Vec<Option<Vec<u32>>> = vec![None; pool.len()];
+                for (s, handle) in merge_spilled.iter().enumerate() {
+                    if pool.iter().all(|&v| merge_owner[v as usize] as usize != s) {
+                        continue;
+                    }
+                    let slice = handle.load().expect("scratch reload failed");
+                    for (row, &v) in rows.iter_mut().zip(pool) {
+                        if merge_owner[v as usize] as usize == s {
+                            let mut set = slice
+                                .neighbors_of(v)
+                                .expect("pool ids come from shard members")
+                                .to_vec();
+                            set.push(v);
+                            *row = Some(set);
+                        }
+                    }
+                }
+                let sets = rows
+                    .into_iter()
+                    .map(|r| r.expect("every pool id is owned by a shard"))
+                    .collect();
+                Arc::new(CoverageOracle::new(SetSystem::new(sets, n), &merge_groups))
+            });
+            let instance =
+                ShardedInstance::out_of_core(members, build, merge).expect("partition is valid");
+            let out = instance
+                .try_solve_greedi(k, cfg.variant.clone())
+                .expect("scratch dir stays readable");
+            (out, peak_rss_mib())
+        };
+        let after_seconds = start.elapsed().as_secs_f64();
+        let _ = std::fs::remove_dir_all(&scratch);
+
+        // Before (run second, so its larger peak cannot mask the spill
+        // floor): the fully resident sharded tier — the same assembly
+        // as `sharded_1m`'s after-side.
+        let start = Instant::now();
+        let (incore_out, incore_rss) = {
+            let slices: Vec<Arc<CsrSlice>> =
+                read_shard_slices(text.as_bytes(), n, false, &owner, num_shards, 1 << 20)
+                    .expect("synthetic list is well-formed")
+                    .into_iter()
+                    .map(Arc::new)
+                    .collect();
+            let shard_oracles = slices
+                .iter()
+                .map(|slice| {
+                    let oracle = CoverageOracle::new(dominating_slice_system(slice, n), &groups);
+                    ShardOracle {
+                        members: slice.nodes().to_vec(),
+                        system: Arc::new(oracle),
+                    }
+                })
+                .collect();
+            let merge_slices = slices.clone();
+            let merge_groups = groups.clone();
+            let merge: MergeBuilder = Box::new(move |pool| {
+                let sets = pool
+                    .iter()
+                    .map(|&v| {
+                        let mut s = merge_slices
+                            .iter()
+                            .find_map(|sl| sl.neighbors_of(v))
+                            .expect("pool ids come from shard members")
+                            .to_vec();
+                        s.push(v);
+                        s
+                    })
+                    .collect();
+                Arc::new(CoverageOracle::new(SetSystem::new(sets, n), &merge_groups))
+            });
+            let instance =
+                ShardedInstance::new(shard_oracles, merge).expect("slice shards are valid");
+            let out = instance.solve_greedi(k, cfg.variant.clone());
+            (out, peak_rss_mib())
+        };
+        let before_seconds = start.elapsed().as_secs_f64();
+
+        // The spill path must be a pure residency change: bit-identical
+        // reports, both against each other and therefore against the
+        // `sharded_1m` centralized contract.
+        assert_eq!(
+            incore_out.items, spill_out.items,
+            "out-of-core spill tier changed the selection"
+        );
+        assert_eq!(
+            incore_out.value.to_bits(),
+            spill_out.value.to_bits(),
+            "out-of-core spill tier changed the objective"
+        );
+        assert_eq!(
+            incore_out.oracle_calls, spill_out.oracle_calls,
+            "out-of-core spill tier changed the call accounting"
+        );
+
+        let wall_budget_seconds = if quick { 120.0 } else { 240.0 };
+        let rss_budget_mib = 2048.0;
+        let rss_floor_frac = 0.6;
+        assert!(
+            after_seconds <= wall_budget_seconds,
+            "sharded_1m_spill blew its wall-clock budget: \
+             {after_seconds:.1}s > {wall_budget_seconds:.0}s"
+        );
+        if let Some(rss) = spill_rss {
+            assert!(
+                rss <= rss_budget_mib,
+                "sharded_1m_spill blew its peak-RSS budget: {rss:.0} MiB > {rss_budget_mib:.0} MiB"
+            );
+        }
+        let isolated = only.as_deref() == Some("sharded_1m_spill");
+        if isolated {
+            if let (Some(spill), Some(incore)) = (spill_rss, incore_rss) {
+                assert!(
+                    spill <= rss_floor_frac * incore,
+                    "out-of-core spill tier did not lower the peak-RSS floor: \
+                     {spill:.0} MiB > {rss_floor_frac:.2} x {incore:.0} MiB in-core"
+                );
+            }
+        }
+        scenarios.push(Scenario {
+            name: "sharded_1m_spill",
+            before_label: "sharded_in_core",
+            after_label: "sharded_out_of_core_spill",
+            before_seconds,
+            after_seconds,
+            extra: format!(
+                ", \"nodes\": {n}, \"shards\": {num_shards}, \"k\": {k}, \
+                 \"wallclock_budget_seconds\": {wall_budget_seconds:.1}, \
+                 \"spill_peak_rss_mib\": {}, \"in_core_peak_rss_mib\": {}, \
+                 \"peak_rss_budget_mib\": {rss_budget_mib:.1}, \
+                 \"rss_floor_frac\": {rss_floor_frac:.2}, \
+                 \"rss_floor_enforced\": {isolated}",
+                spill_rss.map_or("null".into(), |r| format!("{r:.1}")),
+                incore_rss.map_or("null".into(), |r| format!("{r:.1}"))
+            ),
+            phases: Vec::new(),
+        });
+    }
+
     // ── 8. RIS greedy rounds: incremental counters vs rescan kernel. ──
     if should_run("ris_incremental_vs_rescan") {
         eprintln!("[perfbase] ris incremental vs rescan ...");
@@ -774,6 +1011,74 @@ fn main() {
             phases: vec![
                 ("sample", build.sample_seconds),
                 ("build_index", build.index_seconds),
+                ("compress", build.compress_seconds),
+                ("solve_rounds", after_seconds),
+            ],
+        });
+    }
+
+    // ── 8b. Compressed RR arena vs the flat-u32 uncompressed twin. ────
+    if should_run("rr_arena_compressed") {
+        eprintln!("[perfbase] rr arena compressed vs uncompressed ...");
+        let dataset = rand_mc(2, if quick { 200 } else { 500 }, seeds::RAND + 3);
+        let model = DiffusionModel::ic(0.1);
+        let rr = if quick { 5_000 } else { 20_000 };
+        let cfg = RisConfig::new(rr, 13);
+        let (oracle, build) =
+            RisOracle::generate_profiled(&dataset.graph, model, &dataset.groups, &cfg);
+        let reference = oracle.uncompressed_reference();
+        let f = MeanUtility::new(oracle.num_users());
+        let k = if quick { 10 } else { 20 };
+        // Naive full-scan rounds on both sides: gains are counter reads
+        // in both kernels, so the only timed difference is `apply` —
+        // decode-on-scan over varint gaps vs a flat u32 arena walk.
+        // This bounds the decode overhead the compression buys its
+        // memory savings with (DESIGN.md §11).
+        let gcfg = GreedyConfig::naive(k);
+        let before_seconds = time_best(reps, || greedy(&reference, &f, &gcfg));
+        let after_seconds = time_best(reps, || greedy(&oracle, &f, &gcfg));
+        let comp = greedy(&oracle, &f, &gcfg);
+        let flat = greedy(&reference, &f, &gcfg);
+        assert_eq!(
+            comp.items, flat.items,
+            "compressed arena changed the selection"
+        );
+        assert_eq!(
+            comp.value.to_bits(),
+            flat.value.to_bits(),
+            "compressed arena changed the objective"
+        );
+        assert_eq!(
+            comp.oracle_calls, flat.oracle_calls,
+            "compressed arena changed call accounting"
+        );
+        let compressed_bytes = oracle.arena_bytes();
+        let uncompressed_bytes = 4 * oracle.arena_len();
+        let ratio = compressed_bytes as f64 / uncompressed_bytes as f64;
+        // Gap+varint coding of sorted RR node lists must actually
+        // compress; a ratio drifting toward 1.0 means the encoder
+        // regressed to fixed-width storage.
+        assert!(
+            ratio < 0.75,
+            "compressed RR arena stopped compressing: \
+             {compressed_bytes} / {uncompressed_bytes} bytes = {ratio:.2}"
+        );
+        scenarios.push(Scenario {
+            name: "rr_arena_compressed",
+            before_label: "uncompressed_arena",
+            after_label: "compressed_arena",
+            before_seconds,
+            after_seconds,
+            extra: format!(
+                ", \"k\": {k}, \"rr_sets\": {rr}, \
+                 \"compressed_bytes\": {compressed_bytes}, \
+                 \"uncompressed_bytes\": {uncompressed_bytes}, \
+                 \"compression_ratio\": {ratio:.4}"
+            ),
+            phases: vec![
+                ("sample", build.sample_seconds),
+                ("build_index", build.index_seconds),
+                ("compress", build.compress_seconds),
                 ("solve_rounds", after_seconds),
             ],
         });

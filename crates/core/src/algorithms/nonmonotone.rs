@@ -144,6 +144,10 @@ impl<S: UtilitySystem> UtilitySystem for PenalizedSystem<S> {
     fn gain_kernel(&self) -> &'static str {
         self.inner.gain_kernel()
     }
+
+    fn approx_bytes(&self) -> usize {
+        self.inner.approx_bytes() + self.costs.len() * std::mem::size_of::<f64>()
+    }
 }
 
 #[cfg(test)]

@@ -96,6 +96,10 @@ pub trait DynUtilitySystem: Send + Sync {
     /// [`crate::engine::SolveReport::gain_kernel`].
     fn dyn_gain_kernel(&self) -> &'static str;
 
+    /// Type-erased [`UtilitySystem::approx_bytes`] — the substrate's
+    /// resident-footprint estimate for byte-budgeted serving.
+    fn dyn_approx_bytes(&self) -> usize;
+
     /// Number of groups `c`.
     fn dyn_num_groups(&self) -> usize {
         self.dyn_group_sizes().len()
@@ -138,6 +142,10 @@ where
     fn dyn_gain_kernel(&self) -> &'static str {
         UtilitySystem::gain_kernel(self)
     }
+
+    fn dyn_approx_bytes(&self) -> usize {
+        UtilitySystem::approx_bytes(self)
+    }
 }
 
 /// Adapts a type-erased system back into a [`UtilitySystem`], so the
@@ -178,6 +186,10 @@ impl UtilitySystem for ErasedSystem<'_> {
 
     fn gain_kernel(&self) -> &'static str {
         self.0.dyn_gain_kernel()
+    }
+
+    fn approx_bytes(&self) -> usize {
+        self.0.dyn_approx_bytes()
     }
 }
 

@@ -58,6 +58,6 @@ pub use registry::{Capabilities, Solver, SolverRegistry};
 pub use report::{SolveReport, SolverError};
 pub use session::{OneShotSession, PartialSolution, SessionStatus, SolveSession};
 pub use sharded::{
-    validate_shard_members, validate_shard_partition, MergeBuilder, ShardOracle,
-    ShardedGreediSession, ShardedInstance, ShardedSieveSession, SubsetSystem,
+    validate_shard_members, validate_shard_partition, MergeBuilder, ShardBuilder, ShardOracle,
+    ShardedGreediSession, ShardedInstance, ShardedSieveSession, SpillPolicy, SubsetSystem,
 };

@@ -215,6 +215,14 @@ impl UtilitySystem for SubsetSystem {
     fn gain_kernel(&self) -> &'static str {
         self.base.dyn_gain_kernel()
     }
+
+    /// The view pins its base oracle resident, so it reports the base's
+    /// footprint plus its own member table — a conservative estimate
+    /// when several views share one base (each view counts the base it
+    /// keeps alive).
+    fn approx_bytes(&self) -> usize {
+        self.base.dyn_approx_bytes() + self.members.len() * std::mem::size_of::<ItemId>()
+    }
 }
 
 /// One shard of a [`ShardedInstance`]: a sub-oracle over exactly the
@@ -232,10 +240,44 @@ pub struct ShardOracle {
 /// the round-2 candidate pool. Receives at most `p·k` ids.
 pub type MergeBuilder = Box<dyn Fn(&[ItemId]) -> Arc<dyn DynUtilitySystem> + Send + Sync>;
 
+/// Builds shard `s`'s oracle on demand for an out-of-core instance —
+/// typically by loading a spilled `CsrSlice` back from the scratch dir
+/// and constructing the substrate oracle over it. Must be
+/// deterministic: the same `(shard, members)` must produce an oracle
+/// with bit-identical gains on every call, so reload order can never
+/// change a solve.
+pub type ShardBuilder =
+    Box<dyn Fn(usize, &[ItemId]) -> Result<Arc<dyn DynUtilitySystem>, SolverError> + Send + Sync>;
+
+/// How a [`ShardedInstance`] holds shard oracles between GreeDi rounds
+/// (DESIGN.md §11).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpillPolicy {
+    /// Every shard oracle stays resident for the instance's lifetime —
+    /// the default, fastest when the shard sum fits in memory.
+    InCore,
+    /// Only the *active* shard's oracle is resident: non-active shard
+    /// payloads live in the scratch dir (spilled slices), each shard is
+    /// materialized from its [`ShardBuilder`] when its round-1 step
+    /// runs and dropped as soon as the step finishes — so peak RSS
+    /// tracks the largest single shard plus the merge pool, not the
+    /// shard sum.
+    OutOfCore,
+}
+
 /// A large instance represented as per-shard oracles plus a merge
 /// builder; see the module docs for the determinism contract.
+///
+/// Shard oracles are held according to a [`SpillPolicy`]: resident
+/// ([`ShardedInstance::new`] and friends) or rebuilt on demand from a
+/// [`ShardBuilder`] ([`ShardedInstance::out_of_core`]).
 pub struct ShardedInstance {
-    shards: Vec<ShardOracle>,
+    /// Ascending global ids per shard.
+    members: Vec<Vec<ItemId>>,
+    /// Resident shard oracles (in-core policy); empty when out-of-core.
+    resident: Vec<Arc<dyn DynUtilitySystem>>,
+    /// On-demand shard builder (out-of-core policy).
+    build: Option<ShardBuilder>,
     merge: MergeBuilder,
 }
 
@@ -274,7 +316,88 @@ impl ShardedInstance {
                 )));
             }
         }
-        Ok(Self { shards, merge })
+        let (members, resident) = shards.into_iter().map(|s| (s.members, s.system)).unzip();
+        Ok(Self {
+            members,
+            resident,
+            build: None,
+            merge,
+        })
+    }
+
+    /// Assembles an **out-of-core** instance: shard oracles are *not*
+    /// held resident — each is materialized from `build` when its
+    /// round-1 step runs (typically by loading a spilled slice back
+    /// from the scratch dir) and dropped as soon as the step finishes.
+    ///
+    /// Member lists are validated eagerly (non-empty, strictly
+    /// ascending); the builder's output is validated lazily at each
+    /// materialization (item count must match the member list). Builder
+    /// failures surface as typed errors through
+    /// [`ShardedInstance::try_solve_greedi`] and the sharded sessions —
+    /// a corrupt scratch dir must never panic a solve.
+    pub fn out_of_core(
+        members: Vec<Vec<ItemId>>,
+        build: ShardBuilder,
+        merge: MergeBuilder,
+    ) -> Result<Self, SolverError> {
+        let invalid = |message: String| SolverError::InvalidParams {
+            solver: "ShardedInstance".into(),
+            message,
+        };
+        if members.is_empty() {
+            return Err(invalid("at least one shard is required".into()));
+        }
+        for (i, shard) in members.iter().enumerate() {
+            if shard.is_empty() {
+                return Err(invalid(format!("shard {i} member list must not be empty")));
+            }
+            if !shard.windows(2).all(|w| w[0] < w[1]) {
+                return Err(invalid(format!(
+                    "shard {i} members must be strictly ascending"
+                )));
+            }
+        }
+        Ok(Self {
+            members,
+            resident: Vec::new(),
+            build: Some(build),
+            merge,
+        })
+    }
+
+    /// The instance's shard-residency policy.
+    pub fn spill_policy(&self) -> SpillPolicy {
+        if self.build.is_some() {
+            SpillPolicy::OutOfCore
+        } else {
+            SpillPolicy::InCore
+        }
+    }
+
+    /// Materializes shard `s`'s oracle: the resident `Arc` under
+    /// [`SpillPolicy::InCore`], a fresh build from the scratch dir under
+    /// [`SpillPolicy::OutOfCore`] — the caller drops the returned `Arc`
+    /// to release the shard, which is what keeps only one shard resident
+    /// at a time during a stepped out-of-core solve.
+    pub fn shard_system(&self, s: usize) -> Result<Arc<dyn DynUtilitySystem>, SolverError> {
+        match &self.build {
+            None => Ok(Arc::clone(&self.resident[s])),
+            Some(build) => {
+                let system = build(s, &self.members[s])?;
+                if system.dyn_num_items() != self.members[s].len() {
+                    return Err(SolverError::InvalidParams {
+                        solver: "ShardedInstance".into(),
+                        message: format!(
+                            "shard {s} builder produced {} items for {} members",
+                            system.dyn_num_items(),
+                            self.members[s].len()
+                        ),
+                    });
+                }
+                Ok(system)
+            }
+        }
     }
 
     /// Partitions the ground set `0..n` with [`shard_partition`] and
@@ -335,24 +458,24 @@ impl ShardedInstance {
 
     /// Number of shards `p`.
     pub fn num_shards(&self) -> usize {
-        self.shards.len()
+        self.members.len()
     }
 
     /// Total items across all shards.
     pub fn num_items(&self) -> usize {
-        self.shards.iter().map(|s| s.members.len()).sum()
+        self.members.iter().map(|m| m.len()).sum()
     }
 
-    /// The shards (read-only).
-    pub fn shards(&self) -> &[ShardOracle] {
-        &self.shards
+    /// Ascending global ids of shard `s`'s items.
+    pub fn shard_members(&self, s: usize) -> &[ItemId] {
+        &self.members[s]
     }
 
     /// The sorted union of all shard members.
     pub fn union_members(&self) -> Vec<ItemId> {
         let mut union: Vec<ItemId> = Vec::with_capacity(self.num_items());
-        for shard in &self.shards {
-            union.extend_from_slice(&shard.members);
+        for members in &self.members {
+            union.extend_from_slice(members);
         }
         union.sort_unstable();
         union.dedup();
@@ -375,27 +498,63 @@ impl ShardedInstance {
     ///
     /// Round 1 runs shards in parallel; results are folded in shard
     /// order, so the outcome is identical at every thread count.
+    ///
+    /// Panics if a shard builder fails (only possible for
+    /// [`SpillPolicy::OutOfCore`] instances); use
+    /// [`Self::try_solve_greedi`] to handle scratch-I/O errors.
     pub fn solve_greedi(&self, k: usize, variant: GreedyVariant) -> GreediOutcome {
+        self.try_solve_greedi(k, variant)
+            .expect("in-core sharded GreeDi cannot fail to materialize a shard")
+    }
+
+    /// Fallible [`Self::solve_greedi`]: out-of-core instances rebuild
+    /// each shard oracle from scratch storage, which can fail with a
+    /// typed error instead of a panic.
+    ///
+    /// For [`SpillPolicy::OutOfCore`] instances round 1 runs the shards
+    /// *sequentially*, holding exactly one rebuilt shard oracle at a
+    /// time, so peak memory tracks the largest single shard instead of
+    /// the sum. The fold is in shard order either way, so the outcome
+    /// is bit-identical across policies and thread counts.
+    pub fn try_solve_greedi(
+        &self,
+        k: usize,
+        variant: GreedyVariant,
+    ) -> Result<GreediOutcome, SolverError> {
         // Round 1: independent restricted greedy per shard, mapped back
         // to global ids.
-        let runs: Vec<(Vec<ItemId>, u64, f64)> = self
-            .shards
-            .iter()
-            .collect::<Vec<_>>()
-            .into_par_iter()
-            .map(|shard| {
-                let erased = ErasedSystem(shard.system.as_ref());
-                let f = MeanUtility::new(shard.system.dyn_num_users());
-                let locals: Vec<ItemId> = (0..shard.members.len() as ItemId).collect();
+        let run_shard =
+            |members: &[ItemId], system: &Arc<dyn DynUtilitySystem>| -> (Vec<ItemId>, u64, f64) {
+                let erased = ErasedSystem(system.as_ref());
+                let f = MeanUtility::new(system.dyn_num_users());
+                let locals: Vec<ItemId> = (0..members.len() as ItemId).collect();
                 let run = greedy_over_subset(&erased, &f, &locals, k, variant.clone());
-                let globals: Vec<ItemId> =
-                    run.0.iter().map(|&j| shard.members[j as usize]).collect();
+                let globals: Vec<ItemId> = run.0.iter().map(|&j| members[j as usize]).collect();
                 (globals, run.1, run.2)
-            })
-            .collect();
+            };
+        let runs: Vec<(Vec<ItemId>, u64, f64)> = match self.spill_policy() {
+            SpillPolicy::InCore => self
+                .members
+                .iter()
+                .zip(self.resident.iter())
+                .collect::<Vec<_>>()
+                .into_par_iter()
+                .map(|(members, system)| run_shard(members, system))
+                .collect(),
+            SpillPolicy::OutOfCore => {
+                // One shard resident at a time: materialize, solve,
+                // drop before touching the next.
+                let mut runs = Vec::with_capacity(self.num_shards());
+                for s in 0..self.num_shards() {
+                    let system = self.shard_system(s)?;
+                    runs.push(run_shard(&self.members[s], &system));
+                }
+                runs
+            }
+        };
 
         let mut oracle_calls = 0u64;
-        let mut pool: Vec<ItemId> = Vec::with_capacity(self.shards.len() * k);
+        let mut pool: Vec<ItemId> = Vec::with_capacity(self.num_shards() * k);
         let mut best_shard: (f64, Vec<ItemId>) = (f64::NEG_INFINITY, Vec::new());
         for run in runs {
             oracle_calls += run.1;
@@ -421,7 +580,11 @@ impl ShardedInstance {
         let run2 = greedy_over_subset(&erased, &f, &locals, k, variant);
         oracle_calls += run2.1;
         let globals2: Vec<ItemId> = run2.0.iter().map(|&j| pool[j as usize]).collect();
-        merge_outcome((globals2, run2.1, run2.2), best_shard, oracle_calls)
+        Ok(merge_outcome(
+            (globals2, run2.1, run2.2),
+            best_shard,
+            oracle_calls,
+        ))
     }
 
     /// Sieve-Streaming over the sharded representation: streams the
@@ -466,6 +629,9 @@ pub struct ShardedGreediSession {
     pool: Vec<ItemId>,
     best_shard: (f64, Vec<ItemId>),
     outcome: Option<GreediOutcome>,
+    /// First shard-build failure (out-of-core scratch I/O); terminal —
+    /// surfaced by `solution_at`/`finish` instead of a panic.
+    failure: Option<SolverError>,
     steps: usize,
 }
 
@@ -487,6 +653,7 @@ impl ShardedGreediSession {
             pool: Vec::with_capacity(shards * params.k),
             best_shard: (f64::NEG_INFINITY, Vec::new()),
             outcome: None,
+            failure: None,
             steps: 0,
         }
     }
@@ -498,7 +665,7 @@ impl SolveSession for ShardedGreediSession {
     }
 
     fn done(&self) -> bool {
-        self.outcome.is_some()
+        self.outcome.is_some() || self.failure.is_some()
     }
 
     fn rounds(&self) -> usize {
@@ -516,13 +683,23 @@ impl SolveSession for ShardedGreediSession {
         }
         if self.next_shard < self.instance.num_shards() {
             // Round 1, one shard: exactly the fold `solve_greedi`
-            // performs, against the shard's own sub-oracle.
-            let shard = &self.instance.shards()[self.next_shard];
-            let erased = ErasedSystem(shard.system.as_ref());
-            let f = MeanUtility::new(shard.system.dyn_num_users());
-            let locals: Vec<ItemId> = (0..shard.members.len() as ItemId).collect();
+            // performs, against the shard's own sub-oracle. Out-of-core
+            // instances rebuild the oracle from scratch storage here
+            // and drop it at the end of the step, so only one shard is
+            // ever resident between steps.
+            let system = match self.instance.shard_system(self.next_shard) {
+                Ok(system) => system,
+                Err(err) => {
+                    self.failure = Some(err);
+                    return SessionStatus::Done;
+                }
+            };
+            let members = self.instance.shard_members(self.next_shard);
+            let erased = ErasedSystem(system.as_ref());
+            let f = MeanUtility::new(system.dyn_num_users());
+            let locals: Vec<ItemId> = (0..members.len() as ItemId).collect();
             let run = greedy_over_subset(&erased, &f, &locals, self.k, self.variant.clone());
-            let globals: Vec<ItemId> = run.0.iter().map(|&j| shard.members[j as usize]).collect();
+            let globals: Vec<ItemId> = run.0.iter().map(|&j| members[j as usize]).collect();
             self.oracle_calls += run.1;
             let value = run.2;
             if value > self.best_shard.0 {
@@ -575,6 +752,12 @@ impl SolveSession for ShardedGreediSession {
         system: &dyn DynUtilitySystem,
         k: usize,
     ) -> Result<SolveReport, SolverError> {
+        if let Some(err) = &self.failure {
+            return Err(SolverError::InvalidParams {
+                solver: self.solver().to_string(),
+                message: format!("shard materialization failed: {err}"),
+            });
+        }
         let run = match (k == self.k, &self.outcome) {
             (true, Some(run)) => run,
             (false, _) => {
@@ -861,6 +1044,91 @@ mod tests {
         assert_eq!(report.oracle_calls, one_shot.oracle_calls);
         // One step per streamed item.
         assert_eq!(sieve.rounds(), instance.num_items());
+    }
+
+    #[test]
+    fn out_of_core_solve_is_bit_identical_to_in_core() {
+        for seed in [2u64, 9] {
+            for shards in [2usize, 4] {
+                let base = central(seed);
+                let in_core = ShardedInstance::from_central(Arc::clone(&base), shards, seed)
+                    .expect("valid sharding");
+                assert_eq!(in_core.spill_policy(), SpillPolicy::InCore);
+                let members: Vec<Vec<ItemId>> = (0..in_core.num_shards())
+                    .map(|s| in_core.shard_members(s).to_vec())
+                    .collect();
+                let build_base = Arc::clone(&base);
+                let build: ShardBuilder = Box::new(move |_s, members| {
+                    Ok(Arc::new(SubsetSystem::new(
+                        Arc::clone(&build_base),
+                        members.to_vec(),
+                    )?))
+                });
+                let merge_base = Arc::clone(&base);
+                let merge: MergeBuilder = Box::new(move |pool| {
+                    Arc::new(SubsetSystem::new(Arc::clone(&merge_base), pool.to_vec()).unwrap())
+                });
+                let out_of_core =
+                    ShardedInstance::out_of_core(members, build, merge).expect("valid shards");
+                assert_eq!(out_of_core.spill_policy(), SpillPolicy::OutOfCore);
+
+                let a = in_core.solve_greedi(6, GreedyVariant::Lazy);
+                let b = out_of_core
+                    .try_solve_greedi(6, GreedyVariant::Lazy)
+                    .expect("builder cannot fail here");
+                assert_eq!(a.items, b.items, "seed {seed} p {shards}");
+                assert_eq!(a.value.to_bits(), b.value.to_bits());
+                assert_eq!(a.best_shard_value.to_bits(), b.best_shard_value.to_bits());
+                assert_eq!(a.oracle_calls, b.oracle_calls);
+
+                // The stepped session over the out-of-core instance
+                // reaches the same outcome (one rebuild per step).
+                let params = {
+                    let mut p = ScenarioParams::new(6, 0.0);
+                    p.seed = seed;
+                    p.shards = shards;
+                    p
+                };
+                let mut session = ShardedGreediSession::open(Arc::new(out_of_core), &params);
+                let report = session.finish(base.as_ref()).expect("finishes");
+                assert_eq!(report.items, a.items);
+                assert_eq!(report.objective.to_bits(), a.value.to_bits());
+                assert_eq!(report.oracle_calls, a.oracle_calls);
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_core_builder_failures_are_typed_errors() {
+        let base = central(4);
+        let instance = ShardedInstance::from_central(Arc::clone(&base), 3, 4).expect("valid");
+        let members: Vec<Vec<ItemId>> = (0..instance.num_shards())
+            .map(|s| instance.shard_members(s).to_vec())
+            .collect();
+        let build: ShardBuilder = Box::new(|s, _members| {
+            Err(SolverError::InvalidParams {
+                solver: "test".into(),
+                message: format!("scratch file for shard {s} is corrupt"),
+            })
+        });
+        let merge_base = Arc::clone(&base);
+        let merge: MergeBuilder = Box::new(move |pool| {
+            Arc::new(SubsetSystem::new(Arc::clone(&merge_base), pool.to_vec()).unwrap())
+        });
+        let broken = ShardedInstance::out_of_core(members, build, merge).expect("members valid");
+        assert!(broken.try_solve_greedi(4, GreedyVariant::Lazy).is_err());
+
+        // The stepped session surfaces the failure as a typed error
+        // through finish(), never a panic.
+        let params = {
+            let mut p = ScenarioParams::new(4, 0.0);
+            p.shards = 3;
+            p
+        };
+        let mut session = ShardedGreediSession::open(Arc::new(broken), &params);
+        let err = session.finish(base.as_ref());
+        assert!(err.is_err(), "builder failure must surface from finish()");
+        assert!(session.done());
     }
 
     #[test]

@@ -97,6 +97,18 @@ pub trait UtilitySystem {
     fn gain_kernel(&self) -> &'static str {
         "rescan"
     }
+
+    /// Approximate resident footprint of the oracle's own data
+    /// structures, in bytes. Purely advisory: the serving layer's
+    /// byte-budgeted instance store (DESIGN.md §11) evicts against the
+    /// sum of these estimates, so an implementor should count its
+    /// dominant arrays (arenas, indexes, counters) and may ignore small
+    /// metadata. The default `0` means "unknown / negligible" — such
+    /// systems are admitted for free and never trigger byte-budget
+    /// eviction on their own. Must not affect values.
+    fn approx_bytes(&self) -> usize {
+        0
+    }
 }
 
 /// Row-parallel batch gain evaluation: the standard building block for

@@ -312,6 +312,26 @@ impl UtilitySystem for CoverageOracle {
     fn gain_kernel(&self) -> &'static str {
         "incremental_counters"
     }
+
+    /// Advisory footprint for the byte-budgeted instance store
+    /// (DESIGN.md §11): the set-system CSR plus every derived structure
+    /// (packed masks, group masks, inverted index, base counters).
+    fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.sets.approx_bytes()
+            + self.group_of.len() * size_of::<u32>()
+            + self.group_sizes.len() * size_of::<usize>()
+            + self.item_offsets.len() * size_of::<usize>()
+            + self.item_words.len() * size_of::<(u32, u64)>()
+            + self
+                .group_masks
+                .iter()
+                .map(|m| m.len() * size_of::<u64>())
+                .sum::<usize>()
+            + self.user_offsets.len() * size_of::<usize>()
+            + self.user_items.len() * size_of::<u32>()
+            + self.base_counts.len() * size_of::<u32>()
+    }
 }
 
 /// The pre-counter packed kernel: word-popcount rescans per gain query

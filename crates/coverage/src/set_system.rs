@@ -58,6 +58,12 @@ impl SetSystem {
         self.elements.len()
     }
 
+    /// Approximate resident footprint of the CSR arrays, in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.elements.len() * std::mem::size_of::<u32>()
+    }
+
     /// Number of elements covered by at least one set.
     pub fn coverable_elements(&self) -> usize {
         let mut seen = vec![false; self.m];

@@ -218,6 +218,17 @@ impl UtilitySystem for FacilityOracle {
     fn gain_kernel(&self) -> &'static str {
         "active_set"
     }
+
+    /// Advisory footprint for the byte-budgeted instance store
+    /// (DESIGN.md §11): the dense benefit matrix dominates; the group
+    /// assignment and saturation ceilings ride along.
+    fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.benefits.num_users() * self.benefits.num_items() * size_of::<f64>()
+            + self.group_of.len() * size_of::<u32>()
+            + self.group_sizes.len() * size_of::<usize>()
+            + self.max_benefit.len() * size_of::<f64>()
+    }
 }
 
 /// The pre-active-set [`FacilityOracle`] kernel: every query scans all

@@ -4,6 +4,18 @@
 //! needs out-neighborhoods (dominating sets), reverse-reachable sampling
 //! for influence maximization needs in-neighborhoods. Undirected graphs
 //! are stored as symmetric digraphs (both arc directions).
+//!
+//! [`CsrSlice`] additionally supports **out-of-core spill**
+//! (DESIGN.md §11): [`CsrSlice::spill`] writes a slice to a scratch
+//! directory as length-prefixed little-endian sections and returns a
+//! [`SpilledSlice`] handle whose [`SpilledSlice::load`] reproduces the
+//! slice bit for bit; corrupt or truncated files are typed
+//! [`SpillError`]s, never panics.
+
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
 
 use serde::{Deserialize, Serialize};
 
@@ -216,6 +228,231 @@ impl CsrSlice {
     /// Out-neighbors of a global node id, if this slice owns it.
     pub fn neighbors_of(&self, global: NodeId) -> Option<&[NodeId]> {
         self.position(global).map(|local| self.neighbors(local))
+    }
+
+    /// Approximate resident footprint of the slice in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<NodeId>()
+            + self.offsets.len() * std::mem::size_of::<usize>()
+            + self.targets.len() * std::mem::size_of::<NodeId>()
+    }
+
+    /// Writes the slice into `dir` (created if missing) and returns a
+    /// [`SpilledSlice`] handle for reloading it. The file is named after
+    /// the slice's first node id (`slice-<id>.csrs`, or `slice-empty`
+    /// for a node-less slice), so the slices of one shard partition —
+    /// whose node sets are disjoint — never collide within one scratch
+    /// dir; two empty slices alias the same file, which is harmless
+    /// because they are equal.
+    ///
+    /// Format (DESIGN.md §11): an 8-byte magic + version header followed
+    /// by three length-prefixed little-endian sections — nodes (`u32`),
+    /// offsets (`u64`), targets (`u32`). [`SpilledSlice::load`] is the
+    /// exact inverse: spill → load round-trips bit for bit.
+    pub fn spill(&self, dir: &Path) -> Result<SpilledSlice, SpillError> {
+        fs::create_dir_all(dir)?;
+        let name = match self.nodes.first() {
+            Some(first) => format!("slice-{first}.csrs"),
+            None => "slice-empty.csrs".to_string(),
+        };
+        let path = dir.join(name);
+        let mut out: Vec<u8> = Vec::with_capacity(
+            SPILL_HEADER_LEN
+                + 24
+                + 4 * self.nodes.len()
+                + 8 * self.offsets.len()
+                + 4 * self.targets.len(),
+        );
+        out.extend_from_slice(SPILL_MAGIC);
+        out.extend_from_slice(&SPILL_VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.nodes.len() as u64).to_le_bytes());
+        for &v in &self.nodes {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.offsets.len() as u64).to_le_bytes());
+        for &o in &self.offsets {
+            out.extend_from_slice(&(o as u64).to_le_bytes());
+        }
+        out.extend_from_slice(&(self.targets.len() as u64).to_le_bytes());
+        for &t in &self.targets {
+            out.extend_from_slice(&t.to_le_bytes());
+        }
+        let mut file = fs::File::create(&path)?;
+        file.write_all(&out)?;
+        file.sync_data().ok();
+        Ok(SpilledSlice {
+            path,
+            num_nodes: self.nodes.len(),
+            num_arcs: self.targets.len(),
+        })
+    }
+
+    /// Reads a slice previously written by [`CsrSlice::spill`].
+    /// Truncated, oversized, or structurally inconsistent files (bad
+    /// magic, non-monotone offsets, row/target length mismatch) are
+    /// [`SpillError::Corrupt`]; I/O failures are [`SpillError::Io`].
+    pub fn load(path: &Path) -> Result<CsrSlice, SpillError> {
+        let corrupt = |detail: &str| SpillError::Corrupt {
+            path: path.to_path_buf(),
+            detail: detail.to_string(),
+        };
+        let bytes = fs::read(path)?;
+        let mut cur = 0usize;
+        let take = |cur: &mut usize, len: usize| -> Result<std::ops::Range<usize>, SpillError> {
+            let end = cur
+                .checked_add(len)
+                .ok_or_else(|| corrupt("length overflow"))?;
+            if end > bytes.len() {
+                return Err(corrupt("truncated file"));
+            }
+            let range = *cur..end;
+            *cur = end;
+            Ok(range)
+        };
+        let header = take(&mut cur, SPILL_HEADER_LEN)?;
+        if &bytes[header.start..header.start + 8] != SPILL_MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        let version = u32::from_le_bytes(bytes[header.start + 8..header.end].try_into().unwrap());
+        if version != SPILL_VERSION {
+            return Err(corrupt("unsupported version"));
+        }
+        let read_u64 = |cur: &mut usize| -> Result<u64, SpillError> {
+            let r = take(cur, 8)?;
+            Ok(u64::from_le_bytes(bytes[r].try_into().unwrap()))
+        };
+        let read_u32s = |cur: &mut usize, len: u64| -> Result<Vec<u32>, SpillError> {
+            let len = usize::try_from(len).map_err(|_| corrupt("section too large"))?;
+            let r = take(
+                cur,
+                len.checked_mul(4)
+                    .ok_or_else(|| corrupt("length overflow"))?,
+            )?;
+            Ok(bytes[r]
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+                .collect())
+        };
+        let n_nodes = read_u64(&mut cur)?;
+        let nodes: Vec<NodeId> = read_u32s(&mut cur, n_nodes)?;
+        let n_offsets = read_u64(&mut cur)?;
+        let n_offsets = usize::try_from(n_offsets).map_err(|_| corrupt("section too large"))?;
+        let r = take(
+            &mut cur,
+            n_offsets
+                .checked_mul(8)
+                .ok_or_else(|| corrupt("length overflow"))?,
+        )?;
+        let offsets: Vec<usize> = bytes[r]
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()) as usize)
+            .collect();
+        let n_targets = read_u64(&mut cur)?;
+        let targets: Vec<NodeId> = read_u32s(&mut cur, n_targets)?;
+        if cur != bytes.len() {
+            return Err(corrupt("trailing bytes after last section"));
+        }
+        // Structural validation: the same invariants `from_arcs`
+        // establishes, so a loaded slice is indistinguishable from a
+        // freshly built one.
+        if !nodes.windows(2).all(|w| w[0] < w[1]) {
+            return Err(corrupt("nodes not strictly ascending"));
+        }
+        if offsets.len() != nodes.len() + 1 || offsets.first() != Some(&0) {
+            return Err(corrupt("offsets shape mismatch"));
+        }
+        if !offsets.windows(2).all(|w| w[0] <= w[1]) {
+            return Err(corrupt("offsets not monotone"));
+        }
+        if offsets.last() != Some(&targets.len()) {
+            return Err(corrupt("targets length does not match final offset"));
+        }
+        Ok(CsrSlice {
+            nodes,
+            offsets,
+            targets,
+        })
+    }
+}
+
+const SPILL_MAGIC: &[u8; 8] = b"FSUBCSR\0";
+const SPILL_VERSION: u32 = 1;
+/// Magic + version.
+const SPILL_HEADER_LEN: usize = 12;
+
+/// Error from [`CsrSlice::spill`] / [`SpilledSlice::load`].
+#[derive(Debug)]
+pub enum SpillError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// The file exists but is not a well-formed spilled slice (wrong
+    /// magic, truncated section, inconsistent offsets…). Never a panic:
+    /// out-of-core callers must survive scratch-dir corruption.
+    Corrupt {
+        /// The offending file.
+        path: PathBuf,
+        /// What failed to parse.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SpillError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpillError::Io(e) => write!(f, "spill I/O error: {e}"),
+            SpillError::Corrupt { path, detail } => {
+                write!(f, "corrupt spill file {}: {detail}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpillError {}
+
+impl From<std::io::Error> for SpillError {
+    fn from(e: std::io::Error) -> Self {
+        SpillError::Io(e)
+    }
+}
+
+/// Handle to a slice written by [`CsrSlice::spill`]: the path plus the
+/// shape needed for scheduling, but none of the payload — holding a
+/// `SpilledSlice` costs a few dozen bytes regardless of slice size. The
+/// file is **not** removed on drop; scratch-dir lifetime belongs to the
+/// caller (typically one solve), so a slice can be reloaded once per
+/// GreeDi step.
+#[derive(Clone, Debug)]
+pub struct SpilledSlice {
+    path: PathBuf,
+    num_nodes: usize,
+    num_arcs: usize,
+}
+
+impl SpilledSlice {
+    /// The on-disk location.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Rows in the spilled slice.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Arcs in the spilled slice.
+    pub fn num_arcs(&self) -> usize {
+        self.num_arcs
+    }
+
+    /// Reads the slice back; bit-identical to the slice that was
+    /// spilled. May be called any number of times.
+    pub fn load(&self) -> Result<CsrSlice, SpillError> {
+        CsrSlice::load(&self.path)
+    }
+
+    /// Deletes the backing file.
+    pub fn remove(self) -> std::io::Result<()> {
+        fs::remove_file(&self.path)
     }
 }
 
@@ -440,5 +677,55 @@ mod tests {
     fn unsorted_slice_nodes_panic() {
         let g = triangle();
         let _ = g.slice_rows(&[2, 0]);
+    }
+
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("fair-submod-csr-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn spill_load_round_trips_bitwise() {
+        let g = triangle();
+        let slice = g.slice_rows(&[0, 2]);
+        let dir = scratch_dir("roundtrip");
+        let handle = slice.spill(&dir).expect("spill");
+        assert_eq!(handle.num_nodes(), 2);
+        assert_eq!(handle.num_arcs(), 4);
+        let back = handle.load().expect("load");
+        assert_eq!(back, slice);
+        // Reload works more than once.
+        assert_eq!(handle.load().expect("reload"), slice);
+        handle.remove().expect("remove");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_spill_file_is_a_typed_error() {
+        let g = triangle();
+        let slice = g.slice_rows(&[0, 1, 2]);
+        let dir = scratch_dir("truncate");
+        let handle = slice.spill(&dir).expect("spill");
+        let full = fs::read(handle.path()).expect("read back");
+        // Every proper prefix must fail with Corrupt, never panic.
+        for cut in [0, 4, SPILL_HEADER_LEN, SPILL_HEADER_LEN + 9, full.len() - 1] {
+            fs::write(handle.path(), &full[..cut]).expect("truncate");
+            match CsrSlice::load(handle.path()) {
+                Err(SpillError::Corrupt { .. }) => {}
+                other => panic!("cut {cut}: expected Corrupt, got {other:?}"),
+            }
+        }
+        // Garbage magic is Corrupt; a missing file is Io.
+        fs::write(handle.path(), b"not a slice at all").expect("garbage");
+        assert!(matches!(
+            CsrSlice::load(handle.path()),
+            Err(SpillError::Corrupt { .. })
+        ));
+        let path = handle.path().to_path_buf();
+        handle.remove().expect("remove");
+        assert!(matches!(CsrSlice::load(&path), Err(SpillError::Io(_))));
+        let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -191,6 +191,65 @@ pub fn read_shard_slices<R: Read>(
         .collect())
 }
 
+/// Out-of-core counterpart of [`read_shard_slices`]: streams the edge
+/// list once **per shard**, materializing only that shard's slice in
+/// memory before spilling it to `dir` and dropping it — peak memory is
+/// one shard's arcs plus the read buffer, never the whole partition.
+///
+/// `open` must return a fresh reader over the same byte stream on every
+/// call (`num_shards` passes are made). Each spilled slice is bitwise
+/// equal to the corresponding [`read_shard_slices`] slice: the per-shard
+/// pass collects exactly the arcs routed to that shard, and
+/// `CsrSlice::from_arcs` normalizes identically regardless of arrival
+/// order.
+///
+/// # Panics
+/// Panics if `num_shards == 0`, `owner.len() != n`, or an owner index
+/// is `≥ num_shards` — the same contract as [`read_shard_slices`].
+pub fn spill_shard_slices<R: Read>(
+    mut open: impl FnMut() -> std::io::Result<R>,
+    n: usize,
+    directed: bool,
+    owner: &[u32],
+    num_shards: usize,
+    chunk_bytes: usize,
+    dir: &std::path::Path,
+) -> Result<Vec<crate::csr::SpilledSlice>, crate::csr::SpillError> {
+    assert!(num_shards >= 1, "num_shards must be >= 1");
+    assert_eq!(owner.len(), n, "owner must assign every node");
+    assert!(
+        owner.iter().all(|&s| (s as usize) < num_shards),
+        "owner index out of range"
+    );
+    // Shard-local ids, assigned in ascending global order — the same
+    // numbering `read_shard_slices` uses.
+    let mut nodes: Vec<Vec<NodeId>> = vec![Vec::new(); num_shards];
+    let mut local_of = vec![0u32; n];
+    for v in 0..n {
+        let s = owner[v] as usize;
+        local_of[v] = nodes[s].len() as u32;
+        nodes[s].push(v as NodeId);
+    }
+    let mut spilled = Vec::with_capacity(num_shards);
+    for (s, ns) in nodes.into_iter().enumerate() {
+        let mut arcs: Vec<(u32, NodeId)> = Vec::new();
+        for_each_edge_chunked(open()?, n, chunk_bytes, |u, v| {
+            if u == v {
+                return; // GraphBuilder drops self-loops on add
+            }
+            if owner[u as usize] as usize == s {
+                arcs.push((local_of[u as usize], v));
+            }
+            if !directed && owner[v as usize] as usize == s {
+                arcs.push((local_of[v as usize], u));
+            }
+        })?;
+        let slice = CsrSlice::from_arcs(ns, arcs);
+        spilled.push(slice.spill(dir)?);
+    }
+    Ok(spilled)
+}
+
 /// Writes an edge list (arcs for directed graphs; each undirected edge
 /// once, with `src < dst`).
 pub fn write_edge_list<W: Write>(graph: &Graph, writer: W) -> std::io::Result<()> {
@@ -327,6 +386,25 @@ mod tests {
                 "directed = {directed}"
             );
         }
+    }
+
+    #[test]
+    fn spilled_shard_slices_match_in_core_slices() {
+        let text = "0 1\n1 2\n2 3\n3 0\n1 1\n0 2\n0 1\n";
+        let owner = [0u32, 1, 0, 1];
+        let dir = std::env::temp_dir().join(format!("fair-submod-io-spill-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        for directed in [false, true] {
+            let in_core = read_shard_slices(text.as_bytes(), 4, directed, &owner, 2, 5).unwrap();
+            let spilled =
+                spill_shard_slices(|| Ok(text.as_bytes()), 4, directed, &owner, 2, 5, &dir)
+                    .unwrap();
+            assert_eq!(spilled.len(), in_core.len());
+            for (handle, expect) in spilled.iter().zip(&in_core) {
+                assert_eq!(&handle.load().unwrap(), expect, "directed = {directed}");
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

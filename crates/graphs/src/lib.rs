@@ -19,5 +19,5 @@ pub mod io;
 pub mod stats;
 pub mod traversal;
 
-pub use csr::{CsrSlice, Graph, GraphBuilder};
+pub use csr::{CsrSlice, Graph, GraphBuilder, SpillError, SpilledSlice};
 pub use groups::Groups;

@@ -57,5 +57,5 @@ pub mod rr;
 pub mod simulate;
 
 pub use models::{DiffusionModel, EdgeWeighting};
-pub use oracle::RisOracle;
+pub use oracle::{RisOracle, RisUncompressedOracle};
 pub use simulate::monte_carlo_evaluate;

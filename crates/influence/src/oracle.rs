@@ -14,8 +14,15 @@
 //!   it newly covers — each RR set is drained exactly once per run,
 //!   making a full greedy round loop near-linear in the arena size
 //!   instead of rescan-quadratic. [`RisOracle::rescan_reference`] keeps
-//!   the index-scanning kernel for equivalence tests and `perfbase`.
+//!   the index-scanning kernel for equivalence tests and `perfbase`;
+//! * a **compressed arena** (DESIGN.md §11): each RR set's node list is
+//!   sorted, gap-encoded, and varint-packed (`RrArena`), so the
+//!   dominant resident structure shrinks ~2–4× while `apply` decodes on
+//!   scan through an 8-word block cursor.
+//!   [`RisOracle::uncompressed_reference`] keeps the flat `u32` arena
+//!   kernel as the bit-identity twin.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use rand::rngs::StdRng;
@@ -64,28 +71,150 @@ fn rr_stream_seed(seed: u64, i: usize) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Delta + LEB128 compressed RR-set arena (DESIGN.md §11).
+///
+/// Each set's node list is stored sorted ascending and gap-encoded: the
+/// first id verbatim, every later id as its distance to the predecessor,
+/// each gap packed as a little-endian base-128 varint into one shared
+/// byte buffer. Sorting is semantically free — the arena is only ever
+/// consumed by commutative counter decrements ([`RisOracle::apply`]) and
+/// by member filtering, neither of which observes within-set order — and
+/// it is what makes the gaps small: a dense RR set over a 2^20-node
+/// graph averages gaps below 2^7, so most nodes cost one byte instead of
+/// four.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct RrArena {
+    /// Byte offset of set `i`'s encoded span in `bytes` (`num_sets + 1`
+    /// entries, seeded with 0).
+    offsets: Vec<usize>,
+    /// The shared gap-varint payload.
+    bytes: Vec<u8>,
+    /// Total decoded nodes across all sets (the uncompressed length).
+    total_nodes: usize,
+}
+
+impl RrArena {
+    fn with_capacity(sets: usize, nodes_hint: usize) -> Self {
+        let mut offsets = Vec::with_capacity(sets + 1);
+        offsets.push(0);
+        Self {
+            offsets,
+            bytes: Vec::with_capacity(nodes_hint),
+            total_nodes: 0,
+        }
+    }
+
+    /// Appends one set. `sorted` must be strictly ascending (RR sets
+    /// hold unique nodes), which keeps every gap after the first ≥ 1.
+    fn push_set(&mut self, sorted: &[u32]) {
+        debug_assert!(sorted.windows(2).all(|w| w[0] < w[1]));
+        let mut prev = 0u32;
+        for &v in sorted {
+            let mut delta = v - prev;
+            prev = v;
+            loop {
+                let byte = (delta & 0x7F) as u8;
+                delta >>= 7;
+                if delta == 0 {
+                    self.bytes.push(byte);
+                    break;
+                }
+                self.bytes.push(byte | 0x80);
+            }
+        }
+        self.offsets.push(self.bytes.len());
+        self.total_nodes += sorted.len();
+    }
+
+    fn num_sets(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    fn total_nodes(&self) -> usize {
+        self.total_nodes
+    }
+
+    /// Encoded payload size in bytes (the uncompressed equivalent is
+    /// `4 · total_nodes`).
+    fn encoded_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Resident footprint of the arena itself (payload + offsets).
+    fn approx_bytes(&self) -> usize {
+        self.bytes.len() + self.offsets.len() * std::mem::size_of::<usize>()
+    }
+
+    /// Decode-on-scan over set `rr`: gaps are decoded into an 8-word
+    /// block which is then drained through `f`, so the varint state
+    /// machine and the consumer loop stay separate (the block body
+    /// vectorizes; the decoder carries the running prefix sum).
+    #[inline]
+    fn for_each(&self, rr: usize, mut f: impl FnMut(u32)) {
+        let bytes = &self.bytes[self.offsets[rr]..self.offsets[rr + 1]];
+        let mut block = [0u32; 8];
+        let mut prev = 0u32;
+        let mut p = 0usize;
+        while p < bytes.len() {
+            let mut filled = 0usize;
+            while filled < 8 && p < bytes.len() {
+                let mut delta = 0u32;
+                let mut shift = 0u32;
+                loop {
+                    let b = bytes[p];
+                    p += 1;
+                    delta |= ((b & 0x7F) as u32) << shift;
+                    if b & 0x80 == 0 {
+                        break;
+                    }
+                    shift += 7;
+                }
+                prev = prev.wrapping_add(delta);
+                block[filled] = prev;
+                filled += 1;
+            }
+            for &v in &block[..filled] {
+                f(v);
+            }
+        }
+    }
+
+    /// Appends set `rr`'s decoded (ascending) node list to `out`.
+    fn decode_into(&self, rr: usize, out: &mut Vec<u32>) {
+        self.for_each(rr, |v| out.push(v));
+    }
+}
+
 /// Weighted RR-set coverage oracle for group-fair influence maximization.
 #[derive(Clone, Debug)]
 pub struct RisOracle {
     n: usize,
     m: usize,
     group_sizes: Vec<usize>,
-    /// Group of each RR set's root.
-    rr_group: Vec<u32>,
+    /// Group of each RR set's root. Shared (not cloned) across every
+    /// shard restriction — RR ids stay global, so one copy serves all.
+    rr_group: Arc<[u32]>,
     /// `m_i / r_i` per group: converting covered counts to group sums.
     weight: Vec<f64>,
-    /// RR-set arena: set `i`'s nodes are
-    /// `rr_nodes[rr_offsets[i]..rr_offsets[i+1]]`, in sample order.
-    rr_offsets: Vec<usize>,
-    rr_nodes: Vec<u32>,
-    /// Inverted index: CSR of node → RR-set ids containing it.
-    idx_offsets: Vec<usize>,
-    idx_rr: Vec<u32>,
+    /// Compressed RR-set arena: set `i`'s nodes, sorted ascending,
+    /// delta + varint packed (DESIGN.md §11). Shared behind an `Arc`
+    /// with every restricted view.
+    arena: Arc<RrArena>,
+    /// Inverted index: CSR of node → RR-set ids containing it. Shared
+    /// with every restricted view.
+    idx_offsets: Arc<Vec<usize>>,
+    idx_rr: Arc<Vec<u32>>,
     /// Uncovered-coverage counters at `S = ∅`: `base_counts[v·c + g]` =
-    /// number of group-`g` RR sets containing node `v`. Cloned into
-    /// every fresh [`RisInner`].
-    base_counts: Vec<u32>,
+    /// number of group-`g` RR sets containing node `v`. Shared with
+    /// every restricted view; [`RisOracle::init_inner`] copies out the
+    /// rows a solve actually owns.
+    base_counts: Arc<Vec<u32>>,
     num_rr: usize,
+    /// `Some(members)` marks this oracle as a zero-copy restriction
+    /// (DESIGN.md §8): local item `j` is central item `members[j]`
+    /// (ascending), and the arena/index/counters above belong to the
+    /// root oracle. `None` for the root itself.
+    members: Option<Arc<Vec<ItemId>>>,
 }
 
 /// Wall-clock split of [`RisOracle::generate_profiled`]: where oracle
@@ -96,6 +225,8 @@ pub struct RisBuildPhases {
     pub sample_seconds: f64,
     /// Inverted-index + base-counter construction.
     pub index_seconds: f64,
+    /// Span sort + delta/varint packing of the compressed arena.
+    pub compress_seconds: f64,
 }
 
 impl RisOracle {
@@ -235,6 +366,22 @@ impl RisOracle {
         }
         let index_seconds = t1.elapsed().as_secs_f64();
 
+        // Compress: sort each span (order inside a set is unobservable —
+        // `apply` decrements commute and the index is already built) and
+        // gap/varint-pack the sorted lists. The flat `u32` arena is
+        // dropped here; [`RisOracle::uncompressed_reference`] can decode
+        // it back for the bit-identity twin.
+        let t2 = Instant::now();
+        let mut arena = RrArena::with_capacity(total_rr, rr_nodes.len());
+        for rr in 0..total_rr {
+            let span = &mut rr_nodes[rr_offsets[rr]..rr_offsets[rr + 1]];
+            span.sort_unstable();
+            arena.push_set(span);
+        }
+        drop(rr_nodes);
+        debug_assert_eq!(arena.num_sets(), total_rr);
+        let compress_seconds = t2.elapsed().as_secs_f64();
+
         let weight = sizes
             .iter()
             .zip(&alloc)
@@ -246,18 +393,19 @@ impl RisOracle {
                 n,
                 m,
                 group_sizes: sizes,
-                rr_group,
+                rr_group: rr_group.into(),
                 weight,
-                rr_offsets,
-                rr_nodes,
-                idx_offsets,
-                idx_rr,
-                base_counts,
+                arena: Arc::new(arena),
+                idx_offsets: Arc::new(idx_offsets),
+                idx_rr: Arc::new(idx_rr),
+                base_counts: Arc::new(base_counts),
                 num_rr: total_rr,
+                members: None,
             },
             RisBuildPhases {
                 sample_seconds,
                 index_seconds,
+                compress_seconds,
             },
         )
     }
@@ -284,86 +432,70 @@ impl RisOracle {
     }
 
     /// Restricts the oracle to an ascending member list, producing a
-    /// standalone shard oracle whose local item `j` is global item
-    /// `members[j]`: each shard owns exactly the inverted-index rows,
-    /// base counters, and arena entries of its members (RR-set ids stay
-    /// global, so covered-set semantics are shared across shards).
+    /// zero-copy shard **view** whose local item `j` is central item
+    /// `members[j]`: the compressed arena, inverted index, and base
+    /// counters stay shared behind `Arc`s (RR-set ids are global, so
+    /// covered-set semantics are shared across shards), and only the
+    /// member list itself is materialized. A restrict therefore costs
+    /// O(|members|) time and memory — never O(n) or O(num_rr) — which
+    /// is what keeps shard fan-out cheaper than a centralized solve.
     ///
     /// This is the DESIGN.md §8 row-separability construction for RIS:
-    /// a gain query reads only the item's own counter row, and an
-    /// `apply` decrements only member rows of the RR sets it drains —
-    /// both copied verbatim from the centralized oracle — so restricted
-    /// gains are **bit-identical** to centralized gains for every member
-    /// under any shared apply sequence. The invariant (counter rows
-    /// consistent with the restricted index) is checked at construction;
-    /// malformed member lists are typed rejections, never panics.
+    /// a gain query reads only the member's own counter row (gathered
+    /// into the view's [`RisInner`] at `init_inner`), and an `apply`
+    /// drains globally-id'd RR sets, decrementing member rows only —
+    /// non-members are filtered by binary search over the ascending
+    /// member list, and since decrements commute the filtering is
+    /// unobservable to any member gain. Restricted gains are therefore
+    /// **bit-identical** to centralized gains for every member under
+    /// any shared apply sequence. Malformed member lists (empty,
+    /// unsorted, duplicated, out of range) are typed rejections, never
+    /// panics; the row-separability invariant itself — counter rows
+    /// consistent with each member's index degree — is structural
+    /// (both sides are built by the same counting pass over the
+    /// sample) and is asserted in debug builds. Restricting a view
+    /// composes the member lists, so the result always chains directly
+    /// to the root oracle.
     pub fn restrict(&self, members: &[ItemId]) -> Result<RisOracle, SolverError> {
         validate_shard_members("RisOracle::restrict", self.n, members)?;
-        let c = self.weight.len();
-        let sub_n = members.len();
-
-        // Global node id -> local shard id, u32::MAX for non-members.
-        let mut local_of = vec![u32::MAX; self.n];
-        for (j, &v) in members.iter().enumerate() {
-            local_of[v as usize] = j as u32;
-        }
-
-        // Inverted index + base counters: the members' rows, verbatim.
-        let mut idx_offsets = Vec::with_capacity(sub_n + 1);
-        idx_offsets.push(0usize);
-        let mut idx_rr = Vec::new();
-        let mut base_counts = Vec::with_capacity(sub_n * c);
-        for &v in members {
-            idx_rr.extend_from_slice(self.rr_of(v as usize));
-            idx_offsets.push(idx_rr.len());
-            base_counts.extend_from_slice(&self.base_counts[v as usize * c..(v as usize + 1) * c]);
-        }
-
-        // Arena: every RR set keeps only its member nodes (in sample
-        // order), remapped to local ids. RR ids stay global so the
-        // covered bitset and `rr_group` lookups are untouched.
-        let mut rr_offsets = Vec::with_capacity(self.num_rr + 1);
-        rr_offsets.push(0usize);
-        let mut rr_nodes = Vec::new();
-        for rr in 0..self.num_rr {
-            for &node in self.nodes_of(rr) {
-                let local = local_of[node as usize];
-                if local != u32::MAX {
-                    rr_nodes.push(local);
-                }
-            }
-            rr_offsets.push(rr_nodes.len());
-        }
-
+        // Compose through an existing view: local ids chain to central
+        // ids (ascending in, ascending out — `members` is ascending and
+        // so is the view's own list).
+        let central: Vec<ItemId> = match &self.members {
+            None => members.to_vec(),
+            Some(own) => members.iter().map(|&j| own[j as usize]).collect(),
+        };
         // §8 row-separability invariant: each member's counter row must
         // total exactly its inverted-index degree — the structural fact
-        // that makes shard gains a verbatim read of central rows.
-        for (j, &v) in members.iter().enumerate() {
-            let degree = idx_offsets[j + 1] - idx_offsets[j];
-            let total: u32 = base_counts[j * c..(j + 1) * c].iter().sum();
-            if total as usize != degree {
-                return Err(SolverError::InvalidParams {
-                    solver: "RisOracle::restrict".into(),
-                    message: format!(
-                        "row-separability violated at member {v}: counter total {total} \
-                         != index degree {degree}"
-                    ),
-                });
+        // that makes shard gains a verbatim read of central rows. Both
+        // sides come from the same counting pass in `generate`, so this
+        // is a debug assertion rather than a release-path scan, keeping
+        // a release restrict a pure O(|members|) id translation.
+        #[cfg(debug_assertions)]
+        {
+            let c = self.weight.len();
+            for &v in &central {
+                let v = v as usize;
+                let degree = self.idx_offsets[v + 1] - self.idx_offsets[v];
+                let total: u32 = self.base_counts[v * c..(v + 1) * c].iter().sum();
+                debug_assert_eq!(
+                    total as usize, degree,
+                    "row-separability violated at member {v}"
+                );
             }
         }
-
         Ok(RisOracle {
-            n: sub_n,
+            n: members.len(),
             m: self.m,
             group_sizes: self.group_sizes.clone(),
-            rr_group: self.rr_group.clone(),
+            rr_group: Arc::clone(&self.rr_group),
             weight: self.weight.clone(),
-            rr_offsets,
-            rr_nodes,
-            idx_offsets,
-            idx_rr,
-            base_counts,
+            arena: Arc::clone(&self.arena),
+            idx_offsets: Arc::clone(&self.idx_offsets),
+            idx_rr: Arc::clone(&self.idx_rr),
+            base_counts: Arc::clone(&self.base_counts),
             num_rr: self.num_rr,
+            members: Some(Arc::new(central)),
         })
     }
 
@@ -391,21 +523,58 @@ impl RisOracle {
         self.num_rr
     }
 
-    /// Total nodes across all RR sets (the arena length).
+    /// Total nodes across all RR sets (the decoded arena length). A
+    /// restricted view counts its members' incidences only, so the
+    /// shard lengths of an exact partition sum to the central length.
     pub fn arena_len(&self) -> usize {
-        self.rr_nodes.len()
+        match &self.members {
+            None => self.arena.total_nodes(),
+            Some(ms) => ms
+                .iter()
+                .map(|&v| self.idx_offsets[v as usize + 1] - self.idx_offsets[v as usize])
+                .sum(),
+        }
     }
 
-    /// RR sets containing `node`.
-    #[inline]
-    fn rr_of(&self, node: usize) -> &[u32] {
-        &self.idx_rr[self.idx_offsets[node]..self.idx_offsets[node + 1]]
+    /// Encoded size of the compressed arena payload in bytes. For the
+    /// root oracle the uncompressed equivalent is `4 · arena_len()`;
+    /// views report the shared payload they pin, not a per-shard cut.
+    pub fn arena_bytes(&self) -> usize {
+        self.arena.encoded_bytes()
     }
 
-    /// Nodes of RR set `rr`, in sample order.
+    /// Approximate resident footprint of the oracle in bytes: the
+    /// compressed arena, the inverted index, the base counters, and the
+    /// per-set/per-group metadata. Drives the service's byte-budgeted
+    /// instance store (DESIGN.md §11). A restricted view counts the
+    /// shared structures it keeps alive in full — deliberately
+    /// conservative for budgeting, since dropping the view may or may
+    /// not free them.
+    pub fn approx_bytes(&self) -> usize {
+        let usz = std::mem::size_of::<usize>();
+        self.arena.approx_bytes()
+            + self.idx_offsets.len() * usz
+            + self.idx_rr.len() * 4
+            + self.base_counts.len() * 4
+            + self.rr_group.len() * 4
+            + (self.weight.len() + self.group_sizes.len()) * 8
+            + self.members.as_ref().map_or(0, |ms| ms.len() * 4)
+    }
+
+    /// Central id of local item `j` (identity for the root oracle).
     #[inline]
-    fn nodes_of(&self, rr: usize) -> &[u32] {
-        &self.rr_nodes[self.rr_offsets[rr]..self.rr_offsets[rr + 1]]
+    fn central_of(&self, j: usize) -> usize {
+        match &self.members {
+            None => j,
+            Some(ms) => ms[j] as usize,
+        }
+    }
+
+    /// RR sets containing local item `item` (its central row).
+    #[inline]
+    fn rr_of(&self, item: usize) -> &[u32] {
+        let v = self.central_of(item);
+        &self.idx_rr[self.idx_offsets[v]..self.idx_offsets[v + 1]]
     }
 
     /// Estimated overall spread (expected influenced users) of `items`.
@@ -422,6 +591,37 @@ impl RisOracle {
     /// incremental-equivalence property tests.
     pub fn rescan_reference(&self) -> RisRescanOracle {
         RisRescanOracle(self.clone())
+    }
+
+    /// The PR-7 flat-arena kernel over the same RR sample: identical
+    /// inverted index and counters, but `apply` walks an uncompressed
+    /// `u32` arena instead of decoding varint gaps. Decrements commute,
+    /// so both kernels leave bit-identical counters after every apply —
+    /// the "before" side of the `rr_arena_compressed` perfbase scenario
+    /// and the reference twin of `tests/compressed_equivalence.rs`.
+    pub fn uncompressed_reference(&self) -> RisUncompressedOracle {
+        let mut rr_offsets = Vec::with_capacity(self.num_rr + 1);
+        rr_offsets.push(0usize);
+        let mut rr_nodes = Vec::with_capacity(self.arena_len());
+        for rr in 0..self.num_rr {
+            match &self.members {
+                None => self.arena.decode_into(rr, &mut rr_nodes),
+                // A view's flat twin stores local ids: member nodes
+                // only, remapped through the ascending member list
+                // (ascending in, ascending out).
+                Some(ms) => self.arena.for_each(rr, |node| {
+                    if let Ok(local) = ms.binary_search(&node) {
+                        rr_nodes.push(local as u32);
+                    }
+                }),
+            }
+            rr_offsets.push(rr_nodes.len());
+        }
+        RisUncompressedOracle {
+            base: self.clone(),
+            rr_offsets,
+            rr_nodes,
+        }
     }
 }
 
@@ -451,9 +651,23 @@ impl UtilitySystem for RisOracle {
     }
 
     fn init_inner(&self) -> Self::Inner {
+        // A view gathers just its members' counter rows — the solve's
+        // mutable state is O(members · groups), never O(n · groups).
+        let counts = match &self.members {
+            None => (*self.base_counts).clone(),
+            Some(ms) => {
+                let c = self.weight.len();
+                let mut counts = Vec::with_capacity(ms.len() * c);
+                for &v in ms.iter() {
+                    let v = v as usize;
+                    counts.extend_from_slice(&self.base_counts[v * c..(v + 1) * c]);
+                }
+                counts
+            }
+        };
         RisInner {
             covered: FixedBitset::zeros(self.num_rr),
-            counts: self.base_counts.clone(),
+            counts,
         }
     }
 
@@ -475,17 +689,94 @@ impl UtilitySystem for RisOracle {
 
     /// Decremental maintenance: for each RR set this item newly covers,
     /// mark it covered and decrement the counter of every node it
-    /// contains. Each RR set is drained at most once per run, so the
-    /// total apply work over a whole greedy run is bounded by the arena
-    /// size — gains stay exact without ever rescanning.
+    /// contains, decoding the set's gap-varint span on the fly. Each RR
+    /// set is drained at most once per run, so the total apply work over
+    /// a whole greedy run is bounded by the arena size — gains stay
+    /// exact without ever rescanning, and decode order is unobservable
+    /// because the decrements commute. A restricted view decrements
+    /// member rows only: decoded central node ids are filtered and
+    /// remapped to local rows by binary search over the ascending
+    /// member list, which changes nothing any member gain can observe
+    /// (non-member rows don't exist in the view's counters).
     fn apply(&self, inner: &mut Self::Inner, item: ItemId) {
         let c = self.weight.len();
+        let RisInner { covered, counts } = inner;
         for &rr in self.rr_of(item as usize) {
-            if !inner.covered.contains(rr as usize) {
-                inner.covered.insert(rr as usize);
+            if !covered.contains(rr as usize) {
+                covered.insert(rr as usize);
                 let gi = self.rr_group[rr as usize] as usize;
-                for &node in self.nodes_of(rr as usize) {
-                    inner.counts[node as usize * c + gi] -= 1;
+                match &self.members {
+                    None => self.arena.for_each(rr as usize, |node| {
+                        counts[node as usize * c + gi] -= 1;
+                    }),
+                    Some(ms) => self.arena.for_each(rr as usize, |node| {
+                        if let Ok(local) = ms.binary_search(&node) {
+                            counts[local * c + gi] -= 1;
+                        }
+                    }),
+                }
+            }
+        }
+    }
+
+    fn gain_kernel(&self) -> &'static str {
+        "compressed_counters"
+    }
+
+    fn approx_bytes(&self) -> usize {
+        RisOracle::approx_bytes(self)
+    }
+}
+
+/// The flat-`u32`-arena twin of [`RisOracle`]; see
+/// [`RisOracle::uncompressed_reference`].
+#[derive(Clone, Debug)]
+pub struct RisUncompressedOracle {
+    base: RisOracle,
+    /// Flat arena: set `i`'s nodes are
+    /// `rr_nodes[rr_offsets[i]..rr_offsets[i+1]]`, ascending.
+    rr_offsets: Vec<usize>,
+    rr_nodes: Vec<u32>,
+}
+
+impl UtilitySystem for RisUncompressedOracle {
+    type Inner = RisInner;
+
+    fn num_items(&self) -> usize {
+        self.base.n
+    }
+
+    fn num_users(&self) -> usize {
+        self.base.m
+    }
+
+    fn group_sizes(&self) -> &[usize] {
+        &self.base.group_sizes
+    }
+
+    fn init_inner(&self) -> Self::Inner {
+        self.base.init_inner()
+    }
+
+    fn group_gains(&self, inner: &Self::Inner, item: ItemId, out: &mut [f64]) {
+        self.base.group_gains(inner, item, out);
+    }
+
+    fn group_gains_batch(&self, inner: &Self::Inner, items: &[ItemId], out: &mut [f64]) {
+        fair_submod_core::system::parallel_group_gains(self, inner, items, out);
+    }
+
+    fn apply(&self, inner: &mut Self::Inner, item: ItemId) {
+        let c = self.base.weight.len();
+        let RisInner { covered, counts } = inner;
+        for &rr in self.base.rr_of(item as usize) {
+            if !covered.contains(rr as usize) {
+                covered.insert(rr as usize);
+                let gi = self.base.rr_group[rr as usize] as usize;
+                let span =
+                    &self.rr_nodes[self.rr_offsets[rr as usize]..self.rr_offsets[rr as usize + 1]];
+                for &node in span {
+                    counts[node as usize * c + gi] -= 1;
                 }
             }
         }
@@ -614,12 +905,96 @@ mod tests {
         let par = RisOracle::generate(&g, DiffusionModel::ic(0.15), &groups, &cfg);
         rayon::set_num_threads(0);
         assert_eq!(seq.rr_group, par.rr_group);
-        assert_eq!(seq.rr_offsets, par.rr_offsets);
-        assert_eq!(seq.rr_nodes, par.rr_nodes);
+        assert_eq!(seq.arena, par.arena);
         assert_eq!(seq.idx_offsets, par.idx_offsets);
         assert_eq!(seq.idx_rr, par.idx_rr);
         assert_eq!(seq.base_counts, par.base_counts);
         assert_eq!(seq.weight, par.weight);
+    }
+
+    #[test]
+    fn varint_delta_codec_round_trips() {
+        // Boundary gaps around every 7-bit group, ids including 0, an
+        // empty set, and a singleton.
+        let lists: Vec<Vec<u32>> = vec![
+            vec![],
+            vec![0],
+            vec![5],
+            vec![0, 1, 2, 3, 4, 5, 6, 7, 8, 9],
+            vec![0, 127, 128, 16_383, 16_384, 2_097_151, 2_097_152, u32::MAX],
+            (0..100).map(|i| i * 131).collect(),
+        ];
+        let mut arena = RrArena::with_capacity(lists.len(), 64);
+        for list in &lists {
+            arena.push_set(list);
+        }
+        assert_eq!(arena.num_sets(), lists.len());
+        assert_eq!(
+            arena.total_nodes(),
+            lists.iter().map(|l| l.len()).sum::<usize>()
+        );
+        for (rr, list) in lists.iter().enumerate() {
+            let mut decoded = Vec::new();
+            arena.decode_into(rr, &mut decoded);
+            assert_eq!(&decoded, list, "set {rr}");
+        }
+        // Dense ascending lists should compress well below 4 B/node.
+        let dense = &lists[3];
+        let span = arena.offsets[4] - arena.offsets[3];
+        assert!(span < dense.len() * 4, "dense list not compressed");
+    }
+
+    #[test]
+    fn compression_shrinks_the_arena() {
+        let g = sbm(&[60, 60], 0.2, 0.05, 27);
+        let groups = Groups::from_ratios(120, &[("a", 0.5), ("b", 0.5)], 4);
+        let oracle = RisOracle::generate(
+            &g,
+            DiffusionModel::ic(0.15),
+            &groups,
+            &RisConfig::new(2_000, 41),
+        );
+        assert!(oracle.arena_len() > 0);
+        assert!(
+            oracle.arena_bytes() < oracle.arena_len() * 4,
+            "compressed {} B >= flat {} B",
+            oracle.arena_bytes(),
+            oracle.arena_len() * 4
+        );
+        assert!(oracle.approx_bytes() > oracle.arena_bytes());
+    }
+
+    #[test]
+    fn compressed_kernel_matches_uncompressed_reference_bitwise() {
+        use fair_submod_core::system::SolutionState;
+        let g = sbm(&[40, 40], 0.2, 0.05, 31);
+        let groups = Groups::from_ratios(80, &[("a", 0.5), ("b", 0.5)], 4);
+        let oracle = RisOracle::generate(
+            &g,
+            DiffusionModel::ic(0.15),
+            &groups,
+            &RisConfig::new(1_500, 43),
+        );
+        let flat = oracle.uncompressed_reference();
+        assert_eq!(oracle.gain_kernel(), "compressed_counters");
+        assert_eq!(flat.gain_kernel(), "incremental_counters");
+        let mut comp = SolutionState::new(&oracle);
+        let mut refc = SolutionState::new(&flat);
+        let c = oracle.num_groups();
+        let mut gc = vec![0.0; c];
+        let mut gr = vec![0.0; c];
+        for &step in &[9u32, 55, 0, 23, 71] {
+            for v in 0..80u32 {
+                comp.gains_into(v, &mut gc);
+                refc.gains_into(v, &mut gr);
+                for g in 0..c {
+                    assert_eq!(gc[g].to_bits(), gr[g].to_bits(), "item {v} group {g}");
+                }
+            }
+            comp.insert(step);
+            refc.insert(step);
+            assert_eq!(comp.group_sums(), refc.group_sums());
+        }
     }
 
     #[test]
@@ -754,8 +1129,7 @@ mod tests {
             &cfg,
         );
         assert_eq!(sliced.rr_group, central.rr_group);
-        assert_eq!(sliced.rr_offsets, central.rr_offsets);
-        assert_eq!(sliced.rr_nodes, central.rr_nodes);
+        assert_eq!(sliced.arena, central.arena);
         assert_eq!(sliced.idx_offsets, central.idx_offsets);
         assert_eq!(sliced.idx_rr, central.idx_rr);
         assert_eq!(sliced.base_counts, central.base_counts);

@@ -363,6 +363,13 @@ impl Instance {
         }
     }
 
+    /// Advisory resident footprint of the instance's oracle, in bytes —
+    /// what the byte-budgeted store evicts against (DESIGN.md §11).
+    /// Purely advisory: 0 means the substrate does not report one.
+    pub fn approx_bytes(&self) -> usize {
+        self.system().dyn_approx_bytes()
+    }
+
     /// The `/instances` summary row for this instance.
     pub fn summary_json(&self) -> Value {
         obj([
@@ -372,6 +379,7 @@ impl Instance {
             ("num_users", Value::Num(self.num_users as f64)),
             ("num_groups", Value::Num(self.num_groups as f64)),
             ("build_seconds", Value::Num(self.build_seconds)),
+            ("approx_bytes", Value::Num(self.approx_bytes() as f64)),
         ])
     }
 }

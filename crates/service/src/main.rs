@@ -13,6 +13,7 @@ fair-submod-service: long-running BSM solve daemon (HTTP/1.1 + JSON)
 
 USAGE:
     fair-submod-service [--addr HOST:PORT] [--capacity N] [--quick]
+                        [--max-instance-bytes N]
                         [--rr-sets N] [--mc-runs N] [--pokec-nodes N]
                         [--blocking] [--workers N] [--queue-capacity N]
                         [--max-connections N] [--idle-timeout-secs N]
@@ -23,6 +24,10 @@ USAGE:
 INSTANCE FLAGS:
     --addr HOST:PORT   bind address (default 127.0.0.1:7878; port 0 = ephemeral)
     --capacity N       max cached instances before LRU eviction (default 8)
+    --max-instance-bytes N
+                       byte budget over the cached instances' advisory
+                       footprints; LRU entries are evicted past it
+                       (default: unlimited)
     --quick            smoke-sized instance knobs (harness --quick caps)
     --rr-sets N        RR sets for influence oracles
     --mc-runs N        Monte-Carlo runs per influence evaluation
@@ -53,6 +58,7 @@ SIGNALS: SIGINT/SIGTERM drain in-flight requests, then exit.
 fn main() {
     let mut addr = String::from("127.0.0.1:7878");
     let mut capacity = 8usize;
+    let mut max_instance_bytes = usize::MAX;
     let mut quick = false;
     let mut blocking = false;
     let mut cfg = InstanceConfig::default();
@@ -75,6 +81,9 @@ fn main() {
         match arg.as_str() {
             "--addr" => addr = value("--addr"),
             "--capacity" => capacity = int("--capacity", value("--capacity")),
+            "--max-instance-bytes" => {
+                max_instance_bytes = int("--max-instance-bytes", value("--max-instance-bytes"))
+            }
             "--quick" => quick = true,
             "--blocking" => blocking = true,
             "--rr-sets" => cfg.rr_sets = int("--rr-sets", value("--rr-sets")),
@@ -128,7 +137,11 @@ fn main() {
         cfg = cfg.quick();
     }
 
-    let state = Arc::new(ServiceState::new(capacity, cfg).with_quotas(quotas.clone()));
+    let state = Arc::new(
+        ServiceState::new(capacity, cfg)
+            .with_instance_byte_budget(max_instance_bytes)
+            .with_quotas(quotas.clone()),
+    );
     eprintln!(
         "[service] {} solvers registered, instance capacity {capacity}, tenant quotas {}",
         state.registry.len(),

@@ -88,6 +88,16 @@ impl ServiceState {
         self
     }
 
+    /// Caps the instance store's total advisory footprint at `budget`
+    /// bytes (builder-style; `usize::MAX` = unlimited). Past the budget
+    /// the store evicts least-recently-used built entries after each
+    /// build (DESIGN.md §11).
+    pub fn with_instance_byte_budget(mut self, budget: usize) -> Self {
+        let store = std::mem::replace(&mut self.store, InstanceStore::new(1));
+        self.store = store.with_byte_budget(budget);
+        self
+    }
+
     /// Routes one request. Panics in handlers (there should be none —
     /// solver rejections are typed errors) are caught and mapped to a
     /// 500 so a bad request can never take the daemon down.
@@ -106,7 +116,7 @@ impl ServiceState {
         match (request.method.as_str(), request.path.as_str()) {
             ("GET", "/healthz") => self.healthz(),
             ("GET", "/registry") => self.registry_listing(),
-            ("GET", "/instances") => Response::json(200, &self.store.snapshot_json()),
+            ("GET", "/instances") => self.instances(),
             // The CPU-heavy endpoints pay a tenant rate token first.
             ("POST", "/solve") => match self.admit_tenant(request) {
                 Ok(tenant) => self.solve(tenant, &request.body),
@@ -152,6 +162,21 @@ impl ServiceState {
                 .with_header("Retry-After", refusal.retry_after_secs.to_string()),
             )),
         }
+    }
+
+    /// The `/instances` admin view: the store snapshot (per-entry
+    /// advisory bytes, store-wide totals, byte budget) plus the
+    /// daemon's own peak RSS — self-reported so clients that spawned
+    /// the daemon through a wrapper (`cargo run`) can still read it.
+    fn instances(&self) -> Response {
+        let mut snapshot = self.store.snapshot_json();
+        if let Value::Obj(pairs) = &mut snapshot {
+            pairs.push((
+                "peak_rss_mib".to_string(),
+                peak_rss_mib().map_or(Value::Null, Value::Num),
+            ));
+        }
+        Response::json(200, &snapshot)
     }
 
     fn healthz(&self) -> Response {
@@ -225,6 +250,9 @@ impl ServiceState {
             .get_or_insert_for(&key, &canonical, tenant, max)
             .map_err(occupancy_response)?;
         entry.get_or_build(|| Instance::build(recipe, substrate, &self.instance_cfg));
+        // The build just changed the store's resident footprint; evict
+        // colder entries past the byte budget (never this one).
+        self.store.enforce_byte_budget(&key);
         Ok((entry, status))
     }
 
@@ -286,6 +314,7 @@ impl ServiceState {
                     Instance::build_shard(central, s, num_shards, &members)
                         .expect("shard_partition members are a valid restriction")
                 });
+                self.store.enforce_byte_budget(&key);
                 Ok((shard_entry, status, members))
             })
             .collect::<Vec<Result<_, Box<Response>>>>()
@@ -730,6 +759,29 @@ fn parse_instance_value(value: &Value) -> Result<(DatasetRecipe, SubstrateSpec),
     Ok((recipe, substrate))
 }
 
+/// Peak resident set size of this process in MiB (`VmHWM` from
+/// `/proc/self/status`); `None` off Linux. Self-reported through
+/// `/instances` so benchmark clients that spawned the daemon behind a
+/// wrapper process can read the daemon's own high-water mark.
+#[cfg(target_os = "linux")]
+fn peak_rss_mib() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: f64 = line
+        .trim_start_matches("VmHWM:")
+        .trim()
+        .trim_end_matches("kB")
+        .trim()
+        .parse()
+        .ok()?;
+    Some(kb / 1024.0)
+}
+
+#[cfg(not(target_os = "linux"))]
+fn peak_rss_mib() -> Option<f64> {
+    None
+}
+
 fn error_response(status: u16, message: &str) -> Response {
     Response::json(status, &obj([("error", Value::Str(message.into()))]))
 }
@@ -894,6 +946,52 @@ mod tests {
                     .and_then(Value::as_bool)
                     == Some(true)
         }));
+    }
+
+    #[test]
+    fn instances_view_reports_bytes_and_rss() {
+        let s = state();
+        assert_eq!(s.handle(&post("/solve", TINY_SOLVE)).status, 200);
+        let view = s.handle(&get("/instances"));
+        assert_eq!(view.status, 200);
+        let body = parse_bytes(&view.body).unwrap();
+        let total = body.get("total_bytes").and_then(Value::as_f64).unwrap();
+        assert!(total > 0.0, "built entry must report a footprint");
+        assert!(matches!(body.get("byte_budget"), Some(Value::Null)));
+        let rows = body.get("instances").and_then(Value::as_arr).unwrap();
+        let per_entry = rows[0]
+            .get("instance")
+            .and_then(|i| i.get("approx_bytes"))
+            .and_then(Value::as_f64)
+            .unwrap();
+        assert_eq!(per_entry, total);
+        #[cfg(target_os = "linux")]
+        assert!(
+            body.get("peak_rss_mib").and_then(Value::as_f64).unwrap() > 0.0,
+            "daemon self-reports its VmHWM on Linux"
+        );
+    }
+
+    #[test]
+    fn byte_budget_bounds_the_store_across_solves() {
+        // Budget small enough that the two distinct instances below can
+        // never be resident together; every solve still succeeds.
+        let s =
+            ServiceState::new(4, InstanceConfig::default().quick()).with_instance_byte_budget(1);
+        const OTHER_SOLVE: &str = r#"{
+            "dataset": {"kind": "rand_mc", "c": 2, "n": 44},
+            "substrate": "coverage",
+            "solver": "Greedy",
+            "params": {"k": 3, "tau": 0.8}
+        }"#;
+        assert_eq!(s.handle(&post("/solve", TINY_SOLVE)).status, 200);
+        assert_eq!(s.handle(&post("/solve", OTHER_SOLVE)).status, 200);
+        assert_eq!(s.handle(&post("/solve", TINY_SOLVE)).status, 200);
+        let stats = s.store.stats();
+        assert_eq!(stats.len, 1, "over-budget entries are evicted");
+        assert!(stats.byte_evictions >= 2);
+        let body = parse_bytes(&s.handle(&get("/instances")).body).unwrap();
+        assert_eq!(body.get("byte_budget").and_then(Value::as_f64), Some(1.0));
     }
 
     #[test]

@@ -12,6 +12,15 @@
 //! proceed untouched. Evicting a key whose instance is still being
 //! used (or built) is safe: holders keep the entry alive through its
 //! `Arc`, the store merely forgets it.
+//!
+//! Besides the slot-count cap, the store can carry a **byte budget**
+//! ([`InstanceStore::with_byte_budget`], DESIGN.md §11): after a build
+//! finishes, [`InstanceStore::enforce_byte_budget`] evicts
+//! least-recently-used *built* entries until the sum of advisory
+//! [`Instance::approx_bytes`] footprints fits the budget again. The
+//! entry being protected (the one the current request just used) is
+//! never the victim, so a single oversized instance still serves its
+//! own request.
 
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -87,7 +96,20 @@ struct Inner {
     hits: u64,
     misses: u64,
     evictions: u64,
+    byte_evictions: u64,
     slots: Vec<Slot>,
+}
+
+impl Inner {
+    /// Sum of advisory footprints over the *built* entries (an unbuilt
+    /// slot's size is unknown until its build finishes).
+    fn total_bytes(&self) -> usize {
+        self.slots
+            .iter()
+            .filter_map(|s| s.entry.built())
+            .map(|i| i.approx_bytes())
+            .sum()
+    }
 }
 
 /// Aggregate store counters, as reported by `/instances`.
@@ -103,28 +125,89 @@ pub struct StoreStats {
     pub len: usize,
     /// Maximum registered instances.
     pub capacity: usize,
+    /// Entries dropped by the byte budget (also counted in
+    /// `evictions`).
+    pub byte_evictions: u64,
+    /// Sum of advisory footprints over the built entries.
+    pub total_bytes: usize,
 }
 
 /// Bounded LRU cache of [`StoreEntry`]s; all methods take `&self` and
 /// are safe to call from many request threads.
 pub struct InstanceStore {
     capacity: usize,
+    /// Advisory byte budget over built entries; `usize::MAX` =
+    /// unlimited.
+    byte_budget: usize,
     inner: Mutex<Inner>,
 }
 
 impl InstanceStore {
-    /// An empty store holding at most `capacity` instances.
+    /// An empty store holding at most `capacity` instances (no byte
+    /// budget).
     pub fn new(capacity: usize) -> Self {
         Self {
             capacity: capacity.max(1),
+            byte_budget: usize::MAX,
             inner: Mutex::new(Inner {
                 clock: 0,
                 hits: 0,
                 misses: 0,
                 evictions: 0,
+                byte_evictions: 0,
                 slots: Vec::new(),
             }),
         }
+    }
+
+    /// Caps the sum of built entries' advisory footprints at `budget`
+    /// bytes (builder-style; `usize::MAX` = unlimited). Enforced by
+    /// [`Self::enforce_byte_budget`], which request handlers call after
+    /// each build.
+    pub fn with_byte_budget(mut self, budget: usize) -> Self {
+        self.byte_budget = budget.max(1);
+        self
+    }
+
+    /// The configured byte budget, if one is set.
+    pub fn byte_budget(&self) -> Option<usize> {
+        (self.byte_budget != usize::MAX).then_some(self.byte_budget)
+    }
+
+    /// Evicts least-recently-used **built** entries until the total
+    /// advisory footprint fits the byte budget, never evicting the
+    /// `protect` key (the entry the current request just built or hit —
+    /// evicting it would let one oversized instance churn itself out
+    /// from under its own request). Unbuilt slots are skipped: their
+    /// size is unknown and a builder is about to publish into them.
+    /// Returns the number of entries evicted.
+    pub fn enforce_byte_budget(&self, protect: &str) -> usize {
+        if self.byte_budget == usize::MAX {
+            return 0;
+        }
+        let mut inner = self.inner.lock().expect("instance store poisoned");
+        let mut evicted = 0usize;
+        while inner.total_bytes() > self.byte_budget {
+            let victim = inner
+                .slots
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.entry.key != protect && s.entry.built().is_some())
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(i, _)| i);
+            match victim {
+                Some(i) => {
+                    inner.slots.remove(i);
+                    inner.evictions += 1;
+                    inner.byte_evictions += 1;
+                    evicted += 1;
+                }
+                // Only the protected entry (and unbuilt slots) remain:
+                // over budget but nothing evictable.
+                None => break,
+            }
+        }
+        evicted
     }
 
     /// Looks up `key`, registering an empty entry (and evicting the
@@ -203,6 +286,8 @@ impl InstanceStore {
             evictions: inner.evictions,
             len: inner.slots.len(),
             capacity: self.capacity,
+            byte_evictions: inner.byte_evictions,
+            total_bytes: inner.total_bytes(),
         }
     }
 
@@ -237,6 +322,15 @@ impl InstanceStore {
             ("hits", Value::Num(inner.hits as f64)),
             ("misses", Value::Num(inner.misses as f64)),
             ("evictions", Value::Num(inner.evictions as f64)),
+            ("byte_evictions", Value::Num(inner.byte_evictions as f64)),
+            ("total_bytes", Value::Num(inner.total_bytes() as f64)),
+            (
+                "byte_budget",
+                match self.byte_budget() {
+                    Some(budget) => Value::Num(budget as f64),
+                    None => Value::Null,
+                },
+            ),
             ("instances", Value::Arr(instances)),
         ])
     }
@@ -315,6 +409,78 @@ mod tests {
         let stats = store.stats();
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.hits, 7);
+    }
+
+    #[test]
+    fn byte_budget_evicts_lru_built_entries_but_never_the_protected_one() {
+        let one = tiny_instance();
+        let bytes = one.approx_bytes();
+        assert!(bytes > 0, "coverage oracles report a footprint");
+        // Budget fits two instances but not three.
+        let store = InstanceStore::new(8).with_byte_budget(2 * bytes + bytes / 2);
+        for key in ["a", "b", "c"] {
+            let (entry, _) = store.get_or_insert(key, "{}");
+            entry.get_or_build(tiny_instance);
+            store.enforce_byte_budget(key);
+        }
+        let stats = store.stats();
+        assert_eq!(stats.len, 2, "third build must evict the LRU entry");
+        assert_eq!(stats.byte_evictions, 1);
+        assert!(stats.total_bytes <= 2 * bytes + bytes / 2);
+        // "a" (LRU) was the victim; "b" and "c" survive.
+        let (_, sb) = store.get_or_insert("b", "{}");
+        let (_, sc) = store.get_or_insert("c", "{}");
+        let (_, sa) = store.get_or_insert("a", "{}");
+        assert_eq!(
+            (sb, sc, sa),
+            (CacheStatus::Hit, CacheStatus::Hit, CacheStatus::Miss)
+        );
+
+        // A budget below a single instance still serves that instance:
+        // the protected key is never its own victim.
+        let store = InstanceStore::new(8).with_byte_budget(bytes / 2);
+        let (entry, _) = store.get_or_insert("only", "{}");
+        entry.get_or_build(tiny_instance);
+        store.enforce_byte_budget("only");
+        assert_eq!(store.stats().len, 1);
+        // The next build evicts the previous one immediately.
+        let (entry, _) = store.get_or_insert("next", "{}");
+        entry.get_or_build(tiny_instance);
+        store.enforce_byte_budget("next");
+        let stats = store.stats();
+        assert_eq!(stats.len, 1);
+        assert_eq!(stats.byte_evictions, 1);
+    }
+
+    #[test]
+    fn snapshot_reports_byte_accounting() {
+        let store = InstanceStore::new(2).with_byte_budget(1 << 30);
+        let (entry, _) = store.get_or_insert("k", "{}");
+        entry.get_or_build(tiny_instance);
+        let snap = store.snapshot_json();
+        let total = snap.get("total_bytes").and_then(Value::as_f64).unwrap();
+        assert!(total > 0.0);
+        assert_eq!(
+            snap.get("byte_budget").and_then(Value::as_f64),
+            Some((1u64 << 30) as f64)
+        );
+        assert_eq!(
+            snap.get("byte_evictions").and_then(Value::as_f64),
+            Some(0.0)
+        );
+        let rows = snap.get("instances").and_then(Value::as_arr).unwrap();
+        let inst = rows[0].get("instance").unwrap();
+        assert_eq!(
+            inst.get("approx_bytes").and_then(Value::as_f64),
+            Some(total),
+            "the single entry's bytes are the store total"
+        );
+        // An unbudgeted store reports null.
+        let free = InstanceStore::new(2);
+        assert!(matches!(
+            free.snapshot_json().get("byte_budget"),
+            Some(Value::Null)
+        ));
     }
 
     #[test]

@@ -415,15 +415,20 @@ fn tenant_instance_occupancy_quota_draws_429() {
 // Blocking-vs-event response equivalence
 // ---------------------------------------------------------------------------
 
-/// Zeroes wall-clock fields (`seconds` in reports, `uptime_seconds` in
-/// healthz, `build_seconds` in the instances view) anywhere in the
-/// document; everything else in a response is deterministic given an
-/// identical request history.
+/// Zeroes wall-clock and process-level fields (`seconds` in reports,
+/// `uptime_seconds` in healthz, `build_seconds` and the self-reported
+/// `peak_rss_mib` in the instances view) anywhere in the document;
+/// everything else in a response is deterministic given an identical
+/// request history.
 fn normalize(value: &mut Value) {
     match value {
         Value::Obj(pairs) => {
             for (key, val) in pairs.iter_mut() {
-                if key == "seconds" || key == "uptime_seconds" || key == "build_seconds" {
+                if key == "seconds"
+                    || key == "uptime_seconds"
+                    || key == "build_seconds"
+                    || key == "peak_rss_mib"
+                {
                     *val = Value::Num(0.0);
                 } else {
                     normalize(val);

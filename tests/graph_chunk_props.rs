@@ -9,6 +9,7 @@
 use proptest::prelude::*;
 
 use fair_submod::graphs::csr::NodeId;
+use fair_submod::graphs::csr::SpillError;
 use fair_submod::graphs::io::{
     read_edge_list, read_edge_list_chunked, read_shard_slices, write_edge_list,
 };
@@ -144,5 +145,84 @@ proptest! {
         let owner = vec![0u32; n];
         let shard_err = read_shard_slices(bad.as_bytes(), n, false, &owner, 1, chunk).unwrap_err();
         prop_assert_eq!(whole_err.to_string(), shard_err.to_string());
+    }
+}
+
+/// Unique scratch dir per proptest case: cases run concurrently and a
+/// spill file's name depends only on its slice's first node id, so
+/// sharing a dir across cases would let different contents collide.
+fn scratch_dir() -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    std::env::temp_dir().join(format!(
+        "fair-submod-spill-props-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Spill → load round-trips bit for bit (DESIGN.md §11) for the
+    /// slices an out-of-core run actually produces: ragged owner
+    /// assignments, empty shards, and single-node slices all included.
+    #[test]
+    fn spilled_slices_round_trip_bitwise(
+        (text, n) in edge_list_doc(),
+        num_shards in 1usize..6,
+        owner_seed in any::<u64>(),
+        directed in any::<bool>(),
+    ) {
+        let mut state = owner_seed | 1;
+        let owner: Vec<u32> = (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % num_shards as u64) as u32
+            })
+            .collect();
+        let whole = read_edge_list(text.as_bytes(), n, directed).unwrap();
+        let slices =
+            read_shard_slices(text.as_bytes(), n, directed, &owner, num_shards, 16).unwrap();
+        let dir = scratch_dir();
+        for slice in &slices {
+            let spilled = slice.spill(&dir).expect("spill to scratch");
+            let reloaded = CsrSlice::load(spilled.path()).expect("reload spilled slice");
+            prop_assert_eq!(&reloaded, slice);
+        }
+        // A single-node slice round-trips too (the smallest shard an
+        // out-of-core merge ever reloads).
+        let single = whole.slice_rows(&[0]);
+        let spilled = single.spill(&dir).expect("spill single-node slice");
+        prop_assert_eq!(&CsrSlice::load(spilled.path()).expect("reload"), &single);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Every strict prefix of a valid spill file is a typed
+    /// [`SpillError`], never a panic: each section is length-prefixed,
+    /// so truncation at any byte leaves some section short.
+    #[test]
+    fn truncated_spill_files_are_typed_errors(
+        (text, n) in edge_list_doc(),
+        directed in any::<bool>(),
+        cut_seed in any::<u64>(),
+    ) {
+        let whole = read_edge_list(text.as_bytes(), n, directed).unwrap();
+        let slice = all_rows(&whole);
+        let dir = scratch_dir();
+        let spilled = slice.spill(&dir).expect("spill to scratch");
+        let bytes = std::fs::read(spilled.path()).expect("read spill file");
+        prop_assert!(!bytes.is_empty());
+        let cut = (cut_seed % bytes.len() as u64) as usize;
+        let truncated = dir.join("truncated.csrs");
+        std::fs::write(&truncated, &bytes[..cut]).expect("write truncated file");
+        let err = CsrSlice::load(&truncated).expect_err("strict prefix must not parse");
+        // The error is typed and printable — out-of-core callers match
+        // on it instead of unwinding.
+        prop_assert!(matches!(err, SpillError::Corrupt { .. } | SpillError::Io(_)));
+        prop_assert!(!err.to_string().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

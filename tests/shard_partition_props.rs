@@ -14,6 +14,19 @@
 //!
 //! CI re-runs this suite under `RAYON_NUM_THREADS=1` alongside
 //! `sharded_equivalence` to pin thread-count independence.
+//!
+//! This test binary also asserts the *allocation count* of
+//! `RisOracle::restrict` (DESIGN.md §11: a restrict is an O(|members|)
+//! id translation, so its allocation count is a small constant,
+//! independent of oracle size). Counting allocations takes a measuring
+//! `#[global_allocator]`, whose `GlobalAlloc` impl is necessarily
+//! `unsafe` — the narrow, test-binary-only exception to the
+//! workspace's `unsafe_code = "deny"` (the polling shim is the only
+//! shipped-code exception).
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 
 use proptest::prelude::*;
 
@@ -24,6 +37,44 @@ use fair_submod::graphs::io::read_edge_list;
 use fair_submod::graphs::Groups;
 use fair_submod::influence::oracle::RisConfig;
 use fair_submod::influence::{DiffusionModel, RisOracle};
+
+thread_local! {
+    /// Per-thread allocation counter: const-initialized (no allocation,
+    /// no destructor), so the allocator hooks can bump it reentrantly
+    /// and concurrently running tests never pollute each other's count.
+    static ALLOCATIONS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// `System`, plus a per-thread count of every `alloc`/`realloc` call —
+/// the measuring instrument behind
+/// `ris_restrict_allocation_count_is_size_independent`.
+struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// Allocations made by the current thread while running `f`.
+fn allocations_during(f: impl FnOnce()) -> usize {
+    let before = ALLOCATIONS.with(Cell::get);
+    f();
+    ALLOCATIONS.with(Cell::get) - before
+}
 
 /// xorshift64 step shared by every generator below (same kernel as the
 /// graph-chunk sibling, so failures shrink comparably).
@@ -314,4 +365,56 @@ proptest! {
         }
         prop_assert_eq!(arena_total, central.arena_len());
     }
+}
+
+/// `RisOracle::restrict` is a zero-copy view build (DESIGN.md §11): it
+/// materializes the member list and a handful of small clones, nothing
+/// sized by the oracle. Pin that with the counting allocator: the same
+/// member count against a 4×-larger graph and an 8×-larger RR sample
+/// must allocate exactly as many times — and few times in absolute
+/// terms — so parallel shard fan-out never serializes on the allocator.
+#[test]
+fn ris_restrict_allocation_count_is_size_independent() {
+    let build = |n: usize, num_rr: usize, seed: u64| {
+        let mut state = seed | 1;
+        let lines: Vec<String> = (0..n * 3)
+            .map(|_| {
+                format!(
+                    "{} {}",
+                    xorshift(&mut state) % n as u64,
+                    xorshift(&mut state) % n as u64
+                )
+            })
+            .collect();
+        let graph = read_edge_list(lines.join("\n").as_bytes(), n, false).expect("valid doc");
+        let groups = Groups::from_assignment(random_groups(n, seed));
+        RisOracle::generate(
+            &graph,
+            DiffusionModel::ic(0.1),
+            &groups,
+            &RisConfig::new(num_rr, seed),
+        )
+    };
+    let small = build(60, 400, 7);
+    let large = build(240, 3_200, 9);
+    let members: Vec<ItemId> = (0..30).collect();
+
+    // Warm up any lazy process state off the measured path.
+    small.restrict(&members).expect("valid members");
+    large.restrict(&members).expect("valid members");
+
+    let on_small = allocations_during(|| {
+        small.restrict(&members).expect("valid members");
+    });
+    let on_large = allocations_during(|| {
+        large.restrict(&members).expect("valid members");
+    });
+    assert_eq!(
+        on_small, on_large,
+        "restrict allocation count must not scale with oracle size"
+    );
+    assert!(
+        on_small <= 16,
+        "restrict made {on_small} allocations; expected a small constant"
+    );
 }
